@@ -1,0 +1,38 @@
+// Ablation: the per-partition grid cell size (paper §V-B leaves the grid
+// configuration open). Sweeps the cell edge length and reports range/kNN
+// latency on a fixed workload.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+
+using namespace indoor;
+using namespace indoor::bench;
+
+int main() {
+  PrintTitle("Ablation: grid cell size (30 floors, 20K objects, "
+             "100 queries)");
+  PrintHeader("cell size (m)", {"range r=30m", "kNN k=100"});
+
+  for (double cell : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const auto engine =
+        MakeEngine(30, 20000, /*seed=*/33, IndexOptions{.grid_cell_size = cell});
+    Rng rng(34);
+    const auto queries = GenerateQueryPositions(engine->plan(), 100, &rng);
+    const double range_ms = AvgMillis(queries.size(), [&](size_t i) {
+      RangeQuery(engine->index(), queries[i], 30.0);
+    });
+    const double knn_ms = AvgMillis(queries.size(), [&](size_t i) {
+      KnnQuery(engine->index(), queries[i], 100);
+    });
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", cell);
+    PrintRow(label, {range_ms, knn_ms});
+  }
+  std::printf("\nReading: very fine grids pay per-cell overhead, very "
+              "coarse grids lose pruning; a few meters per cell is the "
+              "sweet spot for office-sized partitions.\n");
+  return 0;
+}

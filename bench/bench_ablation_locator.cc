@@ -1,0 +1,80 @@
+// Ablation: the R-tree behind getHostPartition (paper §III-D2) versus a
+// naive linear scan over all partition footprints.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace indoor;
+using namespace indoor::bench;
+
+namespace {
+
+/// Brute-force point location with the same tie-breaking rules as
+/// PartitionLocator.
+PartitionId LinearLocate(const FloorPlan& plan, const Point& p) {
+  PartitionId best = kInvalidId;
+  double best_area = 0.0;
+  for (const Partition& part : plan.partitions()) {
+    if (!part.Contains(p)) continue;
+    const double area = part.footprint().outer().Area();
+    const bool better =
+        best == kInvalidId ||
+        (plan.partition(best).IsOutdoor() && !part.IsOutdoor()) ||
+        (plan.partition(best).IsOutdoor() == part.IsOutdoor() &&
+         area < best_area);
+    if (better) {
+      best = part.id();
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Ablation: R-tree getHostPartition vs linear scan "
+             "(10K locations per row)");
+  std::printf("%-8s%12s%16s%16s%12s\n", "floors", "partitions", "R-tree",
+              "linear scan", "speedup");
+
+  for (int floors : {10, 20, 30, 40}) {
+    const FloorPlan plan = GenerateBuilding(PaperBuilding(floors));
+    const PartitionLocator locator(plan);
+    Rng rng(66);
+    const auto points = GenerateQueryPositions(plan, 10000, &rng);
+
+    // Consistency audit while measuring.
+    size_t mismatches = 0;
+    const double rtree_ms = AvgMillis(points.size(), [&](size_t i) {
+      auto host = locator.GetHostPartition(points[i]);
+      if (!host.ok() || host.value() != LinearLocate(plan, points[i])) {
+        // LinearLocate lacks the id tie-break; treat area ties as equal.
+        const auto linear = LinearLocate(plan, points[i]);
+        if (!host.ok() ||
+            plan.partition(host.value()).footprint().outer().Area() !=
+                plan.partition(linear).footprint().outer().Area()) {
+          ++mismatches;
+        }
+      }
+    });
+    // The audit above also ran the linear scan; time each in isolation.
+    const double rtree_only = AvgMillis(points.size(), [&](size_t i) {
+      (void)locator.GetHostPartition(points[i]);
+    });
+    const double linear_only = AvgMillis(points.size(), [&](size_t i) {
+      (void)LinearLocate(plan, points[i]);
+    });
+    (void)rtree_ms;
+    std::printf("%-8d%12zu%13.4f ms%13.4f ms%11.1fx", floors,
+                plan.partition_count(), rtree_only, linear_only,
+                rtree_only > 0 ? linear_only / rtree_only : 0.0);
+    if (mismatches == 0) {
+      std::printf("   (results agree)\n");
+    } else {
+      std::printf("   (%zu MISMATCHES)\n", mismatches);
+    }
+  }
+  return 0;
+}

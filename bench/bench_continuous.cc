@@ -1,0 +1,87 @@
+// Continuous range monitoring over moving objects: maintaining a standing
+// query incrementally (ContinuousRangeMonitor: O(1) partition-bound checks
+// + occasional DistanceField probes per position report) versus re-running
+// Algorithm 5 every tick.
+//
+// The interesting quantity is the crossover: re-query cost is independent
+// of how many objects move; incremental cost scales with the report
+// volume. The sweep varies the agents' pause time, i.e. the fraction of
+// the population in motion per tick — positioning systems emit reports
+// only for people who move. Incremental also yields per-report
+// enter/leave EVENTS with exact timing, which re-querying cannot provide
+// without result diffing.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/query/range_query.h"
+#include "tracking/monitor.h"
+
+using namespace indoor;
+using namespace indoor::bench;
+
+int main() {
+  PrintTitle("Continuous range monitoring, 8 monitors, r=30m, 10 floors, "
+             "2000 tracked objects, 20 ticks x 2s");
+  std::printf("%-14s%14s%18s%16s%12s%14s\n", "pause (s)", "reports/tick",
+              "incremental/tick", "re-query/tick", "speedup",
+              "probes/tick");
+
+  for (double pause : {0.0, 20.0, 60.0, 240.0}) {
+    const auto engine = MakeEngine(10, 2000, /*seed=*/77);
+    const DistanceContext ctx = engine->index().distance_context();
+    Rng rng(78);
+    const auto queries = GenerateQueryPositions(engine->plan(), 8, &rng);
+
+    std::vector<ContinuousRangeMonitor> registered;
+    registered.reserve(queries.size());
+    for (const Point& q : queries) {
+      registered.emplace_back(ctx, engine->index().objects(), q, 30.0);
+    }
+
+    TrajectoryConfig traj;
+    traj.seed = 79;
+    traj.pause = pause;
+    TrajectorySimulator sim(ctx, engine->index().objects(), traj);
+
+    constexpr int kTicks = 20;
+    double incremental_ms = 0, requery_ms = 0;
+    size_t total_reports = 0, probes_before = 0;
+    for (const auto& monitor : registered) {
+      probes_before += monitor.probes();
+    }
+    for (int tick = 0; tick < kTicks; ++tick) {
+      const auto reports = sim.Step(2.0);
+      total_reports += reports.size();
+      WallTimer inc;
+      for (auto& monitor : registered) {
+        for (const PositionReport& report : reports) {
+          monitor.OnReport(report);
+        }
+      }
+      incremental_ms += inc.ElapsedMillis();
+      ApplyReports(reports, &engine->index().objects());
+      WallTimer req;
+      for (const Point& q : queries) {
+        RangeQuery(engine->index(), q, 30.0);
+      }
+      requery_ms += req.ElapsedMillis();
+    }
+    size_t probes_after = 0;
+    for (const auto& monitor : registered) {
+      probes_after += monitor.probes();
+    }
+    incremental_ms /= kTicks;
+    requery_ms /= kTicks;
+    std::printf("%-14.0f%14zu%15.3f ms%13.3f ms%11.1fx%14zu\n", pause,
+                total_reports / kTicks, incremental_ms, requery_ms,
+                incremental_ms > 0 ? requery_ms / incremental_ms : 0.0,
+                (probes_after - probes_before) / kTicks);
+  }
+  std::printf("\nReading: with everyone moving, periodic re-query wins — "
+              "the indexed Algorithm 5 is that cheap. As the moving "
+              "fraction drops (longer pauses), incremental maintenance "
+              "crosses over, and it is the only mode that emits exact "
+              "enter/leave events per report.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Indoor distance join scaling: result sizes and times over object count
+// and join radius (10-floor building), demonstrating the partition-level
+// Md2d pruning.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/query/distance_join.h"
+
+using namespace indoor;
+using namespace indoor::bench;
+
+int main() {
+  PrintTitle("Indoor distance join (10 floors)");
+  std::printf("%-10s%10s%14s%14s%16s\n", "objects", "r (m)", "pairs",
+              "time", "us/pair-found");
+
+  for (size_t objects : {500u, 1000u, 2000u, 4000u}) {
+    for (double r : {5.0, 15.0}) {
+      const auto engine = MakeEngine(10, objects, /*seed=*/88);
+      WallTimer timer;
+      const auto pairs = DistanceJoin(engine->index(), r);
+      const double ms = timer.ElapsedMillis();
+      std::printf("%-10zu%10.0f%14zu%11.1f ms%16.2f\n", objects, r,
+                  pairs.size(), ms,
+                  pairs.empty() ? 0.0 : ms * 1000.0 / pairs.size());
+    }
+  }
+  std::printf("\nReading: the door-level Md2d lower bound prunes partition "
+              "pairs wholesale, so cost tracks the number of qualifying "
+              "pairs rather than the quadratic object-pair space.\n");
+  return 0;
+}

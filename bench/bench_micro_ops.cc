@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) of the core operations: door-to-door
+// Dijkstra, pt2pt variants, point location, grid searches, and the indexed
+// queries, on the paper's 10-floor building with 10K objects.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/distance/d2d_distance.h"
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+
+using namespace indoor;
+using namespace indoor::bench;
+
+namespace {
+
+/// Shared fixture state, built once.
+struct State {
+  State() : engine(MakeEngine(10, 10000, /*seed=*/5)) {
+    Rng rng(6);
+    queries = GenerateQueryPositions(engine->plan(), 256, &rng);
+    pairs = GeneratePositionPairsByArea(engine->plan(), 256, &rng);
+  }
+  std::unique_ptr<QueryEngine> engine;
+  std::vector<Point> queries;
+  std::vector<std::pair<Point, Point>> pairs;
+};
+
+State& Shared() {
+  static State state;
+  return state;
+}
+
+void BM_D2dDistance(benchmark::State& state) {
+  auto& s = Shared();
+  const size_t n = s.engine->plan().door_count();
+  Rng rng(7);
+  size_t i = 0;
+  std::vector<std::pair<DoorId, DoorId>> door_pairs;
+  for (int k = 0; k < 256; ++k) {
+    door_pairs.push_back({static_cast<DoorId>(rng.NextIndex(n)),
+                          static_cast<DoorId>(rng.NextIndex(n))});
+  }
+  for (auto _ : state) {
+    const auto& [a, b] = door_pairs[i++ % door_pairs.size()];
+    benchmark::DoNotOptimize(
+        D2dDistance(s.engine->index().graph(), a, b));
+  }
+}
+BENCHMARK(BM_D2dDistance);
+
+void BM_MatrixLookup(benchmark::State& state) {
+  auto& s = Shared();
+  const size_t n = s.engine->plan().door_count();
+  Rng rng(8);
+  size_t i = 0;
+  for (auto _ : state) {
+    const DoorId from = static_cast<DoorId>(i % n);
+    const DoorId to = static_cast<DoorId>((i * 7 + 3) % n);
+    ++i;
+    benchmark::DoNotOptimize(s.engine->index().d2d_matrix().At(from, to));
+  }
+}
+BENCHMARK(BM_MatrixLookup);
+
+void BM_Pt2PtBasic(benchmark::State& state) {
+  auto& s = Shared();
+  const auto ctx = s.engine->index().distance_context();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [p, q] = s.pairs[i++ % s.pairs.size()];
+    benchmark::DoNotOptimize(Pt2PtDistanceBasic(ctx, p, q));
+  }
+}
+BENCHMARK(BM_Pt2PtBasic);
+
+void BM_Pt2PtRefined(benchmark::State& state) {
+  auto& s = Shared();
+  const auto ctx = s.engine->index().distance_context();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [p, q] = s.pairs[i++ % s.pairs.size()];
+    benchmark::DoNotOptimize(Pt2PtDistanceRefined(ctx, p, q));
+  }
+}
+BENCHMARK(BM_Pt2PtRefined);
+
+void BM_Pt2PtReuse(benchmark::State& state) {
+  auto& s = Shared();
+  const auto ctx = s.engine->index().distance_context();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [p, q] = s.pairs[i++ % s.pairs.size()];
+    benchmark::DoNotOptimize(Pt2PtDistanceReuse(ctx, p, q));
+  }
+}
+BENCHMARK(BM_Pt2PtReuse);
+
+void BM_Pt2PtVirtual(benchmark::State& state) {
+  auto& s = Shared();
+  const auto ctx = s.engine->index().distance_context();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [p, q] = s.pairs[i++ % s.pairs.size()];
+    benchmark::DoNotOptimize(Pt2PtDistanceVirtual(ctx, p, q));
+  }
+}
+BENCHMARK(BM_Pt2PtVirtual);
+
+void BM_GetHostPartition(benchmark::State& state) {
+  auto& s = Shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.engine->index().locator().GetHostPartition(
+        s.queries[i++ % s.queries.size()]));
+  }
+}
+BENCHMARK(BM_GetHostPartition);
+
+void BM_RangeQuery(benchmark::State& state) {
+  auto& s = Shared();
+  size_t i = 0;
+  const double r = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RangeQuery(s.engine->index(), s.queries[i++ % s.queries.size()], r));
+  }
+}
+BENCHMARK(BM_RangeQuery)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_KnnQuery(benchmark::State& state) {
+  auto& s = Shared();
+  size_t i = 0;
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KnnQuery(s.engine->index(), s.queries[i++ % s.queries.size()], k));
+  }
+}
+BENCHMARK(BM_KnnQuery)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ShortestPath(benchmark::State& state) {
+  auto& s = Shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [p, q] = s.pairs[i++ % s.pairs.size()];
+    benchmark::DoNotOptimize(s.engine->ShortestPath(p, q));
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

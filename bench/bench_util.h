@@ -1,0 +1,76 @@
+// Shared helpers for the figure-reproduction benches: workload setup and
+// paper-style series printing.
+
+#ifndef INDOOR_BENCH_BENCH_UTIL_H_
+#define INDOOR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query/query_engine.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "util/timer.h"
+
+namespace indoor {
+namespace bench {
+
+/// The paper's standard building: 30 rooms + 2 staircases per floor.
+inline BuildingConfig PaperBuilding(int floors, uint64_t seed = 42) {
+  BuildingConfig config;
+  config.floors = floors;
+  config.rooms_per_floor = 30;
+  config.seed = seed;
+  return config;
+}
+
+/// Builds a plan + full index + `object_count` uniform objects.
+inline std::unique_ptr<QueryEngine> MakeEngine(int floors,
+                                               size_t object_count,
+                                               uint64_t seed = 42,
+                                               IndexOptions options = {}) {
+  auto engine = std::make_unique<QueryEngine>(
+      GenerateBuilding(PaperBuilding(floors, seed)), options);
+  if (object_count > 0) {
+    Rng rng(seed * 31 + 7);
+    PopulateStore(GenerateObjects(engine->plan(), object_count, &rng),
+                  &engine->index().objects());
+  }
+  return engine;
+}
+
+/// Average wall milliseconds of `fn` over `runs` invocations.
+inline double AvgMillis(size_t runs, const std::function<void(size_t)>& fn) {
+  WallTimer timer;
+  for (size_t i = 0; i < runs; ++i) fn(i);
+  return timer.ElapsedMillis() / static_cast<double>(runs);
+}
+
+/// Prints a table header: first column label then series names.
+inline void PrintHeader(const std::string& row_label,
+                        const std::vector<std::string>& series) {
+  std::printf("%-24s", row_label.c_str());
+  for (const auto& s : series) std::printf("%16s", s.c_str());
+  std::printf("\n");
+}
+
+/// Prints one row of average-millisecond values.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values) {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) std::printf("%13.3f ms", v);
+  std::printf("\n");
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace indoor
+
+#endif  // INDOOR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Boarding reminder (paper §I): in an airport terminal, remind exactly the
+// passengers whose indoor walking distance to their gate exceeds a
+// threshold — not everyone on the flight — and tell each one how far the
+// walk actually is.
+//
+//   $ ./build/examples/boarding_reminder
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/query/query_engine.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+
+using namespace indoor;
+
+int main() {
+  // A two-level terminal: concourses modeled as hallways with gate lounges
+  // (rooms) off them, connected by a staircase.
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 16;  // gate lounges
+  config.seed = 2026;
+  QueryEngine engine(GenerateBuilding(config));
+  const FloorPlan& plan = engine.plan();
+
+  // The gate: a lounge on floor 2.
+  PartitionId gate_lounge = kInvalidId;
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() == PartitionKind::kRoom && part.floor() == 2) {
+      gate_lounge = part.id();
+      break;
+    }
+  }
+  const Point gate =
+      plan.partition(gate_lounge).footprint().outer().BoundingBox().Center();
+
+  // 60 passengers of flight IX-2012 scattered through the terminal.
+  Rng rng(7);
+  std::vector<ObjectId> passengers;
+  for (const GeneratedObject& obj : GenerateObjects(plan, 60, &rng)) {
+    passengers.push_back(engine.AddObject(obj.partition, obj.position).value());
+  }
+
+  // Naive service: broadcast to everyone. Distance-aware service: range
+  // query around the gate; whoever is NOT within walking range gets the
+  // reminder.
+  const double threshold_m = 60.0;
+  const auto near_gate = engine.Range(gate, threshold_m);
+
+  std::cout << "Flight IX-2012 now boarding at gate (lounge '"
+            << plan.partition(gate_lounge).name() << "')\n";
+  std::cout << "Passengers: " << passengers.size() << ", already near gate: "
+            << near_gate.size() << "\n\n";
+  std::cout << "Reminders sent (walking distance > " << threshold_m
+            << " m):\n";
+
+  size_t reminded = 0;
+  for (ObjectId id : passengers) {
+    if (std::binary_search(near_gate.begin(), near_gate.end(), id)) continue;
+    const IndoorObject& pax = engine.index().objects().object(id);
+    const double walk = engine.Distance(pax.position, gate);
+    const IndoorPath route = engine.ShortestPath(pax.position, gate);
+    std::cout << "  passenger #" << std::setw(2) << id << ": "
+              << std::fixed << std::setprecision(1) << walk
+              << " m to gate, " << route.doors.size()
+              << " doors on the way (in '"
+              << plan.partition(pax.partition).name() << "')\n";
+    ++reminded;
+    if (reminded >= 10) {
+      std::cout << "  ... and more\n";
+      break;
+    }
+  }
+
+  // The broadcast baseline would have pestered the near-gate passengers:
+  std::cout << "\nNaive broadcast would have disturbed " << near_gate.size()
+            << " passengers already at the gate.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a tiny floor plan, compute indoor distances, and run
+// distance-aware queries through the QueryEngine facade.
+//
+//   $ ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/query/query_engine.h"
+#include "indoor/floor_plan_builder.h"
+
+using namespace indoor;
+
+int main() {
+  // 1. Describe the space: two offices and a corridor.
+  //
+  //      +--------+--------+
+  //      | office | office |
+  //      |   A    |   B    |
+  //      +--dA----+---dB---+
+  //      |     corridor    |
+  //      +-----------------+
+  FloorPlanBuilder builder;
+  const PartitionId corridor = builder.AddPartition(
+      "corridor", PartitionKind::kHallway, 1, Rect(0, 0, 12, 3));
+  const PartitionId office_a = builder.AddPartition(
+      "office_a", PartitionKind::kRoom, 1, Rect(0, 3, 6, 9));
+  const PartitionId office_b = builder.AddPartition(
+      "office_b", PartitionKind::kRoom, 1, Rect(6, 3, 12, 9));
+  builder.AddBidirectionalDoor("dA", Segment({2.8, 3}, {3.2, 3}), office_a,
+                               corridor);
+  builder.AddBidirectionalDoor("dB", Segment({8.8, 3}, {9.2, 3}), office_b,
+                               corridor);
+
+  auto plan = std::move(builder).Build();
+  if (!plan.ok()) {
+    std::cerr << "invalid plan: " << plan.status() << "\n";
+    return 1;
+  }
+
+  // 2. Build every index (distance graph, R-tree locator, Md2d, Midx, DPT,
+  //    grid buckets) in one constructor.
+  QueryEngine engine(std::move(plan).value());
+
+  // 3. Indoor walking distances respect walls and doors.
+  const Point desk_a(1, 8), desk_b(11, 8);
+  std::cout << "Euclidean distance:      " << Distance(desk_a, desk_b)
+            << " m (through the wall!)\n";
+  std::cout << "Indoor walking distance: " << engine.Distance(desk_a, desk_b)
+            << " m (via the corridor)\n\n";
+
+  // 4. Concrete shortest path.
+  const IndoorPath path = engine.ShortestPath(desk_a, desk_b);
+  std::cout << "Shortest path crosses " << path.doors.size() << " doors:";
+  for (DoorId d : path.doors) {
+    std::cout << " " << engine.plan().door(d).name();
+  }
+  std::cout << "\n\n";
+
+  // 5. Distance-aware queries over indoor objects (e.g. printers).
+  engine.AddObject(office_a, {5, 4}).value();
+  engine.AddObject(office_b, {7, 4}).value();
+  engine.AddObject(corridor, {6, 1.5}).value();
+
+  const auto nearest = engine.Nearest(desk_a, 1);
+  std::cout << "Nearest object to desk A: object #" << nearest[0].id
+            << " at walking distance " << nearest[0].distance << " m\n";
+
+  const auto in_range = engine.Range(desk_a, 8.0);
+  std::cout << "Objects within 8 m walk of desk A: " << in_range.size()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "baseline/door_count_model.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace indoor {
+namespace {
+
+/// Lexicographic cost: (doors crossed, walking length).
+struct Cost {
+  size_t doors = static_cast<size_t>(-1);
+  double length = kInfDistance;
+
+  bool operator<(const Cost& o) const {
+    if (doors != o.doors) return doors < o.doors;
+    return length < o.length;
+  }
+  bool operator>(const Cost& o) const { return o < *this; }
+};
+
+}  // namespace
+
+DoorCountPath DoorCountShortestPath(const DistanceContext& ctx,
+                                    const Point& ps, const Point& pt) {
+  const FloorPlan& plan = ctx.graph->plan();
+  DoorCountPath result;
+  const auto endpoints = internal::ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return result;
+
+  if (endpoints.vs == endpoints.vt) {
+    const double direct =
+        plan.partition(endpoints.vs).IntraDistance(ps, pt);
+    if (direct != kInfDistance) {
+      result.door_count = 0;
+      result.walking_length = direct;
+      return result;  // zero doors always wins under the door-count metric
+    }
+  }
+
+  // Dijkstra over doors with lexicographic (doors, length) costs. Crossing
+  // into the graph via source door ds costs (1, distV(ps, ds)).
+  const size_t n = plan.door_count();
+  std::vector<Cost> cost(n);
+  std::vector<DoorId> prev(n, kInvalidId);
+  std::vector<char> visited(n, 0);
+  using Entry = std::pair<Cost, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
+    const double leg = ctx.locator->DistV(endpoints.vs, ps, ds);
+    if (leg == kInfDistance) continue;
+    const Cost c{1, leg};
+    if (c < cost[ds]) {
+      cost[ds] = c;
+      heap.push({c, ds});
+    }
+  }
+
+  Cost best;
+  DoorId best_door = kInvalidId;
+  while (!heap.empty()) {
+    const auto [c, di] = heap.top();
+    heap.pop();
+    if (visited[di]) continue;
+    visited[di] = 1;
+    for (PartitionId v : plan.EnterableParts(di)) {
+      for (DoorId dj : plan.LeaveDoors(v)) {
+        if (visited[dj]) continue;
+        const double w = ctx.graph->Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        const Cost nc{c.doors + 1, c.length + w};
+        if (nc < cost[dj]) {
+          cost[dj] = nc;
+          prev[dj] = di;
+          heap.push({nc, dj});
+        }
+      }
+    }
+  }
+  for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
+    if (cost[dt].doors == static_cast<size_t>(-1)) continue;
+    const double leg = ctx.locator->DistV(endpoints.vt, pt, dt);
+    if (leg == kInfDistance) continue;
+    const Cost total{cost[dt].doors, cost[dt].length + leg};
+    if (total < best) {
+      best = total;
+      best_door = dt;
+    }
+  }
+  if (best_door == kInvalidId) return result;
+
+  result.door_count = best.doors;
+  result.walking_length = best.length;
+  for (DoorId d = best_door; d != kInvalidId; d = prev[d]) {
+    result.doors.push_back(d);
+  }
+  std::reverse(result.doors.begin(), result.doors.end());
+  return result;
+}
+
+}  // namespace indoor

@@ -1,0 +1,39 @@
+// Baseline: the lattice-based semantic location model of Li & Lee [11],
+// which defines the "length" of an indoor path as the NUMBER OF DOORS it
+// passes through rather than the walking distance. The paper's §I example
+// shows this picks the one-door path p -> d13 -> q over the physically
+// shorter two-door path p -> d15 -> d12 -> q; this module reproduces that
+// behavior so the inflation can be quantified (bench_baseline_doorcount).
+
+#ifndef INDOOR_BASELINE_DOOR_COUNT_MODEL_H_
+#define INDOOR_BASELINE_DOOR_COUNT_MODEL_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+/// A path chosen by the door-count model.
+struct DoorCountPath {
+  /// Number of doors crossed; SIZE_MAX when unreachable.
+  size_t door_count = static_cast<size_t>(-1);
+  /// Actual walking length of the chosen minimal-door-count path (the model
+  /// itself never sees this number).
+  double walking_length = kInfDistance;
+  /// Doors crossed in order.
+  std::vector<DoorId> doors;
+
+  bool found() const { return walking_length != kInfDistance; }
+};
+
+/// Computes the door-count-minimal path from ps to pt. Among paths with
+/// equally few doors the shorter walking length is preferred (the most
+/// charitable reading of the baseline); the returned walking_length is what
+/// a user following the path actually walks.
+DoorCountPath DoorCountShortestPath(const DistanceContext& ctx,
+                                    const Point& ps, const Point& pt);
+
+}  // namespace indoor
+
+#endif  // INDOOR_BASELINE_DOOR_COUNT_MODEL_H_

@@ -1,0 +1,99 @@
+#include "baseline/doors_as_nodes.h"
+
+#include <queue>
+
+namespace indoor {
+
+DoorsAsNodesGraph::DoorsAsNodesGraph(const DistanceGraph& graph)
+    : graph_(&graph) {
+  const FloorPlan& plan = graph.plan();
+  adj_.assign(plan.door_count(), {});
+  for (const Partition& part : plan.partitions()) {
+    const auto& doors = plan.TouchingDoors(part.id());
+    for (size_t i = 0; i < doors.size(); ++i) {
+      for (size_t j = i + 1; j < doors.size(); ++j) {
+        const double w = graph.IntraDoorDistance(part.id(), doors[i],
+                                                 doors[j]);
+        if (w == kInfDistance) continue;
+        adj_[doors[i]].push_back({doors[j], w});
+        adj_[doors[j]].push_back({doors[i], w});
+      }
+    }
+  }
+}
+
+double DoorsAsNodesGraph::DoorDistance(DoorId ds, DoorId dt) const {
+  const size_t n = adj_.size();
+  INDOOR_CHECK(ds < n && dt < n);
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<char> visited(n, 0);
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[ds] = 0.0;
+  heap.push({0.0, ds});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (visited[u]) continue;
+    visited[u] = 1;
+    if (u == dt) return d;
+    for (const auto& [v, w] : adj_[u]) {
+      if (!visited[v] && d + w < dist[v]) {
+        dist[v] = d + w;
+        heap.push({dist[v], v});
+      }
+    }
+  }
+  return dist[dt];
+}
+
+double DoorsAsNodesGraph::Pt2PtDistance(const PartitionLocator& locator,
+                                        const Point& ps,
+                                        const Point& pt) const {
+  const FloorPlan& plan = graph_->plan();
+  const auto vs = locator.GetHostPartition(ps);
+  const auto vt = locator.GetHostPartition(pt);
+  if (!vs.ok() || !vt.ok()) return kInfDistance;
+  double best = kInfDistance;
+  if (vs.value() == vt.value()) {
+    best = plan.partition(vs.value()).IntraDistance(ps, pt);
+  }
+  // iNav ignores enter/leave permissions: every touching door is usable.
+  // One multi-source Dijkstra seeded at the source partition's doors.
+  const size_t n = adj_.size();
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<char> visited(n, 0);
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (DoorId ds : plan.TouchingDoors(vs.value())) {
+    const double leg =
+        plan.partition(vs.value()).IntraDistance(ps, plan.door(ds).Midpoint());
+    if (leg == kInfDistance) continue;
+    if (leg < dist[ds]) {
+      dist[ds] = leg;
+      heap.push({leg, ds});
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (visited[u]) continue;
+    visited[u] = 1;
+    for (const auto& [v, w] : adj_[u]) {
+      if (!visited[v] && d + w < dist[v]) {
+        dist[v] = d + w;
+        heap.push({dist[v], v});
+      }
+    }
+  }
+  for (DoorId dt : plan.TouchingDoors(vt.value())) {
+    if (dist[dt] == kInfDistance) continue;
+    const double leg = plan.partition(vt.value())
+                           .IntraDistance(pt, plan.door(dt).Midpoint());
+    if (leg == kInfDistance) continue;
+    best = std::min(best, dist[dt] + leg);
+  }
+  return best;
+}
+
+}  // namespace indoor

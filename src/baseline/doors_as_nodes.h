@@ -1,0 +1,39 @@
+// Baseline: the iNav model [20], which represents doors as graph NODES and
+// rooms as EDGES. The paper (§II, §III-C2) points out that this
+// representation cannot capture door directionality; this module implements
+// it faithfully so tests can demonstrate exactly that failure: on plans
+// with unidirectional doors, iNav reports distances along paths that are
+// not actually traversable.
+
+#ifndef INDOOR_BASELINE_DOORS_AS_NODES_H_
+#define INDOOR_BASELINE_DOORS_AS_NODES_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+/// The iNav-style graph: undirected, nodes = doors, one edge per pair of
+/// doors touching a common partition, weighted with the intra-partition
+/// distance. Direction permissions are (by design of the baseline) ignored.
+class DoorsAsNodesGraph {
+ public:
+  explicit DoorsAsNodesGraph(const DistanceGraph& graph);
+
+  /// Door-to-door distance in the undirected model.
+  double DoorDistance(DoorId ds, DoorId dt) const;
+
+  /// Position-to-position distance in the undirected model (legs to every
+  /// touching door of the hosts, ignoring enter/leave permissions).
+  double Pt2PtDistance(const PartitionLocator& locator, const Point& ps,
+                       const Point& pt) const;
+
+ private:
+  const DistanceGraph* graph_;
+  std::vector<std::vector<std::pair<DoorId, double>>> adj_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_BASELINE_DOORS_AS_NODES_H_

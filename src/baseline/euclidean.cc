@@ -1,0 +1,3 @@
+#include "baseline/euclidean.h"
+
+// Header-only; this TU anchors the module in the library.

@@ -1,0 +1,19 @@
+// Baseline: straight-line Euclidean distance, which "carries little meaning
+// [indoors] because it goes through walls" (paper §I). Kept as the naive
+// comparator for distance-quality statistics.
+
+#ifndef INDOOR_BASELINE_EUCLIDEAN_H_
+#define INDOOR_BASELINE_EUCLIDEAN_H_
+
+#include "geometry/point.h"
+
+namespace indoor {
+
+/// The straight-line distance between two indoor positions, walls ignored.
+inline double EuclideanBaselineDistance(const Point& ps, const Point& pt) {
+  return Distance(ps, pt);
+}
+
+}  // namespace indoor
+
+#endif  // INDOOR_BASELINE_EUCLIDEAN_H_

@@ -1,0 +1,51 @@
+#include "baseline/linear_scan.h"
+
+#include <algorithm>
+
+#include "core/distance/distance_field.h"
+
+namespace indoor {
+
+std::vector<double> AllObjectDistances(const DistanceContext& ctx,
+                                       const ObjectStore& store,
+                                       const Point& q) {
+  const DistanceField field(ctx, q);
+  std::vector<double> result(store.size(), kInfDistance);
+  if (!field.valid()) return result;
+  for (const IndoorObject& obj : store.objects()) {
+    result[obj.id] = field.DistanceTo(obj.partition, obj.position);
+  }
+  return result;
+}
+
+std::vector<ObjectId> LinearScanRange(const DistanceContext& ctx,
+                                      const ObjectStore& store,
+                                      const Point& q, double r) {
+  std::vector<ObjectId> out;
+  const std::vector<double> distances = AllObjectDistances(ctx, store, q);
+  for (ObjectId id = 0; id < distances.size(); ++id) {
+    if (distances[id] <= r) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<Neighbor> LinearScanKnn(const DistanceContext& ctx,
+                                    const ObjectStore& store, const Point& q,
+                                    size_t k) {
+  const std::vector<double> distances = AllObjectDistances(ctx, store, q);
+  std::vector<Neighbor> all;
+  all.reserve(distances.size());
+  for (ObjectId id = 0; id < distances.size(); ++id) {
+    if (distances[id] != kInfDistance) all.push_back({id, distances[id]});
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.id < b.id);
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace indoor

@@ -1,0 +1,39 @@
+// Linear-scan query evaluation: exact per-object indoor distances computed
+// with one multi-source door Dijkstra, no Md2d/Midx/DPT/grid involved.
+//
+// Two roles: (1) the ground-truth oracle the test suite compares every
+// indexed query result against; (2) the "no precomputed index at all" lower
+// baseline in the ablation benches (the paper's Fig. 8/9 "without d2d
+// index" variant still owns Md2d; this owns nothing).
+
+#ifndef INDOOR_BASELINE_LINEAR_SCAN_H_
+#define INDOOR_BASELINE_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+#include "core/index/object_store.h"
+
+namespace indoor {
+
+/// Exact indoor walking distance from `q` to EVERY object in the store
+/// (kInfDistance where unreachable). One door-graph Dijkstra plus one
+/// intra-partition distance per (object, entering door) pair.
+std::vector<double> AllObjectDistances(const DistanceContext& ctx,
+                                       const ObjectStore& store,
+                                       const Point& q);
+
+/// Oracle range query: ids of objects within walking distance `r` of `q`,
+/// sorted.
+std::vector<ObjectId> LinearScanRange(const DistanceContext& ctx,
+                                      const ObjectStore& store,
+                                      const Point& q, double r);
+
+/// Oracle kNN query: the k nearest objects, nearest first.
+std::vector<Neighbor> LinearScanKnn(const DistanceContext& ctx,
+                                    const ObjectStore& store, const Point& q,
+                                    size_t k);
+
+}  // namespace indoor
+
+#endif  // INDOOR_BASELINE_LINEAR_SCAN_H_

@@ -1,0 +1,70 @@
+#include "core/distance/d2d_distance.h"
+
+#include <queue>
+
+namespace indoor {
+namespace {
+
+/// Core of Algorithm 1. Runs until `target` is settled (or the heap drains
+/// when target == kInvalidId), returning dist[target] (or 0; the caller
+/// reads the arrays for the single-source variant).
+double RunD2d(const DistanceGraph& graph, DoorId ds, DoorId target,
+              std::vector<double>* dist_out,
+              std::vector<PrevEntry>* prev_out) {
+  const FloorPlan& plan = graph.plan();
+  const size_t n = plan.door_count();
+  INDOOR_CHECK(ds < n);
+
+  std::vector<double>& dist = *dist_out;
+  dist.assign(n, kInfDistance);
+  if (prev_out != nullptr) prev_out->assign(n, PrevEntry{});
+  std::vector<char> visited(n, 0);
+
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[ds] = 0.0;
+  heap.push({0.0, ds});
+
+  while (!heap.empty()) {
+    const auto [d, di] = heap.top();
+    heap.pop();
+    if (visited[di]) continue;
+    visited[di] = 1;
+    if (di == target) return d;
+    // Expand into every partition enterable through di.
+    for (PartitionId v : plan.EnterableParts(di)) {
+      for (DoorId dj : plan.LeaveDoors(v)) {
+        if (visited[dj]) continue;
+        const double w = graph.Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        if (dist[di] + w < dist[dj]) {
+          dist[dj] = dist[di] + w;
+          heap.push({dist[dj], dj});
+          if (prev_out != nullptr) (*prev_out)[dj] = {v, di};
+        }
+      }
+    }
+  }
+  return target == kInvalidId ? 0.0 : dist[target];
+}
+
+}  // namespace
+
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt) {
+  return D2dDistance(graph, ds, dt, nullptr);
+}
+
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
+                   std::vector<PrevEntry>* prev) {
+  INDOOR_CHECK(dt < graph.plan().door_count());
+  std::vector<double> dist;
+  return RunD2d(graph, ds, dt, &dist, prev);
+}
+
+void D2dDistancesFrom(const DistanceGraph& graph, DoorId ds,
+                      std::vector<double>* dist,
+                      std::vector<PrevEntry>* prev) {
+  RunD2d(graph, ds, kInvalidId, dist, prev);
+}
+
+}  // namespace indoor

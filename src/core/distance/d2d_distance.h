@@ -1,0 +1,45 @@
+// Algorithm 1 (paper §III-D1): door-to-door minimum walking distance.
+//
+// A Dijkstra-style expansion over DOORS (not partitions): popping door di,
+// the search enters each enterable partition v of di and relaxes every
+// leaveable door dj of v with weight fd2d(v, di, dj). The paper's pseudocode
+// enheaps all doors up front and uses decrease-key; we use the standard
+// lazy-insertion equivalent (re-push on improvement, skip settled pops),
+// which visits each door at most once, as the paper requires.
+
+#ifndef INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_
+#define INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_
+
+#include <vector>
+
+#include "core/model/distance_graph.h"
+
+namespace indoor {
+
+/// prev[dj] = (v, di): door dj was reached from door di through partition v
+/// (paper's prev[.] array). Both fields are kInvalidId for the source and
+/// for unreached doors.
+struct PrevEntry {
+  PartitionId partition = kInvalidId;
+  DoorId door = kInvalidId;
+};
+
+/// d2dDistance(ds, dt): minimum indoor walking distance from door `ds` to
+/// door `dt`; kInfDistance when unreachable.
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt);
+
+/// As above, also filling `prev` (size = door count) for path
+/// reconstruction via ReconstructDoorPath (shortest_path.h).
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
+                   std::vector<PrevEntry>* prev);
+
+/// Single-source variant: shortest distances from `ds` to every door
+/// (kInfDistance where unreachable). Backs distance-matrix construction
+/// (paper §IV-A). `prev` may be null.
+void D2dDistancesFrom(const DistanceGraph& graph, DoorId ds,
+                      std::vector<double>* dist,
+                      std::vector<PrevEntry>* prev);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_

@@ -1,0 +1,68 @@
+#include "core/distance/distance_field.h"
+
+#include <queue>
+
+namespace indoor {
+
+DistanceField::DistanceField(const DistanceContext& ctx, const Point& source)
+    : ctx_(ctx), source_(source) {
+  const FloorPlan& plan = ctx.graph->plan();
+  door_dist_.assign(plan.door_count(), kInfDistance);
+  const auto host = ctx.locator->GetHostPartition(source);
+  if (!host.ok()) return;
+  host_ = host.value();
+
+  std::vector<char> visited(plan.door_count(), 0);
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (DoorId ds : plan.LeaveDoors(host_)) {
+    const double leg = ctx.locator->DistV(host_, source, ds);
+    if (leg != kInfDistance && leg < door_dist_[ds]) {
+      door_dist_[ds] = leg;
+      heap.push({leg, ds});
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, di] = heap.top();
+    heap.pop();
+    if (visited[di]) continue;
+    visited[di] = 1;
+    for (PartitionId v : plan.EnterableParts(di)) {
+      for (DoorId dj : plan.LeaveDoors(v)) {
+        if (visited[dj]) continue;
+        const double w = ctx.graph->Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        if (d + w < door_dist_[dj]) {
+          door_dist_[dj] = d + w;
+          heap.push({door_dist_[dj], dj});
+        }
+      }
+    }
+  }
+}
+
+double DistanceField::DistanceTo(PartitionId v, const Point& p) const {
+  if (!valid()) return kInfDistance;
+  const FloorPlan& plan = ctx_.graph->plan();
+  const Partition& part = plan.partition(v);
+  double best = kInfDistance;
+  if (v == host_) {
+    best = part.IntraDistance(source_, p);
+  }
+  for (DoorId dt : plan.EnterDoors(v)) {
+    if (door_dist_[dt] == kInfDistance || door_dist_[dt] >= best) continue;
+    const double leg = part.IntraDistance(plan.door(dt).Midpoint(), p);
+    if (leg == kInfDistance) continue;
+    best = std::min(best, door_dist_[dt] + leg);
+  }
+  return best;
+}
+
+double DistanceField::DistanceTo(const Point& p) const {
+  if (!valid()) return kInfDistance;
+  const auto host = ctx_.locator->GetHostPartition(p);
+  if (!host.ok()) return kInfDistance;
+  return DistanceTo(host.value(), p);
+}
+
+}  // namespace indoor

@@ -1,0 +1,55 @@
+// DistanceField: the exact indoor walking distance from one fixed source
+// position to EVERY door, answering point queries anywhere in the building
+// with one intra-partition leg. One Dijkstra to build, O(doors of the
+// target partition) per probe.
+//
+// This is the workhorse behind the linear-scan oracle, continuous query
+// monitoring (tracking/monitor.h), and any service that repeatedly asks
+// "how far is X from this fixed spot" (e.g. the boarding-gate reminder).
+
+#ifndef INDOOR_CORE_DISTANCE_DISTANCE_FIELD_H_
+#define INDOOR_CORE_DISTANCE_DISTANCE_FIELD_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+/// Exact single-source distances from a fixed indoor position.
+class DistanceField {
+ public:
+  /// Runs one multi-source door Dijkstra from `source`. If `source` is not
+  /// inside any partition the field is invalid and every probe returns
+  /// kInfDistance.
+  DistanceField(const DistanceContext& ctx, const Point& source);
+
+  bool valid() const { return host_ != kInvalidId; }
+  const Point& source() const { return source_; }
+  PartitionId host() const { return host_; }
+
+  /// Shortest walking distance source -> door `d` (positioned to pass
+  /// through `d`).
+  double DistanceToDoor(DoorId d) const {
+    INDOOR_CHECK(d < door_dist_.size());
+    return door_dist_[d];
+  }
+
+  /// Shortest walking distance source -> `p`, where `p` lies in partition
+  /// `v`. Exact: min over the direct intra candidate (same partition) and
+  /// every entering door of `v`.
+  double DistanceTo(PartitionId v, const Point& p) const;
+
+  /// As above, resolving the host partition of `p` internally.
+  double DistanceTo(const Point& p) const;
+
+ private:
+  const DistanceContext ctx_;
+  Point source_;
+  PartitionId host_ = kInvalidId;
+  std::vector<double> door_dist_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_DISTANCE_FIELD_H_

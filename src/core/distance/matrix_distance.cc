@@ -1,0 +1,50 @@
+#include "core/distance/matrix_distance.h"
+
+#include <algorithm>
+
+namespace indoor {
+
+double Pt2PtDistanceMatrix(const FloorPlan& plan,
+                           const DistanceMatrix& matrix, PartitionId vs,
+                           const Point& ps, PartitionId vt,
+                           const Point& pt) {
+  INDOOR_CHECK(matrix.door_count() == plan.door_count())
+      << "matrix was built for a different plan";
+  const Partition& source_part = plan.partition(vs);
+  const Partition& target_part = plan.partition(vt);
+  double best = kInfDistance;
+  if (vs == vt) {
+    best = source_part.IntraDistance(ps, pt);
+  }
+  // Cache the destination legs once.
+  const auto& dest_doors = plan.EnterDoors(vt);
+  std::vector<double> dest_leg(dest_doors.size());
+  for (size_t j = 0; j < dest_doors.size(); ++j) {
+    dest_leg[j] =
+        target_part.IntraDistance(plan.door(dest_doors[j]).Midpoint(), pt);
+  }
+  for (DoorId ds : plan.LeaveDoors(vs)) {
+    const double leg1 =
+        source_part.IntraDistance(ps, plan.door(ds).Midpoint());
+    if (leg1 == kInfDistance || leg1 >= best) continue;
+    const double* row = matrix.Row(ds);
+    for (size_t j = 0; j < dest_doors.size(); ++j) {
+      if (dest_leg[j] == kInfDistance) continue;
+      const double total = leg1 + row[dest_doors[j]] + dest_leg[j];
+      best = std::min(best, total);
+    }
+  }
+  return best;
+}
+
+double Pt2PtDistanceMatrix(const PartitionLocator& locator,
+                           const DistanceMatrix& matrix, const Point& ps,
+                           const Point& pt) {
+  const auto vs = locator.GetHostPartition(ps);
+  const auto vt = locator.GetHostPartition(pt);
+  if (!vs.ok() || !vt.ok()) return kInfDistance;
+  return Pt2PtDistanceMatrix(locator.plan(), matrix, vs.value(), ps,
+                             vt.value(), pt);
+}
+
+}  // namespace indoor

@@ -1,0 +1,29 @@
+// Matrix-backed position-to-position distance: the paper's observation
+// (§VI-A) that "the pt2ptdistance algorithm runs faster if the door-to-door
+// distances are pre-computed and stored for reference", realized against
+// the Md2d of the indexing framework. No Dijkstra per query — one Md2d
+// lookup per (leaveable source door, enterable destination door) pair plus
+// the two intra-partition legs.
+
+#ifndef INDOOR_CORE_DISTANCE_MATRIX_DISTANCE_H_
+#define INDOOR_CORE_DISTANCE_MATRIX_DISTANCE_H_
+
+#include "core/index/distance_matrix.h"
+#include "core/model/locator.h"
+
+namespace indoor {
+
+/// Exact minimum walking distance using precomputed door-to-door entries.
+/// `matrix` must have been built for `locator.plan()`.
+double Pt2PtDistanceMatrix(const PartitionLocator& locator,
+                           const DistanceMatrix& matrix, const Point& ps,
+                           const Point& pt);
+
+/// Variant with both host partitions already known (e.g. stored objects).
+double Pt2PtDistanceMatrix(const FloorPlan& plan,
+                           const DistanceMatrix& matrix, PartitionId vs,
+                           const Point& ps, PartitionId vt, const Point& pt);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_MATRIX_DISTANCE_H_

@@ -1,0 +1,135 @@
+#include "core/distance/pt2pt_distance.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/distance/d2d_distance.h"
+
+namespace indoor {
+namespace internal {
+
+Endpoints ResolveEndpoints(const DistanceContext& ctx, const Point& ps,
+                           const Point& pt) {
+  Endpoints endpoints;
+  auto vs = ctx.locator->GetHostPartition(ps);
+  auto vt = ctx.locator->GetHostPartition(pt);
+  if (vs.ok()) endpoints.vs = vs.value();
+  if (vt.ok()) endpoints.vt = vt.value();
+  return endpoints;
+}
+
+double DirectCandidate(const DistanceContext& ctx,
+                       const Endpoints& endpoints, const Point& ps,
+                       const Point& pt) {
+  if (endpoints.vs != endpoints.vt) return kInfDistance;
+  return ctx.graph->plan().partition(endpoints.vs).IntraDistance(ps, pt);
+}
+
+std::vector<DoorId> PrunedSourceDoors(const FloorPlan& plan, PartitionId vs,
+                                      PartitionId vt) {
+  std::vector<DoorId> doors;
+  for (DoorId ds : plan.LeaveDoors(vs)) {
+    // np: the partition in D2P_enterable(ds) \ {vs}.
+    PartitionId np = kInvalidId;
+    for (PartitionId v : plan.EnterableParts(ds)) {
+      if (v != vs) np = v;
+    }
+    if (np != kInvalidId && np != vt && plan.LeaveDoors(np).size() == 1 &&
+        plan.LeaveDoors(np)[0] == ds) {
+      continue;  // dead end: one could only come straight back through ds
+    }
+    doors.push_back(ds);
+  }
+  return doors;  // LeaveDoors is sorted, so iteration order is ascending id
+}
+
+}  // namespace internal
+
+using internal::DirectCandidate;
+using internal::Endpoints;
+using internal::PrunedSourceDoors;
+using internal::ResolveEndpoints;
+
+double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
+                          const Point& pt) {
+  const FloorPlan& plan = ctx.graph->plan();
+  const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return kInfDistance;
+
+  double dist = DirectCandidate(ctx, endpoints, ps, pt);
+  // Algorithm 2: every (leaveable source door, enterable destination door)
+  // pair via a blind d2dDistance call.
+  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
+    const double dist1 = ctx.locator->DistV(endpoints.vs, ps, ds);
+    if (dist1 == kInfDistance) continue;
+    for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
+      const double dist2 = ctx.locator->DistV(endpoints.vt, pt, dt);
+      if (dist2 == kInfDistance) continue;
+      const double d2d = D2dDistance(*ctx.graph, ds, dt);
+      if (d2d == kInfDistance) continue;
+      dist = std::min(dist, dist1 + d2d + dist2);
+    }
+  }
+  return dist;
+}
+
+double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
+                            const Point& pt) {
+  const FloorPlan& plan = ctx.graph->plan();
+  const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return kInfDistance;
+
+  double best = DirectCandidate(ctx, endpoints, ps, pt);
+
+  // One Dijkstra seeded with every source door at its distV offset.
+  const size_t n = plan.door_count();
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<char> visited(n, 0);
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
+    const double d0 = ctx.locator->DistV(endpoints.vs, ps, ds);
+    if (d0 == kInfDistance) continue;
+    if (d0 < dist[ds]) {
+      dist[ds] = d0;
+      heap.push({d0, ds});
+    }
+  }
+
+  // Destination doors with their exit legs.
+  const auto& dest_doors = plan.EnterDoors(endpoints.vt);
+  std::vector<double> exit_leg(dest_doors.size());
+  double min_exit = kInfDistance;
+  for (size_t i = 0; i < dest_doors.size(); ++i) {
+    exit_leg[i] = ctx.locator->DistV(endpoints.vt, pt, dest_doors[i]);
+    min_exit = std::min(min_exit, exit_leg[i]);
+  }
+
+  while (!heap.empty()) {
+    const auto [d, di] = heap.top();
+    heap.pop();
+    if (visited[di]) continue;
+    visited[di] = 1;
+    if (d + min_exit >= best) break;  // no remaining door can improve
+    const auto it =
+        std::lower_bound(dest_doors.begin(), dest_doors.end(), di);
+    if (it != dest_doors.end() && *it == di) {
+      const double leg = exit_leg[it - dest_doors.begin()];
+      if (leg != kInfDistance) best = std::min(best, d + leg);
+    }
+    for (PartitionId v : plan.EnterableParts(di)) {
+      for (DoorId dj : plan.LeaveDoors(v)) {
+        if (visited[dj]) continue;
+        const double w = ctx.graph->Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        if (d + w < dist[dj]) {
+          dist[dj] = d + w;
+          heap.push({dist[dj], dj});
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace indoor

@@ -1,0 +1,95 @@
+// Position-to-position minimum indoor walking distance: the paper's three
+// algorithm variants plus one extension.
+//
+//   Pt2PtDistanceBasic    — Algorithm 2: for every (source door, destination
+//                           door) pair, blindly call d2dDistance.
+//   Pt2PtDistanceRefined  — Algorithm 3: dead-end source-door pruning, one
+//                           shared Dijkstra per source door over a target
+//                           door set filtered by the current best bound.
+//   Pt2PtDistanceReuse    — Algorithm 4: Algorithm 3 plus cross-iteration
+//                           reuse of door-to-door distances via the
+//                           dists[.][.] cache and prev[] backtracking.
+//   Pt2PtDistanceVirtual  — extension (not in the paper): a single Dijkstra
+//                           seeded with dist[ds] = distV(ps, ds) for every
+//                           source door; exact and asymptotically the
+//                           cheapest. Used as a further comparison point.
+//
+// All variants additionally consider the direct intra-partition distance
+// when both positions share a host partition (the paper's pseudocode
+// enumerates only door pairs; without this the result would be wrong for
+// same-room queries — see DESIGN.md §2.4).
+
+#ifndef INDOOR_CORE_DISTANCE_PT2PT_DISTANCE_H_
+#define INDOOR_CORE_DISTANCE_PT2PT_DISTANCE_H_
+
+#include "core/model/distance_graph.h"
+#include "core/model/locator.h"
+
+namespace indoor {
+
+/// Shared inputs of the pt2pt algorithms. Both referents must outlive the
+/// context.
+struct DistanceContext {
+  const DistanceGraph* graph;
+  const PartitionLocator* locator;
+
+  DistanceContext(const DistanceGraph& g, const PartitionLocator& l)
+      : graph(&g), locator(&l) {}
+};
+
+/// How Algorithm 4 exploits the dists[.][.] cache.
+enum class ReusePolicy {
+  /// Exact: cached distances only tighten the pruning bound and seed
+  /// candidates; the expansion never terminates early on a cache hit whose
+  /// optimality is not guaranteed (DESIGN.md §2.3).
+  kSafe,
+  /// Verbatim paper pseudocode (lines 40–45 break on a forward cache hit).
+  /// Can overestimate on topologies where the shortest path to a
+  /// destination door does not pass through an earlier source door.
+  kPaperFaithful,
+};
+
+/// Algorithm 2. Returns kInfDistance when either position is not indoors or
+/// no path exists.
+double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
+                          const Point& pt);
+
+/// Algorithm 3.
+double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
+                            const Point& pt);
+
+/// Algorithm 4.
+double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
+                          const Point& pt,
+                          ReusePolicy policy = ReusePolicy::kSafe);
+
+/// Extension: single multi-source Dijkstra.
+double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
+                            const Point& pt);
+
+namespace internal {
+
+/// Resolved query endpoints; hosts are kInvalidId when not indoors.
+struct Endpoints {
+  PartitionId vs = kInvalidId;
+  PartitionId vt = kInvalidId;
+  bool ok() const { return vs != kInvalidId && vt != kInvalidId; }
+};
+
+Endpoints ResolveEndpoints(const DistanceContext& ctx, const Point& ps,
+                           const Point& pt);
+
+/// The direct intra-partition candidate when vs == vt, else kInfDistance.
+double DirectCandidate(const DistanceContext& ctx,
+                       const Endpoints& endpoints, const Point& ps,
+                       const Point& pt);
+
+/// Algorithm 3/4 lines 3–8: source doors P2D_leave(vs) minus doors leading
+/// only into a dead-end partition np (P2D_leave(np) == {ds}, np != vt).
+std::vector<DoorId> PrunedSourceDoors(const FloorPlan& plan, PartitionId vs,
+                                      PartitionId vt);
+
+}  // namespace internal
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_PT2PT_DISTANCE_H_

@@ -1,0 +1,88 @@
+// Algorithm 3 (paper's pt2ptDistance2): dead-end source-door pruning plus
+// one bounded Dijkstra per source door over a filtered destination set.
+
+#include <algorithm>
+#include <queue>
+
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+using internal::DirectCandidate;
+using internal::Endpoints;
+using internal::PrunedSourceDoors;
+using internal::ResolveEndpoints;
+
+double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
+                            const Point& pt) {
+  const FloorPlan& plan = ctx.graph->plan();
+  const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return kInfDistance;
+
+  // Lines 3-8: source doors with dead ends removed; destination doors.
+  const std::vector<DoorId> doors_s =
+      PrunedSourceDoors(plan, endpoints.vs, endpoints.vt);
+  const std::vector<DoorId>& doors_t = plan.EnterDoors(endpoints.vt);
+
+  double dist_m = DirectCandidate(ctx, endpoints, ps, pt);
+
+  const size_t n = plan.door_count();
+  std::vector<double> dist(n);
+  std::vector<char> visited(n);
+
+  for (DoorId ds : doors_s) {
+    const double src_leg = ctx.locator->DistV(endpoints.vs, ps, ds);
+    if (src_leg == kInfDistance) continue;
+
+    // Lines 11-14: destination doors that can still beat dist_m.
+    std::vector<DoorId> doors;
+    for (DoorId dt : doors_t) {
+      const double dst_leg = ctx.locator->DistV(endpoints.vt, pt, dt);
+      if (dst_leg != kInfDistance && src_leg + dst_leg < dist_m) {
+        doors.push_back(dt);
+      }
+    }
+    if (doors.empty()) continue;
+
+    // Lines 15-36: one Dijkstra from ds, terminating once every door in
+    // `doors` has been settled.
+    dist.assign(n, kInfDistance);
+    visited.assign(n, 0);
+    using Entry = std::pair<double, DoorId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[ds] = 0.0;
+    heap.push({0.0, ds});
+
+    while (!heap.empty()) {
+      const auto [d, di] = heap.top();
+      heap.pop();
+      if (visited[di]) continue;
+      visited[di] = 1;
+
+      const auto it = std::find(doors.begin(), doors.end(), di);
+      if (it != doors.end()) {
+        doors.erase(it);
+        const double dst_leg = ctx.locator->DistV(endpoints.vt, pt, di);
+        if (src_leg + d + dst_leg < dist_m) {
+          dist_m = src_leg + d + dst_leg;
+        }
+        if (doors.empty()) break;
+      }
+
+      for (PartitionId v : plan.EnterableParts(di)) {
+        for (DoorId dj : plan.LeaveDoors(v)) {
+          if (visited[dj]) continue;
+          const double w = ctx.graph->Fd2d(v, di, dj);
+          if (w == kInfDistance) continue;
+          if (d + w < dist[dj]) {
+            dist[dj] = d + w;
+            heap.push({dist[dj], dj});
+          }
+        }
+      }
+    }
+  }
+  return dist_m;
+}
+
+}  // namespace indoor

@@ -1,0 +1,169 @@
+// Algorithm 4 (paper's pt2ptDistance3): Algorithm 3 plus cross-iteration
+// reuse of door-to-door distances.
+//
+//  * Backward reuse (paper lines 31-37): when destination door di settles,
+//    every not-yet-processed source door dj on its shortest-path tree branch
+//    yields the EXACT distance dists[dj][di] = dist[di] - dist[dj]
+//    (sub-paths of shortest paths are shortest), so dj's own iteration can
+//    skip di entirely.
+//  * Forward reuse (paper lines 40-45): when an already-processed source
+//    door di settles, cached dists[di][dj] values concatenate into valid
+//    ds->di->dj path lengths. Under ReusePolicy::kPaperFaithful the search
+//    then breaks as in the pseudocode (which silently assumes the shortest
+//    ds->dj path runs through di and can overestimate on star topologies);
+//    under ReusePolicy::kSafe (default) the concatenations only tighten the
+//    bound dist_m and the expansion continues, preserving exactness.
+
+#include <algorithm>
+#include <queue>
+
+#include "core/distance/d2d_distance.h"
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+using internal::DirectCandidate;
+using internal::Endpoints;
+using internal::PrunedSourceDoors;
+using internal::ResolveEndpoints;
+
+double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
+                          const Point& pt, ReusePolicy policy) {
+  const FloorPlan& plan = ctx.graph->plan();
+  const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return kInfDistance;
+
+  const std::vector<DoorId> doors_s =
+      PrunedSourceDoors(plan, endpoints.vs, endpoints.vt);
+  const std::vector<DoorId>& doors_t = plan.EnterDoors(endpoints.vt);
+
+  // Leg caches and local (row/col) index maps for the dists[.][.] matrix.
+  const size_t rows = doors_s.size();
+  const size_t cols = doors_t.size();
+  std::vector<double> src_leg(rows), dst_leg(cols);
+  for (size_t i = 0; i < rows; ++i) {
+    src_leg[i] = ctx.locator->DistV(endpoints.vs, ps, doors_s[i]);
+  }
+  for (size_t j = 0; j < cols; ++j) {
+    dst_leg[j] = ctx.locator->DistV(endpoints.vt, pt, doors_t[j]);
+  }
+  auto row_of = [&](DoorId d) -> int {
+    const auto it = std::lower_bound(doors_s.begin(), doors_s.end(), d);
+    return (it != doors_s.end() && *it == d)
+               ? static_cast<int>(it - doors_s.begin())
+               : -1;
+  };
+  auto col_of = [&](DoorId d) -> int {
+    const auto it = std::lower_bound(doors_t.begin(), doors_t.end(), d);
+    return (it != doors_t.end() && *it == d)
+               ? static_cast<int>(it - doors_t.begin())
+               : -1;
+  };
+  // dists[row][col], initialized to infinity (paper lines 9-10).
+  std::vector<double> dists(rows * cols, kInfDistance);
+
+  double dist_m = DirectCandidate(ctx, endpoints, ps, pt);
+
+  const size_t n = plan.door_count();
+  std::vector<double> dist(n);
+  std::vector<char> visited(n);
+  std::vector<PrevEntry> prev(n);
+
+  for (size_t row = 0; row < rows; ++row) {
+    const DoorId ds = doors_s[row];
+    if (src_leg[row] == kInfDistance) continue;
+
+    // Lines 13-16: candidate destination doors with unknown distances.
+    std::vector<DoorId> doors;
+    for (size_t j = 0; j < cols; ++j) {
+      if (dists[row * cols + j] == kInfDistance &&
+          dst_leg[j] != kInfDistance &&
+          src_leg[row] + dst_leg[j] < dist_m) {
+        doors.push_back(doors_t[j]);
+      }
+    }
+    if (doors.empty()) continue;
+
+    dist.assign(n, kInfDistance);
+    visited.assign(n, 0);
+    prev.assign(n, PrevEntry{});
+    using Entry = std::pair<double, DoorId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[ds] = 0.0;
+    heap.push({0.0, ds});
+
+    while (!heap.empty()) {
+      const auto [d, di] = heap.top();
+      heap.pop();
+      if (visited[di]) continue;
+      visited[di] = 1;
+
+      const auto door_it = std::find(doors.begin(), doors.end(), di);
+      if (door_it != doors.end()) {
+        // Lines 27-38: a destination door settles.
+        doors.erase(door_it);
+        const int col = col_of(di);
+        dists[row * cols + col] = d;  // settled value is exact (our addition)
+        if (src_leg[row] + d + dst_leg[col] < dist_m) {
+          dist_m = src_leg[row] + d + dst_leg[col];
+        }
+        // Backward reuse along the shortest-path tree branch.
+        DoorId dj = prev[di].door;
+        while (dj != kInvalidId && dj != ds) {
+          const int back_row = row_of(dj);
+          if (back_row >= 0 && dj > ds) {
+            const double exact = d - dist[dj];
+            dists[static_cast<size_t>(back_row) * cols + col] = exact;
+            if (src_leg[back_row] != kInfDistance &&
+                src_leg[back_row] + exact + dst_leg[col] < dist_m) {
+              dist_m = src_leg[back_row] + exact + dst_leg[col];
+            }
+          }
+          dj = prev[dj].door;
+        }
+        if (doors.empty()) break;
+      } else {
+        const int fwd_row = row_of(di);
+        if (fwd_row >= 0 && di < ds) {
+          // Lines 40-45: forward reuse through an earlier source door.
+          bool all_known = true;
+          for (DoorId dj : doors) {
+            const int col = col_of(dj);
+            const double via = d + dists[static_cast<size_t>(fwd_row) * cols +
+                                         static_cast<size_t>(col)];
+            if (via == kInfDistance) {
+              all_known = false;
+              continue;
+            }
+            if (policy == ReusePolicy::kPaperFaithful) {
+              dists[row * cols + col] = via;
+            }
+            if (src_leg[row] + via + dst_leg[col] < dist_m) {
+              dist_m = src_leg[row] + via + dst_leg[col];
+            }
+          }
+          if (policy == ReusePolicy::kPaperFaithful) {
+            (void)all_known;
+            break;  // verbatim pseudocode: stop this source's expansion
+          }
+        }
+      }
+
+      for (PartitionId v : plan.EnterableParts(di)) {
+        for (DoorId dj : plan.LeaveDoors(v)) {
+          if (visited[dj]) continue;
+          const double w = ctx.graph->Fd2d(v, di, dj);
+          if (w == kInfDistance) continue;
+          if (d + w < dist[dj]) {
+            dist[dj] = d + w;
+            heap.push({dist[dj], dj});
+            prev[dj] = {v, di};
+          }
+        }
+      }
+    }
+  }
+  return dist_m;
+}
+
+}  // namespace indoor

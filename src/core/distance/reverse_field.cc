@@ -1,0 +1,77 @@
+#include "core/distance/reverse_field.h"
+
+#include <queue>
+
+namespace indoor {
+
+ReverseDistanceField::ReverseDistanceField(const DistanceContext& ctx,
+                                           const Point& target)
+    : ctx_(ctx), target_(target) {
+  const FloorPlan& plan = ctx.graph->plan();
+  door_dist_.assign(plan.door_count(), kInfDistance);
+  const auto host = ctx.locator->GetHostPartition(target);
+  if (!host.ok()) return;
+  host_ = host.value();
+
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<char> visited(plan.door_count(), 0);
+  // Seeds: crossing an entering door of the host partition leaves only the
+  // final intra leg to the target.
+  for (DoorId dt : plan.EnterDoors(host_)) {
+    const double leg = plan.partition(host_).IntraDistance(
+        plan.door(dt).Midpoint(), target);
+    if (leg == kInfDistance) continue;
+    if (leg < door_dist_[dt]) {
+      door_dist_[dt] = leg;
+      heap.push({leg, dt});
+    }
+  }
+  // Dijkstra on the reversed door graph: settled dj relaxes every di that
+  // can reach dj through a shared partition (forward edge di -> dj).
+  while (!heap.empty()) {
+    const auto [d, dj] = heap.top();
+    heap.pop();
+    if (visited[dj]) continue;
+    visited[dj] = 1;
+    for (PartitionId v : plan.LeaveableParts(dj)) {
+      for (DoorId di : plan.EnterDoors(v)) {
+        if (visited[di]) continue;
+        const double w = ctx.graph->Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        if (d + w < door_dist_[di]) {
+          door_dist_[di] = d + w;
+          heap.push({door_dist_[di], di});
+        }
+      }
+    }
+  }
+}
+
+double ReverseDistanceField::DistanceFrom(PartitionId v,
+                                          const Point& p) const {
+  if (!valid()) return kInfDistance;
+  const FloorPlan& plan = ctx_.graph->plan();
+  const Partition& part = plan.partition(v);
+  double best = kInfDistance;
+  if (v == host_) {
+    best = part.IntraDistance(p, target_);
+  }
+  for (DoorId ds : plan.LeaveDoors(v)) {
+    if (door_dist_[ds] == kInfDistance) continue;
+    const double leg = part.IntraDistance(p, plan.door(ds).Midpoint());
+    if (leg == kInfDistance) continue;
+    const double total = leg + door_dist_[ds];
+    if (total < best) best = total;
+  }
+  return best;
+}
+
+double ReverseDistanceField::DistanceFrom(const Point& p) const {
+  if (!valid()) return kInfDistance;
+  const auto host = ctx_.locator->GetHostPartition(p);
+  if (!host.ok()) return kInfDistance;
+  return DistanceFrom(host.value(), p);
+}
+
+}  // namespace indoor

@@ -1,0 +1,57 @@
+// ReverseDistanceField: exact walking distance from EVERY position TO one
+// fixed target. The forward DistanceField answers "how far from here to
+// X?"; with one-way doors that is NOT the same as "how far from X to
+// here" reversed. Evacuation analytics need the reverse orientation: one
+// field per exit answers every occupant's distance-to-exit in O(doors of
+// their partition) — including through security gates that only open
+// outward.
+//
+// Implementation: Dijkstra over the REVERSED door graph — relax dj -> di
+// with weight fd2d(v, di, dj) wherever the forward graph has di -> dj —
+// seeded at the target partition's ENTER doors with their distV legs.
+
+#ifndef INDOOR_CORE_DISTANCE_REVERSE_FIELD_H_
+#define INDOOR_CORE_DISTANCE_REVERSE_FIELD_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+/// Exact single-target distances: DistanceTo*(p) = walking distance p ->
+/// target.
+class ReverseDistanceField {
+ public:
+  ReverseDistanceField(const DistanceContext& ctx, const Point& target);
+
+  bool valid() const { return host_ != kInvalidId; }
+  const Point& target() const { return target_; }
+  PartitionId host() const { return host_; }
+
+  /// Shortest walking distance door `d` -> target (starting positioned to
+  /// pass through `d`... i.e., the cost from just before crossing d).
+  double DistanceFromDoor(DoorId d) const {
+    INDOOR_CHECK(d < door_dist_.size());
+    return door_dist_[d];
+  }
+
+  /// Shortest walking distance from `p` (in partition `v`) to the target:
+  /// min over the direct intra candidate and every LEAVING door of `v`.
+  double DistanceFrom(PartitionId v, const Point& p) const;
+
+  /// As above, resolving `p`'s host partition internally.
+  double DistanceFrom(const Point& p) const;
+
+ private:
+  const DistanceContext ctx_;
+  Point target_;
+  PartitionId host_ = kInvalidId;
+  // door_dist_[d]: cost of the path starting AT door d (about to cross it)
+  // and ending at the target.
+  std::vector<double> door_dist_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_REVERSE_FIELD_H_

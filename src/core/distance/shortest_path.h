@@ -1,0 +1,43 @@
+// Concrete shortest indoor paths (doors, partitions, and geometric
+// waypoints), reconstructed via the prev[.] arrays the paper describes for
+// Algorithm 1 ("array prev[.] can be used to reconstruct the concrete
+// shortest path, in terms of indoor partitions and doors").
+
+#ifndef INDOOR_CORE_DISTANCE_SHORTEST_PATH_H_
+#define INDOOR_CORE_DISTANCE_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+/// A concrete shortest indoor path.
+struct IndoorPath {
+  /// Total walking length; kInfDistance when no path exists.
+  double length = kInfDistance;
+  /// Doors crossed, in order.
+  std::vector<DoorId> doors;
+  /// Partitions traversed. For position-to-position paths this has
+  /// doors.size() + 1 entries (host partitions included); for door-to-door
+  /// paths it has doors.size() - 1 entries (the partitions between
+  /// consecutive doors).
+  std::vector<PartitionId> partitions;
+  /// Geometric polyline (endpoints and door midpoints; with
+  /// expand_waypoints, also the intra-partition detours around obstacles).
+  std::vector<Point> waypoints;
+
+  bool found() const { return length != kInfDistance; }
+};
+
+/// Shortest door-to-door path (Algorithm 1 + prev[] reconstruction).
+IndoorPath D2dShortestPath(const DistanceGraph& graph, DoorId ds, DoorId dt);
+
+/// Shortest position-to-position path. When `expand_waypoints` is set, the
+/// polyline includes the exact intra-partition obstructed detours.
+IndoorPath Pt2PtShortestPath(const DistanceContext& ctx, const Point& ps,
+                             const Point& pt, bool expand_waypoints = false);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_SHORTEST_PATH_H_

@@ -1,0 +1,22 @@
+#include "core/index/distance_index_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace indoor {
+
+DistanceIndexMatrix::DistanceIndexMatrix(const DistanceMatrix& matrix)
+    : n_(matrix.door_count()) {
+  data_.resize(n_ * n_);
+  std::vector<DoorId> order(n_);
+  for (DoorId di = 0; di < n_; ++di) {
+    std::iota(order.begin(), order.end(), 0);
+    const double* row = matrix.Row(di);
+    std::stable_sort(order.begin(), order.end(),
+                     [row](DoorId a, DoorId b) { return row[a] < row[b]; });
+    std::copy(order.begin(), order.end(),
+              data_.begin() + static_cast<size_t>(di) * n_);
+  }
+}
+
+}  // namespace indoor

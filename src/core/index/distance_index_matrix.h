@@ -1,0 +1,45 @@
+// Midx: the Distance Index Matrix (paper §IV-A). Row di lists all door ids
+// ordered by non-descending Md2d[di, *], so query processing can scan doors
+// nearest-first and stop early.
+
+#ifndef INDOOR_CORE_INDEX_DISTANCE_INDEX_MATRIX_H_
+#define INDOOR_CORE_INDEX_DISTANCE_INDEX_MATRIX_H_
+
+#include <vector>
+
+#include "core/index/distance_matrix.h"
+#include "indoor/types.h"
+
+namespace indoor {
+
+/// Row-major N x N matrix of door ids; row di is a permutation of all doors
+/// sorted by distance from di (ties broken by id for determinism).
+class DistanceIndexMatrix {
+ public:
+  explicit DistanceIndexMatrix(const DistanceMatrix& matrix);
+
+  size_t door_count() const { return n_; }
+
+  /// The j-th closest door from `di` (j in [0, door_count()); j = 0 is `di`
+  /// itself at distance 0).
+  DoorId At(DoorId di, size_t j) const {
+    INDOOR_CHECK(di < n_ && j < n_);
+    return data_[static_cast<size_t>(di) * n_ + j];
+  }
+
+  /// Row di as a contiguous array of n door ids.
+  const DoorId* Row(DoorId di) const {
+    INDOOR_CHECK(di < n_);
+    return data_.data() + static_cast<size_t>(di) * n_;
+  }
+
+  size_t MemoryBytes() const { return data_.size() * sizeof(DoorId); }
+
+ private:
+  size_t n_;
+  std::vector<DoorId> data_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_DISTANCE_INDEX_MATRIX_H_

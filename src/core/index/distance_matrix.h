@@ -1,0 +1,54 @@
+// Md2d: the Door-to-Door Distance Matrix (paper §IV-A). An N x N matrix of
+// pre-computed d2dDistance values. Not symmetric in general: directional
+// doors make shortest paths direction-dependent (paper Fig. 3 discussion).
+
+#ifndef INDOOR_CORE_INDEX_DISTANCE_MATRIX_H_
+#define INDOOR_CORE_INDEX_DISTANCE_MATRIX_H_
+
+#include <vector>
+
+#include "core/model/distance_graph.h"
+
+namespace indoor {
+
+/// Dense row-major N x N matrix of door-to-door minimum walking distances;
+/// Md2d[d][d] = 0, unreachable pairs hold kInfDistance.
+class DistanceMatrix {
+ public:
+  /// Builds via one single-source Algorithm-1 run per door. Rows are
+  /// independent, so construction parallelizes across `threads` workers
+  /// (0 = use the hardware concurrency; 1 = sequential).
+  explicit DistanceMatrix(const DistanceGraph& graph, unsigned threads = 1);
+
+  /// Adopts a pre-computed payload (used by the binary loader, index_io.h).
+  /// `data` must hold n*n row-major entries.
+  static DistanceMatrix FromRaw(size_t n, std::vector<double> data);
+
+  size_t door_count() const { return n_; }
+
+  /// Md2d[from, to].
+  double At(DoorId from, DoorId to) const {
+    INDOOR_CHECK(from < n_ && to < n_);
+    return data_[static_cast<size_t>(from) * n_ + to];
+  }
+
+  /// Md2d[from, *] as a contiguous row of n doubles.
+  const double* Row(DoorId from) const {
+    INDOOR_CHECK(from < n_);
+    return data_.data() + static_cast<size_t>(from) * n_;
+  }
+
+  /// Bytes held by the matrix payload (the paper reports 6.25 MB for 1280
+  /// doors with 4-byte elements; we store 8-byte doubles).
+  size_t MemoryBytes() const { return data_.size() * sizeof(double); }
+
+ private:
+  DistanceMatrix() : n_(0) {}
+
+  size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_DISTANCE_MATRIX_H_

@@ -1,0 +1,26 @@
+#include "core/index/dpt.h"
+
+namespace indoor {
+
+DoorPartitionTable::DoorPartitionTable(const DistanceGraph& graph) {
+  const FloorPlan& plan = graph.plan();
+  records_.resize(plan.door_count());
+  for (DoorId d = 0; d < plan.door_count(); ++d) {
+    DptRecord& rec = records_[d];
+    rec.door = d;
+    const auto& conns = plan.D2P(d);
+    if (conns.size() == 1) {
+      // Unidirectional vj -> vk: only the enterable partition is linked.
+      rec.part2 = conns[0].to;
+      rec.dist2 = graph.Fdv(d, conns[0].to);
+    } else {
+      auto [vj, vk] = plan.ConnectedPair(d);  // vj < vk
+      rec.part1 = vj;
+      rec.dist1 = graph.Fdv(d, vj);
+      rec.part2 = vk;
+      rec.dist2 = graph.Fdv(d, vk);
+    }
+  }
+}
+
+}  // namespace indoor

@@ -1,0 +1,50 @@
+// DPT: the Door-to-Partition Table (paper §IV-B). One record per door
+// linking it to the object bucket(s) of the partition(s) it can ENTER,
+// together with the fdv value of each (the longest distance reachable
+// inside that partition from the door) used for whole-partition inclusion
+// during query processing.
+
+#ifndef INDOOR_CORE_INDEX_DPT_H_
+#define INDOOR_CORE_INDEX_DPT_H_
+
+#include <vector>
+
+#include "core/model/distance_graph.h"
+
+namespace indoor {
+
+/// The paper's 5-tuple (di, vPtr1, dist1, vPtr2, dist2). Partition ids
+/// stand in for the bucket pointers; kInvalidId encodes a null pointer.
+/// For a unidirectional door vj -> vk: part1 = kInvalidId, dist1 = inf,
+/// part2 = vk, dist2 = fdv(di, vk). For a bidirectional door with vj < vk:
+/// part1 = vj, dist1 = fdv(di, vj), part2 = vk, dist2 = fdv(di, vk).
+struct DptRecord {
+  DoorId door = kInvalidId;
+  PartitionId part1 = kInvalidId;
+  double dist1 = kInfDistance;
+  PartitionId part2 = kInvalidId;
+  double dist2 = kInfDistance;
+};
+
+/// The table, sorted (indexed) by door id — the paper sorts DPT on the di
+/// field; dense door ids make that a direct index.
+class DoorPartitionTable {
+ public:
+  explicit DoorPartitionTable(const DistanceGraph& graph);
+
+  const DptRecord& operator[](DoorId d) const {
+    INDOOR_CHECK(d < records_.size());
+    return records_[d];
+  }
+
+  size_t size() const { return records_.size(); }
+
+  size_t MemoryBytes() const { return records_.size() * sizeof(DptRecord); }
+
+ private:
+  std::vector<DptRecord> records_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_DPT_H_

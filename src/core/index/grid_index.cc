@@ -1,0 +1,154 @@
+#include "core/index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indoor {
+
+// ---------------------------------------------------------------- KnnCollector
+
+KnnCollector::KnnCollector(size_t k) : k_(k) {
+  INDOOR_CHECK(k > 0) << "kNN requires k >= 1";
+}
+
+double KnnCollector::Bound() const {
+  return entries_.size() == k_ ? entries_.rbegin()->first : kInfDistance;
+}
+
+bool KnnCollector::Offer(ObjectId id, double distance) {
+  const auto it = best_.find(id);
+  if (it != best_.end()) {
+    if (distance >= it->second) return false;
+    entries_.erase({it->second, id});
+    entries_.insert({distance, id});
+    it->second = distance;
+    return true;
+  }
+  if (entries_.size() < k_) {
+    entries_.insert({distance, id});
+    best_.emplace(id, distance);
+    return true;
+  }
+  const auto worst = std::prev(entries_.end());
+  if (distance >= worst->first) return false;
+  best_.erase(worst->second);
+  entries_.erase(worst);
+  entries_.insert({distance, id});
+  best_.emplace(id, distance);
+  return true;
+}
+
+std::vector<Neighbor> KnnCollector::Sorted() const {
+  std::vector<Neighbor> out;
+  out.reserve(entries_.size());
+  for (const auto& [dist, id] : entries_) out.push_back({id, dist});
+  return out;
+}
+
+// ------------------------------------------------------------------ GridBucket
+
+GridBucket::GridBucket(const Partition& partition, double cell_size) {
+  INDOOR_CHECK(cell_size > 0.0);
+  const Rect bbox = partition.footprint().outer().BoundingBox();
+  origin_ = bbox.lo;
+  cell_size_ = cell_size;
+  nx_ = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(bbox.Width() / cell_size)));
+  ny_ = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(bbox.Height() / cell_size)));
+  cells_.assign(nx_ * ny_, {});
+}
+
+size_t GridBucket::CellIndex(const Point& p) const {
+  const auto clamp_cell = [](double v, size_t n) {
+    if (v < 0) return size_t{0};
+    const size_t c = static_cast<size_t>(v);
+    return std::min(c, n - 1);
+  };
+  const size_t cx = clamp_cell((p.x - origin_.x) / cell_size_, nx_);
+  const size_t cy = clamp_cell((p.y - origin_.y) / cell_size_, ny_);
+  return cy * nx_ + cx;
+}
+
+Rect GridBucket::CellRect(size_t idx) const {
+  const size_t cy = idx / nx_;
+  const size_t cx = idx % nx_;
+  const Point lo(origin_.x + cx * cell_size_, origin_.y + cy * cell_size_);
+  return Rect(lo, Point(lo.x + cell_size_, lo.y + cell_size_));
+}
+
+void GridBucket::Insert(ObjectId id, const Point& position) {
+  INDOOR_CHECK(!cells_.empty()) << "GridBucket not initialized";
+  cells_[CellIndex(position)].push_back({id, position});
+  ++count_;
+}
+
+bool GridBucket::Remove(ObjectId id, const Point& position) {
+  if (cells_.empty()) return false;
+  auto& cell = cells_[CellIndex(position)];
+  for (auto it = cell.begin(); it != cell.end(); ++it) {
+    if (it->first == id) {
+      *it = cell.back();
+      cell.pop_back();
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void GridBucket::CollectAll(std::vector<ObjectId>* out) const {
+  for (const auto& cell : cells_) {
+    for (const auto& [id, pos] : cell) out->push_back(id);
+  }
+}
+
+void GridBucket::RangeSearch(const Partition& partition, const Point& q,
+                             double r, std::vector<Neighbor>* out) const {
+  if (count_ == 0 || r < 0) return;
+  const double scale = partition.metric_scale();
+  // Whole-cell admission is only sound where intra-distance == scaled
+  // Euclidean distance everywhere in the cell.
+  const bool euclidean = !partition.footprint().HasObstacles() &&
+                         partition.footprint().outer().IsConvex();
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const auto& cell = cells_[i];
+    if (cell.empty()) continue;
+    const Rect rect = CellRect(i);
+    if (rect.MinDistance(q) * scale > r) continue;  // prune: lower bound
+    if (euclidean && rect.MaxDistance(q) * scale <= r) {
+      for (const auto& [id, pos] : cell) {
+        out->push_back({id, Distance(q, pos) * scale});
+      }
+      continue;
+    }
+    for (const auto& [id, pos] : cell) {
+      const double d = partition.IntraDistance(q, pos);
+      if (d <= r) out->push_back({id, d});
+    }
+  }
+}
+
+void GridBucket::NnSearch(const Partition& partition, const Point& q,
+                          double extra, KnnCollector* collector) const {
+  if (count_ == 0) return;
+  const double scale = partition.metric_scale();
+  // Visit cells in ascending lower-bound order so the bound tightens early.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].empty()) continue;
+    order.push_back({CellRect(i).MinDistance(q) * scale + extra, i});
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [lower, idx] : order) {
+    if (lower >= collector->Bound()) break;
+    for (const auto& [id, pos] : cells_[idx]) {
+      const double d = partition.IntraDistance(q, pos);
+      if (d == kInfDistance) continue;
+      collector->Offer(id, d + extra);
+    }
+  }
+}
+
+}  // namespace indoor

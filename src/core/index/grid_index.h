@@ -1,0 +1,116 @@
+// Intra-partition object organization (paper §IV-B, §V-B): objects of one
+// partition live in an object bucket that is subdivided by a uniform grid;
+// each grid cell is a sub-bucket. rangeSearch/nnSearch prune whole cells by
+// circle overlap before touching individual objects.
+
+#ifndef INDOOR_CORE_INDEX_GRID_INDEX_H_
+#define INDOOR_CORE_INDEX_GRID_INDEX_H_
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "indoor/partition.h"
+
+namespace indoor {
+
+/// A query result entry: object and its indoor walking distance.
+struct Neighbor {
+  ObjectId id = kInvalidId;
+  double distance = kInfDistance;
+
+  bool operator==(const Neighbor& o) const {
+    return id == o.id && distance == o.distance;
+  }
+};
+
+/// Collects the k nearest objects with per-object-id de-duplication (the
+/// same object can be reached through several doors; only its best distance
+/// may occupy a slot).
+class KnnCollector {
+ public:
+  explicit KnnCollector(size_t k);
+
+  /// Current pruning bound: the k-th best distance, or kInfDistance while
+  /// fewer than k objects are collected.
+  double Bound() const;
+
+  /// Offers a candidate; keeps it only if it improves the collection.
+  /// Returns true if the candidate was (re)admitted.
+  bool Offer(ObjectId id, double distance);
+
+  /// The collected neighbors, nearest first.
+  std::vector<Neighbor> Sorted() const;
+
+  size_t k() const { return k_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  size_t k_;
+  // (distance, id), ordered; at most k entries, mirrored by best_.
+  std::set<std::pair<double, ObjectId>> entries_;
+  std::unordered_map<ObjectId, double> best_;
+};
+
+/// The grid-subdivided object bucket of one partition. Stores (id, point)
+/// pairs; all distances reported by searches are intra-partition walking
+/// distances (obstructed and metric-scaled as the partition dictates).
+class GridBucket {
+ public:
+  GridBucket() = default;
+
+  /// Covers the partition's bounding box with square cells of `cell_size`
+  /// meters (at least 1 x 1 cells).
+  GridBucket(const Partition& partition, double cell_size);
+
+  void Insert(ObjectId id, const Point& position);
+
+  /// Removes the object (position must match the inserted one). Returns
+  /// false if absent.
+  bool Remove(ObjectId id, const Point& position);
+
+  size_t size() const { return count_; }
+  size_t cell_count() const { return cells_.size(); }
+
+  /// Appends every object id in the bucket (whole-partition inclusion).
+  void CollectAll(std::vector<ObjectId>* out) const;
+
+  /// rangeSearch(B, q, r): appends (id, distance) of all objects whose
+  /// intra-partition distance from `q` is <= r. Cells are pruned by the
+  /// Euclidean lower bound; obstacle-free convex partitions also admit
+  /// whole cells by the Euclidean upper bound.
+  void RangeSearch(const Partition& partition, const Point& q, double r,
+                   std::vector<Neighbor>* out) const;
+
+  /// nnSearch(B, q, ...): offers objects to `collector`, visiting cells in
+  /// ascending lower-bound order and stopping once no cell can beat the
+  /// collector's bound. `extra` is added to every distance before offering
+  /// (the q-to-door leg accumulated outside this partition).
+  void NnSearch(const Partition& partition, const Point& q, double extra,
+                KnnCollector* collector) const;
+
+  /// Geometry of cell `idx` (for external best-first traversals).
+  Rect CellRectAt(size_t idx) const { return CellRect(idx); }
+
+  /// Contents of cell `idx`.
+  const std::vector<std::pair<ObjectId, Point>>& CellContents(
+      size_t idx) const {
+    INDOOR_CHECK(idx < cells_.size());
+    return cells_[idx];
+  }
+
+ private:
+  size_t CellIndex(const Point& p) const;
+  Rect CellRect(size_t idx) const;
+
+  Point origin_;
+  double cell_size_ = 1.0;
+  size_t nx_ = 0, ny_ = 0;
+  size_t count_ = 0;
+  std::vector<std::vector<std::pair<ObjectId, Point>>> cells_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_GRID_INDEX_H_

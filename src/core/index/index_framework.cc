@@ -1,0 +1,15 @@
+#include "core/index/index_framework.h"
+
+namespace indoor {
+
+IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
+    : plan_(&plan),
+      options_(options),
+      graph_(plan),
+      locator_(plan),
+      d2d_matrix_(graph_),
+      index_matrix_(d2d_matrix_),
+      dpt_(graph_),
+      objects_(plan, options.grid_cell_size) {}
+
+}  // namespace indoor

@@ -1,0 +1,64 @@
+// The complete indexing framework of paper §IV: the distance-aware graph,
+// the R-tree-backed locator, the pre-computed door-to-door distance matrix
+// Md2d, the distance index matrix Midx, the door-to-partition table DPT,
+// and the grid-bucketed object store — built together from one floor plan.
+
+#ifndef INDOOR_CORE_INDEX_INDEX_FRAMEWORK_H_
+#define INDOOR_CORE_INDEX_INDEX_FRAMEWORK_H_
+
+#include "core/distance/pt2pt_distance.h"
+#include "core/index/distance_index_matrix.h"
+#include "core/index/distance_matrix.h"
+#include "core/index/dpt.h"
+#include "core/index/object_store.h"
+#include "core/model/distance_graph.h"
+#include "core/model/locator.h"
+
+namespace indoor {
+
+/// Construction knobs.
+struct IndexOptions {
+  /// Grid cell edge length for the intra-partition object index.
+  double grid_cell_size = 2.0;
+};
+
+/// Owns every index structure over one (externally owned) FloorPlan.
+class IndexFramework {
+ public:
+  explicit IndexFramework(const FloorPlan& plan, IndexOptions options = {});
+
+  const FloorPlan& plan() const { return *plan_; }
+  const IndexOptions& options() const { return options_; }
+  const DistanceGraph& graph() const { return graph_; }
+  const PartitionLocator& locator() const { return locator_; }
+  const DistanceMatrix& d2d_matrix() const { return d2d_matrix_; }
+  const DistanceIndexMatrix& index_matrix() const { return index_matrix_; }
+  const DoorPartitionTable& dpt() const { return dpt_; }
+  ObjectStore& objects() { return objects_; }
+  const ObjectStore& objects() const { return objects_; }
+
+  /// Context for the pt2pt distance algorithms.
+  DistanceContext distance_context() const {
+    return DistanceContext(graph_, locator_);
+  }
+
+  /// Total bytes of the pre-computed structures (Md2d + Midx + DPT).
+  size_t IndexMemoryBytes() const {
+    return d2d_matrix_.MemoryBytes() + index_matrix_.MemoryBytes() +
+           dpt_.MemoryBytes();
+  }
+
+ private:
+  const FloorPlan* plan_;
+  IndexOptions options_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceMatrix d2d_matrix_;
+  DistanceIndexMatrix index_matrix_;
+  DoorPartitionTable dpt_;
+  ObjectStore objects_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_INDEX_FRAMEWORK_H_

@@ -1,0 +1,127 @@
+#include "core/index/index_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace indoor {
+namespace {
+
+constexpr uint64_t kMagic = 0x49444D3244303146ULL;  // "IDM2D01F"
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 29);
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(h, bits);
+}
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+uint64_t PlanDistanceFingerprint(const FloorPlan& plan) {
+  uint64_t h = 0xC0FFEE;
+  h = Mix(h, plan.partition_count());
+  h = Mix(h, plan.door_count());
+  for (const Door& door : plan.doors()) {
+    h = MixDouble(h, door.geometry().a.x);
+    h = MixDouble(h, door.geometry().a.y);
+    h = MixDouble(h, door.geometry().b.x);
+    h = MixDouble(h, door.geometry().b.y);
+    for (const DoorConnection& c : plan.D2P(door.id())) {
+      h = Mix(h, (static_cast<uint64_t>(c.from) << 32) | c.to);
+    }
+  }
+  for (const Partition& part : plan.partitions()) {
+    h = MixDouble(h, part.metric_scale());
+    for (const Point& v : part.footprint().outer().vertices()) {
+      h = MixDouble(h, v.x);
+      h = MixDouble(h, v.y);
+    }
+    for (const Polygon& obs : part.footprint().obstacles()) {
+      for (const Point& v : obs.vertices()) {
+        h = MixDouble(h, v.x);
+        h = MixDouble(h, v.y);
+      }
+    }
+  }
+  return h;
+}
+
+Status SaveDistanceMatrix(const DistanceMatrix& matrix,
+                          const FloorPlan& plan, const std::string& path) {
+  if (matrix.door_count() != plan.door_count()) {
+    return Status::InvalidArgument(
+        "matrix door count does not match the plan");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  WritePod(out, kMagic);
+  WritePod(out, PlanDistanceFingerprint(plan));
+  const uint64_t n = matrix.door_count();
+  WritePod(out, n);
+  for (DoorId d = 0; d < n; ++d) {
+    out.write(reinterpret_cast<const char*>(matrix.Row(d)),
+              static_cast<std::streamsize>(n * sizeof(double)));
+  }
+  WritePod(out, kMagic);  // trailer guards truncation
+  if (!out) {
+    return Status::IOError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<DistanceMatrix> LoadDistanceMatrix(const FloorPlan& plan,
+                                          const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  uint64_t magic = 0, fingerprint = 0, n = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::ParseError("'" + path + "' is not a distance matrix file");
+  }
+  if (!ReadPod(in, &fingerprint)) {
+    return Status::ParseError("'" + path + "' is truncated");
+  }
+  if (fingerprint != PlanDistanceFingerprint(plan)) {
+    return Status::FailedPrecondition(
+        "'" + path + "' was computed for a different floor plan");
+  }
+  if (!ReadPod(in, &n)) {
+    return Status::ParseError("'" + path + "' is truncated");
+  }
+  if (n != plan.door_count()) {
+    return Status::FailedPrecondition("door count mismatch in '" + path +
+                                      "'");
+  }
+  std::vector<double> data(n * n);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!in) {
+    return Status::ParseError("'" + path + "' is truncated");
+  }
+  uint64_t trailer = 0;
+  if (!ReadPod(in, &trailer) || trailer != kMagic) {
+    return Status::ParseError("'" + path + "' has a corrupt trailer");
+  }
+  return DistanceMatrix::FromRaw(n, std::move(data));
+}
+
+}  // namespace indoor

@@ -1,0 +1,36 @@
+// Binary persistence for the pre-computed distance structures. Building
+// Md2d costs |doors| Dijkstra runs (seconds on a 40-floor building, see
+// bench_ablation_matrix_build); a deployment computes it once and loads it
+// at startup. The format carries a magic header, the door count, and a
+// checksum of the plan's door geometry so a stale cache for a modified
+// floor plan is rejected instead of silently reused.
+
+#ifndef INDOOR_CORE_INDEX_INDEX_IO_H_
+#define INDOOR_CORE_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "core/index/distance_index_matrix.h"
+#include "core/index/distance_matrix.h"
+#include "indoor/floor_plan.h"
+#include "util/result.h"
+
+namespace indoor {
+
+/// A fingerprint of the plan's doors and topology; two plans with equal
+/// fingerprints produce equal Md2d matrices.
+uint64_t PlanDistanceFingerprint(const FloorPlan& plan);
+
+/// Writes Md2d (and implicitly enough to rebuild Midx) for `plan`.
+Status SaveDistanceMatrix(const DistanceMatrix& matrix,
+                          const FloorPlan& plan, const std::string& path);
+
+/// Loads a matrix previously saved for a plan with the same fingerprint.
+/// Fails with FailedPrecondition when the plan changed, ParseError on a
+/// corrupt file, IOError when unreadable.
+Result<DistanceMatrix> LoadDistanceMatrix(const FloorPlan& plan,
+                                          const std::string& path);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_INDEX_IO_H_

@@ -1,0 +1,57 @@
+#include "core/index/object_store.h"
+
+#include <sstream>
+
+namespace indoor {
+
+ObjectStore::ObjectStore(const FloorPlan& plan, double grid_cell_size)
+    : plan_(&plan), grid_cell_size_(grid_cell_size) {
+  buckets_.reserve(plan.partition_count());
+  for (const Partition& part : plan.partitions()) {
+    buckets_.emplace_back(part, grid_cell_size);
+  }
+}
+
+Result<ObjectId> ObjectStore::Insert(PartitionId partition,
+                                     const Point& position) {
+  if (partition >= plan_->partition_count()) {
+    return Status::InvalidArgument("unknown partition id " +
+                                   std::to_string(partition));
+  }
+  if (!plan_->partition(partition).Contains(position)) {
+    std::ostringstream msg;
+    msg << "position " << position << " is outside partition '"
+        << plan_->partition(partition).name() << "'";
+    return Status::InvalidArgument(msg.str());
+  }
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back({id, partition, position});
+  buckets_[partition].Insert(id, position);
+  return id;
+}
+
+Status ObjectStore::MoveObject(ObjectId id, PartitionId partition,
+                               const Point& position) {
+  if (id >= objects_.size()) {
+    return Status::NotFound("unknown object id " + std::to_string(id));
+  }
+  if (partition >= plan_->partition_count()) {
+    return Status::InvalidArgument("unknown partition id " +
+                                   std::to_string(partition));
+  }
+  if (!plan_->partition(partition).Contains(position)) {
+    std::ostringstream msg;
+    msg << "position " << position << " is outside partition '"
+        << plan_->partition(partition).name() << "'";
+    return Status::InvalidArgument(msg.str());
+  }
+  IndoorObject& obj = objects_[id];
+  INDOOR_CHECK(buckets_[obj.partition].Remove(id, obj.position))
+      << "object store and bucket out of sync for object" << id;
+  obj.partition = partition;
+  obj.position = position;
+  buckets_[partition].Insert(id, position);
+  return Status::OK();
+}
+
+}  // namespace indoor

@@ -1,0 +1,64 @@
+// Indoor objects (POIs, tracked people, ...) bucketed per partition with a
+// grid sub-bucket index (paper §IV-B). Objects can move between partitions
+// (moving populations) via MoveObject.
+
+#ifndef INDOOR_CORE_INDEX_OBJECT_STORE_H_
+#define INDOOR_CORE_INDEX_OBJECT_STORE_H_
+
+#include <vector>
+
+#include "core/index/grid_index.h"
+#include "indoor/floor_plan.h"
+#include "util/result.h"
+
+namespace indoor {
+
+/// An indoor spatial object: a position inside a known host partition.
+struct IndoorObject {
+  ObjectId id = kInvalidId;
+  PartitionId partition = kInvalidId;
+  Point position;
+};
+
+/// Owns all objects and the per-partition grid buckets. The plan must
+/// outlive the store.
+class ObjectStore {
+ public:
+  /// `grid_cell_size` configures every partition's grid (paper §V-B leaves
+  /// the configuration open; the ablation bench sweeps it).
+  explicit ObjectStore(const FloorPlan& plan, double grid_cell_size = 2.0);
+
+  /// Adds an object, assigning the next dense id. The position must lie in
+  /// the free space of `partition`.
+  Result<ObjectId> Insert(PartitionId partition, const Point& position);
+
+  /// Relocates an object (possibly across partitions).
+  Status MoveObject(ObjectId id, PartitionId partition,
+                    const Point& position);
+
+  const IndoorObject& object(ObjectId id) const {
+    INDOOR_CHECK(id < objects_.size());
+    return objects_[id];
+  }
+
+  size_t size() const { return objects_.size(); }
+  const std::vector<IndoorObject>& objects() const { return objects_; }
+
+  const GridBucket& bucket(PartitionId v) const {
+    INDOOR_CHECK(v < buckets_.size());
+    return buckets_[v];
+  }
+
+  double grid_cell_size() const { return grid_cell_size_; }
+  const FloorPlan& plan() const { return *plan_; }
+
+ private:
+  const FloorPlan* plan_;
+  double grid_cell_size_;
+  std::vector<IndoorObject> objects_;
+  std::vector<GridBucket> buckets_;  // one per partition
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_OBJECT_STORE_H_

@@ -1,0 +1,65 @@
+#include "core/model/accessibility_graph.h"
+
+#include <deque>
+
+namespace indoor {
+
+AccessibilityGraph::AccessibilityGraph(const FloorPlan& plan)
+    : plan_(&plan) {
+  out_edges_.assign(plan.partition_count(), {});
+  for (const Door& door : plan.doors()) {
+    for (const DoorConnection& c : plan.D2P(door.id())) {
+      const AccessEdge edge{c.from, c.to, door.id()};
+      edges_.push_back(edge);
+      out_edges_[c.from].push_back(edge);
+    }
+  }
+}
+
+std::vector<PartitionId> AccessibilityGraph::ReachableFrom(
+    PartitionId source) const {
+  INDOOR_CHECK(source < plan_->partition_count());
+  std::vector<char> seen(plan_->partition_count(), 0);
+  std::deque<PartitionId> queue{source};
+  seen[source] = 1;
+  std::vector<PartitionId> out;
+  while (!queue.empty()) {
+    const PartitionId v = queue.front();
+    queue.pop_front();
+    out.push_back(v);
+    for (const AccessEdge& e : out_edges_[v]) {
+      if (!seen[e.to]) {
+        seen[e.to] = 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return out;
+}
+
+bool AccessibilityGraph::IsStronglyConnected() const {
+  const size_t n = plan_->partition_count();
+  if (n == 0) return true;
+  if (ReachableFrom(0).size() != n) return false;
+  // Reverse reachability from vertex 0.
+  std::vector<std::vector<PartitionId>> rev(n);
+  for (const AccessEdge& e : edges_) rev[e.to].push_back(e.from);
+  std::vector<char> seen(n, 0);
+  std::deque<PartitionId> queue{0};
+  seen[0] = 1;
+  size_t count = 0;
+  while (!queue.empty()) {
+    const PartitionId v = queue.front();
+    queue.pop_front();
+    ++count;
+    for (PartitionId u : rev[v]) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return count == n;
+}
+
+}  // namespace indoor

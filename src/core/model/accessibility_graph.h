@@ -1,0 +1,55 @@
+// The accessibility base graph Gaccs = (V, Ea, L) (paper §III-B): vertices
+// are partitions, labeled directed edges are the movements doors permit.
+// It captures topology only; DistanceGraph (distance_graph.h) extends it
+// with the fdv/fd2d distance constructs.
+
+#ifndef INDOOR_CORE_MODEL_ACCESSIBILITY_GRAPH_H_
+#define INDOOR_CORE_MODEL_ACCESSIBILITY_GRAPH_H_
+
+#include <vector>
+
+#include "indoor/floor_plan.h"
+
+namespace indoor {
+
+/// One labeled directed edge (vi, vj, dk) of Ea.
+struct AccessEdge {
+  PartitionId from;
+  PartitionId to;
+  DoorId door;  // the edge label from L = Sdoor
+};
+
+/// Gaccs: a lightweight directed-multigraph view over a FloorPlan. The plan
+/// must outlive the graph.
+class AccessibilityGraph {
+ public:
+  explicit AccessibilityGraph(const FloorPlan& plan);
+
+  const FloorPlan& plan() const { return *plan_; }
+
+  /// All labeled edges Ea = {(vi, vj, dk) | (vi, vj) in D2P(dk)}.
+  const std::vector<AccessEdge>& edges() const { return edges_; }
+
+  /// Out-edges of partition `v`.
+  const std::vector<AccessEdge>& OutEdges(PartitionId v) const {
+    INDOOR_CHECK(v < out_edges_.size());
+    return out_edges_[v];
+  }
+
+  /// Partitions reachable from `source` by directed traversal (BFS),
+  /// including `source` itself.
+  std::vector<PartitionId> ReachableFrom(PartitionId source) const;
+
+  /// True if every partition can reach every other partition (strong
+  /// connectivity); buildings with one-way doors may legitimately fail.
+  bool IsStronglyConnected() const;
+
+ private:
+  const FloorPlan* plan_;
+  std::vector<AccessEdge> edges_;
+  std::vector<std::vector<AccessEdge>> out_edges_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_MODEL_ACCESSIBILITY_GRAPH_H_

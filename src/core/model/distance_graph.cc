@@ -1,0 +1,80 @@
+#include "core/model/distance_graph.h"
+
+#include <algorithm>
+
+namespace indoor {
+
+DistanceGraph::DistanceGraph(const FloorPlan& plan)
+    : plan_(&plan), accs_(plan) {
+  // fdv: for every door, for every enterable partition.
+  fdv_.assign(plan.door_count(), {});
+  for (const Door& door : plan.doors()) {
+    const Point mid = door.Midpoint();
+    auto& row = fdv_[door.id()];
+    for (PartitionId v : plan.EnterableParts(door.id())) {
+      row.push_back(plan.partition(v).MaxDistanceFrom(mid));
+    }
+  }
+  // Intra-partition door-to-door distances.
+  intra_.assign(plan.partition_count(), {});
+  for (const Partition& part : plan.partitions()) {
+    const auto& doors = plan.TouchingDoors(part.id());
+    const size_t n = doors.size();
+    auto& matrix = intra_[part.id()];
+    matrix.assign(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const Point a = plan.door(doors[i]).Midpoint();
+      for (size_t j = i + 1; j < n; ++j) {
+        const Point b = plan.door(doors[j]).Midpoint();
+        const double d = part.IntraDistance(a, b);
+        matrix[i * n + j] = d;
+        matrix[j * n + i] = d;
+      }
+    }
+  }
+}
+
+int DistanceGraph::LocalDoorIndex(PartitionId v, DoorId d) const {
+  const auto& doors = plan_->TouchingDoors(v);
+  const auto it = std::lower_bound(doors.begin(), doors.end(), d);
+  if (it == doors.end() || *it != d) return -1;
+  return static_cast<int>(it - doors.begin());
+}
+
+double DistanceGraph::Fdv(DoorId d, PartitionId v) const {
+  INDOOR_CHECK(d < plan_->door_count());
+  const auto& parts = plan_->EnterableParts(d);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == v) return fdv_[d][i];
+  }
+  return kInfDistance;
+}
+
+double DistanceGraph::IntraDoorDistance(PartitionId v, DoorId di,
+                                        DoorId dj) const {
+  const int a = LocalDoorIndex(v, di);
+  const int b = LocalDoorIndex(v, dj);
+  if (a < 0 || b < 0) return kInfDistance;
+  const size_t n = plan_->TouchingDoors(v).size();
+  return intra_[v][static_cast<size_t>(a) * n + static_cast<size_t>(b)];
+}
+
+double DistanceGraph::Fd2d(PartitionId v, DoorId di, DoorId dj) const {
+  INDOOR_CHECK(v < plan_->partition_count());
+  if (di == dj) {
+    // fd2d(v, d, d) = 0 when d touches v.
+    return plan_->Touches(di, v) ? 0.0 : kInfDistance;
+  }
+  // Requires di in P2D_enter(v) and dj in P2D_leave(v).
+  const auto& enter = plan_->EnterDoors(v);
+  if (!std::binary_search(enter.begin(), enter.end(), di)) {
+    return kInfDistance;
+  }
+  const auto& leave = plan_->LeaveDoors(v);
+  if (!std::binary_search(leave.begin(), leave.end(), dj)) {
+    return kInfDistance;
+  }
+  return IntraDoorDistance(v, di, dj);
+}
+
+}  // namespace indoor

@@ -1,0 +1,62 @@
+// The distance-aware model Gdist = (V, Ea, L, fdv, fd2d) (paper §III-C1):
+// the accessibility graph extended with the two distance constructs.
+//
+//   fdv(d, v)      — the longest distance one can reach within enterable
+//                    partition v from door d; infinity otherwise.
+//   fd2d(v, di, dj) — the intra-partition distance ||di, dj||v when di
+//                    enters v and dj leaves v; 0 when di == dj touches v;
+//                    infinity otherwise.
+//
+// Both are precomputed per partition at build time from the partition
+// geometry (obstructed where a partition has obstacles, scaled for
+// flattened staircases).
+
+#ifndef INDOOR_CORE_MODEL_DISTANCE_GRAPH_H_
+#define INDOOR_CORE_MODEL_DISTANCE_GRAPH_H_
+
+#include <vector>
+
+#include "core/model/accessibility_graph.h"
+
+namespace indoor {
+
+/// Gdist over a FloorPlan. The plan must outlive the graph.
+class DistanceGraph {
+ public:
+  explicit DistanceGraph(const FloorPlan& plan);
+
+  const FloorPlan& plan() const { return *plan_; }
+  const AccessibilityGraph& accessibility() const { return accs_; }
+
+  /// fdv: longest distance reachable inside `v` from door `d` when `v` is an
+  /// enterable partition of `d` (paper §III-C1 item 4); kInfDistance
+  /// otherwise.
+  double Fdv(DoorId d, PartitionId v) const;
+
+  /// fd2d: intra-partition door-to-door distance (paper §III-C1 item 5).
+  /// Returns ||di, dj||v when `di` enters and `dj` leaves `v`; 0 when
+  /// di == dj and the door touches `v`; kInfDistance otherwise.
+  double Fd2d(PartitionId v, DoorId di, DoorId dj) const;
+
+  /// Raw intra-partition distance between two touching doors of `v`,
+  /// ignoring direction permissions (used by index construction and the
+  /// iNav baseline). kInfDistance if either door does not touch `v`.
+  double IntraDoorDistance(PartitionId v, DoorId di, DoorId dj) const;
+
+ private:
+  /// Index of door `d` within TouchingDoors(v), or -1.
+  int LocalDoorIndex(PartitionId v, DoorId d) const;
+
+  const FloorPlan* plan_;
+  AccessibilityGraph accs_;
+  // Per (door, enterable-partition slot) fdv values, aligned with
+  // FloorPlan::EnterableParts(d).
+  std::vector<std::vector<double>> fdv_;
+  // Per partition: dense intra-distance matrix over TouchingDoors(v)
+  // (row-major n x n, n = touching door count).
+  std::vector<std::vector<double>> intra_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_MODEL_DISTANCE_GRAPH_H_

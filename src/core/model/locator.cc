@@ -1,0 +1,56 @@
+#include "core/model/locator.h"
+
+#include <sstream>
+
+namespace indoor {
+
+PartitionLocator::PartitionLocator(const FloorPlan& plan) : plan_(&plan) {
+  std::vector<std::pair<Rect, uint32_t>> items;
+  items.reserve(plan.partition_count());
+  for (const Partition& part : plan.partitions()) {
+    items.push_back(
+        {part.footprint().outer().BoundingBox(), part.id()});
+  }
+  rtree_.BulkLoad(std::move(items));
+}
+
+Result<PartitionId> PartitionLocator::GetHostPartition(
+    const Point& p) const {
+  PartitionId best = kInvalidId;
+  double best_area = 0.0;
+  for (uint32_t id : rtree_.QueryPoint(p)) {
+    const Partition& part = plan_->partition(id);
+    if (!part.Contains(p)) continue;
+    const double area = part.footprint().outer().Area();
+    const bool better =
+        best == kInvalidId ||
+        // Non-outdoor beats outdoor; then smaller area; then lower id.
+        (plan_->partition(best).IsOutdoor() && !part.IsOutdoor()) ||
+        (plan_->partition(best).IsOutdoor() == part.IsOutdoor() &&
+         (area < best_area || (area == best_area && id < best)));
+    if (better) {
+      best = id;
+      best_area = area;
+    }
+  }
+  if (best == kInvalidId) {
+    std::ostringstream msg;
+    msg << "position " << p << " is not inside any partition";
+    return Status::NotFound(msg.str());
+  }
+  return best;
+}
+
+double PartitionLocator::DistV(PartitionId v, const Point& p,
+                               DoorId d) const {
+  if (!plan_->Touches(d, v)) return kInfDistance;
+  return plan_->partition(v).IntraDistance(p, plan_->door(d).Midpoint());
+}
+
+double PartitionLocator::DistV(const Point& p, DoorId d) const {
+  auto host = GetHostPartition(p);
+  if (!host.ok()) return kInfDistance;
+  return DistV(host.value(), p, d);
+}
+
+}  // namespace indoor

@@ -1,0 +1,44 @@
+// getHostPartition and distV (paper §III-D2): locating the partition that
+// hosts an indoor position via an R-tree point query, and the shortest
+// intra-partition distance between a position and a touching door.
+
+#ifndef INDOOR_CORE_MODEL_LOCATOR_H_
+#define INDOOR_CORE_MODEL_LOCATOR_H_
+
+#include "indoor/floor_plan.h"
+#include "rtree/rtree.h"
+#include "util/result.h"
+
+namespace indoor {
+
+/// Point-locates positions in a floor plan. The plan must outlive the
+/// locator.
+class PartitionLocator {
+ public:
+  explicit PartitionLocator(const FloorPlan& plan);
+
+  const FloorPlan& plan() const { return *plan_; }
+
+  /// getHostPartition(p): the partition containing `p`. R-tree candidates
+  /// are refined by exact free-space containment; where footprints share a
+  /// boundary the non-outdoor partition with the smallest area wins (ties
+  /// by lowest id), so results are deterministic.
+  Result<PartitionId> GetHostPartition(const Point& p) const;
+
+  /// distV(p, d) with a known host partition `v` (paper Eq. 6): shortest
+  /// intra-partition walking distance from `p` to door `d`'s midpoint
+  /// without leaving `v`; kInfDistance if `d` does not touch `v`.
+  double DistV(PartitionId v, const Point& p, DoorId d) const;
+
+  /// distV(p, d) resolving the host partition internally; kInfDistance if
+  /// `p` is not indoors.
+  double DistV(const Point& p, DoorId d) const;
+
+ private:
+  const FloorPlan* plan_;
+  RTree rtree_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_MODEL_LOCATOR_H_

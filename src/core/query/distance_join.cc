@@ -1,0 +1,87 @@
+#include "core/query/distance_join.h"
+
+#include <algorithm>
+
+#include "core/distance/matrix_distance.h"
+
+namespace indoor {
+namespace {
+
+/// Door-level lower bound between two partitions (0 when P == Q).
+double PartitionLowerBound(const IndexFramework& index, PartitionId p,
+                           PartitionId q) {
+  if (p == q) return 0.0;
+  const FloorPlan& plan = index.plan();
+  const DistanceMatrix& md2d = index.d2d_matrix();
+  double lb = kInfDistance;
+  for (DoorId ds : plan.LeaveDoors(p)) {
+    for (DoorId dt : plan.EnterDoors(q)) {
+      lb = std::min(lb, md2d.At(ds, dt));
+    }
+  }
+  return lb;
+}
+
+}  // namespace
+
+double ObjectPairDistance(const IndexFramework& index, const IndoorObject& a,
+                          const IndoorObject& b) {
+  const FloorPlan& plan = index.plan();
+  const DistanceMatrix& md2d = index.d2d_matrix();
+  return std::min(Pt2PtDistanceMatrix(plan, md2d, a.partition, a.position,
+                                      b.partition, b.position),
+                  Pt2PtDistanceMatrix(plan, md2d, b.partition, b.position,
+                                      a.partition, a.position));
+}
+
+std::vector<JoinPair> DistanceJoin(const IndexFramework& index, double r) {
+  std::vector<JoinPair> result;
+  if (r < 0) return result;
+  const FloorPlan& plan = index.plan();
+  const ObjectStore& store = index.objects();
+
+  // Group objects by partition.
+  std::vector<std::vector<ObjectId>> by_partition(plan.partition_count());
+  for (const IndoorObject& obj : store.objects()) {
+    by_partition[obj.partition].push_back(obj.id);
+  }
+  std::vector<PartitionId> occupied;
+  for (PartitionId v = 0; v < plan.partition_count(); ++v) {
+    if (!by_partition[v].empty()) occupied.push_back(v);
+  }
+
+  // Partition-pair loop with the door-level lower bound as the filter
+  // step; the refinement computes exact symmetric distances per object
+  // pair.
+  for (size_t i = 0; i < occupied.size(); ++i) {
+    for (size_t j = i; j < occupied.size(); ++j) {
+      const PartitionId p = occupied[i];
+      const PartitionId q = occupied[j];
+      // Symmetric bound: either direction may realize the minimum.
+      const double lb = std::min(PartitionLowerBound(index, p, q),
+                                 PartitionLowerBound(index, q, p));
+      if (lb > r) continue;
+      const auto& objs_p = by_partition[p];
+      const auto& objs_q = by_partition[q];
+      for (size_t ai = 0; ai < objs_p.size(); ++ai) {
+        const IndoorObject& a = store.object(objs_p[ai]);
+        const size_t b_begin = (p == q) ? ai + 1 : 0;
+        for (size_t bi = b_begin; bi < objs_q.size(); ++bi) {
+          const IndoorObject& b = store.object(objs_q[bi]);
+          const double d = ObjectPairDistance(index, a, b);
+          if (d <= r) {
+            JoinPair pair{std::min(a.id, b.id), std::max(a.id, b.id), d};
+            result.push_back(pair);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const JoinPair& x, const JoinPair& y) {
+              return x.a < y.a || (x.a == y.a && x.b < y.b);
+            });
+  return result;
+}
+
+}  // namespace indoor

@@ -1,0 +1,61 @@
+#include "core/query/knn_query.h"
+
+namespace indoor {
+namespace {
+
+/// Lines 12-19 of Algorithm 6 for one DPT side: nnSearch in the partition's
+/// bucket anchored at door dj with the accumulated leg r2.
+void SearchSide(const IndexFramework& index, PartitionId part, DoorId dj,
+                double r2, KnnCollector* collector) {
+  if (part == kInvalidId) return;
+  const GridBucket& bucket = index.objects().bucket(part);
+  if (bucket.size() == 0) return;
+  bucket.NnSearch(index.plan().partition(part),
+                  index.plan().door(dj).Midpoint(), r2, collector);
+}
+
+}  // namespace
+
+std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
+                               size_t k, KnnQueryOptions options) {
+  const FloorPlan& plan = index.plan();
+  const auto host = index.locator().GetHostPartition(q);
+  if (!host.ok() || k == 0) return {};
+  const PartitionId v = host.value();
+
+  KnnCollector collector(k);
+  // Line 3: search the host partition directly.
+  index.objects().bucket(v).NnSearch(plan.partition(v), q, /*extra=*/0.0,
+                                     &collector);
+
+  const size_t n = plan.door_count();
+  const DistanceMatrix& md2d = index.d2d_matrix();
+  const DoorPartitionTable& dpt = index.dpt();
+
+  // Lines 4-19: expand through every leaveable door of the host partition.
+  for (DoorId di : plan.LeaveDoors(v)) {
+    const double r1 = index.locator().DistV(v, q, di);
+    if (r1 == kInfDistance) continue;
+    const double* row = md2d.Row(di);
+    if (options.use_index_matrix) {
+      const DoorId* order = index.index_matrix().Row(di);
+      for (size_t j = 0; j < n; ++j) {
+        const DoorId dj = order[j];
+        if (r1 + row[dj] > collector.Bound()) break;
+        const double r2 = r1 + row[dj];
+        SearchSide(index, dpt[dj].part1, dj, r2, &collector);
+        SearchSide(index, dpt[dj].part2, dj, r2, &collector);
+      }
+    } else {
+      for (DoorId dj = 0; dj < n; ++dj) {
+        if (r1 + row[dj] > collector.Bound()) continue;
+        const double r2 = r1 + row[dj];
+        SearchSide(index, dpt[dj].part1, dj, r2, &collector);
+        SearchSide(index, dpt[dj].part2, dj, r2, &collector);
+      }
+    }
+  }
+  return collector.Sorted();
+}
+
+}  // namespace indoor

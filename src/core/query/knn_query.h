@@ -1,0 +1,30 @@
+// Nearest-neighbor query Qnn(q) (paper §V-A2, Algorithm 6), generalized to
+// k >= 1 exactly as the paper's extension describes: a k-element result
+// array replaces (nn, distnn), and nnSearch updates it in place.
+
+#ifndef INDOOR_CORE_QUERY_KNN_QUERY_H_
+#define INDOOR_CORE_QUERY_KNN_QUERY_H_
+
+#include <vector>
+
+#include "core/index/index_framework.h"
+
+namespace indoor {
+
+/// Query knobs.
+struct KnnQueryOptions {
+  /// Use Midx to scan doors nearest-first with early termination; when
+  /// false the entire Md2d row is examined (paper Fig. 9's "without d2d
+  /// index" configuration).
+  bool use_index_matrix = true;
+};
+
+/// Executes the kNN query: the k objects with smallest indoor walking
+/// distance from q, nearest first (fewer if the building holds fewer
+/// reachable objects). Empty when q is not inside any partition.
+std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
+                               size_t k, KnnQueryOptions options = {});
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_KNN_QUERY_H_

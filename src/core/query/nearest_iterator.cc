@@ -1,0 +1,29 @@
+#include "core/query/nearest_iterator.h"
+
+namespace indoor {
+
+NearestIterator::NearestIterator(const IndexFramework& index, const Point& q,
+                                 size_t initial_k)
+    : index_(&index), query_(q), k_(initial_k == 0 ? 1 : initial_k) {
+  Refill();
+}
+
+void NearestIterator::Refill() {
+  cache_ = KnnQuery(*index_, query_, k_);
+  if (cache_.size() < k_) exhausted_ = true;
+}
+
+bool NearestIterator::HasNext() {
+  if (pos_ < cache_.size()) return true;
+  if (exhausted_) return false;
+  k_ *= 2;
+  Refill();
+  return pos_ < cache_.size();
+}
+
+Neighbor NearestIterator::Next() {
+  INDOOR_CHECK(HasNext()) << "NearestIterator exhausted";
+  return cache_[pos_++];
+}
+
+}  // namespace indoor

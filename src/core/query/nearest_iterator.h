@@ -1,0 +1,47 @@
+// Incremental nearest-neighbor browsing: objects streamed in increasing
+// walking-distance order without fixing k up front (the classic "distance
+// browsing" access pattern; useful when a consumer filters results and
+// does not know in advance how many neighbors it must inspect).
+//
+// Implementation: a k-doubling wrapper over Algorithm 6. Each refill
+// re-runs the indexed kNN query with twice the k; the kNN prefix property
+// (tested in property_test.cc) guarantees already-yielded prefixes stay
+// stable. Refills cost O(log n) query runs overall.
+
+#ifndef INDOOR_CORE_QUERY_NEAREST_ITERATOR_H_
+#define INDOOR_CORE_QUERY_NEAREST_ITERATOR_H_
+
+#include "core/query/knn_query.h"
+
+namespace indoor {
+
+/// Streams neighbors of a fixed query point, nearest first.
+class NearestIterator {
+ public:
+  /// `initial_k` sizes the first batch; the iterator grows it as needed.
+  NearestIterator(const IndexFramework& index, const Point& q,
+                  size_t initial_k = 8);
+
+  /// True if another neighbor exists (may trigger a refill).
+  bool HasNext();
+
+  /// The next-nearest neighbor. Requires HasNext().
+  Neighbor Next();
+
+  /// Number of neighbors yielded so far.
+  size_t yielded() const { return pos_; }
+
+ private:
+  void Refill();
+
+  const IndexFramework* index_;
+  Point query_;
+  size_t k_;
+  std::vector<Neighbor> cache_;
+  size_t pos_ = 0;
+  bool exhausted_ = false;  // the store has no more reachable objects
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_NEAREST_ITERATOR_H_

@@ -1,0 +1,9 @@
+#include "core/query/query_engine.h"
+
+namespace indoor {
+
+QueryEngine::QueryEngine(FloorPlan plan, IndexOptions options)
+    : plan_(std::make_unique<FloorPlan>(std::move(plan))),
+      index_(std::make_unique<IndexFramework>(*plan_, options)) {}
+
+}  // namespace indoor

@@ -1,0 +1,90 @@
+// QueryEngine: the library's top-level facade. Owns a floor plan and its
+// full indexing framework, and exposes the distance computations and
+// distance-aware queries of the paper behind one object.
+
+#ifndef INDOOR_CORE_QUERY_QUERY_ENGINE_H_
+#define INDOOR_CORE_QUERY_QUERY_ENGINE_H_
+
+#include <memory>
+
+#include "core/distance/matrix_distance.h"
+#include "core/distance/shortest_path.h"
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+
+namespace indoor {
+
+/// One-stop API over a floor plan: construct with a plan, add objects, ask
+/// for distances, paths, range and kNN results.
+///
+///   QueryEngine engine(MakeRunningExamplePlan());
+///   engine.AddObject(room, point);
+///   double d = engine.Distance(p, q);
+///   auto nearest = engine.Nearest(p, 3);
+class QueryEngine {
+ public:
+  /// Takes ownership of the plan and builds every index over it.
+  explicit QueryEngine(FloorPlan plan, IndexOptions options = {});
+
+  const FloorPlan& plan() const { return *plan_; }
+  const IndexFramework& index() const { return *index_; }
+  IndexFramework& index() { return *index_; }
+
+  /// Adds an object into `partition` at `position`.
+  Result<ObjectId> AddObject(PartitionId partition, const Point& position) {
+    return index_->objects().Insert(partition, position);
+  }
+
+  /// Relocates an object (moving populations).
+  Status MoveObject(ObjectId id, PartitionId partition,
+                    const Point& position) {
+    return index_->objects().MoveObject(id, partition, position);
+  }
+
+  /// Minimum indoor walking distance between two positions (exact; reads
+  /// the pre-computed Md2d, no per-query graph search). kInfDistance when
+  /// disconnected or not indoors.
+  double Distance(const Point& ps, const Point& pt) const {
+    return Pt2PtDistanceMatrix(index_->locator(), index_->d2d_matrix(), ps,
+                               pt);
+  }
+
+  /// Minimum walking distance between two doors.
+  double DoorDistance(DoorId ds, DoorId dt) const {
+    return index_->d2d_matrix().At(ds, dt);
+  }
+
+  /// Concrete shortest path between two positions.
+  IndoorPath ShortestPath(const Point& ps, const Point& pt,
+                          bool expand_waypoints = false) const {
+    return Pt2PtShortestPath(index_->distance_context(), ps, pt,
+                             expand_waypoints);
+  }
+
+  /// Range query Qr(q, r).
+  std::vector<ObjectId> Range(const Point& q, double r,
+                              RangeQueryOptions options = {}) const {
+    return RangeQuery(*index_, q, r, options);
+  }
+
+  /// kNN query, nearest first.
+  std::vector<Neighbor> Nearest(const Point& q, size_t k,
+                                KnnQueryOptions options = {}) const {
+    return KnnQuery(*index_, q, k, options);
+  }
+
+  /// getHostPartition(p).
+  Result<PartitionId> Locate(const Point& p) const {
+    return index_->locator().GetHostPartition(p);
+  }
+
+ private:
+  // unique_ptrs keep the plan's address stable for the index's back
+  // references while letting QueryEngine stay movable.
+  std::unique_ptr<FloorPlan> plan_;
+  std::unique_ptr<IndexFramework> index_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,77 @@
+#include "core/query/range_query.h"
+
+#include <algorithm>
+
+namespace indoor {
+namespace {
+
+/// Lines 11-20 of Algorithm 5 for one DPT side (partition + fdv value):
+/// whole-partition inclusion when fdv(dj, part) <= r2, else a grid-pruned
+/// intra-partition range search anchored at door dj.
+void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
+                DoorId dj, double r2, std::vector<ObjectId>* result) {
+  if (part == kInvalidId) return;
+  const GridBucket& bucket = index.objects().bucket(part);
+  if (bucket.size() == 0) return;
+  if (fdv <= r2) {
+    bucket.CollectAll(result);
+    return;
+  }
+  std::vector<Neighbor> found;
+  bucket.RangeSearch(index.plan().partition(part),
+                     index.plan().door(dj).Midpoint(), r2, &found);
+  for (const Neighbor& nb : found) result->push_back(nb.id);
+}
+
+}  // namespace
+
+std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
+                                 double r, RangeQueryOptions options) {
+  std::vector<ObjectId> result;
+  const FloorPlan& plan = index.plan();
+  const auto host = index.locator().GetHostPartition(q);
+  if (!host.ok() || r < 0) return result;
+  const PartitionId v = host.value();
+
+  // Line 2: search the host partition directly.
+  {
+    std::vector<Neighbor> found;
+    index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found);
+    for (const Neighbor& nb : found) result.push_back(nb.id);
+  }
+
+  const size_t n = plan.door_count();
+  const DistanceMatrix& md2d = index.d2d_matrix();
+  const DoorPartitionTable& dpt = index.dpt();
+
+  // Lines 3-20: expand through every leaveable door of the host partition.
+  for (DoorId di : plan.LeaveDoors(v)) {
+    const double r1 = r - index.locator().DistV(v, q, di);
+    if (r1 < 0) continue;
+    const double* row = md2d.Row(di);
+    if (options.use_index_matrix) {
+      const DoorId* order = index.index_matrix().Row(di);
+      for (size_t j = 0; j < n; ++j) {
+        const DoorId dj = order[j];
+        if (row[dj] > r1) break;  // nearest-first: nothing further qualifies
+        const double r2 = r1 - row[dj];
+        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2, &result);
+        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2, &result);
+      }
+    } else {
+      // Without Midx the whole Md2d row must be examined.
+      for (DoorId dj = 0; dj < n; ++dj) {
+        if (row[dj] > r1) continue;
+        const double r2 = r1 - row[dj];
+        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2, &result);
+        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2, &result);
+      }
+    }
+  }
+
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace indoor

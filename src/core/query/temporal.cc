@@ -1,0 +1,88 @@
+#include "core/query/temporal.h"
+
+#include <queue>
+
+namespace indoor {
+namespace internal {
+
+double SnapshotDijkstra(const DistanceGraph& graph,
+                        const DoorSchedule& schedule, double time,
+                        const std::vector<std::pair<DoorId, double>>& seeds,
+                        DoorId target, std::vector<double>* dist_out,
+                        std::vector<PrevEntry>* prev) {
+  const FloorPlan& plan = graph.plan();
+  const size_t n = plan.door_count();
+  std::vector<double> local;
+  std::vector<double>& dist = dist_out != nullptr ? *dist_out : local;
+  dist.assign(n, kInfDistance);
+  if (prev != nullptr) prev->assign(n, PrevEntry{});
+  std::vector<char> visited(n, 0);
+  using Entry = std::pair<double, DoorId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (const auto& [d, w] : seeds) {
+    if (!schedule.IsOpen(d, time)) continue;
+    if (w < dist[d]) {
+      dist[d] = w;
+      heap.push({w, d});
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, di] = heap.top();
+    heap.pop();
+    if (visited[di]) continue;
+    visited[di] = 1;
+    if (di == target) return d;
+    for (PartitionId v : plan.EnterableParts(di)) {
+      for (DoorId dj : plan.LeaveDoors(v)) {
+        if (visited[dj] || !schedule.IsOpen(dj, time)) continue;
+        const double w = graph.Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        if (d + w < dist[dj]) {
+          dist[dj] = d + w;
+          if (prev != nullptr) (*prev)[dj] = {v, di};
+          heap.push({dist[dj], dj});
+        }
+      }
+    }
+  }
+  return target == kInvalidId ? 0.0 : dist[target];
+}
+
+}  // namespace internal
+
+double D2dDistanceAtTime(const DistanceGraph& graph,
+                         const DoorSchedule& schedule, double time,
+                         DoorId ds, DoorId dt) {
+  INDOOR_CHECK(ds < graph.plan().door_count());
+  INDOOR_CHECK(dt < graph.plan().door_count());
+  return internal::SnapshotDijkstra(graph, schedule, time, {{ds, 0.0}}, dt,
+                                    nullptr, nullptr);
+}
+
+double Pt2PtDistanceAtTime(const DistanceContext& ctx,
+                           const DoorSchedule& schedule, double time,
+                           const Point& ps, const Point& pt) {
+  const FloorPlan& plan = ctx.graph->plan();
+  const auto endpoints = internal::ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return kInfDistance;
+
+  double best = internal::DirectCandidate(ctx, endpoints, ps, pt);
+
+  std::vector<std::pair<DoorId, double>> seeds;
+  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
+    const double leg = ctx.locator->DistV(endpoints.vs, ps, ds);
+    if (leg != kInfDistance) seeds.push_back({ds, leg});
+  }
+  std::vector<double> dist;
+  internal::SnapshotDijkstra(*ctx.graph, schedule, time, seeds, kInvalidId,
+                             &dist, nullptr);
+  for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
+    if (dist[dt] == kInfDistance) continue;
+    const double leg = ctx.locator->DistV(endpoints.vt, pt, dt);
+    if (leg == kInfDistance) continue;
+    best = std::min(best, dist[dt] + leg);
+  }
+  return best;
+}
+
+}  // namespace indoor

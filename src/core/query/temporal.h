@@ -1,0 +1,83 @@
+// Temporal extension (the paper's §VII future-work direction, implemented):
+// doors may be open only during certain periods, and distance queries take
+// a time point, returning the indoor distances valid at that instant.
+
+#ifndef INDOOR_CORE_QUERY_TEMPORAL_H_
+#define INDOOR_CORE_QUERY_TEMPORAL_H_
+
+#include <vector>
+
+#include "core/distance/d2d_distance.h"
+#include "core/distance/pt2pt_distance.h"
+
+namespace indoor {
+
+/// A half-open time interval [begin, end) in seconds (e.g. seconds of day).
+struct TimeInterval {
+  double begin = 0.0;
+  double end = 0.0;
+
+  bool Contains(double t) const { return t >= begin && t < end; }
+};
+
+/// Per-door open schedules. Doors without a schedule are always open.
+/// Temporal information lives on edges (= doors), exactly the extension
+/// path the paper's doors-as-edges design argues for (§III-C2).
+class DoorSchedule {
+ public:
+  explicit DoorSchedule(size_t door_count)
+      : intervals_(door_count), scheduled_(door_count, 0) {}
+
+  /// Replaces door `d`'s schedule. Intervals may be unsorted; overlapping
+  /// intervals are permitted and treated as a union.
+  void SetOpenIntervals(DoorId d, std::vector<TimeInterval> intervals) {
+    INDOOR_CHECK(d < intervals_.size());
+    intervals_[d] = std::move(intervals);
+    scheduled_[d] = 1;
+  }
+
+  /// Marks door `d` permanently closed.
+  void Close(DoorId d) { SetOpenIntervals(d, {}); }
+
+  bool IsOpen(DoorId d, double time) const {
+    INDOOR_CHECK(d < intervals_.size());
+    if (!scheduled_[d]) return true;
+    for (const TimeInterval& iv : intervals_[d]) {
+      if (iv.Contains(time)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<TimeInterval>> intervals_;
+  std::vector<char> scheduled_;
+};
+
+/// d2dDistance at time `t`: Algorithm 1 over the snapshot graph in which
+/// closed doors are removed. kInfDistance when ds is closed at t or dt is
+/// unreachable through open doors.
+double D2dDistanceAtTime(const DistanceGraph& graph,
+                         const DoorSchedule& schedule, double time,
+                         DoorId ds, DoorId dt);
+
+/// Position-to-position distance at time `t` (multi-source Dijkstra over
+/// the open-door snapshot plus the direct intra-partition candidate).
+double Pt2PtDistanceAtTime(const DistanceContext& ctx,
+                           const DoorSchedule& schedule, double time,
+                           const Point& ps, const Point& pt);
+
+namespace internal {
+
+/// Dijkstra over the time-t snapshot (closed doors removed), seeded with
+/// (door, offset) pairs. Stops early when `target` settles (pass
+/// kInvalidId to compute all); fills dist (and prev when non-null).
+double SnapshotDijkstra(const DistanceGraph& graph,
+                        const DoorSchedule& schedule, double time,
+                        const std::vector<std::pair<DoorId, double>>& seeds,
+                        DoorId target, std::vector<double>* dist,
+                        std::vector<PrevEntry>* prev);
+
+}  // namespace internal
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_TEMPORAL_H_

@@ -1,0 +1,168 @@
+#include "core/query/temporal_query.h"
+
+#include <algorithm>
+
+namespace indoor {
+namespace {
+
+/// Seeds for the snapshot Dijkstra: the host partition's leaveable doors
+/// with their distV legs.
+std::vector<std::pair<DoorId, double>> SeedsFrom(const IndexFramework& index,
+                                                 PartitionId v,
+                                                 const Point& q) {
+  std::vector<std::pair<DoorId, double>> seeds;
+  for (DoorId ds : index.plan().LeaveDoors(v)) {
+    const double leg = index.locator().DistV(v, q, ds);
+    if (leg != kInfDistance) seeds.push_back({ds, leg});
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<ObjectId> RangeQueryAtTime(const IndexFramework& index,
+                                       const DoorSchedule& schedule,
+                                       double time, const Point& q,
+                                       double r) {
+  std::vector<ObjectId> result;
+  const FloorPlan& plan = index.plan();
+  const auto host = index.locator().GetHostPartition(q);
+  if (!host.ok() || r < 0) return result;
+  const PartitionId v = host.value();
+
+  // Host partition first (intra-partition movement needs no doors).
+  {
+    std::vector<Neighbor> found;
+    index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found);
+    for (const Neighbor& nb : found) result.push_back(nb.id);
+  }
+
+  // One snapshot Dijkstra replaces the Md2d row scans of Algorithm 5.
+  std::vector<double> dist;
+  internal::SnapshotDijkstra(index.graph(), schedule, time,
+                             SeedsFrom(index, v, q), kInvalidId, &dist,
+                             nullptr);
+  const DoorPartitionTable& dpt = index.dpt();
+  for (DoorId dj = 0; dj < plan.door_count(); ++dj) {
+    if (dist[dj] > r) continue;
+    const double r2 = r - dist[dj];
+    for (const auto& [part, fdv] :
+         {std::pair{dpt[dj].part1, dpt[dj].dist1},
+          std::pair{dpt[dj].part2, dpt[dj].dist2}}) {
+      if (part == kInvalidId) continue;
+      const GridBucket& bucket = index.objects().bucket(part);
+      if (bucket.size() == 0) continue;
+      if (fdv <= r2) {
+        bucket.CollectAll(&result);
+        continue;
+      }
+      std::vector<Neighbor> found;
+      bucket.RangeSearch(plan.partition(part), plan.door(dj).Midpoint(), r2,
+                         &found);
+      for (const Neighbor& nb : found) result.push_back(nb.id);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<Neighbor> KnnQueryAtTime(const IndexFramework& index,
+                                     const DoorSchedule& schedule,
+                                     double time, const Point& q, size_t k) {
+  const FloorPlan& plan = index.plan();
+  const auto host = index.locator().GetHostPartition(q);
+  if (!host.ok() || k == 0) return {};
+  const PartitionId v = host.value();
+
+  KnnCollector collector(k);
+  index.objects().bucket(v).NnSearch(plan.partition(v), q, 0.0, &collector);
+
+  std::vector<double> dist;
+  internal::SnapshotDijkstra(index.graph(), schedule, time,
+                             SeedsFrom(index, v, q), kInvalidId, &dist,
+                             nullptr);
+  // Visit doors nearest-first so the bound tightens early.
+  std::vector<std::pair<double, DoorId>> order;
+  for (DoorId dj = 0; dj < plan.door_count(); ++dj) {
+    if (dist[dj] != kInfDistance) order.push_back({dist[dj], dj});
+  }
+  std::sort(order.begin(), order.end());
+  const DoorPartitionTable& dpt = index.dpt();
+  for (const auto& [dj_dist, dj] : order) {
+    if (dj_dist > collector.Bound()) break;
+    for (PartitionId part : {dpt[dj].part1, dpt[dj].part2}) {
+      if (part == kInvalidId) continue;
+      const GridBucket& bucket = index.objects().bucket(part);
+      if (bucket.size() == 0) continue;
+      bucket.NnSearch(plan.partition(part), plan.door(dj).Midpoint(),
+                      dj_dist, &collector);
+    }
+  }
+  return collector.Sorted();
+}
+
+IndoorPath Pt2PtShortestPathAtTime(const DistanceContext& ctx,
+                                   const DoorSchedule& schedule, double time,
+                                   const Point& ps, const Point& pt) {
+  const FloorPlan& plan = ctx.graph->plan();
+  IndoorPath path;
+  const auto endpoints = internal::ResolveEndpoints(ctx, ps, pt);
+  if (!endpoints.ok()) return path;
+
+  const double direct = internal::DirectCandidate(ctx, endpoints, ps, pt);
+
+  std::vector<std::pair<DoorId, double>> seeds;
+  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
+    const double leg = ctx.locator->DistV(endpoints.vs, ps, ds);
+    if (leg != kInfDistance) seeds.push_back({ds, leg});
+  }
+  std::vector<double> dist;
+  std::vector<PrevEntry> prev;
+  internal::SnapshotDijkstra(*ctx.graph, schedule, time, seeds, kInvalidId,
+                             &dist, &prev);
+
+  DoorId best_door = kInvalidId;
+  double best = kInfDistance;
+  for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
+    if (dist[dt] == kInfDistance) continue;
+    const double leg = ctx.locator->DistV(endpoints.vt, pt, dt);
+    if (leg == kInfDistance) continue;
+    if (dist[dt] + leg < best) {
+      best = dist[dt] + leg;
+      best_door = dt;
+    }
+  }
+
+  if (direct <= best) {
+    if (direct == kInfDistance) return path;
+    path.length = direct;
+    path.partitions = {endpoints.vs};
+    path.waypoints = {ps, pt};
+    return path;
+  }
+
+  path.length = best;
+  std::vector<DoorId> doors{best_door};
+  std::vector<PartitionId> mid_parts;
+  DoorId cur = best_door;
+  while (prev[cur].door != kInvalidId) {
+    mid_parts.push_back(prev[cur].partition);
+    cur = prev[cur].door;
+    doors.push_back(cur);
+  }
+  std::reverse(doors.begin(), doors.end());
+  std::reverse(mid_parts.begin(), mid_parts.end());
+  path.doors = std::move(doors);
+  path.partitions.push_back(endpoints.vs);
+  for (PartitionId v : mid_parts) path.partitions.push_back(v);
+  path.partitions.push_back(endpoints.vt);
+  path.waypoints.push_back(ps);
+  for (DoorId d : path.doors) {
+    path.waypoints.push_back(plan.door(d).Midpoint());
+  }
+  path.waypoints.push_back(pt);
+  return path;
+}
+
+}  // namespace indoor

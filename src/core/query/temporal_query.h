@@ -1,0 +1,38 @@
+// Time-parameterized distance-aware queries: range, kNN, and shortest
+// paths evaluated against the door schedule's snapshot at a time point.
+//
+// The pre-computed Md2d/Midx describe the all-doors-open building; when
+// doors follow schedules (paper §VII future work), a query at time t runs
+// one snapshot Dijkstra from the query position instead of reading the
+// matrix, then reuses the same DPT + grid-bucket machinery as Algorithms
+// 5-6. bench_ablation_temporal quantifies what the precomputation buys.
+
+#ifndef INDOOR_CORE_QUERY_TEMPORAL_QUERY_H_
+#define INDOOR_CORE_QUERY_TEMPORAL_QUERY_H_
+
+#include "core/distance/shortest_path.h"
+#include "core/index/index_framework.h"
+#include "core/query/temporal.h"
+
+namespace indoor {
+
+/// Range query Qr(q, r) at time `t`: objects within walking distance r of
+/// q using only doors open at t. Sorted unique ids.
+std::vector<ObjectId> RangeQueryAtTime(const IndexFramework& index,
+                                       const DoorSchedule& schedule,
+                                       double time, const Point& q,
+                                       double r);
+
+/// kNN query at time `t`, nearest first.
+std::vector<Neighbor> KnnQueryAtTime(const IndexFramework& index,
+                                     const DoorSchedule& schedule,
+                                     double time, const Point& q, size_t k);
+
+/// Shortest path at time `t` (crosses only doors open at t).
+IndoorPath Pt2PtShortestPathAtTime(const DistanceContext& ctx,
+                                   const DoorSchedule& schedule, double time,
+                                   const Point& ps, const Point& pt);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_TEMPORAL_QUERY_H_

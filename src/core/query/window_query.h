@@ -1,0 +1,28 @@
+// Window query: all objects whose position falls inside an axis-aligned
+// rectangle — the classic viewport retrieval (a map UI shows a window of
+// the floor plan and needs the objects in it). Purely geometric, no
+// walking distances involved: partition candidates come from the R-tree,
+// objects from the grid buckets' cells overlapping the window.
+
+#ifndef INDOOR_CORE_QUERY_WINDOW_QUERY_H_
+#define INDOOR_CORE_QUERY_WINDOW_QUERY_H_
+
+#include <vector>
+
+#include "core/index/index_framework.h"
+
+namespace indoor {
+
+/// Ids of all stored objects positioned within `window` (closed bounds),
+/// sorted. Objects of every partition kind are reported, including
+/// outdoor ones.
+std::vector<ObjectId> WindowQuery(const IndexFramework& index,
+                                  const Rect& window);
+
+/// Count-only variant (cheaper: whole cells inside the window are counted
+/// without per-object tests).
+size_t WindowCount(const IndexFramework& index, const Rect& window);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_WINDOW_QUERY_H_

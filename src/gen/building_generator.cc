@@ -1,0 +1,169 @@
+#include "gen/building_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "indoor/floor_plan_builder.h"
+
+namespace indoor {
+
+FloorPlan GenerateBuilding(const BuildingConfig& config) {
+  INDOOR_CHECK(config.floors >= 1);
+  INDOOR_CHECK(config.rooms_per_floor >= 1);
+  INDOOR_CHECK(config.room_size_jitter >= 0.0 &&
+               config.room_size_jitter < 1.0);
+  Rng rng(config.seed);
+  FloorPlanBuilder builder;
+
+  const int rooms_bottom = (config.rooms_per_floor + 1) / 2;
+  const int rooms_top = config.rooms_per_floor / 2;
+  const double rw = config.room_width;
+  const double width = rooms_bottom * rw;  // hallway length
+  const double max_depth = config.room_depth * (1.0 + config.room_size_jitter);
+  const double band = 2.0 * max_depth + config.hallway_width;
+  const double stride = band + config.floor_gap;
+  const double dw = config.door_width;
+  const double shaft_depth = 3.0;
+
+  // Per-floor hallway partition ids and y-extents.
+  std::vector<PartitionId> hallways(config.floors + 1, kInvalidId);
+  std::vector<double> hall_lo(config.floors + 1), hall_hi(config.floors + 1);
+
+  PartitionId outdoor = kInvalidId;
+  if (config.with_outdoor) {
+    const double top = (config.floors - 1) * stride + band;
+    outdoor = builder.AddPartition(
+        "outdoor", PartitionKind::kOutdoor, 0,
+        Rect(-shaft_depth - 2.0, -2.0, width + shaft_depth + 2.0, top + 2.0));
+  }
+
+  for (int f = 1; f <= config.floors; ++f) {
+    const double y0 = (f - 1) * stride;
+    hall_lo[f] = y0 + max_depth;
+    hall_hi[f] = hall_lo[f] + config.hallway_width;
+    const std::string prefix = "f" + std::to_string(f) + "_";
+
+    hallways[f] =
+        builder.AddPartition(prefix + "hall", PartitionKind::kHallway, f,
+                             Rect(0.0, hall_lo[f], width, hall_hi[f]));
+
+    // Rooms on each hallway side, star-connected through one door each;
+    // optional extra doors between side-neighbors (room_to_room_doors).
+    struct SideRoom {
+      PartitionId id;
+      double depth;
+    };
+    auto add_side = [&](int count, int index_base, bool below) {
+      std::vector<SideRoom> side;
+      for (int i = 0; i < count; ++i) {
+        const double depth =
+            config.room_depth *
+            (1.0 + config.room_size_jitter * (2.0 * rng.NextDouble() - 1.0));
+        const double x0 = i * rw;
+        const double wall = below ? hall_lo[f] : hall_hi[f];
+        const Rect footprint =
+            below ? Rect(x0, wall - depth, x0 + rw, wall)
+                  : Rect(x0, wall, x0 + rw, wall + depth);
+        PartitionId room;
+        if (rng.NextBool(config.obstacle_probability)) {
+          // A centered pillar covering ~1/3 of each room dimension; the
+          // ring around it stays walkable and the wall-mounted door stays
+          // clear.
+          const Point center = footprint.Center();
+          const double hw = footprint.Width() / 6.0;
+          const double hh = footprint.Height() / 6.0;
+          auto region = ObstructedRegion::Create(
+              Polygon::FromRect(footprint),
+              {Polygon::FromRect(Rect(center.x - hw, center.y - hh,
+                                      center.x + hw, center.y + hh))});
+          INDOOR_CHECK(region.ok()) << region.status().ToString();
+          room = builder.AddPartition(
+              prefix + "room" + std::to_string(index_base + i),
+              PartitionKind::kRoom, f, std::move(region).value());
+        } else {
+          room = builder.AddPartition(
+              prefix + "room" + std::to_string(index_base + i),
+              PartitionKind::kRoom, f, footprint);
+        }
+        // Door on the hallway wall, jittered within the middle half.
+        const double dx = x0 + rw * (0.25 + 0.5 * rng.NextDouble());
+        builder.AddBidirectionalDoor(
+            prefix + "d" + std::to_string(index_base + i),
+            Segment({dx - dw / 2, wall}, {dx + dw / 2, wall}), room,
+            hallways[f]);
+        side.push_back({room, depth});
+      }
+      // Extra doors through the shared walls of neighboring rooms.
+      for (int i = 0; i + 1 < count; ++i) {
+        if (!rng.NextBool(config.room_to_room_doors)) continue;
+        const double x_wall = (i + 1) * rw;
+        const double overlap = std::min(side[i].depth, side[i + 1].depth);
+        const double wall = below ? hall_lo[f] : hall_hi[f];
+        const double dy = below ? wall - overlap * 0.5 : wall + overlap * 0.5;
+        const Segment geom({x_wall, dy - dw / 2}, {x_wall, dy + dw / 2});
+        const std::string name =
+            prefix + "r2r" + std::to_string(index_base + i);
+        if (rng.NextBool(config.one_way_fraction)) {
+          const bool forward = rng.NextBool();
+          builder.AddUnidirectionalDoor(
+              name, geom, forward ? side[i].id : side[i + 1].id,
+              forward ? side[i + 1].id : side[i].id);
+        } else {
+          builder.AddBidirectionalDoor(name, geom, side[i].id,
+                                       side[i + 1].id);
+        }
+      }
+    };
+    add_side(rooms_bottom, 0, /*below=*/true);
+    add_side(rooms_top, rooms_bottom, /*below=*/false);
+  }
+
+  // Staircase flights between consecutive floors, alternating between the
+  // two shafts at the hallway ends: every middle floor gets exactly two
+  // staircase doors (one flight arriving, one leaving).
+  auto add_flight = [&](int f, bool right, const std::string& name) {
+    const double x_wall = right ? width : 0.0;
+    const double x_outer = right ? width + shaft_depth : -shaft_depth;
+    const double mid_lower = (hall_lo[f] + hall_hi[f]) / 2.0;
+    const double mid_upper = (hall_lo[f + 1] + hall_hi[f + 1]) / 2.0;
+    const double flat = mid_upper - mid_lower;
+    const double scale = config.stair_walk_length / flat;
+    const PartitionId flight = builder.AddPartition(
+        name, PartitionKind::kStaircase, f,
+        Rect(std::min(x_wall, x_outer), hall_lo[f],
+             std::max(x_wall, x_outer), hall_hi[f + 1]),
+        scale);
+    builder.AddBidirectionalDoor(
+        name + "_lo",
+        Segment({x_wall, mid_lower - dw / 2}, {x_wall, mid_lower + dw / 2}),
+        hallways[f], flight);
+    builder.AddBidirectionalDoor(
+        name + "_hi",
+        Segment({x_wall, mid_upper - dw / 2}, {x_wall, mid_upper + dw / 2}),
+        flight, hallways[f + 1]);
+  };
+  for (int f = 1; f < config.floors; ++f) {
+    if (config.parallel_staircases) {
+      add_flight(f, /*right=*/true, "stair" + std::to_string(f) + "R");
+      add_flight(f, /*right=*/false, "stair" + std::to_string(f) + "L");
+    } else {
+      add_flight(f, /*right=*/(f % 2 == 1), "stair" + std::to_string(f));
+    }
+  }
+
+  if (config.with_outdoor) {
+    // Ground-floor entrance on the hallway's left end (the left shaft is
+    // first used by flight 2, which starts at floor 2, so floor 1's left
+    // wall is free).
+    const double mid = (hall_lo[1] + hall_hi[1]) / 2.0;
+    builder.AddBidirectionalDoor(
+        "entrance", Segment({0.0, mid - dw / 2}, {0.0, mid + dw / 2}),
+        outdoor, hallways[1]);
+  }
+
+  auto plan = std::move(builder).Build();
+  INDOOR_CHECK(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+}  // namespace indoor

@@ -1,0 +1,67 @@
+// Synthetic office buildings, replicating the paper's evaluation workload
+// (§VI-A): per floor, 30 rooms and 2 staircases all connected to a hallway
+// in a star-like manner; multi-floor buildings are flattened by modeling
+// each staircase flight as a virtual room with two doors whose
+// intra-partition distance carries the actual stair walking length.
+
+#ifndef INDOOR_GEN_BUILDING_GENERATOR_H_
+#define INDOOR_GEN_BUILDING_GENERATOR_H_
+
+#include "indoor/floor_plan.h"
+#include "util/random.h"
+
+namespace indoor {
+
+/// Generator knobs. Defaults reproduce the paper's configuration.
+struct BuildingConfig {
+  /// Number of floors (the paper sweeps 10..40).
+  int floors = 10;
+  /// Rooms per floor, split evenly on the two sides of the hallway.
+  int rooms_per_floor = 30;
+  /// Base room slot width / depth in meters. Depths are jittered per room
+  /// ("the indoor partitions ... do not all have the same size", §VI-B).
+  double room_width = 5.0;
+  double room_depth = 5.0;
+  /// Relative depth jitter in [0, 1).
+  double room_size_jitter = 0.3;
+  double hallway_width = 3.0;
+  double door_width = 0.4;
+  /// Vertical gap between floor bands in the flattened 2D frame.
+  double floor_gap = 2.0;
+  /// Actual walking length of one staircase flight (the virtual room's
+  /// door-to-door distance).
+  double stair_walk_length = 10.0;
+  /// Include the outdoor partition and a ground-floor entrance door.
+  bool with_outdoor = true;
+  /// When false (the paper's configuration), consecutive floors are linked
+  /// by ONE flight, alternating between the two shafts, so every middle
+  /// floor sees exactly 2 staircase doors. When true, BOTH shafts carry a
+  /// flight in every gap (redundant vertical routes, e.g. for evacuation
+  /// studies); middle floors then see 4 staircase doors.
+  bool parallel_staircases = false;
+  /// Probability of an extra door between two neighboring rooms on the
+  /// same hallway side (0 reproduces the paper's pure star topology).
+  /// Room-to-room doors create the fewer-doors-vs-shorter-walk tension the
+  /// paper's §I example builds on.
+  double room_to_room_doors = 0.0;
+  /// Fraction of room-to-room doors that are unidirectional (random
+  /// direction). Room-hallway doors stay bidirectional so the building
+  /// remains strongly connected.
+  double one_way_fraction = 0.0;
+  /// Probability that a room contains a centered rectangular obstacle
+  /// (furniture/exhibition stand), exercising obstructed intra-partition
+  /// distances (paper §III-C1, Fig. 5) at workload scale.
+  double obstacle_probability = 0.0;
+  /// Seed for the per-room depth/door jitter.
+  uint64_t seed = 42;
+};
+
+/// Generates the building. Partition floors are 1-based; staircase flights
+/// carry the floor number of their lower landing. Door count per middle
+/// floor is rooms_per_floor + 2 (the paper's "30 doors plus 2 virtual
+/// doors (staircases) at each floor").
+FloorPlan GenerateBuilding(const BuildingConfig& config);
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEN_BUILDING_GENERATOR_H_

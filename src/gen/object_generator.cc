@@ -1,0 +1,61 @@
+#include "gen/object_generator.h"
+
+#include <map>
+
+namespace indoor {
+
+Point RandomPointInPartition(const Partition& partition, Rng* rng) {
+  const Rect bbox = partition.footprint().outer().BoundingBox();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const Point p(rng->NextDouble(bbox.lo.x, bbox.hi.x),
+                  rng->NextDouble(bbox.lo.y, bbox.hi.y));
+    if (partition.Contains(p)) return p;
+  }
+  INDOOR_CHECK(false) << "no free space found in partition"
+                      << partition.name();
+  return bbox.Center();
+}
+
+PartitionSampler::PartitionSampler(const FloorPlan& plan) {
+  std::map<int, std::vector<PartitionId>> by_floor;
+  for (const Partition& part : plan.partitions()) {
+    if (part.IsOutdoor()) continue;
+    by_floor[part.floor()].push_back(part.id());
+  }
+  INDOOR_CHECK(!by_floor.empty()) << "plan has no indoor partitions";
+  by_floor_.reserve(by_floor.size());
+  for (auto& [floor, parts] : by_floor) {
+    by_floor_.push_back(std::move(parts));
+  }
+}
+
+PartitionId PartitionSampler::Sample(Rng* rng) const {
+  const auto& floor = by_floor_[rng->NextIndex(by_floor_.size())];
+  return floor[rng->NextIndex(floor.size())];
+}
+
+PartitionId RandomIndoorPartition(const FloorPlan& plan, Rng* rng) {
+  return PartitionSampler(plan).Sample(rng);
+}
+
+std::vector<GeneratedObject> GenerateObjects(const FloorPlan& plan,
+                                             size_t count, Rng* rng) {
+  const PartitionSampler sampler(plan);
+  std::vector<GeneratedObject> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PartitionId v = sampler.Sample(rng);
+    out.push_back({v, RandomPointInPartition(plan.partition(v), rng)});
+  }
+  return out;
+}
+
+void PopulateStore(const std::vector<GeneratedObject>& objects,
+                   ObjectStore* store) {
+  for (const GeneratedObject& obj : objects) {
+    auto result = store->Insert(obj.partition, obj.position);
+    INDOOR_CHECK(result.ok()) << result.status().ToString();
+  }
+}
+
+}  // namespace indoor

@@ -1,0 +1,52 @@
+// Random indoor objects, following the paper's procedure (§VI-B): pick a
+// floor at random, pick a partition on that floor at random, then pick a
+// uniform position inside that partition.
+
+#ifndef INDOOR_GEN_OBJECT_GENERATOR_H_
+#define INDOOR_GEN_OBJECT_GENERATOR_H_
+
+#include <vector>
+
+#include "core/index/object_store.h"
+#include "util/random.h"
+
+namespace indoor {
+
+/// A generated object placement.
+struct GeneratedObject {
+  PartitionId partition;
+  Point position;
+};
+
+/// Uniform point in the partition's free space (rejection sampling over the
+/// footprint bounding box; first try for rectangular obstacle-free rooms).
+Point RandomPointInPartition(const Partition& partition, Rng* rng);
+
+/// Samples indoor partitions with the paper's two-stage procedure (random
+/// floor, then random partition on that floor), with the floor grouping
+/// precomputed once.
+class PartitionSampler {
+ public:
+  explicit PartitionSampler(const FloorPlan& plan);
+
+  PartitionId Sample(Rng* rng) const;
+
+ private:
+  std::vector<std::vector<PartitionId>> by_floor_;
+};
+
+/// One-shot convenience around PartitionSampler.
+PartitionId RandomIndoorPartition(const FloorPlan& plan, Rng* rng);
+
+/// `count` random object placements.
+std::vector<GeneratedObject> GenerateObjects(const FloorPlan& plan,
+                                             size_t count, Rng* rng);
+
+/// Inserts placements into `store` (aborts on placement rejection, which
+/// would indicate a generator bug).
+void PopulateStore(const std::vector<GeneratedObject>& objects,
+                   ObjectStore* store);
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEN_OBJECT_GENERATOR_H_

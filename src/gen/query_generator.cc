@@ -1,0 +1,70 @@
+#include "gen/query_generator.h"
+
+#include <algorithm>
+
+namespace indoor {
+
+Point RandomIndoorPosition(const FloorPlan& plan, Rng* rng) {
+  const PartitionId v = RandomIndoorPartition(plan, rng);
+  return RandomPointInPartition(plan.partition(v), rng);
+}
+
+std::vector<Point> GenerateQueryPositions(const FloorPlan& plan,
+                                          size_t count, Rng* rng) {
+  const PartitionSampler sampler(plan);
+  std::vector<Point> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PartitionId v = sampler.Sample(rng);
+    out.push_back(RandomPointInPartition(plan.partition(v), rng));
+  }
+  return out;
+}
+
+std::vector<std::pair<Point, Point>> GeneratePositionPairs(
+    const FloorPlan& plan, size_t count, Rng* rng) {
+  const PartitionSampler sampler(plan);
+  std::vector<std::pair<Point, Point>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PartitionId vs = sampler.Sample(rng);
+    const PartitionId vt = sampler.Sample(rng);
+    out.push_back({RandomPointInPartition(plan.partition(vs), rng),
+                   RandomPointInPartition(plan.partition(vt), rng)});
+  }
+  return out;
+}
+
+AreaSampler::AreaSampler(const FloorPlan& plan) : plan_(&plan) {
+  double total = 0.0;
+  for (const Partition& part : plan.partitions()) {
+    if (part.IsOutdoor()) continue;
+    total += part.footprint().outer().Area();
+    partitions_.push_back(part.id());
+    cumulative_area_.push_back(total);
+  }
+  INDOOR_CHECK(!partitions_.empty()) << "plan has no indoor partitions";
+}
+
+Point AreaSampler::Sample(Rng* rng) const {
+  const double pick = rng->NextDouble(0.0, cumulative_area_.back());
+  const auto it = std::lower_bound(cumulative_area_.begin(),
+                                   cumulative_area_.end(), pick);
+  const size_t idx =
+      std::min(static_cast<size_t>(it - cumulative_area_.begin()),
+               partitions_.size() - 1);
+  return RandomPointInPartition(plan_->partition(partitions_[idx]), rng);
+}
+
+std::vector<std::pair<Point, Point>> GeneratePositionPairsByArea(
+    const FloorPlan& plan, size_t count, Rng* rng) {
+  const AreaSampler sampler(plan);
+  std::vector<std::pair<Point, Point>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({sampler.Sample(rng), sampler.Sample(rng)});
+  }
+  return out;
+}
+
+}  // namespace indoor

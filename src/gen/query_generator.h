@@ -1,0 +1,48 @@
+// Random query workloads: positions and position pairs, drawn with the
+// paper's procedure (random floor, random partition, random position).
+
+#ifndef INDOOR_GEN_QUERY_GENERATOR_H_
+#define INDOOR_GEN_QUERY_GENERATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "gen/object_generator.h"
+
+namespace indoor {
+
+/// One uniform random indoor position.
+Point RandomIndoorPosition(const FloorPlan& plan, Rng* rng);
+
+/// `count` random query positions (for range/kNN workloads).
+std::vector<Point> GenerateQueryPositions(const FloorPlan& plan,
+                                          size_t count, Rng* rng);
+
+/// `count` random (source, destination) position pairs (for the pt2pt
+/// distance workloads of Figs. 6-7).
+std::vector<std::pair<Point, Point>> GeneratePositionPairs(
+    const FloorPlan& plan, size_t count, Rng* rng);
+
+/// Samples indoor positions uniformly BY AREA over all non-outdoor
+/// partitions ("we generate at random two indoor positions in the floor
+/// plan", §VI-A) — large hallways are proportionally likelier than small
+/// rooms, unlike the per-partition two-stage sampler.
+class AreaSampler {
+ public:
+  explicit AreaSampler(const FloorPlan& plan);
+
+  Point Sample(Rng* rng) const;
+
+ private:
+  const FloorPlan* plan_;
+  std::vector<PartitionId> partitions_;
+  std::vector<double> cumulative_area_;
+};
+
+/// `count` area-uniform (source, destination) pairs.
+std::vector<std::pair<Point, Point>> GeneratePositionPairsByArea(
+    const FloorPlan& plan, size_t count, Rng* rng);
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEN_QUERY_GENERATOR_H_

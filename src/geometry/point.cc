@@ -1,0 +1,13 @@
+#include "geometry/point.h"
+
+namespace indoor {
+
+bool ApproxEqual(const Point& a, const Point& b, double eps) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace indoor

@@ -1,0 +1,73 @@
+// 2D points/vectors. All coordinates are meters in the building-local frame.
+// Multi-floor buildings are "flattened" (paper §VI-A): every partition lives
+// in one shared 2D frame, with floors laid out side by side by the generator,
+// and staircase walking lengths carried as intra-partition distances.
+
+#ifndef INDOOR_GEOMETRY_POINT_H_
+#define INDOOR_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace indoor {
+
+/// A 2D point (or vector) in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+};
+
+/// Dot product.
+inline double Dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Z-component of the cross product (a x b).
+inline double Cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Signed area*2 of triangle (a, b, c); >0 iff counter-clockwise.
+inline double Orient(const Point& a, const Point& b, const Point& c) {
+  return Cross(b - a, c - a);
+}
+
+/// Squared Euclidean distance.
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// Linear interpolation a + t*(b-a).
+inline Point Lerp(const Point& a, const Point& b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+/// Approximate equality within `eps` per coordinate.
+bool ApproxEqual(const Point& a, const Point& b, double eps = 1e-9);
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Shared geometric tolerance for predicates that must absorb floating-point
+/// noise (on-boundary tests, collinearity).
+inline constexpr double kGeomEps = 1e-9;
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEOMETRY_POINT_H_

@@ -1,0 +1,130 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indoor {
+namespace {
+
+double SignedArea2(const std::vector<Point>& ring) {
+  double sum = 0.0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % ring.size()];
+    sum += Cross(a, b);
+  }
+  return sum;
+}
+
+bool ComputeConvex(const std::vector<Point>& ring) {
+  // CCW ring is convex iff every turn is non-right.
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (Orient(ring[i], ring[(i + 1) % n], ring[(i + 2) % n]) < -kGeomEps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Polygon> Polygon::Create(std::vector<Point> ring) {
+  if (ring.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 vertices");
+  }
+  // Drop a duplicated closing vertex if present.
+  if (ring.size() > 3 && ApproxEqual(ring.front(), ring.back())) {
+    ring.pop_back();
+  }
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (ApproxEqual(ring[i], ring[(i + 1) % ring.size()])) {
+      return Status::InvalidArgument(
+          "polygon has duplicate consecutive vertices");
+    }
+  }
+  double area2 = SignedArea2(ring);
+  if (std::fabs(area2) <= kGeomEps) {
+    return Status::InvalidArgument("polygon is degenerate (zero area)");
+  }
+  if (area2 < 0) {
+    std::reverse(ring.begin(), ring.end());
+    area2 = -area2;
+  }
+  Polygon poly;
+  poly.vertices_ = std::move(ring);
+  poly.area_ = area2 * 0.5;
+  poly.bbox_ = Rect::Empty();
+  for (const Point& p : poly.vertices_) poly.bbox_.Expand(p);
+  poly.convex_ = ComputeConvex(poly.vertices_);
+  return poly;
+}
+
+Polygon Polygon::FromRect(const Rect& rect) {
+  auto result = Create({rect.lo, Point(rect.hi.x, rect.lo.y), rect.hi,
+                        Point(rect.lo.x, rect.hi.y)});
+  INDOOR_CHECK(result.ok()) << "rect polygon must be valid";
+  return std::move(result).value();
+}
+
+Segment Polygon::Edge(size_t i) const {
+  INDOOR_CHECK(i < vertices_.size());
+  return Segment(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+}
+
+Point Polygon::Centroid() const {
+  double cx = 0.0, cy = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const double w = Cross(a, b);
+    cx += (a.x + b.x) * w;
+    cy += (a.y + b.y) * w;
+  }
+  const double scale = 1.0 / (6.0 * area_);
+  return Point(cx * scale, cy * scale);
+}
+
+bool Polygon::OnBoundary(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (PointOnSegment(p, Edge(i))) return true;
+  }
+  return false;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  if (OnBoundary(p)) return true;
+  return ContainsStrict(p);
+}
+
+bool Polygon::ContainsStrict(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  if (OnBoundary(p)) return false;
+  // Ray casting along +x.
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at =
+          a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (x_at > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::MaxVertexDistance(const Point& p) const {
+  double best = 0.0;
+  for (const Point& v : vertices_) {
+    best = std::max(best, Distance(p, v));
+  }
+  return best;
+}
+
+}  // namespace indoor

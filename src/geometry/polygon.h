@@ -1,0 +1,65 @@
+// Simple polygons: the footprint of an indoor partition. Point containment
+// backs getHostPartition (paper §III-D2); vertex enumeration backs the fdv
+// "longest reachable distance" computation (paper §III-C1 item 4).
+
+#ifndef INDOOR_GEOMETRY_POLYGON_H_
+#define INDOOR_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+#include "util/result.h"
+
+namespace indoor {
+
+/// A simple polygon stored as a counter-clockwise vertex ring.
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Validates and normalizes a ring: >= 3 vertices, non-zero area, no
+  /// duplicate consecutive vertices. Clockwise input is reversed to CCW.
+  static Result<Polygon> Create(std::vector<Point> ring);
+
+  /// Convenience: axis-aligned rectangle polygon.
+  static Polygon FromRect(const Rect& rect);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+
+  /// Edge i: vertices[i] -> vertices[(i+1) % n].
+  Segment Edge(size_t i) const;
+
+  const Rect& BoundingBox() const { return bbox_; }
+
+  double Area() const { return area_; }
+
+  Point Centroid() const;
+
+  /// Closed containment: boundary points count as inside.
+  bool Contains(const Point& p) const;
+
+  /// Strict containment: boundary points are outside.
+  bool ContainsStrict(const Point& p) const;
+
+  /// True if `p` lies on the boundary (within kGeomEps).
+  bool OnBoundary(const Point& p) const;
+
+  bool IsConvex() const { return convex_; }
+
+  /// Maximum Euclidean distance from `p` to any vertex of the ring. For a
+  /// convex polygon this equals the maximum distance to any point of the
+  /// polygon (the distance field is convex, maximized at a vertex).
+  double MaxVertexDistance(const Point& p) const;
+
+ private:
+  std::vector<Point> vertices_;
+  Rect bbox_ = Rect::Empty();
+  double area_ = 0.0;
+  bool convex_ = false;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEOMETRY_POLYGON_H_

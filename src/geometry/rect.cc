@@ -1,0 +1,21 @@
+#include "geometry/rect.h"
+
+namespace indoor {
+
+double Rect::MinDistance(const Point& p) const {
+  const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+  const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::MaxDistance(const Point& p) const {
+  const double dx = std::max(std::fabs(p.x - lo.x), std::fabs(p.x - hi.x));
+  const double dy = std::max(std::fabs(p.y - lo.y), std::fabs(p.y - hi.y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.lo << " - " << r.hi << "]";
+}
+
+}  // namespace indoor

@@ -1,0 +1,105 @@
+// Axis-aligned rectangles: partition MBRs (R-tree), rectangular obstacles,
+// and grid cells for the intra-partition object index (paper §V-B).
+
+#ifndef INDOOR_GEOMETRY_RECT_H_
+#define INDOOR_GEOMETRY_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geometry/point.h"
+
+namespace indoor {
+
+/// Axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo;
+  Point hi;
+
+  Rect() = default;
+  Rect(Point lo_in, Point hi_in) : lo(lo_in), hi(hi_in) {}
+  Rect(double x0, double y0, double x1, double y1)
+      : lo(x0, y0), hi(x1, y1) {}
+
+  /// An "empty" rect that expands to any other rect under Union.
+  static Rect Empty() {
+    const double inf = std::numeric_limits<double>::infinity();
+    return Rect(Point(inf, inf), Point(-inf, -inf));
+  }
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  double Width() const { return hi.x - lo.x; }
+  double Height() const { return hi.y - lo.y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  double Perimeter() const {
+    return IsEmpty() ? 0.0 : 2.0 * (Width() + Height());
+  }
+  Point Center() const {
+    return Point((lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5);
+  }
+
+  /// Closed containment (boundary counts as inside).
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x - kGeomEps && p.x <= hi.x + kGeomEps &&
+           p.y >= lo.y - kGeomEps && p.y <= hi.y + kGeomEps;
+  }
+
+  /// Strict interior containment.
+  bool ContainsStrict(const Point& p) const {
+    return p.x > lo.x + kGeomEps && p.x < hi.x - kGeomEps &&
+           p.y > lo.y + kGeomEps && p.y < hi.y - kGeomEps;
+  }
+
+  bool ContainsRect(const Rect& o) const {
+    return o.lo.x >= lo.x - kGeomEps && o.hi.x <= hi.x + kGeomEps &&
+           o.lo.y >= lo.y - kGeomEps && o.hi.y <= hi.y + kGeomEps;
+  }
+
+  /// Closed overlap test.
+  bool Intersects(const Rect& o) const {
+    return lo.x <= o.hi.x + kGeomEps && o.lo.x <= hi.x + kGeomEps &&
+           lo.y <= o.hi.y + kGeomEps && o.lo.y <= hi.y + kGeomEps;
+  }
+
+  /// Smallest rect covering both.
+  Rect Union(const Rect& o) const {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return Rect(Point(std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)),
+                Point(std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)));
+  }
+
+  /// Grows the rect to cover `p`.
+  void Expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Minimum Euclidean distance from `p` to the rect (0 if inside).
+  double MinDistance(const Point& p) const;
+
+  /// Maximum Euclidean distance from `p` to any point of the rect.
+  double MaxDistance(const Point& p) const;
+
+  /// True if the rect intersects the closed disk (center, radius).
+  bool IntersectsCircle(const Point& center, double radius) const {
+    return MinDistance(center) <= radius + kGeomEps;
+  }
+
+  /// True if the whole rect is inside the closed disk (center, radius).
+  bool WithinCircle(const Point& center, double radius) const {
+    return MaxDistance(center) <= radius + kGeomEps;
+  }
+
+  bool operator==(const Rect& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEOMETRY_RECT_H_

@@ -1,0 +1,71 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+namespace indoor {
+namespace {
+
+int Sign(double v) {
+  if (v > kGeomEps) return 1;
+  if (v < -kGeomEps) return -1;
+  return 0;
+}
+
+bool BoxesOverlap(const Segment& s, const Segment& t) {
+  return std::max(std::min(s.a.x, s.b.x), std::min(t.a.x, t.b.x)) <=
+             std::min(std::max(s.a.x, s.b.x), std::max(t.a.x, t.b.x)) +
+                 kGeomEps &&
+         std::max(std::min(s.a.y, s.b.y), std::min(t.a.y, t.b.y)) <=
+             std::min(std::max(s.a.y, s.b.y), std::max(t.a.y, t.b.y)) +
+                 kGeomEps;
+}
+
+}  // namespace
+
+double DistancePointToSegment(const Point& p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = Dot(d, d);
+  if (len2 == 0.0) return Distance(p, s.a);
+  double t = Dot(p - s.a, d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, Lerp(s.a, s.b, t));
+}
+
+bool PointOnSegment(const Point& p, const Segment& s) {
+  return DistancePointToSegment(p, s) <= kGeomEps;
+}
+
+bool SegmentsProperlyIntersect(const Segment& s, const Segment& t) {
+  const int o1 = Sign(Orient(s.a, s.b, t.a));
+  const int o2 = Sign(Orient(s.a, s.b, t.b));
+  const int o3 = Sign(Orient(t.a, t.b, s.a));
+  const int o4 = Sign(Orient(t.a, t.b, s.b));
+  return o1 * o2 < 0 && o3 * o4 < 0;
+}
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  if (SegmentsProperlyIntersect(s, t)) return true;
+  return PointOnSegment(t.a, s) || PointOnSegment(t.b, s) ||
+         PointOnSegment(s.a, t) || PointOnSegment(s.b, t);
+}
+
+bool SegmentsCollinearOverlap(const Segment& s, const Segment& t) {
+  if (Sign(Orient(s.a, s.b, t.a)) != 0 ||
+      Sign(Orient(s.a, s.b, t.b)) != 0) {
+    return false;
+  }
+  if (!BoxesOverlap(s, t)) return false;
+  // Collinear with overlapping boxes: overlap is more than a point unless
+  // they merely touch at one shared endpoint.
+  const Point d = s.b - s.a;
+  auto proj = [&](const Point& p) { return Dot(p - s.a, d); };
+  double lo1 = std::min(proj(s.a), proj(s.b));
+  double hi1 = std::max(proj(s.a), proj(s.b));
+  double lo2 = std::min(proj(t.a), proj(t.b));
+  double hi2 = std::max(proj(t.a), proj(t.b));
+  const double overlap = std::min(hi1, hi2) - std::max(lo1, lo2);
+  const double scale = std::max(1.0, hi1 - lo1);
+  return overlap > kGeomEps * scale;
+}
+
+}  // namespace indoor

@@ -1,0 +1,43 @@
+// Line segments and the intersection predicates needed by the visibility
+// graph (obstructed intra-partition distances, paper §III-C1 and Fig. 5).
+
+#ifndef INDOOR_GEOMETRY_SEGMENT_H_
+#define INDOOR_GEOMETRY_SEGMENT_H_
+
+#include "geometry/point.h"
+
+namespace indoor {
+
+/// A closed line segment [a, b].
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(Point a_in, Point b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return Distance(a, b); }
+  Point Midpoint() const { return Lerp(a, b, 0.5); }
+};
+
+/// Shortest distance from point `p` to segment `s`.
+double DistancePointToSegment(const Point& p, const Segment& s);
+
+/// True if `p` lies on segment `s` (within kGeomEps).
+bool PointOnSegment(const Point& p, const Segment& s);
+
+/// True if the open interiors of the two segments cross at a single point
+/// (a "proper" crossing: each segment's endpoints are strictly on opposite
+/// sides of the other). Touching at endpoints is NOT a proper crossing.
+bool SegmentsProperlyIntersect(const Segment& s, const Segment& t);
+
+/// True if the segments share at least one point (including endpoint
+/// touches and collinear overlap).
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+/// True if the two segments are collinear and overlap in more than a point.
+bool SegmentsCollinearOverlap(const Segment& s, const Segment& t);
+
+}  // namespace indoor
+
+#endif  // INDOOR_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,234 @@
+#include "geometry/visibility_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace indoor {
+namespace {
+
+/// A point strictly inside any obstacle blocks free space.
+bool StrictlyInsideAnyObstacle(const std::vector<Polygon>& obstacles,
+                               const Point& p) {
+  for (const Polygon& obs : obstacles) {
+    if (obs.ContainsStrict(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ObstructedRegion> ObstructedRegion::Create(
+    Polygon outer, std::vector<Polygon> obstacles) {
+  for (size_t i = 0; i < obstacles.size(); ++i) {
+    for (const Point& v : obstacles[i].vertices()) {
+      if (!outer.Contains(v)) {
+        return Status::InvalidArgument(
+            "obstacle vertex lies outside the partition footprint");
+      }
+    }
+    for (size_t j = i + 1; j < obstacles.size(); ++j) {
+      // Overlap check: any vertex of one strictly inside the other, or any
+      // proper edge crossing.
+      for (const Point& v : obstacles[i].vertices()) {
+        if (obstacles[j].ContainsStrict(v)) {
+          return Status::InvalidArgument("obstacles overlap");
+        }
+      }
+      for (const Point& v : obstacles[j].vertices()) {
+        if (obstacles[i].ContainsStrict(v)) {
+          return Status::InvalidArgument("obstacles overlap");
+        }
+      }
+      for (size_t ei = 0; ei < obstacles[i].size(); ++ei) {
+        for (size_t ej = 0; ej < obstacles[j].size(); ++ej) {
+          if (SegmentsProperlyIntersect(obstacles[i].Edge(ei),
+                                        obstacles[j].Edge(ej))) {
+            return Status::InvalidArgument("obstacles overlap");
+          }
+        }
+      }
+    }
+  }
+  ObstructedRegion region;
+  region.outer_ = std::move(outer);
+  region.obstacles_ = std::move(obstacles);
+  region.BuildStaticGraph();
+  return region;
+}
+
+ObstructedRegion ObstructedRegion::FromPolygon(Polygon outer) {
+  auto result = Create(std::move(outer), {});
+  INDOOR_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+bool ObstructedRegion::Contains(const Point& p) const {
+  if (!outer_.Contains(p)) return false;
+  return !StrictlyInsideAnyObstacle(obstacles_, p);
+}
+
+bool ObstructedRegion::Visible(const Point& a, const Point& b) const {
+  const Segment seg(a, b);
+  // Blocked by a proper crossing of any obstacle edge. Grazing along an
+  // obstacle edge (collinear overlap) is allowed only when free space
+  // remains on at least one side of the grazed stretch; an obstacle flush
+  // against a wall leaves no walkable corridor.
+  for (const Polygon& obs : obstacles_) {
+    if (!obs.BoundingBox().Intersects(
+            Rect(Point(std::min(a.x, b.x), std::min(a.y, b.y)),
+                 Point(std::max(a.x, b.x), std::max(a.y, b.y))))) {
+      continue;
+    }
+    for (size_t i = 0; i < obs.size(); ++i) {
+      const Segment edge = obs.Edge(i);
+      if (SegmentsProperlyIntersect(seg, edge)) return false;
+      if (SegmentsCollinearOverlap(seg, edge)) {
+        // Midpoint of the overlapped stretch, offset to both sides.
+        const Point dir = edge.b - edge.a;
+        const double len2 = Dot(dir, dir);
+        auto t_of = [&](const Point& p) {
+          return std::clamp(Dot(p - edge.a, dir) / len2, 0.0, 1.0);
+        };
+        const double t0 = t_of(a);
+        const double t1 = t_of(b);
+        const Point m = Lerp(edge.a, edge.b, (t0 + t1) * 0.5);
+        const double len = std::sqrt(len2);
+        const Point normal(-dir.y / len * 1e-6, dir.x / len * 1e-6);
+        if (!Contains(m + normal) && !Contains(m - normal)) return false;
+      }
+    }
+  }
+  // Blocked if it leaves the outer footprint.
+  for (size_t i = 0; i < outer_.size(); ++i) {
+    if (SegmentsProperlyIntersect(seg, outer_.Edge(i))) return false;
+  }
+  // Proper crossings absorbed; reject segments whose interior dips into an
+  // obstacle or out of the footprint via vertices (no proper crossing).
+  for (double t : {0.25, 0.5, 0.75}) {
+    const Point m = Lerp(a, b, t);
+    if (!outer_.Contains(m)) return false;
+    if (StrictlyInsideAnyObstacle(obstacles_, m)) return false;
+  }
+  return true;
+}
+
+void ObstructedRegion::BuildStaticGraph() {
+  nodes_.clear();
+  // Obstacle corners are the canonical visibility-graph nodes.
+  for (const Polygon& obs : obstacles_) {
+    for (const Point& v : obs.vertices()) nodes_.push_back(v);
+  }
+  // Reflex vertices of a non-convex footprint also shape shortest paths.
+  if (!outer_.IsConvex()) {
+    const auto& ring = outer_.vertices();
+    const size_t n = ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Point& prev = ring[(i + n - 1) % n];
+      const Point& cur = ring[i];
+      const Point& next = ring[(i + 1) % n];
+      if (Orient(prev, cur, next) < -kGeomEps) {
+        nodes_.push_back(cur);  // reflex corner in a CCW ring
+      }
+    }
+  }
+  adj_.assign(nodes_.size(), {});
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (Visible(nodes_[i], nodes_[j])) {
+        const double d = indoor::Distance(nodes_[i], nodes_[j]);
+        adj_[i].push_back({static_cast<int>(j), d});
+        adj_[j].push_back({static_cast<int>(i), d});
+      }
+    }
+  }
+}
+
+double ObstructedRegion::Distance(const Point& a, const Point& b) const {
+  if (Visible(a, b)) return indoor::Distance(a, b);
+  return Solve(a, b, nullptr);
+}
+
+std::vector<Point> ObstructedRegion::ShortestPath(const Point& a,
+                                                  const Point& b) const {
+  if (Visible(a, b)) return {a, b};
+  std::vector<Point> path;
+  const double d = Solve(a, b, &path);
+  if (d == kInfDistance) return {};
+  return path;
+}
+
+double ObstructedRegion::Solve(const Point& a, const Point& b,
+                               std::vector<Point>* out_path) const {
+  // Node layout: [0, n) static nodes, n = a, n+1 = b.
+  const int n = static_cast<int>(nodes_.size());
+  const int src = n;
+  const int dst = n + 1;
+  std::vector<double> dist(n + 2, kInfDistance);
+  std::vector<int> prev(n + 2, -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  auto relax = [&](int from, int to, double w) {
+    if (dist[from] + w < dist[to]) {
+      dist[to] = dist[from] + w;
+      prev[to] = from;
+      heap.push({dist[to], to});
+    }
+  };
+
+  dist[src] = 0.0;
+  heap.push({0.0, src});
+  // Dynamic edges from the endpoints to every visible static node, plus the
+  // direct edge if visible (caller already handled it, but keep it correct).
+  std::vector<char> settled(n + 2, 0);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = 1;
+    if (u == dst) break;
+    const Point& pu = (u == src) ? a : (u == dst ? b : nodes_[u]);
+    if (u == src) {
+      for (int v = 0; v < n; ++v) {
+        if (Visible(a, nodes_[v])) {
+          relax(src, v, indoor::Distance(a, nodes_[v]));
+        }
+      }
+      if (Visible(a, b)) relax(src, dst, indoor::Distance(a, b));
+    } else {
+      for (const auto& [v, w] : adj_[u]) relax(u, v, w);
+      if (Visible(pu, b)) relax(u, dst, indoor::Distance(pu, b));
+    }
+  }
+  if (dist[dst] == kInfDistance) return kInfDistance;
+  if (out_path != nullptr) {
+    std::vector<int> chain;
+    for (int v = dst; v != -1; v = prev[v]) chain.push_back(v);
+    std::reverse(chain.begin(), chain.end());
+    out_path->clear();
+    for (int v : chain) {
+      out_path->push_back(v == src ? a : (v == dst ? b : nodes_[v]));
+    }
+  }
+  return dist[dst];
+}
+
+double ObstructedRegion::MaxDistanceFrom(const Point& p) const {
+  if (obstacles_.empty() && outer_.IsConvex()) {
+    return outer_.MaxVertexDistance(p);
+  }
+  double best = 0.0;
+  for (const Point& v : outer_.vertices()) {
+    const double d = Distance(p, v);
+    if (d != kInfDistance) best = std::max(best, d);
+  }
+  for (const Polygon& obs : obstacles_) {
+    for (const Point& v : obs.vertices()) {
+      const double d = Distance(p, v);
+      if (d != kInfDistance) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace indoor

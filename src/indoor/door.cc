@@ -1,0 +1,3 @@
+#include "indoor/door.h"
+
+// Door is header-only today; this TU anchors the module in the library.

@@ -1,0 +1,38 @@
+// Doors: the connections between partitions (paper §III-A). A door's
+// geometry is the wall segment it occupies; all door-related distances use
+// the door's midpoint (paper footnote 3).
+
+#ifndef INDOOR_INDOOR_DOOR_H_
+#define INDOOR_INDOOR_DOOR_H_
+
+#include <string>
+
+#include "geometry/segment.h"
+#include "indoor/types.h"
+
+namespace indoor {
+
+/// A door (or hatch, escape window, security gate...) between two partitions.
+/// Directionality is not stored here; it is defined by which ordered
+/// partition pairs appear in the floor plan's D2P mapping.
+class Door {
+ public:
+  Door(DoorId id, std::string name, Segment geometry)
+      : id_(id), name_(std::move(name)), geometry_(geometry) {}
+
+  DoorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Segment& geometry() const { return geometry_; }
+
+  /// The point used for every door-related distance.
+  Point Midpoint() const { return geometry_.Midpoint(); }
+
+ private:
+  DoorId id_;
+  std::string name_;
+  Segment geometry_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_DOOR_H_

@@ -1,0 +1,45 @@
+#include "indoor/floor_plan.h"
+
+#include <algorithm>
+
+namespace indoor {
+
+bool FloorPlan::Touches(DoorId d, PartitionId v) const {
+  const auto& doors = TouchingDoors(v);
+  return std::find(doors.begin(), doors.end(), d) != doors.end();
+}
+
+bool FloorPlan::Allows(DoorId d, PartitionId from, PartitionId to) const {
+  for (const DoorConnection& c : D2P(d)) {
+    if (c.from == from && c.to == to) return true;
+  }
+  return false;
+}
+
+std::pair<PartitionId, PartitionId> FloorPlan::ConnectedPair(
+    DoorId d) const {
+  const auto& conns = D2P(d);
+  INDOOR_CHECK(!conns.empty());
+  PartitionId a = conns[0].from;
+  PartitionId b = conns[0].to;
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+int FloorPlan::FloorCount() const {
+  int lo = 0, hi = 0;
+  bool seen = false;
+  for (const Partition& p : partitions_) {
+    if (p.IsOutdoor()) continue;
+    if (!seen) {
+      lo = hi = p.floor();
+      seen = true;
+    } else {
+      lo = std::min(lo, p.floor());
+      hi = std::max(hi, p.floor());
+    }
+  }
+  return seen ? hi - lo + 1 : 0;
+}
+
+}  // namespace indoor

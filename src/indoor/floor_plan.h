@@ -1,0 +1,116 @@
+// FloorPlan: the validated topology of an indoor space — partitions, doors,
+// and the fundamental mapping D2P (paper §III-A, Eq. 1) from which the
+// derived mappings D2P⊐/D2P⊏ (Eqs. 2–3) and P2D⊐/P2D⊏ (Eqs. 4–5) follow.
+
+#ifndef INDOOR_INDOOR_FLOOR_PLAN_H_
+#define INDOOR_INDOOR_FLOOR_PLAN_H_
+
+#include <vector>
+
+#include "indoor/door.h"
+#include "indoor/partition.h"
+#include "util/result.h"
+
+namespace indoor {
+
+/// One ordered connection of D2P(d): "one can move from `from` to `to`
+/// through door d".
+struct DoorConnection {
+  PartitionId from = kInvalidId;
+  PartitionId to = kInvalidId;
+
+  bool operator==(const DoorConnection& o) const {
+    return from == o.from && to == o.to;
+  }
+};
+
+/// Immutable, validated indoor topology. Construct via FloorPlanBuilder
+/// (floor_plan_builder.h) or LoadFloorPlan (floor_plan_io.h).
+class FloorPlan {
+ public:
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Door>& doors() const { return doors_; }
+
+  size_t partition_count() const { return partitions_.size(); }
+  size_t door_count() const { return doors_.size(); }
+
+  const Partition& partition(PartitionId id) const {
+    INDOOR_CHECK(id < partitions_.size()) << "bad partition id" << id;
+    return partitions_[id];
+  }
+  const Door& door(DoorId id) const {
+    INDOOR_CHECK(id < doors_.size()) << "bad door id" << id;
+    return doors_[id];
+  }
+
+  // --- The fundamental mapping D2P and its derivations (paper §III-A) ---
+
+  /// D2P(d): the ordered partition pairs door `d` permits movement between.
+  /// Size 1 (unidirectional) or 2 (bidirectional).
+  const std::vector<DoorConnection>& D2P(DoorId d) const {
+    INDOOR_CHECK(d < d2p_.size());
+    return d2p_[d];
+  }
+
+  /// D2P⊐(d) = π2(D2P(d)): partitions one can ENTER through `d`.
+  const std::vector<PartitionId>& EnterableParts(DoorId d) const {
+    INDOOR_CHECK(d < enterable_parts_.size());
+    return enterable_parts_[d];
+  }
+
+  /// D2P⊏(d) = π1(D2P(d)): partitions one can LEAVE through `d`.
+  const std::vector<PartitionId>& LeaveableParts(DoorId d) const {
+    INDOOR_CHECK(d < leaveable_parts_.size());
+    return leaveable_parts_[d];
+  }
+
+  /// P2D⊐(v): doors through which one can enter partition `v`.
+  const std::vector<DoorId>& EnterDoors(PartitionId v) const {
+    INDOOR_CHECK(v < enter_doors_.size());
+    return enter_doors_[v];
+  }
+
+  /// P2D⊏(v): doors through which one can leave partition `v`.
+  const std::vector<DoorId>& LeaveDoors(PartitionId v) const {
+    INDOOR_CHECK(v < leave_doors_.size());
+    return leave_doors_[v];
+  }
+
+  /// P2D(v) = P2D⊐(v) ∪ P2D⊏(v): all doors touching partition `v`.
+  const std::vector<DoorId>& TouchingDoors(PartitionId v) const {
+    INDOOR_CHECK(v < touching_doors_.size());
+    return touching_doors_[v];
+  }
+
+  /// True if door `d` touches partition `v`.
+  bool Touches(DoorId d, PartitionId v) const;
+
+  /// |D2P(d)| == 2.
+  bool IsBidirectional(DoorId d) const { return D2P(d).size() == 2; }
+
+  /// True if one may move through `d` from `from` to `to`.
+  bool Allows(DoorId d, PartitionId from, PartitionId to) const;
+
+  /// The two distinct partitions door `d` connects (unordered).
+  std::pair<PartitionId, PartitionId> ConnectedPair(DoorId d) const;
+
+  /// Number of floors spanned (max floor - min floor + 1, outdoor ignored).
+  int FloorCount() const;
+
+ private:
+  friend class FloorPlanBuilder;
+  FloorPlan() = default;
+
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+  std::vector<std::vector<DoorConnection>> d2p_;       // per door
+  std::vector<std::vector<PartitionId>> enterable_parts_;  // per door
+  std::vector<std::vector<PartitionId>> leaveable_parts_;  // per door
+  std::vector<std::vector<DoorId>> enter_doors_;       // per partition
+  std::vector<std::vector<DoorId>> leave_doors_;       // per partition
+  std::vector<std::vector<DoorId>> touching_doors_;    // per partition
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_FLOOR_PLAN_H_

@@ -1,0 +1,172 @@
+#include "indoor/floor_plan_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace indoor {
+namespace {
+
+std::string DoorRef(DoorId d, const std::string& name) {
+  return "door " + std::to_string(d) + " ('" + name + "')";
+}
+
+}  // namespace
+
+PartitionId FloorPlanBuilder::AddPartition(std::string name,
+                                           PartitionKind kind, int floor,
+                                           const Rect& footprint,
+                                           double metric_scale) {
+  return AddPartition(std::move(name), kind, floor,
+                      ObstructedRegion::FromPolygon(Polygon::FromRect(footprint)),
+                      metric_scale);
+}
+
+PartitionId FloorPlanBuilder::AddPartition(std::string name,
+                                           PartitionKind kind, int floor,
+                                           ObstructedRegion footprint,
+                                           double metric_scale) {
+  const PartitionId id = static_cast<PartitionId>(partitions_.size());
+  partitions_.emplace_back(id, std::move(name), kind, floor,
+                           std::move(footprint), metric_scale);
+  return id;
+}
+
+DoorId FloorPlanBuilder::AddDoor(std::string name, const Segment& geometry) {
+  const DoorId id = static_cast<DoorId>(doors_.size());
+  doors_.push_back({std::move(name), geometry});
+  d2p_.emplace_back();
+  return id;
+}
+
+FloorPlanBuilder& FloorPlanBuilder::AddConnection(DoorId d, PartitionId from,
+                                                  PartitionId to) {
+  INDOOR_CHECK(d < doors_.size()) << "AddConnection: unknown door id" << d;
+  d2p_[d].push_back({from, to});
+  return *this;
+}
+
+DoorId FloorPlanBuilder::AddBidirectionalDoor(std::string name,
+                                              const Segment& geometry,
+                                              PartitionId a, PartitionId b) {
+  const DoorId d = AddDoor(std::move(name), geometry);
+  AddConnection(d, a, b);
+  AddConnection(d, b, a);
+  return d;
+}
+
+DoorId FloorPlanBuilder::AddUnidirectionalDoor(std::string name,
+                                               const Segment& geometry,
+                                               PartitionId from,
+                                               PartitionId to) {
+  const DoorId d = AddDoor(std::move(name), geometry);
+  AddConnection(d, from, to);
+  return d;
+}
+
+Result<FloorPlan> FloorPlanBuilder::Build() && {
+  const size_t num_parts = partitions_.size();
+  const size_t num_doors = doors_.size();
+
+  for (DoorId d = 0; d < num_doors; ++d) {
+    const auto& conns = d2p_[d];
+    const std::string ref = DoorRef(d, doors_[d].name);
+    if (conns.empty()) {
+      return Status::InvalidArgument(ref + " has no connections");
+    }
+    if (conns.size() > 2) {
+      return Status::InvalidArgument(
+          ref + " has more than two connections; split it into multiple "
+                "doors, each connecting two partitions (paper fn. 1)");
+    }
+    for (const DoorConnection& c : conns) {
+      if (c.from >= num_parts || c.to >= num_parts) {
+        return Status::InvalidArgument(ref +
+                                       " references an unknown partition");
+      }
+      if (c.from == c.to) {
+        return Status::InvalidArgument(ref +
+                                       " connects a partition to itself");
+      }
+    }
+    if (conns.size() == 2) {
+      if (conns[0] == conns[1]) {
+        return Status::InvalidArgument(ref + " has a duplicate connection");
+      }
+      if (conns[0].from != conns[1].to || conns[0].to != conns[1].from) {
+        return Status::InvalidArgument(
+            ref + " connects more than two partitions");
+      }
+    }
+    // Geometric sanity: the door midpoint must lie in every non-outdoor
+    // partition it connects (doors sit on shared walls, and closed
+    // containment admits boundary points).
+    const Point mid = doors_[d].geometry.Midpoint();
+    const auto [a, b] = [&conns] {
+      PartitionId x = conns[0].from, y = conns[0].to;
+      if (x > y) std::swap(x, y);
+      return std::pair<PartitionId, PartitionId>(x, y);
+    }();
+    for (PartitionId v : {a, b}) {
+      const Partition& part = partitions_[v];
+      if (!part.IsOutdoor() && !part.Contains(mid)) {
+        return Status::InvalidArgument(
+            ref + " midpoint is not on partition '" + part.name() +
+            "' (id " + std::to_string(v) + ")");
+      }
+    }
+  }
+
+  FloorPlan plan;
+  plan.partitions_ = std::move(partitions_);
+  plan.doors_.reserve(num_doors);
+  for (DoorId d = 0; d < num_doors; ++d) {
+    plan.doors_.emplace_back(d, std::move(doors_[d].name),
+                             doors_[d].geometry);
+  }
+  plan.d2p_ = std::move(d2p_);
+
+  // Derive D2P projections and P2D mappings.
+  plan.enterable_parts_.assign(num_doors, {});
+  plan.leaveable_parts_.assign(num_doors, {});
+  plan.enter_doors_.assign(num_parts, {});
+  plan.leave_doors_.assign(num_parts, {});
+  plan.touching_doors_.assign(num_parts, {});
+  for (DoorId d = 0; d < num_doors; ++d) {
+    for (const DoorConnection& c : plan.d2p_[d]) {
+      auto& enterable = plan.enterable_parts_[d];
+      if (std::find(enterable.begin(), enterable.end(), c.to) ==
+          enterable.end()) {
+        enterable.push_back(c.to);
+      }
+      auto& leaveable = plan.leaveable_parts_[d];
+      if (std::find(leaveable.begin(), leaveable.end(), c.from) ==
+          leaveable.end()) {
+        leaveable.push_back(c.from);
+      }
+      auto& enter = plan.enter_doors_[c.to];
+      if (std::find(enter.begin(), enter.end(), d) == enter.end()) {
+        enter.push_back(d);
+      }
+      auto& leave = plan.leave_doors_[c.from];
+      if (std::find(leave.begin(), leave.end(), d) == leave.end()) {
+        leave.push_back(d);
+      }
+    }
+    const auto [a, b] = [&plan, d] {
+      PartitionId x = plan.d2p_[d][0].from, y = plan.d2p_[d][0].to;
+      if (x > y) std::swap(x, y);
+      return std::pair<PartitionId, PartitionId>(x, y);
+    }();
+    plan.touching_doors_[a].push_back(d);
+    plan.touching_doors_[b].push_back(d);
+  }
+  for (auto& doors : plan.enter_doors_) std::sort(doors.begin(), doors.end());
+  for (auto& doors : plan.leave_doors_) std::sort(doors.begin(), doors.end());
+  for (auto& doors : plan.touching_doors_) {
+    std::sort(doors.begin(), doors.end());
+    doors.erase(std::unique(doors.begin(), doors.end()), doors.end());
+  }
+  return plan;
+}
+
+}  // namespace indoor

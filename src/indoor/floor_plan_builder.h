@@ -1,0 +1,67 @@
+// FloorPlanBuilder: the only way to construct a FloorPlan. Accumulates
+// partitions, doors, and D2P connections, then validates the whole topology
+// in Build().
+
+#ifndef INDOOR_INDOOR_FLOOR_PLAN_BUILDER_H_
+#define INDOOR_INDOOR_FLOOR_PLAN_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "indoor/floor_plan.h"
+
+namespace indoor {
+
+/// Builder with deferred validation. Ids are handed out densely in call
+/// order; geometry and topology are checked in Build().
+class FloorPlanBuilder {
+ public:
+  /// Adds a partition with a rectangular footprint and no obstacles.
+  PartitionId AddPartition(std::string name, PartitionKind kind, int floor,
+                           const Rect& footprint, double metric_scale = 1.0);
+
+  /// Adds a partition with an arbitrary footprint (possibly with obstacles).
+  PartitionId AddPartition(std::string name, PartitionKind kind, int floor,
+                           ObstructedRegion footprint,
+                           double metric_scale = 1.0);
+
+  /// Adds a door with explicit wall-segment geometry. Connections are added
+  /// separately via AddConnection / helpers below.
+  DoorId AddDoor(std::string name, const Segment& geometry);
+
+  /// Declares that door `d` permits movement `from` -> `to` (one D2P pair).
+  FloorPlanBuilder& AddConnection(DoorId d, PartitionId from, PartitionId to);
+
+  /// Convenience: door + bidirectional connection between `a` and `b`.
+  DoorId AddBidirectionalDoor(std::string name, const Segment& geometry,
+                              PartitionId a, PartitionId b);
+
+  /// Convenience: door + unidirectional connection `from` -> `to`.
+  DoorId AddUnidirectionalDoor(std::string name, const Segment& geometry,
+                               PartitionId from, PartitionId to);
+
+  /// Validates and assembles the FloorPlan. Checks (with precise errors):
+  ///  * every door has 1 or 2 connections;
+  ///  * a door's connections span exactly two distinct partitions, and two
+  ///    connections must be mutually inverse (paper's stipulation that a
+  ///    door always connects exactly two partitions, fn. 1);
+  ///  * connection endpoints are valid partition ids;
+  ///  * the door midpoint lies within (the closed footprint of) every
+  ///    non-outdoor partition it connects;
+  ///  * duplicate connections are rejected.
+  Result<FloorPlan> Build() &&;
+
+ private:
+  struct PendingDoor {
+    std::string name;
+    Segment geometry;
+  };
+
+  std::vector<Partition> partitions_;
+  std::vector<PendingDoor> doors_;
+  std::vector<std::vector<DoorConnection>> d2p_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_FLOOR_PLAN_BUILDER_H_

@@ -1,0 +1,234 @@
+#include "indoor/floor_plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "indoor/floor_plan_builder.h"
+#include "util/string_util.h"
+
+namespace indoor {
+namespace {
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            message);
+}
+
+bool ParseKind(std::string_view token, PartitionKind* out) {
+  if (token == "room") {
+    *out = PartitionKind::kRoom;
+  } else if (token == "hallway") {
+    *out = PartitionKind::kHallway;
+  } else if (token == "staircase") {
+    *out = PartitionKind::kStaircase;
+  } else if (token == "outdoor") {
+    *out = PartitionKind::kOutdoor;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parses an even-length tail of coordinates into points.
+Status ParsePoints(const std::vector<std::string>& tokens, size_t begin,
+                   size_t line_no, std::vector<Point>* out) {
+  if ((tokens.size() - begin) % 2 != 0) {
+    return LineError(line_no, "odd number of coordinates");
+  }
+  for (size_t i = begin; i < tokens.size(); i += 2) {
+    double x, y;
+    if (!ParseDouble(tokens[i], &x) || !ParseDouble(tokens[i + 1], &y)) {
+      return LineError(line_no, "bad coordinate '" + tokens[i] + " " +
+                                    tokens[i + 1] + "'");
+    }
+    out->push_back({x, y});
+  }
+  return Status::OK();
+}
+
+struct StagedPartition {
+  std::string name;
+  PartitionKind kind;
+  int floor;
+  double scale;
+  std::vector<Point> ring;
+  std::vector<std::vector<Point>> obstacles;
+};
+
+struct StagedConn {
+  uint32_t door;
+  uint32_t from;
+  uint32_t to;
+};
+
+}  // namespace
+
+Result<FloorPlan> ParseFloorPlan(const std::string& text) {
+  std::vector<StagedPartition> partitions;
+  std::vector<std::pair<std::string, Segment>> doors;
+  std::vector<StagedConn> conns;
+
+  std::istringstream stream(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string line{StripWhitespace(raw)};
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(line, ' ')) {
+      if (!StripWhitespace(t).empty()) tokens.emplace_back(StripWhitespace(t));
+    }
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "partition") {
+      if (tokens.size() < 11) {
+        return LineError(line_no,
+                         "partition needs name kind floor scale and a ring "
+                         "of >= 3 points");
+      }
+      StagedPartition part;
+      part.name = tokens[1];
+      if (!ParseKind(tokens[2], &part.kind)) {
+        return LineError(line_no, "unknown partition kind '" + tokens[2] +
+                                      "'");
+      }
+      double floor_val;
+      if (!ParseDouble(tokens[3], &floor_val) ||
+          floor_val != static_cast<int>(floor_val)) {
+        return LineError(line_no, "bad floor '" + tokens[3] + "'");
+      }
+      part.floor = static_cast<int>(floor_val);
+      if (!ParseDouble(tokens[4], &part.scale) || part.scale <= 0.0) {
+        return LineError(line_no, "bad metric scale '" + tokens[4] + "'");
+      }
+      INDOOR_RETURN_NOT_OK(ParsePoints(tokens, 5, line_no, &part.ring));
+      partitions.push_back(std::move(part));
+    } else if (cmd == "obstacle") {
+      uint32_t pid;
+      if (tokens.size() < 8 || !ParseUint32(tokens[1], &pid)) {
+        return LineError(line_no,
+                         "obstacle needs a partition index and >= 3 points");
+      }
+      if (pid >= partitions.size()) {
+        return LineError(line_no, "obstacle references unknown partition " +
+                                      tokens[1]);
+      }
+      std::vector<Point> ring;
+      INDOOR_RETURN_NOT_OK(ParsePoints(tokens, 2, line_no, &ring));
+      partitions[pid].obstacles.push_back(std::move(ring));
+    } else if (cmd == "door") {
+      if (tokens.size() != 6) {
+        return LineError(line_no, "door needs name ax ay bx by");
+      }
+      std::vector<Point> pts;
+      INDOOR_RETURN_NOT_OK(ParsePoints(tokens, 2, line_no, &pts));
+      doors.emplace_back(tokens[1], Segment(pts[0], pts[1]));
+    } else if (cmd == "conn") {
+      StagedConn conn;
+      if (tokens.size() != 4 || !ParseUint32(tokens[1], &conn.door) ||
+          !ParseUint32(tokens[2], &conn.from) ||
+          !ParseUint32(tokens[3], &conn.to)) {
+        return LineError(line_no, "conn needs door from to indices");
+      }
+      if (conn.door >= doors.size()) {
+        return LineError(line_no,
+                         "conn references unknown door " + tokens[1]);
+      }
+      conns.push_back(conn);
+    } else {
+      return LineError(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  FloorPlanBuilder builder;
+  for (StagedPartition& part : partitions) {
+    auto outer = Polygon::Create(std::move(part.ring));
+    if (!outer.ok()) {
+      return Status::ParseError("partition '" + part.name +
+                                "': " + outer.status().message());
+    }
+    std::vector<Polygon> obstacles;
+    for (std::vector<Point>& ring : part.obstacles) {
+      auto obs = Polygon::Create(std::move(ring));
+      if (!obs.ok()) {
+        return Status::ParseError("obstacle in '" + part.name +
+                                  "': " + obs.status().message());
+      }
+      obstacles.push_back(std::move(obs).value());
+    }
+    auto region =
+        ObstructedRegion::Create(std::move(outer).value(), std::move(obstacles));
+    if (!region.ok()) {
+      return Status::ParseError("partition '" + part.name +
+                                "': " + region.status().message());
+    }
+    builder.AddPartition(std::move(part.name), part.kind, part.floor,
+                         std::move(region).value(), part.scale);
+  }
+  for (auto& [name, seg] : doors) {
+    builder.AddDoor(std::move(name), seg);
+  }
+  for (const StagedConn& conn : conns) {
+    builder.AddConnection(conn.door, conn.from, conn.to);
+  }
+  return std::move(builder).Build();
+}
+
+std::string SerializeFloorPlan(const FloorPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);  // exact double round-trip
+  out << "# indoor floor plan: " << plan.partition_count()
+      << " partitions, " << plan.door_count() << " doors\n";
+  for (const Partition& part : plan.partitions()) {
+    out << "partition " << part.name() << " "
+        << PartitionKindName(part.kind()) << " " << part.floor() << " "
+        << part.metric_scale();
+    for (const Point& v : part.footprint().outer().vertices()) {
+      out << " " << v.x << " " << v.y;
+    }
+    out << "\n";
+    for (const Polygon& obs : part.footprint().obstacles()) {
+      out << "obstacle " << part.id();
+      for (const Point& v : obs.vertices()) {
+        out << " " << v.x << " " << v.y;
+      }
+      out << "\n";
+    }
+  }
+  for (const Door& door : plan.doors()) {
+    const Segment& s = door.geometry();
+    out << "door " << door.name() << " " << s.a.x << " " << s.a.y << " "
+        << s.b.x << " " << s.b.y << "\n";
+  }
+  for (const Door& door : plan.doors()) {
+    for (const DoorConnection& c : plan.D2P(door.id())) {
+      out << "conn " << door.id() << " " << c.from << " " << c.to << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<FloorPlan> LoadFloorPlan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseFloorPlan(buffer.str());
+}
+
+Status SaveFloorPlan(const FloorPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << SerializeFloorPlan(plan);
+  if (!out) {
+    return Status::IOError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace indoor

@@ -1,0 +1,37 @@
+// Plain-text serialization of floor plans. A small line-oriented format so
+// plans can be versioned, diffed, and shipped with examples:
+//
+//   # comment
+//   partition <name> <kind> <floor> <metric_scale> <x0> <y0> <x1> <y1> ...
+//   obstacle <partition_index> <x0> <y0> <x1> <y1> ...
+//   door <name> <ax> <ay> <bx> <by>
+//   conn <door_index> <from_partition> <to_partition>
+//
+// Partition/door indices are densely assigned in file order. Names are
+// whitespace-free tokens. Kind is one of room|hallway|staircase|outdoor.
+
+#ifndef INDOOR_INDOOR_FLOOR_PLAN_IO_H_
+#define INDOOR_INDOOR_FLOOR_PLAN_IO_H_
+
+#include <string>
+
+#include "indoor/floor_plan.h"
+
+namespace indoor {
+
+/// Parses a floor plan from text. Returns ParseError with line information
+/// on malformed input, or the builder's validation error.
+Result<FloorPlan> ParseFloorPlan(const std::string& text);
+
+/// Serializes `plan` to the text format (round-trips via ParseFloorPlan).
+std::string SerializeFloorPlan(const FloorPlan& plan);
+
+/// Loads a floor plan from a file.
+Result<FloorPlan> LoadFloorPlan(const std::string& path);
+
+/// Writes a floor plan to a file.
+Status SaveFloorPlan(const FloorPlan& plan, const std::string& path);
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_FLOOR_PLAN_IO_H_

@@ -1,0 +1,19 @@
+#include "indoor/partition.h"
+
+namespace indoor {
+
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRoom:
+      return "room";
+    case PartitionKind::kHallway:
+      return "hallway";
+    case PartitionKind::kStaircase:
+      return "staircase";
+    case PartitionKind::kOutdoor:
+      return "outdoor";
+  }
+  return "unknown";
+}
+
+}  // namespace indoor

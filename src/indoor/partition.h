@@ -1,0 +1,86 @@
+// Indoor partitions: "a smallest piece of independent space that is
+// connected to other partitions by one or more doors" (paper §III) — a room,
+// a hallway, a staircase, or the special outdoor partition.
+
+#ifndef INDOOR_INDOOR_PARTITION_H_
+#define INDOOR_INDOOR_PARTITION_H_
+
+#include <string>
+#include <utility>
+
+#include "geometry/visibility_graph.h"
+#include "indoor/types.h"
+
+namespace indoor {
+
+/// Semantic kind of a partition.
+enum class PartitionKind {
+  kRoom,
+  kHallway,
+  /// A staircase flight modeled as a virtual room with two doors whose
+  /// intra-partition distances carry the actual stair walking length
+  /// (paper §VI-A: multi-floor buildings are flattened this way).
+  kStaircase,
+  /// All of outdoor space, regarded as one special partition (paper fn. 1).
+  kOutdoor,
+};
+
+const char* PartitionKindName(PartitionKind kind);
+
+/// A partition: footprint (possibly with obstacles), semantic kind, floor
+/// number, and a metric scale.
+///
+/// `metric_scale` multiplies every intra-partition geometric distance. It is
+/// 1 for ordinary partitions; for a flattened staircase flight it is
+/// (actual walking length) / (flat footprint length between its doors), so
+/// fd2d/fdv/distV all report walking distances consistently.
+class Partition {
+ public:
+  Partition(PartitionId id, std::string name, PartitionKind kind,
+            int floor, ObstructedRegion footprint, double metric_scale = 1.0)
+      : id_(id),
+        name_(std::move(name)),
+        kind_(kind),
+        floor_(floor),
+        footprint_(std::move(footprint)),
+        metric_scale_(metric_scale) {
+    INDOOR_CHECK(metric_scale_ > 0.0) << "metric scale must be positive";
+  }
+
+  PartitionId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  PartitionKind kind() const { return kind_; }
+  int floor() const { return floor_; }
+  double metric_scale() const { return metric_scale_; }
+  const ObstructedRegion& footprint() const { return footprint_; }
+
+  bool IsOutdoor() const { return kind_ == PartitionKind::kOutdoor; }
+
+  /// Closed containment in the free space of the footprint.
+  bool Contains(const Point& p) const { return footprint_.Contains(p); }
+
+  /// Intra-partition walking distance between two points (obstructed where
+  /// the partition has obstacles), scaled by metric_scale.
+  double IntraDistance(const Point& a, const Point& b) const {
+    const double d = footprint_.Distance(a, b);
+    return d == kInfDistance ? kInfDistance : d * metric_scale_;
+  }
+
+  /// Longest intra-partition walking distance from `p` to any point of the
+  /// partition; backs fdv (paper §III-C1 item 4).
+  double MaxDistanceFrom(const Point& p) const {
+    return footprint_.MaxDistanceFrom(p) * metric_scale_;
+  }
+
+ private:
+  PartitionId id_;
+  std::string name_;
+  PartitionKind kind_;
+  int floor_;
+  ObstructedRegion footprint_;
+  double metric_scale_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_PARTITION_H_

@@ -1,0 +1,113 @@
+#include "indoor/sample_plans.h"
+
+#include "indoor/floor_plan_builder.h"
+
+namespace indoor {
+namespace {
+
+ObstructedRegion RegionWithObstacles(const Rect& outer,
+                                     const std::vector<Rect>& obstacles) {
+  std::vector<Polygon> obs;
+  obs.reserve(obstacles.size());
+  for (const Rect& r : obstacles) obs.push_back(Polygon::FromRect(r));
+  auto region = ObstructedRegion::Create(Polygon::FromRect(outer),
+                                         std::move(obs));
+  INDOOR_CHECK(region.ok()) << region.status().ToString();
+  return std::move(region).value();
+}
+
+}  // namespace
+
+FloorPlan MakeRunningExamplePlan(RunningExampleIds* ids) {
+  FloorPlanBuilder b;
+  RunningExampleIds out;
+
+  out.v0 = b.AddPartition("outdoor", PartitionKind::kOutdoor, 0,
+                          Rect(-5, -5, 37, 15));
+  // Floor 1: hallway v10 with rooms below (v11, v12, v13) and above (v14).
+  out.v10 = b.AddPartition("v10", PartitionKind::kHallway, 1,
+                           Rect(0, 4, 12, 6));
+  out.v11 = b.AddPartition("v11", PartitionKind::kRoom, 1, Rect(0, 0, 4, 4));
+  out.v12 = b.AddPartition("v12", PartitionKind::kRoom, 1, Rect(4, 0, 8, 4));
+  out.v13 = b.AddPartition("v13", PartitionKind::kRoom, 1, Rect(8, 0, 12, 4));
+  out.v14 = b.AddPartition("v14", PartitionKind::kRoom, 1, Rect(0, 6, 6, 10));
+  // Floor 2: one large partition v20 with an obstacle, plus rooms v21..v23.
+  out.v20 = b.AddPartition(
+      "v20", PartitionKind::kHallway, 2,
+      RegionWithObstacles(Rect(20, 0, 28, 8), {Rect(23, 2, 25.5, 7.2)}));
+  out.v21 = b.AddPartition("v21", PartitionKind::kRoom, 2,
+                           Rect(28, 0, 32, 8));
+  out.v22 = b.AddPartition("v22", PartitionKind::kRoom, 2,
+                           Rect(20, 8, 24, 12));
+  out.v23 = b.AddPartition("v23", PartitionKind::kRoom, 2,
+                           Rect(24, 8, 28, 12));
+  // Staircase flight between the floors, flattened: flat door-to-door
+  // length 8 m, actual stair walking length 10 m -> scale 1.25.
+  out.v50 = b.AddPartition("v50", PartitionKind::kStaircase, 1,
+                           Rect(12, 4, 20, 6), /*metric_scale=*/1.25);
+
+  out.d1 = b.AddBidirectionalDoor("d1", Segment({0, 4.8}, {0, 5.2}),
+                                  out.v0, out.v10);
+  out.d11 = b.AddBidirectionalDoor("d11", Segment({1.8, 4}, {2.2, 4}),
+                                   out.v11, out.v10);
+  out.d12 = b.AddUnidirectionalDoor("d12", Segment({4.8, 4}, {5.2, 4}),
+                                    out.v12, out.v10);
+  out.d13 = b.AddBidirectionalDoor("d13", Segment({9.8, 4}, {10.2, 4}),
+                                   out.v13, out.v10);
+  out.d14 = b.AddBidirectionalDoor("d14", Segment({2.8, 6}, {3.2, 6}),
+                                   out.v14, out.v10);
+  out.d15 = b.AddUnidirectionalDoor("d15", Segment({8, 0.8}, {8, 1.2}),
+                                    out.v13, out.v12);
+  out.d16 = b.AddBidirectionalDoor("d16", Segment({12, 4.8}, {12, 5.2}),
+                                   out.v10, out.v50);
+  out.d2 = b.AddBidirectionalDoor("d2", Segment({20, 4.8}, {20, 5.2}),
+                                  out.v50, out.v20);
+  out.d21 = b.AddBidirectionalDoor("d21", Segment({28, 1.8}, {28, 2.2}),
+                                   out.v20, out.v21);
+  out.d22 = b.AddBidirectionalDoor("d22", Segment({21.8, 8}, {22.2, 8}),
+                                   out.v20, out.v22);
+  out.d23 = b.AddBidirectionalDoor("d23", Segment({25.8, 8}, {26.2, 8}),
+                                   out.v20, out.v23);
+  out.d24 = b.AddBidirectionalDoor("d24", Segment({28, 5.8}, {28, 6.2}),
+                                   out.v20, out.v21);
+
+  auto plan = std::move(b).Build();
+  INDOOR_CHECK(plan.ok()) << plan.status().ToString();
+  if (ids != nullptr) *ids = out;
+  return std::move(plan).value();
+}
+
+FloorPlan MakeObstacleExamplePlan(ObstacleExampleIds* ids) {
+  FloorPlanBuilder b;
+  ObstacleExampleIds out;
+
+  out.outdoor = b.AddPartition("outdoor", PartitionKind::kOutdoor, 0,
+                               Rect(-2, -2, 14, 12));
+  out.room1 = b.AddPartition("room1", PartitionKind::kRoom, 1,
+                             Rect(0, 6, 12, 10));
+  // Serpentine obstacle course: slabs alternately flush with the top and
+  // bottom walls force a long weave for intra-room2 travel.
+  out.room2 = b.AddPartition(
+      "room2", PartitionKind::kRoom, 1,
+      RegionWithObstacles(Rect(0, 0, 12, 6),
+                          {Rect(2, 0.2, 3, 6), Rect(4.5, 0, 5.5, 5.8),
+                           Rect(7, 0.2, 8, 6), Rect(9.5, 0, 10.5, 5.8)}));
+
+  out.d6 = b.AddBidirectionalDoor("d6", Segment({0, 5.3}, {0, 5.7}),
+                                  out.outdoor, out.room2);
+  out.d7 = b.AddBidirectionalDoor("d7", Segment({0.3, 6}, {0.7, 6}),
+                                  out.room2, out.room1);
+  out.d8 = b.AddBidirectionalDoor("d8", Segment({11.3, 6}, {11.7, 6}),
+                                  out.room2, out.room1);
+  out.d9 = b.AddBidirectionalDoor("d9", Segment({12, 5.3}, {12, 5.7}),
+                                  out.room2, out.outdoor);
+  out.p = Point(0.5, 5.5);
+  out.q = Point(11.5, 5.5);
+
+  auto plan = std::move(b).Build();
+  INDOOR_CHECK(plan.ok()) << plan.status().ToString();
+  if (ids != nullptr) *ids = out;
+  return std::move(plan).value();
+}
+
+}  // namespace indoor

@@ -1,0 +1,73 @@
+// Concrete floor plans used throughout tests, examples, and the Fig. 3/4
+// matrix reproduction: the paper's Fig. 1 running example and the Fig. 5
+// obstacle scenario.
+
+#ifndef INDOOR_INDOOR_SAMPLE_PLANS_H_
+#define INDOOR_INDOOR_SAMPLE_PLANS_H_
+
+#include "indoor/floor_plan.h"
+
+namespace indoor {
+
+/// Ids of the named entities in the running-example plan, mirroring the
+/// paper's Fig. 1 labels (v10..v14, v20..v23, staircase v50, outdoor v0;
+/// doors d1, d2, d11..d16, d21..d24).
+struct RunningExampleIds {
+  PartitionId v0;   // outdoor
+  PartitionId v10;  // floor-1 hallway
+  PartitionId v11;
+  PartitionId v12;
+  PartitionId v13;
+  PartitionId v14;
+  PartitionId v20;  // floor-2 hallway (contains an obstacle)
+  PartitionId v21;
+  PartitionId v22;
+  PartitionId v23;
+  PartitionId v50;  // staircase flight between the floors
+
+  DoorId d1;   // outdoor <-> v10, bidirectional
+  DoorId d11;  // v11 <-> v10
+  DoorId d12;  // v12 -> v10, unidirectional
+  DoorId d13;  // v13 <-> v10
+  DoorId d14;  // v14 <-> v10
+  DoorId d15;  // v13 -> v12, unidirectional
+  DoorId d16;  // v10 <-> v50 (staircase, floor 1 end)
+  DoorId d2;   // v50 <-> v20 (staircase, floor 2 end)
+  DoorId d21;  // v20 <-> v21, bidirectional (paper example)
+  DoorId d22;  // v20 <-> v22
+  DoorId d23;  // v20 <-> v23
+  DoorId d24;  // v20 <-> v21, second door between the same partitions
+};
+
+/// Builds the running-example plan. Topology matches every fact the paper
+/// states about Fig. 1: d12 and d15 are unidirectional (one can pass d15
+/// only from room 13 to room 12), d21 is bidirectional, several doors (d21,
+/// d24) connect the same partition pair, the staircase is a virtual room
+/// whose two doors carry the stair walking length, and partition v20
+/// contains an obstacle that blocks the d22-d24 line of sight. Coordinates
+/// are our own (the paper gives none); distances are the same order of
+/// magnitude as the paper's illustrative numbers.
+FloorPlan MakeRunningExamplePlan(RunningExampleIds* ids = nullptr);
+
+/// Ids for the Fig. 5 obstacle scenario.
+struct ObstacleExampleIds {
+  PartitionId outdoor;
+  PartitionId room1;  // obstacle-free room above
+  PartitionId room2;  // serpentine obstacle course
+  DoorId d6;          // outdoor <-> room2 (left)
+  DoorId d7;          // room2 <-> room1 (left)
+  DoorId d8;          // room2 <-> room1 (right)
+  DoorId d9;          // room2 <-> outdoor (right)
+  Point p;            // near d6/d7, inside room2
+  Point q;            // near d8/d9, inside room2
+};
+
+/// Builds the Fig. 5 scenario: obstacles inside room 2 make the
+/// intra-partition p->q path (around the obstacles) much longer than
+/// leaving through d7, crossing room 1, and returning through d8 — the
+/// paper's justification for re-searching the query's host partition.
+FloorPlan MakeObstacleExamplePlan(ObstacleExampleIds* ids = nullptr);
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_SAMPLE_PLANS_H_

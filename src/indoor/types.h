@@ -1,0 +1,26 @@
+// Identifier types shared across the indoor model.
+
+#ifndef INDOOR_INDOOR_TYPES_H_
+#define INDOOR_INDOOR_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace indoor {
+
+/// Dense 0-based door identifier (index into FloorPlan::doors()).
+using DoorId = uint32_t;
+
+/// Dense 0-based partition identifier (index into FloorPlan::partitions()).
+using PartitionId = uint32_t;
+
+/// Dense 0-based identifier of an indoor object (POI or moving entity).
+using ObjectId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t kInvalidId =
+    std::numeric_limits<uint32_t>::max();
+
+}  // namespace indoor
+
+#endif  // INDOOR_INDOOR_TYPES_H_

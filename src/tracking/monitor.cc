@@ -1,0 +1,80 @@
+#include "tracking/monitor.h"
+
+#include <algorithm>
+
+namespace indoor {
+
+ContinuousRangeMonitor::ContinuousRangeMonitor(const DistanceContext& ctx,
+                                               const ObjectStore& store,
+                                               const Point& q, double r)
+    : field_(ctx, q), query_(q), radius_(r) {
+  // Per-partition bounds: any point of v is at distance within
+  // [min over entering doors of door_dist, min over entering doors of
+  //  door_dist + fdv(door, v)]. The host partition's lower bound is 0 and
+  // its upper bound must also admit the direct intra route.
+  const FloorPlan& plan = ctx.graph->plan();
+  part_lower_.assign(plan.partition_count(), kInfDistance);
+  part_upper_.assign(plan.partition_count(), kInfDistance);
+  if (field_.valid()) {
+    for (PartitionId v = 0; v < plan.partition_count(); ++v) {
+      for (DoorId dt : plan.EnterDoors(v)) {
+        const double base = field_.DistanceToDoor(dt);
+        if (base == kInfDistance) continue;
+        part_lower_[v] = std::min(part_lower_[v], base);
+        const double reach = ctx.graph->Fdv(dt, v);
+        if (reach != kInfDistance) {
+          part_upper_[v] = std::min(part_upper_[v], base + reach);
+        }
+      }
+    }
+    const PartitionId host = field_.host();
+    part_lower_[host] = 0.0;
+    const double direct_reach =
+        plan.partition(host).MaxDistanceFrom(q);
+    part_upper_[host] = std::min(part_upper_[host], direct_reach);
+  }
+  for (const IndoorObject& obj : store.objects()) {
+    if (field_.DistanceTo(obj.partition, obj.position) <= radius_) {
+      members_.insert(obj.id);
+    }
+  }
+}
+
+bool ContinuousRangeMonitor::OnReport(const PositionReport& report) {
+  const bool was_inside = members_.count(report.id) > 0;
+  const PartitionId v = report.partition;
+  // O(1) resolution via the partition bounds where they are decisive.
+  bool inside;
+  if (v < part_upper_.size() && part_upper_[v] <= radius_) {
+    inside = true;  // the whole partition lies within range
+  } else if (v < part_lower_.size() && part_lower_[v] > radius_) {
+    inside = false;  // the whole partition lies beyond range
+  } else {
+    ++probes_;
+    inside = field_.DistanceTo(report.partition, report.position) <= radius_;
+  }
+  if (inside == was_inside) return false;
+  if (inside) {
+    members_.insert(report.id);
+  } else {
+    members_.erase(report.id);
+  }
+  return true;
+}
+
+std::vector<ObjectId> ContinuousRangeMonitor::Members() const {
+  std::vector<ObjectId> out(members_.begin(), members_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ApplyReports(const std::vector<PositionReport>& reports,
+                  ObjectStore* store) {
+  for (const PositionReport& report : reports) {
+    const Status st =
+        store->MoveObject(report.id, report.partition, report.position);
+    INDOOR_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+}  // namespace indoor

@@ -1,0 +1,99 @@
+// Symbolic indoor positioning: proximity readers (RFID/BLE-style) and the
+// partition-level tracker they feed. The paper's services assume such
+// positioning exists ("a variety of technologies that use, e.g., Wi-Fi,
+// Bluetooth, and RFID, enable positioning in indoor settings", §I, citing
+// the authors' graph-based tracking work [8]); this module supplies it
+// synthetically: readers deployed at doors detect tags passing within
+// range, and a symbolic tracker maintains the candidate partitions each
+// tracked object may currently occupy.
+
+#ifndef INDOOR_TRACKING_POSITIONING_H_
+#define INDOOR_TRACKING_POSITIONING_H_
+
+#include <vector>
+
+#include "indoor/floor_plan.h"
+#include "rtree/rtree.h"
+#include "tracking/trajectory.h"
+
+namespace indoor {
+
+/// A proximity reader: detects tags within `range` meters of `position`.
+struct Reader {
+  uint32_t id = kInvalidId;
+  Point position;
+  double range = 1.0;
+  /// The door this reader observes, kInvalidId for free-standing readers.
+  DoorId door = kInvalidId;
+};
+
+/// One detection event.
+struct Detection {
+  ObjectId object = kInvalidId;
+  uint32_t reader = kInvalidId;
+};
+
+/// A set of deployed readers with spatial lookup.
+class ReaderDeployment {
+ public:
+  /// The canonical deployment of the cited tracking work: one reader per
+  /// door, centered on the door, observing crossings.
+  static ReaderDeployment AtDoors(const FloorPlan& plan, double range);
+
+  /// Custom deployment.
+  explicit ReaderDeployment(std::vector<Reader> readers);
+
+  const std::vector<Reader>& readers() const { return readers_; }
+
+  /// Readers whose range covers `p`.
+  std::vector<uint32_t> Detect(const Point& p) const;
+
+  /// Detections for a batch of position reports.
+  std::vector<Detection> DetectAll(
+      const std::vector<PositionReport>& reports) const;
+
+ private:
+  std::vector<Reader> readers_;
+  RTree rtree_;
+};
+
+/// Partition-level symbolic tracker: after a tag fires the reader at door
+/// d, the tag is in one of the partitions d touches; it stays in its
+/// candidate set's reachable closure until the next detection narrows it
+/// again. (A deliberate simplification of [8]'s probabilistic model: we
+/// track the candidate SET, not a distribution.)
+class SymbolicTracker {
+ public:
+  SymbolicTracker(const FloorPlan& plan, const ReaderDeployment& deployment,
+                  size_t object_count);
+
+  /// Processes one detection: the object's candidates become the
+  /// partitions touched by the reader's door (or, for a free-standing
+  /// reader, every partition containing its position).
+  void OnDetection(const Detection& detection);
+
+  /// Widens every object's candidate set by one door hop (call when time
+  /// passes without detections; movement may have crossed unobserved
+  /// doors only if readers miss — with door-complete deployments this
+  /// models reader failures).
+  void WidenAll();
+
+  /// Current candidate partitions of `id`, sorted. Starts as "anywhere"
+  /// (empty = unknown/everywhere).
+  const std::vector<PartitionId>& Candidates(ObjectId id) const {
+    INDOOR_CHECK(id < candidates_.size());
+    return candidates_[id];
+  }
+
+  /// True while nothing is known about `id`.
+  bool Unknown(ObjectId id) const { return Candidates(id).empty(); }
+
+ private:
+  const FloorPlan* plan_;
+  const ReaderDeployment* deployment_;
+  std::vector<std::vector<PartitionId>> candidates_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_TRACKING_POSITIONING_H_

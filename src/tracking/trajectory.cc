@@ -1,0 +1,85 @@
+#include "tracking/trajectory.h"
+
+namespace indoor {
+
+TrajectorySimulator::TrajectorySimulator(const DistanceContext& ctx,
+                                         const ObjectStore& store,
+                                         TrajectoryConfig config)
+    : ctx_(ctx),
+      config_(config),
+      sampler_(ctx.graph->plan()),
+      rng_(config.seed) {
+  agents_.reserve(store.size());
+  for (const IndoorObject& obj : store.objects()) {
+    Agent agent;
+    agent.id = obj.id;
+    agent.position = obj.position;
+    agent.partition = obj.partition;
+    agent.pause_left = rng_.NextDouble(0, config_.pause);
+    agents_.push_back(std::move(agent));
+  }
+}
+
+void TrajectorySimulator::PickNewPath(Agent* agent) {
+  const FloorPlan& plan = ctx_.graph->plan();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const PartitionId dest_part = sampler_.Sample(&rng_);
+    const Point dest =
+        RandomPointInPartition(plan.partition(dest_part), &rng_);
+    IndoorPath path = Pt2PtShortestPath(ctx_, agent->position, dest,
+                                        /*expand_waypoints=*/true);
+    if (!path.found() || path.waypoints.size() < 2) continue;
+    agent->waypoints = std::move(path.waypoints);
+    agent->leg = 1;  // waypoint 0 is the current position
+    return;
+  }
+  // Unreachable pocket: stay put and retry after a pause.
+  agent->waypoints.clear();
+  agent->pause_left = config_.pause;
+}
+
+std::vector<PositionReport> TrajectorySimulator::Step(double dt) {
+  std::vector<PositionReport> reports;
+  const PartitionLocator& locator = *ctx_.locator;
+  for (Agent& agent : agents_) {
+    double budget = dt;
+    bool moved = false;
+    while (budget > 1e-12) {
+      if (agent.pause_left > 0) {
+        const double waited = std::min(agent.pause_left, budget);
+        agent.pause_left -= waited;
+        budget -= waited;
+        continue;
+      }
+      if (agent.leg >= agent.waypoints.size()) {
+        PickNewPath(&agent);
+        if (agent.waypoints.empty()) break;  // stuck; pause consumed next
+      }
+      const Point& target = agent.waypoints[agent.leg];
+      const double remaining = Distance(agent.position, target);
+      const double step = config_.speed * budget;
+      if (step >= remaining) {
+        agent.position = target;
+        budget -= remaining / config_.speed;
+        ++agent.leg;
+        if (agent.leg >= agent.waypoints.size()) {
+          agent.waypoints.clear();
+          agent.pause_left = config_.pause;
+        }
+      } else {
+        agent.position =
+            Lerp(agent.position, target, step / remaining);
+        budget = 0;
+      }
+      moved = true;
+    }
+    if (moved) {
+      const auto host = locator.GetHostPartition(agent.position);
+      if (host.ok()) agent.partition = host.value();
+      reports.push_back({agent.id, agent.partition, agent.position});
+    }
+  }
+  return reports;
+}
+
+}  // namespace indoor

@@ -1,0 +1,76 @@
+// Moving populations: a random-waypoint trajectory simulator over the
+// indoor shortest-path graph. The paper's motivating services track people
+// moving through buildings (via RFID/Wi-Fi positioning, §I); this module
+// supplies that substrate synthetically — agents repeatedly pick a random
+// destination partition and walk the exact shortest indoor path to it at
+// constant speed, emitting position reports that feed the ObjectStore and
+// the continuous query monitors (monitor.h).
+
+#ifndef INDOOR_TRACKING_TRAJECTORY_H_
+#define INDOOR_TRACKING_TRAJECTORY_H_
+
+#include <vector>
+
+#include "core/distance/shortest_path.h"
+#include "core/index/object_store.h"
+#include "gen/object_generator.h"
+
+namespace indoor {
+
+/// One position report: object `id` is now at `position` in `partition`.
+struct PositionReport {
+  ObjectId id = kInvalidId;
+  PartitionId partition = kInvalidId;
+  Point position;
+};
+
+/// Simulator configuration.
+struct TrajectoryConfig {
+  /// Walking speed in meters per second.
+  double speed = 1.4;
+  /// Pause at each reached destination, in seconds.
+  double pause = 2.0;
+  uint64_t seed = 42;
+};
+
+/// Random-waypoint movement of a set of agents along exact shortest
+/// indoor paths. Agents correspond 1:1 to objects already inserted in an
+/// ObjectStore; Step() advances the clock and returns the reports to apply.
+class TrajectorySimulator {
+ public:
+  /// Tracks every object currently in `store`. Both referents must outlive
+  /// the simulator; `store`'s objects must not be removed while simulating.
+  TrajectorySimulator(const DistanceContext& ctx, const ObjectStore& store,
+                      TrajectoryConfig config = {});
+
+  /// Advances all agents by `dt` seconds; returns one report per agent
+  /// that moved. Reports are NOT applied to the store — feed them to
+  /// TrackingService/ObjectStore::MoveObject so index maintenance stays
+  /// observable.
+  std::vector<PositionReport> Step(double dt);
+
+  size_t agent_count() const { return agents_.size(); }
+
+ private:
+  struct Agent {
+    ObjectId id;
+    std::vector<Point> waypoints;      // remaining polyline, front = next
+    std::vector<PartitionId> hosts;    // host partition per waypoint leg
+    size_t leg = 0;                    // index into waypoints (next target)
+    Point position;
+    PartitionId partition;
+    double pause_left = 0;
+  };
+
+  void PickNewPath(Agent* agent);
+
+  const DistanceContext ctx_;
+  TrajectoryConfig config_;
+  PartitionSampler sampler_;
+  Rng rng_;
+  std::vector<Agent> agents_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_TRACKING_TRAJECTORY_H_

@@ -1,0 +1,50 @@
+// CHECK-style invariant macros. Used for programming errors that must never
+// occur in a correct program (index bounds, violated preconditions on
+// internal calls). User-facing fallible paths use Status/Result instead.
+
+#ifndef INDOOR_UTIL_CHECK_H_
+#define INDOOR_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace indoor {
+namespace internal {
+
+/// Accumulates a failure message; aborts the process in the destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace indoor
+
+#define INDOOR_CHECK(cond)                                     \
+  if (cond) {                                                  \
+  } else                                                       \
+    ::indoor::internal::CheckFailureStream("INDOOR_CHECK",     \
+                                           __FILE__, __LINE__, #cond)
+
+#define INDOOR_DCHECK(cond) INDOOR_CHECK(cond)
+
+#endif  // INDOOR_UTIL_CHECK_H_

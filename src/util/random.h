@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generation. Every experiment in the paper uses
+// randomized workloads ("we issue 100 queries...", "50 times with random
+// indoor positions"); reproducibility across runs requires a seeded,
+// platform-stable generator, so we use splitmix64/xoshiro256** rather than
+// std::mt19937 + distribution objects whose outputs vary across standard
+// library implementations.
+
+#ifndef INDOOR_UTIL_RANDOM_H_
+#define INDOOR_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace indoor {
+
+/// xoshiro256** seeded via splitmix64. Stable across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool NextBool(double p = 0.5);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  size_t NextIndex(size_t size) {
+    INDOOR_CHECK(size > 0);
+    return static_cast<size_t>(NextU64(size));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextU64(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel or per-phase use).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_RANDOM_H_

@@ -1,0 +1,71 @@
+// Result<T>: a value-or-Status, the library's StatusOr analogue.
+
+#ifndef INDOOR_UTIL_RESULT_H_
+#define INDOOR_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace indoor {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a checked invariant violation (aborts), mirroring StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: enables `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status. Constructing from an OK status is invalid.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    INDOOR_CHECK(!status_.ok()) << "Result constructed from OK Status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    INDOOR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    INDOOR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    INDOOR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+}  // namespace indoor
+
+/// Unwraps a Result into `lhs`, propagating errors.
+#define INDOOR_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto INDOOR_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!INDOOR_CONCAT_(_res_, __LINE__).ok())        \
+    return INDOOR_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(INDOOR_CONCAT_(_res_, __LINE__)).value()
+
+#define INDOOR_CONCAT_INNER_(a, b) a##b
+#define INDOOR_CONCAT_(a, b) INDOOR_CONCAT_INNER_(a, b)
+
+#endif  // INDOOR_UTIL_RESULT_H_

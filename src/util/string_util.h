@@ -1,0 +1,33 @@
+// Small string helpers shared by the floor-plan loader and bench reporters.
+
+#ifndef INDOOR_UTIL_STRING_UTIL_H_
+#define INDOOR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indoor {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on any trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a non-negative integer; returns false on garbage/empty/overflow.
+bool ParseUint32(std::string_view text, uint32_t* out);
+
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+// Wall-clock timing for the benchmark harness.
+
+#ifndef INDOOR_UTIL_TIMER_H_
+#define INDOOR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace indoor {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_TIMER_H_

@@ -1,0 +1,86 @@
+#include "core/model/accessibility_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "indoor/floor_plan_builder.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class AccessibilityTest : public ::testing::Test {
+ protected:
+  AccessibilityTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), graph_(plan_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  AccessibilityGraph graph_;
+};
+
+TEST_F(AccessibilityTest, EdgeCountMatchesD2PPairs) {
+  size_t expected = 0;
+  for (const Door& d : plan_.doors()) expected += plan_.D2P(d.id()).size();
+  EXPECT_EQ(graph_.edges().size(), expected);
+}
+
+TEST_F(AccessibilityTest, UnidirectionalDoorYieldsOneEdge) {
+  size_t count = 0;
+  for (const AccessEdge& e : graph_.edges()) {
+    if (e.door == ids_.d12) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(AccessibilityTest, OutEdgesMatchLeaveDirections) {
+  const auto& out = graph_.OutEdges(ids_.v12);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].door, ids_.d12);
+  EXPECT_EQ(out[0].to, ids_.v10);
+}
+
+TEST_F(AccessibilityTest, ParallelEdgesBetweenSamePartitions) {
+  // v20 <-> v21 has two doors (d21, d24) => two out-edges each way.
+  size_t count = 0;
+  for (const AccessEdge& e : graph_.OutEdges(ids_.v20)) {
+    if (e.to == ids_.v21) ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(AccessibilityTest, EverythingReachableFromOutdoor) {
+  const auto reachable = graph_.ReachableFrom(ids_.v0);
+  EXPECT_EQ(reachable.size(), plan_.partition_count());
+}
+
+TEST_F(AccessibilityTest, RunningExampleIsStronglyConnected) {
+  // Unidirectional d12/d15 form a cycle v13 -> v12 -> v10 -> v13, so the
+  // example stays strongly connected.
+  EXPECT_TRUE(graph_.IsStronglyConnected());
+}
+
+TEST(AccessibilityStandaloneTest, OneWayDoorBreaksStrongConnectivity) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  b.AddUnidirectionalDoor("d", Segment({4, 1.8}, {4, 2.2}), a, c);
+  auto plan = std::move(b).Build();
+  ASSERT_TRUE(plan.ok());
+  const AccessibilityGraph graph(plan.value());
+  EXPECT_FALSE(graph.IsStronglyConnected());
+  EXPECT_EQ(graph.ReachableFrom(a).size(), 2u);
+  EXPECT_EQ(graph.ReachableFrom(c).size(), 1u);
+}
+
+TEST_F(AccessibilityTest, ReachableFromIncludesSource) {
+  const auto reachable = graph_.ReachableFrom(ids_.v11);
+  EXPECT_NE(std::find(reachable.begin(), reachable.end(), ids_.v11),
+            reachable.end());
+}
+
+}  // namespace
+}  // namespace indoor

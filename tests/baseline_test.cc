@@ -1,0 +1,140 @@
+// Baselines: the door-count model must reproduce the paper's §I failure
+// mode; the doors-as-nodes (iNav) model must exhibit the directionality
+// blindness the paper criticizes (§III-C2); the linear-scan oracle must be
+// internally consistent.
+
+#include <gtest/gtest.h>
+
+#include "baseline/door_count_model.h"
+#include "baseline/doors_as_nodes.h"
+#include "baseline/euclidean.h"
+#include "baseline/linear_scan.h"
+#include "gen/object_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        locator_(plan_),
+        ctx_(graph_, locator_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceContext ctx_;
+};
+
+TEST_F(BaselineTest, DoorCountModelPicksTheLongerOneDoorPath) {
+  // Paper §I: from p (room 13) to q (hallway), the door-count model [11]
+  // takes the single-door path through d13 even though walking through
+  // d15 + d12 is shorter.
+  const Point p(11, 1), q(4.5, 4.5);
+  const DoorCountPath chosen = DoorCountShortestPath(ctx_, p, q);
+  ASSERT_TRUE(chosen.found());
+  EXPECT_EQ(chosen.door_count, 1u);
+  EXPECT_EQ(chosen.doors, std::vector<DoorId>{ids_.d13});
+  const double true_walk = Pt2PtDistanceBasic(ctx_, p, q);
+  EXPECT_GT(chosen.walking_length, true_walk + 1e-9);
+}
+
+TEST_F(BaselineTest, DoorCountZeroForSamePartition) {
+  const DoorCountPath path = DoorCountShortestPath(ctx_, {1, 1}, {3, 3});
+  EXPECT_EQ(path.door_count, 0u);
+  EXPECT_NEAR(path.walking_length, std::sqrt(8.0), 1e-9);
+}
+
+TEST_F(BaselineTest, DoorCountBreaksTiesByWalkingLength) {
+  // v20 -> v21 has two single-door routes (d21, d24); the charitable
+  // baseline picks the shorter walk.
+  const Point p(27, 1), q(29, 1);
+  const DoorCountPath path = DoorCountShortestPath(ctx_, p, q);
+  EXPECT_EQ(path.door_count, 1u);
+  EXPECT_EQ(path.doors, std::vector<DoorId>{ids_.d21});
+}
+
+TEST_F(BaselineTest, DoorCountWalkingLengthNeverBelowTrueDistance) {
+  Rng rng(53);
+  for (int i = 0; i < 20; ++i) {
+    const Point p = RandomPointInPartition(
+        plan_.partition(RandomIndoorPartition(plan_, &rng)), &rng);
+    const Point q = RandomPointInPartition(
+        plan_.partition(RandomIndoorPartition(plan_, &rng)), &rng);
+    const DoorCountPath path = DoorCountShortestPath(ctx_, p, q);
+    const double true_walk = Pt2PtDistanceBasic(ctx_, p, q);
+    if (path.found() && true_walk != kInfDistance) {
+      EXPECT_GE(path.walking_length, true_walk - 1e-6);
+    }
+  }
+}
+
+TEST_F(BaselineTest, INavIgnoresDoorDirectionality) {
+  const DoorsAsNodesGraph inav(graph_);
+  // True model: hallway -> room 12 must detour through room 13 (d12 is
+  // one-way out of v12). iNav walks straight "through" d12.
+  const Point q(5, 4.5);   // hallway, right at d12
+  const Point o(6, 2);     // room 12
+  const double truth = Pt2PtDistanceBasic(ctx_, q, o);
+  const double inav_dist = inav.Pt2PtDistance(locator_, q, o);
+  EXPECT_LT(inav_dist, truth - 1e-6);  // underestimates: path not walkable
+}
+
+TEST_F(BaselineTest, INavMatchesTruthWhereAllDoorsAreBidirectional) {
+  const DoorsAsNodesGraph inav(graph_);
+  const Point p(21, 1), q(22, 10);  // floor 2: all doors bidirectional
+  EXPECT_NEAR(inav.Pt2PtDistance(locator_, p, q),
+              Pt2PtDistanceBasic(ctx_, p, q), 1e-9);
+}
+
+TEST_F(BaselineTest, INavDoorDistanceSymmetric) {
+  const DoorsAsNodesGraph inav(graph_);
+  EXPECT_NEAR(inav.DoorDistance(ids_.d12, ids_.d13),
+              inav.DoorDistance(ids_.d13, ids_.d12), 1e-9);
+}
+
+TEST_F(BaselineTest, EuclideanUnderestimatesIndoorDistance) {
+  Rng rng(59);
+  for (int i = 0; i < 20; ++i) {
+    const Point p = RandomPointInPartition(
+        plan_.partition(RandomIndoorPartition(plan_, &rng)), &rng);
+    const Point q = RandomPointInPartition(
+        plan_.partition(RandomIndoorPartition(plan_, &rng)), &rng);
+    const double walk = Pt2PtDistanceBasic(ctx_, p, q);
+    if (walk == kInfDistance) continue;
+    EXPECT_LE(EuclideanBaselineDistance(p, q), walk + 1e-6);
+  }
+}
+
+TEST_F(BaselineTest, AllObjectDistancesMatchPairwiseComputation) {
+  ObjectStore store(plan_, 2.0);
+  Rng rng(61);
+  PopulateStore(GenerateObjects(plan_, 25, &rng), &store);
+  const Point q(6, 5);
+  const auto distances = AllObjectDistances(ctx_, store, q);
+  ASSERT_EQ(distances.size(), store.size());
+  for (const IndoorObject& obj : store.objects()) {
+    EXPECT_NEAR(distances[obj.id],
+                Pt2PtDistanceBasic(ctx_, q, obj.position), 1e-6)
+        << "object " << obj.id;
+  }
+}
+
+TEST_F(BaselineTest, LinearScanRangeAndKnnConsistent) {
+  ObjectStore store(plan_, 2.0);
+  Rng rng(67);
+  PopulateStore(GenerateObjects(plan_, 30, &rng), &store);
+  const Point q(6, 5);
+  const auto knn = LinearScanKnn(ctx_, store, q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  // Range at the 10th distance returns at least those 10 objects.
+  const auto range = LinearScanRange(ctx_, store, q, knn.back().distance);
+  EXPECT_GE(range.size(), 10u);
+}
+
+}  // namespace
+}  // namespace indoor

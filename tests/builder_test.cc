@@ -1,0 +1,167 @@
+// Failure injection: malformed topologies must be rejected with precise
+// Status messages, never crash.
+
+#include "indoor/floor_plan_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+TEST(BuilderTest, MinimalValidPlan) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  b.AddBidirectionalDoor("d", Segment({4, 1.8}, {4, 2.2}), a, c);
+  const auto plan = std::move(b).Build();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().partition_count(), 2u);
+  EXPECT_EQ(plan.value().door_count(), 1u);
+}
+
+TEST(BuilderTest, RejectsDoorWithoutConnections) {
+  FloorPlanBuilder b;
+  b.AddPartition("a", PartitionKind::kRoom, 1, Rect(0, 0, 4, 4));
+  b.AddDoor("dangling", Segment({0, 1}, {0, 2}));
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("no connections"),
+            std::string::npos);
+}
+
+TEST(BuilderTest, RejectsMoreThanTwoConnections) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  const PartitionId e = b.AddPartition("e", PartitionKind::kRoom, 1,
+                                       Rect(0, 4, 4, 8));
+  const DoorId d = b.AddDoor("d", Segment({4, 1.8}, {4, 2.2}));
+  b.AddConnection(d, a, c);
+  b.AddConnection(d, c, a);
+  b.AddConnection(d, a, e);
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("more than two"),
+            std::string::npos);
+}
+
+TEST(BuilderTest, RejectsUnknownPartitionReference) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const DoorId d = b.AddDoor("d", Segment({4, 1.8}, {4, 2.2}));
+  b.AddConnection(d, a, 99);
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("unknown partition"),
+            std::string::npos);
+}
+
+TEST(BuilderTest, RejectsSelfLoop) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const DoorId d = b.AddDoor("d", Segment({0, 1.8}, {0, 2.2}));
+  b.AddConnection(d, a, a);
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("itself"), std::string::npos);
+}
+
+TEST(BuilderTest, RejectsDuplicateConnection) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  const DoorId d = b.AddDoor("d", Segment({4, 1.8}, {4, 2.2}));
+  b.AddConnection(d, a, c);
+  b.AddConnection(d, a, c);
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(BuilderTest, RejectsTwoConnectionsSpanningThreePartitions) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  const PartitionId e = b.AddPartition("e", PartitionKind::kRoom, 1,
+                                       Rect(0, 4, 4, 8));
+  const DoorId d = b.AddDoor("d", Segment({4, 1.8}, {4, 2.2}));
+  b.AddConnection(d, a, c);
+  b.AddConnection(d, e, a);
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("connects more than two"),
+            std::string::npos);
+}
+
+TEST(BuilderTest, RejectsDoorMidpointOutsidePartition) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  // Door geometry far away from both rooms.
+  b.AddBidirectionalDoor("d", Segment({20, 20}, {20, 21}), a, c);
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("midpoint"), std::string::npos);
+}
+
+TEST(BuilderTest, OutdoorPartitionExemptFromContainmentCheck) {
+  FloorPlanBuilder b;
+  // Outdoor footprint deliberately does NOT cover the door.
+  const PartitionId outdoor = b.AddPartition(
+      "outdoor", PartitionKind::kOutdoor, 0, Rect(100, 100, 110, 110));
+  const PartitionId room = b.AddPartition("room", PartitionKind::kRoom, 1,
+                                          Rect(0, 0, 4, 4));
+  b.AddBidirectionalDoor("d", Segment({0, 1.8}, {0, 2.2}), outdoor, room);
+  EXPECT_TRUE(std::move(b).Build().ok());
+}
+
+TEST(BuilderTest, UnidirectionalDoorMappings) {
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  const DoorId d =
+      b.AddUnidirectionalDoor("d", Segment({4, 1.8}, {4, 2.2}), a, c);
+  const auto plan = std::move(b).Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().LeaveDoors(c).empty());
+  EXPECT_TRUE(plan.value().EnterDoors(a).empty());
+  EXPECT_EQ(plan.value().LeaveDoors(a), std::vector<DoorId>{d});
+  EXPECT_EQ(plan.value().EnterDoors(c), std::vector<DoorId>{d});
+}
+
+TEST(BuilderTest, ErrorMessagesNameTheDoor) {
+  FloorPlanBuilder b;
+  b.AddPartition("a", PartitionKind::kRoom, 1, Rect(0, 0, 4, 4));
+  b.AddDoor("my_door", Segment({0, 1}, {0, 2}));
+  const auto plan = std::move(b).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("my_door"), std::string::npos);
+}
+
+TEST(BuilderTest, DenseIdsInCallOrder) {
+  FloorPlanBuilder b;
+  EXPECT_EQ(b.AddPartition("p0", PartitionKind::kRoom, 1, Rect(0, 0, 4, 4)),
+            0u);
+  EXPECT_EQ(b.AddPartition("p1", PartitionKind::kRoom, 1, Rect(4, 0, 8, 4)),
+            1u);
+  EXPECT_EQ(b.AddDoor("d0", Segment({4, 1}, {4, 2})), 0u);
+  EXPECT_EQ(b.AddDoor("d1", Segment({4, 2}, {4, 3})), 1u);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,101 @@
+#include "core/distance/distance_field.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class DistanceFieldTest : public ::testing::Test {
+ protected:
+  DistanceFieldTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        locator_(plan_),
+        ctx_(graph_, locator_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceContext ctx_;
+};
+
+TEST_F(DistanceFieldTest, InvalidForOutsideSource) {
+  const DistanceField field(ctx_, {1000, 1000});
+  EXPECT_FALSE(field.valid());
+  EXPECT_EQ(field.DistanceTo({1, 1}), kInfDistance);
+  EXPECT_EQ(field.DistanceToDoor(0), kInfDistance);
+}
+
+TEST_F(DistanceFieldTest, HostIsResolved) {
+  const DistanceField field(ctx_, {2, 2});
+  ASSERT_TRUE(field.valid());
+  EXPECT_EQ(field.host(), ids_.v11);
+}
+
+TEST_F(DistanceFieldTest, DoorDistancesMatchSeededDijkstra) {
+  const Point q(2, 2);  // room 11
+  const DistanceField field(ctx_, q);
+  // To d11 (its own door): the distV leg.
+  EXPECT_NEAR(field.DistanceToDoor(ids_.d11), 2.0, 1e-9);
+  // To d13 through the hallway.
+  EXPECT_NEAR(field.DistanceToDoor(ids_.d13),
+              2.0 + Distance({2, 4}, {10, 4}), 1e-9);
+}
+
+TEST_F(DistanceFieldTest, ProbesMatchPt2Pt) {
+  Rng rng(111);
+  const Point q = RandomIndoorPosition(plan_, &rng);
+  const DistanceField field(ctx_, q);
+  for (int i = 0; i < 25; ++i) {
+    const PartitionId v = RandomIndoorPartition(plan_, &rng);
+    const Point p = RandomPointInPartition(plan_.partition(v), &rng);
+    EXPECT_NEAR(field.DistanceTo(v, p), Pt2PtDistanceBasic(ctx_, q, p),
+                1e-6)
+        << "q=" << q << " p=" << p;
+  }
+}
+
+TEST_F(DistanceFieldTest, ProbeWithImplicitHost) {
+  const DistanceField field(ctx_, {2, 2});
+  EXPECT_NEAR(field.DistanceTo({3, 3}),
+              Pt2PtDistanceBasic(ctx_, {2, 2}, {3, 3}), 1e-9);
+  EXPECT_EQ(field.DistanceTo({1000, 1000}), kInfDistance);
+}
+
+TEST_F(DistanceFieldTest, RespectsDirectionality) {
+  // From the hallway, probing into room 12 must take the long route.
+  const Point q(5, 4.5);
+  const DistanceField field(ctx_, q);
+  const double expect = Distance(q, Point(10, 4)) + std::sqrt(13.0) +
+                        Distance(Point(8, 1), Point(6, 2));
+  EXPECT_NEAR(field.DistanceTo(ids_.v12, {6, 2}), expect, 1e-9);
+}
+
+TEST(DistanceFieldGeneratedTest, MatchesPt2PtOnGeneratedBuilding) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 10;
+  config.room_to_room_doors = 0.4;
+  config.one_way_fraction = 0.3;
+  config.seed = 113;
+  const FloorPlan plan = GenerateBuilding(config);
+  const DistanceGraph graph(plan);
+  const PartitionLocator locator(plan);
+  const DistanceContext ctx(graph, locator);
+  Rng rng(117);
+  const Point q = RandomIndoorPosition(plan, &rng);
+  const DistanceField field(ctx, q);
+  for (int i = 0; i < 20; ++i) {
+    const Point p = RandomIndoorPosition(plan, &rng);
+    EXPECT_NEAR(field.DistanceTo(p), Pt2PtDistanceVirtual(ctx, q, p), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,105 @@
+// Validates the fdv / fd2d constructs of Gdist (paper §III-C1) against
+// hand-computed values on the running example.
+
+#include "core/model/distance_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class DistanceGraphTest : public ::testing::Test {
+ protected:
+  DistanceGraphTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), graph_(plan_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+};
+
+TEST_F(DistanceGraphTest, FdvOfEnterablePartition) {
+  // d11 at (2, 4) entering room v11 = (0,0)-(4,4): farthest corner (4, 0).
+  const double expected = std::sqrt(2 * 2 + 4 * 4);
+  EXPECT_NEAR(graph_.Fdv(ids_.d11, ids_.v11), expected, 1e-9);
+}
+
+TEST_F(DistanceGraphTest, FdvInfinityForNonEnterablePartition) {
+  // d12 is unidirectional v12 -> v10: v12 is NOT enterable through d12.
+  EXPECT_EQ(graph_.Fdv(ids_.d12, ids_.v12), kInfDistance);
+  // And v13 is unrelated to d12 entirely.
+  EXPECT_EQ(graph_.Fdv(ids_.d12, ids_.v13), kInfDistance);
+}
+
+TEST_F(DistanceGraphTest, FdvDefinedForEnterableSideOfOneWayDoor) {
+  // d12 at (5, 4) entering hallway v10 = (0,4)-(12,6): farthest corner
+  // (12, 6).
+  const double expected = std::sqrt(7 * 7 + 2 * 2);
+  EXPECT_NEAR(graph_.Fdv(ids_.d12, ids_.v10), expected, 1e-9);
+}
+
+TEST_F(DistanceGraphTest, FdvScaledInStaircase) {
+  // v50 = (12,4)-(20,6) scaled by 1.25; d16 at (12, 5); farthest corner
+  // (20, 4) or (20, 6): sqrt(64 + 1) * 1.25.
+  const double expected = std::sqrt(65.0) * 1.25;
+  EXPECT_NEAR(graph_.Fdv(ids_.d16, ids_.v50), expected, 1e-9);
+}
+
+TEST_F(DistanceGraphTest, Fd2dValidEnterLeavePair) {
+  // Enter v10 through d11 (2,4), leave through d13 (10,4): straight 8 m.
+  EXPECT_NEAR(graph_.Fd2d(ids_.v10, ids_.d11, ids_.d13), 8.0, 1e-9);
+}
+
+TEST_F(DistanceGraphTest, Fd2dRespectsDirectionPermissions) {
+  // Paper: fd2d(v12, d12, d15) = inf -- one cannot go from d12 to d15
+  // within v12 (d12 cannot enter v12, d15 cannot leave it)...
+  EXPECT_EQ(graph_.Fd2d(ids_.v12, ids_.d12, ids_.d15), kInfDistance);
+  // ...while fd2d(v12, d15, d12) is the (finite) distance.
+  const double d = graph_.Fd2d(ids_.v12, ids_.d15, ids_.d12);
+  ASSERT_NE(d, kInfDistance);
+  EXPECT_NEAR(d, Distance(plan_.door(ids_.d15).Midpoint(),
+                          plan_.door(ids_.d12).Midpoint()),
+              1e-9);
+}
+
+TEST_F(DistanceGraphTest, Fd2dZeroForSameTouchingDoor) {
+  EXPECT_DOUBLE_EQ(graph_.Fd2d(ids_.v10, ids_.d11, ids_.d11), 0.0);
+  EXPECT_DOUBLE_EQ(graph_.Fd2d(ids_.v12, ids_.d12, ids_.d12), 0.0);
+}
+
+TEST_F(DistanceGraphTest, Fd2dInfinityForNonTouchingDoor) {
+  EXPECT_EQ(graph_.Fd2d(ids_.v11, ids_.d13, ids_.d13), kInfDistance);
+  EXPECT_EQ(graph_.Fd2d(ids_.v11, ids_.d13, ids_.d11), kInfDistance);
+}
+
+TEST_F(DistanceGraphTest, Fd2dUsesObstructedDistanceInV20) {
+  // d22 -> d24 within v20 is blocked by the obstacle: obstructed > Euclid.
+  const double d = graph_.Fd2d(ids_.v20, ids_.d22, ids_.d24);
+  ASSERT_NE(d, kInfDistance);
+  EXPECT_GT(d, Distance(plan_.door(ids_.d22).Midpoint(),
+                        plan_.door(ids_.d24).Midpoint()) +
+                   1e-9);
+}
+
+TEST_F(DistanceGraphTest, Fd2dSymmetricForBidirectionalPairs) {
+  EXPECT_NEAR(graph_.Fd2d(ids_.v20, ids_.d21, ids_.d22),
+              graph_.Fd2d(ids_.v20, ids_.d22, ids_.d21), 1e-9);
+}
+
+TEST_F(DistanceGraphTest, IntraDoorDistanceIgnoresDirections) {
+  // Raw intra distance exists even for the direction-forbidden pair.
+  const double raw = graph_.IntraDoorDistance(ids_.v12, ids_.d12, ids_.d15);
+  EXPECT_NEAR(raw, Distance(plan_.door(ids_.d12).Midpoint(),
+                            plan_.door(ids_.d15).Midpoint()),
+              1e-9);
+}
+
+TEST_F(DistanceGraphTest, StaircaseD2dCarriesWalkingLength) {
+  // The flattened staircase flight: flat 8 m, walking 10 m.
+  EXPECT_NEAR(graph_.Fd2d(ids_.v50, ids_.d16, ids_.d2), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace indoor

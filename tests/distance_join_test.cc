@@ -1,0 +1,149 @@
+#include "core/query/distance_join.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/linear_scan.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+/// Brute-force oracle via pairwise pt2pt distances in both directions.
+std::vector<JoinPair> OracleJoin(const IndexFramework& index, double r) {
+  std::vector<JoinPair> out;
+  const auto ctx = index.distance_context();
+  const auto& objects = index.objects().objects();
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (size_t j = i + 1; j < objects.size(); ++j) {
+      const double forward = Pt2PtDistanceVirtual(ctx, objects[i].position,
+                                                  objects[j].position);
+      const double backward = Pt2PtDistanceVirtual(ctx, objects[j].position,
+                                                   objects[i].position);
+      const double d = std::min(forward, backward);
+      if (d <= r) out.push_back({objects[i].id, objects[j].id, d});
+    }
+  }
+  return out;
+}
+
+void ExpectSamePairs(const std::vector<JoinPair>& got,
+                     const std::vector<JoinPair>& expect) {
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].a, expect[i].a) << "pair " << i;
+    EXPECT_EQ(got[i].b, expect[i].b) << "pair " << i;
+    EXPECT_NEAR(got[i].distance, expect[i].distance, 1e-6) << "pair " << i;
+  }
+}
+
+class DistanceJoinTest : public ::testing::Test {
+ protected:
+  DistanceJoinTest() : plan_(MakeRunningExamplePlan(&ids_)), index_(plan_) {}
+
+  ObjectId Add(PartitionId v, Point p) {
+    auto id = index_.objects().Insert(v, p);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value();
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+};
+
+TEST_F(DistanceJoinTest, SamePartitionPair) {
+  const ObjectId a = Add(ids_.v11, {1, 1});
+  const ObjectId b = Add(ids_.v11, {3, 3});
+  const auto pairs = DistanceJoin(index_, 3.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, a);
+  EXPECT_EQ(pairs[0].b, b);
+  EXPECT_NEAR(pairs[0].distance, std::sqrt(8.0), 1e-9);
+  EXPECT_TRUE(DistanceJoin(index_, 2.0).empty());
+}
+
+TEST_F(DistanceJoinTest, CrossPartitionPair) {
+  Add(ids_.v11, {2, 3.5});   // near d11
+  Add(ids_.v10, {2, 4.5});   // just through d11
+  const auto pairs = DistanceJoin(index_, 1.5);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_NEAR(pairs[0].distance, 1.0, 1e-9);
+}
+
+TEST_F(DistanceJoinTest, AsymmetricDistancesUseTheMinimum) {
+  const ObjectId in_13 = Add(ids_.v13, {11, 1});
+  const ObjectId in_12 = Add(ids_.v12, {6, 2});
+  // d(13->12) = 3 + sqrt(5) ~ 5.24; d(12->13) ~ 10.40.
+  const auto pairs = DistanceJoin(index_, 6.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, std::min(in_13, in_12));
+  EXPECT_NEAR(pairs[0].distance, 3.0 + std::sqrt(5.0), 1e-9);
+}
+
+TEST_F(DistanceJoinTest, ObjectPairDistanceMatchesPt2Pt) {
+  const ObjectId a = Add(ids_.v13, {11, 1});
+  const ObjectId b = Add(ids_.v12, {6, 2});
+  const auto ctx = index_.distance_context();
+  const IndoorObject& oa = index_.objects().object(a);
+  const IndoorObject& ob = index_.objects().object(b);
+  const double expected =
+      std::min(Pt2PtDistanceVirtual(ctx, oa.position, ob.position),
+               Pt2PtDistanceVirtual(ctx, ob.position, oa.position));
+  EXPECT_NEAR(ObjectPairDistance(index_, oa, ob), expected, 1e-9);
+}
+
+TEST_F(DistanceJoinTest, MatchesOracleOnRunningExample) {
+  Rng rng(89);
+  PopulateStore(GenerateObjects(plan_, 30, &rng), &index_.objects());
+  for (double r : {3.0, 8.0, 20.0, 50.0}) {
+    ExpectSamePairs(DistanceJoin(index_, r), OracleJoin(index_, r));
+  }
+}
+
+TEST_F(DistanceJoinTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(DistanceJoin(index_, 10.0).empty());  // no objects
+  Add(ids_.v11, {1, 1});
+  EXPECT_TRUE(DistanceJoin(index_, 10.0).empty());  // a single object
+  EXPECT_TRUE(DistanceJoin(index_, -1.0).empty());  // negative radius
+}
+
+TEST_F(DistanceJoinTest, ZeroRadiusKeepsColocatedPairs) {
+  Add(ids_.v11, {1, 1});
+  Add(ids_.v11, {1, 1});
+  const auto pairs = DistanceJoin(index_, 0.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].distance, 0.0);
+}
+
+TEST_F(DistanceJoinTest, ResultsSortedByIds) {
+  Rng rng(97);
+  PopulateStore(GenerateObjects(plan_, 25, &rng), &index_.objects());
+  const auto pairs = DistanceJoin(index_, 30.0);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_TRUE(pairs[i - 1].a < pairs[i].a ||
+                (pairs[i - 1].a == pairs[i].a &&
+                 pairs[i - 1].b < pairs[i].b));
+  }
+  for (const JoinPair& p : pairs) EXPECT_LT(p.a, p.b);
+}
+
+TEST(DistanceJoinGeneratedTest, MatchesOracleOnGeneratedBuilding) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 8;
+  config.room_to_room_doors = 0.5;
+  config.one_way_fraction = 0.5;
+  config.seed = 101;
+  FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan);
+  Rng rng(103);
+  PopulateStore(GenerateObjects(plan, 40, &rng), &index.objects());
+  for (double r : {5.0, 15.0, 40.0}) {
+    ExpectSamePairs(DistanceJoin(index, r), OracleJoin(index, r));
+  }
+}
+
+}  // namespace
+}  // namespace indoor

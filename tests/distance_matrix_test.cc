@@ -1,0 +1,116 @@
+// Md2d and Midx (paper §IV-A) structural properties.
+
+#include "core/index/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/distance/d2d_distance.h"
+#include "core/index/distance_index_matrix.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class MatrixTest : public ::testing::Test {
+ protected:
+  MatrixTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        matrix_(graph_),
+        midx_(matrix_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  DistanceMatrix matrix_;
+  DistanceIndexMatrix midx_;
+};
+
+TEST_F(MatrixTest, DiagonalIsZero) {
+  for (DoorId d = 0; d < plan_.door_count(); ++d) {
+    EXPECT_DOUBLE_EQ(matrix_.At(d, d), 0.0);
+  }
+}
+
+TEST_F(MatrixTest, MatchesAlgorithmOne) {
+  for (DoorId a = 0; a < plan_.door_count(); ++a) {
+    for (DoorId b = 0; b < plan_.door_count(); ++b) {
+      EXPECT_NEAR(matrix_.At(a, b), D2dDistance(graph_, a, b), 1e-9)
+          << "mismatch at (" << a << ", " << b << ")";
+    }
+  }
+}
+
+TEST_F(MatrixTest, AsymmetricDueToDirectionalDoors) {
+  // Paper: Md2d[di, dj] may differ from Md2d[dj, di].
+  EXPECT_NE(matrix_.At(ids_.d12, ids_.d13), matrix_.At(ids_.d13, ids_.d12));
+}
+
+TEST_F(MatrixTest, RowPointerMatchesAt) {
+  const double* row = matrix_.Row(ids_.d1);
+  for (DoorId d = 0; d < plan_.door_count(); ++d) {
+    EXPECT_DOUBLE_EQ(row[d], matrix_.At(ids_.d1, d));
+  }
+}
+
+TEST_F(MatrixTest, MemoryAccounting) {
+  const size_t n = plan_.door_count();
+  EXPECT_EQ(matrix_.MemoryBytes(), n * n * sizeof(double));
+  EXPECT_EQ(midx_.MemoryBytes(), n * n * sizeof(DoorId));
+}
+
+TEST_F(MatrixTest, MidxRowsAreSortedByDistance) {
+  // Defining property: Md2d[di, Midx[di,j]] <= Md2d[di, Midx[di,k]] for
+  // j < k.
+  for (DoorId di = 0; di < plan_.door_count(); ++di) {
+    for (size_t j = 1; j < plan_.door_count(); ++j) {
+      EXPECT_LE(matrix_.At(di, midx_.At(di, j - 1)),
+                matrix_.At(di, midx_.At(di, j)))
+          << "row " << di << " unsorted at " << j;
+    }
+  }
+}
+
+TEST_F(MatrixTest, MidxRowsArePermutations) {
+  for (DoorId di = 0; di < plan_.door_count(); ++di) {
+    std::set<DoorId> seen;
+    for (size_t j = 0; j < plan_.door_count(); ++j) {
+      seen.insert(midx_.At(di, j));
+    }
+    EXPECT_EQ(seen.size(), plan_.door_count());
+  }
+}
+
+TEST_F(MatrixTest, MidxFirstEntryIsSelf) {
+  // Distance 0 to itself sorts first (ties broken by id, and the self
+  // distance is the unique hard zero unless co-located doors exist).
+  for (DoorId di = 0; di < plan_.door_count(); ++di) {
+    EXPECT_DOUBLE_EQ(matrix_.At(di, midx_.At(di, 0)), 0.0);
+  }
+}
+
+TEST_F(MatrixTest, MidxRowPointerMatchesAt) {
+  const DoorId* row = midx_.Row(ids_.d13);
+  for (size_t j = 0; j < plan_.door_count(); ++j) {
+    EXPECT_EQ(row[j], midx_.At(ids_.d13, j));
+  }
+}
+
+TEST_F(MatrixTest, TriangleInequalityAcrossMatrix) {
+  const size_t n = plan_.door_count();
+  for (DoorId a = 0; a < n; ++a) {
+    for (DoorId b = 0; b < n; ++b) {
+      if (matrix_.At(a, b) == kInfDistance) continue;
+      for (DoorId c = 0; c < n; ++c) {
+        if (matrix_.At(b, c) == kInfDistance) continue;
+        EXPECT_LE(matrix_.At(a, c),
+                  matrix_.At(a, b) + matrix_.At(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace indoor

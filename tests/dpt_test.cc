@@ -1,0 +1,72 @@
+// The Door-to-Partition Table (paper §IV-B).
+
+#include "core/index/dpt.h"
+
+#include <gtest/gtest.h>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class DptTest : public ::testing::Test {
+ protected:
+  DptTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), graph_(plan_), dpt_(graph_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  DoorPartitionTable dpt_;
+};
+
+TEST_F(DptTest, OneRecordPerDoorIndexedById) {
+  ASSERT_EQ(dpt_.size(), plan_.door_count());
+  for (DoorId d = 0; d < plan_.door_count(); ++d) {
+    EXPECT_EQ(dpt_[d].door, d);
+  }
+}
+
+TEST_F(DptTest, UnidirectionalDoorHasNullFirstPointer) {
+  // Paper example: d15's DPT entry is (d15, null, inf, vPtr2, fdv) with
+  // vPtr2 pointing to the enterable partition's bucket.
+  const DptRecord& rec = dpt_[ids_.d15];
+  EXPECT_EQ(rec.part1, kInvalidId);
+  EXPECT_EQ(rec.dist1, kInfDistance);
+  EXPECT_EQ(rec.part2, ids_.v12);
+  EXPECT_NEAR(rec.dist2, graph_.Fdv(ids_.d15, ids_.v12), 1e-12);
+}
+
+TEST_F(DptTest, BidirectionalDoorLinksBothPartitionsOrdered) {
+  const DptRecord& rec = dpt_[ids_.d11];
+  // part1 < part2 by construction.
+  EXPECT_EQ(rec.part1, std::min(ids_.v11, ids_.v10));
+  EXPECT_EQ(rec.part2, std::max(ids_.v11, ids_.v10));
+  EXPECT_NEAR(rec.dist1, graph_.Fdv(ids_.d11, rec.part1), 1e-12);
+  EXPECT_NEAR(rec.dist2, graph_.Fdv(ids_.d11, rec.part2), 1e-12);
+}
+
+TEST_F(DptTest, FdvValuesAreFiniteForEnterableSides) {
+  for (DoorId d = 0; d < plan_.door_count(); ++d) {
+    const DptRecord& rec = dpt_[d];
+    if (rec.part1 != kInvalidId) {
+      EXPECT_NE(rec.dist1, kInfDistance);
+      EXPECT_GT(rec.dist1, 0.0);
+    }
+    ASSERT_NE(rec.part2, kInvalidId);  // every door enters something
+    EXPECT_NE(rec.dist2, kInfDistance);
+  }
+}
+
+TEST_F(DptTest, MemoryAccountingMatchesRecordSize) {
+  EXPECT_EQ(dpt_.MemoryBytes(), dpt_.size() * sizeof(DptRecord));
+}
+
+TEST_F(DptTest, D12EntersOnlyTheHallway) {
+  const DptRecord& rec = dpt_[ids_.d12];
+  EXPECT_EQ(rec.part1, kInvalidId);
+  EXPECT_EQ(rec.part2, ids_.v10);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,163 @@
+// Validates the D2P/P2D mappings against every fact the paper states about
+// the Fig. 1 running example (§III-A).
+
+#include "indoor/floor_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  RunningExampleTest() : plan_(MakeRunningExamplePlan(&ids_)) {}
+
+  static bool Has(const std::vector<uint32_t>& items, uint32_t id) {
+    return std::find(items.begin(), items.end(), id) != items.end();
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+};
+
+TEST_F(RunningExampleTest, D2PCapturesDirectionality) {
+  // Paper: D2P(d12) = {(v12, v10)} -- unidirectional.
+  const auto& d12 = plan_.D2P(ids_.d12);
+  ASSERT_EQ(d12.size(), 1u);
+  EXPECT_EQ(d12[0].from, ids_.v12);
+  EXPECT_EQ(d12[0].to, ids_.v10);
+  // Paper: D2P(d15) = {(v13, v12)}.
+  const auto& d15 = plan_.D2P(ids_.d15);
+  ASSERT_EQ(d15.size(), 1u);
+  EXPECT_EQ(d15[0].from, ids_.v13);
+  EXPECT_EQ(d15[0].to, ids_.v12);
+  // Paper: D2P(d21) = {(v20, v21), (v21, v20)} -- bidirectional.
+  EXPECT_EQ(plan_.D2P(ids_.d21).size(), 2u);
+  EXPECT_TRUE(plan_.Allows(ids_.d21, ids_.v20, ids_.v21));
+  EXPECT_TRUE(plan_.Allows(ids_.d21, ids_.v21, ids_.v20));
+}
+
+TEST_F(RunningExampleTest, BidirectionalityPredicate) {
+  EXPECT_FALSE(plan_.IsBidirectional(ids_.d12));
+  EXPECT_FALSE(plan_.IsBidirectional(ids_.d15));
+  EXPECT_TRUE(plan_.IsBidirectional(ids_.d21));
+  EXPECT_TRUE(plan_.IsBidirectional(ids_.d1));
+}
+
+TEST_F(RunningExampleTest, EnterableAndLeaveableParts) {
+  // Paper: D2P_enter(d12) = {v10}, D2P_leave(d12) = {v12}.
+  EXPECT_EQ(plan_.EnterableParts(ids_.d12),
+            std::vector<PartitionId>{ids_.v10});
+  EXPECT_EQ(plan_.LeaveableParts(ids_.d12),
+            std::vector<PartitionId>{ids_.v12});
+  // Paper: D2P_enter(d15) = {v12}, D2P_leave(d15) = {v13}.
+  EXPECT_EQ(plan_.EnterableParts(ids_.d15),
+            std::vector<PartitionId>{ids_.v12});
+  EXPECT_EQ(plan_.LeaveableParts(ids_.d15),
+            std::vector<PartitionId>{ids_.v13});
+  // Paper: D2P_enter(d21) = D2P_leave(d21) = {v20, v21}.
+  EXPECT_TRUE(Has(plan_.EnterableParts(ids_.d21), ids_.v20));
+  EXPECT_TRUE(Has(plan_.EnterableParts(ids_.d21), ids_.v21));
+  EXPECT_TRUE(Has(plan_.LeaveableParts(ids_.d21), ids_.v20));
+  EXPECT_TRUE(Has(plan_.LeaveableParts(ids_.d21), ids_.v21));
+}
+
+TEST_F(RunningExampleTest, P2DMappingsForHallway) {
+  // Paper: P2D_enter(v10) = {d1, d11, d12, d13, d14} (+ our staircase door
+  // d16); P2D_leave(v10) excludes the unidirectional d12.
+  const auto& enter = plan_.EnterDoors(ids_.v10);
+  EXPECT_TRUE(Has(enter, ids_.d1));
+  EXPECT_TRUE(Has(enter, ids_.d11));
+  EXPECT_TRUE(Has(enter, ids_.d12));
+  EXPECT_TRUE(Has(enter, ids_.d13));
+  EXPECT_TRUE(Has(enter, ids_.d14));
+  const auto& leave = plan_.LeaveDoors(ids_.v10);
+  EXPECT_TRUE(Has(leave, ids_.d1));
+  EXPECT_TRUE(Has(leave, ids_.d11));
+  EXPECT_FALSE(Has(leave, ids_.d12));  // one cannot leave v10 through d12
+  EXPECT_TRUE(Has(leave, ids_.d13));
+  EXPECT_TRUE(Has(leave, ids_.d14));
+}
+
+TEST_F(RunningExampleTest, P2DMappingsForRoom12) {
+  // Paper: P2D_enter(v12) = {d15}, P2D_leave(v12) = {d12}.
+  EXPECT_EQ(plan_.EnterDoors(ids_.v12), std::vector<DoorId>{ids_.d15});
+  EXPECT_EQ(plan_.LeaveDoors(ids_.v12), std::vector<DoorId>{ids_.d12});
+}
+
+TEST_F(RunningExampleTest, P2DMappingsForRoom13) {
+  // Paper: P2D_enter(v13) = {d13}, P2D_leave(v13) = {d13, d15}.
+  EXPECT_EQ(plan_.EnterDoors(ids_.v13), std::vector<DoorId>{ids_.d13});
+  const auto& leave = plan_.LeaveDoors(ids_.v13);
+  ASSERT_EQ(leave.size(), 2u);
+  EXPECT_TRUE(Has(leave, ids_.d13));
+  EXPECT_TRUE(Has(leave, ids_.d15));
+}
+
+TEST_F(RunningExampleTest, P2DMappingsForRoom21) {
+  // Paper: P2D_enter(v21) = P2D_leave(v21) = {d21, d24}.
+  const auto expected = std::vector<DoorId>{ids_.d21, ids_.d24};
+  EXPECT_EQ(plan_.EnterDoors(ids_.v21), expected);
+  EXPECT_EQ(plan_.LeaveDoors(ids_.v21), expected);
+}
+
+TEST_F(RunningExampleTest, TouchingDoorsIsUnionOfEnterAndLeave) {
+  const auto& touching = plan_.TouchingDoors(ids_.v12);
+  ASSERT_EQ(touching.size(), 2u);
+  EXPECT_TRUE(Has(touching, ids_.d12));
+  EXPECT_TRUE(Has(touching, ids_.d15));
+  EXPECT_TRUE(plan_.Touches(ids_.d12, ids_.v12));
+  EXPECT_TRUE(plan_.Touches(ids_.d12, ids_.v10));
+  EXPECT_FALSE(plan_.Touches(ids_.d12, ids_.v13));
+}
+
+TEST_F(RunningExampleTest, SeveralDoorsMayConnectTheSamePartitions) {
+  // d21 and d24 both connect v20 and v21 (the base graph must accommodate
+  // several edges between the same vertex pair, §III-B).
+  EXPECT_EQ(plan_.ConnectedPair(ids_.d21), plan_.ConnectedPair(ids_.d24));
+}
+
+TEST_F(RunningExampleTest, ConnectedPairIsUnorderedAndSorted) {
+  const auto [a, b] = plan_.ConnectedPair(ids_.d12);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, std::min(ids_.v10, ids_.v12));
+  EXPECT_EQ(b, std::max(ids_.v10, ids_.v12));
+}
+
+TEST_F(RunningExampleTest, AllowsChecksDirection) {
+  EXPECT_TRUE(plan_.Allows(ids_.d12, ids_.v12, ids_.v10));
+  EXPECT_FALSE(plan_.Allows(ids_.d12, ids_.v10, ids_.v12));
+  EXPECT_FALSE(plan_.Allows(ids_.d12, ids_.v13, ids_.v10));
+}
+
+TEST_F(RunningExampleTest, FloorCount) {
+  EXPECT_EQ(plan_.FloorCount(), 2);
+}
+
+TEST_F(RunningExampleTest, PartitionAndDoorCounts) {
+  EXPECT_EQ(plan_.partition_count(), 11u);
+  EXPECT_EQ(plan_.door_count(), 12u);
+}
+
+TEST_F(RunningExampleTest, PartitionKinds) {
+  EXPECT_TRUE(plan_.partition(ids_.v0).IsOutdoor());
+  EXPECT_EQ(plan_.partition(ids_.v10).kind(), PartitionKind::kHallway);
+  EXPECT_EQ(plan_.partition(ids_.v11).kind(), PartitionKind::kRoom);
+  EXPECT_EQ(plan_.partition(ids_.v50).kind(), PartitionKind::kStaircase);
+}
+
+TEST_F(RunningExampleTest, StaircaseMetricScaleAppliesToDistances) {
+  const Partition& stair = plan_.partition(ids_.v50);
+  EXPECT_DOUBLE_EQ(stair.metric_scale(), 1.25);
+  // Flat door-to-door length is 8 m, walking length 10 m.
+  const Point a = plan_.door(ids_.d16).Midpoint();
+  const Point b = plan_.door(ids_.d2).Midpoint();
+  EXPECT_NEAR(stair.IntraDistance(a, b), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace indoor

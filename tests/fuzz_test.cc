@@ -1,0 +1,233 @@
+// Randomized robustness suites: the parser must never crash on mutated
+// input; the visibility graph must agree with an independent lattice
+// approximation; generated plans of any shape must keep the core
+// invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geometry/visibility_graph.h"
+#include "indoor/floor_plan_io.h"
+#include "indoor/sample_plans.h"
+#include "util/random.h"
+
+namespace indoor {
+namespace {
+
+// ----------------------------------------------------------- parser fuzzing
+
+TEST(ParserFuzzTest, MutatedPlansNeverCrash) {
+  const std::string base = SerializeFloorPlan(MakeRunningExamplePlan());
+  Rng rng(2025);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng.NextIndex(5));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.NextIndex(mutated.size());
+      switch (rng.NextIndex(4)) {
+        case 0:  // flip a character
+          mutated[pos] = static_cast<char>(rng.NextInt(32, 126));
+          break;
+        case 1:  // delete a span
+          mutated.erase(pos, rng.NextIndex(20) + 1);
+          break;
+        case 2:  // duplicate a span
+          mutated.insert(pos, mutated.substr(
+                                  pos, std::min<size_t>(
+                                           rng.NextIndex(30) + 1,
+                                           mutated.size() - pos)));
+          break;
+        case 3:  // truncate
+          mutated.resize(pos);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    // Must return either a valid plan or a clean error; never abort.
+    const auto result = ParseFloorPlan(mutated);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage;
+    const size_t len = rng.NextIndex(500);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextInt(1, 255)));
+    }
+    (void)ParseFloorPlan(garbage);
+  }
+}
+
+TEST(ParserFuzzTest, StructuredGarbageLines) {
+  Rng rng(2027);
+  const std::vector<std::string> keywords{"partition", "obstacle", "door",
+                                          "conn"};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text;
+    const int lines = 1 + static_cast<int>(rng.NextIndex(10));
+    for (int l = 0; l < lines; ++l) {
+      text += keywords[rng.NextIndex(keywords.size())];
+      const int tokens = static_cast<int>(rng.NextIndex(12));
+      for (int t = 0; t < tokens; ++t) {
+        switch (rng.NextIndex(3)) {
+          case 0:
+            text += " " + std::to_string(rng.NextInt(-100, 100));
+            break;
+          case 1:
+            text += " " + std::to_string(rng.NextDouble(-50, 50));
+            break;
+          case 2:
+            text += " x";
+            break;
+        }
+      }
+      text += "\n";
+    }
+    (void)ParseFloorPlan(text);
+  }
+}
+
+// -------------------------------------------------- visibility vs a lattice
+
+/// Approximates the obstructed distance with a fine 8-connected lattice:
+/// lattice paths are valid walks, so their length upper-bounds the exact
+/// obstructed distance; Euclidean distance lower-bounds it.
+double LatticeDistance(const ObstructedRegion& region, const Point& a,
+                       const Point& b, double step) {
+  const Rect bbox = region.outer().BoundingBox();
+  const int nx = static_cast<int>(bbox.Width() / step) + 1;
+  const int ny = static_cast<int>(bbox.Height() / step) + 1;
+  auto node = [&](const Point& p) {
+    const int cx = std::clamp(
+        static_cast<int>(std::lround((p.x - bbox.lo.x) / step)), 0, nx - 1);
+    const int cy = std::clamp(
+        static_cast<int>(std::lround((p.y - bbox.lo.y) / step)), 0, ny - 1);
+    return cy * nx + cx;
+  };
+  auto point_of = [&](int id) {
+    return Point(bbox.lo.x + (id % nx) * step,
+                 bbox.lo.y + (id / nx) * step);
+  };
+  std::vector<double> dist(static_cast<size_t>(nx) * ny, kInfDistance);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  const int src = node(a), dst = node(b);
+  dist[src] = 0;
+  heap.push({0, src});
+  const int dx[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  const int dy[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    const Point pu = point_of(u);
+    for (int k = 0; k < 8; ++k) {
+      const int cx = u % nx + dx[k];
+      const int cy = u / nx + dy[k];
+      if (cx < 0 || cx >= nx || cy < 0 || cy >= ny) continue;
+      const int v = cy * nx + cx;
+      const Point pv = point_of(v);
+      if (!region.Visible(pu, pv)) continue;
+      const double w = Distance(pu, pv);
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        heap.push({dist[v], v});
+      }
+    }
+  }
+  if (dist[dst] == kInfDistance) return kInfDistance;
+  // Connect endpoints to their lattice nodes.
+  return dist[dst] + Distance(a, point_of(src)) +
+         Distance(b, point_of(dst));
+}
+
+TEST(VisibilityFuzzTest, ExactDistanceBracketedByLatticeAndEuclid) {
+  Rng rng(303);
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    // Room with up to 3 random non-overlapping rectangular obstacles.
+    std::vector<Polygon> obstacles;
+    std::vector<Rect> rects;
+    for (int o = 0; o < 3; ++o) {
+      const double x = rng.NextDouble(1, 7);
+      const double y = rng.NextDouble(1, 7);
+      const Rect r(x, y, x + rng.NextDouble(0.5, 2.5),
+                   y + rng.NextDouble(0.5, 2.5));
+      bool overlaps = false;
+      for (const Rect& other : rects) {
+        if (r.Intersects(other)) overlaps = true;
+      }
+      if (overlaps) continue;
+      rects.push_back(r);
+      obstacles.push_back(Polygon::FromRect(r));
+    }
+    auto region = ObstructedRegion::Create(
+        Polygon::FromRect(Rect(0, 0, 10, 10)), std::move(obstacles));
+    ASSERT_TRUE(region.ok());
+
+    // Random free endpoints.
+    Point a, b;
+    do {
+      a = Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10));
+    } while (!region.value().Contains(a));
+    do {
+      b = Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10));
+    } while (!region.value().Contains(b));
+
+    const double exact = region.value().Distance(a, b);
+    if (exact == kInfDistance) continue;
+    const double lattice = LatticeDistance(region.value(), a, b, 0.25);
+    EXPECT_GE(exact, Distance(a, b) - 1e-9) << "below Euclid at " << trial;
+    if (lattice != kInfDistance) {
+      EXPECT_LE(exact, lattice + 1e-9)
+          << "exact exceeds a realizable lattice walk at trial " << trial;
+      // The lattice overshoots by at most ~8% (8-connectivity) plus
+      // endpoint snapping.
+      EXPECT_GE(lattice, exact * 0.99 - 1.0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(VisibilityFuzzTest, PathLengthAlwaysMatchesDistance) {
+  Rng rng(307);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x = rng.NextDouble(1, 6);
+    const double y = rng.NextDouble(1, 6);
+    auto region = ObstructedRegion::Create(
+        Polygon::FromRect(Rect(0, 0, 10, 10)),
+        {Polygon::FromRect(
+            Rect(x, y, x + rng.NextDouble(1, 3), y + rng.NextDouble(1, 3)))});
+    ASSERT_TRUE(region.ok());
+    Point a, b;
+    do {
+      a = Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10));
+    } while (!region.value().Contains(a));
+    do {
+      b = Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10));
+    } while (!region.value().Contains(b));
+    const double d = region.value().Distance(a, b);
+    const auto path = region.value().ShortestPath(a, b);
+    ASSERT_FALSE(path.empty());
+    double len = 0;
+    for (size_t i = 1; i < path.size(); ++i) {
+      len += Distance(path[i - 1], path[i]);
+      // Every leg of the reported path must be walkable.
+      EXPECT_TRUE(region.value().Visible(path[i - 1], path[i]));
+    }
+    EXPECT_NEAR(len, d, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace indoor

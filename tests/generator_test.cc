@@ -1,0 +1,258 @@
+// The synthetic building generator must reproduce the paper's workload
+// shape: 30 rooms + 2 staircase doors per (middle) floor, star topology,
+// flattened staircase flights carrying walking lengths.
+
+#include "gen/building_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model/accessibility_graph.h"
+#include "core/model/distance_graph.h"
+#include "core/model/locator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+
+namespace indoor {
+namespace {
+
+TEST(GeneratorTest, PaperDoorCountFormula) {
+  // Doors = 30*F rooms + 2*(F-1) staircase + 1 entrance. For F = 40 the
+  // paper reports 32 doors per floor and 1280 total; ours is 1279 (the top
+  // and ground floors have one staircase door each).
+  BuildingConfig config;
+  config.floors = 40;
+  config.rooms_per_floor = 30;
+  const FloorPlan plan = GenerateBuilding(config);
+  EXPECT_EQ(plan.door_count(), 30u * 40 + 2 * 39 + 1);
+  // Partitions: outdoor + per floor (hallway + 30 rooms) + 39 flights.
+  EXPECT_EQ(plan.partition_count(), 1u + 40 * 31 + 39);
+  EXPECT_EQ(plan.FloorCount(), 40);
+}
+
+TEST(GeneratorTest, SingleFloorBuilding) {
+  BuildingConfig config;
+  config.floors = 1;
+  config.rooms_per_floor = 10;
+  const FloorPlan plan = GenerateBuilding(config);
+  EXPECT_EQ(plan.door_count(), 10u + 1);  // rooms + entrance
+  EXPECT_EQ(plan.FloorCount(), 1);
+}
+
+TEST(GeneratorTest, StarTopologyRoomsTouchOnlyTheHallway) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 8;
+  const FloorPlan plan = GenerateBuilding(config);
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() != PartitionKind::kRoom) continue;
+    const auto& doors = plan.TouchingDoors(part.id());
+    ASSERT_EQ(doors.size(), 1u) << part.name();
+    // The other side of the room's door is a hallway.
+    const auto [a, b] = plan.ConnectedPair(doors[0]);
+    const PartitionId other = (a == part.id()) ? b : a;
+    EXPECT_EQ(plan.partition(other).kind(), PartitionKind::kHallway);
+  }
+}
+
+TEST(GeneratorTest, MiddleFloorsHaveTwoStaircaseDoors) {
+  BuildingConfig config;
+  config.floors = 5;
+  config.rooms_per_floor = 6;
+  const FloorPlan plan = GenerateBuilding(config);
+  std::vector<int> stair_doors_per_floor(config.floors + 1, 0);
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() != PartitionKind::kHallway) continue;
+    for (DoorId d : plan.TouchingDoors(part.id())) {
+      const auto [a, b] = plan.ConnectedPair(d);
+      const PartitionId other = (a == part.id()) ? b : a;
+      if (plan.partition(other).kind() == PartitionKind::kStaircase) {
+        ++stair_doors_per_floor[part.floor()];
+      }
+    }
+  }
+  EXPECT_EQ(stair_doors_per_floor[1], 1);
+  for (int f = 2; f < config.floors; ++f) {
+    EXPECT_EQ(stair_doors_per_floor[f], 2) << "floor " << f;
+  }
+  EXPECT_EQ(stair_doors_per_floor[config.floors], 1);
+}
+
+TEST(GeneratorTest, StaircaseFlightsCarryWalkingLength) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 6;
+  config.stair_walk_length = 12.5;
+  const FloorPlan plan = GenerateBuilding(config);
+  const DistanceGraph graph(plan);
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() != PartitionKind::kStaircase) continue;
+    const auto& doors = plan.TouchingDoors(part.id());
+    ASSERT_EQ(doors.size(), 2u);
+    EXPECT_NEAR(graph.Fd2d(part.id(), doors[0], doors[1]), 12.5, 1e-9);
+  }
+}
+
+TEST(GeneratorTest, RoomSizesVary) {
+  BuildingConfig config;
+  config.floors = 1;
+  config.rooms_per_floor = 20;
+  config.room_size_jitter = 0.3;
+  const FloorPlan plan = GenerateBuilding(config);
+  double min_area = 1e18, max_area = 0;
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() != PartitionKind::kRoom) continue;
+    const double area = part.footprint().outer().Area();
+    min_area = std::min(min_area, area);
+    max_area = std::max(max_area, area);
+  }
+  EXPECT_GT(max_area, min_area * 1.05);  // sizes genuinely differ
+}
+
+TEST(GeneratorTest, BuildingIsStronglyConnected) {
+  BuildingConfig config;
+  config.floors = 4;
+  config.rooms_per_floor = 10;
+  const FloorPlan plan = GenerateBuilding(config);
+  const AccessibilityGraph graph(plan);
+  EXPECT_TRUE(graph.IsStronglyConnected());
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.seed = 77;
+  const FloorPlan a = GenerateBuilding(config);
+  const FloorPlan b = GenerateBuilding(config);
+  ASSERT_EQ(a.door_count(), b.door_count());
+  for (DoorId d = 0; d < a.door_count(); ++d) {
+    EXPECT_TRUE(ApproxEqual(a.door(d).Midpoint(), b.door(d).Midpoint()));
+  }
+}
+
+TEST(GeneratorTest, ObjectsLandInsideTheirPartitions) {
+  BuildingConfig config;
+  config.floors = 3;
+  const FloorPlan plan = GenerateBuilding(config);
+  Rng rng(5);
+  for (const GeneratedObject& obj : GenerateObjects(plan, 500, &rng)) {
+    EXPECT_TRUE(plan.partition(obj.partition).Contains(obj.position));
+    EXPECT_FALSE(plan.partition(obj.partition).IsOutdoor());
+  }
+}
+
+TEST(GeneratorTest, QueryPositionsAreIndoors) {
+  BuildingConfig config;
+  config.floors = 2;
+  const FloorPlan plan = GenerateBuilding(config);
+  const PartitionLocator locator(plan);
+  Rng rng(6);
+  for (const Point& q : GenerateQueryPositions(plan, 100, &rng)) {
+    const auto host = locator.GetHostPartition(q);
+    ASSERT_TRUE(host.ok());
+    EXPECT_FALSE(plan.partition(host.value()).IsOutdoor());
+  }
+}
+
+TEST(GeneratorTest, PositionPairsAreWellFormed) {
+  BuildingConfig config;
+  config.floors = 2;
+  const FloorPlan plan = GenerateBuilding(config);
+  Rng rng(7);
+  const auto pairs = GeneratePositionPairs(plan, 50, &rng);
+  EXPECT_EQ(pairs.size(), 50u);
+}
+
+TEST(GeneratorTest, RoomToRoomDoorsCreateNeighborLinks) {
+  BuildingConfig config;
+  config.floors = 1;
+  config.rooms_per_floor = 20;
+  config.room_to_room_doors = 1.0;  // every neighbor pair gets a door
+  const FloorPlan plan = GenerateBuilding(config);
+  // 20 rooms (10 per side) + entrance + 2*9 neighbor doors.
+  EXPECT_EQ(plan.door_count(), 20u + 1 + 18);
+  // Some room now touches two+ doors.
+  size_t multi_door_rooms = 0;
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() == PartitionKind::kRoom &&
+        plan.TouchingDoors(part.id()).size() >= 2) {
+      ++multi_door_rooms;
+    }
+  }
+  EXPECT_GT(multi_door_rooms, 10u);
+}
+
+TEST(GeneratorTest, OneWayFractionProducesUnidirectionalDoors) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 20;
+  config.room_to_room_doors = 1.0;
+  config.one_way_fraction = 1.0;
+  const FloorPlan plan = GenerateBuilding(config);
+  size_t one_way = 0;
+  for (const Door& door : plan.doors()) {
+    if (!plan.IsBidirectional(door.id())) ++one_way;
+  }
+  // Exactly the room-to-room doors are one-way: 2 floors * 2 sides * 9.
+  EXPECT_EQ(one_way, 2u * 2 * 9);
+}
+
+TEST(GeneratorTest, RoomToRoomBuildingStaysStronglyConnected) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 10;
+  config.room_to_room_doors = 0.7;
+  config.one_way_fraction = 0.5;
+  const FloorPlan plan = GenerateBuilding(config);
+  const AccessibilityGraph graph(plan);
+  // Hallway doors remain bidirectional, so connectivity survives.
+  EXPECT_TRUE(graph.IsStronglyConnected());
+}
+
+TEST(GeneratorTest, ObstacleProbabilityPlacesPillars) {
+  BuildingConfig config;
+  config.floors = 1;
+  config.rooms_per_floor = 20;
+  config.obstacle_probability = 1.0;
+  const FloorPlan plan = GenerateBuilding(config);
+  size_t with_obstacles = 0;
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() != PartitionKind::kRoom) continue;
+    EXPECT_TRUE(part.footprint().HasObstacles()) << part.name();
+    ++with_obstacles;
+    // The pillar never blocks the room: its door remains reachable from
+    // every free corner.
+    const auto& doors = plan.TouchingDoors(part.id());
+    ASSERT_FALSE(doors.empty());
+    const Point door = plan.door(doors[0]).Midpoint();
+    for (const Point& corner : part.footprint().outer().vertices()) {
+      EXPECT_NE(part.IntraDistance(corner, door), kInfDistance);
+    }
+  }
+  EXPECT_EQ(with_obstacles, 20u);
+}
+
+TEST(GeneratorTest, ParallelStaircasesDoubleTheFlights) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 6;
+  config.parallel_staircases = true;
+  const FloorPlan plan = GenerateBuilding(config);
+  size_t flights = 0;
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind() == PartitionKind::kStaircase) ++flights;
+  }
+  EXPECT_EQ(flights, 2u * 2);  // two gaps x two shafts
+}
+
+TEST(GeneratorTest, NoOutdoorVariant) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.with_outdoor = false;
+  const FloorPlan plan = GenerateBuilding(config);
+  for (const Partition& part : plan.partitions()) {
+    EXPECT_FALSE(part.IsOutdoor());
+  }
+}
+
+}  // namespace
+}  // namespace indoor

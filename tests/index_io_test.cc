@@ -1,0 +1,162 @@
+#include "core/index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gen/building_generator.h"
+#include "indoor/floor_plan_builder.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IndexIoTest, RoundTripPreservesEveryEntry) {
+  const FloorPlan plan = MakeRunningExamplePlan();
+  const DistanceGraph graph(plan);
+  const DistanceMatrix original(graph);
+  const std::string path = TempPath("md2d.bin");
+  ASSERT_TRUE(SaveDistanceMatrix(original, plan, path).ok());
+
+  const auto loaded = LoadDistanceMatrix(plan, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded.value().door_count(), original.door_count());
+  for (DoorId a = 0; a < plan.door_count(); ++a) {
+    for (DoorId b = 0; b < plan.door_count(); ++b) {
+      EXPECT_EQ(loaded.value().At(a, b), original.At(a, b));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LoadedMatrixRebuildsIdenticalMidx) {
+  const FloorPlan plan = MakeRunningExamplePlan();
+  const DistanceGraph graph(plan);
+  const DistanceMatrix original(graph);
+  const std::string path = TempPath("md2d_midx.bin");
+  ASSERT_TRUE(SaveDistanceMatrix(original, plan, path).ok());
+  const auto loaded = LoadDistanceMatrix(plan, path);
+  ASSERT_TRUE(loaded.ok());
+  const DistanceIndexMatrix midx_a(original);
+  const DistanceIndexMatrix midx_b(loaded.value());
+  for (DoorId d = 0; d < plan.door_count(); ++d) {
+    for (size_t j = 0; j < plan.door_count(); ++j) {
+      EXPECT_EQ(midx_a.At(d, j), midx_b.At(d, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsMatrixOfDifferentPlan) {
+  const FloorPlan plan_a = MakeRunningExamplePlan();
+  const FloorPlan plan_b = MakeObstacleExamplePlan();
+  const DistanceGraph graph(plan_a);
+  const DistanceMatrix matrix(graph);
+  const std::string path = TempPath("md2d_wrong.bin");
+  ASSERT_TRUE(SaveDistanceMatrix(matrix, plan_a, path).ok());
+
+  const auto loaded = LoadDistanceMatrix(plan_b, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, FingerprintSensitiveToGeometryAndTopology) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 6;
+  const uint64_t base =
+      PlanDistanceFingerprint(GenerateBuilding(config));
+  // Same config reproduces the fingerprint.
+  EXPECT_EQ(PlanDistanceFingerprint(GenerateBuilding(config)), base);
+  // A different seed moves doors -> different fingerprint.
+  config.seed = 43;
+  EXPECT_NE(PlanDistanceFingerprint(GenerateBuilding(config)), base);
+  // A different staircase length changes metric scales only.
+  config.seed = 42;
+  config.stair_walk_length = 11.0;
+  EXPECT_NE(PlanDistanceFingerprint(GenerateBuilding(config)), base);
+}
+
+TEST(IndexIoTest, RejectsNonMatrixFile) {
+  const std::string path = TempPath("not_a_matrix.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "hello world, definitely not a matrix";
+  }
+  const auto loaded = LoadDistanceMatrix(MakeRunningExamplePlan(), path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RejectsTruncatedFile) {
+  const FloorPlan plan = MakeRunningExamplePlan();
+  const DistanceGraph graph(plan);
+  const DistanceMatrix matrix(graph);
+  const std::string path = TempPath("md2d_trunc.bin");
+  ASSERT_TRUE(SaveDistanceMatrix(matrix, plan, path).ok());
+  // Chop off the trailer and part of the payload.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 64);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const auto loaded = LoadDistanceMatrix(plan, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileIsIOError) {
+  const auto loaded = LoadDistanceMatrix(MakeRunningExamplePlan(),
+                                         "/nonexistent/md2d.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(IndexIoTest, SaveRejectsMismatchedMatrix) {
+  const FloorPlan plan_a = MakeRunningExamplePlan();
+  const FloorPlan plan_b = MakeObstacleExamplePlan();
+  const DistanceGraph graph(plan_a);
+  const DistanceMatrix matrix(graph);
+  const Status st =
+      SaveDistanceMatrix(matrix, plan_b, TempPath("mismatch.bin"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IndexIoTest, InfinityEntriesSurviveRoundTrip) {
+  // A plan with an unreachable door (one-way dead end).
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  const PartitionId e = b.AddPartition("e", PartitionKind::kRoom, 1,
+                                       Rect(8, 0, 12, 4));
+  b.AddUnidirectionalDoor("ow", Segment({4, 1.8}, {4, 2.2}), a, c);
+  b.AddBidirectionalDoor("bd", Segment({8, 1.8}, {8, 2.2}), c, e);
+  auto plan = std::move(b).Build();
+  ASSERT_TRUE(plan.ok());
+  const DistanceGraph graph(plan.value());
+  const DistanceMatrix matrix(graph);
+  ASSERT_EQ(matrix.At(1, 0), kInfDistance);
+  const std::string path = TempPath("md2d_inf.bin");
+  ASSERT_TRUE(SaveDistanceMatrix(matrix, plan.value(), path).ok());
+  const auto loaded = LoadDistanceMatrix(plan.value(), path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().At(1, 0), kInfDistance);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace indoor

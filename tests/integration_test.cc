@@ -1,0 +1,157 @@
+// End-to-end scenarios across the full stack: generator -> plan -> indexes
+// -> queries, including serialization round-trips and moving objects.
+
+#include <gtest/gtest.h>
+
+#include "baseline/linear_scan.h"
+#include "core/query/query_engine.h"
+#include "core/query/temporal.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/floor_plan_io.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+TEST(IntegrationTest, GeneratedBuildingFullPipeline) {
+  BuildingConfig config;
+  config.floors = 4;
+  config.rooms_per_floor = 12;
+  config.seed = 101;
+  QueryEngine engine(GenerateBuilding(config));
+  Rng rng(102);
+  PopulateStore(GenerateObjects(engine.plan(), 400, &rng),
+                &engine.index().objects());
+
+  // A battery of queries, validated against the oracle.
+  const DistanceContext ctx = engine.index().distance_context();
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point q = RandomIndoorPosition(engine.plan(), &rng);
+    EXPECT_EQ(engine.Range(q, 20.0),
+              LinearScanRange(ctx, engine.index().objects(), q, 20.0));
+    const auto knn = engine.Nearest(q, 10);
+    const auto oracle = LinearScanKnn(ctx, engine.index().objects(), q, 10);
+    ASSERT_EQ(knn.size(), oracle.size());
+    for (size_t i = 0; i < knn.size(); ++i) {
+      EXPECT_NEAR(knn[i].distance, oracle[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST(IntegrationTest, SerializeGeneratedBuildingAndRequery) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 8;
+  const FloorPlan plan = GenerateBuilding(config);
+  const auto reparsed = ParseFloorPlan(SerializeFloorPlan(plan));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+
+  QueryEngine original(plan);
+  QueryEngine roundtrip(std::move(reparsed).value());
+  Rng rng(103);
+  const auto pairs = GeneratePositionPairs(original.plan(), 20, &rng);
+  for (const auto& [p, q] : pairs) {
+    EXPECT_NEAR(original.Distance(p, q), roundtrip.Distance(p, q), 1e-9);
+  }
+}
+
+TEST(IntegrationTest, MovingObjectsKeepQueriesConsistent) {
+  QueryEngine engine(MakeRunningExamplePlan());
+  Rng rng(104);
+  PopulateStore(GenerateObjects(engine.plan(), 50, &rng),
+                &engine.index().objects());
+  const DistanceContext ctx = engine.index().distance_context();
+  const PartitionSampler sampler(engine.plan());
+
+  for (int round = 0; round < 5; ++round) {
+    // Move a handful of random objects.
+    for (int m = 0; m < 10; ++m) {
+      const ObjectId id =
+          static_cast<ObjectId>(rng.NextIndex(engine.index().objects().size()));
+      const PartitionId v = sampler.Sample(&rng);
+      const Point p =
+          RandomPointInPartition(engine.plan().partition(v), &rng);
+      ASSERT_TRUE(engine.MoveObject(id, v, p).ok());
+    }
+    const Point q = RandomIndoorPosition(engine.plan(), &rng);
+    EXPECT_EQ(engine.Range(q, 15.0),
+              LinearScanRange(ctx, engine.index().objects(), q, 15.0));
+  }
+}
+
+TEST(IntegrationTest, BoardingReminderScenario) {
+  // The paper's motivating service: remind exactly the passengers whose
+  // walking distance to the gate exceeds a threshold.
+  RunningExampleIds ids;
+  QueryEngine engine(MakeRunningExamplePlan(&ids));
+  // Passengers scattered around the building; "gate" in room v21.
+  const Point gate(30, 4);
+  std::vector<ObjectId> passengers;
+  passengers.push_back(engine.AddObject(ids.v21, {29, 4}).value());   // at gate
+  passengers.push_back(engine.AddObject(ids.v20, {21, 1}).value());   // close
+  passengers.push_back(engine.AddObject(ids.v10, {6, 5}).value());    // far
+  passengers.push_back(engine.AddObject(ids.v11, {1, 1}).value());    // far
+
+  // Within-range passengers need no reminder.
+  const auto near = engine.Range(gate, 15.0);
+  std::vector<ObjectId> to_remind;
+  for (ObjectId id : passengers) {
+    if (std::find(near.begin(), near.end(), id) == near.end()) {
+      to_remind.push_back(id);
+    }
+  }
+  EXPECT_EQ(to_remind, (std::vector<ObjectId>{passengers[2],
+                                              passengers[3]}));
+}
+
+TEST(IntegrationTest, EmergencyEvacuationScenario) {
+  // Shortest paths to the exit for occupants, including across floors.
+  RunningExampleIds ids;
+  QueryEngine engine(MakeRunningExamplePlan(&ids));
+  const Point exit_door = engine.plan().door(ids.d1).Midpoint();
+  const Point occupant_floor2(30, 4);
+  const auto path = engine.ShortestPath(occupant_floor2, exit_door);
+  ASSERT_TRUE(path.found());
+  // Must descend the staircase: doors d2 then d16 appear in order.
+  const auto& doors = path.doors;
+  const auto it2 = std::find(doors.begin(), doors.end(), ids.d2);
+  const auto it16 = std::find(doors.begin(), doors.end(), ids.d16);
+  ASSERT_NE(it2, doors.end());
+  ASSERT_NE(it16, doors.end());
+  EXPECT_LT(it2 - doors.begin(), it16 - doors.begin());
+}
+
+TEST(IntegrationTest, NightModeDoorsChangeReachability) {
+  // Temporal extension across the whole stack: after hours the staircase
+  // closes and floor 2 becomes unreachable from floor 1.
+  RunningExampleIds ids;
+  const FloorPlan plan = MakeRunningExamplePlan(&ids);
+  const DistanceGraph graph(plan);
+  const PartitionLocator locator(plan);
+  const DistanceContext ctx(graph, locator);
+  DoorSchedule schedule(plan.door_count());
+  schedule.SetOpenIntervals(ids.d16, {{28800, 61200}});  // 8:00-17:00
+
+  const Point p(6, 5), q(30, 7);
+  EXPECT_NE(Pt2PtDistanceAtTime(ctx, schedule, 36000, p, q), kInfDistance);
+  EXPECT_EQ(Pt2PtDistanceAtTime(ctx, schedule, 72000, p, q), kInfDistance);
+}
+
+TEST(IntegrationTest, LargeBuildingIndexSizesMatchPaperFormula) {
+  // Paper §VI-B: the Distance Index Matrix for 1280 doors is
+  // |doors|^2 * 4 bytes = 6.25 MB. We verify the formula at a smaller
+  // scale (door ids are 4-byte).
+  BuildingConfig config;
+  config.floors = 5;
+  config.rooms_per_floor = 30;
+  const FloorPlan plan = GenerateBuilding(config);
+  const IndexFramework index(plan);
+  const size_t n = plan.door_count();
+  EXPECT_EQ(index.index_matrix().MemoryBytes(), n * n * 4);
+  EXPECT_EQ(index.d2d_matrix().MemoryBytes(), n * n * 8);
+}
+
+}  // namespace
+}  // namespace indoor

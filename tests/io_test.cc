@@ -1,0 +1,159 @@
+#include "indoor/floor_plan_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+constexpr char kValidPlan[] = R"(# two rooms and a door
+partition left room 1 1 0 0 4 0 4 4 0 4
+partition right room 1 1 4 0 8 0 8 4 4 4
+door d0 4 1.8 4 2.2
+conn 0 0 1
+conn 0 1 0
+)";
+
+TEST(ParseTest, ParsesValidPlan) {
+  const auto plan = ParseFloorPlan(kValidPlan);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().partition_count(), 2u);
+  EXPECT_EQ(plan.value().door_count(), 1u);
+  EXPECT_TRUE(plan.value().IsBidirectional(0));
+  EXPECT_EQ(plan.value().partition(0).name(), "left");
+}
+
+TEST(ParseTest, SkipsCommentsAndBlankLines) {
+  const std::string text = std::string("# header\n\n   \n") + kValidPlan;
+  EXPECT_TRUE(ParseFloorPlan(text).ok());
+}
+
+TEST(ParseTest, ParsesObstacles) {
+  const std::string text =
+      "partition p room 1 1 0 0 10 0 10 10 0 10\n"
+      "obstacle 0 4 4 6 4 6 6 4 6\n"
+      "partition q room 1 1 10 0 20 0 20 10 10 10\n"
+      "door d 10 4.8 10 5.2\n"
+      "conn 0 0 1\nconn 0 1 0\n";
+  const auto plan = ParseFloorPlan(text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan.value().partition(0).footprint().HasObstacles());
+  EXPECT_FALSE(plan.value().partition(1).footprint().HasObstacles());
+}
+
+TEST(ParseTest, ParsesMetricScaleAndKinds) {
+  const std::string text =
+      "partition s staircase 1 1.5 0 0 8 0 8 2 0 2\n"
+      "partition h hallway 1 1 8 0 16 0 16 2 8 2\n"
+      "door d 8 0.8 8 1.2\n"
+      "conn 0 0 1\nconn 0 1 0\n";
+  const auto plan = ParseFloorPlan(text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().partition(0).kind(), PartitionKind::kStaircase);
+  EXPECT_DOUBLE_EQ(plan.value().partition(0).metric_scale(), 1.5);
+}
+
+TEST(ParseTest, RejectsUnknownDirective) {
+  const auto plan = ParseFloorPlan("wall 0 0 1 1\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kParseError);
+  EXPECT_NE(plan.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParseTest, RejectsBadKind) {
+  const auto plan =
+      ParseFloorPlan("partition p attic 1 1 0 0 4 0 4 4 0 4\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("attic"), std::string::npos);
+}
+
+TEST(ParseTest, RejectsOddCoordinateCount) {
+  const auto plan =
+      ParseFloorPlan("partition p room 1 1 0 0 4 0 4 4 0\n");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(ParseTest, RejectsBadCoordinate) {
+  const auto plan =
+      ParseFloorPlan("partition p room 1 1 0 0 4 zero 4 4 0 4\n");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(ParseTest, RejectsObstacleForUnknownPartition) {
+  const auto plan = ParseFloorPlan("obstacle 0 1 1 2 1 2 2 1 2\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("unknown partition"),
+            std::string::npos);
+}
+
+TEST(ParseTest, RejectsConnForUnknownDoor) {
+  const std::string text =
+      "partition p room 1 1 0 0 4 0 4 4 0 4\nconn 5 0 0\n";
+  const auto plan = ParseFloorPlan(text);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("unknown door"),
+            std::string::npos);
+}
+
+TEST(ParseTest, RejectsNegativeScale) {
+  const auto plan =
+      ParseFloorPlan("partition p room 1 -2 0 0 4 0 4 4 0 4\n");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(ParseTest, PropagatesBuilderValidation) {
+  // Door with no connections: parse succeeds, Build() rejects.
+  const std::string text =
+      "partition p room 1 1 0 0 4 0 4 4 0 4\ndoor d 0 1 0 2\n";
+  const auto plan = ParseFloorPlan(text);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("no connections"),
+            std::string::npos);
+}
+
+TEST(RoundTripTest, RunningExampleSurvivesSerializeParse) {
+  RunningExampleIds ids;
+  const FloorPlan original = MakeRunningExamplePlan(&ids);
+  const std::string text = SerializeFloorPlan(original);
+  const auto reparsed = ParseFloorPlan(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  const FloorPlan& plan = reparsed.value();
+  ASSERT_EQ(plan.partition_count(), original.partition_count());
+  ASSERT_EQ(plan.door_count(), original.door_count());
+  for (DoorId d = 0; d < plan.door_count(); ++d) {
+    EXPECT_EQ(plan.D2P(d).size(), original.D2P(d).size());
+    EXPECT_TRUE(
+        ApproxEqual(plan.door(d).Midpoint(), original.door(d).Midpoint()));
+  }
+  for (PartitionId v = 0; v < plan.partition_count(); ++v) {
+    EXPECT_EQ(plan.partition(v).kind(), original.partition(v).kind());
+    EXPECT_EQ(plan.partition(v).floor(), original.partition(v).floor());
+    EXPECT_DOUBLE_EQ(plan.partition(v).metric_scale(),
+                     original.partition(v).metric_scale());
+    EXPECT_EQ(plan.partition(v).footprint().obstacles().size(),
+              original.partition(v).footprint().obstacles().size());
+  }
+}
+
+TEST(FileIoTest, SaveAndLoad) {
+  const FloorPlan original = MakeObstacleExamplePlan();
+  const std::string path = ::testing::TempDir() + "/plan.txt";
+  ASSERT_TRUE(SaveFloorPlan(original, path).ok());
+  const auto loaded = LoadFloorPlan(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().partition_count(), original.partition_count());
+  EXPECT_EQ(loaded.value().door_count(), original.door_count());
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, LoadMissingFileFails) {
+  const auto loaded = LoadFloorPlan("/nonexistent/path/plan.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace indoor

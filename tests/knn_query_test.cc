@@ -1,0 +1,159 @@
+// Algorithm 6 (kNN query) against the linear-scan oracle.
+
+#include "core/query/knn_query.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/linear_scan.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+/// Tie-tolerant comparison: distances must match pairwise; ids must match
+/// except among equal-distance neighbors.
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& expect) {
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expect[i].distance, 1e-6) << "rank " << i;
+  }
+}
+
+class KnnQueryTest : public ::testing::Test {
+ protected:
+  KnnQueryTest() : plan_(MakeRunningExamplePlan(&ids_)), index_(plan_) {}
+
+  ObjectId Add(PartitionId v, Point p) {
+    auto id = index_.objects().Insert(v, p);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value();
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+};
+
+TEST_F(KnnQueryTest, SingleNearestInHostPartition) {
+  const ObjectId near = Add(ids_.v11, {1.5, 1.5});
+  Add(ids_.v11, {3.5, 3.5});
+  const auto result = KnnQuery(index_, {1, 1}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, near);
+  EXPECT_NEAR(result[0].distance, std::sqrt(0.5), 1e-9);
+}
+
+TEST_F(KnnQueryTest, NearestAcrossDoorBeatsFarSameRoom) {
+  // Object through the door is closer (walking) than the same-room one.
+  const ObjectId through_door = Add(ids_.v10, {2, 4.5});  // 2.5 m away
+  Add(ids_.v11, {3.9, 0.1});  // ~4.2 m away inside the room
+  const auto result = KnnQuery(index_, {2, 2}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, through_door);
+}
+
+TEST_F(KnnQueryTest, KLargerThanObjectCountReturnsAll) {
+  Add(ids_.v11, {1, 1});
+  Add(ids_.v13, {9, 2});
+  const auto result = KnnQuery(index_, {2, 2}, 10);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST_F(KnnQueryTest, ResultsSortedAscending) {
+  Rng rng(3);
+  PopulateStore(GenerateObjects(plan_, 30, &rng), &index_.objects());
+  const auto result = KnnQuery(index_, {6, 5}, 10);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST_F(KnnQueryTest, MatchesOracleOnRunningExample) {
+  Rng rng(17);
+  PopulateStore(GenerateObjects(plan_, 80, &rng), &index_.objects());
+  const DistanceContext ctx = index_.distance_context();
+  for (int trial = 0; trial < 15; ++trial) {
+    const Point q = RandomIndoorPosition(plan_, &rng);
+    for (size_t k : {1u, 3u, 10u, 40u}) {
+      const auto expect = LinearScanKnn(ctx, index_.objects(), q, k);
+      ExpectSameNeighbors(KnnQuery(index_, q, k), expect);
+      ExpectSameNeighbors(KnnQuery(index_, q, k, {.use_index_matrix = false}),
+                          expect);
+    }
+  }
+}
+
+TEST_F(KnnQueryTest, KnnPrefixProperty) {
+  Rng rng(19);
+  PopulateStore(GenerateObjects(plan_, 50, &rng), &index_.objects());
+  const Point q(6, 5);
+  const auto k10 = KnnQuery(index_, q, 10);
+  const auto k5 = KnnQuery(index_, q, 5);
+  ASSERT_EQ(k5.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(k5[i].distance, k10[i].distance, 1e-9);
+  }
+}
+
+TEST_F(KnnQueryTest, EmptyStoreYieldsEmptyResult) {
+  EXPECT_TRUE(KnnQuery(index_, {1, 1}, 5).empty());
+}
+
+TEST_F(KnnQueryTest, OutsideQueryYieldsEmptyResult) {
+  Add(ids_.v11, {1, 1});
+  EXPECT_TRUE(KnnQuery(index_, {1000, 1000}, 5).empty());
+}
+
+TEST_F(KnnQueryTest, KZeroYieldsEmptyResult) {
+  Add(ids_.v11, {1, 1});
+  EXPECT_TRUE(KnnQuery(index_, {1, 1}, 0).empty());
+}
+
+TEST_F(KnnQueryTest, NoDuplicateObjectsInResult) {
+  // v21 is reachable through two doors (d21, d24): its objects are offered
+  // twice and must be deduplicated.
+  Add(ids_.v21, {30, 4});
+  Add(ids_.v21, {31, 6});
+  const auto result = KnnQuery(index_, {21, 1}, 5);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_NE(result[0].id, result[1].id);
+}
+
+TEST(KnnQueryObstacleTest, NearestUsesLeaveAndReenterRoute) {
+  ObstacleExampleIds ids;
+  FloorPlan plan = MakeObstacleExamplePlan(&ids);
+  IndexFramework index(plan);
+  const auto obj = index.objects().Insert(ids.room2, ids.q);
+  ASSERT_TRUE(obj.ok());
+  const auto result = KnnQuery(index, ids.p, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NEAR(result[0].distance, 12.0, 1e-9);  // via room 1, not the weave
+}
+
+TEST(KnnQueryGeneratedTest, MatchesOracleOnGeneratedBuilding) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 12;
+  config.seed = 23;
+  FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan);
+  Rng rng(29);
+  PopulateStore(GenerateObjects(plan, 250, &rng), &index.objects());
+  const DistanceContext ctx = index.distance_context();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &rng);
+    for (size_t k : {1u, 5u, 25u, 100u}) {
+      const auto expect = LinearScanKnn(ctx, index.objects(), q, k);
+      ExpectSameNeighbors(KnnQuery(index, q, k), expect);
+      ExpectSameNeighbors(
+          KnnQuery(index, q, k, {.use_index_matrix = false}), expect);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,93 @@
+#include "core/model/locator.h"
+
+#include <gtest/gtest.h>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class LocatorTest : public ::testing::Test {
+ protected:
+  LocatorTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), locator_(plan_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  PartitionLocator locator_;
+};
+
+TEST_F(LocatorTest, LocatesRoomInterior) {
+  const auto host = locator_.GetHostPartition({2, 2});
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host.value(), ids_.v11);
+}
+
+TEST_F(LocatorTest, LocatesHallway) {
+  const auto host = locator_.GetHostPartition({6, 5});
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host.value(), ids_.v10);
+}
+
+TEST_F(LocatorTest, IndoorBeatsOutdoorEverywhere) {
+  // The outdoor footprint covers the whole frame; indoor positions must
+  // still resolve to their rooms.
+  const auto host = locator_.GetHostPartition({30, 4});
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host.value(), ids_.v21);
+}
+
+TEST_F(LocatorTest, OutdoorPositionsFallBackToOutdoor) {
+  const auto host = locator_.GetHostPartition({-4, -4});
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host.value(), ids_.v0);
+}
+
+TEST_F(LocatorTest, PositionOutsideEverythingIsNotFound) {
+  const auto host = locator_.GetHostPartition({1000, 1000});
+  ASSERT_FALSE(host.ok());
+  EXPECT_EQ(host.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LocatorTest, PositionInsideObstacleIsNotInThePartition) {
+  // (24, 4) is inside v20's obstacle -> free-space containment fails, so
+  // the locator falls back to the outdoor partition.
+  const auto host = locator_.GetHostPartition({24, 4});
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host.value(), ids_.v0);
+}
+
+TEST_F(LocatorTest, DistVToTouchingDoor) {
+  // From (2, 2) in v11 to d11 at (2, 4): 2 m.
+  EXPECT_NEAR(locator_.DistV(ids_.v11, {2, 2}, ids_.d11), 2.0, 1e-9);
+}
+
+TEST_F(LocatorTest, DistVInfinityForNonTouchingDoor) {
+  EXPECT_EQ(locator_.DistV(ids_.v11, {2, 2}, ids_.d13), kInfDistance);
+}
+
+TEST_F(LocatorTest, DistVResolvesHostInternally) {
+  EXPECT_NEAR(locator_.DistV(Point{2, 2}, ids_.d11), 2.0, 1e-9);
+  EXPECT_EQ(locator_.DistV(Point{1000, 1000}, ids_.d11), kInfDistance);
+}
+
+TEST_F(LocatorTest, DistVUsesObstructedIntraDistance) {
+  // In v20, a position behind the obstacle relative to d21.
+  const Point p(24.5, 7.6);  // above the obstacle
+  const double direct = Distance(p, plan_.door(ids_.d21).Midpoint());
+  const double dist = locator_.DistV(ids_.v20, p, ids_.d21);
+  EXPECT_GT(dist, direct + 1e-9);  // must detour around the obstacle
+}
+
+TEST_F(LocatorTest, BoundaryPointResolvesDeterministically) {
+  // A point on the shared wall between v11 and v10: the smaller partition
+  // wins (v11 area 16 < v10 area 24); repeated calls agree.
+  const auto a = locator_.GetHostPartition({2, 4});
+  const auto b = locator_.GetHostPartition({2, 4});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), ids_.v11);
+}
+
+}  // namespace
+}  // namespace indoor

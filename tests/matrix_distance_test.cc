@@ -1,0 +1,82 @@
+#include "core/distance/matrix_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index/index_framework.h"
+#include "gen/building_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class MatrixDistanceTest : public ::testing::Test {
+ protected:
+  MatrixDistanceTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), index_(plan_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+};
+
+TEST_F(MatrixDistanceTest, MatchesAlgorithm2OnTheIntroExample) {
+  const Point p(11, 1), q(4.5, 4.5);
+  const double expected = 3.0 + std::sqrt(18.0) + std::sqrt(0.5);
+  EXPECT_NEAR(
+      Pt2PtDistanceMatrix(index_.locator(), index_.d2d_matrix(), p, q),
+      expected, 1e-9);
+}
+
+TEST_F(MatrixDistanceTest, SamePartitionDirect) {
+  EXPECT_NEAR(Pt2PtDistanceMatrix(index_.locator(), index_.d2d_matrix(),
+                                  {1, 1}, {3, 3}),
+              std::sqrt(8.0), 1e-9);
+}
+
+TEST_F(MatrixDistanceTest, KnownHostVariantAgrees) {
+  const Point p(11, 1), q(4.5, 4.5);
+  EXPECT_NEAR(Pt2PtDistanceMatrix(plan_, index_.d2d_matrix(), ids_.v13, p,
+                                  ids_.v10, q),
+              Pt2PtDistanceMatrix(index_.locator(), index_.d2d_matrix(), p,
+                                  q),
+              1e-12);
+}
+
+TEST_F(MatrixDistanceTest, OutsidePositionsAreInfinite) {
+  EXPECT_EQ(Pt2PtDistanceMatrix(index_.locator(), index_.d2d_matrix(),
+                                {1000, 1000}, {1, 1}),
+            kInfDistance);
+}
+
+TEST_F(MatrixDistanceTest, AsymmetryPreserved) {
+  const Point p(11, 1), q(6, 2);
+  const auto& locator = index_.locator();
+  const auto& md2d = index_.d2d_matrix();
+  EXPECT_NEAR(Pt2PtDistanceMatrix(locator, md2d, p, q),
+              3.0 + std::sqrt(5.0), 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceMatrix(locator, md2d, q, p),
+              std::sqrt(5.0) + 5.0 + std::sqrt(10.0), 1e-9);
+}
+
+TEST(MatrixDistanceGeneratedTest, AgreesWithAlgorithm2Everywhere) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 10;
+  config.room_to_room_doors = 0.5;
+  config.one_way_fraction = 0.4;
+  config.seed = 163;
+  FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan);
+  const DistanceContext ctx = index.distance_context();
+  Rng rng(167);
+  for (const auto& [p, q] : GeneratePositionPairs(plan, 40, &rng)) {
+    EXPECT_NEAR(
+        Pt2PtDistanceMatrix(index.locator(), index.d2d_matrix(), p, q),
+        Pt2PtDistanceBasic(ctx, p, q), 1e-6)
+        << p << " -> " << q;
+  }
+}
+
+}  // namespace
+}  // namespace indoor

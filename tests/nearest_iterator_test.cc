@@ -1,0 +1,112 @@
+#include "core/query/nearest_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/linear_scan.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "indoor/floor_plan_builder.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class NearestIteratorTest : public ::testing::Test {
+ protected:
+  NearestIteratorTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), index_(plan_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+};
+
+TEST_F(NearestIteratorTest, StreamsAllObjectsInDistanceOrder) {
+  Rng rng(131);
+  PopulateStore(GenerateObjects(plan_, 40, &rng), &index_.objects());
+  NearestIterator it(index_, {6, 5}, /*initial_k=*/4);
+  double prev = -1;
+  size_t count = 0;
+  while (it.HasNext()) {
+    const Neighbor nb = it.Next();
+    EXPECT_GE(nb.distance, prev);
+    prev = nb.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 40u);
+}
+
+TEST_F(NearestIteratorTest, MatchesKnnPrefix) {
+  Rng rng(137);
+  PopulateStore(GenerateObjects(plan_, 30, &rng), &index_.objects());
+  const Point q(2, 2);
+  const auto oracle =
+      LinearScanKnn(index_.distance_context(), index_.objects(), q, 30);
+  NearestIterator it(index_, q, 2);
+  for (const Neighbor& expect : oracle) {
+    ASSERT_TRUE(it.HasNext());
+    EXPECT_NEAR(it.Next().distance, expect.distance, 1e-6);
+  }
+  EXPECT_FALSE(it.HasNext());
+}
+
+TEST_F(NearestIteratorTest, EmptyStore) {
+  NearestIterator it(index_, {2, 2});
+  EXPECT_FALSE(it.HasNext());
+  EXPECT_EQ(it.yielded(), 0u);
+}
+
+TEST_F(NearestIteratorTest, OutsideQueryYieldsNothing) {
+  Rng rng(139);
+  PopulateStore(GenerateObjects(plan_, 10, &rng), &index_.objects());
+  NearestIterator it(index_, {1000, 1000});
+  EXPECT_FALSE(it.HasNext());
+}
+
+TEST_F(NearestIteratorTest, PartialConsumptionIsCheap) {
+  Rng rng(149);
+  PopulateStore(GenerateObjects(plan_, 500, &rng), &index_.objects());
+  NearestIterator it(index_, {6, 5}, 3);
+  // Consume only the first few; no requirement to touch all 500.
+  ASSERT_TRUE(it.HasNext());
+  const Neighbor first = it.Next();
+  ASSERT_TRUE(it.HasNext());
+  const Neighbor second = it.Next();
+  EXPECT_LE(first.distance, second.distance);
+  EXPECT_EQ(it.yielded(), 2u);
+}
+
+TEST_F(NearestIteratorTest, InitialKZeroIsSafe) {
+  Rng rng(151);
+  PopulateStore(GenerateObjects(plan_, 5, &rng), &index_.objects());
+  NearestIterator it(index_, {6, 5}, 0);
+  size_t count = 0;
+  while (it.HasNext()) {
+    it.Next();
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(NearestIteratorGeneratedTest, UnreachablePocketsAreSkipped) {
+  // A one-way dead end: objects inside are reachable, the query can be
+  // placed so that some objects are not.
+  FloorPlanBuilder b;
+  const PartitionId a = b.AddPartition("a", PartitionKind::kRoom, 1,
+                                       Rect(0, 0, 4, 4));
+  const PartitionId c = b.AddPartition("c", PartitionKind::kRoom, 1,
+                                       Rect(4, 0, 8, 4));
+  b.AddUnidirectionalDoor("ow", Segment({4, 1.8}, {4, 2.2}), c, a);
+  auto plan = std::move(b).Build();
+  ASSERT_TRUE(plan.ok());
+  IndexFramework index(plan.value());
+  ASSERT_TRUE(index.objects().Insert(a, {1, 1}).ok());
+  ASSERT_TRUE(index.objects().Insert(c, {6, 1}).ok());  // unreachable from a
+  NearestIterator it(index, {2, 2});
+  ASSERT_TRUE(it.HasNext());
+  EXPECT_EQ(it.Next().id, 0u);
+  EXPECT_FALSE(it.HasNext());  // the object in c can never be reached
+}
+
+}  // namespace
+}  // namespace indoor

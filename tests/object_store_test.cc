@@ -1,0 +1,95 @@
+#include "core/index/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest()
+      : plan_(MakeRunningExamplePlan(&ids_)), store_(plan_, 2.0) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  ObjectStore store_;
+};
+
+TEST_F(ObjectStoreTest, InsertAssignsDenseIds) {
+  const auto a = store_.Insert(ids_.v11, {1, 1});
+  const auto b = store_.Insert(ids_.v11, {2, 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(store_.size(), 2u);
+}
+
+TEST_F(ObjectStoreTest, InsertValidatesPartitionId) {
+  const auto result = store_.Insert(999, {1, 1});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectStoreTest, InsertValidatesContainment) {
+  const auto result = store_.Insert(ids_.v11, {100, 100});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("outside"), std::string::npos);
+}
+
+TEST_F(ObjectStoreTest, InsertRejectsPositionInsideObstacle) {
+  const auto result = store_.Insert(ids_.v20, {24, 4});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(ObjectStoreTest, BucketsTrackPartitions) {
+  ASSERT_TRUE(store_.Insert(ids_.v11, {1, 1}).ok());
+  ASSERT_TRUE(store_.Insert(ids_.v12, {6, 2}).ok());
+  EXPECT_EQ(store_.bucket(ids_.v11).size(), 1u);
+  EXPECT_EQ(store_.bucket(ids_.v12).size(), 1u);
+  EXPECT_EQ(store_.bucket(ids_.v13).size(), 0u);
+}
+
+TEST_F(ObjectStoreTest, MoveObjectAcrossPartitions) {
+  const ObjectId id = store_.Insert(ids_.v11, {1, 1}).value();
+  ASSERT_TRUE(store_.MoveObject(id, ids_.v13, {9, 2}).ok());
+  EXPECT_EQ(store_.object(id).partition, ids_.v13);
+  EXPECT_EQ(store_.bucket(ids_.v11).size(), 0u);
+  EXPECT_EQ(store_.bucket(ids_.v13).size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, MoveObjectWithinPartition) {
+  const ObjectId id = store_.Insert(ids_.v11, {1, 1}).value();
+  ASSERT_TRUE(store_.MoveObject(id, ids_.v11, {3, 3}).ok());
+  EXPECT_EQ(store_.object(id).position, Point(3, 3));
+  EXPECT_EQ(store_.bucket(ids_.v11).size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, MoveValidatesTarget) {
+  const ObjectId id = store_.Insert(ids_.v11, {1, 1}).value();
+  EXPECT_FALSE(store_.MoveObject(id, ids_.v11, {100, 100}).ok());
+  EXPECT_FALSE(store_.MoveObject(id, 999, {1, 1}).ok());
+  EXPECT_FALSE(store_.MoveObject(42, ids_.v11, {1, 1}).ok());
+  // Object unchanged after failed moves.
+  EXPECT_EQ(store_.object(id).partition, ids_.v11);
+}
+
+TEST_F(ObjectStoreTest, ObjectAccessorReturnsStoredData) {
+  const ObjectId id = store_.Insert(ids_.v21, {30, 4}).value();
+  const IndoorObject& obj = store_.object(id);
+  EXPECT_EQ(obj.id, id);
+  EXPECT_EQ(obj.partition, ids_.v21);
+  EXPECT_EQ(obj.position, Point(30, 4));
+}
+
+TEST_F(ObjectStoreTest, GridCellSizePropagates) {
+  EXPECT_DOUBLE_EQ(store_.grid_cell_size(), 2.0);
+  const ObjectStore coarse(plan_, 8.0);
+  EXPECT_LE(coarse.bucket(ids_.v10).cell_count(),
+            store_.bucket(ids_.v10).cell_count());
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,124 @@
+// Integrated outdoor/indoor distances (the paper's §VII third future-work
+// item): because all of outdoor space is itself a partition (paper fn. 1),
+// the same graph machinery supports paths that interweave indoor and
+// outdoor legs — e.g. leaving building A, crossing a courtyard, and
+// entering building B — with no special casing.
+
+#include <gtest/gtest.h>
+
+#include "core/distance/shortest_path.h"
+#include "core/query/query_engine.h"
+#include "indoor/floor_plan_builder.h"
+
+namespace indoor {
+namespace {
+
+/// Two single-room buildings on a shared courtyard:
+///
+///   building A (0..6, 0..6)   courtyard   building B (20..26, 0..6)
+///        door dA at (6, 3)  <--------->  door dB at (20, 3)
+struct Campus {
+  Campus() {
+    FloorPlanBuilder b;
+    courtyard = b.AddPartition("courtyard", PartitionKind::kOutdoor, 0,
+                               Rect(-2, -2, 28, 8));
+    building_a = b.AddPartition("building_a", PartitionKind::kRoom, 1,
+                                Rect(0, 0, 6, 6));
+    building_b = b.AddPartition("building_b", PartitionKind::kRoom, 1,
+                                Rect(20, 0, 26, 6));
+    door_a = b.AddBidirectionalDoor("dA", Segment({6, 2.8}, {6, 3.2}),
+                                    building_a, courtyard);
+    door_b = b.AddBidirectionalDoor("dB", Segment({20, 2.8}, {20, 3.2}),
+                                    building_b, courtyard);
+    auto plan = std::move(b).Build();
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    engine = std::make_unique<QueryEngine>(std::move(plan).value());
+  }
+
+  PartitionId courtyard, building_a, building_b;
+  DoorId door_a, door_b;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+TEST(OutdoorIntegrationTest, CrossBuildingDistanceInterweaves) {
+  Campus campus;
+  const Point in_a(1, 3), in_b(25, 3);
+  // Walk: (1,3) -> dA (5 m) -> across the courtyard (14 m) -> dB -> (25,3)
+  // (5 m).
+  const double d = campus.engine->Distance(in_a, in_b);
+  EXPECT_NEAR(d, 5.0 + 14.0 + 5.0, 1e-9);
+}
+
+TEST(OutdoorIntegrationTest, PathListsOutdoorLeg) {
+  Campus campus;
+  const IndoorPath path =
+      campus.engine->ShortestPath({1, 3}, {25, 3});
+  ASSERT_TRUE(path.found());
+  EXPECT_EQ(path.doors,
+            (std::vector<DoorId>{campus.door_a, campus.door_b}));
+  EXPECT_EQ(path.partitions,
+            (std::vector<PartitionId>{campus.building_a, campus.courtyard,
+                                      campus.building_b}));
+}
+
+TEST(OutdoorIntegrationTest, IndoorToOutdoorPosition) {
+  Campus campus;
+  const Point in_a(1, 3), outside(13, 6);  // mid-courtyard
+  const double d = campus.engine->Distance(in_a, outside);
+  const double expected = 5.0 + Distance(Point(6, 3), outside);
+  EXPECT_NEAR(d, expected, 1e-9);
+  // And outdoor -> indoor, the reverse, is symmetric here.
+  EXPECT_NEAR(campus.engine->Distance(outside, in_a), expected, 1e-9);
+}
+
+TEST(OutdoorIntegrationTest, QueriesSpanBuildings) {
+  Campus campus;
+  const ObjectId in_b =
+      campus.engine->AddObject(campus.building_b, {25, 3}).value();
+  const ObjectId outside =
+      campus.engine->AddObject(campus.courtyard, {13, 3}).value();
+  // From inside building A, the courtyard object is nearer than the one in
+  // building B.
+  const auto nearest = campus.engine->Nearest({1, 3}, 2);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(nearest[0].id, outside);
+  EXPECT_EQ(nearest[1].id, in_b);
+  // Range with a radius that covers the courtyard object only.
+  EXPECT_EQ(campus.engine->Range({1, 3}, 13.0),
+            std::vector<ObjectId>{outside});
+}
+
+TEST(OutdoorIntegrationTest, OutdoorObjectsLiveInTheOutdoorBucket) {
+  Campus campus;
+  ASSERT_TRUE(
+      campus.engine->AddObject(campus.courtyard, {13, 3}).ok());
+  EXPECT_EQ(
+      campus.engine->index().objects().bucket(campus.courtyard).size(), 1u);
+}
+
+TEST(OutdoorIntegrationTest, LongWayAroundWhenDoorIsOneWay) {
+  // Replace dB with a one-way (exit-only) door: B is enterable only
+  // through a second door dC on its far side.
+  FloorPlanBuilder b;
+  const PartitionId courtyard = b.AddPartition(
+      "courtyard", PartitionKind::kOutdoor, 0, Rect(-2, -2, 32, 8));
+  const PartitionId room = b.AddPartition(
+      "building_b", PartitionKind::kRoom, 1, Rect(20, 0, 26, 6));
+  b.AddUnidirectionalDoor("exit_only", Segment({20, 2.8}, {20, 3.2}), room,
+                          courtyard);
+  const DoorId entry =
+      b.AddBidirectionalDoor("dC", Segment({26, 2.8}, {26, 3.2}), room,
+                             courtyard);
+  auto plan = std::move(b).Build();
+  ASSERT_TRUE(plan.ok());
+  QueryEngine engine(std::move(plan).value());
+  // From the courtyard just outside the exit-only door, entering must
+  // round the building to dC.
+  const IndoorPath path = engine.ShortestPath({19, 3}, {21, 3});
+  ASSERT_TRUE(path.found());
+  EXPECT_EQ(path.doors, std::vector<DoorId>{entry});
+  EXPECT_GT(path.length, 8.0);  // around the building, not 2 m through
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,59 @@
+#include "geometry/point.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a(1, 2), b(3, 5);
+  EXPECT_EQ(a + b, Point(4, 7));
+  EXPECT_EQ(b - a, Point(2, 3));
+  EXPECT_EQ(a * 2.0, Point(2, 4));
+}
+
+TEST(PointTest, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(Cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Cross({0, 1}, {1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(Cross({2, 3}, {4, 6}), 0.0);  // parallel
+}
+
+TEST(PointTest, OrientSign) {
+  // Counter-clockwise turn is positive.
+  EXPECT_GT(Orient({0, 0}, {1, 0}, {1, 1}), 0.0);
+  EXPECT_LT(Orient({0, 0}, {1, 0}, {1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(Orient({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(PointTest, Distances) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, Lerp) {
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 0.5), Point(5, 10));
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 0.0), Point(0, 0));
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 1.0), Point(10, 20));
+}
+
+TEST(PointTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual({1, 2}, {1 + 1e-12, 2 - 1e-12}));
+  EXPECT_FALSE(ApproxEqual({1, 2}, {1.001, 2}));
+  EXPECT_TRUE(ApproxEqual({1, 2}, {1.05, 2}, 0.1));
+}
+
+TEST(PointTest, EqualityOperators) {
+  EXPECT_TRUE(Point(1, 2) == Point(1, 2));
+  EXPECT_TRUE(Point(1, 2) != Point(2, 1));
+}
+
+TEST(PointTest, StreamFormat) {
+  std::ostringstream os;
+  os << Point(1.5, -2);
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace indoor

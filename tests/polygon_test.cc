@@ -1,0 +1,110 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+Polygon Square() {
+  return Polygon::FromRect(Rect(0, 0, 4, 4));
+}
+
+Polygon LShape() {
+  // L-shaped (non-convex) polygon.
+  auto result = Polygon::Create(
+      {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(PolygonTest, RejectsTooFewVertices) {
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {1, 1}}).ok());
+}
+
+TEST(PolygonTest, RejectsDegenerateArea) {
+  const auto result = Polygon::Create({{0, 0}, {2, 2}, {4, 4}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolygonTest, RejectsDuplicateConsecutiveVertices) {
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {0, 0}, {4, 0}, {4, 4}}).ok());
+}
+
+TEST(PolygonTest, DropsClosingVertex) {
+  const auto result =
+      Polygon::Create({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 4u);
+}
+
+TEST(PolygonTest, NormalizesClockwiseToCounterClockwise) {
+  const auto cw = Polygon::Create({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  ASSERT_TRUE(cw.ok());
+  EXPECT_DOUBLE_EQ(cw.value().Area(), 16.0);  // area positive after reversal
+}
+
+TEST(PolygonTest, AreaAndBoundingBox) {
+  const Polygon p = LShape();
+  EXPECT_DOUBLE_EQ(p.Area(), 12.0);
+  EXPECT_EQ(p.BoundingBox(), Rect(0, 0, 4, 4));
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  const Point c = Square().Centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 2.0, 1e-12);
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  const Polygon p = Square();
+  EXPECT_TRUE(p.Contains({2, 2}));
+  EXPECT_TRUE(p.Contains({0, 2}));    // boundary
+  EXPECT_TRUE(p.Contains({4, 4}));    // corner
+  EXPECT_FALSE(p.Contains({5, 2}));
+  EXPECT_TRUE(p.ContainsStrict({2, 2}));
+  EXPECT_FALSE(p.ContainsStrict({0, 2}));
+}
+
+TEST(PolygonTest, ContainsNonConvex) {
+  const Polygon p = LShape();
+  EXPECT_TRUE(p.Contains({1, 3}));    // in the vertical arm
+  EXPECT_TRUE(p.Contains({3, 1}));    // in the horizontal arm
+  EXPECT_FALSE(p.Contains({3, 3}));   // in the notch
+}
+
+TEST(PolygonTest, OnBoundary) {
+  const Polygon p = Square();
+  EXPECT_TRUE(p.OnBoundary({2, 0}));
+  EXPECT_TRUE(p.OnBoundary({4, 3}));
+  EXPECT_FALSE(p.OnBoundary({2, 2}));
+}
+
+TEST(PolygonTest, ConvexityDetection) {
+  EXPECT_TRUE(Square().IsConvex());
+  EXPECT_FALSE(LShape().IsConvex());
+}
+
+TEST(PolygonTest, MaxVertexDistance) {
+  EXPECT_DOUBLE_EQ(Square().MaxVertexDistance({0, 0}), std::sqrt(32.0));
+  EXPECT_DOUBLE_EQ(Square().MaxVertexDistance({2, 2}), std::sqrt(8.0));
+}
+
+TEST(PolygonTest, EdgeAccess) {
+  const Polygon p = Square();
+  const Segment e0 = p.Edge(0);
+  const Segment e3 = p.Edge(3);
+  // Edges chain around the ring (last edge returns to vertex 0).
+  EXPECT_EQ(e3.b, p.vertices()[0]);
+  EXPECT_EQ(e0.a, p.vertices()[0]);
+}
+
+TEST(PolygonTest, FromRectMatchesRect) {
+  const Polygon p = Polygon::FromRect(Rect(1, 2, 3, 5));
+  EXPECT_DOUBLE_EQ(p.Area(), 6.0);
+  EXPECT_TRUE(p.IsConvex());
+  EXPECT_EQ(p.BoundingBox(), Rect(1, 2, 3, 5));
+}
+
+}  // namespace
+}  // namespace indoor

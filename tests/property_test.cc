@@ -1,0 +1,233 @@
+// Property-based suites: parameterized sweeps over generated buildings and
+// seeds asserting the library's core invariants.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/linear_scan.h"
+#include "core/distance/d2d_distance.h"
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+
+namespace indoor {
+namespace {
+
+struct BuildingCase {
+  int floors;
+  int rooms_per_floor;
+  uint64_t seed;
+  double room_to_room = 0.0;  // probability of extra room-to-room doors
+  double one_way = 0.0;       // fraction of those that are unidirectional
+  double obstacles = 0.0;     // probability of a pillar per room
+};
+
+std::ostream& operator<<(std::ostream& os, const BuildingCase& c) {
+  os << "floors" << c.floors << "_rooms" << c.rooms_per_floor << "_seed"
+     << c.seed;
+  if (c.room_to_room > 0) os << "_r2r";
+  if (c.one_way > 0) os << "_oneway";
+  if (c.obstacles > 0) os << "_obstacles";
+  return os;
+}
+
+class BuildingPropertyTest : public ::testing::TestWithParam<BuildingCase> {
+ protected:
+  BuildingPropertyTest() {
+    BuildingConfig config;
+    config.floors = GetParam().floors;
+    config.rooms_per_floor = GetParam().rooms_per_floor;
+    config.seed = GetParam().seed;
+    config.room_to_room_doors = GetParam().room_to_room;
+    config.one_way_fraction = GetParam().one_way;
+    config.obstacle_probability = GetParam().obstacles;
+    plan_ = std::make_unique<FloorPlan>(GenerateBuilding(config));
+    graph_ = std::make_unique<DistanceGraph>(*plan_);
+    locator_ = std::make_unique<PartitionLocator>(*plan_);
+  }
+
+  DistanceContext Ctx() const {
+    return DistanceContext(*graph_, *locator_);
+  }
+
+  std::unique_ptr<FloorPlan> plan_;
+  std::unique_ptr<DistanceGraph> graph_;
+  std::unique_ptr<PartitionLocator> locator_;
+};
+
+TEST_P(BuildingPropertyTest, Pt2PtVariantsAgree) {
+  Rng rng(GetParam().seed * 7 + 1);
+  const auto ctx = Ctx();
+  for (const auto& [p, q] : GeneratePositionPairs(*plan_, 12, &rng)) {
+    const double basic = Pt2PtDistanceBasic(ctx, p, q);
+    EXPECT_NEAR(Pt2PtDistanceRefined(ctx, p, q), basic, 1e-6);
+    EXPECT_NEAR(Pt2PtDistanceReuse(ctx, p, q), basic, 1e-6);
+    EXPECT_NEAR(Pt2PtDistanceVirtual(ctx, p, q), basic, 1e-6);
+  }
+}
+
+TEST_P(BuildingPropertyTest, D2dTriangleInequality) {
+  Rng rng(GetParam().seed * 7 + 2);
+  const size_t n = plan_->door_count();
+  for (int trial = 0; trial < 40; ++trial) {
+    const DoorId a = static_cast<DoorId>(rng.NextIndex(n));
+    const DoorId b = static_cast<DoorId>(rng.NextIndex(n));
+    const DoorId c = static_cast<DoorId>(rng.NextIndex(n));
+    const double ab = D2dDistance(*graph_, a, b);
+    const double bc = D2dDistance(*graph_, b, c);
+    const double ac = D2dDistance(*graph_, a, c);
+    if (ab != kInfDistance && bc != kInfDistance) {
+      EXPECT_LE(ac, ab + bc + 1e-6);
+    }
+  }
+}
+
+TEST_P(BuildingPropertyTest, MatrixMatchesOnDemandComputation) {
+  const DistanceMatrix matrix(*graph_);
+  Rng rng(GetParam().seed * 7 + 3);
+  const size_t n = plan_->door_count();
+  for (int trial = 0; trial < 30; ++trial) {
+    const DoorId a = static_cast<DoorId>(rng.NextIndex(n));
+    const DoorId b = static_cast<DoorId>(rng.NextIndex(n));
+    EXPECT_NEAR(matrix.At(a, b), D2dDistance(*graph_, a, b), 1e-9);
+  }
+}
+
+TEST_P(BuildingPropertyTest, MidxRowsSortedPermutations) {
+  const DistanceMatrix matrix(*graph_);
+  const DistanceIndexMatrix midx(matrix);
+  Rng rng(GetParam().seed * 7 + 4);
+  const size_t n = plan_->door_count();
+  for (int trial = 0; trial < 10; ++trial) {
+    const DoorId di = static_cast<DoorId>(rng.NextIndex(n));
+    std::vector<char> seen(n, 0);
+    for (size_t j = 0; j < n; ++j) {
+      const DoorId dj = midx.At(di, j);
+      seen[dj] = 1;
+      if (j > 0) {
+        EXPECT_LE(matrix.At(di, midx.At(di, j - 1)), matrix.At(di, dj));
+      }
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+              static_cast<long>(n));
+  }
+}
+
+TEST_P(BuildingPropertyTest, QueriesMatchOracle) {
+  IndexFramework index(*plan_);
+  Rng rng(GetParam().seed * 7 + 5);
+  PopulateStore(GenerateObjects(*plan_, 150, &rng), &index.objects());
+  const auto ctx = Ctx();
+  for (int trial = 0; trial < 4; ++trial) {
+    const Point q = RandomIndoorPosition(*plan_, &rng);
+    const double r = rng.NextDouble(5, 40);
+    EXPECT_EQ(RangeQuery(index, q, r),
+              LinearScanRange(ctx, index.objects(), q, r));
+    const size_t k = 1 + rng.NextIndex(20);
+    const auto got = KnnQuery(index, q, k);
+    const auto expect = LinearScanKnn(ctx, index.objects(), q, k);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expect[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST_P(BuildingPropertyTest, RangeCountMonotonicInRadius) {
+  IndexFramework index(*plan_);
+  Rng rng(GetParam().seed * 7 + 6);
+  PopulateStore(GenerateObjects(*plan_, 100, &rng), &index.objects());
+  const Point q = RandomIndoorPosition(*plan_, &rng);
+  size_t prev = 0;
+  for (double r = 0; r <= 60; r += 10) {
+    const size_t count = RangeQuery(index, q, r).size();
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+}
+
+TEST_P(BuildingPropertyTest, KnnPrefixStability) {
+  IndexFramework index(*plan_);
+  Rng rng(GetParam().seed * 7 + 7);
+  PopulateStore(GenerateObjects(*plan_, 120, &rng), &index.objects());
+  const Point q = RandomIndoorPosition(*plan_, &rng);
+  const auto k20 = KnnQuery(index, q, 20);
+  for (size_t k : {1u, 5u, 10u}) {
+    const auto smaller = KnnQuery(index, q, k);
+    ASSERT_EQ(smaller.size(), std::min(k, k20.size()));
+    for (size_t i = 0; i < smaller.size(); ++i) {
+      EXPECT_NEAR(smaller[i].distance, k20[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(BuildingPropertyTest, IndexedQueriesAgreeWithAndWithoutMidx) {
+  IndexFramework index(*plan_);
+  Rng rng(GetParam().seed * 7 + 8);
+  PopulateStore(GenerateObjects(*plan_, 120, &rng), &index.objects());
+  for (int trial = 0; trial < 4; ++trial) {
+    const Point q = RandomIndoorPosition(*plan_, &rng);
+    EXPECT_EQ(RangeQuery(index, q, 25.0),
+              RangeQuery(index, q, 25.0, {.use_index_matrix = false}));
+    const auto with = KnnQuery(index, q, 10);
+    const auto without = KnnQuery(index, q, 10, {.use_index_matrix = false});
+    ASSERT_EQ(with.size(), without.size());
+    for (size_t i = 0; i < with.size(); ++i) {
+      EXPECT_NEAR(with[i].distance, without[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(BuildingPropertyTest, EuclideanLowerBoundsWalkingDistanceSameFloor) {
+  // Euclidean distance lower-bounds walking distance only where the 2D
+  // frame is the real geometry, i.e. within one floor. Across floors the
+  // flattened frame inserts artificial horizontal separation while the
+  // staircase walking length is what actually counts (DESIGN.md §2.7).
+  Rng rng(GetParam().seed * 7 + 9);
+  const auto ctx = Ctx();
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 10; ++trial) {
+    const auto pair = GeneratePositionPairs(*plan_, 1, &rng)[0];
+    const auto vs = locator_->GetHostPartition(pair.first);
+    const auto vt = locator_->GetHostPartition(pair.second);
+    if (!vs.ok() || !vt.ok()) continue;
+    const Partition& ps_part = plan_->partition(vs.value());
+    const Partition& pt_part = plan_->partition(vt.value());
+    if (ps_part.floor() != pt_part.floor()) continue;
+    // Staircase flights span two floor bands in the flattened frame and
+    // carry scaled (shorter-than-drawn) metrics; exclude them as well.
+    if (ps_part.kind() == PartitionKind::kStaircase ||
+        pt_part.kind() == PartitionKind::kStaircase) {
+      continue;
+    }
+    const double walk = Pt2PtDistanceVirtual(ctx, pair.first, pair.second);
+    if (walk == kInfDistance) continue;
+    EXPECT_LE(Distance(pair.first, pair.second), walk + 1e-6);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratedBuildings, BuildingPropertyTest,
+    ::testing::Values(BuildingCase{1, 6, 1}, BuildingCase{2, 10, 2},
+                      BuildingCase{3, 8, 3}, BuildingCase{4, 12, 4},
+                      BuildingCase{2, 30, 5}, BuildingCase{5, 6, 6},
+                      BuildingCase{2, 12, 7, /*room_to_room=*/0.7},
+                      BuildingCase{3, 10, 8, /*room_to_room=*/0.6,
+                                   /*one_way=*/0.5},
+                      BuildingCase{2, 10, 9, /*room_to_room=*/0.0,
+                                   /*one_way=*/0.0, /*obstacles=*/0.6},
+                      BuildingCase{2, 8, 10, /*room_to_room=*/0.5,
+                                   /*one_way=*/0.4, /*obstacles=*/0.5}),
+    [](const ::testing::TestParamInfo<BuildingCase>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+}  // namespace
+}  // namespace indoor

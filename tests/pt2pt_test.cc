@@ -1,0 +1,177 @@
+// Position-to-position distances: Algorithms 2, 3, 4 (both reuse policies)
+// and the virtual-source extension, validated against hand-computed values
+// and against each other.
+
+#include "core/distance/pt2pt_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/building_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class Pt2PtTest : public ::testing::Test {
+ protected:
+  Pt2PtTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        locator_(plan_),
+        ctx_(graph_, locator_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceContext ctx_;
+};
+
+TEST_F(Pt2PtTest, PaperIntroExampleTakesTheTwoDoorPath) {
+  // p in room 13, q in the hallway: the shortest path runs p -> d15 -> d12
+  // -> q (two doors), NOT through the nearer-sounding single door d13
+  // (paper §I).
+  const Point p(11, 1), q(4.5, 4.5);
+  const double expected = 3.0 + std::sqrt(18.0) + std::sqrt(0.5);
+  EXPECT_NEAR(Pt2PtDistanceBasic(ctx_, p, q), expected, 1e-9);
+  // The d13 alternative is strictly longer.
+  const double via_d13 = std::sqrt(10.0) + 0.0 + std::sqrt(30.5);
+  EXPECT_LT(expected, via_d13);
+}
+
+TEST_F(Pt2PtTest, AllVariantsAgreeOnTheIntroExample) {
+  const Point p(11, 1), q(4.5, 4.5);
+  const double basic = Pt2PtDistanceBasic(ctx_, p, q);
+  EXPECT_NEAR(Pt2PtDistanceRefined(ctx_, p, q), basic, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceReuse(ctx_, p, q, ReusePolicy::kSafe), basic,
+              1e-9);
+  EXPECT_NEAR(Pt2PtDistanceVirtual(ctx_, p, q), basic, 1e-9);
+}
+
+TEST_F(Pt2PtTest, SamePartitionDirectDistance) {
+  const Point p(1, 1), q(3, 3);
+  const double expected = std::sqrt(8.0);
+  EXPECT_NEAR(Pt2PtDistanceBasic(ctx_, p, q), expected, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceRefined(ctx_, p, q), expected, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceReuse(ctx_, p, q), expected, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceVirtual(ctx_, p, q), expected, 1e-9);
+}
+
+TEST_F(Pt2PtTest, OneWayDoorsMakeDistanceAsymmetric) {
+  const Point p(11, 1);  // room 13
+  const Point q(6, 2);   // room 12
+  const double forward = Pt2PtDistanceBasic(ctx_, p, q);
+  const double backward = Pt2PtDistanceBasic(ctx_, q, p);
+  // Forward uses d15 directly; backward must exit via d12 and re-enter via
+  // d13.
+  EXPECT_NEAR(forward, 3.0 + std::sqrt(5.0), 1e-9);
+  EXPECT_NEAR(backward, std::sqrt(5.0) + 5.0 + std::sqrt(10.0), 1e-9);
+  EXPECT_GT(backward, forward);
+}
+
+TEST_F(Pt2PtTest, CrossFloorDistanceThroughStaircase) {
+  const Point p(6, 5);      // floor-1 hallway
+  const Point q(30, 7);     // room v21 on floor 2
+  const double d = Pt2PtDistanceBasic(ctx_, p, q);
+  ASSERT_NE(d, kInfDistance);
+  // Must include the 10 m staircase walking length plus both hallway legs.
+  EXPECT_GT(d, 10.0);
+  EXPECT_NEAR(Pt2PtDistanceRefined(ctx_, p, q), d, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceReuse(ctx_, p, q), d, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceVirtual(ctx_, p, q), d, 1e-9);
+}
+
+TEST_F(Pt2PtTest, NotIndoorsReturnsInfinity) {
+  EXPECT_EQ(Pt2PtDistanceBasic(ctx_, {1000, 1000}, {1, 1}), kInfDistance);
+  EXPECT_EQ(Pt2PtDistanceRefined(ctx_, {1000, 1000}, {1, 1}), kInfDistance);
+  EXPECT_EQ(Pt2PtDistanceReuse(ctx_, {1, 1}, {1000, 1000}), kInfDistance);
+  EXPECT_EQ(Pt2PtDistanceVirtual(ctx_, {1000, 1000}, {1, 1}),
+            kInfDistance);
+}
+
+TEST_F(Pt2PtTest, ZeroDistanceForIdenticalPositions) {
+  EXPECT_NEAR(Pt2PtDistanceBasic(ctx_, {2, 2}, {2, 2}), 0.0, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceReuse(ctx_, {2, 2}, {2, 2}), 0.0, 1e-9);
+}
+
+TEST(Pt2PtObstacleTest, LeavingAndReenteringBeatsTheIntraDetour) {
+  // Paper Fig. 5: the shortest p -> q path leaves room 2 through d7,
+  // crosses room 1, and returns through d8.
+  ObstacleExampleIds ids;
+  const FloorPlan plan = MakeObstacleExamplePlan(&ids);
+  const DistanceGraph graph(plan);
+  const PartitionLocator locator(plan);
+  const DistanceContext ctx(graph, locator);
+  const double d = Pt2PtDistanceBasic(ctx, ids.p, ids.q);
+  EXPECT_NEAR(d, 12.0, 1e-9);  // 0.5 + 11 + 0.5
+  const double intra = plan.partition(ids.room2).IntraDistance(ids.p, ids.q);
+  EXPECT_LT(d, intra);
+  // Every variant handles the host-partition re-entry.
+  EXPECT_NEAR(Pt2PtDistanceRefined(ctx, ids.p, ids.q), d, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceReuse(ctx, ids.p, ids.q), d, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceVirtual(ctx, ids.p, ids.q), d, 1e-9);
+}
+
+TEST(Pt2PtGeneratedTest, AllVariantsAgreeOnGeneratedBuildings) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 10;
+  config.seed = 7;
+  const FloorPlan plan = GenerateBuilding(config);
+  const DistanceGraph graph(plan);
+  const PartitionLocator locator(plan);
+  const DistanceContext ctx(graph, locator);
+  Rng rng(99);
+  const auto pairs = GeneratePositionPairs(plan, 40, &rng);
+  for (const auto& [p, q] : pairs) {
+    const double basic = Pt2PtDistanceBasic(ctx, p, q);
+    EXPECT_NEAR(Pt2PtDistanceRefined(ctx, p, q), basic, 1e-6)
+        << "refined mismatch at " << p << " -> " << q;
+    EXPECT_NEAR(Pt2PtDistanceReuse(ctx, p, q, ReusePolicy::kSafe), basic,
+                1e-6)
+        << "reuse(kSafe) mismatch at " << p << " -> " << q;
+    EXPECT_NEAR(Pt2PtDistanceVirtual(ctx, p, q), basic, 1e-6)
+        << "virtual mismatch at " << p << " -> " << q;
+  }
+}
+
+TEST(Pt2PtGeneratedTest, PaperFaithfulReuseNeverUnderestimates) {
+  // The kPaperFaithful forward break can overestimate but must never
+  // return less than the true distance (all its candidates are real paths).
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 8;
+  config.seed = 21;
+  const FloorPlan plan = GenerateBuilding(config);
+  const DistanceGraph graph(plan);
+  const PartitionLocator locator(plan);
+  const DistanceContext ctx(graph, locator);
+  Rng rng(5);
+  const auto pairs = GeneratePositionPairs(plan, 30, &rng);
+  for (const auto& [p, q] : pairs) {
+    const double exact = Pt2PtDistanceBasic(ctx, p, q);
+    const double faithful =
+        Pt2PtDistanceReuse(ctx, p, q, ReusePolicy::kPaperFaithful);
+    EXPECT_GE(faithful, exact - 1e-6);
+  }
+}
+
+TEST_F(Pt2PtTest, SymmetricWhenNoDirectionalDoorsInvolved) {
+  // Both endpoints on floor 2 (no one-way doors there).
+  const Point p(21, 1), q(22, 10);
+  EXPECT_NEAR(Pt2PtDistanceBasic(ctx_, p, q),
+              Pt2PtDistanceBasic(ctx_, q, p), 1e-9);
+}
+
+TEST_F(Pt2PtTest, DeadEndPruningKeepsResultExact) {
+  // v11 has a single door; starting there exercises the pruning path.
+  const Point p(1, 1);    // room 11 (single-door room)
+  const Point q(30, 7);   // floor-2 room
+  const double basic = Pt2PtDistanceBasic(ctx_, p, q);
+  EXPECT_NEAR(Pt2PtDistanceRefined(ctx_, p, q), basic, 1e-9);
+  EXPECT_NEAR(Pt2PtDistanceReuse(ctx_, p, q), basic, 1e-9);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,81 @@
+#include "core/query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : engine_(MakeRunningExamplePlan(&ids_)) {}
+
+  RunningExampleIds ids_;
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, OwnsThePlan) {
+  EXPECT_EQ(engine_.plan().partition_count(), 11u);
+  EXPECT_EQ(engine_.plan().door_count(), 12u);
+}
+
+TEST_F(QueryEngineTest, AddAndLocateObjects) {
+  const auto id = engine_.AddObject(ids_.v11, {1, 1});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine_.index().objects().object(id.value()).partition,
+            ids_.v11);
+}
+
+TEST_F(QueryEngineTest, DistanceMatchesAlgorithms) {
+  const Point p(11, 1), q(4.5, 4.5);
+  EXPECT_NEAR(engine_.Distance(p, q), 3.0 + std::sqrt(18.0) + std::sqrt(0.5),
+              1e-9);
+}
+
+TEST_F(QueryEngineTest, DoorDistanceReadsTheMatrix) {
+  EXPECT_NEAR(engine_.DoorDistance(ids_.d12, ids_.d13), 5.0, 1e-9);
+}
+
+TEST_F(QueryEngineTest, ShortestPathEndsAtQuery) {
+  const auto path = engine_.ShortestPath({11, 1}, {4.5, 4.5});
+  ASSERT_TRUE(path.found());
+  EXPECT_EQ(path.waypoints.front(), Point(11, 1));
+  EXPECT_EQ(path.waypoints.back(), Point(4.5, 4.5));
+}
+
+TEST_F(QueryEngineTest, RangeAndNearestWork) {
+  ASSERT_TRUE(engine_.AddObject(ids_.v11, {1.5, 1.5}).ok());
+  ASSERT_TRUE(engine_.AddObject(ids_.v13, {9, 2}).ok());
+  const auto range = engine_.Range({1, 1}, 2.0);
+  EXPECT_EQ(range.size(), 1u);
+  const auto nearest = engine_.Nearest({1, 1}, 2);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_LE(nearest[0].distance, nearest[1].distance);
+}
+
+TEST_F(QueryEngineTest, MoveObjectChangesQueryResults) {
+  const ObjectId id = engine_.AddObject(ids_.v11, {1, 1}).value();
+  EXPECT_EQ(engine_.Range({1, 1}, 1.0).size(), 1u);
+  ASSERT_TRUE(engine_.MoveObject(id, ids_.v13, {9, 2}).ok());
+  EXPECT_TRUE(engine_.Range({1, 1}, 1.0).empty());
+}
+
+TEST_F(QueryEngineTest, LocateDelegatesToLocator) {
+  const auto host = engine_.Locate({2, 2});
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host.value(), ids_.v11);
+}
+
+TEST_F(QueryEngineTest, IndexMemoryAccountingIsPositive) {
+  EXPECT_GT(engine_.index().IndexMemoryBytes(), 0u);
+}
+
+TEST_F(QueryEngineTest, EngineIsMovable) {
+  QueryEngine moved = std::move(engine_);
+  EXPECT_EQ(moved.plan().door_count(), 12u);
+  EXPECT_NEAR(moved.DoorDistance(ids_.d12, ids_.d13), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,85 @@
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+TEST(RectTest, Dimensions) {
+  const Rect r(1, 2, 4, 8);
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 18.0);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 18.0);
+  EXPECT_EQ(r.Center(), Point(2.5, 5));
+}
+
+TEST(RectTest, EmptyRect) {
+  const Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(Rect(0, 0, 1, 1).IsEmpty());
+}
+
+TEST(RectTest, ContainsPoint) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_TRUE(r.Contains({2, 2}));
+  EXPECT_TRUE(r.Contains({0, 0}));   // boundary
+  EXPECT_TRUE(r.Contains({4, 4}));   // boundary
+  EXPECT_FALSE(r.Contains({4.1, 2}));
+  EXPECT_TRUE(r.ContainsStrict({2, 2}));
+  EXPECT_FALSE(r.ContainsStrict({0, 2}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.ContainsRect(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect(Rect(5, 5, 11, 9)));
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a(0, 0, 4, 4);
+  EXPECT_TRUE(a.Intersects(Rect(2, 2, 6, 6)));
+  EXPECT_TRUE(a.Intersects(Rect(4, 0, 8, 4)));  // shared edge
+  EXPECT_FALSE(a.Intersects(Rect(5, 5, 6, 6)));
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  const Rect u = Rect(0, 0, 1, 1).Union(Rect(3, 4, 5, 6));
+  EXPECT_EQ(u, Rect(0, 0, 5, 6));
+  EXPECT_EQ(Rect::Empty().Union(Rect(1, 1, 2, 2)), Rect(1, 1, 2, 2));
+}
+
+TEST(RectTest, ExpandGrowsToPoint) {
+  Rect r = Rect::Empty();
+  r.Expand({3, 4});
+  r.Expand({-1, 2});
+  EXPECT_EQ(r, Rect(-1, 2, 3, 4));
+}
+
+TEST(RectTest, MinDistance) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(r.MinDistance({2, 2}), 0.0);     // inside
+  EXPECT_DOUBLE_EQ(r.MinDistance({7, 2}), 3.0);     // right of
+  EXPECT_DOUBLE_EQ(r.MinDistance({7, 8}), 5.0);     // diagonal corner
+  EXPECT_DOUBLE_EQ(r.MinDistance({4, 4}), 0.0);     // on boundary
+}
+
+TEST(RectTest, MaxDistance) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(r.MaxDistance({0, 0}), std::sqrt(32.0));
+  EXPECT_DOUBLE_EQ(r.MaxDistance({2, 2}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(r.MaxDistance({-3, 0}), std::sqrt(49 + 16));
+}
+
+TEST(RectTest, CircleOverlap) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_TRUE(r.IntersectsCircle({6, 2}, 2.0));
+  EXPECT_FALSE(r.IntersectsCircle({8, 2}, 2.0));
+  EXPECT_TRUE(r.WithinCircle({2, 2}, 3.0));
+  EXPECT_FALSE(r.WithinCircle({2, 2}, 2.0));
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,104 @@
+#include "core/distance/reverse_field.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance/distance_field.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class ReverseFieldTest : public ::testing::Test {
+ protected:
+  ReverseFieldTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        locator_(plan_),
+        ctx_(graph_, locator_) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceContext ctx_;
+};
+
+TEST_F(ReverseFieldTest, InvalidForOutsideTarget) {
+  const ReverseDistanceField field(ctx_, {1000, 1000});
+  EXPECT_FALSE(field.valid());
+  EXPECT_EQ(field.DistanceFrom({1, 1}), kInfDistance);
+}
+
+TEST_F(ReverseFieldTest, MatchesForwardPt2PtEverywhere) {
+  const Point target(4.5, 4.5);  // hallway
+  const ReverseDistanceField field(ctx_, target);
+  Rng rng(251);
+  for (int i = 0; i < 25; ++i) {
+    const PartitionId v = RandomIndoorPartition(plan_, &rng);
+    const Point p = RandomPointInPartition(plan_.partition(v), &rng);
+    EXPECT_NEAR(field.DistanceFrom(v, p),
+                Pt2PtDistanceBasic(ctx_, p, target), 1e-6)
+        << "p=" << p;
+  }
+}
+
+TEST_F(ReverseFieldTest, DiffersFromForwardFieldUnderOneWayDoors) {
+  // Target in room 12 (enterable only via the one-way d15). For a position
+  // in the hallway: TO the target is the long route; FROM the target is
+  // the short exit through d12.
+  const Point target(6, 2);
+  const Point hallway(5, 4.5);
+  const ReverseDistanceField to_target(ctx_, target);
+  const DistanceField from_target(ctx_, target);
+  const double to = to_target.DistanceFrom(hallway);
+  const double from = from_target.DistanceTo(hallway);
+  EXPECT_NEAR(to, Pt2PtDistanceBasic(ctx_, hallway, target), 1e-9);
+  EXPECT_NEAR(from, Pt2PtDistanceBasic(ctx_, target, hallway), 1e-9);
+  EXPECT_GT(to, from + 1.0);  // the asymmetry is material here
+}
+
+TEST_F(ReverseFieldTest, DoorDistancesComposeWithLegs) {
+  const Point target(4.5, 4.5);
+  const ReverseDistanceField field(ctx_, target);
+  // Standing at d11 about to cross into the hallway: just the intra leg.
+  EXPECT_NEAR(field.DistanceFromDoor(ids_.d11),
+              Distance(plan_.door(ids_.d11).Midpoint(), target), 1e-9);
+  // From inside room 11: leg to d11 plus the above.
+  EXPECT_NEAR(field.DistanceFrom(ids_.v11, {2, 2}),
+              2.0 + field.DistanceFromDoor(ids_.d11), 1e-9);
+}
+
+TEST_F(ReverseFieldTest, SamePartitionDirect) {
+  const Point target(4.5, 4.5);
+  const ReverseDistanceField field(ctx_, target);
+  EXPECT_NEAR(field.DistanceFrom({6, 5}),
+              Distance(Point(6, 5), target), 1e-9);
+}
+
+TEST(ReverseFieldGeneratedTest, MatchesForwardOnOneWayBuildings) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 10;
+  config.room_to_room_doors = 0.6;
+  config.one_way_fraction = 0.6;
+  config.obstacle_probability = 0.2;
+  config.seed = 257;
+  const FloorPlan plan = GenerateBuilding(config);
+  const DistanceGraph graph(plan);
+  const PartitionLocator locator(plan);
+  const DistanceContext ctx(graph, locator);
+  Rng rng(263);
+  const Point target = RandomIndoorPosition(plan, &rng);
+  const ReverseDistanceField field(ctx, target);
+  for (int i = 0; i < 20; ++i) {
+    const Point p = RandomIndoorPosition(plan, &rng);
+    EXPECT_NEAR(field.DistanceFrom(p),
+                Pt2PtDistanceVirtual(ctx, p, target), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace indoor

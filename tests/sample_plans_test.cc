@@ -1,0 +1,76 @@
+#include "indoor/sample_plans.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+TEST(RunningExamplePlanTest, BuildsAndExposesIds) {
+  RunningExampleIds ids;
+  const FloorPlan plan = MakeRunningExamplePlan(&ids);
+  EXPECT_EQ(plan.partition(ids.v0).kind(), PartitionKind::kOutdoor);
+  EXPECT_EQ(plan.door(ids.d1).name(), "d1");
+  EXPECT_EQ(plan.door(ids.d24).name(), "d24");
+}
+
+TEST(RunningExamplePlanTest, ObstacleBlocksD22D24LineOfSight) {
+  // Paper §III-C1: ||d22, d24||_v20 is not a Euclidean distance because
+  // entities block the line of sight.
+  RunningExampleIds ids;
+  const FloorPlan plan = MakeRunningExamplePlan(&ids);
+  const Partition& v20 = plan.partition(ids.v20);
+  const Point a = plan.door(ids.d22).Midpoint();
+  const Point b = plan.door(ids.d24).Midpoint();
+  EXPECT_FALSE(v20.footprint().Visible(a, b));
+  EXPECT_GT(v20.IntraDistance(a, b), Distance(a, b) + 1e-9);
+}
+
+TEST(RunningExamplePlanTest, UnblockedPairsRemainEuclidean) {
+  RunningExampleIds ids;
+  const FloorPlan plan = MakeRunningExamplePlan(&ids);
+  const Partition& v20 = plan.partition(ids.v20);
+  const Point a = plan.door(ids.d2).Midpoint();
+  const Point b = plan.door(ids.d22).Midpoint();
+  EXPECT_NEAR(v20.IntraDistance(a, b), Distance(a, b), 1e-9);
+}
+
+TEST(RunningExamplePlanTest, WorksWithoutIdsOut) {
+  const FloorPlan plan = MakeRunningExamplePlan();
+  EXPECT_EQ(plan.partition_count(), 11u);
+}
+
+TEST(ObstacleExamplePlanTest, IntraRoomPathIsMuchLongerThanViaRoom1) {
+  ObstacleExampleIds ids;
+  const FloorPlan plan = MakeObstacleExamplePlan(&ids);
+  const Partition& room2 = plan.partition(ids.room2);
+  const Partition& room1 = plan.partition(ids.room1);
+
+  const double intra = room2.IntraDistance(ids.p, ids.q);
+  ASSERT_NE(intra, kInfDistance);  // the weave exists (paper's C1,C2,C3)
+
+  const Point d7 = plan.door(ids.d7).Midpoint();
+  const Point d8 = plan.door(ids.d8).Midpoint();
+  const double via_room1 = room2.IntraDistance(ids.p, d7) +
+                           room1.IntraDistance(d7, d8) +
+                           room2.IntraDistance(d8, ids.q);
+  // Leaving room 2 and returning through room 1 is the shorter route,
+  // which is why query processing must re-search the host partition.
+  EXPECT_LT(via_room1, intra);
+}
+
+TEST(ObstacleExamplePlanTest, PAndQAreInsideRoom2FreeSpace) {
+  ObstacleExampleIds ids;
+  const FloorPlan plan = MakeObstacleExamplePlan(&ids);
+  EXPECT_TRUE(plan.partition(ids.room2).Contains(ids.p));
+  EXPECT_TRUE(plan.partition(ids.room2).Contains(ids.q));
+}
+
+TEST(ObstacleExamplePlanTest, FourObstacles) {
+  ObstacleExampleIds ids;
+  const FloorPlan plan = MakeObstacleExamplePlan(&ids);
+  EXPECT_EQ(plan.partition(ids.room2).footprint().obstacles().size(), 4u);
+  EXPECT_FALSE(plan.partition(ids.room1).footprint().HasObstacles());
+}
+
+}  // namespace
+}  // namespace indoor

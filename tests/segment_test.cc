@@ -1,0 +1,86 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  const Segment s({0, 0}, {6, 8});
+  EXPECT_DOUBLE_EQ(s.Length(), 10.0);
+  EXPECT_EQ(s.Midpoint(), Point(3, 4));
+}
+
+TEST(DistancePointToSegmentTest, ProjectionInside) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({5, 3}, s), 3.0);
+}
+
+TEST(DistancePointToSegmentTest, ProjectionClampedToEndpoints) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({13, 4}, s), 5.0);
+}
+
+TEST(DistancePointToSegmentTest, DegenerateSegment) {
+  const Segment s({2, 2}, {2, 2});
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({5, 6}, s), 5.0);
+}
+
+TEST(PointOnSegmentTest, OnAndOff) {
+  const Segment s({0, 0}, {4, 4});
+  EXPECT_TRUE(PointOnSegment({2, 2}, s));
+  EXPECT_TRUE(PointOnSegment({0, 0}, s));
+  EXPECT_TRUE(PointOnSegment({4, 4}, s));
+  EXPECT_FALSE(PointOnSegment({2, 2.1}, s));
+  EXPECT_FALSE(PointOnSegment({5, 5}, s));  // collinear but beyond
+}
+
+TEST(ProperIntersectTest, CrossingSegments) {
+  EXPECT_TRUE(SegmentsProperlyIntersect({{0, 0}, {4, 4}}, {{0, 4}, {4, 0}}));
+}
+
+TEST(ProperIntersectTest, TouchingAtEndpointIsNotProper) {
+  EXPECT_FALSE(SegmentsProperlyIntersect({{0, 0}, {2, 2}}, {{2, 2}, {4, 0}}));
+  // T-junction: endpoint of one on the interior of the other.
+  EXPECT_FALSE(SegmentsProperlyIntersect({{0, 0}, {4, 0}}, {{2, 0}, {2, 3}}));
+}
+
+TEST(ProperIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsProperlyIntersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 1}}));
+}
+
+TEST(ProperIntersectTest, CollinearOverlapIsNotProper) {
+  EXPECT_FALSE(SegmentsProperlyIntersect({{0, 0}, {4, 0}}, {{2, 0}, {6, 0}}));
+}
+
+TEST(IntersectTest, IncludesTouches) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 2}}, {{2, 2}, {4, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {4, 0}}, {{2, 0}, {2, 3}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {4, 4}}, {{0, 4}, {4, 0}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+}
+
+TEST(CollinearOverlapTest, OverlappingCollinear) {
+  EXPECT_TRUE(SegmentsCollinearOverlap({{0, 0}, {4, 0}}, {{2, 0}, {6, 0}}));
+  EXPECT_TRUE(SegmentsCollinearOverlap({{0, 0}, {4, 0}}, {{1, 0}, {2, 0}}));
+}
+
+TEST(CollinearOverlapTest, TouchingAtPointIsNotOverlap) {
+  EXPECT_FALSE(SegmentsCollinearOverlap({{0, 0}, {2, 0}}, {{2, 0}, {4, 0}}));
+}
+
+TEST(CollinearOverlapTest, ParallelButOffsetIsNotOverlap) {
+  EXPECT_FALSE(SegmentsCollinearOverlap({{0, 0}, {4, 0}}, {{0, 1}, {4, 1}}));
+}
+
+TEST(CollinearOverlapTest, NonParallelIsNotOverlap) {
+  EXPECT_FALSE(SegmentsCollinearOverlap({{0, 0}, {4, 0}}, {{0, 0}, {4, 1}}));
+}
+
+TEST(CollinearOverlapTest, VerticalOverlap) {
+  EXPECT_TRUE(SegmentsCollinearOverlap({{1, 0}, {1, 5}}, {{1, 3}, {1, 9}}));
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,124 @@
+#include "core/distance/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class ShortestPathTest : public ::testing::Test {
+ protected:
+  ShortestPathTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        locator_(plan_),
+        ctx_(graph_, locator_) {}
+
+  static double PolylineLength(const std::vector<Point>& pts) {
+    double len = 0;
+    for (size_t i = 1; i < pts.size(); ++i) {
+      len += Distance(pts[i - 1], pts[i]);
+    }
+    return len;
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceContext ctx_;
+};
+
+TEST_F(ShortestPathTest, D2dPathSequencesDoorsAndPartitions) {
+  const IndoorPath path = D2dShortestPath(graph_, ids_.d1, ids_.d12);
+  ASSERT_TRUE(path.found());
+  EXPECT_EQ(path.doors,
+            (std::vector<DoorId>{ids_.d1, ids_.d13, ids_.d15, ids_.d12}));
+  EXPECT_EQ(path.partitions,
+            (std::vector<PartitionId>{ids_.v10, ids_.v13, ids_.v12}));
+  EXPECT_NEAR(path.length,
+              std::sqrt(101.0) + std::sqrt(13.0) + std::sqrt(18.0), 1e-9);
+}
+
+TEST_F(ShortestPathTest, D2dUnreachableYieldsNotFound) {
+  // Build the dead-end case inline: see d2d_test for the topology.
+  const IndoorPath path = D2dShortestPath(graph_, ids_.d1, ids_.d1);
+  EXPECT_TRUE(path.found());
+  EXPECT_DOUBLE_EQ(path.length, 0.0);
+  EXPECT_EQ(path.doors, std::vector<DoorId>{ids_.d1});
+}
+
+TEST_F(ShortestPathTest, Pt2PtPathMatchesDistance) {
+  const Point p(11, 1), q(4.5, 4.5);
+  const IndoorPath path = Pt2PtShortestPath(ctx_, p, q);
+  ASSERT_TRUE(path.found());
+  EXPECT_NEAR(path.length, Pt2PtDistanceBasic(ctx_, p, q), 1e-9);
+  EXPECT_EQ(path.doors, (std::vector<DoorId>{ids_.d15, ids_.d12}));
+  EXPECT_EQ(path.partitions,
+            (std::vector<PartitionId>{ids_.v13, ids_.v12, ids_.v10}));
+}
+
+TEST_F(ShortestPathTest, WaypointsStartAndEndAtQueryPositions) {
+  const Point p(11, 1), q(4.5, 4.5);
+  const IndoorPath path = Pt2PtShortestPath(ctx_, p, q);
+  ASSERT_GE(path.waypoints.size(), 2u);
+  EXPECT_EQ(path.waypoints.front(), p);
+  EXPECT_EQ(path.waypoints.back(), q);
+}
+
+TEST_F(ShortestPathTest, UnexpandedPolylineLengthMatchesInConvexPlan) {
+  // Floor-1 partitions are obstacle-free, so door-midpoint waypoints
+  // already realize the walking distance.
+  const Point p(11, 1), q(4.5, 4.5);
+  const IndoorPath path = Pt2PtShortestPath(ctx_, p, q);
+  EXPECT_NEAR(PolylineLength(path.waypoints), path.length, 1e-9);
+}
+
+TEST_F(ShortestPathTest, SamePartitionPathHasNoDoors) {
+  const IndoorPath path = Pt2PtShortestPath(ctx_, {1, 1}, {3, 3});
+  ASSERT_TRUE(path.found());
+  EXPECT_TRUE(path.doors.empty());
+  EXPECT_EQ(path.partitions, std::vector<PartitionId>{ids_.v11});
+  EXPECT_NEAR(path.length, std::sqrt(8.0), 1e-9);
+}
+
+TEST_F(ShortestPathTest, ExpandedWaypointsDetourAroundObstacles) {
+  // Path within v20 from near d2 to near d21 must round the obstacle.
+  const Point p(20.5, 5), q(27.5, 1);
+  const IndoorPath direct = Pt2PtShortestPath(ctx_, p, q, false);
+  const IndoorPath expanded = Pt2PtShortestPath(ctx_, p, q, true);
+  ASSERT_TRUE(direct.found());
+  EXPECT_NEAR(direct.length, expanded.length, 1e-9);
+  // The expanded polyline realizes the obstructed length; the unexpanded
+  // one cuts through the obstacle and is shorter than the true distance.
+  EXPECT_NEAR(PolylineLength(expanded.waypoints), expanded.length, 1e-9);
+  EXPECT_GE(expanded.waypoints.size(), direct.waypoints.size());
+}
+
+TEST_F(ShortestPathTest, PathNotFoundForOutsidePositions) {
+  const IndoorPath path = Pt2PtShortestPath(ctx_, {1000, 1000}, {1, 1});
+  EXPECT_FALSE(path.found());
+  EXPECT_TRUE(path.waypoints.empty());
+}
+
+TEST_F(ShortestPathTest, CrossFloorPathWalksTheStaircase) {
+  const Point p(6, 5);    // floor-1 hallway
+  const Point q(30, 7);   // floor-2 room v21
+  const IndoorPath path = Pt2PtShortestPath(ctx_, p, q);
+  ASSERT_TRUE(path.found());
+  // Must pass through both staircase doors in order.
+  const auto& doors = path.doors;
+  const auto it16 = std::find(doors.begin(), doors.end(), ids_.d16);
+  const auto it2 = std::find(doors.begin(), doors.end(), ids_.d2);
+  ASSERT_NE(it16, doors.end());
+  ASSERT_NE(it2, doors.end());
+  EXPECT_LT(it16 - doors.begin(), it2 - doors.begin());
+  // The staircase partition appears between them.
+  const auto itv = std::find(path.partitions.begin(), path.partitions.end(),
+                             ids_.v50);
+  EXPECT_NE(itv, path.partitions.end());
+}
+
+}  // namespace
+}  // namespace indoor

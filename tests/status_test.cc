@@ -1,0 +1,121 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace indoor {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status st = Status::NotFound("no such door");
+  EXPECT_EQ(st.ToString(), "NotFound: no such door");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::ParseError("a"));
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::ParseError("line 3");
+  EXPECT_EQ(os.str(), "ParseError: line 3");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    INDOOR_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto outer = []() -> Status {
+    INDOOR_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok(7);
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = []() -> Result<int> { return 5; };
+  auto fail = []() -> Result<int> { return Status::IOError("disk"); };
+  auto chain = [&](bool use_fail) -> Result<int> {
+    INDOOR_ASSIGN_OR_RETURN(int v, use_fail ? fail() : produce());
+    return v * 2;
+  };
+  EXPECT_EQ(chain(false).value(), 10);
+  EXPECT_EQ(chain(true).status().code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace indoor

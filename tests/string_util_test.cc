@@ -1,0 +1,83 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = Split("a b c", ' ');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("partition x", "partition"));
+  EXPECT_FALSE(StartsWith("part", "partition"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_TRUE(ParseDouble(" 7 ", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("1.5 2.5", &v));
+}
+
+TEST(ParseUint32Test, ParsesValid) {
+  uint32_t v = 0;
+  EXPECT_TRUE(ParseUint32("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint32("4294967295", &v));
+  EXPECT_EQ(v, 4294967295u);
+}
+
+TEST(ParseUint32Test, RejectsInvalid) {
+  uint32_t v = 0;
+  EXPECT_FALSE(ParseUint32("", &v));
+  EXPECT_FALSE(ParseUint32("-1", &v));
+  EXPECT_FALSE(ParseUint32("4294967296", &v));  // overflow
+  EXPECT_FALSE(ParseUint32("12.5", &v));
+  EXPECT_FALSE(ParseUint32("abc", &v));
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,177 @@
+// Time-parameterized range/kNN/shortest-path queries against per-object
+// temporal oracles.
+
+#include "core/query/temporal_query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+/// Oracle: exact per-object temporal distances via Pt2PtDistanceAtTime.
+std::vector<ObjectId> OracleRangeAtTime(const IndexFramework& index,
+                                        const DoorSchedule& schedule,
+                                        double time, const Point& q,
+                                        double r) {
+  std::vector<ObjectId> out;
+  const auto ctx = index.distance_context();
+  for (const IndoorObject& obj : index.objects().objects()) {
+    if (Pt2PtDistanceAtTime(ctx, schedule, time, q, obj.position) <= r) {
+      out.push_back(obj.id);
+    }
+  }
+  return out;
+}
+
+class TemporalQueryTest : public ::testing::Test {
+ protected:
+  TemporalQueryTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        index_(plan_),
+        schedule_(plan_.door_count()) {}
+
+  ObjectId Add(PartitionId v, Point p) {
+    auto id = index_.objects().Insert(v, p);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value();
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+  DoorSchedule schedule_;
+};
+
+TEST_F(TemporalQueryTest, AllOpenMatchesUntimedQueries) {
+  Rng rng(71);
+  PopulateStore(GenerateObjects(plan_, 60, &rng), &index_.objects());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q = RandomIndoorPosition(plan_, &rng);
+    EXPECT_EQ(RangeQueryAtTime(index_, schedule_, 0.0, q, 20.0),
+              RangeQuery(index_, q, 20.0));
+    const auto timed = KnnQueryAtTime(index_, schedule_, 0.0, q, 7);
+    const auto untimed = KnnQuery(index_, q, 7);
+    ASSERT_EQ(timed.size(), untimed.size());
+    for (size_t i = 0; i < timed.size(); ++i) {
+      EXPECT_NEAR(timed[i].distance, untimed[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_F(TemporalQueryTest, ClosedDoorShrinksRangeResult) {
+  const ObjectId far_obj = Add(ids_.v12, {6, 2});
+  // From the hallway, room 12 is reachable only through d13 then d15.
+  const Point q(5, 4.5);
+  ASSERT_EQ(RangeQueryAtTime(index_, schedule_, 0.0, q, 12.0),
+            std::vector<ObjectId>{far_obj});
+  schedule_.Close(ids_.d13);
+  EXPECT_TRUE(RangeQueryAtTime(index_, schedule_, 0.0, q, 12.0).empty());
+}
+
+TEST_F(TemporalQueryTest, ClosedDoorLengthensKnnDistance) {
+  Add(ids_.v21, {30, 4});
+  const Point q(21, 1);  // in v20
+  const auto open_result = KnnQueryAtTime(index_, schedule_, 0.0, q, 1);
+  ASSERT_EQ(open_result.size(), 1u);
+  schedule_.Close(ids_.d21);  // force the d24 detour
+  const auto closed_result = KnnQueryAtTime(index_, schedule_, 0.0, q, 1);
+  ASSERT_EQ(closed_result.size(), 1u);
+  EXPECT_GT(closed_result[0].distance, open_result[0].distance);
+}
+
+TEST_F(TemporalQueryTest, UnreachableObjectsDropOut) {
+  Add(ids_.v21, {30, 4});
+  schedule_.Close(ids_.d21);
+  schedule_.Close(ids_.d24);  // v21 fully sealed
+  EXPECT_TRUE(
+      KnnQueryAtTime(index_, schedule_, 0.0, {21, 1}, 1).empty());
+  EXPECT_TRUE(
+      RangeQueryAtTime(index_, schedule_, 0.0, {21, 1}, 1000.0).empty());
+}
+
+TEST_F(TemporalQueryTest, MatchesOracleUnderRandomSchedules) {
+  Rng rng(73);
+  PopulateStore(GenerateObjects(plan_, 40, &rng), &index_.objects());
+  // Random schedule: every door open in [100, 200), a third closed outside.
+  for (DoorId d = 0; d < plan_.door_count(); ++d) {
+    if (rng.NextBool(0.33)) {
+      schedule_.SetOpenIntervals(d, {{100, 200}});
+    }
+  }
+  for (double t : {50.0, 150.0}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const Point q = RandomIndoorPosition(plan_, &rng);
+      EXPECT_EQ(RangeQueryAtTime(index_, schedule_, t, q, 18.0),
+                OracleRangeAtTime(index_, schedule_, t, q, 18.0))
+          << "t=" << t << " q=" << q;
+    }
+  }
+}
+
+TEST_F(TemporalQueryTest, PathAtTimeAvoidsClosedDoors) {
+  const Point p(21, 1), q(30, 1);
+  const auto ctx = index_.distance_context();
+  const IndoorPath open_path =
+      Pt2PtShortestPathAtTime(ctx, schedule_, 0.0, p, q);
+  ASSERT_TRUE(open_path.found());
+  EXPECT_EQ(open_path.doors, std::vector<DoorId>{ids_.d21});
+  schedule_.Close(ids_.d21);
+  const IndoorPath detour =
+      Pt2PtShortestPathAtTime(ctx, schedule_, 0.0, p, q);
+  ASSERT_TRUE(detour.found());
+  EXPECT_EQ(detour.doors, std::vector<DoorId>{ids_.d24});
+  EXPECT_GT(detour.length, open_path.length);
+}
+
+TEST_F(TemporalQueryTest, PathAtTimeMatchesDistanceAtTime) {
+  schedule_.SetOpenIntervals(ids_.d16, {{0, 1000}});
+  const Point p(6, 5), q(30, 7);
+  const auto ctx = index_.distance_context();
+  const IndoorPath path =
+      Pt2PtShortestPathAtTime(ctx, schedule_, 500.0, p, q);
+  EXPECT_NEAR(path.length,
+              Pt2PtDistanceAtTime(ctx, schedule_, 500.0, p, q), 1e-9);
+  // After hours the staircase is shut: no path.
+  EXPECT_FALSE(
+      Pt2PtShortestPathAtTime(ctx, schedule_, 1500.0, p, q).found());
+}
+
+TEST_F(TemporalQueryTest, SamePartitionPathIgnoresSchedules) {
+  schedule_.Close(ids_.d11);
+  const auto ctx = index_.distance_context();
+  const IndoorPath path =
+      Pt2PtShortestPathAtTime(ctx, schedule_, 0.0, {1, 1}, {3, 3});
+  ASSERT_TRUE(path.found());
+  EXPECT_TRUE(path.doors.empty());
+  EXPECT_NEAR(path.length, std::sqrt(8.0), 1e-9);
+}
+
+TEST(TemporalQueryGeneratedTest, RangeMatchesOracleOnGeneratedBuilding) {
+  BuildingConfig config;
+  config.floors = 2;
+  config.rooms_per_floor = 8;
+  config.seed = 79;
+  FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan);
+  Rng rng(83);
+  PopulateStore(GenerateObjects(plan, 80, &rng), &index.objects());
+  DoorSchedule schedule(plan.door_count());
+  for (DoorId d = 0; d < plan.door_count(); ++d) {
+    if (rng.NextBool(0.25)) schedule.Close(d);
+  }
+  for (int trial = 0; trial < 6; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &rng);
+    EXPECT_EQ(RangeQueryAtTime(index, schedule, 0.0, q, 25.0),
+              OracleRangeAtTime(index, schedule, 0.0, q, 25.0));
+  }
+}
+
+}  // namespace
+}  // namespace indoor

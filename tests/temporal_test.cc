@@ -1,0 +1,124 @@
+// Temporal extension: door schedules and time-parameterized distances.
+
+#include "core/query/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance/d2d_distance.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class TemporalTest : public ::testing::Test {
+ protected:
+  TemporalTest()
+      : plan_(MakeRunningExamplePlan(&ids_)),
+        graph_(plan_),
+        locator_(plan_),
+        ctx_(graph_, locator_),
+        schedule_(plan_.door_count()) {}
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  DistanceGraph graph_;
+  PartitionLocator locator_;
+  DistanceContext ctx_;
+  DoorSchedule schedule_;
+};
+
+TEST_F(TemporalTest, UnscheduledDoorsAreAlwaysOpen) {
+  EXPECT_TRUE(schedule_.IsOpen(ids_.d1, 0.0));
+  EXPECT_TRUE(schedule_.IsOpen(ids_.d1, 86399.0));
+}
+
+TEST_F(TemporalTest, IntervalsDefineOpenness) {
+  schedule_.SetOpenIntervals(ids_.d13, {{28800, 61200}});  // 8:00-17:00
+  EXPECT_FALSE(schedule_.IsOpen(ids_.d13, 28799));
+  EXPECT_TRUE(schedule_.IsOpen(ids_.d13, 28800));  // half-open: begin in
+  EXPECT_TRUE(schedule_.IsOpen(ids_.d13, 50000));
+  EXPECT_FALSE(schedule_.IsOpen(ids_.d13, 61200));  // end out
+}
+
+TEST_F(TemporalTest, MultipleIntervalsActAsUnion) {
+  schedule_.SetOpenIntervals(ids_.d13, {{0, 100}, {200, 300}});
+  EXPECT_TRUE(schedule_.IsOpen(ids_.d13, 50));
+  EXPECT_FALSE(schedule_.IsOpen(ids_.d13, 150));
+  EXPECT_TRUE(schedule_.IsOpen(ids_.d13, 250));
+}
+
+TEST_F(TemporalTest, CloseMakesDoorPermanentlyClosed) {
+  schedule_.Close(ids_.d13);
+  EXPECT_FALSE(schedule_.IsOpen(ids_.d13, 0));
+  EXPECT_FALSE(schedule_.IsOpen(ids_.d13, 1e9));
+}
+
+TEST_F(TemporalTest, AllOpenMatchesUntimedDistance) {
+  EXPECT_NEAR(D2dDistanceAtTime(graph_, schedule_, 0.0, ids_.d1, ids_.d12),
+              D2dDistance(graph_, ids_.d1, ids_.d12), 1e-9);
+}
+
+TEST_F(TemporalTest, ClosingTheOnlyRouteDisconnects) {
+  // d13 is the only way into room 13, which is the only way to reach d15
+  // and then d12's leaveable side.
+  schedule_.Close(ids_.d13);
+  EXPECT_EQ(D2dDistanceAtTime(graph_, schedule_, 0.0, ids_.d1, ids_.d12),
+            kInfDistance);
+  // Other routes unaffected.
+  EXPECT_NE(D2dDistanceAtTime(graph_, schedule_, 0.0, ids_.d1, ids_.d16),
+            kInfDistance);
+}
+
+TEST_F(TemporalTest, ClosedDoorForcesDetour) {
+  // Closing d21 forces v20 -> v21 traffic through d24.
+  const double open =
+      Pt2PtDistanceAtTime(ctx_, schedule_, 0.0, {21, 1}, {30, 1});
+  schedule_.Close(ids_.d21);
+  const double closed =
+      Pt2PtDistanceAtTime(ctx_, schedule_, 0.0, {21, 1}, {30, 1});
+  ASSERT_NE(closed, kInfDistance);
+  EXPECT_GT(closed, open);
+}
+
+TEST_F(TemporalTest, TemporalDistanceDominatesUntimed) {
+  // Removing doors can only lengthen (or disconnect) shortest paths.
+  schedule_.SetOpenIntervals(ids_.d16, {{0, 100}});
+  for (double t : {50.0, 150.0}) {
+    const double timed =
+        Pt2PtDistanceAtTime(ctx_, schedule_, t, {6, 5}, {30, 7});
+    const double untimed = Pt2PtDistanceBasic(ctx_, {6, 5}, {30, 7});
+    if (timed != kInfDistance) {
+      EXPECT_GE(timed, untimed - 1e-9);
+    }
+  }
+}
+
+TEST_F(TemporalTest, StaircaseClosureCutsFloors) {
+  // The single staircase is the only inter-floor link.
+  schedule_.Close(ids_.d16);
+  EXPECT_EQ(Pt2PtDistanceAtTime(ctx_, schedule_, 0.0, {6, 5}, {30, 7}),
+            kInfDistance);
+}
+
+TEST_F(TemporalTest, ClosedSourceDoorBlocksDeparture) {
+  schedule_.Close(ids_.d11);  // room 11's only door
+  EXPECT_EQ(Pt2PtDistanceAtTime(ctx_, schedule_, 0.0, {1, 1}, {6, 5}),
+            kInfDistance);
+  // Same-partition queries still work.
+  EXPECT_NEAR(Pt2PtDistanceAtTime(ctx_, schedule_, 0.0, {1, 1}, {3, 3}),
+              std::sqrt(8.0), 1e-9);
+}
+
+TEST_F(TemporalTest, ReopeningRestoresDistance) {
+  const double before =
+      Pt2PtDistanceAtTime(ctx_, schedule_, 0.0, {1, 1}, {6, 5});
+  schedule_.Close(ids_.d11);
+  schedule_.SetOpenIntervals(ids_.d11, {{100, 200}});
+  EXPECT_EQ(Pt2PtDistanceAtTime(ctx_, schedule_, 50.0, {1, 1}, {6, 5}),
+            kInfDistance);
+  EXPECT_NEAR(Pt2PtDistanceAtTime(ctx_, schedule_, 150.0, {1, 1}, {6, 5}),
+              before, 1e-9);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,173 @@
+// Moving objects: trajectory simulation, index maintenance under movement,
+// and continuous range monitoring.
+
+#include <gtest/gtest.h>
+
+#include "baseline/linear_scan.h"
+#include "core/query/range_query.h"
+#include "gen/building_generator.h"
+#include "tracking/monitor.h"
+
+namespace indoor {
+namespace {
+
+struct World {
+  World()
+      : plan(GenerateBuilding(Config())),
+        index(plan),
+        ctx(index.distance_context()) {
+    Rng rng(7);
+    PopulateStore(GenerateObjects(plan, 30, &rng), &index.objects());
+  }
+
+  static BuildingConfig Config() {
+    BuildingConfig config;
+    config.floors = 2;
+    config.rooms_per_floor = 8;
+    config.seed = 121;
+    return config;
+  }
+
+  FloorPlan plan;
+  IndexFramework index;
+  DistanceContext ctx;
+};
+
+TEST(TrajectoryTest, ReportsStayInsideTheirPartitions) {
+  World world;
+  TrajectorySimulator sim(world.ctx, world.index.objects());
+  for (int tick = 0; tick < 20; ++tick) {
+    for (const PositionReport& report : sim.Step(1.0)) {
+      EXPECT_TRUE(
+          world.plan.partition(report.partition).Contains(report.position))
+          << "object " << report.id << " at " << report.position;
+      EXPECT_FALSE(world.plan.partition(report.partition).IsOutdoor());
+    }
+  }
+}
+
+TEST(TrajectoryTest, AgentsActuallyMove) {
+  World world;
+  TrajectorySimulator sim(world.ctx, world.index.objects());
+  // Snapshot initial positions.
+  std::vector<Point> initial;
+  for (const IndoorObject& obj : world.index.objects().objects()) {
+    initial.push_back(obj.position);
+  }
+  // Advance one minute of simulated walking.
+  std::vector<PositionReport> last;
+  for (int tick = 0; tick < 60; ++tick) {
+    auto reports = sim.Step(1.0);
+    if (!reports.empty()) last = std::move(reports);
+  }
+  ASSERT_FALSE(last.empty());
+  size_t displaced = 0;
+  for (const PositionReport& report : last) {
+    if (Distance(initial[report.id], report.position) > 1.0) ++displaced;
+  }
+  EXPECT_GT(displaced, last.size() / 2);  // most agents wandered off
+}
+
+TEST(TrajectoryTest, StepSpeedBoundsDisplacement) {
+  World world;
+  TrajectoryConfig config;
+  config.speed = 1.4;
+  config.pause = 0.0;
+  TrajectorySimulator sim(world.ctx, world.index.objects(), config);
+  std::vector<Point> prev;
+  for (const IndoorObject& obj : world.index.objects().objects()) {
+    prev.push_back(obj.position);
+  }
+  for (int tick = 0; tick < 10; ++tick) {
+    for (const PositionReport& report : sim.Step(0.5)) {
+      // Straight-line displacement can never exceed walked distance.
+      EXPECT_LE(Distance(prev[report.id], report.position),
+                config.speed * 0.5 + 1e-9);
+      prev[report.id] = report.position;
+    }
+  }
+}
+
+TEST(TrajectoryTest, ApplyReportsKeepsStoreConsistentWithQueries) {
+  World world;
+  TrajectorySimulator sim(world.ctx, world.index.objects());
+  Rng rng(11);
+  for (int tick = 0; tick < 10; ++tick) {
+    ApplyReports(sim.Step(2.0), &world.index.objects());
+    // Indexed queries still agree with the oracle after maintenance.
+    const Point q(10, 5);
+    EXPECT_EQ(RangeQuery(world.index, q, 25.0),
+              LinearScanRange(world.ctx, world.index.objects(), q, 25.0))
+        << "tick " << tick;
+  }
+}
+
+TEST(MonitorTest, InitialMembershipMatchesRangeQuery) {
+  World world;
+  const Point q(10, 5);
+  ContinuousRangeMonitor monitor(world.ctx, world.index.objects(), q, 20.0);
+  EXPECT_EQ(monitor.Members(),
+            LinearScanRange(world.ctx, world.index.objects(), q, 20.0));
+}
+
+TEST(MonitorTest, TracksMembershipUnderMovement) {
+  World world;
+  const Point q(10, 5);
+  const double r = 20.0;
+  ContinuousRangeMonitor monitor(world.ctx, world.index.objects(), q, r);
+  TrajectorySimulator sim(world.ctx, world.index.objects());
+  for (int tick = 0; tick < 15; ++tick) {
+    const auto reports = sim.Step(2.0);
+    for (const PositionReport& report : reports) monitor.OnReport(report);
+    ApplyReports(reports, &world.index.objects());
+    EXPECT_EQ(monitor.Members(),
+              LinearScanRange(world.ctx, world.index.objects(), q, r))
+        << "tick " << tick;
+  }
+}
+
+TEST(MonitorTest, OnReportSignalsMembershipChanges) {
+  World world;
+  // Object 0's partition/point.
+  const IndoorObject obj = world.index.objects().object(0);
+  const Point q = obj.position;
+  ContinuousRangeMonitor monitor(world.ctx, world.index.objects(), q, 1.0);
+  ASSERT_TRUE(monitor.Contains(0));
+  // Move object 0 far away: membership change signaled once.
+  PartitionId far_part = kInvalidId;
+  for (const Partition& part : world.plan.partitions()) {
+    if (!part.IsOutdoor() && part.floor() == 2 &&
+        part.kind() == PartitionKind::kRoom) {
+      far_part = part.id();
+      break;
+    }
+  }
+  ASSERT_NE(far_part, kInvalidId);
+  const Point far_point =
+      world.plan.partition(far_part).footprint().outer().BoundingBox().Center();
+  PositionReport report{0, far_part, far_point};
+  EXPECT_TRUE(monitor.OnReport(report));
+  EXPECT_FALSE(monitor.Contains(0));
+  EXPECT_FALSE(monitor.OnReport(report));  // no further change
+  // And back.
+  EXPECT_TRUE(monitor.OnReport({0, obj.partition, obj.position}));
+  EXPECT_TRUE(monitor.Contains(0));
+}
+
+TEST(MonitorTest, DeterministicSimulation) {
+  World a, b;
+  TrajectorySimulator sim_a(a.ctx, a.index.objects());
+  TrajectorySimulator sim_b(b.ctx, b.index.objects());
+  for (int tick = 0; tick < 5; ++tick) {
+    const auto ra = sim_a.Step(1.0);
+    const auto rb = sim_b.Step(1.0);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].id, rb[i].id);
+      EXPECT_TRUE(ApproxEqual(ra[i].position, rb[i].position));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,156 @@
+#include "geometry/visibility_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace indoor {
+namespace {
+
+ObstructedRegion RoomWithPillar() {
+  // 10x10 room with a 2x2 pillar in the middle.
+  auto region = ObstructedRegion::Create(
+      Polygon::FromRect(Rect(0, 0, 10, 10)),
+      {Polygon::FromRect(Rect(4, 4, 6, 6))});
+  EXPECT_TRUE(region.ok());
+  return std::move(region).value();
+}
+
+TEST(ObstructedRegionTest, RejectsObstacleOutsideFootprint) {
+  const auto result = ObstructedRegion::Create(
+      Polygon::FromRect(Rect(0, 0, 4, 4)),
+      {Polygon::FromRect(Rect(3, 3, 6, 6))});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ObstructedRegionTest, RejectsOverlappingObstacles) {
+  const auto result = ObstructedRegion::Create(
+      Polygon::FromRect(Rect(0, 0, 10, 10)),
+      {Polygon::FromRect(Rect(2, 2, 5, 5)),
+       Polygon::FromRect(Rect(4, 4, 7, 7))});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ObstructedRegionTest, ContainsRespectsObstacles) {
+  const ObstructedRegion region = RoomWithPillar();
+  EXPECT_TRUE(region.Contains({1, 1}));
+  EXPECT_FALSE(region.Contains({5, 5}));   // inside the pillar
+  EXPECT_TRUE(region.Contains({4, 5}));    // on the pillar wall: walkable
+  EXPECT_FALSE(region.Contains({11, 5}));  // outside the footprint
+}
+
+TEST(ObstructedRegionTest, VisibilityBlockedByObstacle) {
+  const ObstructedRegion region = RoomWithPillar();
+  EXPECT_FALSE(region.Visible({1, 5}, {9, 5}));  // straight through pillar
+  EXPECT_TRUE(region.Visible({1, 1}, {9, 1}));   // below the pillar
+  EXPECT_TRUE(region.Visible({1, 5}, {3, 5}));   // stops before the pillar
+}
+
+TEST(ObstructedRegionTest, UnobstructedDistanceIsEuclidean) {
+  const ObstructedRegion region =
+      ObstructedRegion::FromPolygon(Polygon::FromRect(Rect(0, 0, 10, 10)));
+  EXPECT_DOUBLE_EQ(region.Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_FALSE(region.HasObstacles());
+}
+
+TEST(ObstructedRegionTest, DetourAroundPillar) {
+  const ObstructedRegion region = RoomWithPillar();
+  const double d = region.Distance({1, 5}, {9, 5});
+  // Symmetric detour under the pillar: two diagonal legs to the bottom
+  // corners (each sqrt(3^2 + 1^2)) plus 2 m along the pillar face.
+  EXPECT_NEAR(d, 2.0 * std::sqrt(10.0) + 2.0, 1e-9);
+  EXPECT_GT(d, 8.0);  // strictly longer than the straight line
+}
+
+TEST(ObstructedRegionTest, ShortestPathWaypointsHugObstacleCorner) {
+  const ObstructedRegion region = RoomWithPillar();
+  const auto path = region.ShortestPath({1, 5}, {9, 5});
+  ASSERT_EQ(path.size(), 4u);  // start, two pillar corners, end
+  EXPECT_EQ(path.front(), Point(1, 5));
+  EXPECT_EQ(path.back(), Point(9, 5));
+  double len = 0;
+  for (size_t i = 1; i < path.size(); ++i) {
+    len += Distance(path[i - 1], path[i]);
+  }
+  EXPECT_NEAR(len, region.Distance({1, 5}, {9, 5}), 1e-9);
+}
+
+TEST(ObstructedRegionTest, VisiblePathReturnsDirectSegment) {
+  const ObstructedRegion region = RoomWithPillar();
+  const auto path = region.ShortestPath({1, 1}, {9, 1});
+  ASSERT_EQ(path.size(), 2u);
+}
+
+TEST(ObstructedRegionTest, GrazingAlongObstacleEdgeIsAllowed) {
+  const ObstructedRegion region = RoomWithPillar();
+  // Sliding along the pillar's bottom face (free space below).
+  EXPECT_TRUE(region.Visible({4, 4}, {6, 4}));
+}
+
+TEST(ObstructedRegionTest, FlushObstacleBlocksWallCorridor) {
+  // Obstacle flush against the top wall: no corridor along that wall.
+  auto region = ObstructedRegion::Create(
+      Polygon::FromRect(Rect(0, 0, 12, 6)),
+      {Polygon::FromRect(Rect(4, 1, 8, 6))});
+  ASSERT_TRUE(region.ok());
+  EXPECT_FALSE(region.value().Visible({0.5, 6}, {11.5, 6}));
+  // The detour must round the obstacle's bottom corners (4,1) and (8,1):
+  // two diagonal legs of sqrt(3.5^2 + 5^2) plus 4 m along the bottom face.
+  const double d = region.value().Distance({0.5, 6}, {11.5, 6});
+  EXPECT_NEAR(d, 2.0 * std::sqrt(3.5 * 3.5 + 25.0) + 4.0, 1e-9);
+}
+
+TEST(ObstructedRegionTest, DisconnectedFreeSpaceIsInfinite) {
+  // A slab spanning wall to wall splits the room.
+  auto region = ObstructedRegion::Create(
+      Polygon::FromRect(Rect(0, 0, 12, 6)),
+      {Polygon::FromRect(Rect(5, 0, 7, 6))});
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region.value().Distance({1, 3}, {11, 3}), kInfDistance);
+  EXPECT_TRUE(region.value().ShortestPath({1, 3}, {11, 3}).empty());
+}
+
+TEST(ObstructedRegionTest, MaxDistanceFromConvexNoObstacles) {
+  const ObstructedRegion region =
+      ObstructedRegion::FromPolygon(Polygon::FromRect(Rect(0, 0, 6, 8)));
+  EXPECT_DOUBLE_EQ(region.MaxDistanceFrom({0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(region.MaxDistanceFrom({3, 4}), 5.0);
+}
+
+TEST(ObstructedRegionTest, MaxDistanceGrowsWithObstacles) {
+  const ObstructedRegion plain =
+      ObstructedRegion::FromPolygon(Polygon::FromRect(Rect(0, 0, 10, 10)));
+  const ObstructedRegion pillar = RoomWithPillar();
+  // Obstacles can only lengthen geodesics.
+  EXPECT_GE(pillar.MaxDistanceFrom({1, 5}), plain.MaxDistanceFrom({1, 5}));
+}
+
+TEST(ObstructedRegionTest, NonConvexFootprintUsesReflexVertices) {
+  // U-shaped footprint: going from one arm tip to the other must round the
+  // two reflex corners.
+  auto outer = Polygon::Create({{0, 0},
+                                {9, 0},
+                                {9, 6},
+                                {6, 6},
+                                {6, 2},
+                                {3, 2},
+                                {3, 6},
+                                {0, 6}});
+  ASSERT_TRUE(outer.ok());
+  const ObstructedRegion region =
+      ObstructedRegion::FromPolygon(std::move(outer).value());
+  const Point a(1.5, 5.5), b(7.5, 5.5);
+  EXPECT_FALSE(region.Visible(a, b));
+  const double expected = Distance(a, Point(3, 2)) +
+                          Distance(Point(3, 2), Point(6, 2)) +
+                          Distance(Point(6, 2), b);
+  EXPECT_NEAR(region.Distance(a, b), expected, 1e-9);
+}
+
+TEST(ObstructedRegionTest, DistanceSymmetry) {
+  const ObstructedRegion region = RoomWithPillar();
+  const Point a(1, 5), b(9, 6.5);
+  EXPECT_NEAR(region.Distance(a, b), region.Distance(b, a), 1e-9);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -1,0 +1,107 @@
+#include "core/query/window_query.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+class WindowQueryTest : public ::testing::Test {
+ protected:
+  WindowQueryTest() : plan_(MakeRunningExamplePlan(&ids_)), index_(plan_) {}
+
+  ObjectId Add(PartitionId v, Point p) {
+    auto id = index_.objects().Insert(v, p);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value();
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+};
+
+TEST_F(WindowQueryTest, FindsObjectsInsideTheWindow) {
+  const ObjectId in1 = Add(ids_.v11, {1, 1});
+  const ObjectId in2 = Add(ids_.v12, {5, 1});
+  Add(ids_.v21, {30, 4});  // far outside
+  const auto result = WindowQuery(index_, Rect(0, 0, 8, 4));
+  EXPECT_EQ(result, (std::vector<ObjectId>{in1, in2}));
+}
+
+TEST_F(WindowQueryTest, ClosedBoundaries) {
+  const ObjectId on_edge = Add(ids_.v11, {4, 2});
+  EXPECT_EQ(WindowQuery(index_, Rect(0, 0, 4, 4)),
+            std::vector<ObjectId>{on_edge});
+  EXPECT_EQ(WindowQuery(index_, Rect(4, 2, 5, 3)),
+            std::vector<ObjectId>{on_edge});
+}
+
+TEST_F(WindowQueryTest, EmptyWindowAndEmptyStore) {
+  EXPECT_TRUE(WindowQuery(index_, Rect(0, 0, 40, 15)).empty());
+  Add(ids_.v11, {1, 1});
+  EXPECT_TRUE(WindowQuery(index_, Rect(100, 100, 110, 110)).empty());
+}
+
+TEST_F(WindowQueryTest, CrossesPartitionAndFloorBands) {
+  const ObjectId a = Add(ids_.v13, {11, 1});
+  const ObjectId b = Add(ids_.v10, {11, 5});
+  const ObjectId c = Add(ids_.v50, {13, 5});
+  const auto result = WindowQuery(index_, Rect(10, 0, 14, 6));
+  EXPECT_EQ(result, (std::vector<ObjectId>{a, b, c}));
+}
+
+TEST_F(WindowQueryTest, CountMatchesQuerySize) {
+  Rng rng(269);
+  PopulateStore(GenerateObjects(plan_, 60, &rng), &index_.objects());
+  for (const Rect& window :
+       {Rect(0, 0, 12, 6), Rect(20, 0, 32, 12), Rect(-5, -5, 37, 15),
+        Rect(3, 3, 5, 5)}) {
+    EXPECT_EQ(WindowCount(index_, window),
+              WindowQuery(index_, window).size());
+  }
+}
+
+TEST_F(WindowQueryTest, MatchesBruteForce) {
+  Rng rng(271);
+  PopulateStore(GenerateObjects(plan_, 80, &rng), &index_.objects());
+  for (int trial = 0; trial < 15; ++trial) {
+    const double x = rng.NextDouble(-5, 30);
+    const double y = rng.NextDouble(-5, 10);
+    const Rect window(x, y, x + rng.NextDouble(1, 15),
+                      y + rng.NextDouble(1, 8));
+    std::vector<ObjectId> expect;
+    for (const IndoorObject& obj : index_.objects().objects()) {
+      if (window.Contains(obj.position)) expect.push_back(obj.id);
+    }
+    EXPECT_EQ(WindowQuery(index_, window), expect);
+  }
+}
+
+TEST(WindowQueryGeneratedTest, ViewportOverGeneratedBuilding) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 10;
+  config.seed = 277;
+  FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan);
+  Rng rng(281);
+  PopulateStore(GenerateObjects(plan, 500, &rng), &index.objects());
+  // Whole-building window returns everything.
+  Rect all = Rect::Empty();
+  for (const Partition& part : plan.partitions()) {
+    all = all.Union(part.footprint().outer().BoundingBox());
+  }
+  EXPECT_EQ(WindowQuery(index, all).size(), 500u);
+  // A floor-1 band returns only floor-1 objects.
+  const Rect band(all.lo.x, all.lo.y, all.hi.x, all.lo.y + 10);
+  for (ObjectId id : WindowQuery(index, band)) {
+    EXPECT_LE(index.objects().object(id).position.y, all.lo.y + 10);
+  }
+}
+
+}  // namespace
+}  // namespace indoor

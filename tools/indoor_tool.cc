@@ -1,0 +1,261 @@
+// indoor_tool: command-line access to the library — generate buildings,
+// validate/inspect plan files, compute distances and paths, run queries,
+// and precompute/persist the distance matrix.
+//
+//   indoor_tool gen --floors 10 --rooms 30 --out plan.txt
+//   indoor_tool info plan.txt
+//   indoor_tool validate plan.txt
+//   indoor_tool distance plan.txt <x1> <y1> <x2> <y2>
+//   indoor_tool path plan.txt <x1> <y1> <x2> <y2>
+//   indoor_tool range plan.txt <x> <y> <r> [--objects N] [--seed S]
+//   indoor_tool knn plan.txt <x> <y> <k> [--objects N] [--seed S]
+//   indoor_tool matrix plan.txt <out.bin>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/index/index_io.h"
+#include "core/model/accessibility_graph.h"
+#include "core/query/query_engine.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "indoor/floor_plan_io.h"
+#include "util/timer.h"
+
+using namespace indoor;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  indoor_tool gen --out PLAN [--floors N] [--rooms N] [--seed S]\n"
+      "                  [--r2r P] [--oneway P] [--parallel-stairs]\n"
+      "  indoor_tool info PLAN\n"
+      "  indoor_tool validate PLAN\n"
+      "  indoor_tool distance PLAN X1 Y1 X2 Y2\n"
+      "  indoor_tool path PLAN X1 Y1 X2 Y2\n"
+      "  indoor_tool range PLAN X Y R [--objects N] [--seed S]\n"
+      "  indoor_tool knn PLAN X Y K [--objects N] [--seed S]\n"
+      "  indoor_tool matrix PLAN OUT.bin\n");
+  return 2;
+}
+
+/// Minimal flag parsing: positional args plus --key [value] pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  double Num(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::string Str(const std::string& key, std::string fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (key == "parallel-stairs") {
+        args.flags[key] = "1";
+      } else if (i + 1 < argc) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "";
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+Result<FloorPlan> LoadOrFail(const std::string& path) {
+  auto plan = LoadFloorPlan(path);
+  if (!plan.ok()) {
+    std::cerr << "error: " << plan.status() << "\n";
+  }
+  return plan;
+}
+
+int CmdGen(const Args& args) {
+  const std::string out = args.Str("out", "");
+  if (out.empty()) {
+    std::cerr << "gen: --out is required\n";
+    return 2;
+  }
+  BuildingConfig config;
+  config.floors = static_cast<int>(args.Num("floors", 10));
+  config.rooms_per_floor = static_cast<int>(args.Num("rooms", 30));
+  config.seed = static_cast<uint64_t>(args.Num("seed", 42));
+  config.room_to_room_doors = args.Num("r2r", 0.0);
+  config.one_way_fraction = args.Num("oneway", 0.0);
+  config.parallel_staircases = args.Has("parallel-stairs");
+  const FloorPlan plan = GenerateBuilding(config);
+  const Status st = SaveFloorPlan(plan, out);
+  if (!st.ok()) {
+    std::cerr << "error: " << st << "\n";
+    return 1;
+  }
+  std::printf("wrote %s: %zu partitions, %zu doors, %d floors\n",
+              out.c_str(), plan.partition_count(), plan.door_count(),
+              plan.FloorCount());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  const FloorPlan& p = plan.value();
+  size_t rooms = 0, hallways = 0, stairs = 0, outdoor = 0, one_way = 0,
+         obstacles = 0;
+  for (const Partition& part : p.partitions()) {
+    switch (part.kind()) {
+      case PartitionKind::kRoom: ++rooms; break;
+      case PartitionKind::kHallway: ++hallways; break;
+      case PartitionKind::kStaircase: ++stairs; break;
+      case PartitionKind::kOutdoor: ++outdoor; break;
+    }
+    obstacles += part.footprint().obstacles().size();
+  }
+  for (const Door& d : p.doors()) {
+    if (!p.IsBidirectional(d.id())) ++one_way;
+  }
+  const AccessibilityGraph graph(p);
+  std::printf("partitions: %zu (%zu rooms, %zu hallways, %zu staircases, "
+              "%zu outdoor)\n",
+              p.partition_count(), rooms, hallways, stairs, outdoor);
+  std::printf("doors:      %zu (%zu one-way)\n", p.door_count(), one_way);
+  std::printf("floors:     %d\n", p.FloorCount());
+  std::printf("obstacles:  %zu\n", obstacles);
+  std::printf("strongly connected: %s\n",
+              graph.IsStronglyConnected() ? "yes" : "no");
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  std::printf("OK: %s is a valid floor plan\n", args.positional[0].c_str());
+  return 0;
+}
+
+int CmdDistance(const Args& args, bool with_path) {
+  if (args.positional.size() < 5) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  const Point a(std::stod(args.positional[1]), std::stod(args.positional[2]));
+  const Point b(std::stod(args.positional[3]), std::stod(args.positional[4]));
+  QueryEngine engine(std::move(plan).value());
+  if (!with_path) {
+    const double d = engine.Distance(a, b);
+    if (d == kInfDistance) {
+      std::printf("unreachable\n");
+      return 1;
+    }
+    std::printf("%.3f m (Euclidean: %.3f m)\n", d, Distance(a, b));
+    return 0;
+  }
+  const IndoorPath path = engine.ShortestPath(a, b, /*expand=*/true);
+  if (!path.found()) {
+    std::printf("unreachable\n");
+    return 1;
+  }
+  std::printf("length: %.3f m, %zu doors\n", path.length,
+              path.doors.size());
+  for (size_t i = 0; i < path.partitions.size(); ++i) {
+    std::printf("  %s", engine.plan().partition(path.partitions[i]).name().c_str());
+    if (i < path.doors.size()) {
+      std::printf(" -> [%s]",
+                  engine.plan().door(path.doors[i]).name().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdQuery(const Args& args, bool knn) {
+  if (args.positional.size() < 4) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  const Point q(std::stod(args.positional[1]), std::stod(args.positional[2]));
+  const double param = std::stod(args.positional[3]);
+  QueryEngine engine(std::move(plan).value());
+  const size_t objects = static_cast<size_t>(args.Num("objects", 1000));
+  Rng rng(static_cast<uint64_t>(args.Num("seed", 7)));
+  PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
+                &engine.index().objects());
+  if (knn) {
+    const auto result = engine.Nearest(q, static_cast<size_t>(param));
+    std::printf("%zu nearest of %zu objects:\n", result.size(), objects);
+    for (const Neighbor& nb : result) {
+      const IndoorObject& obj = engine.index().objects().object(nb.id);
+      std::printf("  #%u  %.3f m  (in %s)\n", nb.id, nb.distance,
+                  engine.plan().partition(obj.partition).name().c_str());
+    }
+  } else {
+    const auto result = engine.Range(q, param);
+    std::printf("%zu of %zu objects within %.1f m\n", result.size(),
+                objects, param);
+  }
+  return 0;
+}
+
+int CmdMatrix(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  const DistanceGraph graph(plan.value());
+  WallTimer timer;
+  const DistanceMatrix matrix(graph);
+  const double ms = timer.ElapsedMillis();
+  const Status st =
+      SaveDistanceMatrix(matrix, plan.value(), args.positional[1]);
+  if (!st.ok()) {
+    std::cerr << "error: " << st << "\n";
+    return 1;
+  }
+  std::printf("computed %zux%zu matrix in %.1f ms, wrote %s (%.2f MB)\n",
+              matrix.door_count(), matrix.door_count(), ms,
+              args.positional[1].c_str(),
+              matrix.MemoryBytes() / (1024.0 * 1024.0));
+  // Verify the round trip.
+  const auto loaded = LoadDistanceMatrix(plan.value(), args.positional[1]);
+  if (!loaded.ok()) {
+    std::cerr << "round-trip failed: " << loaded.status() << "\n";
+    return 1;
+  }
+  std::printf("round-trip verified\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args = Parse(argc, argv);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "validate") return CmdValidate(args);
+  if (cmd == "distance") return CmdDistance(args, /*with_path=*/false);
+  if (cmd == "path") return CmdDistance(args, /*with_path=*/true);
+  if (cmd == "range") return CmdQuery(args, /*knn=*/false);
+  if (cmd == "knn") return CmdQuery(args, /*knn=*/true);
+  if (cmd == "matrix") return CmdMatrix(args);
+  return Usage();
+}

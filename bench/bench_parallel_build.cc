@@ -1,0 +1,192 @@
+// Parallel index construction bench: wall time of the Md2d / Midx / DPT
+// builds on a paper-style generator building as the worker-thread count
+// grows, verifying that every parallel build is byte-identical to the
+// serial one (thread_pool.h's determinism contract).
+//
+//   bench_parallel_build [--floors N] [--threads 1,2,4,8] [--seed S]
+//                        [--json out.json] [--smoke]
+//
+// --smoke shrinks the building so CI can assert the binary still runs
+// without paying the full measurement. The default 30-floor building is
+// the acceptance configuration: the speedup line printed for the largest
+// thread count is the number the CI bench artifact tracks.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/index/distance_index_matrix.h"
+#include "core/index/dpt.h"
+#include "gen/building_generator.h"
+#include "util/timer.h"
+
+using namespace indoor;
+
+namespace {
+
+struct Row {
+  unsigned threads = 1;
+  double md2d_ms = 0;
+  double midx_ms = 0;
+  double dpt_ms = 0;
+  bool identical = true;
+  double speedup = 1.0;  // serial md2d time / this md2d time
+};
+
+std::vector<unsigned> ParseThreadList(const std::string& s) {
+  std::vector<unsigned> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(
+        static_cast<unsigned>(std::stoul(s.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool MatricesIdentical(const DistanceMatrix& a, const DistanceMatrix& b) {
+  if (a.door_count() != b.door_count()) return false;
+  const size_t n = a.door_count();
+  for (DoorId d = 0; d < n; ++d) {
+    // Bitwise comparison: the acceptance bar is byte-identical content,
+    // not epsilon-close.
+    if (std::memcmp(a.Row(d), b.Row(d), n * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IndexMatricesIdentical(const DistanceIndexMatrix& a,
+                            const DistanceIndexMatrix& b) {
+  if (a.door_count() != b.door_count()) return false;
+  const size_t n = a.door_count();
+  for (DoorId d = 0; d < n; ++d) {
+    if (std::memcmp(a.Row(d), b.Row(d), n * sizeof(DoorId)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteJson(const std::string& path, int floors, size_t doors,
+               const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"parallel_build\",\n"
+               "  \"floors\": %d,\n  \"doors\": %zu,\n  \"results\": [\n",
+               floors, doors);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"md2d_ms\": %.3f, "
+                 "\"midx_ms\": %.3f, \"dpt_ms\": %.3f, "
+                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 r.threads, r.md2d_ms, r.midx_ms, r.dpt_ms, r.speedup,
+                 r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int floors = 30;
+  uint64_t seed = 42;
+  std::vector<unsigned> thread_list{1, 2, 4, 8};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--floors") {
+      floors = std::stoi(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--threads") {
+      thread_list = ParseThreadList(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--smoke") {
+      floors = 3;
+      thread_list = {1, 2};
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  BuildingConfig config;
+  config.floors = floors;
+  config.rooms_per_floor = 30;
+  config.seed = seed;
+  const FloorPlan plan = GenerateBuilding(config);
+  const DistanceGraph graph(plan);
+  std::printf("building: %d floors, %zu partitions, %zu doors\n", floors,
+              plan.partition_count(), plan.door_count());
+
+  // Serial reference (also the threads=1 row).
+  WallTimer timer;
+  const DistanceMatrix serial_md2d(graph, 1);
+  const double serial_md2d_ms = timer.ElapsedMillis();
+  timer.Restart();
+  const DistanceIndexMatrix serial_midx(serial_md2d, 1);
+  const double serial_midx_ms = timer.ElapsedMillis();
+  timer.Restart();
+  const DoorPartitionTable serial_dpt(graph, 1);
+  const double serial_dpt_ms = timer.ElapsedMillis();
+
+  std::vector<Row> rows;
+  std::printf("%8s %12s %12s %12s %10s %10s\n", "threads", "Md2d(ms)",
+              "Midx(ms)", "DPT(ms)", "speedup", "identical");
+  for (unsigned threads : thread_list) {
+    Row row;
+    row.threads = threads;
+    if (threads == 1) {
+      row.md2d_ms = serial_md2d_ms;
+      row.midx_ms = serial_midx_ms;
+      row.dpt_ms = serial_dpt_ms;
+      row.identical = true;
+    } else {
+      timer.Restart();
+      const DistanceMatrix md2d(graph, threads);
+      row.md2d_ms = timer.ElapsedMillis();
+      timer.Restart();
+      const DistanceIndexMatrix midx(md2d, threads);
+      row.midx_ms = timer.ElapsedMillis();
+      timer.Restart();
+      const DoorPartitionTable dpt(graph, threads);
+      row.dpt_ms = timer.ElapsedMillis();
+      row.identical = MatricesIdentical(md2d, serial_md2d) &&
+                      IndexMatricesIdentical(midx, serial_midx);
+    }
+    row.speedup = row.md2d_ms > 0 ? serial_md2d_ms / row.md2d_ms : 0.0;
+    rows.push_back(row);
+    std::printf("%8u %12.1f %12.1f %12.1f %9.2fx %10s\n", row.threads,
+                row.md2d_ms, row.midx_ms, row.dpt_ms, row.speedup,
+                row.identical ? "yes" : "NO");
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, floors, plan.door_count(), rows);
+  }
+
+  for (const Row& r : rows) {
+    if (!r.identical) {
+      std::fprintf(stderr, "FAIL: parallel build diverged from serial\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Concurrent query serving bench: aggregate queries-per-second of the
+// read path (range + kNN + pt2pt distance over one shared immutable
+// IndexFramework) as the number of reader threads grows — the
+// multi-reader scaling picture the road-network kNN study and the NMSLIB
+// manual both report for credible in-memory index comparisons.
+//
+//   bench_query_throughput [--floors N] [--objects N] [--readers 1,2,4,8]
+//                          [--queries-per-reader N] [--seed S]
+//                          [--json out.json] [--smoke]
+//
+// Readers are ThreadPool workers; each claims whole queries round-robin
+// and every query's result is checksummed so the optimizer cannot elide
+// the work. Correctness under concurrency is covered by concurrency_test;
+// this binary only measures throughput.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace indoor;
+
+namespace {
+
+struct Row {
+  unsigned readers = 1;
+  double millis = 0;
+  double qps = 0;
+  double scaling = 1.0;  // qps / single-reader qps
+};
+
+std::vector<unsigned> ParseList(const std::string& s) {
+  std::vector<unsigned> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(
+        static_cast<unsigned>(std::stoul(s.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, int floors, size_t objects,
+               size_t queries, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"query_throughput\",\n"
+               "  \"floors\": %d,\n  \"objects\": %zu,\n"
+               "  \"queries_per_reader\": %zu,\n  \"results\": [\n",
+               floors, objects, queries);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"readers\": %u, \"millis\": %.3f, \"qps\": %.1f, "
+                 "\"scaling\": %.3f}%s\n",
+                 r.readers, r.millis, r.qps, r.scaling,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int floors = 10;
+  size_t objects = 10000;
+  size_t queries_per_reader = 200;
+  uint64_t seed = 42;
+  std::vector<unsigned> reader_list{1, 2, 4, 8};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--floors") {
+      floors = std::stoi(next());
+    } else if (arg == "--objects") {
+      objects = std::stoul(next());
+    } else if (arg == "--queries-per-reader") {
+      queries_per_reader = std::stoul(next());
+    } else if (arg == "--readers") {
+      reader_list = ParseList(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--smoke") {
+      floors = 2;
+      objects = 500;
+      queries_per_reader = 8;
+      reader_list = {1, 2};
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  BuildingConfig config;
+  config.floors = floors;
+  config.rooms_per_floor = 30;
+  config.seed = seed;
+  IndexOptions options;
+  options.build_threads = 0;  // build as fast as the hardware allows
+  const FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan, options);
+  Rng rng(seed * 31 + 7);
+  PopulateStore(GenerateObjects(plan, objects, &rng), &index.objects());
+  const auto positions = GenerateQueryPositions(plan, 256, &rng);
+  const auto pairs = GeneratePositionPairs(plan, 256, &rng);
+  const DistanceContext ctx = index.distance_context();
+  std::printf("building: %d floors, %zu doors, %zu objects\n", floors,
+              plan.door_count(), objects);
+
+  // One "query" = one range + one kNN + one pt2pt distance, cycling
+  // through the pre-generated workloads.
+  auto run_query = [&](size_t q) {
+    size_t checksum = 0;
+    const Point& p = positions[q % positions.size()];
+    checksum += RangeQuery(index, p, 20.0).size();
+    checksum += KnnQuery(index, p, 10).size();
+    const auto& [a, b] = pairs[q % pairs.size()];
+    checksum += Pt2PtDistanceVirtual(ctx, a, b) < kInfDistance ? 1 : 0;
+    return checksum;
+  };
+
+  std::vector<Row> rows;
+  std::printf("%8s %12s %14s %10s\n", "readers", "wall(ms)", "QPS",
+              "scaling");
+  for (unsigned readers : reader_list) {
+    const size_t total = queries_per_reader * readers;
+    std::atomic<size_t> next_query{0};
+    std::atomic<size_t> sink{0};
+    ThreadPool pool(readers);
+    WallTimer timer;
+    for (unsigned t = 0; t < readers; ++t) {
+      pool.Submit([&] {
+        size_t local = 0;
+        for (size_t q = next_query++; q < total; q = next_query++) {
+          local += run_query(q);
+        }
+        sink += local;
+      });
+    }
+    pool.Wait();
+    Row row;
+    row.readers = readers;
+    row.millis = timer.ElapsedMillis();
+    row.qps = total / (row.millis / 1000.0);
+    row.scaling = rows.empty() ? 1.0 : row.qps / rows.front().qps;
+    rows.push_back(row);
+    std::printf("%8u %12.1f %14.0f %9.2fx   (checksum %zu)\n", row.readers,
+                row.millis, row.qps, row.scaling, sink.load());
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, floors, objects, queries_per_reader, rows);
+  }
+  return 0;
+}

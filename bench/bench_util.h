@@ -4,7 +4,9 @@
 #ifndef INDOOR_BENCH_BENCH_UTIL_H_
 #define INDOOR_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,20 +21,33 @@
 namespace indoor {
 namespace bench {
 
-/// The paper's standard building: 30 rooms + 2 staircases per floor.
+/// CI smoke mode: when the INDOOR_BENCH_SMOKE environment variable is set
+/// (non-empty), PaperBuilding and MakeEngine shrink every configuration to
+/// a trivial size so each bench binary still exercises its full code path
+/// (and cannot silently rot) while finishing in seconds. Paper-figure
+/// numbers are only meaningful with smoke mode OFF.
+inline bool SmokeMode() {
+  const char* env = std::getenv("INDOOR_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// The paper's standard building: 30 rooms + 2 staircases per floor
+/// (capped to 2 floors / 8 rooms in smoke mode).
 inline BuildingConfig PaperBuilding(int floors, uint64_t seed = 42) {
   BuildingConfig config;
-  config.floors = floors;
-  config.rooms_per_floor = 30;
+  config.floors = SmokeMode() ? std::min(floors, 2) : floors;
+  config.rooms_per_floor = SmokeMode() ? 8 : 30;
   config.seed = seed;
   return config;
 }
 
-/// Builds a plan + full index + `object_count` uniform objects.
+/// Builds a plan + full index + `object_count` uniform objects (capped to
+/// 200 objects in smoke mode).
 inline std::unique_ptr<QueryEngine> MakeEngine(int floors,
                                                size_t object_count,
                                                uint64_t seed = 42,
                                                IndexOptions options = {}) {
+  if (SmokeMode()) object_count = std::min<size_t>(object_count, 200);
   auto engine = std::make_unique<QueryEngine>(
       GenerateBuilding(PaperBuilding(floors, seed)), options);
   if (object_count > 0) {

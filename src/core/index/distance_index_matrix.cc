@@ -3,20 +3,24 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace indoor {
 
-DistanceIndexMatrix::DistanceIndexMatrix(const DistanceMatrix& matrix)
+DistanceIndexMatrix::DistanceIndexMatrix(const DistanceMatrix& matrix,
+                                         unsigned threads)
     : n_(matrix.door_count()) {
   data_.resize(n_ * n_);
-  std::vector<DoorId> order(n_);
-  for (DoorId di = 0; di < n_; ++di) {
-    std::iota(order.begin(), order.end(), 0);
-    const double* row = matrix.Row(di);
-    std::stable_sort(order.begin(), order.end(),
+  // Each row is an independent stable sort of [0, n) by its Md2d row; the
+  // tie-break by id comes from stable_sort over the iota order, so serial
+  // and parallel builds agree exactly.
+  ParallelFor(0, n_, threads, [&](size_t di) {
+    DoorId* out = data_.data() + di * n_;
+    std::iota(out, out + n_, 0);
+    const double* row = matrix.Row(static_cast<DoorId>(di));
+    std::stable_sort(out, out + n_,
                      [row](DoorId a, DoorId b) { return row[a] < row[b]; });
-    std::copy(order.begin(), order.end(),
-              data_.begin() + static_cast<size_t>(di) * n_);
-  }
+  });
 }
 
 }  // namespace indoor

@@ -16,7 +16,11 @@ namespace indoor {
 /// sorted by distance from di (ties broken by id for determinism).
 class DistanceIndexMatrix {
  public:
-  explicit DistanceIndexMatrix(const DistanceMatrix& matrix);
+  /// Sorts each row independently; rows are disjoint, so construction
+  /// parallelizes across `threads` workers (0 = hardware concurrency,
+  /// 1 = sequential) with bit-identical output.
+  explicit DistanceIndexMatrix(const DistanceMatrix& matrix,
+                               unsigned threads = 1);
 
   size_t door_count() const { return n_; }
 

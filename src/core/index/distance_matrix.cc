@@ -1,40 +1,20 @@
 #include "core/index/distance_matrix.h"
 
-#include <atomic>
-#include <thread>
-
 #include "core/distance/d2d_distance.h"
+#include "util/thread_pool.h"
 
 namespace indoor {
 
 DistanceMatrix::DistanceMatrix(const DistanceGraph& graph, unsigned threads)
     : n_(graph.plan().door_count()) {
   data_.assign(n_ * n_, kInfDistance);
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(threads, std::max<size_t>(1, n_));
-
-  auto worker = [&](std::atomic<size_t>* next) {
+  // One single-source Dijkstra per row; rows are disjoint slots, so the
+  // parallel build is bit-identical to the serial one (thread_pool.h).
+  ParallelFor(0, n_, threads, [&](size_t d) {
     std::vector<double> dist;
-    for (size_t d = (*next)++; d < n_; d = (*next)++) {
-      D2dDistancesFrom(graph, static_cast<DoorId>(d), &dist, nullptr);
-      std::copy(dist.begin(), dist.end(), data_.begin() + d * n_);
-    }
-  };
-
-  if (threads <= 1) {
-    std::atomic<size_t> next{0};
-    worker(&next);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back(worker, &next);
-  }
-  for (std::thread& t : pool) t.join();
+    D2dDistancesFrom(graph, static_cast<DoorId>(d), &dist, nullptr);
+    std::copy(dist.begin(), dist.end(), data_.begin() + d * n_);
+  });
 }
 
 DistanceMatrix DistanceMatrix::FromRaw(size_t n, std::vector<double> data) {

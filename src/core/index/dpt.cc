@@ -1,11 +1,15 @@
 #include "core/index/dpt.h"
 
+#include "util/thread_pool.h"
+
 namespace indoor {
 
-DoorPartitionTable::DoorPartitionTable(const DistanceGraph& graph) {
+DoorPartitionTable::DoorPartitionTable(const DistanceGraph& graph,
+                                       unsigned threads) {
   const FloorPlan& plan = graph.plan();
   records_.resize(plan.door_count());
-  for (DoorId d = 0; d < plan.door_count(); ++d) {
+  ParallelFor(0, plan.door_count(), threads, [&](size_t i) {
+    const DoorId d = static_cast<DoorId>(i);
     DptRecord& rec = records_[d];
     rec.door = d;
     const auto& conns = plan.D2P(d);
@@ -20,7 +24,7 @@ DoorPartitionTable::DoorPartitionTable(const DistanceGraph& graph) {
       rec.part2 = vk;
       rec.dist2 = graph.Fdv(d, vk);
     }
-  }
+  });
 }
 
 }  // namespace indoor

@@ -30,7 +30,11 @@ struct DptRecord {
 /// field; dense door ids make that a direct index.
 class DoorPartitionTable {
  public:
-  explicit DoorPartitionTable(const DistanceGraph& graph);
+  /// One record per door, each independent of the others, so construction
+  /// parallelizes across `threads` workers (0 = hardware concurrency,
+  /// 1 = sequential) with identical output.
+  explicit DoorPartitionTable(const DistanceGraph& graph,
+                              unsigned threads = 1);
 
   const DptRecord& operator[](DoorId d) const {
     INDOOR_CHECK(d < records_.size());

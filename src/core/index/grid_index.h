@@ -56,6 +56,11 @@ class KnnCollector {
 /// The grid-subdivided object bucket of one partition. Stores (id, point)
 /// pairs; all distances reported by searches are intra-partition walking
 /// distances (obstructed and metric-scaled as the partition dictates).
+///
+/// Thread-safety: CollectAll/RangeSearch/NnSearch and the cell accessors
+/// are const and keep all traversal state (cell frontiers, candidate
+/// heaps) in locals or caller-provided output buffers, so concurrent
+/// readers are safe. Insert/Remove require external synchronization.
 class GridBucket {
  public:
   GridBucket() = default;

@@ -7,9 +7,9 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
       options_(options),
       graph_(plan),
       locator_(plan),
-      d2d_matrix_(graph_),
-      index_matrix_(d2d_matrix_),
-      dpt_(graph_),
+      d2d_matrix_(graph_, options.build_threads),
+      index_matrix_(d2d_matrix_, options.build_threads),
+      dpt_(graph_, options.build_threads),
       objects_(plan, options.grid_cell_size) {}
 
 }  // namespace indoor

@@ -20,9 +20,23 @@ namespace indoor {
 struct IndexOptions {
   /// Grid cell edge length for the intra-partition object index.
   double grid_cell_size = 2.0;
+  /// Worker threads for the precomputation-heavy structures (Md2d rows,
+  /// Midx row sorts, DPT records). 1 = fully sequential build,
+  /// 0 = hardware concurrency. Parallel builds produce bit-identical
+  /// structures (see thread_pool.h).
+  unsigned build_threads = 1;
 };
 
 /// Owns every index structure over one (externally owned) FloorPlan.
+///
+/// Thread-safety: construction and mutation are single-threaded, but once
+/// built, every const accessor — and every query algorithm that takes a
+/// `const IndexFramework&` (range, kNN, window, distance lookups) — is
+/// safe to call from any number of concurrent readers: all structures are
+/// precomputed eagerly (no lazy caches) and queries keep their scratch
+/// state (heaps, collectors, visited sets) on the stack. Writes through
+/// the non-const `objects()` accessor (Insert/MoveObject) must be
+/// externally synchronized and must not overlap any reader.
 class IndexFramework {
  public:
   explicit IndexFramework(const FloorPlan& plan, IndexOptions options = {});

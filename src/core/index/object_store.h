@@ -22,6 +22,12 @@ struct IndoorObject {
 
 /// Owns all objects and the per-partition grid buckets. The plan must
 /// outlive the store.
+///
+/// Thread-safety: the const read surface (object, size, objects, bucket)
+/// is safe for concurrent readers. Insert/MoveObject mutate the object
+/// table and buckets; callers must serialize them externally and keep
+/// them from overlapping readers (single-writer / multi-reader with an
+/// external barrier — the library adds no per-query locking on purpose).
 class ObjectStore {
  public:
   /// `grid_cell_size` configures every partition's grid (paper §V-B leaves

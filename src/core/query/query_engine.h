@@ -21,6 +21,14 @@ namespace indoor {
 ///   engine.AddObject(room, point);
 ///   double d = engine.Distance(p, q);
 ///   auto nearest = engine.Nearest(p, 3);
+///
+/// Thread-safety: every const method (Distance, DoorDistance,
+/// ShortestPath, Range, Nearest, Locate) may be called concurrently from
+/// any number of threads once construction and object loading are done —
+/// the underlying index is immutable and all per-query scratch state lives
+/// on the caller's stack (see IndexFramework). AddObject/MoveObject are
+/// writes: they require external synchronization and must not overlap any
+/// in-flight reader.
 class QueryEngine {
  public:
   /// Takes ownership of the plan and builds every index over it.

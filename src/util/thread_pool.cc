@@ -1,0 +1,147 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace indoor {
+
+unsigned ResolveThreadCount(unsigned threads) {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = ResolveThreadCount(threads);
+  workers_.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+namespace internal {
+namespace {
+
+/// Shared state of one ParallelFor call. Chunks are contiguous index
+/// blocks claimed in order from `next_chunk`; the error slot keeps the
+/// lowest failing index so the reported Status is deterministic.
+struct ForState {
+  size_t begin;
+  size_t end;
+  size_t chunk_size;
+  size_t chunk_count;
+  const std::function<Status(size_t)>* fn;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex error_mu;
+  size_t error_index;  // valid when !error.ok()
+  Status error;
+
+  void RunChunks() {
+    for (size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+         c < chunk_count;
+         c = next_chunk.fetch_add(1, std::memory_order_relaxed)) {
+      const size_t lo = begin + c * chunk_size;
+      const size_t hi = std::min(end, lo + chunk_size);
+      for (size_t i = lo; i < hi; ++i) {
+        Status st = (*fn)(i);
+        if (!st.ok()) {
+          std::unique_lock<std::mutex> lock(error_mu);
+          if (error.ok() || i < error_index) {
+            error_index = i;
+            error = std::move(st);
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelForImpl(ThreadPool* pool, size_t begin, size_t end,
+                       unsigned threads,
+                       const std::function<Status(size_t)>& fn) {
+  if (end <= begin) return Status::OK();
+  const size_t count = end - begin;
+  unsigned workers = pool ? pool->thread_count() : ResolveThreadCount(threads);
+  workers = static_cast<unsigned>(
+      std::min<size_t>(workers, count));
+
+  if (workers <= 1) {
+    // Serial fallback: same exactly-once iteration order, no threads.
+    Status first;
+    for (size_t i = begin; i < end; ++i) {
+      Status st = fn(i);
+      if (!st.ok() && first.ok()) first = std::move(st);
+    }
+    return first;
+  }
+
+  ForState state;
+  state.begin = begin;
+  state.end = end;
+  // ~8 chunks per worker balances load without shrinking chunks so far
+  // that the atomic cursor becomes contended.
+  state.chunk_size = std::max<size_t>(1, count / (workers * 8u));
+  state.chunk_count = (count + state.chunk_size - 1) / state.chunk_size;
+  state.fn = &fn;
+
+  if (pool) {
+    for (unsigned t = 0; t < workers; ++t) {
+      pool->Submit([&state] { state.RunChunks(); });
+    }
+    pool->Wait();
+  } else {
+    std::vector<std::thread> transient;
+    transient.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      transient.emplace_back([&state] { state.RunChunks(); });
+    }
+    for (std::thread& t : transient) t.join();
+  }
+  return state.error;
+}
+
+}  // namespace internal
+}  // namespace indoor

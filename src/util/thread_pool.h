@@ -1,0 +1,122 @@
+// Fixed-size thread pool and deterministic parallel-for, the parallelism
+// layer used by index construction (paper §IV-A builds are embarrassingly
+// parallel: one independent door-Dijkstra per matrix row) and by the
+// concurrent benchmark/serving harnesses.
+//
+// Design points:
+//  * No work stealing: a ThreadPool is a plain FIFO queue drained by a
+//    fixed set of workers. Submissions never migrate between queues, so
+//    scheduling is easy to reason about under TSan.
+//  * ParallelFor distributes [begin, end) as contiguous chunks claimed
+//    from a shared atomic cursor. Every index is invoked exactly once, so
+//    a body that writes only to slot i produces bit-identical results to
+//    the serial loop regardless of thread interleaving.
+//  * Status propagation: a body may return Status; ParallelFor keeps the
+//    error of the LOWEST failing index (the same error a serial loop
+//    would report first), never an arbitrary "first observed" one. All
+//    iterations run even after a failure, matching the
+//    every-index-exactly-once guarantee above.
+
+#ifndef INDOOR_UTIL_THREAD_POOL_H_
+#define INDOOR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace indoor {
+
+/// Resolves a user-facing thread-count knob: 0 means "use the hardware
+/// concurrency" (at least 1); any other value is returned unchanged.
+unsigned ResolveThreadCount(unsigned threads);
+
+/// A fixed set of worker threads draining one FIFO task queue. Destruction
+/// waits for all submitted tasks. Submit/Wait may be called from multiple
+/// threads; tasks must not Submit to the pool they run on while another
+/// thread is in Wait (no re-entrancy is needed anywhere in this codebase).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace internal {
+
+/// Type-erased core of ParallelFor. Runs `fn(i)` for every i in
+/// [begin, end) on `threads` workers (inline when threads <= 1 or the
+/// range is trivial) and returns the non-OK status of the lowest failing
+/// index, or OK. When `pool` is non-null its workers are used (and
+/// `threads` is ignored); otherwise a transient pool is spawned.
+Status ParallelForImpl(ThreadPool* pool, size_t begin, size_t end,
+                       unsigned threads,
+                       const std::function<Status(size_t)>& fn);
+
+template <typename Fn>
+std::function<Status(size_t)> WrapBody(Fn& fn) {
+  using R = std::invoke_result_t<Fn&, size_t>;
+  static_assert(std::is_same_v<R, Status> || std::is_void_v<R>,
+                "ParallelFor body must return Status or void");
+  if constexpr (std::is_same_v<R, Status>) {
+    return [&fn](size_t i) { return fn(i); };
+  } else {
+    return [&fn](size_t i) {
+      fn(i);
+      return Status::OK();
+    };
+  }
+}
+
+}  // namespace internal
+
+/// Invokes `fn(i)` for every i in [begin, end) across `threads` workers
+/// (1 = plain serial loop, 0 = hardware concurrency). `fn` may return
+/// Status or void; the result is the lowest-index failure or OK. The body
+/// is invoked exactly once per index, so writing to disjoint per-index
+/// slots is race-free and bit-identical to serial execution.
+template <typename Fn>
+Status ParallelFor(size_t begin, size_t end, unsigned threads, Fn&& fn) {
+  return internal::ParallelForImpl(nullptr, begin, end, threads,
+                                   internal::WrapBody(fn));
+}
+
+/// As above, reusing an existing pool's workers instead of spawning.
+template <typename Fn>
+Status ParallelFor(ThreadPool& pool, size_t begin, size_t end, Fn&& fn) {
+  return internal::ParallelForImpl(&pool, begin, end, pool.thread_count(),
+                                   internal::WrapBody(fn));
+}
+
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_THREAD_POOL_H_

@@ -83,6 +83,75 @@ TEST(ConcurrencyTest, ParallelReadersAgreeWithSequentialResults) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// The acceptance stress test: 8 reader threads hammer range, kNN, pt2pt
+// distance, and window queries against ONE shared immutable index, on a
+// building with room-to-room doors, one-way doors, and obstacles; every
+// answer is checked against the sequential linear-scan oracle (range,
+// kNN) or the sequential result of the same call (distance, window).
+TEST(ConcurrencyTest, EightThreadStressAgainstLinearScanOracle) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 12;
+  config.room_to_room_doors = 0.4;
+  config.one_way_fraction = 0.3;
+  config.obstacle_probability = 0.3;
+  config.seed = 227;
+  const FloorPlan plan = GenerateBuilding(config);
+  IndexFramework index(plan);
+  Rng rng(229);
+  PopulateStore(GenerateObjects(plan, 400, &rng), &index.objects());
+  const auto queries = GenerateQueryPositions(plan, 48, &rng);
+  const auto pairs = GeneratePositionPairs(plan, 48, &rng);
+  const DistanceContext ctx = index.distance_context();
+  constexpr double kRadius = 20.0;
+  constexpr size_t kK = 10;
+
+  // Sequential oracle answers.
+  std::vector<std::vector<ObjectId>> oracle_range(queries.size());
+  std::vector<std::vector<Neighbor>> oracle_knn(queries.size());
+  std::vector<double> oracle_dist(pairs.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    oracle_range[i] = LinearScanRange(ctx, index.objects(), queries[i],
+                                      kRadius);
+    oracle_knn[i] = LinearScanKnn(ctx, index.objects(), queries[i], kK);
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    oracle_dist[i] =
+        Pt2PtDistanceVirtual(ctx, pairs[i].first, pairs[i].second);
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<int> failures{0};
+  auto reader = [&] {
+    for (size_t i = next++; i < queries.size(); i = next++) {
+      if (RangeQuery(index, queries[i], kRadius) != oracle_range[i]) {
+        ++failures;
+      }
+      const auto knn = KnnQuery(index, queries[i], kK);
+      if (knn.size() != oracle_knn[i].size()) {
+        ++failures;
+      } else {
+        for (size_t j = 0; j < knn.size(); ++j) {
+          // Ties may reorder ids; distances must match the oracle's.
+          if (std::fabs(knn[j].distance - oracle_knn[i][j].distance) >
+              1e-9) {
+            ++failures;
+          }
+        }
+      }
+      const size_t p = i % pairs.size();
+      if (Pt2PtDistanceVirtual(ctx, pairs[p].first, pairs[p].second) !=
+          oracle_dist[p]) {
+        ++failures;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) pool.emplace_back(reader);
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(ConcurrencyTest, ConcurrentDistanceComputations) {
   BuildingConfig config;
   config.floors = 2;

@@ -1,0 +1,128 @@
+// Parallel/serial build equivalence: Md2d, Midx, and the DPT built at
+// threads in {1, 2, 8} must be bit-identical on randomized generator
+// buildings (the determinism contract of thread_pool.h), and the
+// thread-count knob must flow through IndexFramework/IndexOptions.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "core/index/index_framework.h"
+#include "gen/building_generator.h"
+
+namespace indoor {
+namespace {
+
+struct ParallelCase {
+  int floors;
+  int rooms_per_floor;
+  uint64_t seed;
+  double room_to_room = 0.0;
+  double one_way = 0.0;
+  double obstacles = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ParallelCase& c) {
+  os << "floors" << c.floors << "_rooms" << c.rooms_per_floor << "_seed"
+     << c.seed;
+  if (c.room_to_room > 0) os << "_r2r";
+  if (c.one_way > 0) os << "_oneway";
+  if (c.obstacles > 0) os << "_obstacles";
+  return os;
+}
+
+class ParallelBuildEquivalenceTest
+    : public ::testing::TestWithParam<ParallelCase> {
+ protected:
+  ParallelBuildEquivalenceTest() {
+    BuildingConfig config;
+    config.floors = GetParam().floors;
+    config.rooms_per_floor = GetParam().rooms_per_floor;
+    config.seed = GetParam().seed;
+    config.room_to_room_doors = GetParam().room_to_room;
+    config.one_way_fraction = GetParam().one_way;
+    config.obstacle_probability = GetParam().obstacles;
+    plan_ = std::make_unique<FloorPlan>(GenerateBuilding(config));
+    graph_ = std::make_unique<DistanceGraph>(*plan_);
+  }
+
+  std::unique_ptr<FloorPlan> plan_;
+  std::unique_ptr<DistanceGraph> graph_;
+};
+
+TEST_P(ParallelBuildEquivalenceTest, Md2dAndMidxBitIdentical) {
+  const DistanceMatrix serial(*graph_, 1);
+  const DistanceIndexMatrix serial_idx(serial, 1);
+  const size_t n = serial.door_count();
+  for (unsigned threads : {2u, 8u}) {
+    const DistanceMatrix parallel(*graph_, threads);
+    const DistanceIndexMatrix parallel_idx(parallel, threads);
+    ASSERT_EQ(parallel.door_count(), n);
+    for (DoorId d = 0; d < n; ++d) {
+      // memcmp: the contract is BIT-identical, not epsilon-close.
+      EXPECT_EQ(std::memcmp(parallel.Row(d), serial.Row(d),
+                            n * sizeof(double)),
+                0)
+          << "Md2d row " << d << " at threads=" << threads;
+      EXPECT_EQ(std::memcmp(parallel_idx.Row(d), serial_idx.Row(d),
+                            n * sizeof(DoorId)),
+                0)
+          << "Midx row " << d << " at threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ParallelBuildEquivalenceTest, DptIdentical) {
+  const DoorPartitionTable serial(*graph_, 1);
+  for (unsigned threads : {2u, 8u}) {
+    const DoorPartitionTable parallel(*graph_, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (DoorId d = 0; d < serial.size(); ++d) {
+      EXPECT_EQ(parallel[d].door, serial[d].door);
+      EXPECT_EQ(parallel[d].part1, serial[d].part1);
+      EXPECT_EQ(parallel[d].part2, serial[d].part2);
+      EXPECT_EQ(std::memcmp(&parallel[d].dist1, &serial[d].dist1,
+                            sizeof(double)),
+                0);
+      EXPECT_EQ(std::memcmp(&parallel[d].dist2, &serial[d].dist2,
+                            sizeof(double)),
+                0);
+    }
+  }
+}
+
+TEST_P(ParallelBuildEquivalenceTest, IndexFrameworkThreadsKnob) {
+  IndexOptions serial_opts;
+  serial_opts.build_threads = 1;
+  IndexOptions parallel_opts;
+  parallel_opts.build_threads = 8;
+  const IndexFramework serial(*plan_, serial_opts);
+  const IndexFramework parallel(*plan_, parallel_opts);
+  const size_t n = serial.d2d_matrix().door_count();
+  ASSERT_EQ(parallel.d2d_matrix().door_count(), n);
+  for (DoorId d = 0; d < n; ++d) {
+    EXPECT_EQ(std::memcmp(parallel.d2d_matrix().Row(d),
+                          serial.d2d_matrix().Row(d), n * sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(parallel.index_matrix().Row(d),
+                          serial.index_matrix().Row(d),
+                          n * sizeof(DoorId)),
+              0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratedBuildings, ParallelBuildEquivalenceTest,
+    ::testing::Values(
+        ParallelCase{2, 8, 1201},
+        ParallelCase{3, 12, 1301, /*room_to_room=*/0.4},
+        ParallelCase{4, 10, 1409, /*room_to_room=*/0.5, /*one_way=*/0.4},
+        ParallelCase{2, 14, 1511, /*room_to_room=*/0.3, /*one_way=*/0.0,
+                     /*obstacles=*/0.5},
+        ParallelCase{5, 6, 1601, /*room_to_room=*/0.6, /*one_way=*/0.5,
+                     /*obstacles=*/0.3}),
+    ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace indoor

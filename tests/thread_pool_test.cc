@@ -1,0 +1,124 @@
+// ThreadPool and ParallelFor: exactly-once iteration, deterministic
+// Status propagation, serial fallback, and pool reuse.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace indoor {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroMeansHardware) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks: must not deadlock
+}
+
+TEST(ParallelForTest, EveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 5u, 8u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    const Status st = ParallelFor(0, hits.size(), threads,
+                                  [&](size_t i) { ++hits[i]; });
+    EXPECT_TRUE(st.ok());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, DisjointSlotWritesMatchSerial) {
+  std::vector<int> serial(512), parallel(512);
+  auto body = [](std::vector<int>& out) {
+    return [&out](size_t i) { out[i] = static_cast<int>(i * i % 97); };
+  };
+  ASSERT_TRUE(ParallelFor(0, serial.size(), 1, body(serial)).ok());
+  ASSERT_TRUE(ParallelFor(0, parallel.size(), 8, body(parallel)).ok());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreOk) {
+  EXPECT_TRUE(ParallelFor(0, 0, 4, [](size_t) {}).ok());
+  EXPECT_TRUE(ParallelFor(5, 5, 4, [](size_t) {}).ok());
+  EXPECT_TRUE(ParallelFor(9, 3, 4, [](size_t) {}).ok());
+}
+
+TEST(ParallelForTest, SubRangeOffsetsAreRespected) {
+  std::atomic<size_t> sum{0};
+  ASSERT_TRUE(ParallelFor(10, 20, 3, [&](size_t i) { sum += i; }).ok());
+  EXPECT_EQ(sum.load(), size_t{145});  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelForTest, ReportsLowestFailingIndex) {
+  // Indexes 700 and 13 both fail; the reported error must be index 13's
+  // regardless of scheduling.
+  for (unsigned threads : {1u, 8u}) {
+    std::atomic<int> ran{0};
+    const Status st = ParallelFor(0, 1000, threads, [&](size_t i) {
+      ++ran;
+      if (i == 13) return Status::InvalidArgument("lowest");
+      if (i == 700) return Status::Internal("highest");
+      return Status::OK();
+    });
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(st.message(), "lowest");
+    // Every-index-exactly-once holds even under failure.
+    EXPECT_EQ(ran.load(), 1000);
+  }
+}
+
+TEST(ParallelForTest, PoolOverloadSharesWorkers) {
+  ThreadPool pool(4);
+  std::vector<int> out(256, 0);
+  const Status st =
+      ParallelFor(pool, 0, out.size(), [&](size_t i) { out[i] = 1; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 256);
+  // The pool stays usable afterwards.
+  std::atomic<int> extra{0};
+  pool.Submit([&extra] { ++extra; });
+  pool.Wait();
+  EXPECT_EQ(extra.load(), 1);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ASSERT_TRUE(ParallelFor(0, hits.size(), 16, [&](size_t i) {
+                ++hits[i];
+              }).ok());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace indoor

@@ -24,6 +24,7 @@
 #include "gen/building_generator.h"
 #include "gen/object_generator.h"
 #include "indoor/floor_plan_io.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace indoor;
@@ -42,7 +43,10 @@ int Usage() {
       "  indoor_tool path PLAN X1 Y1 X2 Y2\n"
       "  indoor_tool range PLAN X Y R [--objects N] [--seed S]\n"
       "  indoor_tool knn PLAN X Y K [--objects N] [--seed S]\n"
-      "  indoor_tool matrix PLAN OUT.bin\n");
+      "  indoor_tool matrix PLAN OUT.bin [--threads N]\n"
+      "\n"
+      "  --threads N   worker threads for matrix precomputation\n"
+      "                (default 1 = sequential, 0 = all hardware threads)\n");
   return 2;
 }
 
@@ -220,9 +224,11 @@ int CmdMatrix(const Args& args) {
   auto plan = LoadOrFail(args.positional[0]);
   if (!plan.ok()) return 1;
   const DistanceGraph graph(plan.value());
+  const unsigned threads = static_cast<unsigned>(args.Num("threads", 1));
   WallTimer timer;
-  const DistanceMatrix matrix(graph);
+  const DistanceMatrix matrix(graph, threads);
   const double ms = timer.ElapsedMillis();
+  std::printf("threads: %u\n", ResolveThreadCount(threads));
   const Status st =
       SaveDistanceMatrix(matrix, plan.value(), args.positional[1]);
   if (!st.ok()) {

@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "core/distance/d2d_distance.h"
+#include "core/distance/pt2pt_distance.h"
 #include "core/query/knn_query.h"
 #include "core/query/range_query.h"
 
@@ -106,6 +107,28 @@ void BM_Pt2PtVirtual(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Pt2PtVirtual);
+
+void BM_PrunedSourceDoors(benchmark::State& state) {
+  auto& s = Shared();
+  const FloorPlan& plan = s.engine->plan();
+  const size_t n = plan.partition_count();
+  Rng rng(11);
+  std::vector<std::pair<PartitionId, PartitionId>> part_pairs;
+  for (int k = 0; k < 256; ++k) {
+    part_pairs.push_back({static_cast<PartitionId>(rng.NextIndex(n)),
+                          static_cast<PartitionId>(rng.NextIndex(n))});
+  }
+  // The scratch-owned output buffer is reused across calls — this measures
+  // the steady-state (allocation-free) pruning cost.
+  std::vector<DoorId> doors;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [vs, vt] = part_pairs[i++ % part_pairs.size()];
+    internal::PrunedSourceDoors(plan, vs, vt, &doors);
+    benchmark::DoNotOptimize(doors.data());
+  }
+}
+BENCHMARK(BM_PrunedSourceDoors);
 
 void BM_GetHostPartition(benchmark::State& state) {
   auto& s = Shared();

@@ -5,6 +5,7 @@
 #define INDOOR_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -85,7 +86,81 @@ inline void PrintTitle(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Number of operator-new calls since process start. Always readable; it
+/// only advances in binaries that compile with INDOOR_BENCH_COUNT_ALLOCS
+/// defined (which replaces the global allocation functions below). Counting
+/// is relaxed-atomic, so concurrent measurement threads stay well-defined.
+inline std::atomic<unsigned long long>& AllocCounter() {
+  static std::atomic<unsigned long long> count{0};
+  return count;
+}
+
+inline unsigned long long AllocCount() {
+  return AllocCounter().load(std::memory_order_relaxed);
+}
+
 }  // namespace bench
 }  // namespace indoor
+
+#ifdef INDOOR_BENCH_COUNT_ALLOCS
+// Counting replacements for the global allocation functions. Exactly ONE
+// translation unit per binary may define INDOOR_BENCH_COUNT_ALLOCS (they are
+// non-inline by design: duplicate definitions fail the link rather than
+// silently double-count).
+
+#include <new>
+
+namespace indoor {
+namespace bench {
+namespace internal {
+
+inline void* CountedAlloc(std::size_t size) {
+  AllocCounter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  AllocCounter().fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(align, sizeof(void*)), size ? size : 1) !=
+      0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace internal
+}  // namespace bench
+}  // namespace indoor
+
+void* operator new(std::size_t size) {
+  return indoor::bench::internal::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return indoor::bench::internal::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return indoor::bench::internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return indoor::bench::internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // INDOOR_BENCH_COUNT_ALLOCS
 
 #endif  // INDOOR_BENCH_BENCH_UTIL_H_

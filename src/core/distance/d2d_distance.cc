@@ -1,47 +1,44 @@
 #include "core/distance/d2d_distance.h"
 
-#include <queue>
-
 namespace indoor {
 namespace {
 
 /// Core of Algorithm 1. Runs until `target` is settled (or the heap drains
 /// when target == kInvalidId), returning dist[target] (or 0; the caller
-/// reads the arrays for the single-source variant).
+/// reads the arrays for the single-source variant). Expansion iterates the
+/// pre-flattened CSR door rows (DistanceGraph::DoorEdges), which relax the
+/// same (target, weight) sequence as the paper's nested
+/// EnterableParts/LeaveDoors loops — distances and prev[] trees are
+/// bit-identical to the nested form.
 double RunD2d(const DistanceGraph& graph, DoorId ds, DoorId target,
-              std::vector<double>* dist_out,
+              std::vector<double>* dist_out, std::vector<char>* visited_buf,
+              MinHeap<std::pair<double, DoorId>>* heap,
               std::vector<PrevEntry>* prev_out) {
-  const FloorPlan& plan = graph.plan();
-  const size_t n = plan.door_count();
+  const size_t n = graph.plan().door_count();
   INDOOR_CHECK(ds < n);
 
   std::vector<double>& dist = *dist_out;
   dist.assign(n, kInfDistance);
   if (prev_out != nullptr) prev_out->assign(n, PrevEntry{});
-  std::vector<char> visited(n, 0);
+  std::vector<char>& visited = *visited_buf;
+  visited.assign(n, 0);
 
-  using Entry = std::pair<double, DoorId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap->clear();
   dist[ds] = 0.0;
-  heap.push({0.0, ds});
+  heap->push({0.0, ds});
 
-  while (!heap.empty()) {
-    const auto [d, di] = heap.top();
-    heap.pop();
+  while (!heap->empty()) {
+    const auto [d, di] = heap->top();
+    heap->pop();
     if (visited[di]) continue;
     visited[di] = 1;
     if (di == target) return d;
-    // Expand into every partition enterable through di.
-    for (PartitionId v : plan.EnterableParts(di)) {
-      for (DoorId dj : plan.LeaveDoors(v)) {
-        if (visited[dj]) continue;
-        const double w = graph.Fd2d(v, di, dj);
-        if (w == kInfDistance) continue;
-        if (dist[di] + w < dist[dj]) {
-          dist[dj] = dist[di] + w;
-          heap.push({dist[dj], dj});
-          if (prev_out != nullptr) (*prev_out)[dj] = {v, di};
-        }
+    for (const DoorGraphEdge& e : graph.DoorEdges(di)) {
+      if (visited[e.to]) continue;
+      if (dist[di] + e.weight < dist[e.to]) {
+        dist[e.to] = dist[di] + e.weight;
+        heap->push({dist[e.to], e.to});
+        if (prev_out != nullptr) (*prev_out)[e.to] = {e.via, di};
       }
     }
   }
@@ -50,21 +47,35 @@ double RunD2d(const DistanceGraph& graph, DoorId ds, DoorId target,
 
 }  // namespace
 
-double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt) {
-  return D2dDistance(graph, ds, dt, nullptr);
+DoorDijkstraScratch& TlsDoorDijkstraScratch() {
+  static thread_local DoorDijkstraScratch scratch;
+  return scratch;
+}
+
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
+                   DoorDijkstraScratch* scratch) {
+  INDOOR_CHECK(dt < graph.plan().door_count());
+  if (scratch == nullptr) scratch = &TlsDoorDijkstraScratch();
+  return RunD2d(graph, ds, dt, &scratch->dist, &scratch->visited,
+                &scratch->heap, nullptr);
 }
 
 double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
                    std::vector<PrevEntry>* prev) {
   INDOOR_CHECK(dt < graph.plan().door_count());
-  std::vector<double> dist;
-  return RunD2d(graph, ds, dt, &dist, prev);
+  DoorDijkstraScratch& scratch = TlsDoorDijkstraScratch();
+  return RunD2d(graph, ds, dt, &scratch.dist, &scratch.visited, &scratch.heap,
+                prev);
 }
 
 void D2dDistancesFrom(const DistanceGraph& graph, DoorId ds,
                       std::vector<double>* dist,
                       std::vector<PrevEntry>* prev) {
-  RunD2d(graph, ds, kInvalidId, dist, prev);
+  // Build-time callers (Md2d rows) run one call per worker-owned buffers;
+  // the visited/heap state is local so concurrent builds stay independent.
+  std::vector<char> visited;
+  MinHeap<std::pair<double, DoorId>> heap;
+  RunD2d(graph, ds, kInvalidId, dist, &visited, &heap, prev);
 }
 
 }  // namespace indoor

@@ -10,9 +10,11 @@
 #ifndef INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_
 #define INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_
 
+#include <utility>
 #include <vector>
 
 #include "core/model/distance_graph.h"
+#include "util/min_heap.h"
 
 namespace indoor {
 
@@ -24,9 +26,21 @@ struct PrevEntry {
   DoorId door = kInvalidId;
 };
 
+/// Reusable door-level Dijkstra state (dist/visited arrays sized to the
+/// door count, and the frontier heap). Owned by exactly one thread at a
+/// time; buffers keep their capacity across queries, so steady-state door
+/// expansions perform no heap allocations (see QueryScratch).
+struct DoorDijkstraScratch {
+  std::vector<double> dist;
+  std::vector<char> visited;
+  MinHeap<std::pair<double, DoorId>> heap;
+};
+
 /// d2dDistance(ds, dt): minimum indoor walking distance from door `ds` to
-/// door `dt`; kInfDistance when unreachable.
-double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt);
+/// door `dt`; kInfDistance when unreachable. A null `scratch` uses
+/// function-local buffers.
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
+                   DoorDijkstraScratch* scratch = nullptr);
 
 /// As above, also filling `prev` (size = door count) for path
 /// reconstruction via ReconstructDoorPath (shortest_path.h).
@@ -39,6 +53,9 @@ double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
 void D2dDistancesFrom(const DistanceGraph& graph, DoorId ds,
                       std::vector<double>* dist,
                       std::vector<PrevEntry>* prev);
+
+/// The calling thread's fallback DoorDijkstraScratch.
+DoorDijkstraScratch& TlsDoorDijkstraScratch();
 
 }  // namespace indoor
 

@@ -1,6 +1,6 @@
 #include "core/distance/distance_field.h"
 
-#include <queue>
+#include "core/distance/query_scratch.h"
 
 namespace indoor {
 
@@ -12,14 +12,19 @@ DistanceField::DistanceField(const DistanceContext& ctx, const Point& source)
   if (!host.ok()) return;
   host_ = host.value();
 
+  QueryScratch& scratch = TlsQueryScratch();
   std::vector<char> visited(plan.door_count(), 0);
-  using Entry = std::pair<double, DoorId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  for (DoorId ds : plan.LeaveDoors(host_)) {
-    const double leg = ctx.locator->DistV(host_, source, ds);
-    if (leg != kInfDistance && leg < door_dist_[ds]) {
-      door_dist_[ds] = leg;
-      heap.push({leg, ds});
+  MinHeap<std::pair<double, DoorId>> heap;
+  const auto& src_doors = plan.LeaveDoors(host_);
+  auto& src_leg = scratch.src_leg;
+  src_leg.resize(src_doors.size());
+  ctx.locator->DistVMany(host_, source, src_doors, &scratch.geo,
+                         src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const double leg = src_leg[i];
+    if (leg != kInfDistance && leg < door_dist_[src_doors[i]]) {
+      door_dist_[src_doors[i]] = leg;
+      heap.push({leg, src_doors[i]});
     }
   }
   while (!heap.empty()) {
@@ -27,15 +32,11 @@ DistanceField::DistanceField(const DistanceContext& ctx, const Point& source)
     heap.pop();
     if (visited[di]) continue;
     visited[di] = 1;
-    for (PartitionId v : plan.EnterableParts(di)) {
-      for (DoorId dj : plan.LeaveDoors(v)) {
-        if (visited[dj]) continue;
-        const double w = ctx.graph->Fd2d(v, di, dj);
-        if (w == kInfDistance) continue;
-        if (d + w < door_dist_[dj]) {
-          door_dist_[dj] = d + w;
-          heap.push({door_dist_[dj], dj});
-        }
+    for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+      if (visited[e.to]) continue;
+      if (d + e.weight < door_dist_[e.to]) {
+        door_dist_[e.to] = d + e.weight;
+        heap.push({door_dist_[e.to], e.to});
       }
     }
   }

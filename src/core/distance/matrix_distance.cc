@@ -2,32 +2,44 @@
 
 #include <algorithm>
 
+#include "core/distance/query_scratch.h"
+
 namespace indoor {
 
 double Pt2PtDistanceMatrix(const FloorPlan& plan,
                            const DistanceMatrix& matrix, PartitionId vs,
-                           const Point& ps, PartitionId vt,
-                           const Point& pt) {
+                           const Point& ps, PartitionId vt, const Point& pt,
+                           QueryScratch* scratch) {
   INDOOR_CHECK(matrix.door_count() == plan.door_count())
       << "matrix was built for a different plan";
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
   const Partition& source_part = plan.partition(vs);
   const Partition& target_part = plan.partition(vt);
   double best = kInfDistance;
   if (vs == vt) {
-    best = source_part.IntraDistance(ps, pt);
+    best = source_part.IntraDistance(ps, pt, &scratch->geo);
   }
-  // Cache the destination legs once.
+  // Destination legs keep the historical door->pt orientation (one solve
+  // each, reusing the scratch buffers); the source legs below share a single
+  // batched solve rooted at ps.
   const auto& dest_doors = plan.EnterDoors(vt);
-  std::vector<double> dest_leg(dest_doors.size());
+  auto& dest_leg = scratch->dst_leg;
+  dest_leg.resize(dest_doors.size());
   for (size_t j = 0; j < dest_doors.size(); ++j) {
-    dest_leg[j] =
-        target_part.IntraDistance(plan.door(dest_doors[j]).Midpoint(), pt);
+    dest_leg[j] = target_part.IntraDistance(
+        plan.door(dest_doors[j]).Midpoint(), pt, &scratch->geo);
   }
-  for (DoorId ds : plan.LeaveDoors(vs)) {
-    const double leg1 =
-        source_part.IntraDistance(ps, plan.door(ds).Midpoint());
+  const auto& src_doors = plan.LeaveDoors(vs);
+  auto& mids = scratch->geo.points;
+  mids.clear();
+  for (DoorId ds : src_doors) mids.push_back(plan.door(ds).Midpoint());
+  auto& src_leg = scratch->src_leg;
+  src_leg.resize(src_doors.size());
+  source_part.IntraDistancesToMany(ps, mids, &scratch->geo, src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const double leg1 = src_leg[i];
     if (leg1 == kInfDistance || leg1 >= best) continue;
-    const double* row = matrix.Row(ds);
+    const double* row = matrix.Row(src_doors[i]);
     for (size_t j = 0; j < dest_doors.size(); ++j) {
       if (dest_leg[j] == kInfDistance) continue;
       const double total = leg1 + row[dest_doors[j]] + dest_leg[j];
@@ -39,12 +51,12 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
 
 double Pt2PtDistanceMatrix(const PartitionLocator& locator,
                            const DistanceMatrix& matrix, const Point& ps,
-                           const Point& pt) {
+                           const Point& pt, QueryScratch* scratch) {
   const auto vs = locator.GetHostPartition(ps);
   const auto vt = locator.GetHostPartition(pt);
   if (!vs.ok() || !vt.ok()) return kInfDistance;
   return Pt2PtDistanceMatrix(locator.plan(), matrix, vs.value(), ps,
-                             vt.value(), pt);
+                             vt.value(), pt, scratch);
 }
 
 }  // namespace indoor

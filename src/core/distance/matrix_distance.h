@@ -13,16 +13,20 @@
 
 namespace indoor {
 
+struct QueryScratch;
+
 /// Exact minimum walking distance using precomputed door-to-door entries.
-/// `matrix` must have been built for `locator.plan()`.
+/// `matrix` must have been built for `locator.plan()`. A null `scratch`
+/// falls back to the calling thread's TlsQueryScratch().
 double Pt2PtDistanceMatrix(const PartitionLocator& locator,
                            const DistanceMatrix& matrix, const Point& ps,
-                           const Point& pt);
+                           const Point& pt, QueryScratch* scratch = nullptr);
 
 /// Variant with both host partitions already known (e.g. stored objects).
 double Pt2PtDistanceMatrix(const FloorPlan& plan,
                            const DistanceMatrix& matrix, PartitionId vs,
-                           const Point& ps, PartitionId vt, const Point& pt);
+                           const Point& ps, PartitionId vt, const Point& pt,
+                           QueryScratch* scratch = nullptr);
 
 }  // namespace indoor
 

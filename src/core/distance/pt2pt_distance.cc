@@ -1,9 +1,9 @@
 #include "core/distance/pt2pt_distance.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "core/distance/d2d_distance.h"
+#include "core/distance/query_scratch.h"
 
 namespace indoor {
 namespace internal {
@@ -11,23 +11,32 @@ namespace internal {
 Endpoints ResolveEndpoints(const DistanceContext& ctx, const Point& ps,
                            const Point& pt) {
   Endpoints endpoints;
-  auto vs = ctx.locator->GetHostPartition(ps);
-  auto vt = ctx.locator->GetHostPartition(pt);
-  if (vs.ok()) endpoints.vs = vs.value();
-  if (vt.ok()) endpoints.vt = vt.value();
+  if (ctx.source_hint != kInvalidId) {
+    endpoints.vs = ctx.source_hint;
+  } else {
+    auto vs = ctx.locator->GetHostPartition(ps);
+    if (vs.ok()) endpoints.vs = vs.value();
+  }
+  if (ctx.target_hint != kInvalidId) {
+    endpoints.vt = ctx.target_hint;
+  } else {
+    auto vt = ctx.locator->GetHostPartition(pt);
+    if (vt.ok()) endpoints.vt = vt.value();
+  }
   return endpoints;
 }
 
 double DirectCandidate(const DistanceContext& ctx,
                        const Endpoints& endpoints, const Point& ps,
-                       const Point& pt) {
+                       const Point& pt, GeodesicScratch* scratch) {
   if (endpoints.vs != endpoints.vt) return kInfDistance;
-  return ctx.graph->plan().partition(endpoints.vs).IntraDistance(ps, pt);
+  return ctx.graph->plan().partition(endpoints.vs).IntraDistance(ps, pt,
+                                                                 scratch);
 }
 
-std::vector<DoorId> PrunedSourceDoors(const FloorPlan& plan, PartitionId vs,
-                                      PartitionId vt) {
-  std::vector<DoorId> doors;
+void PrunedSourceDoors(const FloorPlan& plan, PartitionId vs, PartitionId vt,
+                       std::vector<DoorId>* out) {
+  out->clear();
   for (DoorId ds : plan.LeaveDoors(vs)) {
     // np: the partition in D2P_enterable(ds) \ {vs}.
     PartitionId np = kInvalidId;
@@ -38,72 +47,103 @@ std::vector<DoorId> PrunedSourceDoors(const FloorPlan& plan, PartitionId vs,
         plan.LeaveDoors(np)[0] == ds) {
       continue;  // dead end: one could only come straight back through ds
     }
-    doors.push_back(ds);
+    out->push_back(ds);
   }
-  return doors;  // LeaveDoors is sorted, so iteration order is ascending id
+  // LeaveDoors is sorted, so iteration order is ascending id.
+}
+
+std::vector<DoorId> PrunedSourceDoors(const FloorPlan& plan, PartitionId vs,
+                                      PartitionId vt) {
+  std::vector<DoorId> doors;
+  PrunedSourceDoors(plan, vs, vt, &doors);
+  return doors;
 }
 
 }  // namespace internal
 
 using internal::DirectCandidate;
 using internal::Endpoints;
-using internal::PrunedSourceDoors;
 using internal::ResolveEndpoints;
 
 double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
-                          const Point& pt) {
+                          const Point& pt, QueryScratch* scratch) {
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
 
-  double dist = DirectCandidate(ctx, endpoints, ps, pt);
+  double dist = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
+
+  // Entry legs ||ps, ds|| and exit legs ||dt, pt||, each resolved with one
+  // batched geodesic solve instead of a Dijkstra per door. The exit legs
+  // are loop-invariant in ds, so unlike Algorithm 2's pseudocode they are
+  // computed once (the values are identical either way).
+  const auto& src_doors = plan.LeaveDoors(endpoints.vs);
+  const auto& dst_doors = plan.EnterDoors(endpoints.vt);
+  auto& src_leg = scratch->src_leg;
+  auto& dst_leg = scratch->dst_leg;
+  src_leg.resize(src_doors.size());
+  dst_leg.resize(dst_doors.size());
+  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch->geo,
+                         src_leg.data());
+  ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch->geo,
+                         dst_leg.data());
+
   // Algorithm 2: every (leaveable source door, enterable destination door)
   // pair via a blind d2dDistance call.
-  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
-    const double dist1 = ctx.locator->DistV(endpoints.vs, ps, ds);
-    if (dist1 == kInfDistance) continue;
-    for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
-      const double dist2 = ctx.locator->DistV(endpoints.vt, pt, dt);
-      if (dist2 == kInfDistance) continue;
-      const double d2d = D2dDistance(*ctx.graph, ds, dt);
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    if (src_leg[i] == kInfDistance) continue;
+    for (size_t j = 0; j < dst_doors.size(); ++j) {
+      if (dst_leg[j] == kInfDistance) continue;
+      const double d2d =
+          D2dDistance(*ctx.graph, src_doors[i], dst_doors[j], &scratch->door);
       if (d2d == kInfDistance) continue;
-      dist = std::min(dist, dist1 + d2d + dist2);
+      dist = std::min(dist, src_leg[i] + d2d + dst_leg[j]);
     }
   }
   return dist;
 }
 
 double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
-                            const Point& pt) {
+                            const Point& pt, QueryScratch* scratch) {
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
 
-  double best = DirectCandidate(ctx, endpoints, ps, pt);
+  double best = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
   // One Dijkstra seeded with every source door at its distV offset.
   const size_t n = plan.door_count();
-  std::vector<double> dist(n, kInfDistance);
-  std::vector<char> visited(n, 0);
-  using Entry = std::pair<double, DoorId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
-    const double d0 = ctx.locator->DistV(endpoints.vs, ps, ds);
+  auto& dist = scratch->door.dist;
+  auto& visited = scratch->door.visited;
+  auto& heap = scratch->door.heap;
+  dist.assign(n, kInfDistance);
+  visited.assign(n, 0);
+  heap.clear();
+
+  const auto& src_doors = plan.LeaveDoors(endpoints.vs);
+  auto& src_leg = scratch->src_leg;
+  src_leg.resize(src_doors.size());
+  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch->geo,
+                         src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const double d0 = src_leg[i];
     if (d0 == kInfDistance) continue;
-    if (d0 < dist[ds]) {
-      dist[ds] = d0;
-      heap.push({d0, ds});
+    if (d0 < dist[src_doors[i]]) {
+      dist[src_doors[i]] = d0;
+      heap.push({d0, src_doors[i]});
     }
   }
 
   // Destination doors with their exit legs.
   const auto& dest_doors = plan.EnterDoors(endpoints.vt);
-  std::vector<double> exit_leg(dest_doors.size());
+  auto& exit_leg = scratch->dst_leg;
+  exit_leg.resize(dest_doors.size());
+  ctx.locator->DistVMany(endpoints.vt, pt, dest_doors, &scratch->geo,
+                         exit_leg.data());
   double min_exit = kInfDistance;
-  for (size_t i = 0; i < dest_doors.size(); ++i) {
-    exit_leg[i] = ctx.locator->DistV(endpoints.vt, pt, dest_doors[i]);
-    min_exit = std::min(min_exit, exit_leg[i]);
-  }
+  for (const double leg : exit_leg) min_exit = std::min(min_exit, leg);
 
   while (!heap.empty()) {
     const auto [d, di] = heap.top();
@@ -117,15 +157,11 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
       const double leg = exit_leg[it - dest_doors.begin()];
       if (leg != kInfDistance) best = std::min(best, d + leg);
     }
-    for (PartitionId v : plan.EnterableParts(di)) {
-      for (DoorId dj : plan.LeaveDoors(v)) {
-        if (visited[dj]) continue;
-        const double w = ctx.graph->Fd2d(v, di, dj);
-        if (w == kInfDistance) continue;
-        if (d + w < dist[dj]) {
-          dist[dj] = d + w;
-          heap.push({dist[dj], dj});
-        }
+    for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+      if (visited[e.to]) continue;
+      if (d + e.weight < dist[e.to]) {
+        dist[e.to] = d + e.weight;
+        heap.push({dist[e.to], e.to});
       }
     }
   }

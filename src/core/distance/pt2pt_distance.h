@@ -27,14 +27,31 @@
 
 namespace indoor {
 
+struct QueryScratch;
+
 /// Shared inputs of the pt2pt algorithms. Both referents must outlive the
 /// context.
 struct DistanceContext {
   const DistanceGraph* graph;
   const PartitionLocator* locator;
 
+  /// Known host partitions of the query endpoints. When a caller already
+  /// knows where a position lives (e.g. a stored object's partition),
+  /// setting the hint skips the per-evaluation R-tree lookup in
+  /// ResolveEndpoints; kInvalidId means "free point, locate it".
+  PartitionId source_hint = kInvalidId;
+  PartitionId target_hint = kInvalidId;
+
   DistanceContext(const DistanceGraph& g, const PartitionLocator& l)
       : graph(&g), locator(&l) {}
+
+  /// Copy of this context with endpoint hints attached.
+  DistanceContext WithHints(PartitionId vs, PartitionId vt) const {
+    DistanceContext ctx = *this;
+    ctx.source_hint = vs;
+    ctx.target_hint = vt;
+    return ctx;
+  }
 };
 
 /// How Algorithm 4 exploits the dists[.][.] cache.
@@ -49,23 +66,31 @@ enum class ReusePolicy {
   kPaperFaithful,
 };
 
+// All four variants accept an optional QueryScratch (query_scratch.h); a
+// null scratch falls back to the calling thread's arena. Either way the
+// steady-state evaluation performs no heap allocations, and results are
+// bit-identical to the historical per-door implementations (the batched
+// leg solver and the CSR expansions perform the same floating-point
+// additions in the same order).
+
 /// Algorithm 2. Returns kInfDistance when either position is not indoors or
 /// no path exists.
 double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
-                          const Point& pt);
+                          const Point& pt, QueryScratch* scratch = nullptr);
 
 /// Algorithm 3.
 double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
-                            const Point& pt);
+                            const Point& pt, QueryScratch* scratch = nullptr);
 
 /// Algorithm 4.
 double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
                           const Point& pt,
-                          ReusePolicy policy = ReusePolicy::kSafe);
+                          ReusePolicy policy = ReusePolicy::kSafe,
+                          QueryScratch* scratch = nullptr);
 
 /// Extension: single multi-source Dijkstra.
 double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
-                            const Point& pt);
+                            const Point& pt, QueryScratch* scratch = nullptr);
 
 namespace internal {
 
@@ -76,16 +101,25 @@ struct Endpoints {
   bool ok() const { return vs != kInvalidId && vt != kInvalidId; }
 };
 
+/// Resolves the endpoint host partitions, honoring the context's
+/// source/target hints: the R-tree point query runs only for endpoints
+/// without a hint (free points).
 Endpoints ResolveEndpoints(const DistanceContext& ctx, const Point& ps,
                            const Point& pt);
 
 /// The direct intra-partition candidate when vs == vt, else kInfDistance.
 double DirectCandidate(const DistanceContext& ctx,
                        const Endpoints& endpoints, const Point& ps,
-                       const Point& pt);
+                       const Point& pt, GeodesicScratch* scratch = nullptr);
 
 /// Algorithm 3/4 lines 3–8: source doors P2D_leave(vs) minus doors leading
 /// only into a dead-end partition np (P2D_leave(np) == {ds}, np != vt).
+/// Appends into `out` (cleared first) so a scratch-owned buffer is reused
+/// across queries without reallocating.
+void PrunedSourceDoors(const FloorPlan& plan, PartitionId vs, PartitionId vt,
+                       std::vector<DoorId>* out);
+
+/// Convenience wrapper returning a fresh vector.
 std::vector<DoorId> PrunedSourceDoors(const FloorPlan& plan, PartitionId vs,
                                       PartitionId vt);
 

@@ -2,9 +2,9 @@
 // one bounded Dijkstra per source door over a filtered destination set.
 
 #include <algorithm>
-#include <queue>
 
 #include "core/distance/pt2pt_distance.h"
+#include "core/distance/query_scratch.h"
 
 namespace indoor {
 
@@ -14,32 +14,45 @@ using internal::PrunedSourceDoors;
 using internal::ResolveEndpoints;
 
 double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
-                            const Point& pt) {
+                            const Point& pt, QueryScratch* scratch) {
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
 
   // Lines 3-8: source doors with dead ends removed; destination doors.
-  const std::vector<DoorId> doors_s =
-      PrunedSourceDoors(plan, endpoints.vs, endpoints.vt);
+  auto& doors_s = scratch->source_doors;
+  PrunedSourceDoors(plan, endpoints.vs, endpoints.vt, &doors_s);
   const std::vector<DoorId>& doors_t = plan.EnterDoors(endpoints.vt);
 
-  double dist_m = DirectCandidate(ctx, endpoints, ps, pt);
+  double dist_m = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
+
+  // Entry and exit legs, one batched geodesic solve per endpoint (the
+  // pseudocode recomputes ||dt, pt|| per source door; values identical).
+  auto& src_leg = scratch->src_leg;
+  auto& dst_leg = scratch->dst_leg;
+  src_leg.resize(doors_s.size());
+  dst_leg.resize(doors_t.size());
+  ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
+                         src_leg.data());
+  ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
+                         dst_leg.data());
 
   const size_t n = plan.door_count();
-  std::vector<double> dist(n);
-  std::vector<char> visited(n);
+  auto& dist = scratch->door.dist;
+  auto& visited = scratch->door.visited;
+  auto& heap = scratch->door.heap;
 
-  for (DoorId ds : doors_s) {
-    const double src_leg = ctx.locator->DistV(endpoints.vs, ps, ds);
-    if (src_leg == kInfDistance) continue;
+  for (size_t s = 0; s < doors_s.size(); ++s) {
+    const DoorId ds = doors_s[s];
+    if (src_leg[s] == kInfDistance) continue;
 
     // Lines 11-14: destination doors that can still beat dist_m.
-    std::vector<DoorId> doors;
-    for (DoorId dt : doors_t) {
-      const double dst_leg = ctx.locator->DistV(endpoints.vt, pt, dt);
-      if (dst_leg != kInfDistance && src_leg + dst_leg < dist_m) {
-        doors.push_back(dt);
+    auto& doors = scratch->cand_doors;
+    doors.clear();
+    for (size_t j = 0; j < doors_t.size(); ++j) {
+      if (dst_leg[j] != kInfDistance && src_leg[s] + dst_leg[j] < dist_m) {
+        doors.push_back(doors_t[j]);
       }
     }
     if (doors.empty()) continue;
@@ -48,8 +61,7 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
     // `doors` has been settled.
     dist.assign(n, kInfDistance);
     visited.assign(n, 0);
-    using Entry = std::pair<double, DoorId>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.clear();
     dist[ds] = 0.0;
     heap.push({0.0, ds});
 
@@ -62,22 +74,20 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
       const auto it = std::find(doors.begin(), doors.end(), di);
       if (it != doors.end()) {
         doors.erase(it);
-        const double dst_leg = ctx.locator->DistV(endpoints.vt, pt, di);
-        if (src_leg + d + dst_leg < dist_m) {
-          dist_m = src_leg + d + dst_leg;
+        const auto t =
+            std::lower_bound(doors_t.begin(), doors_t.end(), di);
+        const double leg = dst_leg[t - doors_t.begin()];
+        if (src_leg[s] + d + leg < dist_m) {
+          dist_m = src_leg[s] + d + leg;
         }
         if (doors.empty()) break;
       }
 
-      for (PartitionId v : plan.EnterableParts(di)) {
-        for (DoorId dj : plan.LeaveDoors(v)) {
-          if (visited[dj]) continue;
-          const double w = ctx.graph->Fd2d(v, di, dj);
-          if (w == kInfDistance) continue;
-          if (d + w < dist[dj]) {
-            dist[dj] = d + w;
-            heap.push({dist[dj], dj});
-          }
+      for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+        if (visited[e.to]) continue;
+        if (d + e.weight < dist[e.to]) {
+          dist[e.to] = d + e.weight;
+          heap.push({dist[e.to], e.to});
         }
       }
     }

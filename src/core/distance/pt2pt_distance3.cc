@@ -15,10 +15,10 @@
 //    bound dist_m and the expansion continues, preserving exactness.
 
 #include <algorithm>
-#include <queue>
 
 #include "core/distance/d2d_distance.h"
 #include "core/distance/pt2pt_distance.h"
+#include "core/distance/query_scratch.h"
 
 namespace indoor {
 
@@ -28,25 +28,29 @@ using internal::PrunedSourceDoors;
 using internal::ResolveEndpoints;
 
 double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
-                          const Point& pt, ReusePolicy policy) {
+                          const Point& pt, ReusePolicy policy,
+                          QueryScratch* scratch) {
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
 
-  const std::vector<DoorId> doors_s =
-      PrunedSourceDoors(plan, endpoints.vs, endpoints.vt);
+  auto& doors_s = scratch->source_doors;
+  PrunedSourceDoors(plan, endpoints.vs, endpoints.vt, &doors_s);
   const std::vector<DoorId>& doors_t = plan.EnterDoors(endpoints.vt);
 
-  // Leg caches and local (row/col) index maps for the dists[.][.] matrix.
+  // Leg caches and local (row/col) index maps for the dists[.][.] matrix,
+  // each endpoint resolved with one batched geodesic solve.
   const size_t rows = doors_s.size();
   const size_t cols = doors_t.size();
-  std::vector<double> src_leg(rows), dst_leg(cols);
-  for (size_t i = 0; i < rows; ++i) {
-    src_leg[i] = ctx.locator->DistV(endpoints.vs, ps, doors_s[i]);
-  }
-  for (size_t j = 0; j < cols; ++j) {
-    dst_leg[j] = ctx.locator->DistV(endpoints.vt, pt, doors_t[j]);
-  }
+  auto& src_leg = scratch->src_leg;
+  auto& dst_leg = scratch->dst_leg;
+  src_leg.resize(rows);
+  dst_leg.resize(cols);
+  ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
+                         src_leg.data());
+  ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
+                         dst_leg.data());
   auto row_of = [&](DoorId d) -> int {
     const auto it = std::lower_bound(doors_s.begin(), doors_s.end(), d);
     return (it != doors_s.end() && *it == d)
@@ -60,21 +64,24 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
                : -1;
   };
   // dists[row][col], initialized to infinity (paper lines 9-10).
-  std::vector<double> dists(rows * cols, kInfDistance);
+  auto& dists = scratch->d2d_cache;
+  dists.assign(rows * cols, kInfDistance);
 
-  double dist_m = DirectCandidate(ctx, endpoints, ps, pt);
+  double dist_m = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
   const size_t n = plan.door_count();
-  std::vector<double> dist(n);
-  std::vector<char> visited(n);
-  std::vector<PrevEntry> prev(n);
+  auto& dist = scratch->door.dist;
+  auto& visited = scratch->door.visited;
+  auto& heap = scratch->door.heap;
+  auto& prev = scratch->prev;
 
   for (size_t row = 0; row < rows; ++row) {
     const DoorId ds = doors_s[row];
     if (src_leg[row] == kInfDistance) continue;
 
     // Lines 13-16: candidate destination doors with unknown distances.
-    std::vector<DoorId> doors;
+    auto& doors = scratch->cand_doors;
+    doors.clear();
     for (size_t j = 0; j < cols; ++j) {
       if (dists[row * cols + j] == kInfDistance &&
           dst_leg[j] != kInfDistance &&
@@ -87,8 +94,7 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
     dist.assign(n, kInfDistance);
     visited.assign(n, 0);
     prev.assign(n, PrevEntry{});
-    using Entry = std::pair<double, DoorId>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.clear();
     dist[ds] = 0.0;
     heap.push({0.0, ds});
 
@@ -149,16 +155,12 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
         }
       }
 
-      for (PartitionId v : plan.EnterableParts(di)) {
-        for (DoorId dj : plan.LeaveDoors(v)) {
-          if (visited[dj]) continue;
-          const double w = ctx.graph->Fd2d(v, di, dj);
-          if (w == kInfDistance) continue;
-          if (d + w < dist[dj]) {
-            dist[dj] = d + w;
-            heap.push({dist[dj], dj});
-            prev[dj] = {v, di};
-          }
+      for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+        if (visited[e.to]) continue;
+        if (d + e.weight < dist[e.to]) {
+          dist[e.to] = d + e.weight;
+          heap.push({dist[e.to], e.to});
+          prev[e.to] = {e.via, di};
         }
       }
     }

@@ -1,0 +1,10 @@
+#include "core/distance/query_scratch.h"
+
+namespace indoor {
+
+QueryScratch& TlsQueryScratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace indoor

@@ -1,0 +1,65 @@
+// Per-thread query scratch arena.
+//
+// Every distance-aware query (pt2pt variants, range, kNN) runs a mix of
+// geodesic solves (intra-partition legs), door-level Dijkstras, and bucket
+// scans. QueryScratch bundles the reusable state of all three so the
+// steady-state query hot path performs zero heap allocations: buffers are
+// sized on first use and keep their capacity across queries.
+//
+// Ownership/threading contract (also see GeodesicScratch): a QueryScratch
+// belongs to exactly one thread at a time and must not be shared between
+// concurrently executing queries. The usual pattern is one scratch per
+// worker thread, obtained implicitly — every query entry point accepts a
+// null scratch and falls back to TlsQueryScratch(), the calling thread's
+// own arena — or explicitly, by constructing a QueryScratch next to the
+// worker loop and passing it down. Scratches hold no pointers into any
+// index structure except the revalidated source-solve cache inside
+// GeodesicScratch, so they may outlive, or be reused across, different
+// QueryEngine instances.
+
+#ifndef INDOOR_CORE_DISTANCE_QUERY_SCRATCH_H_
+#define INDOOR_CORE_DISTANCE_QUERY_SCRATCH_H_
+
+#include <vector>
+
+#include "core/distance/d2d_distance.h"
+#include "core/index/grid_index.h"
+
+namespace indoor {
+
+/// Reusable state for one thread's distance-aware queries.
+struct QueryScratch {
+  /// Geodesic solver state for the entry/exit legs (Locator::DistVMany)
+  /// and direct same-partition candidates.
+  GeodesicScratch geo;
+  /// Door-level Dijkstra state (Algorithms 1-4 expansions).
+  DoorDijkstraScratch door;
+  /// Grid-bucket search state (range/kNN object evaluation).
+  BucketScratch bucket;
+
+  /// Pruned source doors (Algorithm 3/4 lines 3-8).
+  std::vector<DoorId> source_doors;
+  /// Per-source candidate destination doors (Algorithm 3 lines 11-14).
+  std::vector<DoorId> cand_doors;
+  /// Entry legs ||ps, ds|| per source door / exit legs ||dt, pt|| per
+  /// destination door.
+  std::vector<double> src_leg;
+  std::vector<double> dst_leg;
+  /// Algorithm 4's dists[.][.] reuse matrix (rows x cols, row-major).
+  std::vector<double> d2d_cache;
+  /// Algorithm 4's prev[.] array for backward reuse.
+  std::vector<PrevEntry> prev;
+
+  /// kNN candidate collector; Reset(k) per query.
+  KnnCollector collector{1};
+  /// Staging for range-search results forwarded into id lists.
+  std::vector<Neighbor> neighbors;
+};
+
+/// The calling thread's fallback QueryScratch (used whenever a query entry
+/// point is handed a null scratch).
+QueryScratch& TlsQueryScratch();
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_QUERY_SCRATCH_H_

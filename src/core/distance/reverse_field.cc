@@ -1,6 +1,6 @@
 #include "core/distance/reverse_field.h"
 
-#include <queue>
+#include "core/distance/query_scratch.h"
 
 namespace indoor {
 
@@ -13,11 +13,11 @@ ReverseDistanceField::ReverseDistanceField(const DistanceContext& ctx,
   if (!host.ok()) return;
   host_ = host.value();
 
-  using Entry = std::pair<double, DoorId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  MinHeap<std::pair<double, DoorId>> heap;
   std::vector<char> visited(plan.door_count(), 0);
   // Seeds: crossing an entering door of the host partition leaves only the
-  // final intra leg to the target.
+  // final intra leg to the target. The legs keep the historical door->target
+  // orientation (each its own solve), so seed values match exactly.
   for (DoorId dt : plan.EnterDoors(host_)) {
     const double leg = plan.partition(host_).IntraDistance(
         plan.door(dt).Midpoint(), target);
@@ -27,22 +27,20 @@ ReverseDistanceField::ReverseDistanceField(const DistanceContext& ctx,
       heap.push({leg, dt});
     }
   }
-  // Dijkstra on the reversed door graph: settled dj relaxes every di that
-  // can reach dj through a shared partition (forward edge di -> dj).
+  // Dijkstra on the reversed door graph: settled dj relaxes every di with a
+  // forward edge di -> dj, iterated over the transposed CSR rows. Final
+  // distances are relaxation-order independent, so they match the nested
+  // LeaveableParts/EnterDoors loops bit-for-bit.
   while (!heap.empty()) {
     const auto [d, dj] = heap.top();
     heap.pop();
     if (visited[dj]) continue;
     visited[dj] = 1;
-    for (PartitionId v : plan.LeaveableParts(dj)) {
-      for (DoorId di : plan.EnterDoors(v)) {
-        if (visited[di]) continue;
-        const double w = ctx.graph->Fd2d(v, di, dj);
-        if (w == kInfDistance) continue;
-        if (d + w < door_dist_[di]) {
-          door_dist_[di] = d + w;
-          heap.push({door_dist_[di], di});
-        }
+    for (const DoorGraphEdge& e : ctx.graph->ReverseDoorEdges(dj)) {
+      if (visited[e.to]) continue;
+      if (d + e.weight < door_dist_[e.to]) {
+        door_dist_[e.to] = d + e.weight;
+        heap.push({door_dist_[e.to], e.to});
       }
     }
   }
@@ -54,14 +52,21 @@ double ReverseDistanceField::DistanceFrom(PartitionId v,
   const FloorPlan& plan = ctx_.graph->plan();
   const Partition& part = plan.partition(v);
   double best = kInfDistance;
+  // All legs share the source `p`, so one batched solve settles the direct
+  // leg and every leaving door exactly (DistVMany == per-door
+  // IntraDistance for doors touching `v`).
+  QueryScratch& scratch = TlsQueryScratch();
   if (v == host_) {
-    best = part.IntraDistance(p, target_);
+    best = part.IntraDistance(p, target_, &scratch.geo);
   }
-  for (DoorId ds : plan.LeaveDoors(v)) {
-    if (door_dist_[ds] == kInfDistance) continue;
-    const double leg = part.IntraDistance(p, plan.door(ds).Midpoint());
-    if (leg == kInfDistance) continue;
-    const double total = leg + door_dist_[ds];
+  const std::vector<DoorId>& doors = plan.LeaveDoors(v);
+  auto& leg = scratch.src_leg;
+  leg.resize(doors.size());
+  ctx_.locator->DistVMany(v, p, doors, &scratch.geo, leg.data());
+  for (size_t i = 0; i < doors.size(); ++i) {
+    const DoorId ds = doors[i];
+    if (door_dist_[ds] == kInfDistance || leg[i] == kInfDistance) continue;
+    const double total = leg[i] + door_dist_[ds];
     if (total < best) best = total;
   }
   return best;

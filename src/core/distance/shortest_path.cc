@@ -1,9 +1,9 @@
 #include "core/distance/shortest_path.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "core/distance/d2d_distance.h"
+#include "core/distance/query_scratch.h"
 
 namespace indoor {
 namespace {
@@ -57,22 +57,28 @@ IndoorPath Pt2PtShortestPath(const DistanceContext& ctx, const Point& ps,
   const auto endpoints = internal::ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return path;
 
+  QueryScratch& scratch = TlsQueryScratch();
   const double direct =
-      internal::DirectCandidate(ctx, endpoints, ps, pt);
+      internal::DirectCandidate(ctx, endpoints, ps, pt, &scratch.geo);
 
   // Multi-source Dijkstra over doors, seeded at the source partition's
-  // leaveable doors (see Pt2PtDistanceVirtual).
+  // leaveable doors (see Pt2PtDistanceVirtual). Entry and exit legs are
+  // each one batched geodesic solve.
   const size_t n = plan.door_count();
   std::vector<double> dist(n, kInfDistance);
   std::vector<char> visited(n, 0);
   std::vector<PrevEntry> prev(n);
-  using Entry = std::pair<double, DoorId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
-    const double d0 = ctx.locator->DistV(endpoints.vs, ps, ds);
-    if (d0 != kInfDistance && d0 < dist[ds]) {
-      dist[ds] = d0;
-      heap.push({d0, ds});
+  MinHeap<std::pair<double, DoorId>> heap;
+  const auto& src_doors = plan.LeaveDoors(endpoints.vs);
+  auto& src_leg = scratch.src_leg;
+  src_leg.resize(src_doors.size());
+  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch.geo,
+                         src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const double d0 = src_leg[i];
+    if (d0 != kInfDistance && d0 < dist[src_doors[i]]) {
+      dist[src_doors[i]] = d0;
+      heap.push({d0, src_doors[i]});
     }
   }
   while (!heap.empty()) {
@@ -80,25 +86,27 @@ IndoorPath Pt2PtShortestPath(const DistanceContext& ctx, const Point& ps,
     heap.pop();
     if (visited[di]) continue;
     visited[di] = 1;
-    for (PartitionId v : plan.EnterableParts(di)) {
-      for (DoorId dj : plan.LeaveDoors(v)) {
-        if (visited[dj]) continue;
-        const double w = ctx.graph->Fd2d(v, di, dj);
-        if (w == kInfDistance) continue;
-        if (d + w < dist[dj]) {
-          dist[dj] = d + w;
-          prev[dj] = {v, di};
-          heap.push({dist[dj], dj});
-        }
+    for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+      if (visited[e.to]) continue;
+      if (d + e.weight < dist[e.to]) {
+        dist[e.to] = d + e.weight;
+        prev[e.to] = {e.via, di};
+        heap.push({dist[e.to], e.to});
       }
     }
   }
 
   // Best destination door.
+  const auto& dst_doors = plan.EnterDoors(endpoints.vt);
+  auto& dst_leg = scratch.dst_leg;
+  dst_leg.resize(dst_doors.size());
+  ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch.geo,
+                         dst_leg.data());
   DoorId best_door = kInvalidId;
   double best = kInfDistance;
-  for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
-    const double leg = ctx.locator->DistV(endpoints.vt, pt, dt);
+  for (size_t j = 0; j < dst_doors.size(); ++j) {
+    const DoorId dt = dst_doors[j];
+    const double leg = dst_leg[j];
     if (leg == kInfDistance || dist[dt] == kInfDistance) continue;
     if (dist[dt] + leg < best) {
       best = dist[dt] + leg;

@@ -7,34 +7,28 @@ namespace indoor {
 
 // ---------------------------------------------------------------- KnnCollector
 
-KnnCollector::KnnCollector(size_t k) : k_(k) {
-  INDOOR_CHECK(k > 0) << "kNN requires k >= 1";
-}
+KnnCollector::KnnCollector(size_t k) { Reset(k); }
 
-double KnnCollector::Bound() const {
-  return entries_.size() == k_ ? entries_.rbegin()->first : kInfDistance;
+void KnnCollector::Reset(size_t k) {
+  INDOOR_CHECK(k > 0) << "kNN requires k >= 1";
+  k_ = k;
+  entries_.clear();
 }
 
 bool KnnCollector::Offer(ObjectId id, double distance) {
-  const auto it = best_.find(id);
-  if (it != best_.end()) {
-    if (distance >= it->second) return false;
-    entries_.erase({it->second, id});
-    entries_.insert({distance, id});
-    it->second = distance;
-    return true;
+  const auto pos = std::find_if(
+      entries_.begin(), entries_.end(),
+      [id](const std::pair<double, ObjectId>& e) { return e.second == id; });
+  const std::pair<double, ObjectId> entry{distance, id};
+  if (pos != entries_.end()) {
+    if (distance >= pos->first) return false;
+    entries_.erase(pos);
+  } else if (entries_.size() == k_) {
+    if (distance >= entries_.back().first) return false;
+    entries_.pop_back();
   }
-  if (entries_.size() < k_) {
-    entries_.insert({distance, id});
-    best_.emplace(id, distance);
-    return true;
-  }
-  const auto worst = std::prev(entries_.end());
-  if (distance >= worst->first) return false;
-  best_.erase(worst->second);
-  entries_.erase(worst);
-  entries_.insert({distance, id});
-  best_.emplace(id, distance);
+  entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), entry),
+                  entry);
   return true;
 }
 
@@ -103,8 +97,27 @@ void GridBucket::CollectAll(std::vector<ObjectId>* out) const {
   }
 }
 
+namespace {
+
+/// Batched intra-partition distances from `q` to every object of `cell`,
+/// written to geo->values. One geodesic solve per cell; the source-solve
+/// cache in `geo` collapses repeated cells of the same search into a
+/// single solve. Values are EXACTLY those of per-object IntraDistance.
+void CellDistances(const Partition& partition, const Point& q,
+                   const std::vector<std::pair<ObjectId, Point>>& cell,
+                   GeodesicScratch* geo) {
+  auto& pts = geo->points;
+  pts.clear();
+  for (const auto& [id, pos] : cell) pts.push_back(pos);
+  geo->values.resize(pts.size());
+  partition.IntraDistancesToMany(q, pts, geo, geo->values.data());
+}
+
+}  // namespace
+
 void GridBucket::RangeSearch(const Partition& partition, const Point& q,
-                             double r, std::vector<Neighbor>* out) const {
+                             double r, std::vector<Neighbor>* out,
+                             BucketScratch* scratch) const {
   if (count_ == 0 || r < 0) return;
   const double scale = partition.metric_scale();
   // Whole-cell admission is only sound where intra-distance == scaled
@@ -122,6 +135,14 @@ void GridBucket::RangeSearch(const Partition& partition, const Point& q,
       }
       continue;
     }
+    if (scratch != nullptr) {
+      CellDistances(partition, q, cell, &scratch->geo);
+      for (size_t j = 0; j < cell.size(); ++j) {
+        const double d = scratch->geo.values[j];
+        if (d <= r) out->push_back({cell[j].first, d});
+      }
+      continue;
+    }
     for (const auto& [id, pos] : cell) {
       const double d = partition.IntraDistance(q, pos);
       if (d <= r) out->push_back({id, d});
@@ -130,11 +151,15 @@ void GridBucket::RangeSearch(const Partition& partition, const Point& q,
 }
 
 void GridBucket::NnSearch(const Partition& partition, const Point& q,
-                          double extra, KnnCollector* collector) const {
+                          double extra, KnnCollector* collector,
+                          BucketScratch* scratch) const {
   if (count_ == 0) return;
   const double scale = partition.metric_scale();
   // Visit cells in ascending lower-bound order so the bound tightens early.
-  std::vector<std::pair<double, size_t>> order;
+  std::vector<std::pair<double, size_t>> local_order;
+  std::vector<std::pair<double, size_t>>& order =
+      scratch != nullptr ? scratch->cell_order : local_order;
+  order.clear();
   order.reserve(cells_.size());
   for (size_t i = 0; i < cells_.size(); ++i) {
     if (cells_[i].empty()) continue;
@@ -143,6 +168,15 @@ void GridBucket::NnSearch(const Partition& partition, const Point& q,
   std::sort(order.begin(), order.end());
   for (const auto& [lower, idx] : order) {
     if (lower >= collector->Bound()) break;
+    if (scratch != nullptr) {
+      CellDistances(partition, q, cells_[idx], &scratch->geo);
+      for (size_t j = 0; j < cells_[idx].size(); ++j) {
+        const double d = scratch->geo.values[j];
+        if (d == kInfDistance) continue;
+        collector->Offer(cells_[idx][j].first, d + extra);
+      }
+      continue;
+    }
     for (const auto& [id, pos] : cells_[idx]) {
       const double d = partition.IntraDistance(q, pos);
       if (d == kInfDistance) continue;

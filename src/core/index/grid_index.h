@@ -6,8 +6,6 @@
 #ifndef INDOOR_CORE_INDEX_GRID_INDEX_H_
 #define INDOOR_CORE_INDEX_GRID_INDEX_H_
 
-#include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -28,13 +26,22 @@ struct Neighbor {
 /// Collects the k nearest objects with per-object-id de-duplication (the
 /// same object can be reached through several doors; only its best distance
 /// may occupy a slot).
+///
+/// Stored as one flat sorted vector of (distance, id) pairs — k is small,
+/// so linear dedup beats the former set + hash-map pair, and Reset(k) lets
+/// per-thread scratch reuse the buffer allocation-free across queries.
 class KnnCollector {
  public:
   explicit KnnCollector(size_t k);
 
+  /// Re-arms the collector for a new query, keeping buffer capacity.
+  void Reset(size_t k);
+
   /// Current pruning bound: the k-th best distance, or kInfDistance while
   /// fewer than k objects are collected.
-  double Bound() const;
+  double Bound() const {
+    return entries_.size() == k_ ? entries_.back().first : kInfDistance;
+  }
 
   /// Offers a candidate; keeps it only if it improves the collection.
   /// Returns true if the candidate was (re)admitted.
@@ -48,9 +55,17 @@ class KnnCollector {
 
  private:
   size_t k_;
-  // (distance, id), ordered; at most k entries, mirrored by best_.
-  std::set<std::pair<double, ObjectId>> entries_;
-  std::unordered_map<ObjectId, double> best_;
+  // (distance, id), ascending; at most k entries.
+  std::vector<std::pair<double, ObjectId>> entries_;
+};
+
+/// Reusable GridBucket search state: the geodesic scratch for batched
+/// intra-partition distances plus the cell visit-order buffer. Same
+/// ownership contract as GeodesicScratch — one thread at a time, buffers
+/// survive across searches.
+struct BucketScratch {
+  GeodesicScratch geo;
+  std::vector<std::pair<double, size_t>> cell_order;
 };
 
 /// The grid-subdivided object bucket of one partition. Stores (id, point)
@@ -59,8 +74,9 @@ class KnnCollector {
 ///
 /// Thread-safety: CollectAll/RangeSearch/NnSearch and the cell accessors
 /// are const and keep all traversal state (cell frontiers, candidate
-/// heaps) in locals or caller-provided output buffers, so concurrent
-/// readers are safe. Insert/Remove require external synchronization.
+/// heaps) in locals or caller-provided scratch/output buffers, so
+/// concurrent readers are safe. Insert/Remove require external
+/// synchronization.
 class GridBucket {
  public:
   GridBucket() = default;
@@ -84,16 +100,22 @@ class GridBucket {
   /// rangeSearch(B, q, r): appends (id, distance) of all objects whose
   /// intra-partition distance from `q` is <= r. Cells are pruned by the
   /// Euclidean lower bound; obstacle-free convex partitions also admit
-  /// whole cells by the Euclidean upper bound.
+  /// whole cells by the Euclidean upper bound. With a scratch, each cell's
+  /// surviving objects are resolved through one batched geodesic solve
+  /// (ObstructedRegion::DistancesToMany) — identical results, no per-object
+  /// Dijkstra; a null scratch keeps the historical per-object evaluation.
   void RangeSearch(const Partition& partition, const Point& q, double r,
-                   std::vector<Neighbor>* out) const;
+                   std::vector<Neighbor>* out,
+                   BucketScratch* scratch = nullptr) const;
 
   /// nnSearch(B, q, ...): offers objects to `collector`, visiting cells in
   /// ascending lower-bound order and stopping once no cell can beat the
   /// collector's bound. `extra` is added to every distance before offering
-  /// (the q-to-door leg accumulated outside this partition).
+  /// (the q-to-door leg accumulated outside this partition). Scratch
+  /// semantics as in RangeSearch.
   void NnSearch(const Partition& partition, const Point& q, double extra,
-                KnnCollector* collector) const;
+                KnnCollector* collector,
+                BucketScratch* scratch = nullptr) const;
 
   /// Geometry of cell `idx` (for external best-first traversals).
   Rect CellRectAt(size_t idx) const { return CellRect(idx); }

@@ -6,14 +6,20 @@ namespace indoor {
 
 AccessibilityGraph::AccessibilityGraph(const FloorPlan& plan)
     : plan_(&plan) {
-  out_edges_.assign(plan.partition_count(), {});
   for (const Door& door : plan.doors()) {
     for (const DoorConnection& c : plan.D2P(door.id())) {
-      const AccessEdge edge{c.from, c.to, door.id()};
-      edges_.push_back(edge);
-      out_edges_[c.from].push_back(edge);
+      edges_.push_back({c.from, c.to, door.id()});
     }
   }
+  // Flatten per-partition out-lists (door order within each row, as
+  // before) into CSR via counting sort on the source partition.
+  const size_t n = plan.partition_count();
+  out_offsets_.assign(n + 1, 0);
+  for (const AccessEdge& e : edges_) ++out_offsets_[e.from + 1];
+  for (size_t i = 1; i <= n; ++i) out_offsets_[i] += out_offsets_[i - 1];
+  out_edges_.resize(edges_.size());
+  std::vector<size_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  for (const AccessEdge& e : edges_) out_edges_[cursor[e.from]++] = e;
 }
 
 std::vector<PartitionId> AccessibilityGraph::ReachableFrom(
@@ -27,7 +33,7 @@ std::vector<PartitionId> AccessibilityGraph::ReachableFrom(
     const PartitionId v = queue.front();
     queue.pop_front();
     out.push_back(v);
-    for (const AccessEdge& e : out_edges_[v]) {
+    for (const AccessEdge& e : OutEdges(v)) {
       if (!seen[e.to]) {
         seen[e.to] = 1;
         queue.push_back(e.to);

@@ -6,6 +6,7 @@
 #ifndef INDOOR_CORE_MODEL_ACCESSIBILITY_GRAPH_H_
 #define INDOOR_CORE_MODEL_ACCESSIBILITY_GRAPH_H_
 
+#include <span>
 #include <vector>
 
 #include "indoor/floor_plan.h"
@@ -30,10 +31,12 @@ class AccessibilityGraph {
   /// All labeled edges Ea = {(vi, vj, dk) | (vi, vj) in D2P(dk)}.
   const std::vector<AccessEdge>& edges() const { return edges_; }
 
-  /// Out-edges of partition `v`.
-  const std::vector<AccessEdge>& OutEdges(PartitionId v) const {
-    INDOOR_CHECK(v < out_edges_.size());
-    return out_edges_[v];
+  /// Out-edges of partition `v`, in the contiguous CSR row for `v`
+  /// (grouped per partition from the door-order edge list).
+  std::span<const AccessEdge> OutEdges(PartitionId v) const {
+    INDOOR_CHECK(v + 1 < out_offsets_.size());
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
   }
 
   /// Partitions reachable from `source` by directed traversal (BFS),
@@ -47,7 +50,10 @@ class AccessibilityGraph {
  private:
   const FloorPlan* plan_;
   std::vector<AccessEdge> edges_;
-  std::vector<std::vector<AccessEdge>> out_edges_;
+  // Out-adjacency in CSR: out-edges of v are
+  // out_edges_[out_offsets_[v] .. out_offsets_[v+1]).
+  std::vector<size_t> out_offsets_;
+  std::vector<AccessEdge> out_edges_;
 };
 
 }  // namespace indoor

@@ -32,6 +32,52 @@ DistanceGraph::DistanceGraph(const FloorPlan& plan)
       }
     }
   }
+  BuildDoorCsr();
+}
+
+void DistanceGraph::BuildDoorCsr() {
+  const FloorPlan& plan = *plan_;
+  const size_t n = plan.door_count();
+  door_offsets_.assign(n + 1, 0);
+  door_edges_.clear();
+  // Forward lists, flattened in the exact order the door-Dijkstra loops
+  // enumerate: for v in EnterableParts(di), for dj in LeaveDoors(v).
+  // Infinite fd2d entries are unreachable and a dj == di relaxation can
+  // never improve dist[di] (di is already settled when its row is
+  // expanded), so both are dropped here without changing any search.
+  for (DoorId di = 0; di < n; ++di) {
+    door_offsets_[di] = door_edges_.size();
+    for (PartitionId v : plan.EnterableParts(di)) {
+      for (DoorId dj : plan.LeaveDoors(v)) {
+        if (dj == di) continue;
+        const double w = Fd2d(v, di, dj);
+        if (w == kInfDistance) continue;
+        door_edges_.push_back({dj, v, w});
+      }
+    }
+  }
+  door_offsets_[n] = door_edges_.size();
+
+  // Transpose: rev row dj holds every forward edge di -> dj as
+  // {di, via, weight}. Reverse Dijkstras relax the same weights, so their
+  // final distances match the nested LeaveableParts/EnterDoors loops
+  // bit-for-bit (Dijkstra distances are relaxation-order independent).
+  rev_door_offsets_.assign(n + 1, 0);
+  for (const DoorGraphEdge& e : door_edges_) {
+    ++rev_door_offsets_[e.to + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    rev_door_offsets_[i] += rev_door_offsets_[i - 1];
+  }
+  rev_door_edges_.resize(door_edges_.size());
+  std::vector<size_t> cursor(rev_door_offsets_.begin(),
+                             rev_door_offsets_.end() - 1);
+  for (DoorId di = 0; di < n; ++di) {
+    for (size_t k = door_offsets_[di]; k < door_offsets_[di + 1]; ++k) {
+      const DoorGraphEdge& e = door_edges_[k];
+      rev_door_edges_[cursor[e.to]++] = {di, e.via, e.weight};
+    }
+  }
 }
 
 int DistanceGraph::LocalDoorIndex(PartitionId v, DoorId d) const {

@@ -10,15 +10,30 @@
 // Both are precomputed per partition at build time from the partition
 // geometry (obstructed where a partition has obstacles, scaled for
 // flattened staircases).
+//
+// For the door-level Dijkstras that dominate query time, the
+// EnterableParts/LeaveDoors/Fd2d triple loop is additionally flattened
+// into a CSR successor list per door (DoorEdges) and its transpose
+// (ReverseDoorEdges): one contiguous scan per expansion instead of nested
+// id lists plus binary-searched Fd2d lookups.
 
 #ifndef INDOOR_CORE_MODEL_DISTANCE_GRAPH_H_
 #define INDOOR_CORE_MODEL_DISTANCE_GRAPH_H_
 
+#include <span>
 #include <vector>
 
 #include "core/model/accessibility_graph.h"
 
 namespace indoor {
+
+/// One flattened door-graph edge: from the row's door one can reach door
+/// `to` by crossing partition `via` at cost `weight` (a finite fd2d value).
+struct DoorGraphEdge {
+  DoorId to;
+  PartitionId via;
+  double weight;
+};
 
 /// Gdist over a FloorPlan. The plan must outlive the graph.
 class DistanceGraph {
@@ -43,9 +58,34 @@ class DistanceGraph {
   /// iNav baseline). kInfDistance if either door does not touch `v`.
   double IntraDoorDistance(PartitionId v, DoorId di, DoorId dj) const;
 
+  /// Finite successor edges of door `d`, i.e. the flattening of
+  ///   for v in EnterableParts(d): for dj in LeaveDoors(v): Fd2d(v, d, dj)
+  /// in exactly that enumeration order, with infinite entries and the
+  /// trivial self edge (dj == d) dropped. Dijkstra expansions over this
+  /// list relax the same (target, weight) sequence as the nested loops,
+  /// so distances and prev[] trees are bit-identical.
+  std::span<const DoorGraphEdge> DoorEdges(DoorId d) const {
+    INDOOR_CHECK(d + 1 < door_offsets_.size());
+    return {door_edges_.data() + door_offsets_[d],
+            door_offsets_[d + 1] - door_offsets_[d]};
+  }
+
+  /// Transposed door graph: every edge (e.to -> d via e.via at e.weight)
+  /// of the forward lists, grouped by target door `d`. Backs reverse
+  /// distance fields (Dijkstra toward a fixed target).
+  std::span<const DoorGraphEdge> ReverseDoorEdges(DoorId d) const {
+    INDOOR_CHECK(d + 1 < rev_door_offsets_.size());
+    return {rev_door_edges_.data() + rev_door_offsets_[d],
+            rev_door_offsets_[d + 1] - rev_door_offsets_[d]};
+  }
+
  private:
   /// Index of door `d` within TouchingDoors(v), or -1.
   int LocalDoorIndex(PartitionId v, DoorId d) const;
+
+  /// Flattens the door successor lists (and their transpose) from the
+  /// fd2d tables. Called once at construction.
+  void BuildDoorCsr();
 
   const FloorPlan* plan_;
   AccessibilityGraph accs_;
@@ -55,6 +95,12 @@ class DistanceGraph {
   // Per partition: dense intra-distance matrix over TouchingDoors(v)
   // (row-major n x n, n = touching door count).
   std::vector<std::vector<double>> intra_;
+  // Door-graph adjacency in CSR: successors of door d are
+  // door_edges_[door_offsets_[d] .. door_offsets_[d+1]).
+  std::vector<size_t> door_offsets_;
+  std::vector<DoorGraphEdge> door_edges_;
+  std::vector<size_t> rev_door_offsets_;
+  std::vector<DoorGraphEdge> rev_door_edges_;
 };
 
 }  // namespace indoor

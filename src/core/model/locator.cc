@@ -41,10 +41,34 @@ Result<PartitionId> PartitionLocator::GetHostPartition(
   return best;
 }
 
-double PartitionLocator::DistV(PartitionId v, const Point& p,
-                               DoorId d) const {
+double PartitionLocator::DistV(PartitionId v, const Point& p, DoorId d,
+                               GeodesicScratch* scratch) const {
   if (!plan_->Touches(d, v)) return kInfDistance;
-  return plan_->partition(v).IntraDistance(p, plan_->door(d).Midpoint());
+  return plan_->partition(v).IntraDistance(p, plan_->door(d).Midpoint(),
+                                           scratch);
+}
+
+void PartitionLocator::DistVMany(PartitionId v, const Point& p,
+                                 std::span<const DoorId> doors,
+                                 GeodesicScratch* scratch,
+                                 double* out) const {
+  if (scratch == nullptr) scratch = &TlsGeodesicScratch();
+  auto& pts = scratch->points;
+  auto& slots = scratch->slots;
+  auto& values = scratch->values;
+  pts.clear();
+  slots.clear();
+  for (size_t i = 0; i < doors.size(); ++i) {
+    if (!plan_->Touches(doors[i], v)) {
+      out[i] = kInfDistance;
+      continue;
+    }
+    pts.push_back(plan_->door(doors[i]).Midpoint());
+    slots.push_back(i);
+  }
+  values.resize(pts.size());
+  plan_->partition(v).IntraDistancesToMany(p, pts, scratch, values.data());
+  for (size_t j = 0; j < slots.size(); ++j) out[slots[j]] = values[j];
 }
 
 double PartitionLocator::DistV(const Point& p, DoorId d) const {

@@ -5,6 +5,8 @@
 #ifndef INDOOR_CORE_MODEL_LOCATOR_H_
 #define INDOOR_CORE_MODEL_LOCATOR_H_
 
+#include <span>
+
 #include "indoor/floor_plan.h"
 #include "rtree/rtree.h"
 #include "util/result.h"
@@ -27,8 +29,17 @@ class PartitionLocator {
 
   /// distV(p, d) with a known host partition `v` (paper Eq. 6): shortest
   /// intra-partition walking distance from `p` to door `d`'s midpoint
-  /// without leaving `v`; kInfDistance if `d` does not touch `v`.
-  double DistV(PartitionId v, const Point& p, DoorId d) const;
+  /// without leaving `v`; kInfDistance if `d` does not touch `v`. A null
+  /// `scratch` falls back to the calling thread's scratch.
+  double DistV(PartitionId v, const Point& p, DoorId d,
+               GeodesicScratch* scratch = nullptr) const;
+
+  /// Batched distV: out[i] is EXACTLY the value DistV(v, p, doors[i])
+  /// would return, but all touching doors share one geodesic solve from
+  /// `p` (ObstructedRegion::DistancesToMany). This is the entry/exit-leg
+  /// primitive of the pt2pt/range/kNN hot path.
+  void DistVMany(PartitionId v, const Point& p, std::span<const DoorId> doors,
+                 GeodesicScratch* scratch, double* out) const;
 
   /// distV(p, d) resolving the host partition internally; kInfDistance if
   /// `p` is not indoors.

@@ -10,10 +10,16 @@ DistanceBrowser::DistanceBrowser(const IndexFramework& index, const Point& q)
   const PartitionId v = host.value();
   // The host partition's own cells, anchored at the query itself.
   PushCells(v, q, 0.0);
-  // One row cursor per leaveable door of the host partition.
+  // One row cursor per leaveable door of the host partition; all distV
+  // legs come from one batched geodesic solve rooted at q.
   const FloorPlan& plan = index.plan();
-  for (DoorId ds : plan.LeaveDoors(v)) {
-    const double base = index.locator().DistV(v, q, ds);
+  const auto& src_doors = plan.LeaveDoors(v);
+  auto& src_leg = scratch_.src_leg;
+  src_leg.resize(src_doors.size());
+  index.locator().DistVMany(v, q, src_doors, &scratch_.geo, src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const DoorId ds = src_doors[i];
+    const double base = src_leg[i];
     if (base == kInfDistance) continue;
     Entry entry;
     entry.kind = Kind::kRowCursor;
@@ -84,9 +90,22 @@ void DistanceBrowser::Settle() {
     } else {  // kCell
       const Partition& part = plan.partition(top.partition);
       const GridBucket& bucket = index_->objects().bucket(top.partition);
-      for (const auto& [id, pos] : bucket.CellContents(top.cell)) {
+      const auto& contents = bucket.CellContents(top.cell);
+      // One batched geodesic solve from the anchor covers every unyielded
+      // object of the cell (identical values to per-object IntraDistance).
+      auto& pts = scratch_.geo.points;
+      pts.clear();
+      for (const auto& [id, pos] : contents) {
+        if (!yielded_.count(id)) pts.push_back(pos);
+      }
+      if (pts.empty()) continue;
+      auto& legs = scratch_.src_leg;
+      legs.resize(pts.size());
+      part.IntraDistancesToMany(top.anchor, pts, &scratch_.geo, legs.data());
+      size_t next_leg = 0;
+      for (const auto& [id, pos] : contents) {
         if (yielded_.count(id)) continue;
-        const double leg = part.IntraDistance(top.anchor, pos);
+        const double leg = legs[next_leg++];
         if (leg == kInfDistance) continue;
         Entry entry;
         entry.kind = Kind::kObject;

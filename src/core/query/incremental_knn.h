@@ -17,6 +17,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "core/distance/query_scratch.h"
 #include "core/index/index_framework.h"
 
 namespace indoor {
@@ -69,6 +70,9 @@ class DistanceBrowser {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<ObjectId> yielded_;
   std::unordered_set<uint64_t> partitions_entered_;  // (partition<<32)|door
+  // Browser-owned scratch: cell settlement batches all objects of a cell
+  // through one geodesic solve anchored at the cell's entry point.
+  QueryScratch scratch_;
   bool valid_ = false;
 };
 

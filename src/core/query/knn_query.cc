@@ -1,40 +1,51 @@
 #include "core/query/knn_query.h"
 
+#include "core/distance/query_scratch.h"
+
 namespace indoor {
 namespace {
 
 /// Lines 12-19 of Algorithm 6 for one DPT side: nnSearch in the partition's
 /// bucket anchored at door dj with the accumulated leg r2.
 void SearchSide(const IndexFramework& index, PartitionId part, DoorId dj,
-                double r2, KnnCollector* collector) {
+                double r2, BucketScratch* scratch, KnnCollector* collector) {
   if (part == kInvalidId) return;
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
   bucket.NnSearch(index.plan().partition(part),
-                  index.plan().door(dj).Midpoint(), r2, collector);
+                  index.plan().door(dj).Midpoint(), r2, collector, scratch);
 }
 
 }  // namespace
 
 std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
-                               size_t k, KnnQueryOptions options) {
+                               size_t k, KnnQueryOptions options,
+                               QueryScratch* scratch) {
   const FloorPlan& plan = index.plan();
   const auto host = index.locator().GetHostPartition(q);
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
 
-  KnnCollector collector(k);
+  KnnCollector& collector = scratch->collector;
+  collector.Reset(k);
   // Line 3: search the host partition directly.
   index.objects().bucket(v).NnSearch(plan.partition(v), q, /*extra=*/0.0,
-                                     &collector);
+                                     &collector, &scratch->bucket);
 
   const size_t n = plan.door_count();
   const DistanceMatrix& md2d = index.d2d_matrix();
   const DoorPartitionTable& dpt = index.dpt();
 
   // Lines 4-19: expand through every leaveable door of the host partition.
-  for (DoorId di : plan.LeaveDoors(v)) {
-    const double r1 = index.locator().DistV(v, q, di);
+  // All q-to-door legs come from one batched geodesic solve rooted at q.
+  const auto& src_doors = plan.LeaveDoors(v);
+  auto& src_leg = scratch->src_leg;
+  src_leg.resize(src_doors.size());
+  index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const DoorId di = src_doors[i];
+    const double r1 = src_leg[i];
     if (r1 == kInfDistance) continue;
     const double* row = md2d.Row(di);
     if (options.use_index_matrix) {
@@ -43,15 +54,19 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
         const DoorId dj = order[j];
         if (r1 + row[dj] > collector.Bound()) break;
         const double r2 = r1 + row[dj];
-        SearchSide(index, dpt[dj].part1, dj, r2, &collector);
-        SearchSide(index, dpt[dj].part2, dj, r2, &collector);
+        SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
+                   &collector);
+        SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
+                   &collector);
       }
     } else {
       for (DoorId dj = 0; dj < n; ++dj) {
         if (r1 + row[dj] > collector.Bound()) continue;
         const double r2 = r1 + row[dj];
-        SearchSide(index, dpt[dj].part1, dj, r2, &collector);
-        SearchSide(index, dpt[dj].part2, dj, r2, &collector);
+        SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
+                   &collector);
+        SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
+                   &collector);
       }
     }
   }

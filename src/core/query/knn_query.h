@@ -11,6 +11,8 @@
 
 namespace indoor {
 
+struct QueryScratch;
+
 /// Query knobs.
 struct KnnQueryOptions {
   /// Use Midx to scan doors nearest-first with early termination; when
@@ -21,9 +23,11 @@ struct KnnQueryOptions {
 
 /// Executes the kNN query: the k objects with smallest indoor walking
 /// distance from q, nearest first (fewer if the building holds fewer
-/// reachable objects). Empty when q is not inside any partition.
+/// reachable objects). Empty when q is not inside any partition. A null
+/// `scratch` falls back to the calling thread's TlsQueryScratch().
 std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
-                               size_t k, KnnQueryOptions options = {});
+                               size_t k, KnnQueryOptions options = {},
+                               QueryScratch* scratch = nullptr);
 
 }  // namespace indoor
 

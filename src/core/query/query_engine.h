@@ -25,10 +25,14 @@ namespace indoor {
 /// Thread-safety: every const method (Distance, DoorDistance,
 /// ShortestPath, Range, Nearest, Locate) may be called concurrently from
 /// any number of threads once construction and object loading are done —
-/// the underlying index is immutable and all per-query scratch state lives
-/// on the caller's stack (see IndexFramework). AddObject/MoveObject are
-/// writes: they require external synchronization and must not overlap any
-/// in-flight reader.
+/// the underlying index is immutable, and per-query mutable state lives in
+/// a QueryScratch arena. Callers that pass no scratch get the calling
+/// thread's TlsQueryScratch() automatically; callers that manage their own
+/// threads may instead pass one QueryScratch per thread explicitly (see
+/// query_scratch.h for the ownership contract). Either way the hot query
+/// path performs no steady-state heap allocations. AddObject/MoveObject
+/// are writes: they require external synchronization and must not overlap
+/// any in-flight reader.
 class QueryEngine {
  public:
   /// Takes ownership of the plan and builds every index over it.
@@ -52,9 +56,10 @@ class QueryEngine {
   /// Minimum indoor walking distance between two positions (exact; reads
   /// the pre-computed Md2d, no per-query graph search). kInfDistance when
   /// disconnected or not indoors.
-  double Distance(const Point& ps, const Point& pt) const {
+  double Distance(const Point& ps, const Point& pt,
+                  QueryScratch* scratch = nullptr) const {
     return Pt2PtDistanceMatrix(index_->locator(), index_->d2d_matrix(), ps,
-                               pt);
+                               pt, scratch);
   }
 
   /// Minimum walking distance between two doors.
@@ -71,14 +76,16 @@ class QueryEngine {
 
   /// Range query Qr(q, r).
   std::vector<ObjectId> Range(const Point& q, double r,
-                              RangeQueryOptions options = {}) const {
-    return RangeQuery(*index_, q, r, options);
+                              RangeQueryOptions options = {},
+                              QueryScratch* scratch = nullptr) const {
+    return RangeQuery(*index_, q, r, options, scratch);
   }
 
   /// kNN query, nearest first.
   std::vector<Neighbor> Nearest(const Point& q, size_t k,
-                                KnnQueryOptions options = {}) const {
-    return KnnQuery(*index_, q, k, options);
+                                KnnQueryOptions options = {},
+                                QueryScratch* scratch = nullptr) const {
+    return KnnQuery(*index_, q, k, options, scratch);
   }
 
   /// getHostPartition(p).

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 
+#include "core/distance/query_scratch.h"
+
 namespace indoor {
 namespace {
 
 /// Lines 11-20 of Algorithm 5 for one DPT side (partition + fdv value):
 /// whole-partition inclusion when fdv(dj, part) <= r2, else a grid-pruned
-/// intra-partition range search anchored at door dj.
+/// intra-partition range search anchored at door dj. `found` is a reusable
+/// staging buffer for the bucket results.
 void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
-                DoorId dj, double r2, std::vector<ObjectId>* result) {
+                DoorId dj, double r2, BucketScratch* scratch,
+                std::vector<Neighbor>* found, std::vector<ObjectId>* result) {
   if (part == kInvalidId) return;
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
@@ -17,36 +21,44 @@ void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
     bucket.CollectAll(result);
     return;
   }
-  std::vector<Neighbor> found;
+  found->clear();
   bucket.RangeSearch(index.plan().partition(part),
-                     index.plan().door(dj).Midpoint(), r2, &found);
-  for (const Neighbor& nb : found) result->push_back(nb.id);
+                     index.plan().door(dj).Midpoint(), r2, found, scratch);
+  for (const Neighbor& nb : *found) result->push_back(nb.id);
 }
 
 }  // namespace
 
 std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
-                                 double r, RangeQueryOptions options) {
+                                 double r, RangeQueryOptions options,
+                                 QueryScratch* scratch) {
   std::vector<ObjectId> result;
   const FloorPlan& plan = index.plan();
   const auto host = index.locator().GetHostPartition(q);
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
+  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  std::vector<Neighbor>& found = scratch->neighbors;
 
   // Line 2: search the host partition directly.
-  {
-    std::vector<Neighbor> found;
-    index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found);
-    for (const Neighbor& nb : found) result.push_back(nb.id);
-  }
+  found.clear();
+  index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found,
+                                        &scratch->bucket);
+  for (const Neighbor& nb : found) result.push_back(nb.id);
 
   const size_t n = plan.door_count();
   const DistanceMatrix& md2d = index.d2d_matrix();
   const DoorPartitionTable& dpt = index.dpt();
 
   // Lines 3-20: expand through every leaveable door of the host partition.
-  for (DoorId di : plan.LeaveDoors(v)) {
-    const double r1 = r - index.locator().DistV(v, q, di);
+  // All q-to-door legs come from one batched geodesic solve rooted at q.
+  const auto& src_doors = plan.LeaveDoors(v);
+  auto& src_leg = scratch->src_leg;
+  src_leg.resize(src_doors.size());
+  index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    const DoorId di = src_doors[i];
+    const double r1 = r - src_leg[i];
     if (r1 < 0) continue;
     const double* row = md2d.Row(di);
     if (options.use_index_matrix) {
@@ -55,16 +67,20 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
         const DoorId dj = order[j];
         if (row[dj] > r1) break;  // nearest-first: nothing further qualifies
         const double r2 = r1 - row[dj];
-        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2, &result);
-        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2, &result);
+        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
+                   &scratch->bucket, &found, &result);
+        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
+                   &scratch->bucket, &found, &result);
       }
     } else {
       // Without Midx the whole Md2d row must be examined.
       for (DoorId dj = 0; dj < n; ++dj) {
         if (row[dj] > r1) continue;
         const double r2 = r1 - row[dj];
-        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2, &result);
-        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2, &result);
+        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
+                   &scratch->bucket, &found, &result);
+        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
+                   &scratch->bucket, &found, &result);
       }
     }
   }

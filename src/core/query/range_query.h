@@ -10,6 +10,8 @@
 
 namespace indoor {
 
+struct QueryScratch;
+
 /// Query knobs.
 struct RangeQueryOptions {
   /// Use Midx to scan doors nearest-first with early termination. When
@@ -20,9 +22,11 @@ struct RangeQueryOptions {
 
 /// Executes Qr(q, r). Returns the qualifying object ids, sorted and unique
 /// (one partition can be reached through several doors). Returns an empty
-/// result when q is not inside any partition.
+/// result when q is not inside any partition. A null `scratch` falls back
+/// to the calling thread's TlsQueryScratch().
 std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
-                                 double r, RangeQueryOptions options = {});
+                                 double r, RangeQueryOptions options = {},
+                                 QueryScratch* scratch = nullptr);
 
 }  // namespace indoor
 

@@ -1,0 +1,56 @@
+// Reference oracles: the pre-optimization implementations of the hot query
+// paths, kept verbatim (per-pair d2dDistance with fresh buffers, per-door
+// distV legs, per-object bucket evaluation, nested EnterableParts/LeaveDoors
+// edge enumeration). They exist for two purposes:
+//
+//  * equivalence tests — the optimized paths (batched one-to-many geodesic
+//    solves, CSR door graph, QueryScratch reuse) must return EXACTLY equal
+//    results (bitwise doubles, identical object sets/order);
+//  * benchmarking — the "old" side of bench_pt2pt_hotpath's old-vs-new
+//    speedup and allocations-per-query measurements.
+//
+// Never call these from production code paths; they allocate per query by
+// design.
+
+#ifndef INDOOR_CORE_QUERY_REFERENCE_IMPLS_H_
+#define INDOOR_CORE_QUERY_REFERENCE_IMPLS_H_
+
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+#include "core/index/index_framework.h"
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+
+namespace indoor {
+namespace reference {
+
+/// Algorithm 1 as originally implemented: fresh dist/visited/heap vectors,
+/// nested EnterableParts/LeaveDoors expansion (no CSR rows).
+double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt);
+
+/// Algorithm 2 as originally implemented: one blind d2dDistance per
+/// (leaveable source door, enterable destination door) pair, distV legs
+/// recomputed per pair.
+double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
+                          const Point& pt);
+
+/// Algorithm 3 as originally implemented: per-source-door Dijkstra with
+/// fresh buffers and per-door distV legs.
+double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
+                            const Point& pt);
+
+/// Algorithm 5 as originally implemented: per-object bucket evaluation
+/// (null-scratch RangeSearch) and per-door distV legs.
+std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
+                                 double r, RangeQueryOptions options = {});
+
+/// Algorithm 6 as originally implemented: per-object bucket evaluation
+/// (null-scratch NnSearch) and per-door distV legs.
+std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
+                               size_t k, KnnQueryOptions options = {});
+
+}  // namespace reference
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_REFERENCE_IMPLS_H_

@@ -1,6 +1,7 @@
 #include "core/query/temporal.h"
 
-#include <queue>
+#include "core/distance/query_scratch.h"
+#include "util/min_heap.h"
 
 namespace indoor {
 namespace internal {
@@ -17,8 +18,7 @@ double SnapshotDijkstra(const DistanceGraph& graph,
   dist.assign(n, kInfDistance);
   if (prev != nullptr) prev->assign(n, PrevEntry{});
   std::vector<char> visited(n, 0);
-  using Entry = std::pair<double, DoorId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  MinHeap<std::pair<double, DoorId>> heap;
   for (const auto& [d, w] : seeds) {
     if (!schedule.IsOpen(d, time)) continue;
     if (w < dist[d]) {
@@ -32,16 +32,12 @@ double SnapshotDijkstra(const DistanceGraph& graph,
     if (visited[di]) continue;
     visited[di] = 1;
     if (di == target) return d;
-    for (PartitionId v : plan.EnterableParts(di)) {
-      for (DoorId dj : plan.LeaveDoors(v)) {
-        if (visited[dj] || !schedule.IsOpen(dj, time)) continue;
-        const double w = graph.Fd2d(v, di, dj);
-        if (w == kInfDistance) continue;
-        if (d + w < dist[dj]) {
-          dist[dj] = d + w;
-          if (prev != nullptr) (*prev)[dj] = {v, di};
-          heap.push({dist[dj], dj});
-        }
+    for (const DoorGraphEdge& e : graph.DoorEdges(di)) {
+      if (visited[e.to] || !schedule.IsOpen(e.to, time)) continue;
+      if (d + e.weight < dist[e.to]) {
+        dist[e.to] = d + e.weight;
+        if (prev != nullptr) (*prev)[e.to] = {e.via, di};
+        heap.push({dist[e.to], e.to});
       }
     }
   }
@@ -66,21 +62,31 @@ double Pt2PtDistanceAtTime(const DistanceContext& ctx,
   const auto endpoints = internal::ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
 
-  double best = internal::DirectCandidate(ctx, endpoints, ps, pt);
+  QueryScratch& scratch = TlsQueryScratch();
+  double best = internal::DirectCandidate(ctx, endpoints, ps, pt,
+                                          &scratch.geo);
 
+  const auto& src_doors = plan.LeaveDoors(endpoints.vs);
+  auto& src_leg = scratch.src_leg;
+  src_leg.resize(src_doors.size());
+  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch.geo,
+                         src_leg.data());
   std::vector<std::pair<DoorId, double>> seeds;
-  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
-    const double leg = ctx.locator->DistV(endpoints.vs, ps, ds);
-    if (leg != kInfDistance) seeds.push_back({ds, leg});
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    if (src_leg[i] != kInfDistance) seeds.push_back({src_doors[i], src_leg[i]});
   }
   std::vector<double> dist;
   internal::SnapshotDijkstra(*ctx.graph, schedule, time, seeds, kInvalidId,
                              &dist, nullptr);
-  for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
-    if (dist[dt] == kInfDistance) continue;
-    const double leg = ctx.locator->DistV(endpoints.vt, pt, dt);
-    if (leg == kInfDistance) continue;
-    best = std::min(best, dist[dt] + leg);
+  const auto& dst_doors = plan.EnterDoors(endpoints.vt);
+  auto& dst_leg = scratch.dst_leg;
+  dst_leg.resize(dst_doors.size());
+  ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch.geo,
+                         dst_leg.data());
+  for (size_t j = 0; j < dst_doors.size(); ++j) {
+    if (dist[dst_doors[j]] == kInfDistance) continue;
+    if (dst_leg[j] == kInfDistance) continue;
+    best = std::min(best, dist[dst_doors[j]] + dst_leg[j]);
   }
   return best;
 }

@@ -2,18 +2,23 @@
 
 #include <algorithm>
 
+#include "core/distance/query_scratch.h"
+
 namespace indoor {
 namespace {
 
 /// Seeds for the snapshot Dijkstra: the host partition's leaveable doors
-/// with their distV legs.
+/// with their distV legs, resolved through one batched geodesic solve.
 std::vector<std::pair<DoorId, double>> SeedsFrom(const IndexFramework& index,
-                                                 PartitionId v,
-                                                 const Point& q) {
+                                                 PartitionId v, const Point& q,
+                                                 QueryScratch* scratch) {
   std::vector<std::pair<DoorId, double>> seeds;
-  for (DoorId ds : index.plan().LeaveDoors(v)) {
-    const double leg = index.locator().DistV(v, q, ds);
-    if (leg != kInfDistance) seeds.push_back({ds, leg});
+  const auto& src_doors = index.plan().LeaveDoors(v);
+  auto& src_leg = scratch->src_leg;
+  src_leg.resize(src_doors.size());
+  index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    if (src_leg[i] != kInfDistance) seeds.push_back({src_doors[i], src_leg[i]});
   }
   return seeds;
 }
@@ -29,19 +34,22 @@ std::vector<ObjectId> RangeQueryAtTime(const IndexFramework& index,
   const auto host = index.locator().GetHostPartition(q);
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
+  QueryScratch& scratch = TlsQueryScratch();
 
   // Host partition first (intra-partition movement needs no doors).
   {
-    std::vector<Neighbor> found;
-    index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found);
+    std::vector<Neighbor>& found = scratch.neighbors;
+    found.clear();
+    index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found,
+                                          &scratch.bucket);
     for (const Neighbor& nb : found) result.push_back(nb.id);
   }
 
   // One snapshot Dijkstra replaces the Md2d row scans of Algorithm 5.
   std::vector<double> dist;
   internal::SnapshotDijkstra(index.graph(), schedule, time,
-                             SeedsFrom(index, v, q), kInvalidId, &dist,
-                             nullptr);
+                             SeedsFrom(index, v, q, &scratch), kInvalidId,
+                             &dist, nullptr);
   const DoorPartitionTable& dpt = index.dpt();
   for (DoorId dj = 0; dj < plan.door_count(); ++dj) {
     if (dist[dj] > r) continue;
@@ -56,9 +64,10 @@ std::vector<ObjectId> RangeQueryAtTime(const IndexFramework& index,
         bucket.CollectAll(&result);
         continue;
       }
-      std::vector<Neighbor> found;
+      std::vector<Neighbor>& found = scratch.neighbors;
+      found.clear();
       bucket.RangeSearch(plan.partition(part), plan.door(dj).Midpoint(), r2,
-                         &found);
+                         &found, &scratch.bucket);
       for (const Neighbor& nb : found) result.push_back(nb.id);
     }
   }
@@ -74,15 +83,19 @@ std::vector<Neighbor> KnnQueryAtTime(const IndexFramework& index,
   const auto host = index.locator().GetHostPartition(q);
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
+  QueryScratch& scratch = TlsQueryScratch();
 
-  KnnCollector collector(k);
-  index.objects().bucket(v).NnSearch(plan.partition(v), q, 0.0, &collector);
+  KnnCollector& collector = scratch.collector;
+  collector.Reset(k);
+  index.objects().bucket(v).NnSearch(plan.partition(v), q, 0.0, &collector,
+                                     &scratch.bucket);
 
   std::vector<double> dist;
   internal::SnapshotDijkstra(index.graph(), schedule, time,
-                             SeedsFrom(index, v, q), kInvalidId, &dist,
-                             nullptr);
-  // Visit doors nearest-first so the bound tightens early.
+                             SeedsFrom(index, v, q, &scratch), kInvalidId,
+                             &dist, nullptr);
+  // Visit doors nearest-first so the bound tightens early. (Local buffer:
+  // scratch.bucket.cell_order is in use by the nested NnSearch calls.)
   std::vector<std::pair<double, DoorId>> order;
   for (DoorId dj = 0; dj < plan.door_count(); ++dj) {
     if (dist[dj] != kInfDistance) order.push_back({dist[dj], dj});
@@ -96,7 +109,7 @@ std::vector<Neighbor> KnnQueryAtTime(const IndexFramework& index,
       const GridBucket& bucket = index.objects().bucket(part);
       if (bucket.size() == 0) continue;
       bucket.NnSearch(plan.partition(part), plan.door(dj).Midpoint(),
-                      dj_dist, &collector);
+                      dj_dist, &collector, &scratch.bucket);
     }
   }
   return collector.Sorted();
@@ -110,23 +123,35 @@ IndoorPath Pt2PtShortestPathAtTime(const DistanceContext& ctx,
   const auto endpoints = internal::ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return path;
 
-  const double direct = internal::DirectCandidate(ctx, endpoints, ps, pt);
+  QueryScratch& scratch = TlsQueryScratch();
+  const double direct =
+      internal::DirectCandidate(ctx, endpoints, ps, pt, &scratch.geo);
 
+  const auto& src_doors = plan.LeaveDoors(endpoints.vs);
+  auto& src_leg = scratch.src_leg;
+  src_leg.resize(src_doors.size());
+  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch.geo,
+                         src_leg.data());
   std::vector<std::pair<DoorId, double>> seeds;
-  for (DoorId ds : plan.LeaveDoors(endpoints.vs)) {
-    const double leg = ctx.locator->DistV(endpoints.vs, ps, ds);
-    if (leg != kInfDistance) seeds.push_back({ds, leg});
+  for (size_t i = 0; i < src_doors.size(); ++i) {
+    if (src_leg[i] != kInfDistance) seeds.push_back({src_doors[i], src_leg[i]});
   }
   std::vector<double> dist;
   std::vector<PrevEntry> prev;
   internal::SnapshotDijkstra(*ctx.graph, schedule, time, seeds, kInvalidId,
                              &dist, &prev);
 
+  const auto& dst_doors = plan.EnterDoors(endpoints.vt);
+  auto& dst_leg = scratch.dst_leg;
+  dst_leg.resize(dst_doors.size());
+  ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch.geo,
+                         dst_leg.data());
   DoorId best_door = kInvalidId;
   double best = kInfDistance;
-  for (DoorId dt : plan.EnterDoors(endpoints.vt)) {
+  for (size_t j = 0; j < dst_doors.size(); ++j) {
+    const DoorId dt = dst_doors[j];
     if (dist[dt] == kInfDistance) continue;
-    const double leg = ctx.locator->DistV(endpoints.vt, pt, dt);
+    const double leg = dst_leg[j];
     if (leg == kInfDistance) continue;
     if (dist[dt] + leg < best) {
       best = dist[dt] + leg;

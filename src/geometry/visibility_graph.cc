@@ -1,7 +1,6 @@
 #include "geometry/visibility_graph.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace indoor {
 namespace {
@@ -16,6 +15,11 @@ bool StrictlyInsideAnyObstacle(const std::vector<Polygon>& obstacles,
 }
 
 }  // namespace
+
+GeodesicScratch& TlsGeodesicScratch() {
+  static thread_local GeodesicScratch scratch;
+  return scratch;
+}
 
 Result<ObstructedRegion> ObstructedRegion::Create(
     Polygon outer, std::vector<Polygon> obstacles) {
@@ -131,42 +135,62 @@ void ObstructedRegion::BuildStaticGraph() {
       }
     }
   }
-  adj_.assign(nodes_.size(), {});
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+  // Pairwise visibility, flattened to CSR. Adjacency rows come out sorted
+  // by neighbor index (i < j pairs are discovered in ascending order).
+  const size_t n = nodes_.size();
+  std::vector<std::vector<VisEdge>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
       if (Visible(nodes_[i], nodes_[j])) {
         const double d = indoor::Distance(nodes_[i], nodes_[j]);
-        adj_[i].push_back({static_cast<int>(j), d});
-        adj_[j].push_back({static_cast<int>(i), d});
+        rows[i].push_back({static_cast<int>(j), d});
+        rows[j].push_back({static_cast<int>(i), d});
       }
     }
   }
+  adj_offsets_.assign(n + 1, 0);
+  adj_edges_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    adj_offsets_[i] = static_cast<int>(adj_edges_.size());
+    adj_edges_.insert(adj_edges_.end(), rows[i].begin(), rows[i].end());
+  }
+  adj_offsets_[n] = static_cast<int>(adj_edges_.size());
 }
 
-double ObstructedRegion::Distance(const Point& a, const Point& b) const {
+double ObstructedRegion::Distance(const Point& a, const Point& b,
+                                  GeodesicScratch* scratch) const {
   if (Visible(a, b)) return indoor::Distance(a, b);
-  return Solve(a, b, nullptr);
+  if (scratch == nullptr) scratch = &TlsGeodesicScratch();
+  return Solve(a, b, nullptr, scratch);
 }
 
 std::vector<Point> ObstructedRegion::ShortestPath(const Point& a,
                                                   const Point& b) const {
   if (Visible(a, b)) return {a, b};
   std::vector<Point> path;
-  const double d = Solve(a, b, &path);
+  const double d = Solve(a, b, &path, &TlsGeodesicScratch());
   if (d == kInfDistance) return {};
   return path;
 }
 
 double ObstructedRegion::Solve(const Point& a, const Point& b,
-                               std::vector<Point>* out_path) const {
+                               std::vector<Point>* out_path,
+                               GeodesicScratch* scratch) const {
   // Node layout: [0, n) static nodes, n = a, n+1 = b.
   const int n = static_cast<int>(nodes_.size());
   const int src = n;
   const int dst = n + 1;
-  std::vector<double> dist(n + 2, kInfDistance);
-  std::vector<int> prev(n + 2, -1);
-  using Entry = std::pair<double, int>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  // The pairwise solve clobbers dist/settled, so any cached single-source
+  // state in this scratch no longer matches its buffers.
+  scratch->InvalidateSource();
+  std::vector<double>& dist = scratch->dist;
+  std::vector<int>& prev = scratch->prev;
+  std::vector<char>& settled = scratch->settled;
+  auto& heap = scratch->heap;
+  dist.assign(n + 2, kInfDistance);
+  prev.assign(n + 2, -1);
+  settled.assign(n + 2, 0);
+  heap.clear();
 
   auto relax = [&](int from, int to, double w) {
     if (dist[from] + w < dist[to]) {
@@ -180,7 +204,6 @@ double ObstructedRegion::Solve(const Point& a, const Point& b,
   heap.push({0.0, src});
   // Dynamic edges from the endpoints to every visible static node, plus the
   // direct edge if visible (caller already handled it, but keep it correct).
-  std::vector<char> settled(n + 2, 0);
   while (!heap.empty()) {
     auto [d, u] = heap.top();
     heap.pop();
@@ -196,7 +219,9 @@ double ObstructedRegion::Solve(const Point& a, const Point& b,
       }
       if (Visible(a, b)) relax(src, dst, indoor::Distance(a, b));
     } else {
-      for (const auto& [v, w] : adj_[u]) relax(u, v, w);
+      for (int e = adj_offsets_[u]; e < adj_offsets_[u + 1]; ++e) {
+        relax(u, adj_edges_[e].to, adj_edges_[e].weight);
+      }
       if (Visible(pu, b)) relax(u, dst, indoor::Distance(pu, b));
     }
   }
@@ -213,20 +238,104 @@ double ObstructedRegion::Solve(const Point& a, const Point& b,
   return dist[dst];
 }
 
+void ObstructedRegion::EnsureSourceSolve(const Point& p,
+                                         GeodesicScratch* scratch) const {
+  if (scratch->source_ready && scratch->source_region == this &&
+      scratch->source_x == p.x && scratch->source_y == p.y) {
+    return;
+  }
+  const int n = static_cast<int>(nodes_.size());
+  std::vector<double>& dist = scratch->dist;
+  std::vector<char>& settled = scratch->settled;
+  auto& heap = scratch->heap;
+  dist.assign(n, kInfDistance);
+  settled.assign(n, 0);
+  heap.clear();
+  // Seed every static node visible from p, exactly as Solve does when the
+  // source settles first.
+  for (int v = 0; v < n; ++v) {
+    if (Visible(p, nodes_[v])) {
+      const double d = indoor::Distance(p, nodes_[v]);
+      if (d < dist[v]) {
+        dist[v] = d;
+        heap.push({d, v});
+      }
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = 1;
+    for (int e = adj_offsets_[u]; e < adj_offsets_[u + 1]; ++e) {
+      const int to = adj_edges_[e].to;
+      if (d + adj_edges_[e].weight < dist[to]) {
+        dist[to] = d + adj_edges_[e].weight;
+        heap.push({dist[to], to});
+      }
+    }
+  }
+  scratch->source_region = this;
+  scratch->source_x = p.x;
+  scratch->source_y = p.y;
+  scratch->source_ready = true;
+}
+
+void ObstructedRegion::DistancesToMany(const Point& p,
+                                       std::span<const Point> targets,
+                                       GeodesicScratch* scratch,
+                                       double* out) const {
+  if (scratch == nullptr) scratch = &TlsGeodesicScratch();
+  std::vector<size_t>& pending = scratch->pending;
+  pending.clear();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (Visible(p, targets[i])) {
+      out[i] = indoor::Distance(p, targets[i]);
+    } else {
+      out[i] = kInfDistance;
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty() || nodes_.empty()) return;
+
+  // One single-source pass from p over the static graph (cached across
+  // calls with the same source), then resolve each blocked target against
+  // the settled nodes. This reproduces Solve's value exactly: Solve's
+  // dist[dst] is min over settled nodes u of dist[u] + |u, t|, and nodes
+  // Solve leaves unsettled satisfy dist[u] >= dist[dst], so scanning the
+  // full settled set cannot change the minimum.
+  EnsureSourceSolve(p, scratch);
+  const int n = static_cast<int>(nodes_.size());
+  for (size_t idx : pending) {
+    const Point& t = targets[idx];
+    double best = kInfDistance;
+    for (int u = 0; u < n; ++u) {
+      if (!scratch->settled[u]) continue;
+      if (scratch->dist[u] >= best) continue;  // |u, t| >= 0 cannot improve
+      if (!Visible(nodes_[u], t)) continue;
+      const double cand = scratch->dist[u] + indoor::Distance(nodes_[u], t);
+      if (cand < best) best = cand;
+    }
+    out[idx] = best;
+  }
+}
+
 double ObstructedRegion::MaxDistanceFrom(const Point& p) const {
   if (obstacles_.empty() && outer_.IsConvex()) {
     return outer_.MaxVertexDistance(p);
   }
-  double best = 0.0;
-  for (const Point& v : outer_.vertices()) {
-    const double d = Distance(p, v);
-    if (d != kInfDistance) best = std::max(best, d);
-  }
+  // Batch all domain vertices through one one-to-many solve.
+  std::vector<Point> targets;
+  targets.reserve(outer_.vertices().size());
+  for (const Point& v : outer_.vertices()) targets.push_back(v);
   for (const Polygon& obs : obstacles_) {
-    for (const Point& v : obs.vertices()) {
-      const double d = Distance(p, v);
-      if (d != kInfDistance) best = std::max(best, d);
-    }
+    for (const Point& v : obs.vertices()) targets.push_back(v);
+  }
+  std::vector<double> dists(targets.size());
+  DistancesToMany(p, targets, nullptr, dists.data());
+  double best = 0.0;
+  for (double d : dists) {
+    if (d != kInfDistance) best = std::max(best, d);
   }
   return best;
 }

@@ -60,10 +60,23 @@ class Partition {
   bool Contains(const Point& p) const { return footprint_.Contains(p); }
 
   /// Intra-partition walking distance between two points (obstructed where
-  /// the partition has obstacles), scaled by metric_scale.
-  double IntraDistance(const Point& a, const Point& b) const {
-    const double d = footprint_.Distance(a, b);
+  /// the partition has obstacles), scaled by metric_scale. A null `scratch`
+  /// falls back to the calling thread's scratch.
+  double IntraDistance(const Point& a, const Point& b,
+                       GeodesicScratch* scratch = nullptr) const {
+    const double d = footprint_.Distance(a, b, scratch);
     return d == kInfDistance ? kInfDistance : d * metric_scale_;
+  }
+
+  /// One-to-many IntraDistance: out[i] is EXACTLY the value
+  /// IntraDistance(p, targets[i]) would return, but all targets share a
+  /// single geodesic solve (see ObstructedRegion::DistancesToMany).
+  void IntraDistancesToMany(const Point& p, std::span<const Point> targets,
+                            GeodesicScratch* scratch, double* out) const {
+    footprint_.DistancesToMany(p, targets, scratch, out);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (out[i] != kInfDistance) out[i] *= metric_scale_;
+    }
   }
 
   /// Longest intra-partition walking distance from `p` to any point of the

@@ -1,0 +1,296 @@
+// Golden equivalence suite for the one-to-many geodesic solver, the CSR
+// graph layouts, and the QueryScratch-based hot path: every optimized
+// entry point must return EXACTLY the values of the historical per-door /
+// per-object implementations (kept verbatim in core/query/reference_impls),
+// on randomized buildings with and without obstructed rooms. Also exercises
+// concurrent queries with per-thread scratch (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/distance/pt2pt_distance.h"
+#include "core/distance/query_scratch.h"
+#include "core/query/query_engine.h"
+#include "core/query/reference_impls.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+
+namespace indoor {
+namespace {
+
+BuildingConfig SmallBuilding(uint64_t seed, double obstacle_probability) {
+  BuildingConfig config;
+  config.floors = 3;
+  config.rooms_per_floor = 10;
+  config.room_to_room_doors = 0.3;
+  config.obstacle_probability = obstacle_probability;
+  config.seed = seed;
+  return config;
+}
+
+// --------------------------------------------------------------- geometry
+
+TEST(OneToManyTest, IntraDistancesMatchPerTargetExactly) {
+  for (const double obstacles : {0.0, 1.0}) {
+    const FloorPlan plan =
+        GenerateBuilding(SmallBuilding(211, obstacles));
+    Rng rng(223);
+    GeodesicScratch scratch;
+    for (PartitionId v = 0; v < plan.partition_count(); ++v) {
+      const Partition& part = plan.partition(v);
+      // Source inside the partition; targets mix its door midpoints (the
+      // hot-path case) with random indoor points (some outside -> infinity).
+      const Point source = RandomPointInPartition(part, &rng);
+      std::vector<Point> targets;
+      for (DoorId d : plan.EnterDoors(v)) {
+        targets.push_back(plan.door(d).Midpoint());
+      }
+      for (int i = 0; i < 4; ++i) {
+        targets.push_back(RandomIndoorPosition(plan, &rng));
+      }
+      std::vector<double> batched(targets.size());
+      part.IntraDistancesToMany(source, targets, &scratch, batched.data());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        EXPECT_EQ(batched[i], part.IntraDistance(source, targets[i]))
+            << "partition " << v << " target " << i << " obstacles "
+            << obstacles;
+      }
+    }
+  }
+}
+
+TEST(OneToManyTest, DistVManyMatchesPerDoorExactly) {
+  for (const double obstacles : {0.0, 1.0}) {
+    const FloorPlan plan =
+        GenerateBuilding(SmallBuilding(227, obstacles));
+    const PartitionLocator locator(plan);
+    Rng rng(229);
+    GeodesicScratch scratch;
+    const auto queries = GenerateQueryPositions(plan, 32, &rng);
+    for (const Point& q : queries) {
+      const auto host = locator.GetHostPartition(q);
+      ASSERT_TRUE(host.ok());
+      const PartitionId v = host.value();
+      // All doors, including ones not touching v (must report infinity).
+      std::vector<DoorId> doors(plan.door_count());
+      for (DoorId d = 0; d < plan.door_count(); ++d) doors[d] = d;
+      std::vector<double> batched(doors.size());
+      locator.DistVMany(v, q, doors, &scratch, batched.data());
+      for (DoorId d = 0; d < plan.door_count(); ++d) {
+        EXPECT_EQ(batched[d], locator.DistV(v, q, d)) << "door " << d;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- door graph
+
+TEST(OneToManyTest, CsrD2dMatchesReferenceExactly) {
+  const FloorPlan plan = GenerateBuilding(SmallBuilding(233, 0.5));
+  const DistanceGraph graph(plan);
+  DoorDijkstraScratch scratch;
+  Rng rng(239);
+  for (int i = 0; i < 64; ++i) {
+    const DoorId a = static_cast<DoorId>(rng.NextIndex(plan.door_count()));
+    const DoorId b = static_cast<DoorId>(rng.NextIndex(plan.door_count()));
+    const double expect = reference::D2dDistance(graph, a, b);
+    EXPECT_EQ(D2dDistance(graph, a, b), expect);
+    EXPECT_EQ(D2dDistance(graph, a, b, &scratch), expect);
+  }
+}
+
+TEST(OneToManyTest, DoorCsrAgreesWithFd2d) {
+  const FloorPlan plan = GenerateBuilding(SmallBuilding(241, 0.0));
+  const DistanceGraph graph(plan);
+  // Every CSR edge must carry the exact fd2d weight it was built from, and
+  // the reverse CSR must be the exact transpose of the forward CSR.
+  size_t forward_edges = 0;
+  size_t reverse_edges = 0;
+  for (DoorId d = 0; d < plan.door_count(); ++d) {
+    for (const DoorGraphEdge& e : graph.DoorEdges(d)) {
+      ++forward_edges;
+      EXPECT_EQ(e.weight, graph.Fd2d(e.via, d, e.to));
+      bool found = false;
+      for (const DoorGraphEdge& r : graph.ReverseDoorEdges(e.to)) {
+        if (r.to == d && r.via == e.via && r.weight == e.weight) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << d << "->" << e.to
+                         << " missing from reverse CSR";
+    }
+    reverse_edges += graph.ReverseDoorEdges(d).size();
+  }
+  EXPECT_GT(forward_edges, 0u);
+  EXPECT_EQ(forward_edges, reverse_edges);
+}
+
+// ------------------------------------------------------------ query paths
+
+TEST(OneToManyTest, Pt2PtVariantsMatchReferenceExactly) {
+  for (const double obstacles : {0.0, 0.7}) {
+    const FloorPlan plan =
+        GenerateBuilding(SmallBuilding(251, obstacles));
+    const DistanceGraph graph(plan);
+    const PartitionLocator locator(plan);
+    const DistanceContext ctx(graph, locator);
+    Rng rng(257);
+    const auto pairs = GeneratePositionPairsByArea(plan, 24, &rng);
+    QueryScratch scratch;
+    for (const auto& [ps, pt] : pairs) {
+      const double basic = reference::Pt2PtDistanceBasic(ctx, ps, pt);
+      const double refined = reference::Pt2PtDistanceRefined(ctx, ps, pt);
+      // Null scratch (thread-local arena) and explicit scratch.
+      EXPECT_EQ(Pt2PtDistanceBasic(ctx, ps, pt), basic);
+      EXPECT_EQ(Pt2PtDistanceBasic(ctx, ps, pt, &scratch), basic);
+      EXPECT_EQ(Pt2PtDistanceRefined(ctx, ps, pt), refined);
+      EXPECT_EQ(Pt2PtDistanceRefined(ctx, ps, pt, &scratch), refined);
+      // Hinted contexts (known host partitions) must not change results.
+      const auto vs = locator.GetHostPartition(ps);
+      const auto vt = locator.GetHostPartition(pt);
+      if (vs.ok() && vt.ok()) {
+        const DistanceContext hinted = ctx.WithHints(vs.value(), vt.value());
+        EXPECT_EQ(Pt2PtDistanceRefined(hinted, ps, pt, &scratch), refined);
+        EXPECT_EQ(Pt2PtDistanceBasic(hinted, ps, pt, &scratch), basic);
+      }
+      // Reuse/Virtual are independent algorithms (different addition
+      // orders), so they match Refined only mathematically — but explicit
+      // scratch must be bit-identical to their own null-scratch (TLS) runs.
+      const double vvirt = Pt2PtDistanceVirtual(ctx, ps, pt);
+      const double vreuse = Pt2PtDistanceReuse(ctx, ps, pt);
+      EXPECT_EQ(Pt2PtDistanceVirtual(ctx, ps, pt, &scratch), vvirt);
+      EXPECT_EQ(
+          Pt2PtDistanceReuse(ctx, ps, pt, ReusePolicy::kSafe, &scratch),
+          vreuse);
+      if (refined < kInfDistance) {
+        EXPECT_NEAR(vvirt, refined, 1e-6 * (1.0 + refined));
+        EXPECT_NEAR(vreuse, refined, 1e-6 * (1.0 + refined));
+      }
+    }
+  }
+}
+
+TEST(OneToManyTest, RangeAndKnnMatchReferenceExactly) {
+  for (const double obstacles : {0.0, 0.7}) {
+    BuildingConfig config = SmallBuilding(263, obstacles);
+    QueryEngine engine(GenerateBuilding(config));
+    Rng rng(269);
+    PopulateStore(GenerateObjects(engine.plan(), 400, &rng),
+                  &engine.index().objects());
+    const auto queries = GenerateQueryPositions(engine.plan(), 24, &rng);
+    QueryScratch scratch;
+    for (const Point& q : queries) {
+      for (const double r : {5.0, 20.0, 60.0}) {
+        const auto expect = reference::RangeQuery(engine.index(), q, r);
+        EXPECT_EQ(RangeQuery(engine.index(), q, r), expect);
+        EXPECT_EQ(RangeQuery(engine.index(), q, r, {}, &scratch), expect);
+      }
+      for (const size_t k : {1u, 5u, 25u}) {
+        const auto expect = reference::KnnQuery(engine.index(), q, k);
+        EXPECT_EQ(KnnQuery(engine.index(), q, k), expect);
+        EXPECT_EQ(KnnQuery(engine.index(), q, k, {}, &scratch), expect);
+      }
+    }
+  }
+}
+
+TEST(OneToManyTest, ScratchSurvivesAcrossEngines) {
+  // One scratch reused against two different buildings: the geodesic source
+  // cache must revalidate (it is keyed on region identity + source), never
+  // leak values across plans.
+  QueryScratch scratch;
+  for (const uint64_t seed : {271u, 277u}) {
+    const FloorPlan plan = GenerateBuilding(SmallBuilding(seed, 0.5));
+    const DistanceGraph graph(plan);
+    const PartitionLocator locator(plan);
+    const DistanceContext ctx(graph, locator);
+    Rng rng(seed + 1);
+    const auto pairs = GeneratePositionPairsByArea(plan, 12, &rng);
+    for (const auto& [ps, pt] : pairs) {
+      EXPECT_EQ(Pt2PtDistanceRefined(ctx, ps, pt, &scratch),
+                reference::Pt2PtDistanceRefined(ctx, ps, pt));
+    }
+  }
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(OneToManyTest, ConcurrentQueriesWithPerThreadScratch) {
+  QueryEngine engine(GenerateBuilding(SmallBuilding(281, 0.5)));
+  Rng rng(283);
+  PopulateStore(GenerateObjects(engine.plan(), 300, &rng),
+                &engine.index().objects());
+  const auto queries = GenerateQueryPositions(engine.plan(), 48, &rng);
+  const auto pairs = GeneratePositionPairsByArea(engine.plan(), 48, &rng);
+  const DistanceContext ctx = engine.index().distance_context();
+
+  // Sequential golden answers.
+  std::vector<double> expect_dist(pairs.size());
+  std::vector<std::vector<ObjectId>> expect_range(queries.size());
+  std::vector<std::vector<Neighbor>> expect_knn(queries.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    expect_dist[i] =
+        Pt2PtDistanceRefined(ctx, pairs[i].first, pairs[i].second);
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expect_range[i] = engine.Range(queries[i], 20.0);
+    expect_knn[i] = engine.Nearest(queries[i], 10);
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<int> mismatches{0};
+  auto worker = [&] {
+    QueryScratch scratch;  // one scratch per thread, used for every query
+    for (size_t i = next.fetch_add(1); i < pairs.size();
+         i = next.fetch_add(1)) {
+      if (Pt2PtDistanceRefined(ctx, pairs[i].first, pairs[i].second,
+                               &scratch) != expect_dist[i]) {
+        ++mismatches;
+      }
+      const size_t qi = i % queries.size();
+      if (engine.Range(queries[qi], 20.0, {}, &scratch) !=
+          expect_range[qi]) {
+        ++mismatches;
+      }
+      if (engine.Nearest(queries[qi], 10, {}, &scratch) != expect_knn[qi]) {
+        ++mismatches;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(OneToManyTest, ConcurrentQueriesWithThreadLocalScratch) {
+  // Null-scratch callers fall back to TlsQueryScratch(); concurrent use
+  // must stay correct and race-free.
+  QueryEngine engine(GenerateBuilding(SmallBuilding(293, 0.3)));
+  Rng rng(307);
+  PopulateStore(GenerateObjects(engine.plan(), 200, &rng),
+                &engine.index().objects());
+  const auto queries = GenerateQueryPositions(engine.plan(), 32, &rng);
+  std::vector<std::vector<Neighbor>> expect(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expect[i] = engine.Nearest(queries[i], 5);
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (engine.Nearest(queries[i], 5) != expect[i]) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace indoor

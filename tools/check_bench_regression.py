@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate bench_pt2pt_hotpath results against the committed baseline.
+
+Usage: check_bench_regression.py <results.json> <BENCH_baseline.json>
+
+The bench emits machine-independent metrics: per-workload speedup (reference
+ns/query divided by optimized ns/query, both measured on the same machine in
+the same process) and allocations/query of the optimized path. The baseline
+pins a minimum speedup and a maximum allocation count per workload; a run
+fails when a speedup drops more than the baseline's tolerance (default 25%)
+below its floor, or when the optimized path allocates more than allowed.
+Exact-result equality is enforced by the bench binary itself (it exits
+non-zero on any mismatch before producing JSON).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        results = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    tolerance = float(baseline.get("tolerance", 0.25))
+    failures = []
+    for name, floor in baseline["workloads"].items():
+        run = results["workloads"].get(name)
+        if run is None:
+            failures.append(f"{name}: missing from bench results")
+            continue
+        speedup = float(run["speedup"])
+        min_speedup = float(floor["min_speedup"])
+        # A >tolerance regression of ns/query shows up as the speedup ratio
+        # falling more than `tolerance` below its floor.
+        threshold = min_speedup / (1.0 + tolerance)
+        if speedup < threshold:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x is below the allowed "
+                f"{threshold:.2f}x (baseline {min_speedup:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+        allocs = float(run["new_allocs_per_query"])
+        max_allocs = float(floor["max_new_allocs_per_query"])
+        if allocs > max_allocs:
+            failures.append(
+                f"{name}: {allocs:.2f} allocations/query in the optimized "
+                f"path exceeds the allowed {max_allocs:.2f}"
+            )
+        print(
+            f"{name}: speedup {speedup:.2f}x "
+            f"(floor {min_speedup:.2f}x, threshold {threshold:.2f}x), "
+            f"allocs/query {allocs:.2f} (max {max_allocs:.2f})"
+        )
+
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall workloads within baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

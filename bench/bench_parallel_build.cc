@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/index/distance_index_matrix.h"
 #include "core/index/dpt.h"
 #include "gen/building_generator.h"
@@ -93,7 +94,8 @@ void WriteJson(const std::string& path, int floors, size_t doors,
                  r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"metrics\": %s}\n",
+               indoor::bench::MetricsJson().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

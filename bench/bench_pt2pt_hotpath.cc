@@ -92,7 +92,8 @@ void WriteJson(const char* path, bool smoke, int floors,
                  r.Speedup(), r.old_allocs_per_query, r.new_allocs_per_query,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n  \"metrics\": %s}\n",
+               indoor::bench::MetricsJson().c_str());
   std::fclose(f);
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/query/knn_query.h"
 #include "core/query/range_query.h"
 #include "gen/building_generator.h"
@@ -70,7 +71,8 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                  r.readers, r.millis, r.qps, r.scaling,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"metrics\": %s}\n",
+               indoor::bench::MetricsJson().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -17,6 +17,7 @@
 #include "gen/building_generator.h"
 #include "gen/object_generator.h"
 #include "gen/query_generator.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace indoor {
@@ -97,6 +98,15 @@ inline std::atomic<unsigned long long>& AllocCounter() {
 
 inline unsigned long long AllocCount() {
   return AllocCounter().load(std::memory_order_relaxed);
+}
+
+/// The current metrics-registry snapshot as a JSON object string. Bench
+/// harnesses attach it under a "metrics" member of their JSON output so
+/// the perf numbers travel with the counters that explain them (Dijkstra
+/// settles, grid cells pruned, ...). An INDOOR_METRICS=OFF build yields an
+/// object with empty sections.
+inline std::string MetricsJson() {
+  return metrics::MetricsRegistry::Global().Snapshot().ToJson();
 }
 
 }  // namespace bench

@@ -10,6 +10,7 @@
 #include "core/query/nearest_iterator.h"
 #include "gen/building_generator.h"
 #include "tracking/monitor.h"
+#include "util/metrics.h"
 
 using namespace indoor;
 
@@ -47,6 +48,13 @@ int main() {
   TrajectorySimulator sim(ctx, index.objects(), traj);
   int entries = 0, exits = 0;
   for (int second = 1; second <= 300; ++second) {
+    // An operator's minute-by-minute health report: how much distance work
+    // the monitoring service is doing (empty under INDOOR_METRICS=OFF).
+    if (second % 60 == 0) {
+      std::printf("\n-- metrics after %d s --\n", second);
+      metrics::MetricsRegistry::Global().Snapshot().WriteReport(stdout);
+      std::printf("\n");
+    }
     const auto reports = sim.Step(1.0);
     ApplyReports(reports, &index.objects());  // keep the indexes current
     for (const PositionReport& report : reports) {

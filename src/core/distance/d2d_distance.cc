@@ -1,5 +1,8 @@
 #include "core/distance/d2d_distance.h"
 
+#include "core/distance/dijkstra_stats.h"
+#include "util/metrics.h"
+
 namespace indoor {
 namespace {
 
@@ -27,17 +30,20 @@ double RunD2d(const DistanceGraph& graph, DoorId ds, DoorId target,
   dist[ds] = 0.0;
   heap->push({0.0, ds});
 
+  INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
   while (!heap->empty()) {
     const auto [d, di] = heap->top();
     heap->pop();
     if (visited[di]) continue;
     visited[di] = 1;
+    INDOOR_METRICS_ONLY(++stats.settles;)
     if (di == target) return d;
     for (const DoorGraphEdge& e : graph.DoorEdges(di)) {
       if (visited[e.to]) continue;
       if (dist[di] + e.weight < dist[e.to]) {
         dist[e.to] = dist[di] + e.weight;
         heap->push({dist[e.to], e.to});
+        INDOOR_METRICS_ONLY(++stats.relaxations;)
         if (prev_out != nullptr) (*prev_out)[e.to] = {e.via, di};
       }
     }

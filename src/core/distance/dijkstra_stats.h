@@ -1,0 +1,44 @@
+// Per-run observability accumulator for the door-graph Dijkstra loops.
+//
+// Every door-level expansion in the library (Algorithm 1 runs, the
+// per-source-door expansions of Algorithms 3/4, the virtual-source
+// variant, distance fields) counts its settles and edge relaxations in
+// plain local fields and flushes them into the global counters
+//
+//   distance.dijkstra.runs / .settles / .relaxations
+//
+// exactly once, in the destructor — one pair of relaxed atomic adds per
+// run instead of one per heap pop, which keeps the instrumented hot loop
+// within the documented <2% overhead budget (docs/METRICS.md).
+//
+// Instantiate only inside INDOOR_METRICS_ONLY(...) so the OFF build's
+// loops carry no accumulator at all.
+
+#ifndef INDOOR_CORE_DISTANCE_DIJKSTRA_STATS_H_
+#define INDOOR_CORE_DISTANCE_DIJKSTRA_STATS_H_
+
+#include <cstdint>
+
+#include "util/metrics.h"
+
+namespace indoor {
+namespace internal {
+
+/// Counts one Dijkstra run; flushes into the registry on destruction.
+struct DijkstraRunStats {
+  /// Doors settled (popped and finalized) this run.
+  uint64_t settles = 0;
+  /// Successful edge relaxations (tentative-distance improvements).
+  uint64_t relaxations = 0;
+
+  ~DijkstraRunStats() {
+    INDOOR_COUNTER_INC("distance.dijkstra.runs");
+    INDOOR_COUNTER_ADD("distance.dijkstra.settles", settles);
+    INDOOR_COUNTER_ADD("distance.dijkstra.relaxations", relaxations);
+  }
+};
+
+}  // namespace internal
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_DISTANCE_DIJKSTRA_STATS_H_

@@ -1,6 +1,8 @@
 #include "core/distance/distance_field.h"
 
+#include "core/distance/dijkstra_stats.h"
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -27,16 +29,20 @@ DistanceField::DistanceField(const DistanceContext& ctx, const Point& source)
       heap.push({leg, src_doors[i]});
     }
   }
+  INDOOR_COUNTER_INC("distance.field.builds");
+  INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
   while (!heap.empty()) {
     const auto [d, di] = heap.top();
     heap.pop();
     if (visited[di]) continue;
     visited[di] = 1;
+    INDOOR_METRICS_ONLY(++stats.settles;)
     for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
       if (visited[e.to]) continue;
       if (d + e.weight < door_dist_[e.to]) {
         door_dist_[e.to] = d + e.weight;
         heap.push({door_dist_[e.to], e.to});
+        INDOOR_METRICS_ONLY(++stats.relaxations;)
       }
     }
   }

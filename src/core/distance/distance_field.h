@@ -24,8 +24,11 @@ class DistanceField {
   /// kInfDistance.
   DistanceField(const DistanceContext& ctx, const Point& source);
 
+  /// False when the source was not inside any partition.
   bool valid() const { return host_ != kInvalidId; }
+  /// The fixed source position the field was built from.
   const Point& source() const { return source_; }
+  /// The source's host partition (kInvalidId when !valid()).
   PartitionId host() const { return host_; }
 
   /// Shortest walking distance source -> door `d` (positioned to pass

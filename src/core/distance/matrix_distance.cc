@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -10,9 +11,10 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
                            const DistanceMatrix& matrix, PartitionId vs,
                            const Point& ps, PartitionId vt, const Point& pt,
                            QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("pt2pt_matrix", "query.pt2pt_matrix.latency_ns");
   INDOOR_CHECK(matrix.door_count() == plan.door_count())
       << "matrix was built for a different plan";
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
   const Partition& source_part = plan.partition(vs);
   const Partition& target_part = plan.partition(vt);
   double best = kInfDistance;
@@ -36,16 +38,19 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
   source_part.IntraDistancesToMany(ps, mids, &scratch->geo, src_leg.data());
+  INDOOR_METRICS_ONLY(uint64_t rows_fetched = 0;)
   for (size_t i = 0; i < src_doors.size(); ++i) {
     const double leg1 = src_leg[i];
     if (leg1 == kInfDistance || leg1 >= best) continue;
     const double* row = matrix.Row(src_doors[i]);
+    INDOOR_METRICS_ONLY(++rows_fetched;)
     for (size_t j = 0; j < dest_doors.size(); ++j) {
       if (dest_leg[j] == kInfDistance) continue;
       const double total = leg1 + row[dest_doors[j]] + dest_leg[j];
       best = std::min(best, total);
     }
   }
+  INDOOR_METRICS_ONLY(INDOOR_COUNTER_ADD("index.md2d.row_fetches", rows_fetched);)
   return best;
 }
 

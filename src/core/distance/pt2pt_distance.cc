@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/distance/d2d_distance.h"
+#include "core/distance/dijkstra_stats.h"
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 namespace internal {
@@ -67,10 +69,11 @@ using internal::ResolveEndpoints;
 
 double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
                           const Point& pt, QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("pt2pt_basic", "query.pt2pt_basic.latency_ns");
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
 
   double dist = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
@@ -84,13 +87,17 @@ double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
   auto& dst_leg = scratch->dst_leg;
   src_leg.resize(src_doors.size());
   dst_leg.resize(dst_doors.size());
-  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch->geo,
-                         src_leg.data());
-  ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch->geo,
-                         dst_leg.data());
+  {
+    INDOOR_TRACE_SPAN("entry_exit_legs");
+    ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch->geo,
+                           src_leg.data());
+    ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch->geo,
+                           dst_leg.data());
+  }
 
   // Algorithm 2: every (leaveable source door, enterable destination door)
   // pair via a blind d2dDistance call.
+  INDOOR_TRACE_SPAN("door_pairs");
   for (size_t i = 0; i < src_doors.size(); ++i) {
     if (src_leg[i] == kInfDistance) continue;
     for (size_t j = 0; j < dst_doors.size(); ++j) {
@@ -106,10 +113,11 @@ double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
 
 double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
                             const Point& pt, QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("pt2pt_virtual", "query.pt2pt_virtual.latency_ns");
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
 
   double best = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
@@ -145,11 +153,14 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
   double min_exit = kInfDistance;
   for (const double leg : exit_leg) min_exit = std::min(min_exit, leg);
 
+  INDOOR_TRACE_SPAN("virtual_dijkstra");
+  INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
   while (!heap.empty()) {
     const auto [d, di] = heap.top();
     heap.pop();
     if (visited[di]) continue;
     visited[di] = 1;
+    INDOOR_METRICS_ONLY(++stats.settles;)
     if (d + min_exit >= best) break;  // no remaining door can improve
     const auto it =
         std::lower_bound(dest_doors.begin(), dest_doors.end(), di);
@@ -162,6 +173,7 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
       if (d + e.weight < dist[e.to]) {
         dist[e.to] = d + e.weight;
         heap.push({dist[e.to], e.to});
+        INDOOR_METRICS_ONLY(++stats.relaxations;)
       }
     }
   }

@@ -3,8 +3,10 @@
 
 #include <algorithm>
 
+#include "core/distance/dijkstra_stats.h"
 #include "core/distance/pt2pt_distance.h"
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -15,10 +17,11 @@ using internal::ResolveEndpoints;
 
 double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
                             const Point& pt, QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("pt2pt_refined", "query.pt2pt_refined.latency_ns");
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
 
   // Lines 3-8: source doors with dead ends removed; destination doors.
   auto& doors_s = scratch->source_doors;
@@ -33,11 +36,15 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
   auto& dst_leg = scratch->dst_leg;
   src_leg.resize(doors_s.size());
   dst_leg.resize(doors_t.size());
-  ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
-                         src_leg.data());
-  ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
-                         dst_leg.data());
+  {
+    INDOOR_TRACE_SPAN("entry_exit_legs");
+    ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
+                           src_leg.data());
+    ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
+                           dst_leg.data());
+  }
 
+  INDOOR_TRACE_SPAN("source_door_expansions");
   const size_t n = plan.door_count();
   auto& dist = scratch->door.dist;
   auto& visited = scratch->door.visited;
@@ -65,11 +72,13 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
     dist[ds] = 0.0;
     heap.push({0.0, ds});
 
+    INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
     while (!heap.empty()) {
       const auto [d, di] = heap.top();
       heap.pop();
       if (visited[di]) continue;
       visited[di] = 1;
+      INDOOR_METRICS_ONLY(++stats.settles;)
 
       const auto it = std::find(doors.begin(), doors.end(), di);
       if (it != doors.end()) {
@@ -88,6 +97,7 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
         if (d + e.weight < dist[e.to]) {
           dist[e.to] = d + e.weight;
           heap.push({dist[e.to], e.to});
+          INDOOR_METRICS_ONLY(++stats.relaxations;)
         }
       }
     }

@@ -17,8 +17,10 @@
 #include <algorithm>
 
 #include "core/distance/d2d_distance.h"
+#include "core/distance/dijkstra_stats.h"
 #include "core/distance/pt2pt_distance.h"
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -30,10 +32,11 @@ using internal::ResolveEndpoints;
 double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
                           const Point& pt, ReusePolicy policy,
                           QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("pt2pt_reuse", "query.pt2pt_reuse.latency_ns");
   const FloorPlan& plan = ctx.graph->plan();
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
 
   auto& doors_s = scratch->source_doors;
   PrunedSourceDoors(plan, endpoints.vs, endpoints.vt, &doors_s);
@@ -47,10 +50,13 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
   auto& dst_leg = scratch->dst_leg;
   src_leg.resize(rows);
   dst_leg.resize(cols);
-  ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
-                         src_leg.data());
-  ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
-                         dst_leg.data());
+  {
+    INDOOR_TRACE_SPAN("entry_exit_legs");
+    ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
+                           src_leg.data());
+    ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
+                           dst_leg.data());
+  }
   auto row_of = [&](DoorId d) -> int {
     const auto it = std::lower_bound(doors_s.begin(), doors_s.end(), d);
     return (it != doors_s.end() && *it == d)
@@ -69,6 +75,7 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
 
   double dist_m = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
+  INDOOR_TRACE_SPAN("source_door_expansions");
   const size_t n = plan.door_count();
   auto& dist = scratch->door.dist;
   auto& visited = scratch->door.visited;
@@ -98,11 +105,13 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
     dist[ds] = 0.0;
     heap.push({0.0, ds});
 
+    INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
     while (!heap.empty()) {
       const auto [d, di] = heap.top();
       heap.pop();
       if (visited[di]) continue;
       visited[di] = 1;
+      INDOOR_METRICS_ONLY(++stats.settles;)
 
       const auto door_it = std::find(doors.begin(), doors.end(), di);
       if (door_it != doors.end()) {
@@ -160,6 +169,7 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
         if (d + e.weight < dist[e.to]) {
           dist[e.to] = d + e.weight;
           heap.push({dist[e.to], e.to});
+          INDOOR_METRICS_ONLY(++stats.relaxations;)
           prev[e.to] = {e.via, di};
         }
       }

@@ -24,6 +24,7 @@
 
 #include "core/distance/d2d_distance.h"
 #include "core/index/grid_index.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -59,6 +60,20 @@ struct QueryScratch {
 /// The calling thread's fallback QueryScratch (used whenever a query entry
 /// point is handed a null scratch).
 QueryScratch& TlsQueryScratch();
+
+/// Resolves a possibly-null scratch pointer to a usable arena: the pointer
+/// itself when provided, the calling thread's TlsQueryScratch() otherwise.
+/// Counts the resolution under `scratch.explicit` / `scratch.tls_fallback`
+/// so operators can see whether callers reuse arenas or lean on the TLS
+/// fallback (docs/METRICS.md).
+inline QueryScratch& ResolveQueryScratch(QueryScratch* scratch) {
+  if (scratch != nullptr) {
+    INDOOR_COUNTER_INC("scratch.explicit");
+    return *scratch;
+  }
+  INDOOR_COUNTER_INC("scratch.tls_fallback");
+  return TlsQueryScratch();
+}
 
 }  // namespace indoor
 

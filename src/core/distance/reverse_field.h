@@ -23,10 +23,16 @@ namespace indoor {
 /// target.
 class ReverseDistanceField {
  public:
+  /// Runs one Dijkstra over the reversed door graph toward `target`. If
+  /// `target` is not inside any partition the field is invalid and every
+  /// probe returns kInfDistance.
   ReverseDistanceField(const DistanceContext& ctx, const Point& target);
 
+  /// False when the target was not inside any partition.
   bool valid() const { return host_ != kInvalidId; }
+  /// The fixed target position the field was built toward.
   const Point& target() const { return target_; }
+  /// The target's host partition (kInvalidId when !valid()).
   PartitionId host() const { return host_; }
 
   /// Shortest walking distance door `d` -> target (starting positioned to

@@ -119,6 +119,7 @@ void GridBucket::RangeSearch(const Partition& partition, const Point& q,
                              double r, std::vector<Neighbor>* out,
                              BucketScratch* scratch) const {
   if (count_ == 0 || r < 0) return;
+  INDOOR_METRICS_ONLY(if (scratch != nullptr) ++scratch->searches;)
   const double scale = partition.metric_scale();
   // Whole-cell admission is only sound where intra-distance == scaled
   // Euclidean distance everywhere in the cell.
@@ -127,15 +128,21 @@ void GridBucket::RangeSearch(const Partition& partition, const Point& q,
   for (size_t i = 0; i < cells_.size(); ++i) {
     const auto& cell = cells_[i];
     if (cell.empty()) continue;
+    INDOOR_METRICS_ONLY(if (scratch != nullptr) ++scratch->cells_visited;)
     const Rect rect = CellRect(i);
-    if (rect.MinDistance(q) * scale > r) continue;  // prune: lower bound
+    if (rect.MinDistance(q) * scale > r) {  // prune: lower bound
+      INDOOR_METRICS_ONLY(if (scratch != nullptr) ++scratch->cells_pruned;)
+      continue;
+    }
     if (euclidean && rect.MaxDistance(q) * scale <= r) {
+      INDOOR_METRICS_ONLY(if (scratch != nullptr) ++scratch->cells_admitted;)
       for (const auto& [id, pos] : cell) {
         out->push_back({id, Distance(q, pos) * scale});
       }
       continue;
     }
     if (scratch != nullptr) {
+      INDOOR_METRICS_ONLY(scratch->objects_tested += cell.size();)
       CellDistances(partition, q, cell, &scratch->geo);
       for (size_t j = 0; j < cell.size(); ++j) {
         const double d = scratch->geo.values[j];
@@ -154,6 +161,7 @@ void GridBucket::NnSearch(const Partition& partition, const Point& q,
                           double extra, KnnCollector* collector,
                           BucketScratch* scratch) const {
   if (count_ == 0) return;
+  INDOOR_METRICS_ONLY(if (scratch != nullptr) ++scratch->searches;)
   const double scale = partition.metric_scale();
   // Visit cells in ascending lower-bound order so the bound tightens early.
   std::vector<std::pair<double, size_t>> local_order;
@@ -168,7 +176,9 @@ void GridBucket::NnSearch(const Partition& partition, const Point& q,
   std::sort(order.begin(), order.end());
   for (const auto& [lower, idx] : order) {
     if (lower >= collector->Bound()) break;
+    INDOOR_METRICS_ONLY(if (scratch != nullptr) ++scratch->cells_visited;)
     if (scratch != nullptr) {
+      INDOOR_METRICS_ONLY(scratch->objects_tested += cells_[idx].size();)
       CellDistances(partition, q, cells_[idx], &scratch->geo);
       for (size_t j = 0; j < cells_[idx].size(); ++j) {
         const double d = scratch->geo.values[j];

@@ -6,10 +6,12 @@
 #ifndef INDOOR_CORE_INDEX_GRID_INDEX_H_
 #define INDOOR_CORE_INDEX_GRID_INDEX_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "indoor/partition.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -66,7 +68,35 @@ class KnnCollector {
 struct BucketScratch {
   GeodesicScratch geo;
   std::vector<std::pair<double, size_t>> cell_order;
+
+  /// Observability accumulators, incremented by GridBucket searches (only
+  /// when the library is built with INDOOR_METRICS=ON) and drained into
+  /// the global `index.grid.*` counters once per query by
+  /// FlushBucketStats. Plain fields — per-thread, no atomics — so the
+  /// search inner loops stay cheap. Always present to keep the struct
+  /// layout independent of the metrics option.
+  uint64_t searches = 0;
+  uint64_t cells_visited = 0;
+  uint64_t cells_pruned = 0;
+  uint64_t cells_admitted = 0;
+  uint64_t objects_tested = 0;
 };
+
+/// Drains a scratch's accumulated grid-search statistics into the
+/// `index.grid.*` counters and zeroes them. Query entry points call this
+/// once per query, inside INDOOR_METRICS_ONLY.
+inline void FlushBucketStats(BucketScratch* scratch) {
+  INDOOR_COUNTER_ADD("index.grid.searches", scratch->searches);
+  INDOOR_COUNTER_ADD("index.grid.cells_visited", scratch->cells_visited);
+  INDOOR_COUNTER_ADD("index.grid.cells_pruned", scratch->cells_pruned);
+  INDOOR_COUNTER_ADD("index.grid.cells_admitted", scratch->cells_admitted);
+  INDOOR_COUNTER_ADD("index.grid.objects_tested", scratch->objects_tested);
+  scratch->searches = 0;
+  scratch->cells_visited = 0;
+  scratch->cells_pruned = 0;
+  scratch->cells_admitted = 0;
+  scratch->objects_tested = 0;
+}
 
 /// The grid-subdivided object bucket of one partition. Stores (id, point)
 /// pairs; all distances reported by searches are intra-partition walking

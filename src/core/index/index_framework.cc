@@ -1,15 +1,55 @@
 #include "core/index/index_framework.h"
 
+#include <chrono>
+#include <utility>
+
+#include "util/metrics.h"
+
 namespace indoor {
+namespace {
+
+/// Builds one framework member via `make`, publishing its wall-clock
+/// construction time (milliseconds) to the gauge `gauge_name`. Each call
+/// site gets its own template instantiation (the lambda type), so the
+/// gauge reference caching inside INDOOR_GAUGE_SET stays per-phase.
+template <typename Make>
+auto TimedBuild([[maybe_unused]] const char* gauge_name, Make&& make) {
+#ifdef INDOOR_METRICS_ENABLED
+  const auto t0 = std::chrono::steady_clock::now();
+  auto built = std::forward<Make>(make)();
+  const double elapsed_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() *
+      1e3;
+  INDOOR_GAUGE_SET(gauge_name, elapsed_ms);
+  return built;
+#else
+  return std::forward<Make>(make)();
+#endif
+}
+
+}  // namespace
 
 IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
     : plan_(&plan),
       options_(options),
-      graph_(plan),
-      locator_(plan),
-      d2d_matrix_(graph_, options.build_threads),
-      index_matrix_(d2d_matrix_, options.build_threads),
-      dpt_(graph_, options.build_threads),
-      objects_(plan, options.grid_cell_size) {}
+      graph_(TimedBuild("build.graph_ms",
+                        [&] { return DistanceGraph(plan); })),
+      locator_(TimedBuild("build.locator_ms",
+                          [&] { return PartitionLocator(plan); })),
+      d2d_matrix_(TimedBuild(
+          "build.md2d_ms",
+          [&] { return DistanceMatrix(graph_, options.build_threads); })),
+      index_matrix_(TimedBuild(
+          "build.midx_ms",
+          [&] {
+            return DistanceIndexMatrix(d2d_matrix_, options.build_threads);
+          })),
+      dpt_(TimedBuild(
+          "build.dpt_ms",
+          [&] { return DoorPartitionTable(graph_, options.build_threads); })),
+      objects_(TimedBuild("build.objects_ms", [&] {
+        return ObjectStore(plan, options.grid_cell_size);
+      })) {}
 
 }  // namespace indoor

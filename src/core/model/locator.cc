@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/metrics.h"
+
 namespace indoor {
 
 PartitionLocator::PartitionLocator(const FloorPlan& plan) : plan_(&plan) {
@@ -16,6 +18,7 @@ PartitionLocator::PartitionLocator(const FloorPlan& plan) : plan_(&plan) {
 
 Result<PartitionId> PartitionLocator::GetHostPartition(
     const Point& p) const {
+  INDOOR_COUNTER_INC("index.locator.lookups");
   PartitionId best = kInvalidId;
   double best_area = 0.0;
   for (uint32_t id : rtree_.QueryPoint(p)) {
@@ -34,6 +37,7 @@ Result<PartitionId> PartitionLocator::GetHostPartition(
     }
   }
   if (best == kInvalidId) {
+    INDOOR_COUNTER_INC("index.locator.misses");
     std::ostringstream msg;
     msg << "position " << p << " is not inside any partition";
     return Status::NotFound(msg.str());
@@ -52,6 +56,9 @@ void PartitionLocator::DistVMany(PartitionId v, const Point& p,
                                  std::span<const DoorId> doors,
                                  GeodesicScratch* scratch,
                                  double* out) const {
+  INDOOR_COUNTER_INC("distance.distv.calls");
+  INDOOR_COUNTER_ADD("distance.distv.doors", doors.size());
+  INDOOR_HISTOGRAM_RECORD("distance.distv.batch_size", doors.size());
   if (scratch == nullptr) scratch = &TlsGeodesicScratch();
   auto& pts = scratch->points;
   auto& slots = scratch->slots;

@@ -35,6 +35,7 @@ class DistanceBrowser {
   /// The next-nearest object. Requires HasNext().
   Neighbor Next();
 
+  /// Number of objects yielded so far.
   size_t yielded() const { return yielded_.size(); }
 
  private:

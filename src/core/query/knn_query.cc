@@ -1,6 +1,7 @@
 #include "core/query/knn_query.h"
 
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 namespace {
@@ -21,17 +22,21 @@ void SearchSide(const IndexFramework& index, PartitionId part, DoorId dj,
 std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
                                size_t k, KnnQueryOptions options,
                                QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("knn", "query.knn.latency_ns");
   const FloorPlan& plan = index.plan();
   const auto host = index.locator().GetHostPartition(q);
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
 
   KnnCollector& collector = scratch->collector;
   collector.Reset(k);
   // Line 3: search the host partition directly.
-  index.objects().bucket(v).NnSearch(plan.partition(v), q, /*extra=*/0.0,
-                                     &collector, &scratch->bucket);
+  {
+    INDOOR_TRACE_SPAN("host_search");
+    index.objects().bucket(v).NnSearch(plan.partition(v), q, /*extra=*/0.0,
+                                       &collector, &scratch->bucket);
+  }
 
   const size_t n = plan.door_count();
   const DistanceMatrix& md2d = index.d2d_matrix();
@@ -43,33 +48,48 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
   index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
-  for (size_t i = 0; i < src_doors.size(); ++i) {
-    const DoorId di = src_doors[i];
-    const double r1 = src_leg[i];
-    if (r1 == kInfDistance) continue;
-    const double* row = md2d.Row(di);
-    if (options.use_index_matrix) {
-      const DoorId* order = index.index_matrix().Row(di);
-      for (size_t j = 0; j < n; ++j) {
-        const DoorId dj = order[j];
-        if (r1 + row[dj] > collector.Bound()) break;
-        const double r2 = r1 + row[dj];
-        SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
-                   &collector);
-        SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
-                   &collector);
-      }
-    } else {
-      for (DoorId dj = 0; dj < n; ++dj) {
-        if (r1 + row[dj] > collector.Bound()) continue;
-        const double r2 = r1 + row[dj];
-        SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
-                   &collector);
-        SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
-                   &collector);
+  INDOOR_METRICS_ONLY(uint64_t md2d_rows = 0; uint64_t midx_rows = 0;
+                      uint64_t entries = 0;)
+  {
+    INDOOR_TRACE_SPAN("door_expansion");
+    for (size_t i = 0; i < src_doors.size(); ++i) {
+      const DoorId di = src_doors[i];
+      const double r1 = src_leg[i];
+      if (r1 == kInfDistance) continue;
+      const double* row = md2d.Row(di);
+      INDOOR_METRICS_ONLY(++md2d_rows;)
+      if (options.use_index_matrix) {
+        const DoorId* order = index.index_matrix().Row(di);
+        INDOOR_METRICS_ONLY(++midx_rows;)
+        for (size_t j = 0; j < n; ++j) {
+          const DoorId dj = order[j];
+          INDOOR_METRICS_ONLY(++entries;)
+          if (r1 + row[dj] > collector.Bound()) break;
+          const double r2 = r1 + row[dj];
+          SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
+                     &collector);
+          SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
+                     &collector);
+        }
+      } else {
+        INDOOR_METRICS_ONLY(entries += n;)
+        for (DoorId dj = 0; dj < n; ++dj) {
+          if (r1 + row[dj] > collector.Bound()) continue;
+          const double r2 = r1 + row[dj];
+          SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
+                     &collector);
+          SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
+                     &collector);
+        }
       }
     }
   }
+  INDOOR_METRICS_ONLY(
+      INDOOR_COUNTER_ADD("index.md2d.row_fetches", md2d_rows);
+      INDOOR_COUNTER_ADD("index.midx.row_fetches", midx_rows);
+      INDOOR_COUNTER_ADD("index.scan.entries", entries);
+      FlushBucketStats(&scratch->bucket);)
+  INDOOR_HISTOGRAM_RECORD("query.knn.results", collector.size());
   return collector.Sorted();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/distance/query_scratch.h"
+#include "util/metrics.h"
 
 namespace indoor {
 namespace {
@@ -18,6 +19,7 @@ void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
   if (fdv <= r2) {
+    INDOOR_COUNTER_INC("index.grid.collect_all");
     bucket.CollectAll(result);
     return;
   }
@@ -32,18 +34,22 @@ void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
 std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
                                  double r, RangeQueryOptions options,
                                  QueryScratch* scratch) {
+  INDOOR_LATENCY_SPAN("range", "query.range.latency_ns");
   std::vector<ObjectId> result;
   const FloorPlan& plan = index.plan();
   const auto host = index.locator().GetHostPartition(q);
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
-  if (scratch == nullptr) scratch = &TlsQueryScratch();
+  scratch = &ResolveQueryScratch(scratch);
   std::vector<Neighbor>& found = scratch->neighbors;
 
   // Line 2: search the host partition directly.
   found.clear();
-  index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found,
-                                        &scratch->bucket);
+  {
+    INDOOR_TRACE_SPAN("host_search");
+    index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found,
+                                          &scratch->bucket);
+  }
   for (const Neighbor& nb : found) result.push_back(nb.id);
 
   const size_t n = plan.door_count();
@@ -56,37 +62,52 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
   index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
-  for (size_t i = 0; i < src_doors.size(); ++i) {
-    const DoorId di = src_doors[i];
-    const double r1 = r - src_leg[i];
-    if (r1 < 0) continue;
-    const double* row = md2d.Row(di);
-    if (options.use_index_matrix) {
-      const DoorId* order = index.index_matrix().Row(di);
-      for (size_t j = 0; j < n; ++j) {
-        const DoorId dj = order[j];
-        if (row[dj] > r1) break;  // nearest-first: nothing further qualifies
-        const double r2 = r1 - row[dj];
-        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
-                   &scratch->bucket, &found, &result);
-        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
-                   &scratch->bucket, &found, &result);
-      }
-    } else {
-      // Without Midx the whole Md2d row must be examined.
-      for (DoorId dj = 0; dj < n; ++dj) {
-        if (row[dj] > r1) continue;
-        const double r2 = r1 - row[dj];
-        SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
-                   &scratch->bucket, &found, &result);
-        SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
-                   &scratch->bucket, &found, &result);
+  INDOOR_METRICS_ONLY(uint64_t md2d_rows = 0; uint64_t midx_rows = 0;
+                      uint64_t entries = 0;)
+  {
+    INDOOR_TRACE_SPAN("door_expansion");
+    for (size_t i = 0; i < src_doors.size(); ++i) {
+      const DoorId di = src_doors[i];
+      const double r1 = r - src_leg[i];
+      if (r1 < 0) continue;
+      const double* row = md2d.Row(di);
+      INDOOR_METRICS_ONLY(++md2d_rows;)
+      if (options.use_index_matrix) {
+        const DoorId* order = index.index_matrix().Row(di);
+        INDOOR_METRICS_ONLY(++midx_rows;)
+        for (size_t j = 0; j < n; ++j) {
+          const DoorId dj = order[j];
+          INDOOR_METRICS_ONLY(++entries;)
+          if (row[dj] > r1) break;  // nearest-first: nothing further qualifies
+          const double r2 = r1 - row[dj];
+          SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
+                     &scratch->bucket, &found, &result);
+          SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
+                     &scratch->bucket, &found, &result);
+        }
+      } else {
+        // Without Midx the whole Md2d row must be examined.
+        INDOOR_METRICS_ONLY(entries += n;)
+        for (DoorId dj = 0; dj < n; ++dj) {
+          if (row[dj] > r1) continue;
+          const double r2 = r1 - row[dj];
+          SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
+                     &scratch->bucket, &found, &result);
+          SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
+                     &scratch->bucket, &found, &result);
+        }
       }
     }
   }
+  INDOOR_METRICS_ONLY(
+      INDOOR_COUNTER_ADD("index.md2d.row_fetches", md2d_rows);
+      INDOOR_COUNTER_ADD("index.midx.row_fetches", midx_rows);
+      INDOOR_COUNTER_ADD("index.scan.entries", entries);
+      FlushBucketStats(&scratch->bucket);)
 
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
+  INDOOR_HISTOGRAM_RECORD("query.range.results", result.size());
   return result;
 }
 

@@ -1,9 +1,11 @@
 #include "indoor/floor_plan_io.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
 #include "indoor/floor_plan_builder.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace indoor {
@@ -210,13 +212,21 @@ std::string SerializeFloorPlan(const FloorPlan& plan) {
 }
 
 Result<FloorPlan> LoadFloorPlan(const std::string& path) {
+  INDOOR_METRICS_ONLY(const auto t0 = std::chrono::steady_clock::now();)
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseFloorPlan(buffer.str());
+  auto plan = ParseFloorPlan(buffer.str());
+  INDOOR_METRICS_ONLY(
+      const double load_ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count() *
+          1e3;
+      INDOOR_GAUGE_SET("load.plan_ms", load_ms);)
+  return plan;
 }
 
 Status SaveFloorPlan(const FloorPlan& plan, const std::string& path) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace indoor {
 
@@ -289,9 +290,11 @@ void RTree::BulkLoad(std::vector<std::pair<Rect, uint32_t>> items) {
 std::vector<uint32_t> RTree::QueryPoint(const Point& p) const {
   std::vector<uint32_t> out;
   std::vector<const Node*> stack{root_.get()};
+  INDOOR_METRICS_ONLY(uint64_t node_visits = 0;)
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
+    INDOOR_METRICS_ONLY(++node_visits;)
     if (!node->mbr.Contains(p) && node->Fanout() > 0) continue;
     if (node->leaf) {
       for (const auto& [r, id] : node->entries) {
@@ -303,6 +306,9 @@ std::vector<uint32_t> RTree::QueryPoint(const Point& p) const {
       }
     }
   }
+  INDOOR_COUNTER_INC("index.rtree.point_queries");
+  INDOOR_METRICS_ONLY(
+      INDOOR_COUNTER_ADD("index.rtree.node_visits", node_visits);)
   return out;
 }
 

@@ -1,0 +1,313 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace indoor {
+namespace metrics {
+
+// ------------------------------------------------------------------ Histogram
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return std::min<size_t>(std::bit_width(value), kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t i) {
+  return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  return uint64_t{1} << i;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(seen + buckets[i]) >= rank) {
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+      const double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      // The true quantile can never exceed the observed maximum; without the
+      // clamp, q = 1.0 would report the landing bucket's upper bound.
+      return std::min(lo + std::clamp(frac, 0.0, 1.0) * (hi - lo),
+                      static_cast<double>(max));
+    }
+    seen += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+// ------------------------------------------------------------------- Registry
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Deques keep element addresses stable across registration; the maps own
+  // the lookup. Instruments are never erased.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*, std::less<>> counter_index;
+  std::map<std::string, Gauge*, std::less<>> gauge_index;
+  std::map<std::string, Histogram*, std::less<>> histogram_index;
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: instrumentation sites cache references and may
+  // fire during static destruction.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() {
+  if (impl_ == nullptr) impl_ = new Impl();
+  return *impl_;
+}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.counter_index.find(name);
+  if (it != im.counter_index.end()) return *it->second;
+  Counter& c = im.counters.emplace_back();
+  im.counter_index.emplace(std::string(name), &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.gauge_index.find(name);
+  if (it != im.gauge_index.end()) return *it->second;
+  Gauge& g = im.gauges.emplace_back();
+  im.gauge_index.emplace(std::string(name), &g);
+  return g;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const auto it = im.histogram_index.find(name);
+  if (it != im.histogram_index.end()) return *it->second;
+  Histogram& h = im.histograms.emplace_back();
+  im.histogram_index.emplace(std::string(name), &h);
+  return h;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  const Impl* im = impl_;
+  if (im == nullptr) return snap;
+  std::lock_guard<std::mutex> lock(im->mu);
+  snap.counters.reserve(im->counter_index.size());
+  for (const auto& [name, c] : im->counter_index) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(im->gauge_index.size());
+  for (const auto& [name, g] : im->gauge_index) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(im->histogram_index.size());
+  for (const auto& [name, h] : im->histogram_index) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.max = h->Max();
+    hs.buckets.resize(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets[i] = h->BucketCount(i);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  const Impl* im = impl_;
+  if (im == nullptr) return;
+  std::lock_guard<std::mutex> lock(im->mu);
+  for (auto& [name, c] : im->counter_index) c->Reset();
+  for (auto& [name, g] : im->gauge_index) g->Reset();
+  for (auto& [name, h] : im->histogram_index) h->Reset();
+}
+
+// ----------------------------------------------------------- JSON and reports
+
+namespace {
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+/// Nanoseconds rendered with a readable unit (1.23us, 45.6ms, ...).
+std::string HumanNs(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+bool IsNanosecondName(const std::string& name) {
+  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+}  // namespace
+
+std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + counters[i].first +
+           "\": " + std::to_string(counters[i].second);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + gauges[i].first + "\": ";
+    AppendJsonNumber(&out, gauges[i].second);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) + ", \"p50\": ";
+    AppendJsonNumber(&out, h.Percentile(0.50));
+    out += ", \"p95\": ";
+    AppendJsonNumber(&out, h.Percentile(0.95));
+    out += ", \"p99\": ";
+    AppendJsonNumber(&out, h.Percentile(0.99));
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"le\": " +
+             std::to_string(Histogram::BucketUpperBound(b)) +
+             ", \"count\": " + std::to_string(h.buckets[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void RegistrySnapshot::WriteReport(std::FILE* out) const {
+  if (!counters.empty()) {
+    std::fprintf(out, "counters:\n");
+    for (const auto& [name, value] : counters) {
+      std::fprintf(out, "  %-36s %12llu\n", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
+  }
+  if (!gauges.empty()) {
+    std::fprintf(out, "gauges:\n");
+    for (const auto& [name, value] : gauges) {
+      std::fprintf(out, "  %-36s %12.3f\n", name.c_str(), value);
+    }
+  }
+  if (!histograms.empty()) {
+    std::fprintf(out, "histograms:\n");
+    for (const HistogramSnapshot& h : histograms) {
+      if (IsNanosecondName(h.name)) {
+        std::fprintf(
+            out,
+            "  %-36s count=%-8llu mean=%-9s p50=%-9s p95=%-9s p99=%-9s "
+            "max=%s\n",
+            h.name.c_str(), static_cast<unsigned long long>(h.count),
+            HumanNs(h.Mean()).c_str(), HumanNs(h.Percentile(0.50)).c_str(),
+            HumanNs(h.Percentile(0.95)).c_str(),
+            HumanNs(h.Percentile(0.99)).c_str(),
+            HumanNs(static_cast<double>(h.max)).c_str());
+      } else {
+        std::fprintf(
+            out,
+            "  %-36s count=%-8llu mean=%-9.1f p50=%-9.0f p95=%-9.0f "
+            "p99=%-9.0f max=%llu\n",
+            h.name.c_str(), static_cast<unsigned long long>(h.count),
+            h.Mean(), h.Percentile(0.50), h.Percentile(0.95),
+            h.Percentile(0.99), static_cast<unsigned long long>(h.max));
+      }
+    }
+  }
+  if (counters.empty() && gauges.empty() && histograms.empty()) {
+    std::fprintf(out,
+                 "(registry is empty — was the library built with "
+                 "-DINDOOR_METRICS=OFF?)\n");
+  }
+}
+
+// ----------------------------------------------------------------- QueryTrace
+
+namespace {
+thread_local QueryTrace* g_active_trace = nullptr;
+}  // namespace
+
+QueryTrace::QueryTrace()
+    : origin_(std::chrono::steady_clock::now()), prev_(g_active_trace) {
+  g_active_trace = this;
+}
+
+QueryTrace::~QueryTrace() { g_active_trace = prev_; }
+
+QueryTrace* QueryTrace::Active() { return g_active_trace; }
+
+uint64_t QueryTrace::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void QueryTrace::ExitSpan(const char* name, uint64_t start_ns,
+                          uint64_t duration_ns, int depth) {
+  --depth_;
+  events_.push_back({name, start_ns, duration_ns, depth});
+}
+
+void QueryTrace::WriteReport(std::FILE* out) const {
+  std::vector<Event> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  for (const Event& e : sorted) {
+    std::fprintf(out, "  %8.1fus  %*s%-24s %s\n",
+                 static_cast<double>(e.start_ns) / 1e3, e.depth * 2, "",
+                 e.name, HumanNs(static_cast<double>(e.duration_ns)).c_str());
+  }
+}
+
+}  // namespace metrics
+}  // namespace indoor

@@ -1,0 +1,440 @@
+// Observability: process-wide metrics and per-query trace spans.
+//
+// Three instrument kinds live in one global MetricsRegistry:
+//
+//   Counter    — monotonically increasing event count (relaxed-atomic add).
+//   Gauge      — last-written value (build-phase timings, sizes).
+//   Histogram  — fixed power-of-two buckets over uint64 samples, with
+//                approximate p50/p95/p99 read from the buckets. Latency
+//                histograms record nanoseconds; size histograms record
+//                counts (the `_ns` / `_size` / `_results` name suffix says
+//                which).
+//
+// The hot path is lock-free: Counter::Add, Gauge::Set, and
+// Histogram::Record are relaxed atomic operations on pre-registered
+// instruments; the registry mutex is only taken at registration (once per
+// instrumentation site, cached in a function-local static by the macros
+// below) and when snapshotting. Instruments are never deallocated or
+// moved, so cached references stay valid for the process lifetime.
+//
+// Instrumentation sites use the INDOOR_* macros, which compile to NOTHING
+// when the CMake option INDOOR_METRICS is OFF (no INDOOR_METRICS_ENABLED
+// define): the instrumented query hot path is then bit-identical to the
+// uninstrumented one. The registry/snapshot/report classes themselves are
+// always compiled so tools that print metrics link in either mode — an
+// OFF build simply reports an empty registry.
+//
+// Query-path tracing: a QueryTrace installs itself as the calling
+// thread's active trace sink; every TraceSpan that opens and closes while
+// it is installed appends one (name, start, duration, depth) event.
+// Without an active trace a span with no histogram does not even read the
+// clock, so always-on sub-phase spans cost one thread-local load and a
+// branch. See docs/METRICS.md for the full metric inventory and overhead
+// measurements.
+
+#ifndef INDOOR_UTIL_METRICS_H_
+#define INDOOR_UTIL_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indoor {
+namespace metrics {
+
+/// A monotonically increasing event counter. Thread-safe and lock-free.
+class Counter {
+ public:
+  /// Adds `delta` (relaxed; counts are exact, ordering is not promised).
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Adds 1.
+  void Increment() { Add(1); }
+
+  /// Current value.
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counter (snapshot isolation in tests/benches).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-value-wins gauge (build-phase milliseconds, structure sizes).
+/// Thread-safe and lock-free.
+class Gauge {
+ public:
+  /// Overwrites the gauge with `value`.
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Current value (0.0 until first Set).
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Resets the gauge to 0.0.
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram over uint64 samples. Bucket 0 holds the value
+/// 0; bucket i >= 1 holds [2^(i-1), 2^i). Recording is three relaxed
+/// atomic adds plus a conditional max update; percentiles are computed at
+/// read time by cumulative walk with linear interpolation inside the
+/// resolved bucket, so any reported quantile is within one power of two
+/// of the true sample quantile.
+class Histogram {
+ public:
+  /// Number of buckets; bucket kNumBuckets-1 absorbs everything >= 2^62.
+  static constexpr size_t kNumBuckets = 64;
+
+  /// Records one sample.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Total samples recorded.
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of all recorded samples.
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Largest recorded sample (0 when empty).
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Count in bucket `i` (i < kNumBuckets).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// The bucket a value lands in.
+  static size_t BucketIndex(uint64_t value);
+
+  /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+  static uint64_t BucketLowerBound(size_t i);
+
+  /// Exclusive upper bound of bucket `i`.
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Zeroes every bucket and the count/sum/max.
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of one histogram, with quantile math.
+struct HistogramSnapshot {
+  /// Registered instrument name.
+  std::string name;
+  /// Total recorded samples.
+  uint64_t count = 0;
+  /// Sum of all samples.
+  uint64_t sum = 0;
+  /// Largest sample.
+  uint64_t max = 0;
+  /// Per-bucket sample counts (Histogram bucket layout).
+  std::vector<uint64_t> buckets;
+
+  /// Approximate quantile q in [0, 1]: the rank q*count sample's bucket,
+  /// linearly interpolated by rank within the bucket's [lower, upper)
+  /// value range. Returns 0 when the histogram is empty.
+  double Percentile(double q) const;
+
+  /// Mean sample (0 when empty).
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time copy of the whole registry (see
+/// MetricsRegistry::Snapshot). Counter/gauge entries are (name, value)
+/// pairs; every list is sorted by name.
+struct RegistrySnapshot {
+  /// Counter values at snapshot time.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Gauge values at snapshot time.
+  std::vector<std::pair<std::string, double>> gauges;
+  /// Histogram copies at snapshot time.
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Serializes the snapshot as a JSON object with "counters", "gauges",
+  /// and "histograms" members; histogram buckets are emitted sparsely as
+  /// {"le": <exclusive upper bound>, "count": n} pairs.
+  std::string ToJson() const;
+
+  /// Human-readable report (the `indoor_tool stats` format): one line per
+  /// instrument, histogram lines with count/mean/p50/p95/p99/max.
+  /// Nanosecond histograms (name ending in `_ns`) are scaled to readable
+  /// units.
+  void WriteReport(std::FILE* out) const;
+};
+
+/// The process-wide instrument registry. Get* registers on first use and
+/// returns a reference that stays valid (and at a stable address) for the
+/// process lifetime. Names must match [a-z0-9._]+ by convention; they are
+/// emitted into JSON unescaped.
+class MetricsRegistry {
+ public:
+  /// The global registry (never destroyed, safe during static teardown).
+  static MetricsRegistry& Global();
+
+  /// The counter registered under `name` (registering it if new).
+  Counter& GetCounter(std::string_view name);
+
+  /// The gauge registered under `name` (registering it if new).
+  Gauge& GetGauge(std::string_view name);
+
+  /// The histogram registered under `name` (registering it if new).
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Consistent point-in-time copy of every registered instrument.
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every instrument without unregistering it (cached references
+  /// stay valid). Meant for test/bench isolation, not for concurrent use
+  /// with live recording.
+  void ResetAll();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+ private:
+  struct Impl;
+  /// Pimpl keeps <mutex>/<deque>/<map> out of this widely-included header.
+  Impl* impl_ = nullptr;
+  Impl& impl();
+};
+
+/// Per-thread trace sink: while alive, every TraceSpan opened on the
+/// constructing thread appends one event. Install around a single query
+/// to see where it spent its time (`indoor_tool distance ... --trace`).
+/// Not thread-safe: construct, run, and read on one thread.
+class QueryTrace {
+ public:
+  /// One completed span.
+  struct Event {
+    /// Static span label (must outlive the trace; string literals only).
+    const char* name;
+    /// Span start, nanoseconds since the trace was installed.
+    uint64_t start_ns;
+    /// Span duration in nanoseconds.
+    uint64_t duration_ns;
+    /// Nesting depth at the time the span opened (0 = outermost).
+    int depth;
+  };
+
+  /// Installs this trace as the calling thread's active sink (stacking on
+  /// top of any previously active trace).
+  QueryTrace();
+  /// Uninstalls, restoring the previously active trace.
+  ~QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// The calling thread's active trace, or nullptr.
+  static QueryTrace* Active();
+
+  /// Completed spans in completion order (inner spans precede the spans
+  /// that contain them).
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Indented span tree, one line per event, sorted by start time.
+  void WriteReport(std::FILE* out) const;
+
+  // Implementation hooks for TraceSpan (not part of the public surface).
+
+  /// Opens a nesting level; returns the depth the span runs at.
+  int EnterSpan() { return depth_++; }
+  /// Closes a nesting level and appends the completed event.
+  void ExitSpan(const char* name, uint64_t start_ns, uint64_t duration_ns,
+                int depth);
+  /// Nanoseconds since this trace was installed.
+  uint64_t NowNs() const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<Event> events_;
+  int depth_ = 0;
+  QueryTrace* prev_ = nullptr;
+};
+
+/// RAII span: on destruction, records its elapsed nanoseconds into an
+/// optional histogram and into the thread's active QueryTrace (if any).
+/// With neither — no active trace and a null histogram — construction and
+/// destruction read no clocks and cost one thread-local load plus a
+/// branch, which is what makes always-on sub-phase spans affordable.
+class TraceSpan {
+ public:
+  /// Opens a span named `name` (a string literal), optionally recording
+  /// its duration into `hist`.
+  explicit TraceSpan(const char* name, Histogram* hist = nullptr)
+      : name_(name), hist_(hist), trace_(QueryTrace::Active()) {
+    if (trace_ == nullptr && hist_ == nullptr) return;
+    if (trace_ != nullptr) {
+      depth_ = trace_->EnterSpan();
+      start_ns_ = trace_->NowNs();
+    }
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~TraceSpan() {
+    if (trace_ == nullptr && hist_ == nullptr) return;
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (hist_ != nullptr) hist_->Record(ns);
+    if (trace_ != nullptr) trace_->ExitSpan(name_, start_ns_, ns, depth_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  QueryTrace* trace_;
+  int depth_ = 0;
+  uint64_t start_ns_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer that always records into its histogram (no trace
+/// interaction); the plain building block when tracing is not wanted.
+class ScopedTimer {
+ public:
+  /// Starts timing into `hist`.
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace metrics
+}  // namespace indoor
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Each caches its instrument reference in a
+// function-local static (one registry lookup per site per process), then
+// performs only relaxed atomic work. All of them expand to NOTHING when
+// INDOOR_METRICS_ENABLED is not defined (CMake -DINDOOR_METRICS=OFF).
+
+#define INDOOR_METRICS_CONCAT_(a, b) a##b
+#define INDOOR_METRICS_CONCAT(a, b) INDOOR_METRICS_CONCAT_(a, b)
+
+#ifdef INDOOR_METRICS_ENABLED
+
+/// Adds `delta` to the counter registered under `name`.
+#define INDOOR_COUNTER_ADD(name, delta)                                     \
+  do {                                                                      \
+    static ::indoor::metrics::Counter& INDOOR_METRICS_CONCAT(               \
+        indoor_metrics_c_, __LINE__) =                                      \
+        ::indoor::metrics::MetricsRegistry::Global().GetCounter(name);      \
+    INDOOR_METRICS_CONCAT(indoor_metrics_c_, __LINE__)                      \
+        .Add(static_cast<uint64_t>(delta));                                 \
+  } while (0)
+
+/// Adds 1 to the counter registered under `name`.
+#define INDOOR_COUNTER_INC(name) INDOOR_COUNTER_ADD(name, 1)
+
+/// Sets the gauge registered under `name` to `value`.
+#define INDOOR_GAUGE_SET(name, value)                                       \
+  do {                                                                      \
+    static ::indoor::metrics::Gauge& INDOOR_METRICS_CONCAT(                 \
+        indoor_metrics_g_, __LINE__) =                                      \
+        ::indoor::metrics::MetricsRegistry::Global().GetGauge(name);        \
+    INDOOR_METRICS_CONCAT(indoor_metrics_g_, __LINE__)                      \
+        .Set(static_cast<double>(value));                                   \
+  } while (0)
+
+/// Records `value` into the histogram registered under `name`.
+#define INDOOR_HISTOGRAM_RECORD(name, value)                                \
+  do {                                                                      \
+    static ::indoor::metrics::Histogram& INDOOR_METRICS_CONCAT(             \
+        indoor_metrics_h_, __LINE__) =                                      \
+        ::indoor::metrics::MetricsRegistry::Global().GetHistogram(name);    \
+    INDOOR_METRICS_CONCAT(indoor_metrics_h_, __LINE__)                      \
+        .Record(static_cast<uint64_t>(value));                              \
+  } while (0)
+
+/// Opens a scope-lifetime span that records into the thread's active
+/// QueryTrace only (no histogram; near-free when no trace is installed).
+#define INDOOR_TRACE_SPAN(span_name)                                        \
+  ::indoor::metrics::TraceSpan INDOOR_METRICS_CONCAT(indoor_metrics_s_,     \
+                                                     __LINE__)(span_name)
+
+/// Opens a scope-lifetime span that records its nanoseconds into the
+/// histogram registered under `hist_name` AND into any active QueryTrace.
+/// The query-entry-point instrumentation primitive.
+#define INDOOR_LATENCY_SPAN(span_name, hist_name)                           \
+  static ::indoor::metrics::Histogram& INDOOR_METRICS_CONCAT(               \
+      indoor_metrics_sh_, __LINE__) =                                       \
+      ::indoor::metrics::MetricsRegistry::Global().GetHistogram(hist_name); \
+  ::indoor::metrics::TraceSpan INDOOR_METRICS_CONCAT(indoor_metrics_s_,     \
+                                                     __LINE__)(             \
+      span_name, &INDOOR_METRICS_CONCAT(indoor_metrics_sh_, __LINE__))
+
+/// Compiles its arguments only when metrics are enabled — for local
+/// accumulator variables and their flushes around hot loops, so the OFF
+/// build's code is bit-identical to the never-instrumented code.
+#define INDOOR_METRICS_ONLY(...) __VA_ARGS__
+
+#else  // !INDOOR_METRICS_ENABLED
+
+#define INDOOR_COUNTER_ADD(name, delta) \
+  do {                                  \
+  } while (0)
+#define INDOOR_COUNTER_INC(name) \
+  do {                           \
+  } while (0)
+#define INDOOR_GAUGE_SET(name, value) \
+  do {                                \
+  } while (0)
+#define INDOOR_HISTOGRAM_RECORD(name, value) \
+  do {                                       \
+  } while (0)
+#define INDOOR_TRACE_SPAN(span_name) \
+  do {                               \
+  } while (0)
+#define INDOOR_LATENCY_SPAN(span_name, hist_name) \
+  do {                                            \
+  } while (0)
+#define INDOOR_METRICS_ONLY(...)
+
+#endif  // INDOOR_METRICS_ENABLED
+
+#endif  // INDOOR_UTIL_METRICS_H_

@@ -1,0 +1,466 @@
+// The observability layer: counters, gauges, histograms, the registry,
+// trace spans, and the query-path wiring (docs/METRICS.md).
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/distance/pt2pt_distance.h"
+#include "core/distance/query_scratch.h"
+#include "core/index/index_framework.h"
+#include "core/query/knn_query.h"
+#include "core/query/range_query.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace metrics {
+namespace {
+
+// --------------------------------------------------------------- instruments
+
+TEST(CounterTest, AddAndIncrementAreExact) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds {0}; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}),
+            Histogram::kNumBuckets - 1);
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    // Every bucket's bounds round-trip through BucketIndex.
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i) - 1), i);
+  }
+}
+
+TEST(HistogramTest, CountSumMax) {
+  Histogram h;
+  h.Record(0);
+  h.Record(7);
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 107u);
+  EXPECT_EQ(h.Max(), 100u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(0)), 1u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(7)), 1u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(100)), 1u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+HistogramSnapshot Snap(const Histogram& h, const std::string& name = "h") {
+  HistogramSnapshot s;
+  s.name = name;
+  s.count = h.Count();
+  s.sum = h.Sum();
+  s.max = h.Max();
+  s.buckets.resize(Histogram::kNumBuckets);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    s.buckets[i] = h.BucketCount(i);
+  }
+  return s;
+}
+
+TEST(HistogramTest, PercentilesOfKnownDistribution) {
+  // 1000 samples uniform over [0, 1000): any quantile must land within
+  // one power-of-two bucket of the true value.
+  Histogram h;
+  for (uint64_t v = 0; v < 1000; ++v) h.Record(v);
+  const HistogramSnapshot s = Snap(h);
+  EXPECT_NEAR(s.Mean(), 499.5, 0.001);
+  const double p50 = s.Percentile(0.50);
+  const double p95 = s.Percentile(0.95);
+  const double p99 = s.Percentile(0.99);
+  // True p50 = 500, inside bucket [256, 512); p95 = 950 and p99 = 990,
+  // both inside [512, 1024).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GE(p95, 512.0);
+  EXPECT_LE(p95, 1024.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p100 walks off the end and reports the exact max.
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 999.0);
+}
+
+TEST(HistogramTest, PercentileOfConstantStream) {
+  // All samples equal: every quantile resolves into the one hot bucket.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(6);
+  const HistogramSnapshot s = Snap(h);
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_GE(s.Percentile(q), 4.0) << "q=" << q;
+    EXPECT_LE(s.Percentile(q), 8.0) << "q=" << q;
+  }
+  EXPECT_EQ(s.max, 6u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  const HistogramSnapshot s = Snap(Histogram{});
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t expected = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.Count(), expected);
+  EXPECT_EQ(h.Max(), expected - 1);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += h.BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, expected);
+}
+
+// ------------------------------------------------------------------ registry
+
+TEST(RegistryTest, SameNameSameInstrument) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("test.registry.identity");
+  Counter& b = reg.GetCounter("test.registry.identity");
+  EXPECT_EQ(&a, &b);
+  Histogram& ha = reg.GetHistogram("test.registry.identity");  // own space
+  Histogram& hb = reg.GetHistogram("test.registry.identity");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(RegistryTest, SnapshotSeesRecordedValues) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snapshot.counter").Add(5);
+  reg.GetGauge("test.snapshot.gauge").Set(2.5);
+  reg.GetHistogram("test.snapshot.hist").Record(33);
+  const RegistrySnapshot snap = reg.Snapshot();
+
+  bool found_counter = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.snapshot.counter") {
+      EXPECT_GE(value, 5u);
+      found_counter = true;
+    }
+  }
+  EXPECT_TRUE(found_counter);
+
+  bool found_gauge = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test.snapshot.gauge") {
+      EXPECT_DOUBLE_EQ(value, 2.5);
+      found_gauge = true;
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+
+  bool found_hist = false;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "test.snapshot.hist") {
+      EXPECT_GE(h.count, 1u);
+      found_hist = true;
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.sort.b");
+  reg.GetCounter("test.sort.a");
+  const RegistrySnapshot snap = reg.Snapshot();
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Same names from every thread: registration races must resolve
+        // to one shared instrument per name.
+        reg.GetCounter("test.concurrent.counter").Increment();
+        reg.GetHistogram("test.concurrent.hist").Record(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("test.concurrent.counter").Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.GetHistogram("test.concurrent.hist").Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, ToJsonContainsInstruments) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json.counter").Add(3);
+  reg.GetHistogram("test.json.hist").Record(9);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- trace spans
+
+TEST(TraceTest, SpansRecordIntoActiveTrace) {
+  QueryTrace trace;
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+  }
+  ASSERT_EQ(trace.events().size(), 2u);
+  // Inner spans complete (and are appended) first.
+  EXPECT_STREQ(trace.events()[0].name, "inner");
+  EXPECT_EQ(trace.events()[0].depth, 1);
+  EXPECT_STREQ(trace.events()[1].name, "outer");
+  EXPECT_EQ(trace.events()[1].depth, 0);
+  EXPECT_LE(trace.events()[1].start_ns, trace.events()[0].start_ns);
+  EXPECT_GE(trace.events()[1].duration_ns, trace.events()[0].duration_ns);
+}
+
+TEST(TraceTest, NoActiveTraceMeansNoEvents) {
+  ASSERT_EQ(QueryTrace::Active(), nullptr);
+  { TraceSpan span("unobserved"); }  // must be harmless
+  QueryTrace trace;
+  EXPECT_EQ(QueryTrace::Active(), &trace);
+  { TraceSpan span("observed"); }
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(TraceTest, TracesStack) {
+  QueryTrace outer_trace;
+  {
+    QueryTrace inner_trace;
+    EXPECT_EQ(QueryTrace::Active(), &inner_trace);
+    { TraceSpan span("inner_only"); }
+    EXPECT_EQ(inner_trace.events().size(), 1u);
+  }
+  EXPECT_EQ(QueryTrace::Active(), &outer_trace);
+  EXPECT_TRUE(outer_trace.events().empty());
+}
+
+TEST(TraceTest, SpanRecordsIntoHistogramToo) {
+  Histogram h;
+  { TraceSpan span("timed", &h); }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Histogram h;
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+// ------------------------------------------------------------------- macros
+
+#ifdef INDOOR_METRICS_ENABLED
+
+TEST(MacroTest, CounterGaugeHistogramMacrosHitTheRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t before = reg.GetCounter("test.macro.counter").Value();
+  INDOOR_COUNTER_INC("test.macro.counter");
+  INDOOR_COUNTER_ADD("test.macro.counter", 2);
+  EXPECT_EQ(reg.GetCounter("test.macro.counter").Value(), before + 3);
+
+  INDOOR_GAUGE_SET("test.macro.gauge", 7.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("test.macro.gauge").Value(), 7.5);
+
+  const uint64_t hist_before = reg.GetHistogram("test.macro.hist").Count();
+  INDOOR_HISTOGRAM_RECORD("test.macro.hist", 12);
+  EXPECT_EQ(reg.GetHistogram("test.macro.hist").Count(), hist_before + 1);
+}
+
+TEST(MacroTest, LatencySpanRecordsIntoNamedHistogram) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t before = reg.GetHistogram("test.macro.span_ns").Count();
+  { INDOOR_LATENCY_SPAN("macro_span", "test.macro.span_ns"); }
+  EXPECT_EQ(reg.GetHistogram("test.macro.span_ns").Count(), before + 1);
+}
+
+#else  // !INDOOR_METRICS_ENABLED
+
+TEST(MacroTest, DisabledMacrosCompileToNothing) {
+  // The OFF macros must be pure no-ops: usable in any statement position
+  // and free of atomics/clocks. constexpr-evaluability proves no runtime
+  // machinery is left behind (atomic ops are not constexpr-valid).
+  constexpr bool kNoOp = [] {
+    INDOOR_COUNTER_INC("gone");
+    INDOOR_COUNTER_ADD("gone", 5);
+    INDOOR_GAUGE_SET("gone", 1.0);
+    INDOOR_HISTOGRAM_RECORD("gone", 2);
+    INDOOR_TRACE_SPAN("gone");
+    INDOOR_LATENCY_SPAN("gone", "gone_ns");
+    INDOOR_METRICS_ONLY(would_not_compile);
+    return true;
+  }();
+  static_assert(kNoOp, "disabled metrics macros must be constexpr no-ops");
+  SUCCEED();
+}
+
+#endif  // INDOOR_METRICS_ENABLED
+
+// --------------------------------------------------------- query-path wiring
+
+#ifdef INDOOR_METRICS_ENABLED
+
+class QueryWiringTest : public ::testing::Test {
+ protected:
+  QueryWiringTest() : plan_(MakeRunningExamplePlan(&ids_)), index_(plan_) {}
+
+  uint64_t CounterValue(const char* name) {
+    return MetricsRegistry::Global().GetCounter(name).Value();
+  }
+  uint64_t HistCount(const char* name) {
+    return MetricsRegistry::Global().GetHistogram(name).Count();
+  }
+
+  RunningExampleIds ids_;
+  FloorPlan plan_;
+  IndexFramework index_;
+};
+
+TEST_F(QueryWiringTest, Pt2PtQueriesFeedLatencyAndDijkstraMetrics) {
+  const uint64_t refined_before = HistCount("query.pt2pt_refined.latency_ns");
+  const uint64_t settles_before = CounterValue("distance.dijkstra.settles");
+  const uint64_t tls_before = CounterValue("scratch.tls_fallback");
+  const uint64_t explicit_before = CounterValue("scratch.explicit");
+
+  const DistanceContext ctx = index_.distance_context();
+  const double d1 = Pt2PtDistanceRefined(ctx, {1, 1}, {19, 7});
+  QueryScratch scratch;
+  const double d2 = Pt2PtDistanceRefined(ctx, {1, 1}, {19, 7}, &scratch);
+  EXPECT_DOUBLE_EQ(d1, d2);
+
+  EXPECT_EQ(HistCount("query.pt2pt_refined.latency_ns"), refined_before + 2);
+  EXPECT_GT(CounterValue("distance.dijkstra.settles"), settles_before);
+  EXPECT_EQ(CounterValue("scratch.tls_fallback"), tls_before + 1);
+  EXPECT_EQ(CounterValue("scratch.explicit"), explicit_before + 1);
+}
+
+TEST_F(QueryWiringTest, RangeAndKnnFeedIndexMetrics) {
+  auto id = index_.objects().Insert(ids_.v12, Point{6, 2});
+  ASSERT_TRUE(id.ok());
+
+  const uint64_t range_before = HistCount("query.range.latency_ns");
+  const uint64_t knn_before = HistCount("query.knn.latency_ns");
+  const uint64_t lookups_before = CounterValue("index.locator.lookups");
+  const uint64_t md2d_before = CounterValue("index.md2d.row_fetches");
+  const uint64_t searches_before = CounterValue("index.grid.searches");
+
+  const auto in_range = RangeQuery(index_, {1, 1}, 50.0);
+  EXPECT_EQ(in_range.size(), 1u);
+  const auto nearest = KnnQuery(index_, {1, 1}, 1);
+  EXPECT_EQ(nearest.size(), 1u);
+
+  EXPECT_EQ(HistCount("query.range.latency_ns"), range_before + 1);
+  EXPECT_EQ(HistCount("query.knn.latency_ns"), knn_before + 1);
+  EXPECT_GT(CounterValue("index.locator.lookups"), lookups_before);
+  EXPECT_GT(CounterValue("index.md2d.row_fetches"), md2d_before);
+  EXPECT_GT(CounterValue("index.grid.searches"), searches_before);
+  EXPECT_GE(MetricsRegistry::Global()
+                .GetHistogram("query.range.results")
+                .Count(),
+            1u);
+}
+
+TEST_F(QueryWiringTest, BuildPhasesPublishGauges) {
+  // The fixture built an IndexFramework, so every phase gauge must exist
+  // (values may legitimately be ~0 ms on this tiny plan).
+  const RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::vector<std::string> want = {"build.graph_ms", "build.locator_ms",
+                                   "build.md2d_ms",  "build.midx_ms",
+                                   "build.dpt_ms",   "build.objects_ms"};
+  for (const std::string& name : want) {
+    bool found = false;
+    for (const auto& [gname, value] : snap.gauges) {
+      if (gname == name) {
+        EXPECT_GE(value, 0.0);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "missing gauge " << name;
+  }
+}
+
+TEST_F(QueryWiringTest, QueryTraceSeesQuerySubPhases) {
+  QueryTrace trace;
+  const DistanceContext ctx = index_.distance_context();
+  Pt2PtDistanceRefined(ctx, {1, 1}, {19, 7});
+  ASSERT_FALSE(trace.events().empty());
+  bool saw_top = false;
+  bool saw_legs = false;
+  for (const QueryTrace::Event& e : trace.events()) {
+    if (std::string(e.name) == "pt2pt_refined") saw_top = true;
+    if (std::string(e.name) == "entry_exit_legs") saw_legs = true;
+  }
+  EXPECT_TRUE(saw_top);
+  EXPECT_TRUE(saw_legs);
+}
+
+#endif  // INDOOR_METRICS_ENABLED
+
+}  // namespace
+}  // namespace metrics
+}  // namespace indoor

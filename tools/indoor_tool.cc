@@ -10,20 +10,31 @@
 //   indoor_tool range plan.txt <x> <y> <r> [--objects N] [--seed S]
 //   indoor_tool knn plan.txt <x> <y> <k> [--objects N] [--seed S]
 //   indoor_tool matrix plan.txt <out.bin>
+//   indoor_tool stats plan.txt [--queries N] [--objects N] [--seed S]
+//
+// Observability: every command accepts --metrics-json FILE ("-" = stdout)
+// to dump the metrics registry as JSON on exit, and the query commands
+// (distance, path, range, knn) accept --trace to print a per-query span
+// breakdown. Both require a library built with INDOOR_METRICS=ON (the
+// default); an OFF build reports an empty registry.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/distance/query_scratch.h"
 #include "core/index/index_io.h"
 #include "core/model/accessibility_graph.h"
 #include "core/query/query_engine.h"
 #include "gen/building_generator.h"
 #include "gen/object_generator.h"
+#include "gen/query_generator.h"
 #include "indoor/floor_plan_io.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -44,9 +55,15 @@ int Usage() {
       "  indoor_tool range PLAN X Y R [--objects N] [--seed S]\n"
       "  indoor_tool knn PLAN X Y K [--objects N] [--seed S]\n"
       "  indoor_tool matrix PLAN OUT.bin [--threads N]\n"
+      "  indoor_tool stats PLAN [--queries N] [--objects N] [--seed S]\n"
       "\n"
-      "  --threads N   worker threads for matrix precomputation\n"
-      "                (default 1 = sequential, 0 = all hardware threads)\n");
+      "  --threads N        worker threads for matrix precomputation\n"
+      "                     (default 1 = sequential, 0 = all hardware "
+      "threads)\n"
+      "  --metrics-json F   on exit, dump the metrics registry as JSON to\n"
+      "                     file F (\"-\" = stdout); any command\n"
+      "  --trace            print a per-query span breakdown (distance,\n"
+      "                     path, range, knn)\n");
   return 2;
 }
 
@@ -93,6 +110,24 @@ Result<FloorPlan> LoadOrFail(const std::string& path) {
   }
   return plan;
 }
+
+/// Installs a QueryTrace for the duration of one query when --trace was
+/// given, and prints the span breakdown on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(bool enabled) {
+    if (enabled) trace_.emplace();
+  }
+  ~TraceScope() {
+    if (trace_.has_value()) {
+      std::printf("trace:\n");
+      trace_->WriteReport(stdout);
+    }
+  }
+
+ private:
+  std::optional<metrics::QueryTrace> trace_;
+};
 
 int CmdGen(const Args& args) {
   const std::string out = args.Str("out", "");
@@ -166,7 +201,11 @@ int CmdDistance(const Args& args, bool with_path) {
   const Point b(std::stod(args.positional[3]), std::stod(args.positional[4]));
   QueryEngine engine(std::move(plan).value());
   if (!with_path) {
-    const double d = engine.Distance(a, b);
+    double d;
+    {
+      TraceScope trace(args.Has("trace"));
+      d = engine.Distance(a, b);
+    }
     if (d == kInfDistance) {
       std::printf("unreachable\n");
       return 1;
@@ -174,6 +213,7 @@ int CmdDistance(const Args& args, bool with_path) {
     std::printf("%.3f m (Euclidean: %.3f m)\n", d, Distance(a, b));
     return 0;
   }
+  TraceScope trace(args.Has("trace"));
   const IndoorPath path = engine.ShortestPath(a, b, /*expand=*/true);
   if (!path.found()) {
     std::printf("unreachable\n");
@@ -204,7 +244,11 @@ int CmdQuery(const Args& args, bool knn) {
   PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
                 &engine.index().objects());
   if (knn) {
-    const auto result = engine.Nearest(q, static_cast<size_t>(param));
+    std::vector<Neighbor> result;
+    {
+      TraceScope trace(args.Has("trace"));
+      result = engine.Nearest(q, static_cast<size_t>(param));
+    }
     std::printf("%zu nearest of %zu objects:\n", result.size(), objects);
     for (const Neighbor& nb : result) {
       const IndoorObject& obj = engine.index().objects().object(nb.id);
@@ -212,10 +256,42 @@ int CmdQuery(const Args& args, bool knn) {
                   engine.plan().partition(obj.partition).name().c_str());
     }
   } else {
-    const auto result = engine.Range(q, param);
+    std::vector<ObjectId> result;
+    {
+      TraceScope trace(args.Has("trace"));
+      result = engine.Range(q, param);
+    }
     std::printf("%zu of %zu objects within %.1f m\n", result.size(),
                 objects, param);
   }
+  return 0;
+}
+
+/// Runs a representative mixed workload (pt2pt distance + range + kNN per
+/// round) against a plan, then prints the full metrics report — the
+/// quickest way to see every live counter/histogram the library exports.
+int CmdStats(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  QueryEngine engine(std::move(plan).value());
+  const size_t objects = static_cast<size_t>(args.Num("objects", 1000));
+  const size_t queries = static_cast<size_t>(args.Num("queries", 100));
+  Rng rng(static_cast<uint64_t>(args.Num("seed", 7)));
+  PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
+                &engine.index().objects());
+  const auto pairs = GeneratePositionPairs(engine.plan(), queries, &rng);
+  const auto positions = GenerateQueryPositions(engine.plan(), queries, &rng);
+  QueryScratch scratch;
+  for (size_t i = 0; i < queries; ++i) {
+    engine.Distance(pairs[i].first, pairs[i].second, &scratch);
+    engine.Range(positions[i], /*r=*/30.0, {}, &scratch);
+    engine.Nearest(positions[i], /*k=*/10, {}, &scratch);
+  }
+  std::printf("workload: %zu rounds (pt2pt + range r=30 + 10-NN) over %zu "
+              "objects\n\n",
+              queries, objects);
+  metrics::MetricsRegistry::Global().Snapshot().WriteReport(stdout);
   return 0;
 }
 
@@ -249,19 +325,45 @@ int CmdMatrix(const Args& args) {
   return 0;
 }
 
+/// Honors --metrics-json FILE: dumps the registry snapshot as JSON to FILE
+/// ("-" = stdout) after the command has run.
+int DumpMetricsJson(const Args& args) {
+  const std::string path = args.Str("metrics-json", "");
+  if (path.empty()) return 0;
+  const std::string json =
+      metrics::MetricsRegistry::Global().Snapshot().ToJson();
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const Args args = Parse(argc, argv);
-  if (cmd == "gen") return CmdGen(args);
-  if (cmd == "info") return CmdInfo(args);
-  if (cmd == "validate") return CmdValidate(args);
-  if (cmd == "distance") return CmdDistance(args, /*with_path=*/false);
-  if (cmd == "path") return CmdDistance(args, /*with_path=*/true);
-  if (cmd == "range") return CmdQuery(args, /*knn=*/false);
-  if (cmd == "knn") return CmdQuery(args, /*knn=*/true);
-  if (cmd == "matrix") return CmdMatrix(args);
-  return Usage();
+  int rc = -1;
+  if (cmd == "gen") rc = CmdGen(args);
+  else if (cmd == "info") rc = CmdInfo(args);
+  else if (cmd == "validate") rc = CmdValidate(args);
+  else if (cmd == "distance") rc = CmdDistance(args, /*with_path=*/false);
+  else if (cmd == "path") rc = CmdDistance(args, /*with_path=*/true);
+  else if (cmd == "range") rc = CmdQuery(args, /*knn=*/false);
+  else if (cmd == "knn") rc = CmdQuery(args, /*knn=*/true);
+  else if (cmd == "matrix") rc = CmdMatrix(args);
+  else if (cmd == "stats") rc = CmdStats(args);
+  if (rc < 0) return Usage();
+  const int json_rc = DumpMetricsJson(args);
+  return rc != 0 ? rc : json_rc;
 }

@@ -97,15 +97,17 @@ double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
 
   // Algorithm 2: every (leaveable source door, enterable destination door)
   // pair via a blind d2dDistance call.
-  INDOOR_TRACE_SPAN("door_pairs");
-  for (size_t i = 0; i < src_doors.size(); ++i) {
-    if (src_leg[i] == kInfDistance) continue;
-    for (size_t j = 0; j < dst_doors.size(); ++j) {
-      if (dst_leg[j] == kInfDistance) continue;
-      const double d2d =
-          D2dDistance(*ctx.graph, src_doors[i], dst_doors[j], &scratch->door);
-      if (d2d == kInfDistance) continue;
-      dist = std::min(dist, src_leg[i] + d2d + dst_leg[j]);
+  {
+    INDOOR_TRACE_SPAN("door_pairs");
+    for (size_t i = 0; i < src_doors.size(); ++i) {
+      if (src_leg[i] == kInfDistance) continue;
+      for (size_t j = 0; j < dst_doors.size(); ++j) {
+        if (dst_leg[j] == kInfDistance) continue;
+        const double d2d = D2dDistance(*ctx.graph, src_doors[i], dst_doors[j],
+                                       &scratch->door);
+        if (d2d == kInfDistance) continue;
+        dist = std::min(dist, src_leg[i] + d2d + dst_leg[j]);
+      }
     }
   }
   return dist;
@@ -153,27 +155,29 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
   double min_exit = kInfDistance;
   for (const double leg : exit_leg) min_exit = std::min(min_exit, leg);
 
-  INDOOR_TRACE_SPAN("virtual_dijkstra");
-  INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
-  while (!heap.empty()) {
-    const auto [d, di] = heap.top();
-    heap.pop();
-    if (visited[di]) continue;
-    visited[di] = 1;
-    INDOOR_METRICS_ONLY(++stats.settles;)
-    if (d + min_exit >= best) break;  // no remaining door can improve
-    const auto it =
-        std::lower_bound(dest_doors.begin(), dest_doors.end(), di);
-    if (it != dest_doors.end() && *it == di) {
-      const double leg = exit_leg[it - dest_doors.begin()];
-      if (leg != kInfDistance) best = std::min(best, d + leg);
-    }
-    for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
-      if (visited[e.to]) continue;
-      if (d + e.weight < dist[e.to]) {
-        dist[e.to] = d + e.weight;
-        heap.push({dist[e.to], e.to});
-        INDOOR_METRICS_ONLY(++stats.relaxations;)
+  {
+    INDOOR_TRACE_SPAN("virtual_dijkstra");
+    INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
+    while (!heap.empty()) {
+      const auto [d, di] = heap.top();
+      heap.pop();
+      if (visited[di]) continue;
+      visited[di] = 1;
+      INDOOR_METRICS_ONLY(++stats.settles;)
+      if (d + min_exit >= best) break;  // no remaining door can improve
+      const auto it =
+          std::lower_bound(dest_doors.begin(), dest_doors.end(), di);
+      if (it != dest_doors.end() && *it == di) {
+        const double leg = exit_leg[it - dest_doors.begin()];
+        if (leg != kInfDistance) best = std::min(best, d + leg);
+      }
+      for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+        if (visited[e.to]) continue;
+        if (d + e.weight < dist[e.to]) {
+          dist[e.to] = d + e.weight;
+          heap.push({dist[e.to], e.to});
+          INDOOR_METRICS_ONLY(++stats.relaxations;)
+        }
       }
     }
   }

@@ -73,10 +73,12 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *global;
 }
 
-MetricsRegistry::Impl& MetricsRegistry::impl() {
-  if (impl_ == nullptr) impl_ = new Impl();
-  return *impl_;
-}
+// Eager construction: Global()'s function-local static serializes the one
+// construction, after which impl_ is immutable — so concurrent first-time
+// GetCounter/GetGauge/GetHistogram/Snapshot calls never race on it.
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() { return *impl_; }
 
 MetricsRegistry::~MetricsRegistry() { delete impl_; }
 
@@ -113,7 +115,6 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snap;
   const Impl* im = impl_;
-  if (im == nullptr) return snap;
   std::lock_guard<std::mutex> lock(im->mu);
   snap.counters.reserve(im->counter_index.size());
   for (const auto& [name, c] : im->counter_index) {
@@ -141,7 +142,6 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::ResetAll() {
   const Impl* im = impl_;
-  if (im == nullptr) return;
   std::lock_guard<std::mutex> lock(im->mu);
   for (auto& [name, c] : im->counter_index) c->Reset();
   for (auto& [name, g] : im->gauge_index) g->Reset();

@@ -124,7 +124,7 @@ class Histogram {
   /// The bucket a value lands in.
   static size_t BucketIndex(uint64_t value);
 
-  /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+  /// Inclusive lower bound of bucket `i` (0 for bucket 0, 2^(i-1) otherwise).
   static uint64_t BucketLowerBound(size_t i);
 
   /// Exclusive upper bound of bucket `i`.
@@ -214,7 +214,7 @@ class MetricsRegistry {
   /// with live recording.
   void ResetAll();
 
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
   ~MetricsRegistry();
@@ -222,7 +222,9 @@ class MetricsRegistry {
  private:
   struct Impl;
   /// Pimpl keeps <mutex>/<deque>/<map> out of this widely-included header.
-  Impl* impl_ = nullptr;
+  /// Constructed eagerly in the constructor and never reassigned, so
+  /// concurrent first-time lookups and snapshots never race on it.
+  Impl* impl_;
   Impl& impl();
 };
 

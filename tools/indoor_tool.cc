@@ -89,7 +89,7 @@ Args Parse(int argc, char** argv) {
     std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      if (key == "parallel-stairs") {
+      if (key == "parallel-stairs" || key == "trace") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];

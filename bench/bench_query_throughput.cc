@@ -5,20 +5,34 @@
 // manual both report for credible in-memory index comparisons.
 //
 //   bench_query_throughput [--floors N] [--objects N] [--readers 1,2,4,8]
-//                          [--queries-per-reader N] [--seed S]
-//                          [--json out.json] [--smoke]
+//                          [--queries-per-reader N] [--positions N]
+//                          [--zipf THETA] [--cache on|off] [--batch B]
+//                          [--obstacles P] [--mix all|distance|range|knn]
+//                          [--seed S] [--json out.json] [--smoke]
 //
-// Readers are ThreadPool workers; each claims whole queries round-robin
-// and every query's result is checksummed so the optimizer cannot elide
-// the work. Correctness under concurrency is covered by concurrency_test;
-// this binary only measures throughput.
+// One query = one operation (range, kNN or pt2pt distance, cycling).
+// Query positions are drawn from a pool of `--positions` distinct points;
+// `--zipf THETA` skews which pool entries are drawn (rank-based Zipf,
+// theta 0 = uniform) to model hot-spot serving workloads — the regime the
+// cross-query cache (--cache on, the default) targets. `--batch B` routes
+// the workload through BatchExecutor in batches of B requests instead of
+// the free-running reader loop; both modes execute the identical request
+// sequence for a given seed, so ON-vs-OFF and loop-vs-batch QPS ratios
+// compare like against like.
+//
+// Readers are ThreadPool workers; every query's result is checksummed so
+// the optimizer cannot elide the work. Correctness under concurrency is
+// covered by concurrency_test and query_cache_test; this binary only
+// measures throughput.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/query/batch_executor.h"
 #include "core/query/knn_query.h"
 #include "core/query/range_query.h"
 #include "gen/building_generator.h"
@@ -52,17 +66,26 @@ std::vector<unsigned> ParseList(const std::string& s) {
 }
 
 void WriteJson(const std::string& path, int floors, size_t objects,
-               size_t queries, const std::vector<Row>& rows) {
+               size_t queries, size_t positions, double zipf, bool cache,
+               size_t batch, const std::string& mix, uint64_t seed,
+               const std::vector<Row>& rows) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
+  double peak_qps = 0;
+  for (const Row& r : rows) peak_qps = std::max(peak_qps, r.qps);
   std::fprintf(f,
                "{\n  \"bench\": \"query_throughput\",\n"
                "  \"floors\": %d,\n  \"objects\": %zu,\n"
-               "  \"queries_per_reader\": %zu,\n  \"results\": [\n",
-               floors, objects, queries);
+               "  \"queries_per_reader\": %zu,\n  \"positions\": %zu,\n"
+               "  \"zipf\": %.3f,\n  \"cache\": %s,\n  \"batch\": %zu,\n"
+               "  \"mix\": \"%s\",\n"
+               "  \"seed\": %llu,\n  \"peak_qps\": %.1f,\n  \"results\": [\n",
+               floors, objects, queries, positions, zipf,
+               cache ? "true" : "false", batch, mix.c_str(),
+               static_cast<unsigned long long>(seed), peak_qps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -77,12 +100,72 @@ void WriteJson(const std::string& path, int floors, size_t objects,
   std::printf("wrote %s\n", path.c_str());
 }
 
+/// The request sequence for one reader-count configuration: depends only
+/// on (seed, theta, total, pool sizes), never on cache/batch settings, so
+/// every configuration of the same workload executes identical queries.
+std::vector<QueryRequest> BuildRequests(
+    size_t total, double zipf, uint64_t seed, const std::string& mix,
+    const std::vector<Point>& positions,
+    const std::vector<std::pair<Point, Point>>& pairs) {
+  Rng rng(seed * 1000003 + 17);
+  const ZipfSampler position_skew(positions.size(), zipf);
+  const ZipfSampler pair_skew(pairs.size(), zipf);
+  std::vector<QueryRequest> requests;
+  requests.reserve(total);
+  for (size_t q = 0; q < total; ++q) {
+    QueryRequest request;
+    // "all" cycles the three kinds; a single-kind mix isolates one path
+    // (e.g. --mix distance is the locator-probe + source-field dominated
+    // regime where the cross-query cache pays off most).
+    const size_t kind_index = mix == "all"        ? q % 3
+                              : mix == "range"    ? 0
+                              : mix == "knn"      ? 1
+                                                  : 2;
+    switch (kind_index) {
+      case 0:
+        request.kind = QueryRequest::Kind::kRange;
+        request.a = positions[position_skew.Sample(&rng)];
+        request.radius = 20.0;
+        break;
+      case 1:
+        request.kind = QueryRequest::Kind::kKnn;
+        request.a = positions[position_skew.Sample(&rng)];
+        request.k = 10;
+        break;
+      default: {
+        request.kind = QueryRequest::Kind::kDistance;
+        const auto& [a, b] = pairs[pair_skew.Sample(&rng)];
+        request.a = a;
+        request.b = b;
+        break;
+      }
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+size_t ResultChecksum(const QueryResult& result) {
+  size_t checksum = result.ids.size() + result.neighbors.size();
+  if (result.distance < kInfDistance) ++checksum;
+  return checksum;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int floors = 10;
   size_t objects = 10000;
   size_t queries_per_reader = 200;
+  size_t position_count = 256;
+  double zipf = 0.0;
+  bool cache = true;
+  size_t batch = 0;  // 0 = free-running reader loop
+  // Obstructed rooms make the per-query source-field legs geodesic solves
+  // (the dominant serving cost in realistic plans, and what the
+  // cross-query cache collapses); 0 degenerates them to straight lines.
+  double obstacles = 0.5;
+  std::string mix = "all";
   uint64_t seed = 42;
   std::vector<unsigned> reader_list{1, 2, 4, 8};
   std::string json_path;
@@ -97,6 +180,23 @@ int main(int argc, char** argv) {
       objects = std::stoul(next());
     } else if (arg == "--queries-per-reader") {
       queries_per_reader = std::stoul(next());
+    } else if (arg == "--positions") {
+      position_count = std::stoul(next());
+    } else if (arg == "--zipf") {
+      zipf = std::stod(next());
+    } else if (arg == "--cache") {
+      cache = next() != "off";
+    } else if (arg == "--batch") {
+      batch = std::stoul(next());
+    } else if (arg == "--obstacles") {
+      obstacles = std::stod(next());
+    } else if (arg == "--mix") {
+      mix = next();
+      if (mix != "all" && mix != "distance" && mix != "range" &&
+          mix != "knn") {
+        std::fprintf(stderr, "--mix must be all|distance|range|knn\n");
+        return 2;
+      }
     } else if (arg == "--readers") {
       reader_list = ParseList(next());
     } else if (arg == "--seed") {
@@ -117,29 +217,41 @@ int main(int argc, char** argv) {
   BuildingConfig config;
   config.floors = floors;
   config.rooms_per_floor = 30;
+  config.obstacle_probability = obstacles;
   config.seed = seed;
   IndexOptions options;
   options.build_threads = 0;  // build as fast as the hardware allows
+  options.enable_query_cache = cache;
   const FloorPlan plan = GenerateBuilding(config);
   IndexFramework index(plan, options);
   Rng rng(seed * 31 + 7);
   PopulateStore(GenerateObjects(plan, objects, &rng), &index.objects());
-  const auto positions = GenerateQueryPositions(plan, 256, &rng);
-  const auto pairs = GeneratePositionPairs(plan, 256, &rng);
-  const DistanceContext ctx = index.distance_context();
-  std::printf("building: %d floors, %zu doors, %zu objects\n", floors,
-              plan.door_count(), objects);
+  const auto positions = GenerateQueryPositions(plan, position_count, &rng);
+  const auto pairs = GeneratePositionPairs(plan, position_count, &rng);
+  const std::string mode =
+      batch ? "batch " + std::to_string(batch) : std::string("reader loop");
+  std::printf(
+      "building: %d floors, %zu doors, %zu objects | %zu positions, "
+      "zipf %.2f, cache %s, %s\n",
+      floors, plan.door_count(), objects, position_count, zipf,
+      cache ? "on" : "off", mode.c_str());
 
-  // One "query" = one range + one kNN + one pt2pt distance, cycling
-  // through the pre-generated workloads.
-  auto run_query = [&](size_t q) {
-    size_t checksum = 0;
-    const Point& p = positions[q % positions.size()];
-    checksum += RangeQuery(index, p, 20.0).size();
-    checksum += KnnQuery(index, p, 10).size();
-    const auto& [a, b] = pairs[q % pairs.size()];
-    checksum += Pt2PtDistanceVirtual(ctx, a, b) < kInfDistance ? 1 : 0;
-    return checksum;
+  auto run_request = [&](const QueryRequest& request,
+                         QueryScratch* scratch) -> size_t {
+    switch (request.kind) {
+      case QueryRequest::Kind::kRange:
+        return RangeQuery(index, request.a, request.radius, {}, scratch)
+            .size();
+      case QueryRequest::Kind::kKnn:
+        return KnnQuery(index, request.a, request.k, {}, scratch).size();
+      case QueryRequest::Kind::kDistance:
+        return Pt2PtDistanceMatrix(index.locator(), index.d2d_matrix(),
+                                   request.a, request.b, scratch,
+                                   index.query_cache()) < kInfDistance
+                   ? 1
+                   : 0;
+    }
+    return 0;
   };
 
   std::vector<Row> rows;
@@ -147,32 +259,53 @@ int main(int argc, char** argv) {
               "scaling");
   for (unsigned readers : reader_list) {
     const size_t total = queries_per_reader * readers;
-    std::atomic<size_t> next_query{0};
-    std::atomic<size_t> sink{0};
-    ThreadPool pool(readers);
-    WallTimer timer;
-    for (unsigned t = 0; t < readers; ++t) {
-      pool.Submit([&] {
-        size_t local = 0;
-        for (size_t q = next_query++; q < total; q = next_query++) {
-          local += run_query(q);
+    const auto requests =
+        BuildRequests(total, zipf, seed, mix, positions, pairs);
+    size_t checksum = 0;
+    double millis = 0;
+    if (batch > 0) {
+      BatchExecutor executor(index, readers);
+      WallTimer timer;
+      for (size_t begin = 0; begin < requests.size(); begin += batch) {
+        const size_t n = std::min(batch, requests.size() - begin);
+        const auto results = executor.Run(
+            std::span<const QueryRequest>(requests.data() + begin, n));
+        for (const QueryResult& result : results) {
+          checksum += ResultChecksum(result);
         }
-        sink += local;
-      });
+      }
+      millis = timer.ElapsedMillis();
+    } else {
+      std::atomic<size_t> next_query{0};
+      std::atomic<size_t> sink{0};
+      ThreadPool pool(readers);
+      WallTimer timer;
+      for (unsigned t = 0; t < readers; ++t) {
+        pool.Submit([&] {
+          size_t local = 0;
+          for (size_t q = next_query++; q < total; q = next_query++) {
+            local += run_request(requests[q], nullptr);
+          }
+          sink += local;
+        });
+      }
+      pool.Wait();
+      millis = timer.ElapsedMillis();
+      checksum = sink.load();
     }
-    pool.Wait();
     Row row;
     row.readers = readers;
-    row.millis = timer.ElapsedMillis();
+    row.millis = millis;
     row.qps = total / (row.millis / 1000.0);
     row.scaling = rows.empty() ? 1.0 : row.qps / rows.front().qps;
     rows.push_back(row);
     std::printf("%8u %12.1f %14.0f %9.2fx   (checksum %zu)\n", row.readers,
-                row.millis, row.qps, row.scaling, sink.load());
+                row.millis, row.qps, row.scaling, checksum);
   }
 
   if (!json_path.empty()) {
-    WriteJson(json_path, floors, objects, queries_per_reader, rows);
+    WriteJson(json_path, floors, objects, queries_per_reader,
+              position_count, zipf, cache, batch, mix, seed, rows);
   }
   return 0;
 }

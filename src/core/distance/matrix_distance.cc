@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/distance/query_scratch.h"
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -10,11 +11,12 @@ namespace indoor {
 double Pt2PtDistanceMatrix(const FloorPlan& plan,
                            const DistanceMatrix& matrix, PartitionId vs,
                            const Point& ps, PartitionId vt, const Point& pt,
-                           QueryScratch* scratch) {
+                           QueryScratch* scratch, const QueryCache* cache) {
   INDOOR_LATENCY_SPAN("pt2pt_matrix", "query.pt2pt_matrix.latency_ns");
   INDOOR_CHECK(matrix.door_count() == plan.door_count())
       << "matrix was built for a different plan";
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
   const Partition& source_part = plan.partition(vs);
   const Partition& target_part = plan.partition(vt);
   double best = kInfDistance;
@@ -23,21 +25,36 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
   }
   // Destination legs keep the historical door->pt orientation (one solve
   // each, reusing the scratch buffers); the source legs below share a single
-  // batched solve rooted at ps.
+  // batched solve rooted at ps. With a cache, both fields read through the
+  // cross-query source-field cache (FieldKind::kEnterFrom preserves the
+  // door->pt orientation so values stay bit-identical).
   const auto& dest_doors = plan.EnterDoors(vt);
   auto& dest_leg = scratch->dst_leg;
   dest_leg.resize(dest_doors.size());
-  for (size_t j = 0; j < dest_doors.size(); ++j) {
-    dest_leg[j] = target_part.IntraDistance(
-        plan.door(dest_doors[j]).Midpoint(), pt, &scratch->geo);
+  if (cache != nullptr) {
+    cache->FieldLegs(FieldKind::kEnterFrom, vt, pt, dest_doors,
+                     &scratch->geo, dest_leg.data());
+  } else {
+    for (size_t j = 0; j < dest_doors.size(); ++j) {
+      dest_leg[j] = target_part.IntraDistance(
+          plan.door(dest_doors[j]).Midpoint(), pt, &scratch->geo);
+    }
   }
   const auto& src_doors = plan.LeaveDoors(vs);
-  auto& mids = scratch->geo.points;
-  mids.clear();
-  for (DoorId ds : src_doors) mids.push_back(plan.door(ds).Midpoint());
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
-  source_part.IntraDistancesToMany(ps, mids, &scratch->geo, src_leg.data());
+  if (cache != nullptr) {
+    // Every leave door touches vs, so the canonical DistVMany field equals
+    // the historical unfiltered IntraDistancesToMany values bit-for-bit.
+    cache->FieldLegs(FieldKind::kLeaveFrom, vs, ps, src_doors, &scratch->geo,
+                     src_leg.data());
+  } else {
+    auto& mids = scratch->geo.points;
+    mids.clear();
+    for (DoorId ds : src_doors) mids.push_back(plan.door(ds).Midpoint());
+    source_part.IntraDistancesToMany(ps, mids, &scratch->geo,
+                                     src_leg.data());
+  }
   INDOOR_METRICS_ONLY(uint64_t rows_fetched = 0;)
   for (size_t i = 0; i < src_doors.size(); ++i) {
     const double leg1 = src_leg[i];
@@ -56,12 +73,13 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
 
 double Pt2PtDistanceMatrix(const PartitionLocator& locator,
                            const DistanceMatrix& matrix, const Point& ps,
-                           const Point& pt, QueryScratch* scratch) {
-  const auto vs = locator.GetHostPartition(ps);
-  const auto vt = locator.GetHostPartition(pt);
+                           const Point& pt, QueryScratch* scratch,
+                           const QueryCache* cache) {
+  const auto vs = CachedHostPartition(cache, locator, ps);
+  const auto vt = CachedHostPartition(cache, locator, pt);
   if (!vs.ok() || !vt.ok()) return kInfDistance;
   return Pt2PtDistanceMatrix(locator.plan(), matrix, vs.value(), ps,
-                             vt.value(), pt, scratch);
+                             vt.value(), pt, scratch, cache);
 }
 
 }  // namespace indoor

@@ -14,19 +14,25 @@
 namespace indoor {
 
 struct QueryScratch;
+class QueryCache;
 
 /// Exact minimum walking distance using precomputed door-to-door entries.
 /// `matrix` must have been built for `locator.plan()`. A null `scratch`
-/// falls back to the calling thread's TlsQueryScratch().
+/// falls back to the calling thread's TlsQueryScratch(). A non-null
+/// `cache` (core/query/query_cache.h) serves the host-partition probes
+/// and the entry/exit legs from the cross-query cache; results are
+/// bit-identical either way.
 double Pt2PtDistanceMatrix(const PartitionLocator& locator,
                            const DistanceMatrix& matrix, const Point& ps,
-                           const Point& pt, QueryScratch* scratch = nullptr);
+                           const Point& pt, QueryScratch* scratch = nullptr,
+                           const QueryCache* cache = nullptr);
 
 /// Variant with both host partitions already known (e.g. stored objects).
 double Pt2PtDistanceMatrix(const FloorPlan& plan,
                            const DistanceMatrix& matrix, PartitionId vs,
                            const Point& ps, PartitionId vt, const Point& pt,
-                           QueryScratch* scratch = nullptr);
+                           QueryScratch* scratch = nullptr,
+                           const QueryCache* cache = nullptr);
 
 }  // namespace indoor
 

@@ -5,6 +5,7 @@
 #include "core/distance/d2d_distance.h"
 #include "core/distance/dijkstra_stats.h"
 #include "core/distance/query_scratch.h"
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -16,13 +17,13 @@ Endpoints ResolveEndpoints(const DistanceContext& ctx, const Point& ps,
   if (ctx.source_hint != kInvalidId) {
     endpoints.vs = ctx.source_hint;
   } else {
-    auto vs = ctx.locator->GetHostPartition(ps);
+    auto vs = CachedHostPartition(ctx.cache, *ctx.locator, ps);
     if (vs.ok()) endpoints.vs = vs.value();
   }
   if (ctx.target_hint != kInvalidId) {
     endpoints.vt = ctx.target_hint;
   } else {
-    auto vt = ctx.locator->GetHostPartition(pt);
+    auto vt = CachedHostPartition(ctx.cache, *ctx.locator, pt);
     if (vt.ok()) endpoints.vt = vt.value();
   }
   return endpoints;
@@ -74,6 +75,7 @@ double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
 
   double dist = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
@@ -89,10 +91,12 @@ double Pt2PtDistanceBasic(const DistanceContext& ctx, const Point& ps,
   dst_leg.resize(dst_doors.size());
   {
     INDOOR_TRACE_SPAN("entry_exit_legs");
-    ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch->geo,
-                           src_leg.data());
-    ctx.locator->DistVMany(endpoints.vt, pt, dst_doors, &scratch->geo,
-                           dst_leg.data());
+    CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kLeaveFrom,
+                    endpoints.vs, ps, src_doors, &scratch->geo,
+                    src_leg.data());
+    CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kEnterTo,
+                    endpoints.vt, pt, dst_doors, &scratch->geo,
+                    dst_leg.data());
   }
 
   // Algorithm 2: every (leaveable source door, enterable destination door)
@@ -120,6 +124,7 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
 
   double best = DirectCandidate(ctx, endpoints, ps, pt, &scratch->geo);
 
@@ -135,8 +140,8 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
   const auto& src_doors = plan.LeaveDoors(endpoints.vs);
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
-  ctx.locator->DistVMany(endpoints.vs, ps, src_doors, &scratch->geo,
-                         src_leg.data());
+  CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kLeaveFrom,
+                  endpoints.vs, ps, src_doors, &scratch->geo, src_leg.data());
   for (size_t i = 0; i < src_doors.size(); ++i) {
     const double d0 = src_leg[i];
     if (d0 == kInfDistance) continue;
@@ -150,8 +155,8 @@ double Pt2PtDistanceVirtual(const DistanceContext& ctx, const Point& ps,
   const auto& dest_doors = plan.EnterDoors(endpoints.vt);
   auto& exit_leg = scratch->dst_leg;
   exit_leg.resize(dest_doors.size());
-  ctx.locator->DistVMany(endpoints.vt, pt, dest_doors, &scratch->geo,
-                         exit_leg.data());
+  CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kEnterTo, endpoints.vt,
+                  pt, dest_doors, &scratch->geo, exit_leg.data());
   double min_exit = kInfDistance;
   for (const double leg : exit_leg) min_exit = std::min(min_exit, leg);
 

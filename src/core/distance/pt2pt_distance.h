@@ -28,12 +28,21 @@
 namespace indoor {
 
 struct QueryScratch;
+class QueryCache;
 
 /// Shared inputs of the pt2pt algorithms. Both referents must outlive the
 /// context.
 struct DistanceContext {
   const DistanceGraph* graph;
   const PartitionLocator* locator;
+
+  /// Optional cross-query cache (core/query/query_cache.h). When set,
+  /// ResolveEndpoints consults the host-partition cache and the entry/exit
+  /// leg solves read through the source-field cache; results stay
+  /// bit-identical to the uncached path. IndexFramework::distance_context
+  /// attaches its cache automatically; reference implementations and
+  /// hand-built contexts leave it null.
+  const QueryCache* cache = nullptr;
 
   /// Known host partitions of the query endpoints. When a caller already
   /// knows where a position lives (e.g. a stored object's partition),

@@ -6,6 +6,7 @@
 #include "core/distance/dijkstra_stats.h"
 #include "core/distance/pt2pt_distance.h"
 #include "core/distance/query_scratch.h"
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -22,6 +23,7 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
 
   // Lines 3-8: source doors with dead ends removed; destination doors.
   auto& doors_s = scratch->source_doors;
@@ -38,10 +40,14 @@ double Pt2PtDistanceRefined(const DistanceContext& ctx, const Point& ps,
   dst_leg.resize(doors_t.size());
   {
     INDOOR_TRACE_SPAN("entry_exit_legs");
-    ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
-                           src_leg.data());
-    ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
-                           dst_leg.data());
+    // doors_s is an ascending subset of LeaveDoors(vs), so the cached
+    // canonical field serves it exactly (query_cache.h).
+    CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kLeaveFrom,
+                    endpoints.vs, ps, doors_s, &scratch->geo,
+                    src_leg.data());
+    CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kEnterTo,
+                    endpoints.vt, pt, doors_t, &scratch->geo,
+                    dst_leg.data());
   }
 
   INDOOR_TRACE_SPAN("source_door_expansions");

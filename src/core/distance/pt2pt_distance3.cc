@@ -20,6 +20,7 @@
 #include "core/distance/dijkstra_stats.h"
 #include "core/distance/pt2pt_distance.h"
 #include "core/distance/query_scratch.h"
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -37,6 +38,7 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
   const Endpoints endpoints = ResolveEndpoints(ctx, ps, pt);
   if (!endpoints.ok()) return kInfDistance;
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
 
   auto& doors_s = scratch->source_doors;
   PrunedSourceDoors(plan, endpoints.vs, endpoints.vt, &doors_s);
@@ -52,10 +54,14 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
   dst_leg.resize(cols);
   {
     INDOOR_TRACE_SPAN("entry_exit_legs");
-    ctx.locator->DistVMany(endpoints.vs, ps, doors_s, &scratch->geo,
-                           src_leg.data());
-    ctx.locator->DistVMany(endpoints.vt, pt, doors_t, &scratch->geo,
-                           dst_leg.data());
+    // doors_s is an ascending subset of LeaveDoors(vs), served exactly
+    // from the cached canonical field (query_cache.h).
+    CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kLeaveFrom,
+                    endpoints.vs, ps, doors_s, &scratch->geo,
+                    src_leg.data());
+    CachedFieldLegs(ctx.cache, *ctx.locator, FieldKind::kEnterTo,
+                    endpoints.vt, pt, doors_t, &scratch->geo,
+                    dst_leg.data());
   }
   auto row_of = [&](DoorId d) -> int {
     const auto it = std::lower_bound(doors_s.begin(), doors_s.end(), d);

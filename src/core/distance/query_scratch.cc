@@ -1,10 +1,104 @@
 #include "core/distance/query_scratch.h"
 
+#include <algorithm>
+
 namespace indoor {
+namespace {
+
+template <typename T>
+size_t VecCapacityBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+template <typename T>
+size_t VecUsedBytes(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+
+size_t GeoCapacityBytes(const GeodesicScratch& g) {
+  return VecCapacityBytes(g.dist) + VecCapacityBytes(g.prev) +
+         VecCapacityBytes(g.settled) +
+         g.heap.capacity() * sizeof(std::pair<double, int>) +
+         VecCapacityBytes(g.pending) + VecCapacityBytes(g.points) +
+         VecCapacityBytes(g.values) + VecCapacityBytes(g.slots);
+}
+
+size_t GeoUsedBytes(const GeodesicScratch& g) {
+  return VecUsedBytes(g.dist) + VecUsedBytes(g.prev) +
+         VecUsedBytes(g.settled) +
+         g.heap.size() * sizeof(std::pair<double, int>) +
+         VecUsedBytes(g.pending) + VecUsedBytes(g.points) +
+         VecUsedBytes(g.values) + VecUsedBytes(g.slots);
+}
+
+void GeoShrink(GeodesicScratch* g) {
+  g->dist.shrink_to_fit();
+  g->prev.shrink_to_fit();
+  g->settled.shrink_to_fit();
+  g->heap.shrink_to_fit();
+  g->pending.shrink_to_fit();
+  g->points.shrink_to_fit();
+  g->values.shrink_to_fit();
+  g->slots.shrink_to_fit();
+}
+
+}  // namespace
 
 QueryScratch& TlsQueryScratch() {
   static thread_local QueryScratch scratch;
   return scratch;
+}
+
+size_t QueryScratch::CapacityBytes() const {
+  return GeoCapacityBytes(geo) + GeoCapacityBytes(bucket.geo) +
+         VecCapacityBytes(bucket.cell_order) + VecCapacityBytes(door.dist) +
+         VecCapacityBytes(door.visited) +
+         door.heap.capacity() * sizeof(std::pair<double, DoorId>) +
+         VecCapacityBytes(source_doors) + VecCapacityBytes(cand_doors) +
+         VecCapacityBytes(src_leg) + VecCapacityBytes(dst_leg) +
+         VecCapacityBytes(d2d_cache) + VecCapacityBytes(prev) +
+         collector.CapacityBytes() + VecCapacityBytes(neighbors);
+}
+
+size_t QueryScratch::UsedBytes() const {
+  return GeoUsedBytes(geo) + GeoUsedBytes(bucket.geo) +
+         VecUsedBytes(bucket.cell_order) + VecUsedBytes(door.dist) +
+         VecUsedBytes(door.visited) +
+         door.heap.size() * sizeof(std::pair<double, DoorId>) +
+         VecUsedBytes(source_doors) + VecUsedBytes(cand_doors) +
+         VecUsedBytes(src_leg) + VecUsedBytes(dst_leg) +
+         VecUsedBytes(d2d_cache) + VecUsedBytes(prev) +
+         collector.size() * sizeof(std::pair<double, ObjectId>) +
+         VecUsedBytes(neighbors);
+}
+
+void QueryScratch::ShrinkToFit() {
+  GeoShrink(&geo);
+  GeoShrink(&bucket.geo);
+  bucket.cell_order.shrink_to_fit();
+  door.dist.shrink_to_fit();
+  door.visited.shrink_to_fit();
+  door.heap.shrink_to_fit();
+  source_doors.shrink_to_fit();
+  cand_doors.shrink_to_fit();
+  src_leg.shrink_to_fit();
+  dst_leg.shrink_to_fit();
+  d2d_cache.shrink_to_fit();
+  prev.shrink_to_fit();
+  collector.ShrinkToFit();
+  neighbors.shrink_to_fit();
+}
+
+void QueryScratch::NoteQueryDone() {
+  decay_peak_bytes_ = std::max(decay_peak_bytes_, UsedBytes());
+  if (--decay_countdown_ > 0) return;
+  decay_countdown_ = kDecayInterval;
+  const size_t watermark = std::max(decay_peak_bytes_, kDecayMinBytes);
+  decay_peak_bytes_ = 0;
+  if (CapacityBytes() > 4 * watermark) {
+    ShrinkToFit();
+    INDOOR_COUNTER_INC("scratch.decays");
+  }
 }
 
 }  // namespace indoor

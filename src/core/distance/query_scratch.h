@@ -55,6 +55,47 @@ struct QueryScratch {
   KnnCollector collector{1};
   /// Staging for range-search results forwarded into id lists.
   std::vector<Neighbor> neighbors;
+
+  // ---- high-water-mark decay ------------------------------------------
+  // Long-lived serving threads (and the TLS fallback in particular) used
+  // to pin the peak capacity of every buffer forever: one huge query left
+  // megabytes parked in the arena. Query entry points now call
+  // NoteQueryDone() once per query (via ScratchDecayGuard); every
+  // kDecayInterval queries the arena compares its allocated capacity with
+  // the recent peak usage and, when capacity exceeds 4x that peak (with a
+  // floor of kDecayMinBytes so steady hot-path buffers are never churned),
+  // shrinks every buffer back to its current size.
+
+  /// Queries between decay checks.
+  static constexpr int kDecayInterval = 64;
+  /// Capacity below 4x this floor is never reclaimed.
+  static constexpr size_t kDecayMinBytes = size_t{16} << 10;
+
+  /// Records the end of one query; periodically decays over-sized buffers.
+  void NoteQueryDone();
+  /// Total allocated bytes across every buffer of the arena.
+  size_t CapacityBytes() const;
+  /// Total bytes currently in use (sizes, not capacities).
+  size_t UsedBytes() const;
+  /// Releases all capacity beyond current sizes (manual decay).
+  void ShrinkToFit();
+
+ private:
+  size_t decay_peak_bytes_ = 0;
+  int decay_countdown_ = kDecayInterval;
+};
+
+/// RAII helper placed at every query entry point: notifies the scratch at
+/// scope exit no matter which return path the query takes.
+class ScratchDecayGuard {
+ public:
+  explicit ScratchDecayGuard(QueryScratch* scratch) : scratch_(scratch) {}
+  ~ScratchDecayGuard() { scratch_->NoteQueryDone(); }
+  ScratchDecayGuard(const ScratchDecayGuard&) = delete;
+  ScratchDecayGuard& operator=(const ScratchDecayGuard&) = delete;
+
+ private:
+  QueryScratch* scratch_;
 };
 
 /// The calling thread's fallback QueryScratch (used whenever a query entry

@@ -55,6 +55,13 @@ class KnnCollector {
   size_t k() const { return k_; }
   size_t size() const { return entries_.size(); }
 
+  /// Allocated candidate-buffer bytes (scratch-arena decay accounting).
+  size_t CapacityBytes() const {
+    return entries_.capacity() * sizeof(entries_[0]);
+  }
+  /// Releases capacity beyond the current size (scratch-arena decay).
+  void ShrinkToFit() { entries_.shrink_to_fit(); }
+
  private:
   size_t k_;
   // (distance, id), ascending; at most k entries.

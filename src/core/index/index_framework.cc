@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -50,6 +51,23 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
           [&] { return DoorPartitionTable(graph_, options.build_threads); })),
       objects_(TimedBuild("build.objects_ms", [&] {
         return ObjectStore(plan, options.grid_cell_size);
-      })) {}
+      })) {
+  if (options_.enable_query_cache) {
+    QueryCacheOptions cache_options;
+    cache_options.quantum = options_.cache_quantum;
+    cache_options.field_capacity_bytes = options_.cache_capacity_bytes -
+                                         options_.cache_capacity_bytes / 4;
+    cache_options.host_capacity_bytes = options_.cache_capacity_bytes / 4;
+    cache_options.shards = options_.cache_shards;
+    query_cache_ =
+        std::make_unique<QueryCache>(plan, locator_, cache_options);
+  }
+}
+
+IndexFramework::~IndexFramework() = default;
+
+void IndexFramework::InvalidateQueryCache() const {
+  if (query_cache_ != nullptr) query_cache_->Invalidate();
+}
 
 }  // namespace indoor

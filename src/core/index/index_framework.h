@@ -6,6 +6,8 @@
 #ifndef INDOOR_CORE_INDEX_INDEX_FRAMEWORK_H_
 #define INDOOR_CORE_INDEX_INDEX_FRAMEWORK_H_
 
+#include <memory>
+
 #include "core/distance/pt2pt_distance.h"
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
@@ -25,6 +27,20 @@ struct IndexOptions {
   /// 0 = hardware concurrency. Parallel builds produce bit-identical
   /// structures (see thread_pool.h).
   unsigned build_threads = 1;
+
+  /// Cross-query work sharing (core/query/query_cache.h): cache host
+  /// partition lookups and source/destination door distance fields across
+  /// queries. Results are bit-identical with the cache on or off; turn it
+  /// off for purity-sensitive comparisons (the reference implementations
+  /// never consult it either way).
+  bool enable_query_cache = true;
+  /// Quantization grid edge for cache keys (plan units). Collisions only
+  /// cost a re-solve, never exactness.
+  double cache_quantum = 0.25;
+  /// Total cache byte budget (3/4 distance fields, 1/4 host lookups).
+  size_t cache_capacity_bytes = 32u << 20;
+  /// LRU shards per cache (rounded up to a power of two).
+  unsigned cache_shards = 16;
 };
 
 /// Owns every index structure over one (externally owned) FloorPlan.
@@ -40,6 +56,7 @@ struct IndexOptions {
 class IndexFramework {
  public:
   explicit IndexFramework(const FloorPlan& plan, IndexOptions options = {});
+  ~IndexFramework();  // defined in .cc where QueryCache is complete
 
   const FloorPlan& plan() const { return *plan_; }
   const IndexOptions& options() const { return options_; }
@@ -51,9 +68,20 @@ class IndexFramework {
   ObjectStore& objects() { return objects_; }
   const ObjectStore& objects() const { return objects_; }
 
-  /// Context for the pt2pt distance algorithms.
+  /// The cross-query cache, or null when IndexOptions disabled it.
+  const QueryCache* query_cache() const { return query_cache_.get(); }
+
+  /// Drops every cached cross-query entry. Write paths (QueryEngine
+  /// AddObject/MoveObject) call this so cached state never outlives a
+  /// mutation; no-op when the cache is disabled.
+  void InvalidateQueryCache() const;
+
+  /// Context for the pt2pt distance algorithms (cache attached when
+  /// enabled).
   DistanceContext distance_context() const {
-    return DistanceContext(graph_, locator_);
+    DistanceContext ctx(graph_, locator_);
+    ctx.cache = query_cache_.get();
+    return ctx;
   }
 
   /// Total bytes of the pre-computed structures (Md2d + Midx + DPT).
@@ -71,6 +99,7 @@ class IndexFramework {
   DistanceIndexMatrix index_matrix_;
   DoorPartitionTable dpt_;
   ObjectStore objects_;
+  std::unique_ptr<QueryCache> query_cache_;  // null when disabled
 };
 
 }  // namespace indoor

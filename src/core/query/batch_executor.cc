@@ -1,0 +1,125 @@
+#include "core/query/batch_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "core/distance/matrix_distance.h"
+#include "core/query/knn_query.h"
+#include "core/query/query_cache.h"
+#include "core/query/range_query.h"
+#include "util/metrics.h"
+
+namespace indoor {
+namespace {
+
+/// Sort/grouping record: one per request, ordered by (host, position,
+/// original index) — a strict weak order with a deterministic total
+/// tie-break, so the grouping is reproducible run to run.
+struct BatchItem {
+  PartitionId host;
+  double x, y;
+  uint32_t index;
+
+  bool operator<(const BatchItem& other) const {
+    if (host != other.host) return host < other.host;
+    if (x != other.x) return x < other.x;
+    if (y != other.y) return y < other.y;
+    return index < other.index;
+  }
+};
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(const IndexFramework& index, unsigned threads)
+    : index_(&index),
+      pool_(ResolveThreadCount(threads)),
+      scratches_(pool_.thread_count()) {}
+
+void BatchExecutor::Execute(const QueryRequest& request, PartitionId host,
+                            QueryScratch* scratch,
+                            QueryResult* result) const {
+  switch (request.kind) {
+    case QueryRequest::Kind::kDistance: {
+      if (host == kInvalidId) return;  // source not indoors
+      const auto target = CachedHostPartition(
+          index_->query_cache(), index_->locator(), request.b);
+      if (!target.ok()) return;
+      result->distance = Pt2PtDistanceMatrix(
+          index_->plan(), index_->d2d_matrix(), host, request.a,
+          target.value(), request.b, scratch, index_->query_cache());
+      break;
+    }
+    case QueryRequest::Kind::kRange:
+      result->ids = RangeQuery(*index_, request.a, request.radius, {},
+                               scratch);
+      break;
+    case QueryRequest::Kind::kKnn:
+      result->neighbors = KnnQuery(*index_, request.a, request.k, {},
+                                   scratch);
+      break;
+  }
+}
+
+std::vector<QueryResult> BatchExecutor::Run(
+    std::span<const QueryRequest> requests, const BatchOptions& options) {
+  INDOOR_LATENCY_SPAN("batch", "batch.latency_ns");
+  std::vector<QueryResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Host resolution up front: one (cached) locator probe per request,
+  // reused both for grouping and as the pt2pt source hint.
+  std::vector<BatchItem> order;
+  order.reserve(requests.size());
+  for (uint32_t i = 0; i < requests.size(); ++i) {
+    const auto host = CachedHostPartition(index_->query_cache(),
+                                          index_->locator(), requests[i].a);
+    order.push_back(BatchItem{host.ok() ? host.value() : kInvalidId,
+                              requests[i].a.x, requests[i].a.y, i});
+  }
+  if (options.group_by_partition) {
+    std::sort(order.begin(), order.end());
+  }
+
+  // Contiguous same-host runs become the work units fanned across the
+  // pool; workers claim groups from an atomic cursor.
+  std::vector<std::pair<uint32_t, uint32_t>> groups;
+  for (uint32_t begin = 0; begin < order.size();) {
+    uint32_t end = begin + 1;
+    while (end < order.size() && order[end].host == order[begin].host) ++end;
+    groups.emplace_back(begin, end);
+    INDOOR_HISTOGRAM_RECORD("batch.group_size", end - begin);
+    begin = end;
+  }
+
+  std::atomic<uint32_t> cursor{0};
+  for (unsigned t = 0; t < pool_.thread_count(); ++t) {
+    pool_.Submit([&, t] {
+      QueryScratch& scratch = scratches_[t];
+      for (uint32_t g = cursor.fetch_add(1, std::memory_order_relaxed);
+           g < groups.size();
+           g = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        for (uint32_t i = groups[g].first; i < groups[g].second; ++i) {
+          const BatchItem& item = order[i];
+          Execute(requests[item.index], item.host, &scratch,
+                  &results[item.index]);
+        }
+      }
+    });
+  }
+  pool_.Wait();
+
+  INDOOR_COUNTER_INC("batch.runs");
+  INDOOR_COUNTER_ADD("batch.requests", requests.size());
+  INDOOR_HISTOGRAM_RECORD("batch.groups", groups.size());
+  return results;
+}
+
+std::vector<QueryResult> RunBatch(const IndexFramework& index,
+                                  std::span<const QueryRequest> requests,
+                                  const BatchOptions& options) {
+  BatchExecutor executor(index, options.threads);
+  return executor.Run(requests, options);
+}
+
+}  // namespace indoor

@@ -1,0 +1,118 @@
+// Batched parallel query execution: the serving-side counterpart of the
+// cross-query cache (query_cache.h).
+//
+// A batch of mixed pt2pt / range / kNN requests is executed as follows:
+//
+//   1. every request's host partition is resolved once up front (through
+//      the cache when enabled),
+//   2. requests are ordered by (host partition, exact query position), so
+//      same-source queries run back to back — the first one warms the
+//      partition's source-door field and the rest hit it (and even with
+//      the cache off, consecutive same-source geodesic solves reuse the
+//      GeodesicScratch single-source cache),
+//   3. contiguous same-partition groups are fanned out across a ThreadPool
+//      with one long-lived QueryScratch per worker,
+//   4. each result lands in the slot of its originating request.
+//
+// Results are bit-identical to running the same requests through
+// QueryEngine::Distance/Range/Nearest in a sequential loop, in any thread
+// count and any grouping: per-request computation is untouched, only the
+// execution order changes, and no query state is shared beyond the
+// thread-safe cache.
+//
+// Thread-safety: one Run() at a time per executor (it owns the worker
+// scratches); different executors over the same index may run
+// concurrently. Run() must not overlap index writes.
+
+#ifndef INDOOR_CORE_QUERY_BATCH_EXECUTOR_H_
+#define INDOOR_CORE_QUERY_BATCH_EXECUTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "core/distance/query_scratch.h"
+#include "core/index/index_framework.h"
+#include "util/thread_pool.h"
+
+namespace indoor {
+
+/// One distance-aware query of a batch.
+struct QueryRequest {
+  enum class Kind : uint8_t {
+    kDistance,  // pt2pt walking distance a -> b (matrix path)
+    kRange,     // objects within `radius` of a
+    kKnn,       // `k` nearest objects to a
+  };
+  Kind kind = Kind::kDistance;
+  /// Query position (pt2pt source; range/kNN center).
+  Point a{0.0, 0.0};
+  /// pt2pt destination (kDistance only).
+  Point b{0.0, 0.0};
+  double radius = 0.0;
+  size_t k = 0;
+
+  static QueryRequest Distance(Point source, Point target) {
+    return {.kind = Kind::kDistance, .a = source, .b = target};
+  }
+  static QueryRequest Range(Point center, double radius) {
+    return {.kind = Kind::kRange, .a = center, .radius = radius};
+  }
+  static QueryRequest Knn(Point center, size_t k) {
+    return {.kind = Kind::kKnn, .a = center, .k = k};
+  }
+};
+
+/// Result slot of one request; only the member matching the request kind
+/// is populated.
+struct QueryResult {
+  double distance = kInfDistance;     // kDistance
+  std::vector<ObjectId> ids;          // kRange (ascending, deduplicated)
+  std::vector<Neighbor> neighbors;    // kKnn (nearest first)
+};
+
+/// Per-run knobs.
+struct BatchOptions {
+  /// Worker threads (0 = hardware concurrency). Only used by the
+  /// QueryEngine::RunBatch convenience wrapper — a BatchExecutor's pool
+  /// size is fixed at construction.
+  unsigned threads = 0;
+  /// Sort requests by (host partition, position) before execution. Off
+  /// preserves submission order within each worker's slice; results are
+  /// identical either way.
+  bool group_by_partition = true;
+};
+
+/// Reusable batched runner over one immutable index. Construct once next
+/// to the serving loop and feed it batches; workers and scratches persist
+/// across Run() calls.
+class BatchExecutor {
+ public:
+  /// `index` must outlive the executor. `threads` = 0 uses hardware
+  /// concurrency.
+  BatchExecutor(const IndexFramework& index, unsigned threads);
+
+  /// Executes the batch and returns one result per request, in request
+  /// order.
+  std::vector<QueryResult> Run(std::span<const QueryRequest> requests,
+                               const BatchOptions& options = {});
+
+  unsigned thread_count() const { return pool_.thread_count(); }
+
+ private:
+  void Execute(const QueryRequest& request, PartitionId host,
+               QueryScratch* scratch, QueryResult* result) const;
+
+  const IndexFramework* index_;
+  ThreadPool pool_;
+  std::vector<QueryScratch> scratches_;  // one per worker
+};
+
+/// One-shot convenience: builds a transient executor with
+/// `options.threads` workers and runs the batch through it.
+std::vector<QueryResult> RunBatch(const IndexFramework& index,
+                                  std::span<const QueryRequest> requests,
+                                  const BatchOptions& options = {});
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_BATCH_EXECUTOR_H_

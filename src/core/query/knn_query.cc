@@ -1,6 +1,7 @@
 #include "core/query/knn_query.h"
 
 #include "core/distance/query_scratch.h"
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -24,10 +25,12 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
                                QueryScratch* scratch) {
   INDOOR_LATENCY_SPAN("knn", "query.knn.latency_ns");
   const FloorPlan& plan = index.plan();
-  const auto host = index.locator().GetHostPartition(q);
+  const QueryCache* cache = index.query_cache();
+  const auto host = CachedHostPartition(cache, index.locator(), q);
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
 
   KnnCollector& collector = scratch->collector;
   collector.Reset(k);
@@ -47,7 +50,8 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   const auto& src_doors = plan.LeaveDoors(v);
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
-  index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
+  CachedFieldLegs(cache, index.locator(), FieldKind::kLeaveFrom, v, q,
+                  src_doors, &scratch->geo, src_leg.data());
   INDOOR_METRICS_ONLY(uint64_t md2d_rows = 0; uint64_t midx_rows = 0;
                       uint64_t entries = 0;)
   {

@@ -1,0 +1,181 @@
+#include "core/query/query_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace indoor {
+namespace {
+
+/// Per-thread staging for the canonical field: on a hit the cached legs
+/// are copied here under the shard lock and mapped to the caller's door
+/// subset outside it; on a miss the field is solved into it before being
+/// copied into the cache. Capacity persists across queries, so the
+/// steady-state hit path performs no allocations.
+std::vector<double>& TlsFieldBuffer() {
+  static thread_local std::vector<double> buffer;
+  return buffer;
+}
+
+uint64_t Mix2(uint64_t a, uint64_t b) {
+  return indoor::internal::MixHash(a ^ (b * 0x9e3779b97f4a7c15ull));
+}
+
+}  // namespace
+
+size_t QueryCache::FieldKeyHash::operator()(const FieldKey& k) const {
+  const uint64_t tag =
+      (static_cast<uint64_t>(k.part) << 8) | static_cast<uint64_t>(k.kind);
+  return static_cast<size_t>(
+      Mix2(Mix2(tag, static_cast<uint64_t>(k.qx)),
+           static_cast<uint64_t>(k.qy)));
+}
+
+size_t QueryCache::HostKeyHash::operator()(const HostKey& k) const {
+  return static_cast<size_t>(
+      Mix2(static_cast<uint64_t>(k.qx), static_cast<uint64_t>(k.qy)));
+}
+
+QueryCache::QueryCache(const FloorPlan& plan, const PartitionLocator& locator,
+                       QueryCacheOptions options)
+    : plan_(&plan),
+      locator_(&locator),
+      options_(options),
+      inv_quantum_(1.0 / options.quantum),
+      field_cache_(options.field_capacity_bytes, options.shards,
+                   "cache.field"),
+      host_cache_(options.host_capacity_bytes, options.shards, "cache.host") {
+  INDOOR_CHECK(options.quantum > 0.0) << "cache_quantum must be positive";
+}
+
+int64_t QueryCache::QuantizeCoord(double x) const {
+  return static_cast<int64_t>(std::floor(x * inv_quantum_));
+}
+
+Result<PartitionId> QueryCache::HostPartition(const Point& p) const {
+  const HostKey key{QuantizeCoord(p.x), QuantizeCoord(p.y)};
+  PartitionId cached = kInvalidId;
+  const bool hit = host_cache_.Lookup(key, [&](const HostEntry& entry) {
+    if (!(entry.p == p)) return false;  // quantum collision: re-solve
+    cached = entry.part;
+    return true;
+  });
+  if (hit) return cached;
+  Result<PartitionId> resolved = locator_->GetHostPartition(p);
+  if (resolved.ok()) {
+    // The charge approximates the map node + list node footprint.
+    host_cache_.Insert(key, HostEntry{p, resolved.value()},
+                       sizeof(HostEntry) + 96);
+  }
+  return resolved;
+}
+
+const std::vector<DoorId>& QueryCache::CanonicalDoors(FieldKind kind,
+                                                      PartitionId v) const {
+  return kind == FieldKind::kLeaveFrom ? plan_->LeaveDoors(v)
+                                       : plan_->EnterDoors(v);
+}
+
+void QueryCache::SolveField(FieldKind kind, PartitionId v, const Point& p,
+                            std::span<const DoorId> canonical,
+                            GeodesicScratch* scratch, double* out) const {
+  switch (kind) {
+    case FieldKind::kLeaveFrom:
+    case FieldKind::kEnterTo:
+      locator_->DistVMany(v, p, canonical, scratch, out);
+      break;
+    case FieldKind::kEnterFrom: {
+      // Matrix-path orientation: one geodesic solve per door, rooted at
+      // the door midpoint (bit-identical to the historical loop in
+      // matrix_distance.cc).
+      const Partition& part = plan_->partition(v);
+      for (size_t j = 0; j < canonical.size(); ++j) {
+        out[j] = part.IntraDistance(plan_->door(canonical[j]).Midpoint(), p,
+                                    scratch);
+      }
+      break;
+    }
+  }
+}
+
+void QueryCache::FieldLegs(FieldKind kind, PartitionId v, const Point& p,
+                           std::span<const DoorId> doors,
+                           GeodesicScratch* scratch, double* out) const {
+  const std::vector<DoorId>& canonical = CanonicalDoors(kind, v);
+  std::vector<double>& buffer = TlsFieldBuffer();
+  const FieldKey key{v, static_cast<uint8_t>(kind), QuantizeCoord(p.x),
+                     QuantizeCoord(p.y)};
+  const bool hit = field_cache_.Lookup(key, [&](const FieldEntry& entry) {
+    if (!(entry.p == p) || entry.legs.size() != canonical.size()) {
+      return false;  // quantum collision: re-solve below
+    }
+    buffer.assign(entry.legs.begin(), entry.legs.end());
+    return true;
+  });
+  if (!hit) {
+    buffer.resize(canonical.size());
+    SolveField(kind, v, p, canonical, scratch, buffer.data());
+    field_cache_.Insert(
+        key, FieldEntry{p, buffer},
+        sizeof(FieldEntry) + canonical.size() * sizeof(double) + 96);
+  }
+  if (doors.size() == canonical.size()) {
+    // Callers pass either the canonical list itself or an ascending
+    // subset; equal sizes means it is the canonical list.
+    std::copy(buffer.begin(), buffer.end(), out);
+    return;
+  }
+  for (size_t i = 0; i < doors.size(); ++i) {
+    const auto it =
+        std::lower_bound(canonical.begin(), canonical.end(), doors[i]);
+    INDOOR_CHECK(it != canonical.end() && *it == doors[i])
+        << "FieldLegs door " << doors[i]
+        << " is not in the canonical list of partition " << v;
+    out[i] = buffer[static_cast<size_t>(it - canonical.begin())];
+  }
+}
+
+void QueryCache::Invalidate() const {
+  field_cache_.Clear();
+  host_cache_.Clear();
+  INDOOR_COUNTER_INC("cache.invalidations");
+}
+
+CacheStats QueryCache::FieldStats() const { return field_cache_.GetStats(); }
+CacheStats QueryCache::HostStats() const { return host_cache_.GetStats(); }
+
+Result<PartitionId> CachedHostPartition(const QueryCache* cache,
+                                        const PartitionLocator& locator,
+                                        const Point& p) {
+  if (cache != nullptr) return cache->HostPartition(p);
+  return locator.GetHostPartition(p);
+}
+
+void CachedFieldLegs(const QueryCache* cache, const PartitionLocator& locator,
+                     FieldKind kind, PartitionId v, const Point& p,
+                     std::span<const DoorId> doors, GeodesicScratch* scratch,
+                     double* out) {
+  if (cache != nullptr) {
+    cache->FieldLegs(kind, v, p, doors, scratch, out);
+    return;
+  }
+  switch (kind) {
+    case FieldKind::kLeaveFrom:
+    case FieldKind::kEnterTo:
+      locator.DistVMany(v, p, doors, scratch, out);
+      break;
+    case FieldKind::kEnterFrom: {
+      const FloorPlan& plan = locator.plan();
+      const Partition& part = plan.partition(v);
+      for (size_t j = 0; j < doors.size(); ++j) {
+        out[j] =
+            part.IntraDistance(plan.door(doors[j]).Midpoint(), p, scratch);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace indoor

@@ -1,0 +1,161 @@
+// Cross-query work sharing: a read-through cache over the two costliest
+// per-query resolution steps of the serving hot path —
+//
+//   * host-partition resolution (Locator::GetHostPartition R-tree probe),
+//   * source/destination door distance fields (Locator::DistVMany entry
+//     and exit legs, plus the matrix path's door->point exit legs).
+//
+// Both caches key on the query position quantized to a configurable grid
+// (IndexOptions::cache_quantum) but store the EXACT position alongside
+// the cached value: a lookup only counts as a hit when the stored point
+// matches the queried point bit-for-bit, so quantization governs only
+// collision granularity, never the returned values. On a quantum-cell
+// collision with a different exact point the entry is re-solved and
+// replaced — exactness is preserved by construction, and every cached
+// path stays bit-identical to the uncached one (field values come from
+// the same DistVMany / IntraDistance evaluations, whose one-to-many
+// batching guarantees per-target values independent of batch
+// composition; see visibility_graph.h).
+//
+// Fields are cached over the partition's full canonical door list
+// (LeaveDoors / EnterDoors); callers that need a pruned subset (Algorithm
+// 3/4 source doors) extract their values from the canonical field by
+// binary search, which is exact for the same reason.
+//
+// Threading: all methods are safe for any number of concurrent callers
+// (sharded LRU with per-shard locking, see util/sharded_cache.h).
+// Invalidate() is the write-path hook: QueryEngine::AddObject/MoveObject
+// clear the cache so the serving layer never has to reason about which
+// entries a write could have influenced.
+
+#ifndef INDOOR_CORE_QUERY_QUERY_CACHE_H_
+#define INDOOR_CORE_QUERY_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/model/locator.h"
+#include "util/sharded_cache.h"
+
+namespace indoor {
+
+/// Which distance field of a partition is being cached. The kinds differ
+/// in canonical door list and in floating-point evaluation orientation,
+/// both of which must match the uncached call site bit-for-bit.
+enum class FieldKind : uint8_t {
+  /// Entry legs distV(p, d) over LeaveDoors(v) (pt2pt source side, range
+  /// and kNN door expansion). Computed by one DistVMany solve rooted at p.
+  kLeaveFrom = 0,
+  /// Exit legs distV(p, d) over EnterDoors(v) (pt2pt destination side).
+  /// Also one DistVMany solve rooted at p.
+  kEnterTo = 1,
+  /// Matrix-path exit legs over EnterDoors(v) in the historical door->p
+  /// orientation: one IntraDistance(door midpoint, p) solve per door.
+  kEnterFrom = 2,
+};
+
+/// Tuning knobs; defaults are set from IndexOptions in index_framework.
+struct QueryCacheOptions {
+  /// Quantization grid edge (same unit as plan coordinates). Governs how
+  /// many distinct positions can share a cache cell — not exactness.
+  double quantum = 0.25;
+  /// Byte budget of the distance-field cache.
+  size_t field_capacity_bytes = 24u << 20;
+  /// Byte budget of the host-partition cache.
+  size_t host_capacity_bytes = 8u << 20;
+  /// LRU shards per cache (rounded up to a power of two).
+  size_t shards = 16;
+};
+
+/// The two serving-layer caches over one immutable index. The plan and
+/// locator must outlive the cache.
+class QueryCache {
+ public:
+  QueryCache(const FloorPlan& plan, const PartitionLocator& locator,
+             QueryCacheOptions options);
+
+  /// getHostPartition(p) through the cache: returns the cached partition
+  /// on an exact-point hit, otherwise delegates to the locator and caches
+  /// positive results. Error results (outdoor points) are never cached.
+  Result<PartitionId> HostPartition(const Point& p) const;
+
+  /// Fills out[i] with the field value of doors[i], where `doors` must be
+  /// a subset of the canonical door list of (kind, v) — LeaveDoors(v) for
+  /// kLeaveFrom, EnterDoors(v) otherwise. Serves from the cached canonical
+  /// field on an exact-point hit; re-solves and caches it otherwise. A
+  /// steady-state hit performs no heap allocations.
+  void FieldLegs(FieldKind kind, PartitionId v, const Point& p,
+                 std::span<const DoorId> doors, GeodesicScratch* scratch,
+                 double* out) const;
+
+  /// Drops every cached entry (write-path invalidation).
+  void Invalidate() const;
+
+  CacheStats FieldStats() const;
+  CacheStats HostStats() const;
+  const QueryCacheOptions& options() const { return options_; }
+
+  // Quantized cell keys. 16 bits of partition+kind, then the two mixed
+  // cell coordinates; collisions only cost a re-solve, never exactness.
+  struct FieldKey {
+    PartitionId part;
+    uint8_t kind;
+    int64_t qx, qy;
+    bool operator==(const FieldKey&) const = default;
+  };
+  struct HostKey {
+    int64_t qx, qy;
+    bool operator==(const HostKey&) const = default;
+  };
+  struct FieldKeyHash {
+    size_t operator()(const FieldKey& k) const;
+  };
+  struct HostKeyHash {
+    size_t operator()(const HostKey& k) const;
+  };
+
+ private:
+  struct FieldEntry {
+    Point p;  // exact source position the field was solved from
+    std::vector<double> legs;
+  };
+  struct HostEntry {
+    Point p;
+    PartitionId part;
+  };
+
+  int64_t QuantizeCoord(double x) const;
+  const std::vector<DoorId>& CanonicalDoors(FieldKind kind,
+                                            PartitionId v) const;
+  void SolveField(FieldKind kind, PartitionId v, const Point& p,
+                  std::span<const DoorId> canonical, GeodesicScratch* scratch,
+                  double* out) const;
+
+  const FloorPlan* plan_;
+  const PartitionLocator* locator_;
+  QueryCacheOptions options_;
+  double inv_quantum_;
+  mutable ShardedCache<FieldKey, FieldEntry, FieldKeyHash> field_cache_;
+  mutable ShardedCache<HostKey, HostEntry, HostKeyHash> host_cache_;
+};
+
+/// Read-through helpers used by the query algorithms: consult `cache`
+/// when non-null, fall back to the direct locator evaluation otherwise
+/// (reference implementations and cache-off indexes take the fallback, so
+/// equivalence oracles stay pure).
+Result<PartitionId> CachedHostPartition(const QueryCache* cache,
+                                        const PartitionLocator& locator,
+                                        const Point& p);
+
+/// `doors` must be a subset of the canonical door list of (kind, v); see
+/// QueryCache::FieldLegs. The null-cache fallback reproduces the
+/// historical uncached evaluation exactly.
+void CachedFieldLegs(const QueryCache* cache, const PartitionLocator& locator,
+                     FieldKind kind, PartitionId v, const Point& p,
+                     std::span<const DoorId> doors, GeodesicScratch* scratch,
+                     double* out);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_QUERY_CACHE_H_

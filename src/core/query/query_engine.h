@@ -6,10 +6,13 @@
 #define INDOOR_CORE_QUERY_QUERY_ENGINE_H_
 
 #include <memory>
+#include <span>
 
 #include "core/distance/matrix_distance.h"
 #include "core/distance/shortest_path.h"
+#include "core/query/batch_executor.h"
 #include "core/query/knn_query.h"
+#include "core/query/query_cache.h"
 #include "core/query/range_query.h"
 
 namespace indoor {
@@ -42,15 +45,23 @@ class QueryEngine {
   const IndexFramework& index() const { return *index_; }
   IndexFramework& index() { return *index_; }
 
-  /// Adds an object into `partition` at `position`.
+  /// Adds an object into `partition` at `position`. Like every write, it
+  /// invalidates the cross-query cache (the cached geometry fields do not
+  /// depend on objects, but the blanket clear keeps the write-path
+  /// contract trivially safe as cached query state evolves).
   Result<ObjectId> AddObject(PartitionId partition, const Point& position) {
-    return index_->objects().Insert(partition, position);
+    auto id = index_->objects().Insert(partition, position);
+    index_->InvalidateQueryCache();
+    return id;
   }
 
-  /// Relocates an object (moving populations).
+  /// Relocates an object (moving populations). Invalidates the
+  /// cross-query cache (see AddObject).
   Status MoveObject(ObjectId id, PartitionId partition,
                     const Point& position) {
-    return index_->objects().MoveObject(id, partition, position);
+    Status status = index_->objects().MoveObject(id, partition, position);
+    index_->InvalidateQueryCache();
+    return status;
   }
 
   /// Minimum indoor walking distance between two positions (exact; reads
@@ -59,7 +70,7 @@ class QueryEngine {
   double Distance(const Point& ps, const Point& pt,
                   QueryScratch* scratch = nullptr) const {
     return Pt2PtDistanceMatrix(index_->locator(), index_->d2d_matrix(), ps,
-                               pt, scratch);
+                               pt, scratch, index_->query_cache());
   }
 
   /// Minimum walking distance between two doors.
@@ -88,9 +99,21 @@ class QueryEngine {
     return KnnQuery(*index_, q, k, options, scratch);
   }
 
-  /// getHostPartition(p).
+  /// getHostPartition(p), served through the cross-query cache when
+  /// enabled.
   Result<PartitionId> Locate(const Point& p) const {
-    return index_->locator().GetHostPartition(p);
+    return CachedHostPartition(index_->query_cache(), index_->locator(), p);
+  }
+
+  /// Executes a mixed pt2pt/range/kNN batch: requests are grouped by host
+  /// partition (sharing warmed source fields) and fanned across
+  /// `options.threads` workers. Results are bit-identical to calling
+  /// Distance/Range/Nearest in a sequential loop, in request order. For a
+  /// long-lived serving loop prefer constructing one BatchExecutor next
+  /// to it (reuses workers and scratches across batches).
+  std::vector<QueryResult> RunBatch(std::span<const QueryRequest> requests,
+                                    const BatchOptions& options = {}) const {
+    return indoor::RunBatch(*index_, requests, options);
   }
 
  private:

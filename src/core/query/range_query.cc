@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/distance/query_scratch.h"
+#include "core/query/query_cache.h"
 #include "util/metrics.h"
 
 namespace indoor {
@@ -37,10 +38,12 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   INDOOR_LATENCY_SPAN("range", "query.range.latency_ns");
   std::vector<ObjectId> result;
   const FloorPlan& plan = index.plan();
-  const auto host = index.locator().GetHostPartition(q);
+  const QueryCache* cache = index.query_cache();
+  const auto host = CachedHostPartition(cache, index.locator(), q);
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
   scratch = &ResolveQueryScratch(scratch);
+  const ScratchDecayGuard decay_guard(scratch);
   std::vector<Neighbor>& found = scratch->neighbors;
 
   // Line 2: search the host partition directly.
@@ -61,7 +64,8 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   const auto& src_doors = plan.LeaveDoors(v);
   auto& src_leg = scratch->src_leg;
   src_leg.resize(src_doors.size());
-  index.locator().DistVMany(v, q, src_doors, &scratch->geo, src_leg.data());
+  CachedFieldLegs(cache, index.locator(), FieldKind::kLeaveFrom, v, q,
+                  src_doors, &scratch->geo, src_leg.data());
   INDOOR_METRICS_ONLY(uint64_t md2d_rows = 0; uint64_t midx_rows = 0;
                       uint64_t entries = 0;)
   {

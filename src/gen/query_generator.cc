@@ -1,6 +1,7 @@
 #include "gen/query_generator.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace indoor {
 
@@ -65,6 +66,25 @@ std::vector<std::pair<Point, Point>> GeneratePositionPairsByArea(
     out.push_back({sampler.Sample(rng), sampler.Sample(rng)});
   }
   return out;
+}
+
+ZipfSampler::ZipfSampler(size_t count, double theta) {
+  INDOOR_CHECK(count > 0) << "ZipfSampler needs at least one item";
+  INDOOR_CHECK(theta >= 0.0) << "Zipf theta must be non-negative";
+  cumulative_.reserve(count);
+  double total = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cumulative_.push_back(total);
+  }
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double pick = rng->NextDouble(0.0, cumulative_.back());
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), pick);
+  return std::min(static_cast<size_t>(it - cumulative_.begin()),
+                  cumulative_.size() - 1);
 }
 
 }  // namespace indoor

@@ -43,6 +43,25 @@ class AreaSampler {
 std::vector<std::pair<Point, Point>> GeneratePositionPairsByArea(
     const FloorPlan& plan, size_t count, Rng* rng);
 
+/// Rank-based Zipf distribution over `count` items: P(rank i) is
+/// proportional to 1/(i+1)^theta. theta = 0 degenerates to uniform;
+/// theta around 1 models the skewed popularity of real serving
+/// workloads, where a handful of hot positions (entrances, elevators,
+/// popular rooms) receive most of the queries — the regime the
+/// cross-query cache targets.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t count, double theta);
+
+  /// A rank in [0, count): rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t count() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
 }  // namespace indoor
 
 #endif  // INDOOR_GEN_QUERY_GENERATOR_H_

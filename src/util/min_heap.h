@@ -34,6 +34,11 @@ class MinHeap {
   void clear() { data_.clear(); }
   void reserve(size_t n) { data_.reserve(n); }
 
+  /// Allocated capacity in elements (scratch-arena decay accounting).
+  size_t capacity() const { return data_.capacity(); }
+  /// Releases capacity beyond the current size (scratch-arena decay).
+  void shrink_to_fit() { data_.shrink_to_fit(); }
+
   void push(T value) {
     data_.push_back(std::move(value));
     std::push_heap(data_.begin(), data_.end(), std::greater<T>());

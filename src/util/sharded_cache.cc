@@ -1,0 +1,38 @@
+#include "util/sharded_cache.h"
+
+#include <string>
+
+namespace indoor {
+namespace internal {
+
+CacheCounters RegisterCacheCounters([[maybe_unused]] std::string_view prefix) {
+  CacheCounters counters;
+#ifdef INDOOR_METRICS_ENABLED
+  std::string name(prefix);
+  const size_t base = name.size();
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  name += ".hits";
+  counters.hits = &registry.GetCounter(name);
+  name.resize(base);
+  name += ".misses";
+  counters.misses = &registry.GetCounter(name);
+  name.resize(base);
+  name += ".evictions";
+  counters.evictions = &registry.GetCounter(name);
+  name.resize(base);
+  name += ".insertions";
+  counters.insertions = &registry.GetCounter(name);
+#endif
+  return counters;
+}
+
+size_t NormalizeShardCount(size_t n) {
+  if (n < 1) n = 1;
+  if (n > 256) n = 256;
+  size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace internal
+}  // namespace indoor

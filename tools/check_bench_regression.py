@@ -1,23 +1,84 @@
 #!/usr/bin/env python3
-"""Gate bench_pt2pt_hotpath results against the committed baseline.
+"""Gate bench results against a committed baseline or a paired run.
 
-Usage: check_bench_regression.py <results.json> <BENCH_baseline.json>
+Usage:
+  check_bench_regression.py <results.json> <BENCH_baseline.json>
+  check_bench_regression.py --throughput-ratio <on.json> <off.json> \\
+      [--min-ratio R]
 
-The bench emits machine-independent metrics: per-workload speedup (reference
-ns/query divided by optimized ns/query, both measured on the same machine in
-the same process) and allocations/query of the optimized path. The baseline
-pins a minimum speedup and a maximum allocation count per workload; a run
-fails when a speedup drops more than the baseline's tolerance (default 25%)
-below its floor, or when the optimized path allocates more than allowed.
+Default mode gates bench_pt2pt_hotpath: the bench emits machine-independent
+metrics — per-workload speedup (reference ns/query divided by optimized
+ns/query, both measured on the same machine in the same process) and
+allocations/query of the optimized path. The baseline pins a minimum
+speedup and a maximum allocation count per workload; a run fails when a
+speedup drops more than the baseline's tolerance (default 25%) below its
+floor, or when the optimized path allocates more than allowed.
 Exact-result equality is enforced by the bench binary itself (it exits
 non-zero on any mismatch before producing JSON).
+
+--throughput-ratio mode gates bench_query_throughput: it compares the
+peak_qps of two runs of the SAME workload (cache ON vs cache OFF, both
+measured on the same host back to back) and fails when ON/OFF drops below
+--min-ratio (default 1.0) — i.e. when enabling the cross-query cache stops
+paying for itself on the skewed workload CI exercises.
 """
 
 import json
 import sys
 
 
+def throughput_ratio(argv: list) -> int:
+    min_ratio = 1.0
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-ratio" and i + 1 < len(argv):
+            min_ratio = float(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        on = json.load(f)
+    with open(paths[1]) as f:
+        off = json.load(f)
+    for key in ("floors", "objects", "queries_per_reader", "zipf", "mix",
+                "seed"):
+        if on.get(key) != off.get(key):
+            print(
+                f"workload mismatch: {key} differs between runs "
+                f"({on.get(key)!r} vs {off.get(key)!r}) — the ratio would "
+                "compare different workloads",
+                file=sys.stderr,
+            )
+            return 2
+    on_qps = float(on["peak_qps"])
+    off_qps = float(off["peak_qps"])
+    if off_qps <= 0:
+        print("off run has no throughput", file=sys.stderr)
+        return 2
+    ratio = on_qps / off_qps
+    print(
+        f"cache ON peak {on_qps:.0f} QPS / OFF peak {off_qps:.0f} QPS "
+        f"= {ratio:.2f}x (min {min_ratio:.2f}x)"
+    )
+    if ratio < min_ratio:
+        print(
+            f"\nBENCH REGRESSION: cache ON/OFF throughput ratio "
+            f"{ratio:.2f}x is below the required {min_ratio:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nthroughput ratio within baseline")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--throughput-ratio":
+        return throughput_ratio(sys.argv[2:])
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -56,6 +56,9 @@ int Usage() {
       "  indoor_tool knn PLAN X Y K [--objects N] [--seed S]\n"
       "  indoor_tool matrix PLAN OUT.bin [--threads N]\n"
       "  indoor_tool stats PLAN [--queries N] [--objects N] [--seed S]\n"
+      "  indoor_tool serve PLAN [--threads N] [--batch B] [--skew ZIPF]\n"
+      "                    [--requests N] [--positions N] [--objects N]\n"
+      "                    [--cache on|off] [--quantum Q] [--seed S]\n"
       "\n"
       "  --threads N        worker threads for matrix precomputation\n"
       "                     (default 1 = sequential, 0 = all hardware "
@@ -295,6 +298,116 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+/// Serving-loop demo: executes a Zipf-skewed mixed batch workload through
+/// BatchExecutor (the cross-query cache + batched parallel execution
+/// path), then prints throughput, cache hit rates, and the full metrics
+/// report.
+int CmdServe(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  IndexOptions options;
+  options.enable_query_cache = args.Str("cache", "on") != "off";
+  options.cache_quantum = args.Num("quantum", options.cache_quantum);
+  QueryEngine engine(std::move(plan).value(), options);
+
+  const size_t objects = static_cast<size_t>(args.Num("objects", 1000));
+  const size_t requests = static_cast<size_t>(args.Num("requests", 3000));
+  const size_t position_count =
+      static_cast<size_t>(args.Num("positions", 256));
+  const size_t batch = static_cast<size_t>(args.Num("batch", 64));
+  const unsigned threads = static_cast<unsigned>(args.Num("threads", 0));
+  const double skew = args.Num("skew", 1.0);
+  Rng rng(static_cast<uint64_t>(args.Num("seed", 7)));
+  PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
+                &engine.index().objects());
+
+  // The workload: positions drawn Zipf-skewed from a fixed pool (hot
+  // entrances / popular rooms), kinds cycling range / kNN / pt2pt.
+  const auto positions =
+      GenerateQueryPositions(engine.plan(), position_count, &rng);
+  const auto pairs =
+      GeneratePositionPairs(engine.plan(), position_count, &rng);
+  const ZipfSampler zipf(position_count, skew);
+  std::vector<QueryRequest> workload;
+  workload.reserve(requests);
+  for (size_t q = 0; q < requests; ++q) {
+    QueryRequest request;
+    switch (q % 3) {
+      case 0:
+        request.kind = QueryRequest::Kind::kRange;
+        request.a = positions[zipf.Sample(&rng)];
+        request.radius = 20.0;
+        break;
+      case 1:
+        request.kind = QueryRequest::Kind::kKnn;
+        request.a = positions[zipf.Sample(&rng)];
+        request.k = 10;
+        break;
+      default: {
+        const auto& [a, b] = pairs[zipf.Sample(&rng)];
+        request.kind = QueryRequest::Kind::kDistance;
+        request.a = a;
+        request.b = b;
+        break;
+      }
+    }
+    workload.push_back(request);
+  }
+
+  BatchExecutor executor(engine.index(), threads);
+  std::printf(
+      "serving %zu requests (skew %.2f over %zu positions) in batches of "
+      "%zu on %u threads, cache %s\n",
+      requests, skew, position_count, batch, executor.thread_count(),
+      options.enable_query_cache ? "on" : "off");
+  size_t served = 0;
+  size_t hits = 0;  // non-empty / reachable results, to sanity-check
+  WallTimer timer;
+  for (size_t begin = 0; begin < workload.size(); begin += batch) {
+    const size_t n = std::min(batch, workload.size() - begin);
+    const auto results = executor.Run(
+        std::span<const QueryRequest>(workload.data() + begin, n));
+    served += results.size();
+    for (const QueryResult& result : results) {
+      if (!result.ids.empty() || !result.neighbors.empty() ||
+          result.distance < kInfDistance) {
+        ++hits;
+      }
+    }
+  }
+  const double ms = timer.ElapsedMillis();
+  std::printf("served %zu requests in %.1f ms: %.0f QPS (%zu non-empty)\n",
+              served, ms, served / (ms / 1000.0), hits);
+
+  if (const QueryCache* cache = engine.index().query_cache()) {
+    const CacheStats field = cache->FieldStats();
+    const CacheStats host = cache->HostStats();
+    const auto rate = [](const CacheStats& s) {
+      const uint64_t total = s.hits + s.misses;
+      return total == 0 ? 0.0 : 100.0 * static_cast<double>(s.hits) /
+                                    static_cast<double>(total);
+    };
+    std::printf(
+        "field cache: %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu entries, %llu bytes\n",
+        static_cast<unsigned long long>(field.hits),
+        static_cast<unsigned long long>(field.misses), rate(field),
+        static_cast<unsigned long long>(field.entries),
+        static_cast<unsigned long long>(field.bytes));
+    std::printf(
+        "host cache:  %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu entries, %llu bytes\n",
+        static_cast<unsigned long long>(host.hits),
+        static_cast<unsigned long long>(host.misses), rate(host),
+        static_cast<unsigned long long>(host.entries),
+        static_cast<unsigned long long>(host.bytes));
+  }
+  std::printf("\n");
+  metrics::MetricsRegistry::Global().Snapshot().WriteReport(stdout);
+  return 0;
+}
+
 int CmdMatrix(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   auto plan = LoadOrFail(args.positional[0]);
@@ -363,6 +476,7 @@ int main(int argc, char** argv) {
   else if (cmd == "knn") rc = CmdQuery(args, /*knn=*/true);
   else if (cmd == "matrix") rc = CmdMatrix(args);
   else if (cmd == "stats") rc = CmdStats(args);
+  else if (cmd == "serve") rc = CmdServe(args);
   if (rc < 0) return Usage();
   const int json_rc = DumpMetricsJson(args);
   return rc != 0 ? rc : json_rc;

@@ -9,6 +9,7 @@
 //                          [--zipf THETA] [--cache on|off] [--batch B]
 //                          [--obstacles P] [--mix all|distance|range|knn]
 //                          [--seed S] [--json out.json] [--smoke]
+//                          [--query-log out.qlog]
 //
 // One query = one operation (range, kNN or pt2pt distance, cycling).
 // Query positions are drawn from a pool of `--positions` distinct points;
@@ -24,6 +25,11 @@
 // the optimizer cannot elide the work. Correctness under concurrency is
 // covered by concurrency_test and query_cache_test; this binary only
 // measures throughput.
+//
+// `--query-log out.qlog` keeps the structured query log (util/query_log.h)
+// enabled for the whole run, writing every query's record to the capture.
+// Comparing QPS with and without the flag on an otherwise identical
+// invocation measures the logging overhead (docs/BENCHMARKS.md).
 
 #include <algorithm>
 #include <atomic>
@@ -38,6 +44,7 @@
 #include "gen/building_generator.h"
 #include "gen/object_generator.h"
 #include "gen/query_generator.h"
+#include "util/query_log.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -68,7 +75,7 @@ std::vector<unsigned> ParseList(const std::string& s) {
 void WriteJson(const std::string& path, int floors, size_t objects,
                size_t queries, size_t positions, double zipf, bool cache,
                size_t batch, const std::string& mix, uint64_t seed,
-               const std::vector<Row>& rows) {
+               const std::vector<Row>& rows, bool query_log) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -81,10 +88,11 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                "  \"floors\": %d,\n  \"objects\": %zu,\n"
                "  \"queries_per_reader\": %zu,\n  \"positions\": %zu,\n"
                "  \"zipf\": %.3f,\n  \"cache\": %s,\n  \"batch\": %zu,\n"
-               "  \"mix\": \"%s\",\n"
+               "  \"mix\": \"%s\",\n  \"query_log\": %s,\n"
                "  \"seed\": %llu,\n  \"peak_qps\": %.1f,\n  \"results\": [\n",
                floors, objects, queries, positions, zipf,
                cache ? "true" : "false", batch, mix.c_str(),
+               query_log ? "true" : "false",
                static_cast<unsigned long long>(seed), peak_qps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -169,6 +177,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   std::vector<unsigned> reader_list{1, 2, 4, 8};
   std::string json_path;
+  std::string query_log_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -203,6 +212,8 @@ int main(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--query-log") {
+      query_log_path = next();
     } else if (arg == "--smoke") {
       floors = 2;
       objects = 500;
@@ -254,6 +265,18 @@ int main(int argc, char** argv) {
     return 0;
   };
 
+  if (!query_log_path.empty()) {
+    qlog::QueryLogOptions log_options;
+    log_options.path = query_log_path;
+    log_options.context = "source=bench_query_throughput\nseed=" +
+                          std::to_string(seed) + "\n";
+    const Status status = qlog::QueryLog::Global().Enable(log_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--query-log: %s\n", status.message().c_str());
+      return 1;
+    }
+  }
+
   std::vector<Row> rows;
   std::printf("%8s %12s %14s %10s\n", "readers", "wall(ms)", "QPS",
               "scaling");
@@ -303,9 +326,18 @@ int main(int argc, char** argv) {
                 row.millis, row.qps, row.scaling, checksum);
   }
 
+  if (!query_log_path.empty()) {
+    qlog::QueryLog::Global().Disable();
+    std::printf("query log: %llu records -> %s\n",
+                static_cast<unsigned long long>(
+                    qlog::QueryLog::Global().records_written()),
+                query_log_path.c_str());
+  }
+
   if (!json_path.empty()) {
     WriteJson(json_path, floors, objects, queries_per_reader,
-              position_count, zipf, cache, batch, mix, seed, rows);
+              position_count, zipf, cache, batch, mix, seed, rows,
+              !query_log_path.empty());
   }
   return 0;
 }

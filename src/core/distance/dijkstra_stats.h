@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "util/metrics.h"
+#include "util/query_log.h"
 
 namespace indoor {
 namespace internal {
@@ -35,6 +36,8 @@ struct DijkstraRunStats {
     INDOOR_COUNTER_INC("distance.dijkstra.runs");
     INDOOR_COUNTER_ADD("distance.dijkstra.settles", settles);
     INDOOR_COUNTER_ADD("distance.dijkstra.relaxations", relaxations);
+    // Attribute this run's settles to the in-flight query's log record.
+    qlog::AddSettles(settles);
   }
 };
 

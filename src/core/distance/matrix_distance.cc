@@ -5,6 +5,7 @@
 #include "core/distance/query_scratch.h"
 #include "core/query/query_cache.h"
 #include "util/metrics.h"
+#include "util/query_log.h"
 
 namespace indoor {
 
@@ -13,6 +14,9 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
                            const Point& ps, PartitionId vt, const Point& pt,
                            QueryScratch* scratch, const QueryCache* cache) {
   INDOOR_LATENCY_SPAN("pt2pt_matrix", "query.pt2pt_matrix.latency_ns");
+  qlog::QueryLogScope qscope(qlog::RecordKind::kDistance, ps.x, ps.y, pt.x,
+                             pt.y, 0.0, 0, scratch != nullptr);
+  qscope.SetHost(vs);
   INDOOR_CHECK(matrix.door_count() == plan.door_count())
       << "matrix was built for a different plan";
   scratch = &ResolveQueryScratch(scratch);
@@ -68,6 +72,7 @@ double Pt2PtDistanceMatrix(const FloorPlan& plan,
     }
   }
   INDOOR_METRICS_ONLY(INDOOR_COUNTER_ADD("index.md2d.row_fetches", rows_fetched);)
+  qscope.SetResult(best < kInfDistance ? 1u : 0u, best);
   return best;
 }
 

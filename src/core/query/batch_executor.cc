@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "core/distance/matrix_distance.h"
 #include "core/query/knn_query.h"
 #include "core/query/query_cache.h"
 #include "core/query/range_query.h"
+#include "core/query/result_digest.h"
 #include "util/metrics.h"
+#include "util/query_log.h"
+#include "util/trace_export.h"
 
 namespace indoor {
 namespace {
@@ -28,6 +33,15 @@ struct BatchItem {
     return index < other.index;
   }
 };
+
+#ifdef INDOOR_METRICS_ENABLED
+/// Monotonic nonzero batch ids: every observed Run() gets one, so a
+/// capture's records group back into their original batches at replay.
+uint64_t NextBatchId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+#endif
 
 }  // namespace
 
@@ -61,6 +75,38 @@ void BatchExecutor::Execute(const QueryRequest& request, PartitionId host,
   }
 }
 
+#ifdef INDOOR_METRICS_ENABLED
+void BatchExecutor::ExecuteObserved(const QueryRequest& request,
+                                    PartitionId host, QueryScratch* scratch,
+                                    QueryResult* result, uint64_t batch_id,
+                                    unsigned worker,
+                                    bool collect_trace) const {
+  // The batch-level scope owns the record; the per-kind scopes inside
+  // Execute find an active scope on this thread and stay dormant.
+  qlog::QueryLogScope scope(
+      static_cast<qlog::RecordKind>(static_cast<uint8_t>(request.kind)),
+      request.a.x, request.a.y, request.b.x, request.b.y, request.radius,
+      static_cast<uint32_t>(request.k), /*explicit_scratch=*/true);
+  scope.SetBatch(batch_id, static_cast<uint16_t>(worker));
+  std::optional<metrics::QueryTrace> trace;
+  if (collect_trace) trace.emplace();
+  Execute(request, host, scratch, result);
+  if (scope.active()) {
+    scope.SetHost(host);
+    scope.SetResult(qdigest::DigestCount(request, *result),
+                    qdigest::DigestValue(request, *result));
+  }
+  const uint64_t seq = scope.seq();
+  const uint64_t latency_ns = scope.Finish();
+  if (collect_trace) {
+    const uint64_t slow_ns = qlog::QueryLog::Global().slow_threshold_ns();
+    trace::TraceEventCollector::Global().Offer(
+        *trace, worker, "worker " + std::to_string(worker), seq,
+        slow_ns > 0 && latency_ns >= slow_ns);
+  }
+}
+#endif  // INDOOR_METRICS_ENABLED
+
 std::vector<QueryResult> BatchExecutor::Run(
     std::span<const QueryRequest> requests, const BatchOptions& options) {
   INDOOR_LATENCY_SPAN("batch", "batch.latency_ns");
@@ -93,6 +139,14 @@ std::vector<QueryResult> BatchExecutor::Run(
   }
 
   std::atomic<uint32_t> cursor{0};
+#ifdef INDOOR_METRICS_ENABLED
+  // Observability is decided once per batch: when neither the query log
+  // nor the trace collector is armed, the worker loop below is the
+  // uninstrumented one.
+  const bool trace_on = trace::TraceEventCollector::Global().armed();
+  const bool observed = qlog::internal::Armed() || trace_on;
+  const uint64_t batch_id = observed ? NextBatchId() : 0;
+#endif
   for (unsigned t = 0; t < pool_.thread_count(); ++t) {
     pool_.Submit([&, t] {
       QueryScratch& scratch = scratches_[t];
@@ -101,6 +155,13 @@ std::vector<QueryResult> BatchExecutor::Run(
            g = cursor.fetch_add(1, std::memory_order_relaxed)) {
         for (uint32_t i = groups[g].first; i < groups[g].second; ++i) {
           const BatchItem& item = order[i];
+#ifdef INDOOR_METRICS_ENABLED
+          if (observed) {
+            ExecuteObserved(requests[item.index], item.host, &scratch,
+                            &results[item.index], batch_id, t, trace_on);
+            continue;
+          }
+#endif
           Execute(requests[item.index], item.host, &scratch,
                   &results[item.index]);
         }

@@ -102,6 +102,16 @@ class BatchExecutor {
   void Execute(const QueryRequest& request, PartitionId host,
                QueryScratch* scratch, QueryResult* result) const;
 
+  /// Execute plus per-query observability (metrics builds only): wraps
+  /// the query in a QueryLogScope carrying the batch id and worker index
+  /// (suppressing the per-kind scopes inside), and — when the trace
+  /// collector is armed — runs it under a QueryTrace offered to the
+  /// collector afterwards, so each worker renders as its own track.
+  void ExecuteObserved(const QueryRequest& request, PartitionId host,
+                       QueryScratch* scratch, QueryResult* result,
+                       uint64_t batch_id, unsigned worker,
+                       bool collect_trace) const;
+
   const IndexFramework* index_;
   ThreadPool pool_;
   std::vector<QueryScratch> scratches_;  // one per worker

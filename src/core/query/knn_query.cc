@@ -2,7 +2,9 @@
 
 #include "core/distance/query_scratch.h"
 #include "core/query/query_cache.h"
+#include "core/query/result_digest.h"
 #include "util/metrics.h"
+#include "util/query_log.h"
 
 namespace indoor {
 namespace {
@@ -24,11 +26,14 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
                                size_t k, KnnQueryOptions options,
                                QueryScratch* scratch) {
   INDOOR_LATENCY_SPAN("knn", "query.knn.latency_ns");
+  qlog::QueryLogScope qscope(qlog::RecordKind::kKnn, q.x, q.y, 0.0, 0.0, 0.0,
+                             static_cast<uint32_t>(k), scratch != nullptr);
   const FloorPlan& plan = index.plan();
   const QueryCache* cache = index.query_cache();
   const auto host = CachedHostPartition(cache, index.locator(), q);
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
+  qscope.SetHost(v);
   scratch = &ResolveQueryScratch(scratch);
   const ScratchDecayGuard decay_guard(scratch);
 
@@ -94,7 +99,12 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
       INDOOR_COUNTER_ADD("index.scan.entries", entries);
       FlushBucketStats(&scratch->bucket);)
   INDOOR_HISTOGRAM_RECORD("query.knn.results", collector.size());
-  return collector.Sorted();
+  std::vector<Neighbor> sorted = collector.Sorted();
+  if (qscope.active()) {
+    qscope.SetResult(static_cast<uint32_t>(sorted.size()),
+                     qdigest::KnnDigest(sorted));
+  }
+  return sorted;
 }
 
 }  // namespace indoor

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/query_log.h"
 
 namespace indoor {
 namespace {
@@ -62,6 +63,7 @@ Result<PartitionId> QueryCache::HostPartition(const Point& p) const {
     cached = entry.part;
     return true;
   });
+  qlog::AddCacheLookup(hit);
   if (hit) return cached;
   Result<PartitionId> resolved = locator_->GetHostPartition(p);
   if (resolved.ok()) {
@@ -114,6 +116,7 @@ void QueryCache::FieldLegs(FieldKind kind, PartitionId v, const Point& p,
     buffer.assign(entry.legs.begin(), entry.legs.end());
     return true;
   });
+  qlog::AddCacheLookup(hit);
   if (!hit) {
     buffer.resize(canonical.size());
     SolveField(kind, v, p, canonical, scratch, buffer.data());

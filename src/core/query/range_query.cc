@@ -4,7 +4,9 @@
 
 #include "core/distance/query_scratch.h"
 #include "core/query/query_cache.h"
+#include "core/query/result_digest.h"
 #include "util/metrics.h"
+#include "util/query_log.h"
 
 namespace indoor {
 namespace {
@@ -36,12 +38,15 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
                                  double r, RangeQueryOptions options,
                                  QueryScratch* scratch) {
   INDOOR_LATENCY_SPAN("range", "query.range.latency_ns");
+  qlog::QueryLogScope qscope(qlog::RecordKind::kRange, q.x, q.y, 0.0, 0.0, r,
+                             0, scratch != nullptr);
   std::vector<ObjectId> result;
   const FloorPlan& plan = index.plan();
   const QueryCache* cache = index.query_cache();
   const auto host = CachedHostPartition(cache, index.locator(), q);
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
+  qscope.SetHost(v);
   scratch = &ResolveQueryScratch(scratch);
   const ScratchDecayGuard decay_guard(scratch);
   std::vector<Neighbor>& found = scratch->neighbors;
@@ -112,6 +117,10 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
   INDOOR_HISTOGRAM_RECORD("query.range.results", result.size());
+  if (qscope.active()) {
+    qscope.SetResult(static_cast<uint32_t>(result.size()),
+                     qdigest::RangeDigest(result));
+  }
   return result;
 }
 

@@ -1,0 +1,98 @@
+// Result digests: the fixed-size summary of a query result that travels
+// in a QueryLogRecord (util/query_log.h) and is recomputed at replay time
+// (workload_replay.h) to prove bitwise result equality.
+//
+// Each digest fits the record's single double:
+//
+//   kDistance — the pt2pt distance itself (already one double; inf for
+//               unreachable/outdoor compares bitwise like any other value);
+//   kRange    — a 53-bit order-independent hash of the result ids (the
+//               result is sorted and deduplicated, but order-independence
+//               makes the digest robust to representation changes);
+//   kKnn      — a 53-bit order-DEPENDENT fold of ids and distance bit
+//               patterns (nearest-first order is part of the contract).
+//
+// 53 bits because the digest is stored in a double: every value is an
+// exactly-representable integer, so capture, JSONL round-trips, and replay
+// comparison are all bit-exact. Capture sites and replay must call these
+// same helpers — that symmetry, not the hash choice, is the correctness
+// property.
+
+#ifndef INDOOR_CORE_QUERY_RESULT_DIGEST_H_
+#define INDOOR_CORE_QUERY_RESULT_DIGEST_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "core/index/grid_index.h"
+#include "core/query/batch_executor.h"
+#include "indoor/types.h"
+
+namespace indoor {
+namespace qdigest {
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Folds a 64-bit hash into an exactly-representable double (53 bits).
+inline double ToDigest(uint64_t h) { return static_cast<double>(h >> 11); }
+
+/// Order-independent digest of a range result (sum of per-id mixes).
+inline double RangeDigest(std::span<const ObjectId> ids) {
+  uint64_t h = 0;
+  for (const ObjectId id : ids) h += Mix(static_cast<uint64_t>(id) + 1);
+  return ToDigest(h);
+}
+
+/// Order-dependent digest of a kNN result: folds each neighbor's id and
+/// distance bit pattern into a running hash, so any change in membership,
+/// order, or any distance double flips it.
+inline double KnnDigest(std::span<const Neighbor> neighbors) {
+  uint64_t h = 0;
+  for (const Neighbor& nb : neighbors) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &nb.distance, sizeof(bits));
+    h = Mix(h ^ static_cast<uint64_t>(nb.id)) ^ Mix(bits);
+  }
+  return ToDigest(h);
+}
+
+/// The record's result_count for one (request, result) pair: reachable
+/// 1/0 for pt2pt, result-set size otherwise.
+inline uint32_t DigestCount(const QueryRequest& request,
+                            const QueryResult& result) {
+  switch (request.kind) {
+    case QueryRequest::Kind::kDistance:
+      return result.distance < kInfDistance ? 1u : 0u;
+    case QueryRequest::Kind::kRange:
+      return static_cast<uint32_t>(result.ids.size());
+    case QueryRequest::Kind::kKnn:
+      return static_cast<uint32_t>(result.neighbors.size());
+  }
+  return 0;
+}
+
+/// The record's result_value for one (request, result) pair.
+inline double DigestValue(const QueryRequest& request,
+                          const QueryResult& result) {
+  switch (request.kind) {
+    case QueryRequest::Kind::kDistance:
+      return result.distance;
+    case QueryRequest::Kind::kRange:
+      return RangeDigest(result.ids);
+    case QueryRequest::Kind::kKnn:
+      return KnnDigest(result.neighbors);
+  }
+  return 0.0;
+}
+
+}  // namespace qdigest
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_RESULT_DIGEST_H_

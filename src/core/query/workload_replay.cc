@@ -1,0 +1,203 @@
+#include "core/query/workload_replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/query/batch_executor.h"
+#include "core/query/result_digest.h"
+#include "util/timer.h"
+
+namespace indoor {
+namespace {
+
+/// Bitwise double equality — inf == inf, and no tolerance: replay is
+/// exact or it is a finding.
+bool BitEqual(double a, double b) {
+  uint64_t ab = 0, bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+Result<QueryRequest> RequestFromRecord(const qlog::QueryLogRecord& record) {
+  switch (static_cast<qlog::RecordKind>(record.kind)) {
+    case qlog::RecordKind::kDistance:
+      return QueryRequest::Distance(Point(record.ax, record.ay),
+                                    Point(record.bx, record.by));
+    case qlog::RecordKind::kRange:
+      return QueryRequest::Range(Point(record.ax, record.ay), record.radius);
+    case qlog::RecordKind::kKnn:
+      return QueryRequest::Knn(Point(record.ax, record.ay), record.k);
+  }
+  return Status::InvalidArgument("capture record seq " +
+                                 std::to_string(record.seq) +
+                                 " has unknown query kind " +
+                                 std::to_string(record.kind));
+}
+
+/// Finds `name` in a sorted-by-name histogram list (nullptr if absent).
+const metrics::HistogramSnapshot* FindHistogram(
+    const std::vector<metrics::HistogramSnapshot>& list,
+    const std::string& name) {
+  for (const auto& hist : list) {
+    if (hist.name == name) return &hist;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ReplayReport> ReplayWorkload(const IndexFramework& index,
+                                    const qlog::QueryLogCapture& capture,
+                                    const ReplayOptions& options) {
+  ReplayReport report;
+  report.captured_delta = qlog::ParseSnapshotText(capture.metrics_text);
+
+  // Arrival order: the file holds per-thread flush order, seq restores
+  // the global order queries entered the system in.
+  std::vector<qlog::QueryLogRecord> records = capture.records;
+  std::sort(records.begin(), records.end(),
+            [](const qlog::QueryLogRecord& a, const qlog::QueryLogRecord& b) {
+              return a.seq < b.seq;
+            });
+  report.records = records.size();
+
+  // Consecutive records sharing a batch id replay as one BatchExecutor
+  // run — the captured batch boundaries. (Unbatched records, id 0, fold
+  // into runs too: grouping never changes results, only scheduling.)
+  std::vector<std::pair<size_t, size_t>> batches;
+  for (size_t begin = 0; begin < records.size();) {
+    size_t end = begin + 1;
+    while (end < records.size() &&
+           records[end].batch_id == records[begin].batch_id) {
+      ++end;
+    }
+    batches.emplace_back(begin, end);
+    begin = end;
+  }
+  report.batches = batches.size();
+
+  BatchExecutor executor(index, options.threads);
+  const metrics::RegistrySnapshot before =
+      metrics::MetricsRegistry::Global().Snapshot();
+  const auto replay_start = std::chrono::steady_clock::now();
+  const uint64_t capture_start_us =
+      records.empty() ? 0 : records.front().start_us;
+
+  WallTimer timer;
+  std::vector<QueryRequest> requests;
+  for (const auto& [begin, end] : batches) {
+    if (options.speed > 0.0) {
+      // Pace this batch at the capture's offset from its own start,
+      // scaled by 1/speed.
+      const double target_us =
+          static_cast<double>(records[begin].start_us - capture_start_us) /
+          options.speed;
+      std::this_thread::sleep_until(
+          replay_start +
+          std::chrono::microseconds(static_cast<int64_t>(target_us)));
+    }
+    requests.clear();
+    for (size_t i = begin; i < end; ++i) {
+      INDOOR_ASSIGN_OR_RETURN(QueryRequest request,
+                              RequestFromRecord(records[i]));
+      requests.push_back(request);
+    }
+    const std::vector<QueryResult> results = executor.Run(requests);
+    for (size_t i = begin; i < end; ++i) {
+      const qlog::QueryLogRecord& record = records[i];
+      const QueryRequest& request = requests[i - begin];
+      const QueryResult& result = results[i - begin];
+      const uint32_t count = qdigest::DigestCount(request, result);
+      const double value = qdigest::DigestValue(request, result);
+      if (count == record.result_count &&
+          BitEqual(value, record.result_value)) {
+        ++report.matched;
+        continue;
+      }
+      ++report.mismatched;
+      if (report.mismatches.size() < options.max_mismatches) {
+        report.mismatches.push_back(ReplayMismatch{
+            record.seq, record.kind, record.result_count, count,
+            record.result_value, value});
+      }
+    }
+  }
+  report.wall_ms = timer.ElapsedMillis();
+  report.replayed_delta =
+      metrics::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  return report;
+}
+
+void WriteReplayReport(const ReplayReport& report, std::FILE* out) {
+  std::fprintf(out,
+               "replayed %llu records in %llu batches, %.1f ms (%.0f QPS)\n",
+               static_cast<unsigned long long>(report.records),
+               static_cast<unsigned long long>(report.batches),
+               report.wall_ms,
+               report.wall_ms > 0.0
+                   ? static_cast<double>(report.records) /
+                         (report.wall_ms / 1000.0)
+                   : 0.0);
+  if (report.AllMatched()) {
+    std::fprintf(out,
+                 "results: %llu/%llu bitwise-identical to the capture\n",
+                 static_cast<unsigned long long>(report.matched),
+                 static_cast<unsigned long long>(report.records));
+  } else {
+    std::fprintf(out, "results: %llu MISMATCHED (%llu matched)\n",
+                 static_cast<unsigned long long>(report.mismatched),
+                 static_cast<unsigned long long>(report.matched));
+    for (const ReplayMismatch& mm : report.mismatches) {
+      std::fprintf(out,
+                   "  seq %llu kind %u: captured count=%u value=%.17g, "
+                   "replayed count=%u value=%.17g\n",
+                   static_cast<unsigned long long>(mm.seq), mm.kind,
+                   mm.captured_count, mm.captured_value, mm.replayed_count,
+                   mm.replayed_value);
+    }
+  }
+
+  if (report.captured_delta.counters.empty() &&
+      report.captured_delta.histograms.empty()) {
+    return;  // capture carried no metrics trailer (e.g. a JSONL log)
+  }
+  std::fprintf(out, "\nwork done, captured -> replayed:\n");
+  // Counters: walk the union of both sorted lists.
+  size_t i = 0, j = 0;
+  const auto& cap = report.captured_delta.counters;
+  const auto& rep = report.replayed_delta.counters;
+  while (i < cap.size() || j < rep.size()) {
+    if (j >= rep.size() || (i < cap.size() && cap[i].first < rep[j].first)) {
+      std::fprintf(out, "  %-36s %12llu -> %12s\n", cap[i].first.c_str(),
+                   static_cast<unsigned long long>(cap[i].second), "-");
+      ++i;
+    } else if (i >= cap.size() || rep[j].first < cap[i].first) {
+      std::fprintf(out, "  %-36s %12s -> %12llu\n", rep[j].first.c_str(), "-",
+                   static_cast<unsigned long long>(rep[j].second));
+      ++j;
+    } else {
+      std::fprintf(out, "  %-36s %12llu -> %12llu%s\n", cap[i].first.c_str(),
+                   static_cast<unsigned long long>(cap[i].second),
+                   static_cast<unsigned long long>(rep[j].second),
+                   cap[i].second == rep[j].second ? "" : "   *");
+      ++i;
+      ++j;
+    }
+  }
+  for (const auto& hist : report.captured_delta.histograms) {
+    const metrics::HistogramSnapshot* replayed =
+        FindHistogram(report.replayed_delta.histograms, hist.name);
+    if (replayed == nullptr) continue;
+    std::fprintf(out,
+                 "  %-36s count %llu -> %llu, p99 %.0f -> %.0f\n",
+                 hist.name.c_str(),
+                 static_cast<unsigned long long>(hist.count),
+                 static_cast<unsigned long long>(replayed->count),
+                 hist.Percentile(0.99), replayed->Percentile(0.99));
+  }
+}
+
+}  // namespace indoor

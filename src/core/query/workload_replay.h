@@ -1,0 +1,94 @@
+// Workload replay: re-executes a binary query-log capture
+// (util/query_log.h) against an index and verifies that every query
+// reproduces its captured result digest bit for bit.
+//
+// A capture is a flat list of QueryLogRecords carrying the full request
+// geometry (kind, positions, radius/k), the original batch id, and a
+// result digest (core/query/result_digest.h). Replay sorts the records
+// back into arrival order, regroups consecutive records of one batch id
+// into one BatchExecutor run (preserving the captured batch boundaries),
+// executes the batches in capture order, and recomputes each digest from
+// the replayed result. BatchExecutor results are bit-identical at any
+// thread count and grouping, so `--threads` overrides never change the
+// verdict — a mismatch means the data or the code changed, not the
+// schedule.
+//
+// The replayed run's metrics-registry delta is reported next to the
+// capture's embedded delta (the trailer written at Disable), so an
+// operator can diff not only results but work: settles, cache hit rates,
+// and interval percentiles, captured vs replayed.
+
+#ifndef INDOOR_CORE_QUERY_WORKLOAD_REPLAY_H_
+#define INDOOR_CORE_QUERY_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/index/index_framework.h"
+#include "util/metrics.h"
+#include "util/query_log.h"
+#include "util/result.h"
+
+namespace indoor {
+
+/// Replay knobs.
+struct ReplayOptions {
+  /// Worker threads for the replay executor (0 = hardware concurrency).
+  /// Results are thread-count independent; this only changes wall time.
+  unsigned threads = 0;
+  /// Pacing: replay batches at the capture's inter-batch gaps scaled by
+  /// 1/speed (2.0 = twice as fast). 0 replays as fast as possible.
+  double speed = 0.0;
+  /// Mismatch details retained in the report (the count is always exact).
+  size_t max_mismatches = 8;
+};
+
+/// One result-digest mismatch.
+struct ReplayMismatch {
+  uint64_t seq = 0;
+  uint8_t kind = 0;
+  uint32_t captured_count = 0;
+  uint32_t replayed_count = 0;
+  double captured_value = 0.0;
+  double replayed_value = 0.0;
+};
+
+/// Outcome of one replay run.
+struct ReplayReport {
+  /// Records replayed / batches they regrouped into.
+  uint64_t records = 0;
+  uint64_t batches = 0;
+  /// Records whose replayed digest matched the capture bitwise.
+  uint64_t matched = 0;
+  /// Records that did not (mismatches.size() caps at max_mismatches).
+  uint64_t mismatched = 0;
+  std::vector<ReplayMismatch> mismatches;
+  /// Replay wall time.
+  double wall_ms = 0.0;
+  /// The capture's embedded metrics delta (empty lists if the capture
+  /// carried no trailer).
+  metrics::RegistrySnapshot captured_delta;
+  /// The metrics-registry delta of the replay run itself.
+  metrics::RegistrySnapshot replayed_delta;
+
+  bool AllMatched() const { return mismatched == 0; }
+};
+
+/// Replays `capture` against `index`. The index must be built from the
+/// same plan and object population the capture was recorded on (the
+/// capture's context block says which — see QueryLogCapture::ContextMap);
+/// replaying against anything else simply reports mismatches. Fails only
+/// on malformed records (unknown query kind).
+Result<ReplayReport> ReplayWorkload(const IndexFramework& index,
+                                    const qlog::QueryLogCapture& capture,
+                                    const ReplayOptions& options = {});
+
+/// Human-readable replay summary: verdict, throughput, mismatch details,
+/// and a captured-vs-replayed table of every counter plus histogram
+/// count/p50/p99 pairs.
+void WriteReplayReport(const ReplayReport& report, std::FILE* out);
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_QUERY_WORKLOAD_REPLAY_H_

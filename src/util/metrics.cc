@@ -30,6 +30,18 @@ void Histogram::Reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& prev) const {
+  HistogramSnapshot delta = *this;
+  if (prev.buckets.size() != buckets.size()) return delta;  // not the same
+  delta.count -= std::min(prev.count, delta.count);
+  delta.sum -= std::min(prev.sum, delta.sum);
+  for (size_t i = 0; i < delta.buckets.size(); ++i) {
+    delta.buckets[i] -= std::min(prev.buckets[i], delta.buckets[i]);
+  }
+  return delta;
+}
+
 double HistogramSnapshot::Percentile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -148,9 +160,63 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, h] : im->histogram_index) h->Reset();
 }
 
+RegistrySnapshot RegistrySnapshot::DeltaSince(
+    const RegistrySnapshot& prev) const {
+  RegistrySnapshot delta = *this;
+  // Every list is sorted by name, so a linear merge pairs instruments up.
+  size_t j = 0;
+  for (auto& [name, value] : delta.counters) {
+    while (j < prev.counters.size() && prev.counters[j].first < name) ++j;
+    if (j < prev.counters.size() && prev.counters[j].first == name) {
+      value -= std::min(prev.counters[j].second, value);
+    }
+  }
+  j = 0;
+  for (auto& hist : delta.histograms) {
+    while (j < prev.histograms.size() && prev.histograms[j].name < hist.name) {
+      ++j;
+    }
+    if (j < prev.histograms.size() && prev.histograms[j].name == hist.name) {
+      hist = hist.DeltaSince(prev.histograms[j]);
+    }
+  }
+  return delta;
+}
+
 // ----------------------------------------------------------- JSON and reports
 
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
 namespace {
+
+/// `"name"` with escaping — instrument names are operator-extensible
+/// (cache labels, future user-supplied tags), so never emit them raw.
+void AppendJsonName(std::string* out, const std::string& name) {
+  out->push_back('"');
+  AppendJsonEscaped(out, name);
+  out->push_back('"');
+}
 
 void AppendJsonNumber(std::string* out, double v) {
   char buf[64];
@@ -182,23 +248,25 @@ bool IsNanosecondName(const std::string& name) {
 std::string RegistrySnapshot::ToJson() const {
   std::string out = "{\n  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {
-    out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + counters[i].first +
-           "\": " + std::to_string(counters[i].second);
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonName(&out, counters[i].first);
+    out += ": " + std::to_string(counters[i].second);
   }
   out += counters.empty() ? "},\n" : "\n  },\n";
   out += "  \"gauges\": {";
   for (size_t i = 0; i < gauges.size(); ++i) {
-    out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + gauges[i].first + "\": ";
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonName(&out, gauges[i].first);
+    out += ": ";
     AppendJsonNumber(&out, gauges[i].second);
   }
   out += gauges.empty() ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const HistogramSnapshot& h = histograms[i];
-    out += i == 0 ? "\n" : ",\n";
-    out += "    \"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonName(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count) +
            ", \"sum\": " + std::to_string(h.sum) +
            ", \"max\": " + std::to_string(h.max) + ", \"p50\": ";
     AppendJsonNumber(&out, h.Percentile(0.50));
@@ -206,6 +274,8 @@ std::string RegistrySnapshot::ToJson() const {
     AppendJsonNumber(&out, h.Percentile(0.95));
     out += ", \"p99\": ";
     AppendJsonNumber(&out, h.Percentile(0.99));
+    out += ", \"p999\": ";
+    AppendJsonNumber(&out, h.P999());
     out += ", \"buckets\": [";
     bool first = true;
     for (size_t b = 0; b < h.buckets.size(); ++b) {
@@ -244,20 +314,21 @@ void RegistrySnapshot::WriteReport(std::FILE* out) const {
         std::fprintf(
             out,
             "  %-36s count=%-8llu mean=%-9s p50=%-9s p95=%-9s p99=%-9s "
-            "max=%s\n",
+            "p99.9=%-9s max=%s\n",
             h.name.c_str(), static_cast<unsigned long long>(h.count),
             HumanNs(h.Mean()).c_str(), HumanNs(h.Percentile(0.50)).c_str(),
             HumanNs(h.Percentile(0.95)).c_str(),
-            HumanNs(h.Percentile(0.99)).c_str(),
+            HumanNs(h.Percentile(0.99)).c_str(), HumanNs(h.P999()).c_str(),
             HumanNs(static_cast<double>(h.max)).c_str());
       } else {
         std::fprintf(
             out,
             "  %-36s count=%-8llu mean=%-9.1f p50=%-9.0f p95=%-9.0f "
-            "p99=%-9.0f max=%llu\n",
+            "p99=%-9.0f p99.9=%-9.0f max=%llu\n",
             h.name.c_str(), static_cast<unsigned long long>(h.count),
             h.Mean(), h.Percentile(0.50), h.Percentile(0.95),
-            h.Percentile(0.99), static_cast<unsigned long long>(h.max));
+            h.Percentile(0.99), h.P999(),
+            static_cast<unsigned long long>(h.max));
       }
     }
   }

@@ -163,6 +163,17 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// The tail above p99 (slow-query triage): Percentile(0.999). The
+  /// recorded max bounds it from above in every report.
+  double P999() const { return Percentile(0.999); }
+
+  /// Bucket-wise difference `*this - prev` (same instrument, earlier
+  /// snapshot): count/sum/buckets subtract, so Percentile() on the result
+  /// reports the interval's quantiles rather than lifetime ones. `max`
+  /// keeps this snapshot's lifetime max (the per-bucket data cannot
+  /// recover an interval max), which only loosens the p-clamp upward.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& prev) const;
 };
 
 /// Point-in-time copy of the whole registry (see
@@ -178,15 +189,30 @@ struct RegistrySnapshot {
 
   /// Serializes the snapshot as a JSON object with "counters", "gauges",
   /// and "histograms" members; histogram buckets are emitted sparsely as
-  /// {"le": <exclusive upper bound>, "count": n} pairs.
+  /// {"le": <exclusive upper bound>, "count": n} pairs. Instrument names
+  /// (including operator-supplied label strings) are JSON-escaped.
   std::string ToJson() const;
 
   /// Human-readable report (the `indoor_tool stats` format): one line per
-  /// instrument, histogram lines with count/mean/p50/p95/p99/max.
+  /// instrument, histogram lines with count/mean/p50/p95/p99/p99.9/max.
   /// Nanosecond histograms (name ending in `_ns`) are scaled to readable
   /// units.
   void WriteReport(std::FILE* out) const;
+
+  /// Instrument-wise difference against an earlier snapshot of the same
+  /// registry: counters subtract (instruments absent from `prev` keep
+  /// their value), histograms subtract bucket-wise (see
+  /// HistogramSnapshot::DeltaSince), gauges keep this snapshot's value
+  /// (they are point-in-time already). The result is what happened
+  /// *during* the interval — QPS, hit rates, and interval p99s fall out
+  /// of it directly instead of being diluted by lifetime totals.
+  RegistrySnapshot DeltaSince(const RegistrySnapshot& prev) const;
 };
+
+/// Appends `s` to `out` with JSON string escaping (quote, backslash,
+/// control characters); the quotes themselves are NOT appended. Shared by
+/// the snapshot serializer, the query log, and the trace exporter.
+void AppendJsonEscaped(std::string* out, std::string_view s);
 
 /// The process-wide instrument registry. Get* registers on first use and
 /// returns a reference that stays valid (and at a stable address) for the
@@ -261,6 +287,11 @@ class QueryTrace {
   /// Completed spans in completion order (inner spans precede the spans
   /// that contain them).
   const std::vector<Event>& events() const { return events_; }
+
+  /// The instant this trace was installed (event start_ns values are
+  /// relative to it). The trace exporter uses it to rebase per-query
+  /// traces onto one shared timeline.
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
 
   /// Indented span tree, one line per event, sorted by start time.
   void WriteReport(std::FILE* out) const;

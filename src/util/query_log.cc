@@ -1,0 +1,516 @@
+#include "util/query_log.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace indoor {
+namespace qlog {
+
+namespace internal {
+std::atomic<uint32_t> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+constexpr size_t kThreadBufferRecords = 256;
+
+const char* KindName(uint8_t kind) {
+  switch (static_cast<RecordKind>(kind)) {
+    case RecordKind::kDistance: return "distance";
+    case RecordKind::kRange: return "range";
+    case RecordKind::kKnn: return "knn";
+  }
+  return "unknown";
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles exactly — JSONL records must preserve the
+  // bitwise result digests the binary format keeps natively.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+/// Binary capture header. The context block follows immediately;
+/// `record_count` is patched in at Disable time.
+struct CaptureHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t record_size;
+  uint64_t record_count;
+  uint32_t context_len;
+  uint32_t reserved;
+};
+static_assert(sizeof(CaptureHeader) == 32, "capture header layout");
+constexpr long kRecordCountOffset = 16;
+
+}  // namespace
+
+void AppendRecordJson(std::string* out, const QueryLogRecord& r) {
+  out->append("{\"seq\": " + std::to_string(r.seq));
+  out->append(", \"kind\": \"");
+  out->append(KindName(r.kind));
+  out->append("\", \"batch\": " + std::to_string(r.batch_id));
+  out->append(", \"thread\": " + std::to_string(r.thread_id));
+  out->append(", \"start_us\": " + std::to_string(r.start_us));
+  out->append(", \"latency_ns\": " + std::to_string(r.latency_ns));
+  out->append(", \"ax\": ");
+  AppendDouble(out, r.ax);
+  out->append(", \"ay\": ");
+  AppendDouble(out, r.ay);
+  if (static_cast<RecordKind>(r.kind) == RecordKind::kDistance) {
+    out->append(", \"bx\": ");
+    AppendDouble(out, r.bx);
+    out->append(", \"by\": ");
+    AppendDouble(out, r.by);
+  }
+  if (static_cast<RecordKind>(r.kind) == RecordKind::kRange) {
+    out->append(", \"radius\": ");
+    AppendDouble(out, r.radius);
+  }
+  if (static_cast<RecordKind>(r.kind) == RecordKind::kKnn) {
+    out->append(", \"k\": " + std::to_string(r.k));
+  }
+  out->append(", \"host\": ");
+  out->append(r.host == 0xffffffffu ? "null" : std::to_string(r.host));
+  out->append(", \"results\": " + std::to_string(r.result_count));
+  out->append(", \"value\": ");
+  AppendDouble(out, r.result_value);
+  out->append(", \"settles\": " + std::to_string(r.settles));
+  out->append(", \"cache_hits\": " + std::to_string(r.cache_hits));
+  out->append(", \"cache_misses\": " + std::to_string(r.cache_misses));
+  out->append(", \"flags\": [");
+  bool first = true;
+  const auto flag = [&](uint8_t bit, const char* name) {
+    if ((r.flags & bit) == 0) return;
+    if (!first) out->append(", ");
+    first = false;
+    out->append("\"");
+    out->append(name);
+    out->append("\"");
+  };
+  flag(kFlagSlow, "slow");
+  flag(kFlagExplicitScratch, "explicit_scratch");
+  flag(kFlagBatched, "batched");
+  out->append("]}");
+}
+
+// ------------------------------------------------------------------ QueryLog
+
+/// One thread's staging buffer. The owning thread locks `mu` only for the
+/// append (uncontended in steady state); Flush/Disable lock it from the
+/// outside. Buffers are owned by the global list and never deallocated,
+/// so a drainer can hold a pointer across thread exit.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<QueryLogRecord> records;
+};
+
+struct QueryLog::Impl {
+  mutable std::mutex mu;  // guards everything below
+  std::FILE* sink = nullptr;
+  bool jsonl = false;
+  bool enabled = false;
+  uint64_t slow_ns = 0;
+  std::FILE* slow_sink = nullptr;
+  uint64_t written = 0;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  metrics::RegistrySnapshot baseline;
+
+  std::mutex buffers_mu;  // guards the list itself, not the buffers
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+
+  std::mutex slow_mu;  // serializes slow-sink lines
+  std::atomic<uint64_t> next_seq{0};
+
+  ThreadBuffer& LocalBuffer() {
+    thread_local ThreadBuffer* local = nullptr;
+    if (local == nullptr) {
+      auto owned = std::make_unique<ThreadBuffer>();
+      owned->records.reserve(kThreadBufferRecords);
+      local = owned.get();
+      std::lock_guard<std::mutex> lock(buffers_mu);
+      buffers.push_back(std::move(owned));
+    }
+    return *local;
+  }
+
+  /// Writes a block of records to the sink. Caller holds `mu`.
+  void WriteBlockLocked(const QueryLogRecord* records, size_t n) {
+    if (sink == nullptr || n == 0) return;
+    if (jsonl) {
+      std::string lines;
+      for (size_t i = 0; i < n; ++i) {
+        AppendRecordJson(&lines, records[i]);
+        lines.push_back('\n');
+      }
+      std::fwrite(lines.data(), 1, lines.size(), sink);
+    } else {
+      std::fwrite(records, sizeof(QueryLogRecord), n, sink);
+    }
+    written += n;
+  }
+
+  void DrainBuffer(ThreadBuffer& buffer) {
+    std::vector<QueryLogRecord> taken;
+    {
+      std::lock_guard<std::mutex> lock(buffer.mu);
+      taken.swap(buffer.records);
+    }
+    if (taken.empty()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (enabled) WriteBlockLocked(taken.data(), taken.size());
+    // Records drained after Disable had already been counted out of the
+    // session; dropping them keeps captures self-consistent.
+    INDOOR_COUNTER_ADD("qlog.buffer_flushes", 1);
+  }
+
+  void DrainAll() {
+    std::lock_guard<std::mutex> list_lock(buffers_mu);
+    for (auto& buffer : buffers) DrainBuffer(*buffer);
+  }
+};
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* global = new QueryLog();
+  return *global;
+}
+
+QueryLog::QueryLog() : impl_(new Impl()) {}
+QueryLog::~QueryLog() { delete impl_; }
+
+Status QueryLog::Enable(const QueryLogOptions& options) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (im.enabled) {
+    return Status::InvalidArgument("query log already enabled");
+  }
+  im.sink = nullptr;
+  im.jsonl = false;
+  if (!options.path.empty()) {
+    im.jsonl = options.path.size() >= 6 &&
+               options.path.compare(options.path.size() - 6, 6, ".jsonl") == 0;
+    im.sink = std::fopen(options.path.c_str(), "wb");
+    if (im.sink == nullptr) {
+      return Status::IOError("cannot open query log '" + options.path + "'");
+    }
+    if (!im.jsonl) {
+      CaptureHeader header{};
+      std::memcpy(header.magic, kCaptureMagic, sizeof(header.magic));
+      header.version = kCaptureVersion;
+      header.record_size = sizeof(QueryLogRecord);
+      header.record_count = 0;  // patched at Disable
+      header.context_len = static_cast<uint32_t>(options.context.size());
+      std::fwrite(&header, sizeof(header), 1, im.sink);
+      std::fwrite(options.context.data(), 1, options.context.size(), im.sink);
+    }
+  }
+  im.slow_ns = options.slow_threshold_ns;
+  im.slow_sink = options.slow_sink != nullptr ? options.slow_sink : stderr;
+  im.written = 0;
+  im.origin = std::chrono::steady_clock::now();
+  im.baseline = metrics::MetricsRegistry::Global().Snapshot();
+  im.next_seq.store(0, std::memory_order_relaxed);
+  im.enabled = true;
+  // Stale records from a previous session (a submit that raced its
+  // Disable) must not leak into this capture.
+  {
+    std::lock_guard<std::mutex> list_lock(im.buffers_mu);
+    for (auto& buffer : im.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->records.clear();
+    }
+  }
+  internal::g_armed.store(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void QueryLog::Disable() {
+  Impl& im = *impl_;
+  internal::g_armed.store(0, std::memory_order_relaxed);
+  im.DrainAll();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (!im.enabled) return;
+  im.enabled = false;
+  im.slow_ns = 0;
+  if (im.sink != nullptr) {
+    if (!im.jsonl) {
+      // Trailer: the metrics-registry delta of this capture session, then
+      // patch the record count into the header.
+      const std::string trailer = SerializeSnapshotText(
+          metrics::MetricsRegistry::Global().Snapshot().DeltaSince(
+              im.baseline));
+      std::fwrite(trailer.data(), 1, trailer.size(), im.sink);
+      std::fseek(im.sink, kRecordCountOffset, SEEK_SET);
+      const uint64_t count = im.written;
+      std::fwrite(&count, sizeof(count), 1, im.sink);
+    }
+    std::fclose(im.sink);
+    im.sink = nullptr;
+  }
+}
+
+bool QueryLog::enabled() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->enabled;
+}
+
+uint64_t QueryLog::slow_threshold_ns() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->slow_ns;
+}
+
+uint64_t QueryLog::NextSeq() {
+  return impl_->next_seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t QueryLog::SessionMicros() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - impl_->origin)
+          .count());
+}
+
+uint64_t QueryLog::records_written() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->written;
+}
+
+void QueryLog::Submit(QueryLogRecord record) {
+  Impl& im = *impl_;
+  uint64_t slow_ns = 0;
+  bool log_open = false;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    slow_ns = im.slow_ns;
+    log_open = im.enabled && im.sink != nullptr;
+  }
+  const bool slow = slow_ns > 0 && record.latency_ns >= slow_ns;
+  if (slow) record.flags |= kFlagSlow;
+  if (log_open) {
+    ThreadBuffer& buffer = im.LocalBuffer();
+    bool full = false;
+    {
+      std::lock_guard<std::mutex> lock(buffer.mu);
+      buffer.records.push_back(record);
+      full = buffer.records.size() >= kThreadBufferRecords;
+    }
+    if (full) im.DrainBuffer(buffer);
+    INDOOR_COUNTER_INC("qlog.records");
+  }
+  if (slow) {
+    std::string line;
+    AppendRecordJson(&line, record);
+    line.push_back('\n');
+    std::FILE* sink;
+    {
+      std::lock_guard<std::mutex> lock(im.mu);
+      sink = im.slow_sink != nullptr ? im.slow_sink : stderr;
+    }
+    {
+      std::lock_guard<std::mutex> lock(im.slow_mu);
+      std::fwrite(line.data(), 1, line.size(), sink);
+      std::fflush(sink);
+    }
+    INDOOR_COUNTER_INC("qlog.slow_queries");
+  }
+}
+
+void QueryLog::Flush() { impl_->DrainAll(); }
+
+// ------------------------------------------------------------ capture reader
+
+std::map<std::string, std::string> QueryLogCapture::ContextMap() const {
+  std::map<std::string, std::string> map;
+  std::istringstream in(context);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    map[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return map;
+}
+
+Result<QueryLogCapture> ReadQueryLogCapture(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::IOError("cannot open capture '" + path + "'");
+  }
+  const auto fail = [&](const std::string& message) -> Status {
+    std::fclose(in);
+    return Status::InvalidArgument("capture '" + path + "': " + message);
+  };
+  CaptureHeader header{};
+  if (std::fread(&header, sizeof(header), 1, in) != 1) {
+    return fail("truncated header");
+  }
+  if (std::memcmp(header.magic, kCaptureMagic, sizeof(header.magic)) != 0) {
+    return fail("bad magic (not a binary query-log capture; note that "
+                ".jsonl logs are not replayable)");
+  }
+  if (header.version != kCaptureVersion) {
+    return fail("unsupported version " + std::to_string(header.version));
+  }
+  if (header.record_size != sizeof(QueryLogRecord)) {
+    return fail("record size " + std::to_string(header.record_size) +
+                " does not match this build's " +
+                std::to_string(sizeof(QueryLogRecord)));
+  }
+  QueryLogCapture capture;
+  capture.context.resize(header.context_len);
+  if (header.context_len != 0 &&
+      std::fread(capture.context.data(), 1, header.context_len, in) !=
+          header.context_len) {
+    return fail("truncated context");
+  }
+  capture.records.resize(header.record_count);
+  if (header.record_count != 0 &&
+      std::fread(capture.records.data(), sizeof(QueryLogRecord),
+                 header.record_count, in) != header.record_count) {
+    return fail("truncated records (expected " +
+                std::to_string(header.record_count) + ")");
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    capture.metrics_text.append(buf, n);
+  }
+  std::fclose(in);
+  return capture;
+}
+
+// --------------------------------------------------- compact snapshot text
+
+std::string SerializeSnapshotText(const metrics::RegistrySnapshot& snapshot) {
+  std::string out;
+  const auto safe = [](const std::string& name) {
+    return name.find_first_of(" \t\n\r") == std::string::npos;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!safe(name)) continue;
+    out += "counter " + name + " " + std::to_string(value) + "\n";
+  }
+  char buf[64];
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!safe(name)) continue;
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += "gauge " + name + " " + buf + "\n";
+  }
+  for (const auto& hist : snapshot.histograms) {
+    if (!safe(hist.name)) continue;
+    out += "hist " + hist.name + " " + std::to_string(hist.count) + " " +
+           std::to_string(hist.sum) + " " + std::to_string(hist.max);
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      out += " " + std::to_string(i) + ":" + std::to_string(hist.buckets[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+metrics::RegistrySnapshot ParseSnapshotText(const std::string& text) {
+  metrics::RegistrySnapshot snapshot;
+  std::istringstream in(text);
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "counter") {
+      std::string name;
+      uint64_t value = 0;
+      if (in >> name >> value) snapshot.counters.emplace_back(name, value);
+    } else if (kind == "gauge") {
+      std::string name;
+      double value = 0;
+      if (in >> name >> value) snapshot.gauges.emplace_back(name, value);
+    } else if (kind == "hist") {
+      metrics::HistogramSnapshot hist;
+      if (!(in >> hist.name >> hist.count >> hist.sum >> hist.max)) break;
+      hist.buckets.assign(metrics::Histogram::kNumBuckets, 0);
+      // Sparse buckets run to end of line.
+      std::string rest;
+      std::getline(in, rest);
+      std::istringstream pairs(rest);
+      std::string pair;
+      while (pairs >> pair) {
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos) continue;
+        const size_t index =
+            static_cast<size_t>(std::stoul(pair.substr(0, colon)));
+        if (index < hist.buckets.size()) {
+          hist.buckets[index] =
+              static_cast<uint64_t>(std::stoull(pair.substr(colon + 1)));
+        }
+      }
+      snapshot.histograms.push_back(std::move(hist));
+    } else {
+      std::string rest;
+      std::getline(in, rest);  // unknown line kind: skip
+    }
+  }
+  return snapshot;
+}
+
+// -------------------------------------------------------------------- scopes
+
+#ifdef INDOOR_METRICS_ENABLED
+
+namespace {
+thread_local QueryLogScope* g_active_scope = nullptr;
+
+/// Small process-stable id for threads outside a BatchExecutor.
+uint16_t LocalThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint16_t id = static_cast<uint16_t>(
+      next.fetch_add(1, std::memory_order_relaxed) & 0xffffu);
+  return id;
+}
+}  // namespace
+
+namespace internal {
+QueryLogScope* ActiveScope() { return g_active_scope; }
+}  // namespace internal
+
+void QueryLogScope::Init(RecordKind kind, double ax, double ay, double bx,
+                         double by, double radius, uint32_t k,
+                         bool explicit_scratch) {
+  if (g_active_scope != nullptr) return;  // inner query: outer scope owns it
+  g_active_scope = this;
+  active_ = true;
+  QueryLog& log = QueryLog::Global();
+  record_.seq = log.NextSeq();
+  record_.start_us = log.SessionMicros();
+  record_.ax = ax;
+  record_.ay = ay;
+  record_.bx = bx;
+  record_.by = by;
+  record_.radius = radius;
+  record_.k = k;
+  record_.kind = static_cast<uint8_t>(kind);
+  record_.thread_id = LocalThreadId();
+  if (explicit_scratch) record_.flags |= kFlagExplicitScratch;
+  start_ = std::chrono::steady_clock::now();
+}
+
+uint64_t QueryLogScope::Finish() {
+  if (!active_ || finished_) return record_.latency_ns;
+  finished_ = true;
+  g_active_scope = nullptr;
+  record_.latency_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  QueryLog::Global().Submit(record_);
+  return record_.latency_ns;
+}
+
+#endif  // INDOOR_METRICS_ENABLED
+
+}  // namespace qlog
+}  // namespace indoor

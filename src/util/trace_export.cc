@@ -1,0 +1,158 @@
+#include "util/trace_export.h"
+
+#include <cinttypes>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace indoor {
+namespace trace {
+
+struct TraceEventCollector::State {
+  mutable std::mutex mu;
+  TraceExportOptions options;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  std::vector<CollectedTrace> traces;
+  std::map<uint32_t, std::string> track_names;
+};
+
+TraceEventCollector& TraceEventCollector::Global() {
+  static TraceEventCollector* global = new TraceEventCollector();
+  return *global;
+}
+
+TraceEventCollector::TraceEventCollector() : state_(new State()) {}
+TraceEventCollector::~TraceEventCollector() { delete state_; }
+
+void TraceEventCollector::Enable(const TraceExportOptions& options) {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.options = options;
+  st.origin = std::chrono::steady_clock::now();
+  st.traces.clear();
+  st.track_names.clear();
+  ticket_.store(0, std::memory_order_relaxed);
+  armed_.store(1, std::memory_order_relaxed);
+}
+
+void TraceEventCollector::Disable() {
+  armed_.store(0, std::memory_order_relaxed);
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.traces.clear();
+  st.track_names.clear();
+}
+
+void TraceEventCollector::Offer(const metrics::QueryTrace& trace,
+                                uint32_t tid, const std::string& track_label,
+                                uint64_t seq, bool slow) {
+  if (!armed()) return;
+  State& st = *state_;
+  // The ticket makes the sampling rate exact under any interleaving:
+  // every offered query advances it once, and exactly the multiples of
+  // sample_every fire.
+  uint32_t sample_every;
+  bool keep_slow;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    sample_every = st.options.sample_every;
+    keep_slow = st.options.keep_slow;
+  }
+  const uint64_t ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+  const bool sampled = sample_every > 0 && ticket % sample_every == 0;
+  if (!sampled && !(slow && keep_slow)) return;
+
+  CollectedTrace kept;
+  kept.tid = tid;
+  kept.seq = seq;
+  kept.slow = slow;
+  kept.events = trace.events();
+
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (armed_.load(std::memory_order_relaxed) == 0) return;
+  if (st.traces.size() >= st.options.max_traces) {
+    INDOOR_COUNTER_INC("qtrace.dropped");
+    return;
+  }
+  const auto delta = trace.origin() - st.origin;
+  kept.base_ns = delta.count() > 0
+                     ? static_cast<uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               delta)
+                               .count())
+                     : 0;
+  st.track_names.emplace(tid, track_label);
+  st.traces.push_back(std::move(kept));
+  INDOOR_COUNTER_INC("qtrace.kept");
+}
+
+size_t TraceEventCollector::trace_count() const {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.traces.size();
+}
+
+namespace {
+/// Appends nanoseconds as fractional microseconds (the trace-event time
+/// unit) with nanosecond precision.
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u",
+                static_cast<uint64_t>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out->append(buf);
+}
+}  // namespace
+
+void TraceEventCollector::WriteChromeJson(std::string* out) const {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  out->append("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out->append(",");
+    first = false;
+    out->append("\n ");
+  };
+  for (const auto& [tid, name] : st.track_names) {
+    comma();
+    out->append(
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+        std::to_string(tid) + ", \"args\": {\"name\": \"");
+    metrics::AppendJsonEscaped(out, name);
+    out->append("\"}}");
+  }
+  for (const CollectedTrace& kept : st.traces) {
+    for (const auto& event : kept.events) {
+      comma();
+      out->append("{\"name\": \"");
+      metrics::AppendJsonEscaped(out, event.name);
+      out->append("\", \"cat\": \"query\", \"ph\": \"X\", \"pid\": 1");
+      out->append(", \"tid\": " + std::to_string(kept.tid));
+      out->append(", \"ts\": ");
+      AppendMicros(out, kept.base_ns + event.start_ns);
+      out->append(", \"dur\": ");
+      AppendMicros(out, event.duration_ns);
+      out->append(", \"args\": {\"seq\": " + std::to_string(kept.seq));
+      out->append(", \"depth\": " + std::to_string(event.depth));
+      out->append(kept.slow ? ", \"slow\": true}}" : "}}");
+    }
+  }
+  out->append("\n]}\n");
+}
+
+Status TraceEventCollector::ExportFile(const std::string& path) const {
+  std::string json;
+  WriteChromeJson(&json);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IOError("cannot open trace output '" + path + "'");
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  return Status::OK();
+}
+
+}  // namespace trace
+}  // namespace indoor

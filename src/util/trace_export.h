@@ -1,0 +1,123 @@
+// Trace-event export: serializes QueryTrace span timelines to the Chrome
+// trace-event JSON format, loadable in chrome://tracing and Perfetto.
+//
+// A TraceEventCollector accumulates completed per-query traces from many
+// threads onto one shared timeline: each query runs under its own
+// QueryTrace (installed by the recording site, e.g. BatchExecutor), and
+// when the query finishes the site *offers* the trace to the collector,
+// which keeps it if it was sampled (every Nth offered trace, decided by an
+// atomic ticket so the rate is exact under any thread interleaving) or if
+// the query crossed the slow-query threshold (util/query_log.h). Kept
+// traces are rebased from their private QueryTrace origin onto the
+// collector's enable-time origin, so spans from different workers line up
+// on one wall-clock axis; each worker renders as its own track (Chrome
+// `tid`, named via a thread_name metadata event).
+//
+// Like the metrics report classes, the collector always compiles — under
+// -DINDOOR_METRICS=OFF the recording sites never install traces, so an OFF
+// build simply exports an empty timeline.
+
+#ifndef INDOOR_UTIL_TRACE_EXPORT_H_
+#define INDOOR_UTIL_TRACE_EXPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace indoor {
+namespace trace {
+
+/// Collection policy for TraceEventCollector::Enable.
+struct TraceExportOptions {
+  /// Keep every Nth offered trace (1 = all, 0 = none via sampling; slow
+  /// queries may still be kept below).
+  uint32_t sample_every = 0;
+  /// Keep every trace offered with slow=true regardless of sampling.
+  bool keep_slow = true;
+  /// Hard cap on kept traces — a safety valve for long captures; offers
+  /// beyond it are dropped (and counted in `qtrace.dropped`).
+  size_t max_traces = 1u << 16;
+};
+
+/// One kept trace: a QueryTrace's events rebased onto the collector
+/// timeline, tagged with its track and query metadata.
+struct CollectedTrace {
+  /// Chrome track id (BatchExecutor worker index, or a process-stable
+  /// thread id for unbatched queries).
+  uint32_t tid = 0;
+  /// Query arrival sequence number (query-log seq, for cross-referencing
+  /// a trace with its query-log record).
+  uint64_t seq = 0;
+  /// Trace origin in nanoseconds since the collector was enabled.
+  uint64_t base_ns = 0;
+  /// The query crossed the slow threshold.
+  bool slow = false;
+  /// Completed spans (QueryTrace completion order; start_ns relative to
+  /// base_ns).
+  std::vector<metrics::QueryTrace::Event> events;
+};
+
+/// Thread-safe accumulator of sampled query traces. Offer() is called once
+/// per traced query; it is cheap when the trace is not kept (one atomic
+/// ticket). Enable/Disable delimit a collection session.
+class TraceEventCollector {
+ public:
+  /// The global collector (never destroyed).
+  static TraceEventCollector& Global();
+
+  /// Starts a collection session: sets the shared timeline origin, resets
+  /// the ticket counter, clears previously kept traces, and arms offers.
+  void Enable(const TraceExportOptions& options);
+
+  /// Disarms and discards any kept traces.
+  void Disable();
+
+  /// True between Enable and Disable — recording sites install a
+  /// QueryTrace per query only while armed (one relaxed load).
+  bool armed() const { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  /// Offers a completed query trace. Consumes one sampling ticket; keeps
+  /// the trace when the ticket fires (1-in-sample_every) or when
+  /// `slow && keep_slow`. `tid` selects the Chrome track; `track_label`
+  /// names it (first offer per tid wins).
+  void Offer(const metrics::QueryTrace& trace, uint32_t tid,
+             const std::string& track_label, uint64_t seq, bool slow);
+
+  /// Number of traces currently kept.
+  size_t trace_count() const;
+
+  /// Serializes every kept trace as one Chrome trace-event JSON object
+  /// ({"displayTimeUnit", "traceEvents": [...]}) with one thread_name
+  /// metadata event per track and one complete ("ph":"X") event per span;
+  /// timestamps/durations are microseconds on the shared timeline.
+  void WriteChromeJson(std::string* out) const;
+
+  /// WriteChromeJson to `path`. Does not clear — a long-running server can
+  /// snapshot mid-flight.
+  Status ExportFile(const std::string& path) const;
+
+  TraceEventCollector();
+  ~TraceEventCollector();
+  TraceEventCollector(const TraceEventCollector&) = delete;
+  TraceEventCollector& operator=(const TraceEventCollector&) = delete;
+
+ private:
+  struct State;
+
+  std::atomic<uint32_t> armed_{0};
+  std::atomic<uint64_t> ticket_{0};
+  /// Pimpl keeps <mutex>/<map> out of this header; constructed eagerly so
+  /// concurrent Offer/Enable never race on the pointer itself.
+  State* state_;
+};
+
+}  // namespace trace
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_TRACE_EXPORT_H_

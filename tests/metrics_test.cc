@@ -260,6 +260,88 @@ TEST(RegistryTest, ToJsonContainsInstruments) {
   EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
   EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+TEST(RegistryTest, ToJsonEscapesInstrumentNames) {
+  // Operator-supplied label strings can carry anything; the serializer
+  // must keep the document valid.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string hostile = "test.json.\"quoted\\name\"\n";
+  reg.GetHistogram(hostile).Record(1);
+  reg.GetCounter(hostile).Add(1);
+  const std::string json = reg.Snapshot().ToJson();
+  // The raw name must not appear unescaped...
+  EXPECT_EQ(json.find(hostile), std::string::npos);
+  // ...its escaped form must.
+  EXPECT_NE(json.find("test.json.\\\"quoted\\\\name\\\"\\n"),
+            std::string::npos);
+}
+
+TEST(EscapeTest, AppendJsonEscapedCoversSpecials) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+// ------------------------------------------------------ tail stats + deltas
+
+TEST(HistogramSnapshotTest, P999AndMaxTrackTheTail) {
+  Histogram h;
+  for (int i = 0; i < 995; ++i) h.Record(10);
+  for (int i = 0; i < 5; ++i) h.Record(1000000);
+  HistogramSnapshot snap;
+  snap.count = h.Count();
+  snap.sum = h.Sum();
+  snap.max = h.Max();
+  snap.buckets.resize(Histogram::kNumBuckets);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    snap.buckets[i] = h.BucketCount(i);
+  }
+  EXPECT_EQ(snap.max, 1000000u);
+  // p99 sits in the bulk, p99.9 reaches into the outlier's bucket.
+  EXPECT_LT(snap.Percentile(0.99), 100.0);
+  EXPECT_GT(snap.P999(), 100.0);
+  EXPECT_LE(snap.P999(), static_cast<double>(snap.max));
+}
+
+TEST(HistogramSnapshotTest, DeltaSinceSubtractsBucketwise) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("test.delta.hist");
+  h.Record(10);
+  h.Record(10);
+  const RegistrySnapshot before = reg.Snapshot();
+  h.Record(1000);
+  const RegistrySnapshot after = reg.Snapshot();
+  const RegistrySnapshot delta = after.DeltaSince(before);
+  const HistogramSnapshot* dh = nullptr;
+  for (const auto& hist : delta.histograms) {
+    if (hist.name == "test.delta.hist") dh = &hist;
+  }
+  ASSERT_NE(dh, nullptr);
+  // Only the interval's one sample remains, so interval percentiles are
+  // driven by it — not by the lifetime bulk at 10.
+  EXPECT_EQ(dh->count, 1u);
+  EXPECT_GT(dh->Percentile(0.5), 100.0);
+}
+
+TEST(RegistrySnapshotTest, DeltaSinceSubtractsCounters) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test.delta.counter");
+  c.Add(5);
+  const RegistrySnapshot before = reg.Snapshot();
+  c.Add(7);
+  const RegistrySnapshot delta = reg.Snapshot().DeltaSince(before);
+  uint64_t value = 0;
+  bool found = false;
+  for (const auto& [name, v] : delta.counters) {
+    if (name == "test.delta.counter") {
+      value = v;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_EQ(value, 7u);
 }
 
 // --------------------------------------------------------------- trace spans

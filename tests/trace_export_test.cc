@@ -1,0 +1,208 @@
+// Trace-event export: exact sampling, slow-query retention, and the
+// golden-path test that a two-thread batch produces valid Chrome
+// trace-event JSON with non-overlapping top-level spans per track.
+
+#include "util/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/index/index_framework.h"
+#include "core/query/batch_executor.h"
+#include "indoor/sample_plans.h"
+#include "util/metrics.h"
+
+namespace indoor {
+namespace trace {
+namespace {
+
+/// RAII Disable so a failing assertion cannot leak an armed collector
+/// into later tests.
+struct CollectorSession {
+  explicit CollectorSession(const TraceExportOptions& options) {
+    TraceEventCollector::Global().Enable(options);
+  }
+  ~CollectorSession() { TraceEventCollector::Global().Disable(); }
+};
+
+TEST(TraceEventCollectorTest, SamplingRateIsExact) {
+  CollectorSession session(TraceExportOptions{.sample_every = 4});
+  TraceEventCollector& collector = TraceEventCollector::Global();
+  for (int i = 0; i < 16; ++i) {
+    metrics::QueryTrace trace;
+    collector.Offer(trace, 0, "t", static_cast<uint64_t>(i), /*slow=*/false);
+  }
+  // Tickets 0, 4, 8, 12 fire: exactly 1-in-4 regardless of timing.
+  EXPECT_EQ(collector.trace_count(), 4u);
+}
+
+TEST(TraceEventCollectorTest, SlowTracesBypassSampling) {
+  CollectorSession session(TraceExportOptions{.sample_every = 0});
+  TraceEventCollector& collector = TraceEventCollector::Global();
+  {
+    metrics::QueryTrace trace;
+    collector.Offer(trace, 0, "t", 0, /*slow=*/false);
+  }
+  EXPECT_EQ(collector.trace_count(), 0u);
+  {
+    metrics::QueryTrace trace;
+    collector.Offer(trace, 0, "t", 1, /*slow=*/true);
+  }
+  EXPECT_EQ(collector.trace_count(), 1u);
+}
+
+TEST(TraceEventCollectorTest, MaxTracesCapsCollection) {
+  CollectorSession session(
+      TraceExportOptions{.sample_every = 1, .max_traces = 3});
+  TraceEventCollector& collector = TraceEventCollector::Global();
+  for (int i = 0; i < 10; ++i) {
+    metrics::QueryTrace trace;
+    collector.Offer(trace, 0, "t", static_cast<uint64_t>(i), false);
+  }
+  EXPECT_EQ(collector.trace_count(), 3u);
+}
+
+TEST(TraceEventCollectorTest, DisableDisarmsAndClears) {
+  TraceEventCollector& collector = TraceEventCollector::Global();
+  {
+    CollectorSession session(TraceExportOptions{.sample_every = 1});
+    EXPECT_TRUE(collector.armed());
+    metrics::QueryTrace trace;
+    collector.Offer(trace, 0, "t", 0, false);
+    EXPECT_EQ(collector.trace_count(), 1u);
+  }
+  EXPECT_FALSE(collector.armed());
+  EXPECT_EQ(collector.trace_count(), 0u);
+  metrics::QueryTrace trace;
+  collector.Offer(trace, 0, "t", 0, false);
+  EXPECT_EQ(collector.trace_count(), 0u);
+}
+
+TEST(TraceEventCollectorTest, EmptyCollectorWritesValidSkeleton) {
+  std::string json;
+  TraceEventCollector::Global().WriteChromeJson(&json);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-path: a real two-thread batch through BatchExecutor. The recording
+// site only installs traces when the metrics build is on.
+
+#ifdef INDOOR_METRICS_ENABLED
+
+/// One "ph": "X" complete event pulled back out of the exported JSON.
+struct ParsedEvent {
+  uint32_t tid = 0;
+  int depth = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Extracts a numeric field ("\"key\": 12.3") from one JSON event line.
+double NumberField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << line;
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+/// Minimal structural validity: every brace/bracket outside of string
+/// literals balances, and the document is one object.
+bool BalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceExportGoldenTest, TwoThreadBatchProducesValidChromeTrace) {
+  RunningExampleIds ids;
+  const FloorPlan plan = MakeRunningExamplePlan(&ids);
+  IndexFramework index(plan);
+  ASSERT_TRUE(index.objects().Insert(ids.v12, Point{6, 2}).ok());
+  ASSERT_TRUE(index.objects().Insert(ids.v11, Point{2, 2}).ok());
+
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(QueryRequest::Range(Point{1.0 + i * 0.5, 1.0}, 30.0));
+    requests.push_back(QueryRequest::Knn(Point{1.0, 1.0 + i * 0.25}, 1));
+  }
+
+  CollectorSession session(TraceExportOptions{.sample_every = 1});
+  BatchExecutor executor(index, /*threads=*/2);
+  executor.Run(requests);
+
+  TraceEventCollector& collector = TraceEventCollector::Global();
+  EXPECT_EQ(collector.trace_count(), requests.size());
+  std::string json;
+  collector.WriteChromeJson(&json);
+
+  ASSERT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker "), std::string::npos);
+
+  // Pull every complete event back out (the writer emits one per line).
+  std::vector<ParsedEvent> events;
+  size_t pos = 0;
+  while (pos < json.size()) {
+    size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find("\"ph\": \"X\"") == std::string::npos) continue;
+    ParsedEvent event;
+    event.tid = static_cast<uint32_t>(NumberField(line, "tid"));
+    event.depth = static_cast<int>(NumberField(line, "depth"));
+    event.ts_us = NumberField(line, "ts");
+    event.dur_us = NumberField(line, "dur");
+    events.push_back(event);
+  }
+  ASSERT_FALSE(events.empty());
+
+  // Per track, top-level spans are sequential query executions on one
+  // worker thread and must not overlap on the shared timeline. (Nested
+  // spans overlap their parents by design — only depth 0 is checked.)
+  std::map<uint32_t, std::vector<ParsedEvent>> tracks;
+  for (const ParsedEvent& event : events) {
+    EXPECT_LT(event.tid, 2u);  // two workers -> tracks 0 and 1 only
+    if (event.depth == 0) tracks[event.tid].push_back(event);
+  }
+  ASSERT_FALSE(tracks.empty());
+  for (auto& [tid, spans] : tracks) {
+    std::sort(spans.begin(), spans.end(),
+              [](const ParsedEvent& a, const ParsedEvent& b) {
+                return a.ts_us < b.ts_us;
+              });
+    for (size_t i = 1; i < spans.size(); ++i) {
+      // 1ns slack for the fractional-microsecond text round trip.
+      EXPECT_LE(spans[i - 1].ts_us + spans[i - 1].dur_us,
+                spans[i].ts_us + 0.001)
+          << "overlapping spans on track " << tid;
+    }
+  }
+}
+
+#endif  // INDOOR_METRICS_ENABLED
+
+}  // namespace
+}  // namespace trace
+}  // namespace indoor

@@ -30,13 +30,16 @@
 #include "core/index/index_io.h"
 #include "core/model/accessibility_graph.h"
 #include "core/query/query_engine.h"
+#include "core/query/workload_replay.h"
 #include "gen/building_generator.h"
 #include "gen/object_generator.h"
 #include "gen/query_generator.h"
 #include "indoor/floor_plan_io.h"
 #include "util/metrics.h"
+#include "util/query_log.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace_export.h"
 
 using namespace indoor;
 
@@ -59,6 +62,10 @@ int Usage() {
       "  indoor_tool serve PLAN [--threads N] [--batch B] [--skew ZIPF]\n"
       "                    [--requests N] [--positions N] [--objects N]\n"
       "                    [--cache on|off] [--quantum Q] [--seed S]\n"
+      "                    [--query-log F] [--slow-ms MS] [--report N]\n"
+      "                    [--trace-out F] [--trace-sample N]\n"
+      "  indoor_tool replay CAPTURE [--plan PLAN] [--threads N]\n"
+      "                    [--speed X] [--cache on|off]\n"
       "\n"
       "  --threads N        worker threads for matrix precomputation\n"
       "                     (default 1 = sequential, 0 = all hardware "
@@ -66,7 +73,19 @@ int Usage() {
       "  --metrics-json F   on exit, dump the metrics registry as JSON to\n"
       "                     file F (\"-\" = stdout); any command\n"
       "  --trace            print a per-query span breakdown (distance,\n"
-      "                     path, range, knn)\n");
+      "                     path, range, knn)\n"
+      "  --query-log F      serve: log every query to F (binary capture;\n"
+      "                     F ending in .jsonl logs JSON lines instead)\n"
+      "  --slow-ms MS       serve: slow-query threshold, JSONL to stderr\n"
+      "                     (default 100, 0 = off)\n"
+      "  --report N         serve: print an interval report (QPS, hit\n"
+      "                     rate, interval p99) every N batches\n"
+      "  --trace-out F      serve: export sampled query timelines to F as\n"
+      "                     Chrome/Perfetto trace JSON\n"
+      "  --trace-sample N   serve: keep every Nth query's trace "
+      "(default 16)\n"
+      "  --speed X          replay: pace at X times capture speed\n"
+      "                     (default: as fast as possible)\n");
   return 2;
 }
 
@@ -355,6 +374,38 @@ int CmdServe(const Args& args) {
     workload.push_back(request);
   }
 
+  // Observability: full query log / slow-query log / trace sampling, all
+  // optional and all off the hot path when unused.
+  const std::string query_log = args.Str("query-log", "");
+  const double slow_ms = args.Num("slow-ms", 100.0);
+  const std::string trace_out = args.Str("trace-out", "");
+  const size_t report_every = static_cast<size_t>(args.Num("report", 0));
+  if (!query_log.empty() || slow_ms > 0) {
+    qlog::QueryLogOptions qopts;
+    qopts.path = query_log;
+    qopts.slow_threshold_ns = static_cast<uint64_t>(slow_ms * 1e6);
+    // The capture context: everything replay needs to rebuild this exact
+    // index and object population.
+    qopts.context = "plan=" + args.positional[0] +
+                    "\nobjects=" + std::to_string(objects) +
+                    "\nseed=" + std::to_string(static_cast<uint64_t>(
+                                    args.Num("seed", 7))) +
+                    "\ncache=" +
+                    (options.enable_query_cache ? "on" : "off") +
+                    "\nquantum=" + std::to_string(options.cache_quantum) +
+                    "\nbatch=" + std::to_string(batch) + "\n";
+    const Status st = qlog::QueryLog::Global().Enable(qopts);
+    if (!st.ok()) {
+      std::cerr << "error: " << st << "\n";
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    trace::TraceExportOptions topts;
+    topts.sample_every = static_cast<uint32_t>(args.Num("trace-sample", 16));
+    trace::TraceEventCollector::Global().Enable(topts);
+  }
+
   BatchExecutor executor(engine.index(), threads);
   std::printf(
       "serving %zu requests (skew %.2f over %zu positions) in batches of "
@@ -363,22 +414,87 @@ int CmdServe(const Args& args) {
       options.enable_query_cache ? "on" : "off");
   size_t served = 0;
   size_t hits = 0;  // non-empty / reachable results, to sanity-check
+  size_t batches_run = 0;
+  size_t interval_served = 0;
+  metrics::RegistrySnapshot interval_base =
+      metrics::MetricsRegistry::Global().Snapshot();
+  WallTimer interval_timer;
   WallTimer timer;
   for (size_t begin = 0; begin < workload.size(); begin += batch) {
     const size_t n = std::min(batch, workload.size() - begin);
     const auto results = executor.Run(
         std::span<const QueryRequest>(workload.data() + begin, n));
     served += results.size();
+    interval_served += results.size();
+    ++batches_run;
     for (const QueryResult& result : results) {
       if (!result.ids.empty() || !result.neighbors.empty() ||
           result.distance < kInfDistance) {
         ++hits;
       }
     }
+    if (report_every > 0 && batches_run % report_every == 0) {
+      // Interval report from snapshot deltas: what happened since the
+      // last report, not since process start.
+      const metrics::RegistrySnapshot now =
+          metrics::MetricsRegistry::Global().Snapshot();
+      const metrics::RegistrySnapshot delta = now.DeltaSince(interval_base);
+      uint64_t cache_hits = 0, cache_misses = 0;
+      for (const auto& [name, value] : delta.counters) {
+        if (name == "cache.field.hits" || name == "cache.host.hits") {
+          cache_hits += value;
+        } else if (name == "cache.field.misses" ||
+                   name == "cache.host.misses") {
+          cache_misses += value;
+        }
+      }
+      double p99_us = 0.0;
+      for (const auto& hist : delta.histograms) {
+        if (hist.name == "batch.latency_ns") {
+          p99_us = hist.Percentile(0.99) / 1e3;
+        }
+      }
+      const double secs = interval_timer.ElapsedMillis() / 1000.0;
+      std::printf(
+          "interval: %zu queries, %.0f QPS, cache hit %.1f%%, "
+          "batch p99 %.0f us\n",
+          interval_served,
+          secs > 0 ? static_cast<double>(interval_served) / secs : 0.0,
+          cache_hits + cache_misses > 0
+              ? 100.0 * static_cast<double>(cache_hits) /
+                    static_cast<double>(cache_hits + cache_misses)
+              : 0.0,
+          p99_us);
+      interval_base = now;
+      interval_served = 0;
+      interval_timer.Restart();
+    }
   }
   const double ms = timer.ElapsedMillis();
   std::printf("served %zu requests in %.1f ms: %.0f QPS (%zu non-empty)\n",
               served, ms, served / (ms / 1000.0), hits);
+
+  if (!trace_out.empty()) {
+    auto& collector = trace::TraceEventCollector::Global();
+    const size_t kept = collector.trace_count();
+    const Status st = collector.ExportFile(trace_out);
+    if (!st.ok()) {
+      std::cerr << "error: " << st << "\n";
+      return 1;
+    }
+    std::printf("trace: %zu sampled query timelines -> %s\n", kept,
+                trace_out.c_str());
+    collector.Disable();
+  }
+  if (qlog::QueryLog::Global().enabled()) {
+    qlog::QueryLog::Global().Disable();  // drains buffers, writes trailer
+    if (!query_log.empty()) {
+      std::printf("query log: %llu records -> %s\n",
+                  static_cast<unsigned long long>(
+                      qlog::QueryLog::Global().records_written()),
+                  query_log.c_str());
+    }
+  }
 
   if (const QueryCache* cache = engine.index().query_cache()) {
     const CacheStats field = cache->FieldStats();
@@ -406,6 +522,60 @@ int CmdServe(const Args& args) {
   std::printf("\n");
   metrics::MetricsRegistry::Global().Snapshot().WriteReport(stdout);
   return 0;
+}
+
+/// Replays a binary query-log capture: rebuilds the index and object
+/// population from the capture's context block (plan path, object seed,
+/// cache settings — all overridable by flags), re-executes the workload
+/// preserving batch boundaries and arrival order, and verifies every
+/// result digest bitwise. Exit 0 iff every record matched.
+int CmdReplay(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto capture = qlog::ReadQueryLogCapture(args.positional[0]);
+  if (!capture.ok()) {
+    std::cerr << "error: " << capture.status() << "\n";
+    return 1;
+  }
+  const auto context = capture->ContextMap();
+  const auto ctx = [&](const std::string& key, const std::string& fallback) {
+    const auto it = context.find(key);
+    return it == context.end() ? fallback : it->second;
+  };
+  const std::string plan_path = args.Str("plan", ctx("plan", ""));
+  if (plan_path.empty()) {
+    std::cerr << "replay: capture has no plan= context; pass --plan\n";
+    return 1;
+  }
+  auto plan = LoadOrFail(plan_path);
+  if (!plan.ok()) return 1;
+
+  IndexOptions options;
+  options.enable_query_cache =
+      args.Str("cache", ctx("cache", "on")) != "off";
+  options.cache_quantum = args.Num(
+      "quantum", context.count("quantum") ? std::stod(context.at("quantum"))
+                                          : options.cache_quantum);
+  QueryEngine engine(std::move(plan).value(), options);
+  const size_t objects =
+      static_cast<size_t>(args.Num("objects", std::stod(ctx("objects", "1000"))));
+  Rng rng(static_cast<uint64_t>(args.Num("seed", std::stod(ctx("seed", "7")))));
+  PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
+                &engine.index().objects());
+
+  std::printf("replaying %s: %zu records against %s (%zu objects, cache %s)\n",
+              args.positional[0].c_str(), capture->records.size(),
+              plan_path.c_str(), objects,
+              options.enable_query_cache ? "on" : "off");
+  ReplayOptions ropts;
+  ropts.threads = static_cast<unsigned>(args.Num("threads", 0));
+  ropts.speed = args.Num("speed", 0.0);
+  const auto report = ReplayWorkload(engine.index(), *capture, ropts);
+  if (!report.ok()) {
+    std::cerr << "error: " << report.status() << "\n";
+    return 1;
+  }
+  WriteReplayReport(*report, stdout);
+  return report->AllMatched() ? 0 : 1;
 }
 
 int CmdMatrix(const Args& args) {
@@ -477,6 +647,7 @@ int main(int argc, char** argv) {
   else if (cmd == "matrix") rc = CmdMatrix(args);
   else if (cmd == "stats") rc = CmdStats(args);
   else if (cmd == "serve") rc = CmdServe(args);
+  else if (cmd == "replay") rc = CmdReplay(args);
   if (rc < 0) return Usage();
   const int json_rc = DumpMetricsJson(args);
   return rc != 0 ? rc : json_rc;

@@ -8,6 +8,7 @@
 //                          [--queries-per-reader N] [--positions N]
 //                          [--zipf THETA] [--cache on|off] [--batch B]
 //                          [--obstacles P] [--mix all|distance|range|knn]
+//                          [--move-rate R] [--move-batch M]
 //                          [--seed S] [--json out.json] [--smoke]
 //                          [--query-log out.qlog]
 //
@@ -26,6 +27,15 @@
 // covered by concurrency_test and query_cache_test; this binary only
 // measures throughput.
 //
+// `--move-rate R` mixes updates into the workload: R object moves per
+// served query, applied as ingest batches (ApplyMoveBatch) between query
+// batches — the update-heavy serving regime the partition-scoped epoch
+// invalidation targets. Requires `--batch` (the free-running reader loop
+// has no write-safe interleave point). The move schedule comes from a
+// dedicated generator seeded only by --seed and is re-seeded per reader
+// row, so cache ON and OFF runs of the same flags execute the identical
+// mixed schedule and their peak_qps ratio compares like against like.
+//
 // `--query-log out.qlog` keeps the structured query log (util/query_log.h)
 // enabled for the whole run, writing every query's record to the capture.
 // Comparing QPS with and without the flag on an otherwise identical
@@ -40,6 +50,7 @@
 #include "bench_util.h"
 #include "core/query/batch_executor.h"
 #include "core/query/knn_query.h"
+#include "core/query/query_cache.h"
 #include "core/query/range_query.h"
 #include "gen/building_generator.h"
 #include "gen/object_generator.h"
@@ -75,7 +86,9 @@ std::vector<unsigned> ParseList(const std::string& s) {
 void WriteJson(const std::string& path, int floors, size_t objects,
                size_t queries, size_t positions, double zipf, bool cache,
                size_t batch, const std::string& mix, uint64_t seed,
-               const std::vector<Row>& rows, bool query_log) {
+               const std::vector<Row>& rows, bool query_log,
+               double move_rate, size_t moves, uint64_t repairs,
+               uint64_t epoch_rejects) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -89,10 +102,15 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                "  \"queries_per_reader\": %zu,\n  \"positions\": %zu,\n"
                "  \"zipf\": %.3f,\n  \"cache\": %s,\n  \"batch\": %zu,\n"
                "  \"mix\": \"%s\",\n  \"query_log\": %s,\n"
+               "  \"move_rate\": %.3f,\n  \"moves\": %zu,\n"
+               "  \"repairs\": %llu,\n"
+               "  \"epoch_rejects\": %llu,\n"
                "  \"seed\": %llu,\n  \"peak_qps\": %.1f,\n  \"results\": [\n",
                floors, objects, queries, positions, zipf,
                cache ? "true" : "false", batch, mix.c_str(),
-               query_log ? "true" : "false",
+               query_log ? "true" : "false", move_rate, moves,
+               static_cast<unsigned long long>(repairs),
+               static_cast<unsigned long long>(epoch_rejects),
                static_cast<unsigned long long>(seed), peak_qps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -174,6 +192,8 @@ int main(int argc, char** argv) {
   // cross-query cache collapses); 0 degenerates them to straight lines.
   double obstacles = 0.5;
   std::string mix = "all";
+  double move_rate = 0.0;
+  size_t move_batch = 0;  // 0 = all moves due after a query batch
   uint64_t seed = 42;
   std::vector<unsigned> reader_list{1, 2, 4, 8};
   std::string json_path;
@@ -206,6 +226,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--mix must be all|distance|range|knn\n");
         return 2;
       }
+    } else if (arg == "--move-rate") {
+      move_rate = std::stod(next());
+    } else if (arg == "--move-batch") {
+      move_batch = std::stoul(next());
     } else if (arg == "--readers") {
       reader_list = ParseList(next());
     } else if (arg == "--seed") {
@@ -223,6 +247,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (move_rate > 0 && batch == 0) {
+    std::fprintf(stderr,
+                 "--move-rate requires --batch: moves interleave between "
+                 "executor batches, and the free-running reader loop has "
+                 "no write-safe point to apply them\n");
+    return 2;
   }
 
   BuildingConfig config;
@@ -243,9 +274,11 @@ int main(int argc, char** argv) {
       batch ? "batch " + std::to_string(batch) : std::string("reader loop");
   std::printf(
       "building: %d floors, %zu doors, %zu objects | %zu positions, "
-      "zipf %.2f, cache %s, %s\n",
+      "zipf %.2f, cache %s, %s, move rate %.2f\n",
       floors, plan.door_count(), objects, position_count, zipf,
-      cache ? "on" : "off", mode.c_str());
+      cache ? "on" : "off", mode.c_str(), move_rate);
+  const PartitionSampler move_sampler(plan);
+  size_t total_moves = 0;
 
   auto run_request = [&](const QueryRequest& request,
                          QueryScratch* scratch) -> size_t {
@@ -287,6 +320,12 @@ int main(int argc, char** argv) {
     size_t checksum = 0;
     double millis = 0;
     if (batch > 0) {
+      // Move schedule: re-seeded per reader row and independent of the
+      // request stream, so every cache/log configuration of the same
+      // flags replays the identical interleave of reads and writes.
+      Rng move_rng(seed ^ 0x6d6f76657321ull);
+      double move_due = 0.0;
+      std::vector<MoveOp> moves;
       BatchExecutor executor(index, readers);
       WallTimer timer;
       for (size_t begin = 0; begin < requests.size(); begin += batch) {
@@ -295,6 +334,42 @@ int main(int argc, char** argv) {
             std::span<const QueryRequest>(requests.data() + begin, n));
         for (const QueryResult& result : results) {
           checksum += ResultChecksum(result);
+        }
+        if (move_rate > 0) {
+          move_due += static_cast<double>(n) * move_rate;
+          // Coalesced ingest: wait for a FULL move batch before stalling
+          // readers. Dribbling due moves one query-batch at a time would
+          // bump epochs (and re-stale the hot cached set) several times
+          // more often for the same aggregate move rate — batching the
+          // writes is what amortizes the invalidation cost.
+          const double fire_at =
+              move_batch > 0 ? static_cast<double>(move_batch) : 1.0;
+          while (move_due >= fire_at) {
+            size_t m = static_cast<size_t>(move_due);
+            if (move_batch > 0) m = std::min(m, move_batch);
+            moves.clear();
+            moves.reserve(m);
+            for (size_t i = 0; i < m; ++i) {
+              const PartitionId target = move_sampler.Sample(&move_rng);
+              moves.push_back(MoveOp{
+                  static_cast<ObjectId>(move_rng.NextIndex(objects)),
+                  target,
+                  RandomPointInPartition(plan.partition(target),
+                                         &move_rng)});
+            }
+            std::stable_sort(moves.begin(), moves.end(),
+                             [](const MoveOp& a, const MoveOp& b) {
+                               return a.partition < b.partition;
+                             });
+            const Status status = ApplyMoveBatch(index, moves);
+            if (!status.ok()) {
+              std::fprintf(stderr, "move batch failed: %s\n",
+                           status.message().c_str());
+              return 1;
+            }
+            total_moves += m;
+            move_due -= static_cast<double>(m);
+          }
         }
       }
       millis = timer.ElapsedMillis();
@@ -334,10 +409,24 @@ int main(int argc, char** argv) {
                 query_log_path.c_str());
   }
 
+  const QueryCache* query_cache = index.query_cache();
+  const uint64_t epoch_rejects =
+      query_cache != nullptr ? query_cache->EpochRejects() : 0;
+  const uint64_t repairs =
+      query_cache != nullptr ? query_cache->Repairs() : 0;
+  if (total_moves > 0) {
+    std::printf(
+        "moves: %zu applied, %llu cached results repaired, "
+        "%llu epoch-rejected\n",
+        total_moves, static_cast<unsigned long long>(repairs),
+        static_cast<unsigned long long>(epoch_rejects));
+  }
+
   if (!json_path.empty()) {
     WriteJson(json_path, floors, objects, queries_per_reader,
               position_count, zipf, cache, batch, mix, seed, rows,
-              !query_log_path.empty());
+              !query_log_path.empty(), move_rate, total_moves, repairs,
+              epoch_rejects);
   }
   return 0;
 }

@@ -57,7 +57,8 @@ size_t QueryScratch::CapacityBytes() const {
          VecCapacityBytes(source_doors) + VecCapacityBytes(cand_doors) +
          VecCapacityBytes(src_leg) + VecCapacityBytes(dst_leg) +
          VecCapacityBytes(d2d_cache) + VecCapacityBytes(prev) +
-         collector.CapacityBytes() + VecCapacityBytes(neighbors);
+         collector.CapacityBytes() + VecCapacityBytes(neighbors) +
+         VecCapacityBytes(result_deps);
 }
 
 size_t QueryScratch::UsedBytes() const {
@@ -69,7 +70,7 @@ size_t QueryScratch::UsedBytes() const {
          VecUsedBytes(src_leg) + VecUsedBytes(dst_leg) +
          VecUsedBytes(d2d_cache) + VecUsedBytes(prev) +
          collector.size() * sizeof(std::pair<double, ObjectId>) +
-         VecUsedBytes(neighbors);
+         VecUsedBytes(neighbors) + VecUsedBytes(result_deps);
 }
 
 void QueryScratch::ShrinkToFit() {
@@ -87,6 +88,7 @@ void QueryScratch::ShrinkToFit() {
   prev.shrink_to_fit();
   collector.ShrinkToFit();
   neighbors.shrink_to_fit();
+  result_deps.shrink_to_fit();
 }
 
 void QueryScratch::NoteQueryDone() {

@@ -55,6 +55,9 @@ struct QueryScratch {
   KnnCollector collector{1};
   /// Staging for range-search results forwarded into id lists.
   std::vector<Neighbor> neighbors;
+  /// Partitions whose object population the running range/kNN query has
+  /// examined — the epoch dependency set of its cached result.
+  std::vector<PartitionId> result_deps;
 
   // ---- high-water-mark decay ------------------------------------------
   // Long-lived serving threads (and the TLS fallback in particular) used

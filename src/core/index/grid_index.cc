@@ -157,6 +157,19 @@ void GridBucket::RangeSearch(const Partition& partition, const Point& q,
   }
 }
 
+bool GridBucket::WouldAdmit(const Partition& partition, const Point& q,
+                            double r, const Point& position,
+                            GeodesicScratch* geo) const {
+  if (r < 0) return false;
+  const double scale = partition.metric_scale();
+  const bool euclidean = !partition.footprint().HasObstacles() &&
+                         partition.footprint().outer().IsConvex();
+  const Rect rect = CellRect(CellIndex(position));
+  if (rect.MinDistance(q) * scale > r) return false;
+  if (euclidean && rect.MaxDistance(q) * scale <= r) return true;
+  return partition.IntraDistance(q, position, geo) <= r;
+}
+
 void GridBucket::NnSearch(const Partition& partition, const Point& q,
                           double extra, KnnCollector* collector,
                           BucketScratch* scratch) const {

@@ -145,6 +145,15 @@ class GridBucket {
                    std::vector<Neighbor>* out,
                    BucketScratch* scratch = nullptr) const;
 
+  /// Single-object admission predicate of RangeSearch: would a
+  /// RangeSearch(partition, q, r, ...) report an object located at
+  /// `position`? Mirrors the cell-level shortcuts (Euclidean lower-bound
+  /// prune, whole-cell upper-bound admission) exactly, so the verdict is
+  /// bit-identical to the full search's treatment of that object. Backs
+  /// the query cache's stale-result repair path.
+  bool WouldAdmit(const Partition& partition, const Point& q, double r,
+                  const Point& position, GeodesicScratch* geo = nullptr) const;
+
   /// nnSearch(B, q, ...): offers objects to `collector`, visiting cells in
   /// ascending lower-bound order and stopping once no cell can beat the
   /// collector's bound. `extra` is added to every distance before offering

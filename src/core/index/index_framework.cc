@@ -58,9 +58,10 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
     cache_options.field_capacity_bytes = options_.cache_capacity_bytes -
                                          options_.cache_capacity_bytes / 4;
     cache_options.host_capacity_bytes = options_.cache_capacity_bytes / 4;
+    cache_options.result_capacity_bytes = options_.cache_capacity_bytes / 4;
     cache_options.shards = options_.cache_shards;
     query_cache_ =
-        std::make_unique<QueryCache>(plan, locator_, cache_options);
+        std::make_unique<QueryCache>(plan, locator_, objects_, cache_options);
   }
 }
 

@@ -37,7 +37,9 @@ struct IndexOptions {
   /// Quantization grid edge for cache keys (plan units). Collisions only
   /// cost a re-solve, never exactness.
   double cache_quantum = 0.25;
-  /// Total cache byte budget (3/4 distance fields, 1/4 host lookups).
+  /// Cache byte budget for the geometry caches (3/4 distance fields, 1/4
+  /// host lookups); the range/kNN result cache gets an additional 1/4 of
+  /// this on top.
   size_t cache_capacity_bytes = 32u << 20;
   /// LRU shards per cache (rounded up to a power of two).
   unsigned cache_shards = 16;
@@ -71,9 +73,11 @@ class IndexFramework {
   /// The cross-query cache, or null when IndexOptions disabled it.
   const QueryCache* query_cache() const { return query_cache_.get(); }
 
-  /// Drops every cached cross-query entry. Write paths (QueryEngine
-  /// AddObject/MoveObject) call this so cached state never outlives a
-  /// mutation; no-op when the cache is disabled.
+  /// Drops every cached cross-query entry (operator-facing full reset).
+  /// Object writes do NOT need this: geometry entries are never affected
+  /// by the object population, and object-dependent result entries are
+  /// epoch-versioned per partition and lazily rejected at lookup (see
+  /// query_cache.h). No-op when the cache is disabled.
   void InvalidateQueryCache() const;
 
   /// Context for the pt2pt distance algorithms (cache attached when

@@ -2,10 +2,16 @@
 
 #include <sstream>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+
 namespace indoor {
 
 ObjectStore::ObjectStore(const FloorPlan& plan, double grid_cell_size)
-    : plan_(&plan), grid_cell_size_(grid_cell_size) {
+    : plan_(&plan),
+      grid_cell_size_(grid_cell_size),
+      epochs_(plan.partition_count()),
+      journal_(plan.partition_count() * kChangeJournalCapacity) {
   buckets_.reserve(plan.partition_count());
   for (const Partition& part : plan.partitions()) {
     buckets_.emplace_back(part, grid_cell_size);
@@ -27,6 +33,7 @@ Result<ObjectId> ObjectStore::Insert(PartitionId partition,
   const ObjectId id = static_cast<ObjectId>(objects_.size());
   objects_.push_back({id, partition, position});
   buckets_[partition].Insert(id, position);
+  BumpEpoch(partition, id);
   return id;
 }
 
@@ -48,10 +55,47 @@ Status ObjectStore::MoveObject(ObjectId id, PartitionId partition,
   IndoorObject& obj = objects_[id];
   INDOOR_CHECK(buckets_[obj.partition].Remove(id, obj.position))
       << "object store and bucket out of sync for object" << id;
+  const PartitionId source = obj.partition;
   obj.partition = partition;
   obj.position = position;
   buckets_[partition].Insert(id, position);
+  // Only the two partitions whose populations changed are re-versioned;
+  // every other partition's cached object-dependent state stays valid.
+  BumpEpoch(source, id);
+  if (partition != source) BumpEpoch(partition, id);
   return Status::OK();
+}
+
+bool ObjectStore::ChangedSince(PartitionId v, uint64_t since,
+                               std::vector<ObjectId>* out) const {
+  const uint64_t cur = epoch(v);
+  if (cur == since) return true;
+  if (cur < since || cur - since > kChangeJournalCapacity) return false;
+  const size_t base = static_cast<size_t>(v) * kChangeJournalCapacity;
+  for (uint64_t e = since + 1; e <= cur; ++e) {
+    const PartitionChange& c =
+        journal_[base + static_cast<size_t>(e % kChangeJournalCapacity)];
+    if (c.epoch != e) return false;  // defensive: slot not from this window
+    out->push_back(c.id);
+  }
+  return true;
+}
+
+Status ObjectStore::ApplyMoves(std::span<const MoveOp> moves,
+                               size_t* applied) {
+  const WallTimer timer;
+  size_t done = 0;
+  Status status = Status::OK();
+  for (const MoveOp& op : moves) {
+    status = MoveObject(op.id, op.partition, op.position);
+    if (!status.ok()) break;
+    ++done;
+  }
+  if (applied != nullptr) *applied = done;
+  INDOOR_COUNTER_ADD("update.moves", done);
+  INDOOR_COUNTER_INC("update.move_batches");
+  INDOOR_HISTOGRAM_RECORD("update.batch_ms", timer.ElapsedMillis());
+  return status;
 }
 
 }  // namespace indoor

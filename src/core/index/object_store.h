@@ -5,6 +5,8 @@
 #ifndef INDOOR_CORE_INDEX_OBJECT_STORE_H_
 #define INDOOR_CORE_INDEX_OBJECT_STORE_H_
 
+#include <atomic>
+#include <span>
 #include <vector>
 
 #include "core/index/grid_index.h"
@@ -20,14 +22,42 @@ struct IndoorObject {
   Point position;
 };
 
+/// One relocation request: move `id` to `position` inside `partition`.
+/// The wire shape matches MoveObject's arguments so a batch of MoveOps is
+/// exactly a recorded sequence of MoveObject calls.
+struct MoveOp {
+  ObjectId id = kInvalidId;
+  PartitionId partition = kInvalidId;
+  Point position;
+};
+
 /// Owns all objects and the per-partition grid buckets. The plan must
 /// outlive the store.
 ///
-/// Thread-safety: the const read surface (object, size, objects, bucket)
-/// is safe for concurrent readers. Insert/MoveObject mutate the object
-/// table and buckets; callers must serialize them externally and keep
-/// them from overlapping readers (single-writer / multi-reader with an
-/// external barrier — the library adds no per-query locking on purpose).
+/// Thread-safety: the const read surface (object, size, objects, bucket,
+/// epoch) is safe for concurrent readers. Insert/MoveObject/ApplyMoves
+/// mutate the object table and buckets; callers must serialize them
+/// externally and keep them from overlapping readers (single-writer /
+/// multi-reader with an external barrier — the library adds no per-query
+/// locking on purpose).
+///
+/// Epochs: every partition carries a monotonically increasing *object
+/// epoch* that is bumped whenever that partition's object population
+/// changes (Insert into it, or an object moving in or out). Epochs version
+/// only object-dependent state — geometry (distance fields, host-partition
+/// lookups) never changes and is never versioned. Consumers such as the
+/// query cache snapshot `(partition, epoch)` pairs when deriving an
+/// object-dependent result and lazily reject the entry at lookup when any
+/// recorded epoch no longer matches, so writes need no locked cache sweep.
+/// Epoch values are opaque version numbers: only equality is meaningful.
+///
+/// Change journal: alongside the epoch, each partition keeps the ids
+/// behind its last kChangeJournalCapacity bumps in a fixed ring.
+/// ChangedSince(v, e) recovers exactly which objects account for the
+/// epoch delta (e, epoch(v)] — the query cache uses this to *repair* a
+/// stale cached result by re-testing only the objects that moved, instead
+/// of rejecting it outright. A delta older than the ring is reported as
+/// uncoverable and the consumer falls back to a full reject.
 class ObjectStore {
  public:
   /// `grid_cell_size` configures every partition's grid (paper §V-B leaves
@@ -41,6 +71,35 @@ class ObjectStore {
   /// Relocates an object (possibly across partitions).
   Status MoveObject(ObjectId id, PartitionId partition,
                     const Point& position);
+
+  /// Applies a batch of moves in submission order, equivalent to calling
+  /// MoveObject for each op and stopping at the first failure: ops before
+  /// the failing one stay applied, ops after it are not attempted, and the
+  /// failing op's status is returned. `applied` (optional) receives the
+  /// number of ops applied, == moves.size() on success. This is the
+  /// batched update-ingest entry point: it publishes one `update.batch_ms`
+  /// observation per call and `update.moves` per applied op.
+  Status ApplyMoves(std::span<const MoveOp> moves,
+                    size_t* applied = nullptr);
+
+  /// Current object epoch of `v` (relaxed load; see class comment).
+  uint64_t epoch(PartitionId v) const {
+    INDOOR_CHECK(v < epochs_.size());
+    return epochs_[v].load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity of each partition's change journal.
+  static constexpr size_t kChangeJournalCapacity = 128;
+
+  /// Appends to `out` the id recorded for every epoch in (since, epoch(v)]
+  /// — the objects whose membership in `v` changed since `since` — and
+  /// returns true. Returns false (appending nothing reliable) when the
+  /// delta exceeds the journal ring, i.e. the window is no longer
+  /// coverable. The same id may appear multiple times; `since` must be a
+  /// snapshot previously read from epoch(v). Reader-safe under the same
+  /// external single-writer barrier as the rest of the const surface.
+  bool ChangedSince(PartitionId v, uint64_t since,
+                    std::vector<ObjectId>* out) const;
 
   const IndoorObject& object(ObjectId id) const {
     INDOOR_CHECK(id < objects_.size());
@@ -59,10 +118,27 @@ class ObjectStore {
   const FloorPlan& plan() const { return *plan_; }
 
  private:
+  /// One journal slot: the object behind one epoch bump.
+  struct PartitionChange {
+    uint64_t epoch = 0;  // 0 = never written (real epochs start at 1)
+    ObjectId id = kInvalidId;
+  };
+
+  void BumpEpoch(PartitionId v, ObjectId id) {
+    const uint64_t e = epochs_[v].fetch_add(1, std::memory_order_relaxed) + 1;
+    journal_[static_cast<size_t>(v) * kChangeJournalCapacity +
+             static_cast<size_t>(e % kChangeJournalCapacity)] = {e, id};
+  }
+
   const FloorPlan* plan_;
   double grid_cell_size_;
   std::vector<IndoorObject> objects_;
-  std::vector<GridBucket> buckets_;  // one per partition
+  std::vector<GridBucket> buckets_;        // one per partition
+  std::vector<std::atomic<uint64_t>> epochs_;  // one per partition
+  // Flat per-partition rings of the ids behind recent epoch bumps; slot of
+  // epoch e in partition v is [v * cap + e % cap] (consecutive epochs land
+  // in distinct slots, so a coverable window is always intact).
+  std::vector<PartitionChange> journal_;
 };
 
 }  // namespace indoor

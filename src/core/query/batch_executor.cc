@@ -183,4 +183,53 @@ std::vector<QueryResult> RunBatch(const IndexFramework& index,
   return executor.Run(requests, options);
 }
 
+Status ApplyMoveBatch(IndexFramework& index, std::span<const MoveOp> moves) {
+  if (moves.empty()) return Status::OK();
+  size_t applied = 0;
+#ifdef INDOOR_METRICS_ENABLED
+  const bool observed = qlog::internal::Armed();
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status status = index.objects().ApplyMoves(moves, &applied);
+  if (observed) {
+    // One record per attempted op: the applied prefix plus, on failure,
+    // the op that was rejected (result_count 0) — ops never attempted are
+    // not recorded, matching the state the batch actually produced.
+    const size_t attempted =
+        status.ok() ? applied : std::min(applied + 1, moves.size());
+    const uint64_t batch_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const uint64_t per_op_ns =
+        attempted > 0 ? batch_ns / attempted : batch_ns;
+    qlog::QueryLog& log = qlog::QueryLog::Global();
+    const uint64_t batch_id = NextBatchId();
+    for (size_t i = 0; i < attempted; ++i) {
+      const MoveOp& op = moves[i];
+      const bool ok = i < applied;
+      qlog::QueryLogRecord record;
+      record.seq = log.NextSeq();
+      record.batch_id = batch_id;
+      record.start_us = log.SessionMicros();
+      record.latency_ns = per_op_ns;
+      record.ax = op.position.x;
+      record.ay = op.position.y;
+      record.k = op.id;
+      record.host = op.partition;
+      record.result_count = ok ? 1u : 0u;
+      record.result_value =
+          ok ? qdigest::MoveDigest(op.id, op.partition, op.position.x,
+                                   op.position.y)
+             : 0.0;
+      record.kind = static_cast<uint8_t>(qlog::RecordKind::kMove);
+      record.flags = qlog::kFlagMoveBatch;
+      log.Submit(record);
+    }
+  }
+  return status;
+#else
+  return index.objects().ApplyMoves(moves, &applied);
+#endif
+}
+
 }  // namespace indoor

@@ -123,6 +123,17 @@ std::vector<QueryResult> RunBatch(const IndexFramework& index,
                                   std::span<const QueryRequest> requests,
                                   const BatchOptions& options = {});
 
+/// The write-side counterpart of Run(): applies a move batch through the
+/// observed update-ingest path. The moves go to ObjectStore::ApplyMoves
+/// (submission order, stop at first error); when the query log is armed,
+/// the batch gets its own batch id from the same sequence as query
+/// batches and one kMove record per attempted op (kFlagMoveBatch), so a
+/// capture interleaves move batches with query batches in arrival order
+/// and replay can reproduce the exact write schedule. Like every store
+/// write, calls must be externally serialized and must not overlap any
+/// reader (no concurrent Run()).
+Status ApplyMoveBatch(IndexFramework& index, std::span<const MoveOp> moves);
+
 }  // namespace indoor
 
 #endif  // INDOOR_CORE_QUERY_BATCH_EXECUTOR_H_

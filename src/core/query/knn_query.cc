@@ -1,5 +1,7 @@
 #include "core/query/knn_query.h"
 
+#include <algorithm>
+
 #include "core/distance/query_scratch.h"
 #include "core/query/query_cache.h"
 #include "core/query/result_digest.h"
@@ -10,15 +12,156 @@ namespace indoor {
 namespace {
 
 /// Lines 12-19 of Algorithm 6 for one DPT side: nnSearch in the partition's
-/// bucket anchored at door dj with the accumulated leg r2.
+/// bucket anchored at door dj with the accumulated leg r2. `deps`
+/// (optional) accumulates the epoch dependency set of the query's cached
+/// result; partitions are recorded even when empty (reaching one means its
+/// population matters). Partitions that are NOT reached cannot affect the
+/// result even if their population changes: they are pruned because every
+/// door path to them is strictly longer than the collector bound, which
+/// never rises, so any object there sits strictly beyond the final k-th
+/// distance — it can neither enter the top-k nor displace a tie.
 void SearchSide(const IndexFramework& index, PartitionId part, DoorId dj,
-                double r2, BucketScratch* scratch, KnnCollector* collector) {
+                double r2, BucketScratch* scratch, KnnCollector* collector,
+                std::vector<PartitionId>* deps,
+                std::vector<ResultGate>* gates) {
   if (part == kInvalidId) return;
+  if (deps != nullptr) {
+    deps->push_back(part);
+    gates->push_back({part, dj, r2, 0.0});  // fdv unused for kNN gates
+  }
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
   bucket.NnSearch(index.plan().partition(part),
                   index.plan().door(dj).Midpoint(), r2, collector, scratch);
 }
+
+/// Spare neighbors cached beyond the requested k. A fresh solve collects
+/// the top-(k + spares) so that repair can absorb cached neighbors moving
+/// AWAY without losing the ability to serve an exact top-k: the spares
+/// are the fill-ins a plain k-sized list would have to re-solve for. The
+/// served result is always the leading k entries.
+constexpr size_t kKnnRepairSpares = 4;
+
+enum class KnnRepair : uint8_t {
+  kUnchanged,  ///< no moved object affects the result; refresh epochs only
+  kPatched,    ///< stale->neighbors now holds the exact fresh answer
+  kResolve,    ///< the patch cannot be proven exact; re-solve fully
+};
+
+/// Patches a stale cached kNN result against the moved objects, or proves
+/// it unchanged, or gives up.
+///
+/// For a moved object o the best offer a fresh search could make is
+///   min(intra(q, o)                 if o is in the host partition,
+///       intra(door_g, o) + budget_g over gates g of o's partition)
+/// -- the same float expressions NnSearch offers, with the collector
+/// keeping the running min per object. Partitions without gates were
+/// pruned with every path leg at or beyond the cached k-th distance
+/// (`bound`), so objects moving there cannot beat it; symmetrically an
+/// offer below `bound` can only come through a gate the original search
+/// evaluated, which makes `best` the object's exact fresh distance
+/// whenever best < bound. The patch therefore: drops moved objects from
+/// the cached list, re-merges every moved object whose best is below
+/// bound, and keeps the k closest. That is the fresh top-k as long as the
+/// merged list still has k members whose ordering is unambiguous --
+/// KnnCollector keeps entries (distance, id)-sorted but resolves an exact
+/// distance TIE at the admission boundary by offer order, which a patch
+/// cannot reproduce, so any equality involving a merged distance falls
+/// back to kResolve. Lists cached with fewer than k members (bound
+/// = infinity) are not patched: the fresh search may then admit
+/// unreachable objects at infinite offers, which the gate test cannot
+/// distinguish.
+KnnRepair RepairKnnResult(const IndexFramework& index, const Point& q,
+                          size_t k, PartitionId host, StaleResult* stale,
+                          GeodesicScratch* geo) {
+  std::vector<Neighbor>& nbrs = stale->neighbors;
+  const size_t cap = k + kKnnRepairSpares;
+  // Invariant carried by every cached list of size >= k: entries are
+  // (distance, id)-sorted with exact distances, and every object whose
+  // current distance is below the last entry's distance is IN the list
+  // (prefix-completeness). A fresh insert establishes it for the full
+  // top-(k + spares); each patch below preserves it. Lists shorter than k
+  // (tiny reachable populations) are re-solved instead.
+  if (nbrs.size() < k) return KnnRepair::kResolve;
+  const double bound = nbrs.back().distance;
+  const FloorPlan& plan = index.plan();
+  const ObjectStore& store = index.objects();
+
+  // Exact fresh distances of the moved objects that can make the list.
+  // An offer below `bound` can only come through a gate the original
+  // search evaluated (a pruned door's whole path already exceeded its
+  // bound, which never rises), so `best` is exact whenever best < bound;
+  // movers at or beyond `bound` cannot crack the served top-k because the
+  // list keeps at least k entries at or below `bound`.
+  std::vector<Neighbor> merged;
+  for (const ObjectId id : stale->changed) {
+    const IndoorObject& o = store.object(id);
+    double best = kInfDistance;
+    if (o.partition == host) {
+      const double d = plan.partition(host).IntraDistance(q, o.position, geo);
+      if (d != kInfDistance) best = std::min(best, d);
+    }
+    for (const ResultGate& g : stale->gates) {
+      if (g.part != o.partition) continue;
+      const double d = plan.partition(g.part).IntraDistance(
+          plan.door(g.door).Midpoint(), o.position, geo);
+      if (d != kInfDistance) best = std::min(best, d + g.budget);
+    }
+    if (best < bound) merged.push_back({id, best});
+  }
+
+  // Retained cached neighbors: everyone who did not move. Their cached
+  // distances stay exact -- a door the original search pruned offers at
+  // or beyond the original bound, so it cannot improve anyone's min.
+  bool removed = false;
+  size_t w = 0;
+  for (const Neighbor& nb : nbrs) {
+    const bool moved =
+        std::find(stale->changed.begin(), stale->changed.end(), nb.id) !=
+        stale->changed.end();
+    if (moved) {
+      removed = true;  // its merged entry (if any) carries the new distance
+    } else {
+      nbrs[w++] = nb;
+    }
+  }
+  nbrs.resize(w);
+  if (!removed && merged.empty()) return KnnRepair::kUnchanged;
+
+  // An exact distance TIE against a merged entry makes the order
+  // offer-dependent (KnnCollector resolves boundary ties by offer order,
+  // which a patch cannot reproduce) -- re-solve on any such collision.
+  for (size_t i = 0; i < merged.size(); ++i) {
+    for (const Neighbor& nb : nbrs) {
+      if (merged[i].distance == nb.distance) return KnnRepair::kResolve;
+    }
+    for (size_t j = i + 1; j < merged.size(); ++j) {
+      if (merged[j].distance == merged[i].distance) {
+        return KnnRepair::kResolve;
+      }
+    }
+  }
+
+  // Merge preserving the collector's (distance, id) order; retained
+  // entries already carry it and merged distances are tie-free.
+  nbrs.insert(nbrs.end(), merged.begin(), merged.end());
+  std::sort(nbrs.begin(), nbrs.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.id < b.id;
+            });
+  if (nbrs.size() > cap) {
+    // Spilling over capacity mirrors collector displacement; a distance
+    // tie across the cut would again be offer-order ambiguous.
+    if (nbrs[cap].distance == nbrs[cap - 1].distance) {
+      return KnnRepair::kResolve;
+    }
+    nbrs.resize(cap);
+  }
+  if (nbrs.size() < k) return KnnRepair::kResolve;  // spares exhausted
+  return KnnRepair::kPatched;
+}
+
 
 }  // namespace
 
@@ -34,11 +177,63 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
   qscope.SetHost(v);
+  const uint8_t result_kind = options.use_index_matrix ? 1 : 3;
+  if (cache != nullptr) {
+    std::vector<Neighbor> cached;
+    StaleResult& stale = TlsStaleResult();
+    switch (cache->ProbeKnnResult(q, k, result_kind, &cached, &stale)) {
+      case ResultProbe::kHit:
+        // The stored list carries up to kKnnRepairSpares extras; serve k.
+        if (cached.size() > k) cached.resize(k);
+        INDOOR_HISTOGRAM_RECORD("query.knn.results", cached.size());
+        if (qscope.active()) {
+          qscope.SetResult(static_cast<uint32_t>(cached.size()),
+                           qdigest::KnnDigest(cached));
+        }
+        return cached;
+      case ResultProbe::kStale: {
+        // Patch (or revalidate) instead of re-solving: only the moved
+        // objects can enter or leave the cached top-k.
+        QueryScratch& repair_scratch = ResolveQueryScratch(scratch);
+        if (RepairKnnResult(index, q, k, v, &stale, &repair_scratch.geo) !=
+            KnnRepair::kResolve) {
+          // Persist the full (spare-carrying) patched list, serve k.
+          cache->CommitRepairedKnn(q, k, result_kind, stale.neighbors);
+          if (stale.neighbors.size() > k) stale.neighbors.resize(k);
+          INDOOR_HISTOGRAM_RECORD("query.knn.results",
+                                  stale.neighbors.size());
+          if (qscope.active()) {
+            qscope.SetResult(static_cast<uint32_t>(stale.neighbors.size()),
+                             qdigest::KnnDigest(stale.neighbors));
+          }
+          return std::move(stale.neighbors);
+        }
+        cache->CountEpochReject();
+        break;  // fall through to the full search
+      }
+      case ResultProbe::kMiss:
+        break;
+    }
+  }
   scratch = &ResolveQueryScratch(scratch);
   const ScratchDecayGuard decay_guard(scratch);
+  std::vector<PartitionId>* deps = nullptr;
+  std::vector<ResultGate>* gates = nullptr;
+  if (cache != nullptr) {
+    deps = &scratch->result_deps;
+    deps->clear();
+    deps->push_back(v);  // the host bucket is always examined
+    gates = &TlsStaleResult().gates;
+    gates->clear();
+  }
 
   KnnCollector& collector = scratch->collector;
-  collector.Reset(k);
+  // With caching on, solve for k + spares so the cached list can absorb
+  // future removals in repair; the served answer is the leading k either
+  // way (a wider collector only ever visits a superset of doors, and
+  // pruned doors offer at or beyond the running bound, so the top-k
+  // prefix is unaffected).
+  collector.Reset(cache != nullptr ? k + kKnnRepairSpares : k);
   // Line 3: search the host partition directly.
   {
     INDOOR_TRACE_SPAN("host_search");
@@ -76,9 +271,9 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
           if (r1 + row[dj] > collector.Bound()) break;
           const double r2 = r1 + row[dj];
           SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
-                     &collector);
+                     &collector, deps, gates);
           SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
-                     &collector);
+                     &collector, deps, gates);
         }
       } else {
         INDOOR_METRICS_ONLY(entries += n;)
@@ -86,9 +281,9 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
           if (r1 + row[dj] > collector.Bound()) continue;
           const double r2 = r1 + row[dj];
           SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
-                     &collector);
+                     &collector, deps, gates);
           SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
-                     &collector);
+                     &collector, deps, gates);
         }
       }
     }
@@ -98,8 +293,12 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
       INDOOR_COUNTER_ADD("index.midx.row_fetches", midx_rows);
       INDOOR_COUNTER_ADD("index.scan.entries", entries);
       FlushBucketStats(&scratch->bucket);)
-  INDOOR_HISTOGRAM_RECORD("query.knn.results", collector.size());
   std::vector<Neighbor> sorted = collector.Sorted();
+  if (cache != nullptr) {
+    cache->InsertKnnResult(q, k, result_kind, *deps, *gates, sorted);
+  }
+  if (sorted.size() > k) sorted.resize(k);
+  INDOOR_HISTOGRAM_RECORD("query.knn.results", sorted.size());
   if (qscope.active()) {
     qscope.SetResult(static_cast<uint32_t>(sorted.size()),
                      qdigest::KnnDigest(sorted));

@@ -45,23 +45,29 @@ class QueryEngine {
   const IndexFramework& index() const { return *index_; }
   IndexFramework& index() { return *index_; }
 
-  /// Adds an object into `partition` at `position`. Like every write, it
-  /// invalidates the cross-query cache (the cached geometry fields do not
-  /// depend on objects, but the blanket clear keeps the write-path
-  /// contract trivially safe as cached query state evolves).
+  /// Adds an object into `partition` at `position`. Writes no longer
+  /// touch the cross-query cache: geometry entries (distance fields, host
+  /// lookups) never depend on objects, and object-dependent result
+  /// entries are epoch-versioned per partition — the store bumps the
+  /// epochs of the partitions the write touches and stale cached results
+  /// are lazily rejected at lookup (see query_cache.h).
   Result<ObjectId> AddObject(PartitionId partition, const Point& position) {
-    auto id = index_->objects().Insert(partition, position);
-    index_->InvalidateQueryCache();
-    return id;
+    return index_->objects().Insert(partition, position);
   }
 
-  /// Relocates an object (moving populations). Invalidates the
-  /// cross-query cache (see AddObject).
+  /// Relocates an object (moving populations); epoch semantics as in
+  /// AddObject.
   Status MoveObject(ObjectId id, PartitionId partition,
                     const Point& position) {
-    Status status = index_->objects().MoveObject(id, partition, position);
-    index_->InvalidateQueryCache();
-    return status;
+    return index_->objects().MoveObject(id, partition, position);
+  }
+
+  /// Applies a batch of moves in submission order through the observed
+  /// ingest path (per-move capture records + update metrics); stops at the
+  /// first failing op and returns its status. Equivalent to calling
+  /// MoveObject per op. Like all writes, must not overlap readers.
+  Status ApplyMoves(std::span<const MoveOp> moves) {
+    return ApplyMoveBatch(*index_, moves);
   }
 
   /// Minimum indoor walking distance between two positions (exact; reads

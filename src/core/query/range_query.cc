@@ -14,11 +14,25 @@ namespace {
 /// Lines 11-20 of Algorithm 5 for one DPT side (partition + fdv value):
 /// whole-partition inclusion when fdv(dj, part) <= r2, else a grid-pruned
 /// intra-partition range search anchored at door dj. `found` is a reusable
-/// staging buffer for the bucket results.
+/// staging buffer for the bucket results. `deps`/`gates` (optional,
+/// paired) accumulate the epoch dependency set and the repair budgets of
+/// the query's cached result: every partition reached here is recorded,
+/// including empty ones — reaching a partition means its population
+/// matters, whether or not it currently holds objects. The reach set and
+/// the budgets themselves are object-independent (pruning uses only Md2d
+/// geometry and r), so a cached result is exactly as valid as the
+/// recorded partitions' epochs, and a stale one can be repaired by
+/// re-testing just the moved objects against the gates.
 void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
                 DoorId dj, double r2, BucketScratch* scratch,
-                std::vector<Neighbor>* found, std::vector<ObjectId>* result) {
+                std::vector<Neighbor>* found, std::vector<ObjectId>* result,
+                std::vector<PartitionId>* deps,
+                std::vector<ResultGate>* gates) {
   if (part == kInvalidId) return;
+  if (deps != nullptr) {
+    deps->push_back(part);
+    gates->push_back({part, dj, r2, fdv});
+  }
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
   if (fdv <= r2) {
@@ -30,6 +44,54 @@ void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
   bucket.RangeSearch(index.plan().partition(part),
                      index.plan().door(dj).Midpoint(), r2, found, scratch);
   for (const Neighbor& nb : *found) result->push_back(nb.id);
+}
+
+/// Would a fresh Qr(q, r) admit an object currently at `o`? Evaluates the
+/// exact gate expressions of the full search: the host-partition direct
+/// search when o lives in `host`, else every gate of o's partition —
+/// whole-partition inclusion (fdv <= budget) or the bucket's own
+/// single-object admission predicate anchored at the gate door.
+bool RangeObjectQualifies(const IndexFramework& index, const Point& q,
+                          double r, PartitionId host, const StaleResult& stale,
+                          const IndoorObject& o, GeodesicScratch* geo) {
+  const FloorPlan& plan = index.plan();
+  const ObjectStore& store = index.objects();
+  if (o.partition == host &&
+      store.bucket(host).WouldAdmit(plan.partition(host), q, r, o.position,
+                                    geo)) {
+    return true;
+  }
+  for (const ResultGate& g : stale.gates) {
+    if (g.part != o.partition) continue;
+    if (g.fdv <= g.budget) return true;
+    if (store.bucket(g.part).WouldAdmit(plan.partition(g.part),
+                                        plan.door(g.door).Midpoint(), g.budget,
+                                        o.position, geo)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Patches a stale cached range result in place: for every object the
+/// change journals name, re-test membership and insert/erase its id,
+/// keeping the canonical sorted order. Always succeeds — range membership
+/// of unmoved objects cannot change (their gates are object-independent).
+void RepairRangeResult(const IndexFramework& index, const Point& q, double r,
+                       PartitionId host, StaleResult* stale,
+                       GeodesicScratch* geo) {
+  const ObjectStore& store = index.objects();
+  for (const ObjectId id : stale->changed) {
+    const IndoorObject& o = store.object(id);
+    const bool now = RangeObjectQualifies(index, q, r, host, *stale, o, geo);
+    const auto it = std::lower_bound(stale->ids.begin(), stale->ids.end(), id);
+    const bool was = it != stale->ids.end() && *it == id;
+    if (now && !was) {
+      stale->ids.insert(it, id);
+    } else if (!now && was) {
+      stale->ids.erase(it);
+    }
+  }
 }
 
 }  // namespace
@@ -47,9 +109,47 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
   qscope.SetHost(v);
+  const uint8_t result_kind = options.use_index_matrix ? 0 : 2;
+  if (cache != nullptr) {
+    StaleResult& stale = TlsStaleResult();
+    switch (cache->ProbeRangeResult(q, r, result_kind, &result, &stale)) {
+      case ResultProbe::kHit:
+        INDOOR_HISTOGRAM_RECORD("query.range.results", result.size());
+        if (qscope.active()) {
+          qscope.SetResult(static_cast<uint32_t>(result.size()),
+                           qdigest::RangeDigest(result));
+        }
+        return result;
+      case ResultProbe::kStale: {
+        // Patch the cached result instead of re-solving: only the moved
+        // objects can change membership.
+        QueryScratch& repair_scratch = ResolveQueryScratch(scratch);
+        RepairRangeResult(index, q, r, v, &stale, &repair_scratch.geo);
+        cache->CommitRepairedRange(q, r, result_kind, stale.ids);
+        result = std::move(stale.ids);
+        INDOOR_HISTOGRAM_RECORD("query.range.results", result.size());
+        if (qscope.active()) {
+          qscope.SetResult(static_cast<uint32_t>(result.size()),
+                           qdigest::RangeDigest(result));
+        }
+        return result;
+      }
+      case ResultProbe::kMiss:
+        break;
+    }
+  }
   scratch = &ResolveQueryScratch(scratch);
   const ScratchDecayGuard decay_guard(scratch);
   std::vector<Neighbor>& found = scratch->neighbors;
+  std::vector<PartitionId>* deps = nullptr;
+  std::vector<ResultGate>* gates = nullptr;
+  if (cache != nullptr) {
+    deps = &scratch->result_deps;
+    deps->clear();
+    deps->push_back(v);  // the host bucket is always examined
+    gates = &TlsStaleResult().gates;
+    gates->clear();
+  }
 
   // Line 2: search the host partition directly.
   found.clear();
@@ -90,9 +190,9 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
           if (row[dj] > r1) break;  // nearest-first: nothing further qualifies
           const double r2 = r1 - row[dj];
           SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
-                     &scratch->bucket, &found, &result);
+                     &scratch->bucket, &found, &result, deps, gates);
           SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
-                     &scratch->bucket, &found, &result);
+                     &scratch->bucket, &found, &result, deps, gates);
         }
       } else {
         // Without Midx the whole Md2d row must be examined.
@@ -101,9 +201,9 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
           if (row[dj] > r1) continue;
           const double r2 = r1 - row[dj];
           SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
-                     &scratch->bucket, &found, &result);
+                     &scratch->bucket, &found, &result, deps, gates);
           SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
-                     &scratch->bucket, &found, &result);
+                     &scratch->bucket, &found, &result, deps, gates);
         }
       }
     }
@@ -116,6 +216,9 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
 
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
+  if (cache != nullptr) {
+    cache->InsertRangeResult(q, r, result_kind, *deps, *gates, result);
+  }
   INDOOR_HISTOGRAM_RECORD("query.range.results", result.size());
   if (qscope.active()) {
     qscope.SetResult(static_cast<uint32_t>(result.size()),

@@ -63,6 +63,20 @@ inline double KnnDigest(std::span<const Neighbor> neighbors) {
   return ToDigest(h);
 }
 
+/// Digest of one applied move (kMove records): folds the object id, the
+/// target partition, and the exact target-position bit patterns, so a
+/// replayed move that lands anywhere else — or is rejected — flips it.
+inline double MoveDigest(ObjectId id, PartitionId partition, double x,
+                         double y) {
+  uint64_t xbits = 0, ybits = 0;
+  std::memcpy(&xbits, &x, sizeof(xbits));
+  std::memcpy(&ybits, &y, sizeof(ybits));
+  uint64_t h = Mix(static_cast<uint64_t>(id) + 1);
+  h = Mix(h ^ static_cast<uint64_t>(partition)) ^ Mix(xbits);
+  h = Mix(h) ^ Mix(ybits);
+  return ToDigest(h);
+}
+
 /// The record's result_count for one (request, result) pair: reachable
 /// 1/0 for pt2pt, result-set size otherwise.
 inline uint32_t DigestCount(const QueryRequest& request,

@@ -30,6 +30,8 @@ Result<QueryRequest> RequestFromRecord(const qlog::QueryLogRecord& record) {
       return QueryRequest::Range(Point(record.ax, record.ay), record.radius);
     case qlog::RecordKind::kKnn:
       return QueryRequest::Knn(Point(record.ax, record.ay), record.k);
+    case qlog::RecordKind::kMove:
+      break;  // moves replay through ApplyMoves, never as a QueryRequest
   }
   return Status::InvalidArgument("capture record seq " +
                                  std::to_string(record.seq) +
@@ -49,7 +51,7 @@ const metrics::HistogramSnapshot* FindHistogram(
 
 }  // namespace
 
-Result<ReplayReport> ReplayWorkload(const IndexFramework& index,
+Result<ReplayReport> ReplayWorkload(IndexFramework& index,
                                     const qlog::QueryLogCapture& capture,
                                     const ReplayOptions& options) {
   ReplayReport report;
@@ -99,6 +101,53 @@ Result<ReplayReport> ReplayWorkload(const IndexFramework& index,
           replay_start +
           std::chrono::microseconds(static_cast<int64_t>(target_us)));
     }
+    if (static_cast<qlog::RecordKind>(records[begin].kind) ==
+        qlog::RecordKind::kMove) {
+      // A captured move batch: re-apply the writes at their original
+      // position in the schedule, then digest-verify each op against its
+      // record (applied ops carry MoveDigest, a rejected op count 0).
+      std::vector<MoveOp> moves;
+      moves.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const qlog::QueryLogRecord& record = records[i];
+        if (static_cast<qlog::RecordKind>(record.kind) !=
+            qlog::RecordKind::kMove) {
+          return Status::InvalidArgument(
+              "capture batch " + std::to_string(record.batch_id) +
+              " mixes move and query records");
+        }
+        moves.push_back(MoveOp{record.k, record.host,
+                               Point(record.ax, record.ay)});
+      }
+      size_t applied = 0;
+      // The returned status is intentionally not propagated: a capture
+      // may legitimately end a batch with a rejected op, and any
+      // divergence shows up as a digest mismatch below.
+      (void)index.objects().ApplyMoves(moves, &applied);
+      for (size_t i = begin; i < end; ++i) {
+        const qlog::QueryLogRecord& record = records[i];
+        const MoveOp& op = moves[i - begin];
+        const bool ok = i - begin < applied;
+        const uint32_t count = ok ? 1u : 0u;
+        const double value =
+            ok ? qdigest::MoveDigest(op.id, op.partition, op.position.x,
+                                     op.position.y)
+               : 0.0;
+        ++report.move_records;
+        if (count == record.result_count &&
+            BitEqual(value, record.result_value)) {
+          ++report.matched;
+          continue;
+        }
+        ++report.mismatched;
+        if (report.mismatches.size() < options.max_mismatches) {
+          report.mismatches.push_back(ReplayMismatch{
+              record.seq, record.kind, record.result_count, count,
+              record.result_value, value});
+        }
+      }
+      continue;
+    }
     requests.clear();
     for (size_t i = begin; i < end; ++i) {
       INDOOR_ASSIGN_OR_RETURN(QueryRequest request,
@@ -141,6 +190,10 @@ void WriteReplayReport(const ReplayReport& report, std::FILE* out) {
                    ? static_cast<double>(report.records) /
                          (report.wall_ms / 1000.0)
                    : 0.0);
+  if (report.move_records > 0) {
+    std::fprintf(out, "  including %llu re-applied object moves\n",
+                 static_cast<unsigned long long>(report.move_records));
+  }
   if (report.AllMatched()) {
     std::fprintf(out,
                  "results: %llu/%llu bitwise-identical to the capture\n",

@@ -8,10 +8,14 @@
 // back into arrival order, regroups consecutive records of one batch id
 // into one BatchExecutor run (preserving the captured batch boundaries),
 // executes the batches in capture order, and recomputes each digest from
-// the replayed result. BatchExecutor results are bit-identical at any
-// thread count and grouping, so `--threads` overrides never change the
-// verdict — a mismatch means the data or the code changed, not the
-// schedule.
+// the replayed result. Move batches (kMove records, captured by
+// ApplyMoveBatch) are re-applied to the index's object store at their
+// original position in the schedule and digest-verified the same way, so
+// a mixed read/update capture replays the exact write schedule — which is
+// why replay takes the index by mutable reference. BatchExecutor results
+// are bit-identical at any thread count and grouping, so `--threads`
+// overrides never change the verdict — a mismatch means the data or the
+// code changed, not the schedule.
 //
 // The replayed run's metrics-registry delta is reported next to the
 // capture's embedded delta (the trailer written at Disable), so an
@@ -59,6 +63,8 @@ struct ReplayReport {
   /// Records replayed / batches they regrouped into.
   uint64_t records = 0;
   uint64_t batches = 0;
+  /// Of `records`, how many were kMove records (re-applied writes).
+  uint64_t move_records = 0;
   /// Records whose replayed digest matched the capture bitwise.
   uint64_t matched = 0;
   /// Records that did not (mismatches.size() caps at max_mismatches).
@@ -76,11 +82,13 @@ struct ReplayReport {
 };
 
 /// Replays `capture` against `index`. The index must be built from the
-/// same plan and object population the capture was recorded on (the
-/// capture's context block says which — see QueryLogCapture::ContextMap);
-/// replaying against anything else simply reports mismatches. Fails only
-/// on malformed records (unknown query kind).
-Result<ReplayReport> ReplayWorkload(const IndexFramework& index,
+/// same plan and INITIAL object population the capture was recorded on
+/// (the capture's context block says which — see
+/// QueryLogCapture::ContextMap); captured move batches then evolve the
+/// population along the recorded schedule. Replaying against anything
+/// else simply reports mismatches. Fails only on malformed records
+/// (unknown query kind, or a batch mixing moves with queries).
+Result<ReplayReport> ReplayWorkload(IndexFramework& index,
                                     const qlog::QueryLogCapture& capture,
                                     const ReplayOptions& options = {});
 

@@ -23,6 +23,7 @@ const char* KindName(uint8_t kind) {
     case RecordKind::kDistance: return "distance";
     case RecordKind::kRange: return "range";
     case RecordKind::kKnn: return "knn";
+    case RecordKind::kMove: return "move";
   }
   return "unknown";
 }
@@ -75,6 +76,9 @@ void AppendRecordJson(std::string* out, const QueryLogRecord& r) {
   if (static_cast<RecordKind>(r.kind) == RecordKind::kKnn) {
     out->append(", \"k\": " + std::to_string(r.k));
   }
+  if (static_cast<RecordKind>(r.kind) == RecordKind::kMove) {
+    out->append(", \"object\": " + std::to_string(r.k));
+  }
   out->append(", \"host\": ");
   out->append(r.host == 0xffffffffu ? "null" : std::to_string(r.host));
   out->append(", \"results\": " + std::to_string(r.result_count));
@@ -96,6 +100,7 @@ void AppendRecordJson(std::string* out, const QueryLogRecord& r) {
   flag(kFlagSlow, "slow");
   flag(kFlagExplicitScratch, "explicit_scratch");
   flag(kFlagBatched, "batched");
+  flag(kFlagMoveBatch, "move_batch");
   out->append("]}");
 }
 
@@ -171,8 +176,18 @@ struct QueryLog::Impl {
   }
 
   void DrainAll() {
-    std::lock_guard<std::mutex> list_lock(buffers_mu);
-    for (auto& buffer : buffers) DrainBuffer(*buffer);
+    // Snapshot the buffer pointers instead of draining under the list
+    // lock: DrainBuffer acquires `mu`, and Enable acquires `buffers_mu`
+    // while holding `mu` — draining with the list locked would order the
+    // two mutexes both ways. Buffers are never deallocated, so the
+    // snapshot stays valid after the lock is released.
+    std::vector<ThreadBuffer*> snapshot;
+    {
+      std::lock_guard<std::mutex> list_lock(buffers_mu);
+      snapshot.reserve(buffers.size());
+      for (auto& buffer : buffers) snapshot.push_back(buffer.get());
+    }
+    for (ThreadBuffer* buffer : snapshot) DrainBuffer(*buffer);
   }
 };
 

@@ -57,6 +57,10 @@ enum class RecordKind : uint8_t {
   kDistance = 0,  // pt2pt walking distance a -> b
   kRange = 1,     // objects within `radius` of a
   kKnn = 2,       // `k` nearest objects to a
+  kMove = 3,      // object relocation applied through a move batch:
+                  // (ax, ay) = target position, host = target partition,
+                  // k = object id, result_count = 1 if applied,
+                  // result_value = qdigest::MoveDigest of the applied op
 };
 
 /// Record flag bits.
@@ -64,6 +68,7 @@ enum RecordFlags : uint8_t {
   kFlagSlow = 1u << 0,             // latency crossed the slow threshold
   kFlagExplicitScratch = 1u << 1,  // caller passed a QueryScratch
   kFlagBatched = 1u << 2,          // executed inside a BatchExecutor run
+  kFlagMoveBatch = 1u << 3,        // kMove record of one ApplyMoveBatch call
 };
 
 /// One query, fixed-size and trivially copyable: the binary capture is a

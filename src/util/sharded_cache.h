@@ -160,6 +160,41 @@ class ShardedCache {
     }
   }
 
+  /// Finds `key` and calls `mutate(value)` under the shard lock (in-place
+  /// repair of a stale entry), promoting the entry to MRU. `mutate`
+  /// returns the entry's new byte charge; if the entry grew past the
+  /// shard's budget slice, colder entries are evicted. Returns false when
+  /// the key is absent (e.g. concurrently evicted) — the caller's repair
+  /// then simply isn't persisted. Counted as neither hit nor miss: the
+  /// probe that found the entry stale already counted.
+  template <typename Fn>
+  bool Mutate(const Key& key, Fn&& mutate) {
+    Shard& shard = ShardFor(key);
+    const size_t shard_capacity = capacity_bytes_ / shards_.size();
+    uint64_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.map.find(key);
+      if (it == shard.map.end()) return false;
+      shard.bytes -= it->second->bytes;
+      it->second->bytes = mutate(it->second->value);
+      shard.bytes += it->second->bytes;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      while (shard.bytes > shard_capacity && !shard.lru.empty()) {
+        const Entry& tail = shard.lru.back();
+        shard.bytes -= tail.bytes;
+        shard.map.erase(tail.key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+    if (evicted > 0) {
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+      if (counters_.evictions != nullptr) counters_.evictions->Add(evicted);
+    }
+    return true;
+  }
+
   /// Drops every entry (write-path invalidation). Traffic counters keep
   /// their values; entries/bytes drop to zero.
   void Clear() {

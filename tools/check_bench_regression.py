@@ -3,8 +3,8 @@
 
 Usage:
   check_bench_regression.py <results.json> <BENCH_baseline.json>
-  check_bench_regression.py --throughput-ratio <on.json> <off.json> \\
-      [--min-ratio R]
+  check_bench_regression.py --throughput-ratio <num.json> <den.json> \\
+      [--min-ratio R] [--baseline BENCH_baseline.json --ratio NAME]
 
 Default mode gates bench_pt2pt_hotpath: the bench emits machine-independent
 metrics — per-workload speedup (reference ns/query divided by optimized
@@ -17,10 +17,22 @@ Exact-result equality is enforced by the bench binary itself (it exits
 non-zero on any mismatch before producing JSON).
 
 --throughput-ratio mode gates bench_query_throughput: it compares the
-peak_qps of two runs of the SAME workload (cache ON vs cache OFF, both
-measured on the same host back to back) and fails when ON/OFF drops below
---min-ratio (default 1.0) — i.e. when enabling the cross-query cache stops
-paying for itself on the skewed workload CI exercises.
+peak_qps of two runs of the SAME workload, both measured on the same host
+back to back, and fails when numerator/denominator drops below the floor.
+Two pairings are gated in CI:
+
+  cache ON vs cache OFF           — enabling the cross-query cache must
+                                    keep paying for itself;
+  cache ON +moves vs ON static    — mixing object moves into the workload
+                                    (epoch-based partition-scoped
+                                    invalidation) must retain most of the
+                                    static-workload throughput.
+
+The floor comes from --min-ratio, or from the committed baseline via
+--baseline FILE --ratio NAME (the baseline's "throughput_ratios" map), so
+the floors live next to the other bench floors instead of being hardcoded
+in workflow YAML. The workload-identity check deliberately ignores
+move_rate and cache: those are exactly the knobs a pairing varies.
 """
 
 import json
@@ -28,12 +40,20 @@ import sys
 
 
 def throughput_ratio(argv: list) -> int:
-    min_ratio = 1.0
+    min_ratio = None
+    baseline_path = None
+    ratio_name = None
     paths = []
     i = 0
     while i < len(argv):
         if argv[i] == "--min-ratio" and i + 1 < len(argv):
             min_ratio = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--baseline" and i + 1 < len(argv):
+            baseline_path = argv[i + 1]
+            i += 2
+        elif argv[i] == "--ratio" and i + 1 < len(argv):
+            ratio_name = argv[i + 1]
             i += 2
         else:
             paths.append(argv[i])
@@ -41,33 +61,47 @@ def throughput_ratio(argv: list) -> int:
     if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if min_ratio is None and baseline_path is not None:
+        with open(baseline_path) as f:
+            ratios = json.load(f).get("throughput_ratios", {})
+        if ratio_name not in ratios:
+            print(
+                f"baseline {baseline_path} has no throughput_ratios entry "
+                f"{ratio_name!r}",
+                file=sys.stderr,
+            )
+            return 2
+        min_ratio = float(ratios[ratio_name])
+    if min_ratio is None:
+        min_ratio = 1.0
+    label = ratio_name or "cache on/off"
     with open(paths[0]) as f:
-        on = json.load(f)
+        num = json.load(f)
     with open(paths[1]) as f:
-        off = json.load(f)
+        den = json.load(f)
     for key in ("floors", "objects", "queries_per_reader", "zipf", "mix",
                 "seed"):
-        if on.get(key) != off.get(key):
+        if num.get(key) != den.get(key):
             print(
                 f"workload mismatch: {key} differs between runs "
-                f"({on.get(key)!r} vs {off.get(key)!r}) — the ratio would "
+                f"({num.get(key)!r} vs {den.get(key)!r}) — the ratio would "
                 "compare different workloads",
                 file=sys.stderr,
             )
             return 2
-    on_qps = float(on["peak_qps"])
-    off_qps = float(off["peak_qps"])
-    if off_qps <= 0:
-        print("off run has no throughput", file=sys.stderr)
+    num_qps = float(num["peak_qps"])
+    den_qps = float(den["peak_qps"])
+    if den_qps <= 0:
+        print("denominator run has no throughput", file=sys.stderr)
         return 2
-    ratio = on_qps / off_qps
+    ratio = num_qps / den_qps
     print(
-        f"cache ON peak {on_qps:.0f} QPS / OFF peak {off_qps:.0f} QPS "
+        f"{label}: peak {num_qps:.0f} QPS / {den_qps:.0f} QPS "
         f"= {ratio:.2f}x (min {min_ratio:.2f}x)"
     )
     if ratio < min_ratio:
         print(
-            f"\nBENCH REGRESSION: cache ON/OFF throughput ratio "
+            f"\nBENCH REGRESSION: {label} throughput ratio "
             f"{ratio:.2f}x is below the required {min_ratio:.2f}x",
             file=sys.stderr,
         )

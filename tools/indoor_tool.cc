@@ -18,6 +18,7 @@
 // breakdown. Both require a library built with INDOOR_METRICS=ON (the
 // default); an OFF build reports an empty registry.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -62,6 +63,7 @@ int Usage() {
       "  indoor_tool serve PLAN [--threads N] [--batch B] [--skew ZIPF]\n"
       "                    [--requests N] [--positions N] [--objects N]\n"
       "                    [--cache on|off] [--quantum Q] [--seed S]\n"
+      "                    [--move-rate R] [--move-batch M]\n"
       "                    [--query-log F] [--slow-ms MS] [--report N]\n"
       "                    [--trace-out F] [--trace-sample N]\n"
       "  indoor_tool replay CAPTURE [--plan PLAN] [--threads N]\n"
@@ -84,6 +86,12 @@ int Usage() {
       "                     Chrome/Perfetto trace JSON\n"
       "  --trace-sample N   serve: keep every Nth query's trace "
       "(default 16)\n"
+      "  --move-rate R      serve: object moves per served query (default\n"
+      "                     0 = read-only); moves are applied as batches\n"
+      "                     between query batches and, with --query-log,\n"
+      "                     captured for exact-schedule replay\n"
+      "  --move-batch M     serve: cap the moves applied per ingest batch\n"
+      "                     (default 0 = all moves due at once)\n"
       "  --speed X          replay: pace at X times capture speed\n"
       "                     (default: as fast as possible)\n");
   return 2;
@@ -337,6 +345,12 @@ int CmdServe(const Args& args) {
   const size_t batch = static_cast<size_t>(args.Num("batch", 64));
   const unsigned threads = static_cast<unsigned>(args.Num("threads", 0));
   const double skew = args.Num("skew", 1.0);
+  const double move_rate = args.Num("move-rate", 0.0);
+  const size_t move_batch = static_cast<size_t>(args.Num("move-batch", 0));
+  if (move_rate > 0 && objects == 0) {
+    std::cerr << "serve: --move-rate requires --objects > 0\n";
+    return 2;
+  }
   Rng rng(static_cast<uint64_t>(args.Num("seed", 7)));
   PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
                 &engine.index().objects());
@@ -393,7 +407,8 @@ int CmdServe(const Args& args) {
                     "\ncache=" +
                     (options.enable_query_cache ? "on" : "off") +
                     "\nquantum=" + std::to_string(options.cache_quantum) +
-                    "\nbatch=" + std::to_string(batch) + "\n";
+                    "\nbatch=" + std::to_string(batch) +
+                    "\nmove-rate=" + std::to_string(move_rate) + "\n";
     const Status st = qlog::QueryLog::Global().Enable(qopts);
     if (!st.ok()) {
       std::cerr << "error: " << st << "\n";
@@ -409,9 +424,24 @@ int CmdServe(const Args& args) {
   BatchExecutor executor(engine.index(), threads);
   std::printf(
       "serving %zu requests (skew %.2f over %zu positions) in batches of "
-      "%zu on %u threads, cache %s\n",
+      "%zu on %u threads, cache %s, move rate %.2f\n",
       requests, skew, position_count, batch, executor.thread_count(),
-      options.enable_query_cache ? "on" : "off");
+      options.enable_query_cache ? "on" : "off", move_rate);
+
+  // Update ingest: after each query batch, `move_rate` moves per served
+  // query fall due and are applied through the observed batched path
+  // (ApplyMoveBatch). The move schedule comes from its own generator —
+  // independent of the query sampling stream — so the identical mixed
+  // workload runs for any cache/thread configuration. Each batch is
+  // stably sorted by target partition before submission, so a batch's
+  // epoch bumps land as contiguous per-partition runs.
+  Rng move_rng(static_cast<uint64_t>(args.Num("seed", 7)) ^
+               0x6d6f76657321ull);
+  const PartitionSampler move_sampler(engine.plan());
+  double move_due = 0.0;
+  size_t moves_applied = 0;
+  size_t move_batches = 0;
+  std::vector<MoveOp> moves;
   size_t served = 0;
   size_t hits = 0;  // non-empty / reachable results, to sanity-check
   size_t batches_run = 0;
@@ -431,6 +461,34 @@ int CmdServe(const Args& args) {
       if (!result.ids.empty() || !result.neighbors.empty() ||
           result.distance < kInfDistance) {
         ++hits;
+      }
+    }
+    if (move_rate > 0) {
+      move_due += static_cast<double>(n) * move_rate;
+      while (move_due >= 1.0) {
+        size_t m = static_cast<size_t>(move_due);
+        if (move_batch > 0) m = std::min(m, move_batch);
+        moves.clear();
+        moves.reserve(m);
+        for (size_t i = 0; i < m; ++i) {
+          const PartitionId target = move_sampler.Sample(&move_rng);
+          moves.push_back(MoveOp{
+              static_cast<ObjectId>(move_rng.NextIndex(objects)), target,
+              RandomPointInPartition(engine.plan().partition(target),
+                                     &move_rng)});
+        }
+        std::stable_sort(moves.begin(), moves.end(),
+                         [](const MoveOp& a, const MoveOp& b) {
+                           return a.partition < b.partition;
+                         });
+        const Status st = engine.ApplyMoves(moves);
+        if (!st.ok()) {
+          std::cerr << "error: move batch failed: " << st << "\n";
+          return 1;
+        }
+        moves_applied += m;
+        ++move_batches;
+        move_due -= static_cast<double>(m);
       }
     }
     if (report_every > 0 && batches_run % report_every == 0) {
@@ -473,6 +531,10 @@ int CmdServe(const Args& args) {
   const double ms = timer.ElapsedMillis();
   std::printf("served %zu requests in %.1f ms: %.0f QPS (%zu non-empty)\n",
               served, ms, served / (ms / 1000.0), hits);
+  if (moves_applied > 0) {
+    std::printf("applied %zu object moves in %zu ingest batches\n",
+                moves_applied, move_batches);
+  }
 
   if (!trace_out.empty()) {
     auto& collector = trace::TraceEventCollector::Global();
@@ -518,6 +580,16 @@ int CmdServe(const Args& args) {
         static_cast<unsigned long long>(host.misses), rate(host),
         static_cast<unsigned long long>(host.entries),
         static_cast<unsigned long long>(host.bytes));
+    const CacheStats result = cache->ResultStats();
+    std::printf(
+        "result cache: %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu entries, %llu bytes, %llu repairs, %llu epoch rejects\n",
+        static_cast<unsigned long long>(result.hits),
+        static_cast<unsigned long long>(result.misses), rate(result),
+        static_cast<unsigned long long>(result.entries),
+        static_cast<unsigned long long>(result.bytes),
+        static_cast<unsigned long long>(cache->Repairs()),
+        static_cast<unsigned long long>(cache->EpochRejects()));
   }
   std::printf("\n");
   metrics::MetricsRegistry::Global().Snapshot().WriteReport(stdout);

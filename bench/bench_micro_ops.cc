@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "core/distance/d2d_distance.h"
 #include "core/distance/pt2pt_distance.h"
+#include "core/index/landmark_index.h"
 #include "core/query/knn_query.h"
 #include "core/query/range_query.h"
 
@@ -49,6 +50,130 @@ void BM_D2dDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_D2dDistance);
+
+/// Heap-vs-bucket frontier on the identical door-pair workload (same seed
+/// as BM_D2dDistance), with an explicit scratch so both sides measure the
+/// steady-state allocation-free solve. The bucket side also runs the SIMD
+/// span relaxation; results are bitwise identical by construction.
+void RunD2dQueueBench(benchmark::State& state, QueueKind kind) {
+  auto& s = Shared();
+  const size_t n = s.engine->plan().door_count();
+  Rng rng(7);
+  const size_t pair_count = SweepCount(256, 64);
+  std::vector<std::pair<DoorId, DoorId>> door_pairs;
+  for (size_t k = 0; k < pair_count; ++k) {
+    door_pairs.push_back({static_cast<DoorId>(rng.NextIndex(n)),
+                          static_cast<DoorId>(rng.NextIndex(n))});
+  }
+  DoorDijkstraScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = door_pairs[i++ % door_pairs.size()];
+    benchmark::DoNotOptimize(
+        D2dDistance(s.engine->index().graph(), a, b, &scratch, kind));
+  }
+}
+
+void BM_D2dDistanceHeap(benchmark::State& state) {
+  RunD2dQueueBench(state, QueueKind::kHeap);
+}
+BENCHMARK(BM_D2dDistanceHeap);
+
+void BM_D2dDistanceBucket(benchmark::State& state) {
+  RunD2dQueueBench(state, QueueKind::kBucket);
+}
+BENCHMARK(BM_D2dDistanceBucket);
+
+/// Raw extract-min cost isolated from graph relaxation: push a fixed key
+/// set (uniform over four edge-weight windows, Dijkstra-like spread), then
+/// pop to empty. One iteration = one full push+drain sweep.
+void BM_HeapPushPop(benchmark::State& state) {
+  auto& s = Shared();
+  const double max_w = s.engine->index().graph().max_door_edge_weight();
+  const size_t count = SweepCount(4096, 512);
+  Rng rng(13);
+  std::vector<std::pair<double, DoorId>> entries;
+  for (size_t k = 0; k < count; ++k) {
+    entries.push_back(
+        {rng.NextDouble(0.0, 4.0 * max_w), static_cast<DoorId>(k)});
+  }
+  MinHeap<std::pair<double, DoorId>> heap;
+  for (auto _ : state) {
+    heap.clear();
+    for (const auto& e : entries) heap.push(e);
+    double sink = 0;
+    while (!heap.empty()) {
+      sink += heap.top().first;
+      heap.pop();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+}
+BENCHMARK(BM_HeapPushPop);
+
+void BM_BucketPushPop(benchmark::State& state) {
+  auto& s = Shared();
+  const double max_w = s.engine->index().graph().max_door_edge_weight();
+  const size_t count = SweepCount(4096, 512);
+  Rng rng(13);
+  std::vector<std::pair<double, DoorId>> entries;
+  for (size_t k = 0; k < count; ++k) {
+    entries.push_back(
+        {rng.NextDouble(0.0, 4.0 * max_w), static_cast<DoorId>(k)});
+  }
+  BucketQueue queue;
+  for (auto _ : state) {
+    queue.Prepare(max_w);
+    for (const auto& e : entries) queue.push(e);
+    double sink = 0;
+    while (!queue.empty()) {
+      sink += queue.top().first;
+      queue.pop();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+}
+BENCHMARK(BM_BucketPushPop);
+
+/// ALT lower-bound probe: per-pair bound cost, plus the share of random
+/// door pairs whose bound alone exceeds a Fig. 8-style radius (r = 30) —
+/// the fraction of full-row scan entries the range/kNN pruning hook skips
+/// without touching the Md2d row. Reported as the prune_rate_r30 counter.
+void BM_LandmarkBound(benchmark::State& state) {
+  auto& s = Shared();
+  const LandmarkIndex* const lm = s.engine->index().landmarks();
+  if (lm == nullptr) {
+    state.SkipWithError("landmarks disabled in IndexOptions");
+    return;
+  }
+  const size_t n = s.engine->plan().door_count();
+  Rng rng(17);
+  const size_t pair_count = SweepCount(4096, 256);
+  std::vector<std::pair<DoorId, DoorId>> door_pairs;
+  for (size_t k = 0; k < pair_count; ++k) {
+    door_pairs.push_back({static_cast<DoorId>(rng.NextIndex(n)),
+                          static_cast<DoorId>(rng.NextIndex(n))});
+  }
+  const double r = 30.0;
+  uint64_t prunable = 0;
+  uint64_t probes = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = door_pairs[i++ % door_pairs.size()];
+    const double lb = lm->LowerBound(a, b);
+    prunable += lb > r ? 1 : 0;
+    ++probes;
+    benchmark::DoNotOptimize(lb);
+  }
+  state.counters["prune_rate_r30"] = benchmark::Counter(
+      probes > 0 ? static_cast<double>(prunable) / static_cast<double>(probes)
+                 : 0.0);
+}
+BENCHMARK(BM_LandmarkBound);
 
 void BM_MatrixLookup(benchmark::State& state) {
   auto& s = Shared();

@@ -15,9 +15,12 @@
 // Flags: --smoke (tiny config, same code paths), --json <path> (machine
 // readable results for tools/check_bench_regression.py), --floors <n>,
 // --seed <s> (drives building + workload generation; recorded in the JSON
-// so artifacts are reproducible run-to-run). Speedup ratios and alloc
-// counts are machine-independent, which is what the committed
-// BENCH_baseline.json pins.
+// so artifacts are reproducible run-to-run), --queue {heap,bucket} and
+// --landmarks {on,off} (frontier + ALT-pruning knobs of the optimized
+// side; both default on, and both are recorded in the JSON so paired runs
+// can be ratioed). Speedup ratios and alloc counts are
+// machine-independent, which is what the committed BENCH_baseline.json
+// pins.
 
 #define INDOOR_BENCH_COUNT_ALLOCS
 #include "bench_util.h"
@@ -81,6 +84,7 @@ void PrintResult(const WorkloadResult& r) {
 }
 
 void WriteJson(const char* path, bool smoke, int floors, uint64_t seed,
+               bool bucket_queue, bool landmarks,
                const std::vector<WorkloadResult>& results) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -89,9 +93,12 @@ void WriteJson(const char* path, bool smoke, int floors, uint64_t seed,
   }
   std::fprintf(f,
                "{\n  \"smoke\": %s,\n  \"floors\": %d,\n"
-               "  \"seed\": %llu,\n  \"workloads\": {\n",
+               "  \"seed\": %llu,\n  \"queue\": \"%s\",\n"
+               "  \"landmarks\": %s,\n  \"workloads\": {\n",
                smoke ? "true" : "false", floors,
-               static_cast<unsigned long long>(seed));
+               static_cast<unsigned long long>(seed),
+               bucket_queue ? "bucket" : "heap",
+               landmarks ? "true" : "false");
   for (size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];
     std::fprintf(f,
@@ -123,6 +130,8 @@ int main(int argc, char** argv) {
   int floors = 10;
   uint64_t seed = 42;
   bool cache_on = true;
+  bool bucket_queue = true;
+  bool landmarks = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       setenv("INDOOR_BENCH_SMOKE", "1", 1);
@@ -134,10 +143,27 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache_on = std::strcmp(argv[++i], "off") != 0;
+    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
+      // Frontier selector for the optimized side; the reference side always
+      // runs its historical heap. `--queue heap --landmarks off` therefore
+      // reproduces the pre-bucket optimized path, so two runs of this
+      // binary measure the bucket+landmark gain on the same machine.
+      const char* v = argv[++i];
+      if (std::strcmp(v, "heap") == 0) {
+        bucket_queue = false;
+      } else if (std::strcmp(v, "bucket") == 0) {
+        bucket_queue = true;
+      } else {
+        std::fprintf(stderr, "--queue must be heap|bucket\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--landmarks") == 0 && i + 1 < argc) {
+      landmarks = std::strcmp(argv[++i], "off") != 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json <path>] [--floors <n>] "
-                   "[--seed <s>] [--cache on|off]\n",
+                   "[--seed <s>] [--cache on|off] [--queue heap|bucket] "
+                   "[--landmarks on|off]\n",
                    argv[0]);
       return 1;
     }
@@ -151,6 +177,8 @@ int main(int argc, char** argv) {
   cfg.obstacle_probability = 0.5;
   IndexOptions options;
   options.enable_query_cache = cache_on;
+  options.use_bucket_queue = bucket_queue;
+  options.use_landmarks = landmarks;
   QueryEngine engine(GenerateBuilding(cfg), options);
   {
     const size_t object_count = smoke ? 200 : 10000;
@@ -162,9 +190,9 @@ int main(int argc, char** argv) {
   const DistanceContext ctx = index.distance_context();
 
   Rng rng(seed * 7 + 2012 + floors);
-  const size_t pair_count = smoke ? 16 : 64;
-  const size_t basic_pair_count = smoke ? 4 : 8;
-  const size_t query_count = smoke ? 16 : 64;
+  const size_t pair_count = SweepCount(64, 16);
+  const size_t basic_pair_count = SweepCount(8, 4);
+  const size_t query_count = SweepCount(64, 16);
   const auto pairs =
       GeneratePositionPairsByArea(engine.plan(), pair_count, &rng);
   const auto queries =
@@ -184,7 +212,7 @@ int main(int argc, char** argv) {
 
   QueryScratch scratch;
   std::vector<WorkloadResult> results;
-  const size_t reps = smoke ? 5 : 3;
+  const size_t reps = SweepCount(3, 5);
 
   // ---------------------------------------------------------- pt2pt refined
   {
@@ -302,7 +330,8 @@ int main(int argc, char** argv) {
   for (const WorkloadResult& r : results) PrintResult(r);
 
   if (json_path != nullptr) {
-    WriteJson(json_path, smoke, floors, seed, results);
+    WriteJson(json_path, smoke, floors, seed, bucket_queue, landmarks,
+              results);
   }
   return 0;
 }

@@ -7,6 +7,8 @@
 //   bench_query_throughput [--floors N] [--objects N] [--readers 1,2,4,8]
 //                          [--queries-per-reader N] [--positions N]
 //                          [--zipf THETA] [--cache on|off] [--batch B]
+//                          [--queue heap|bucket] [--landmarks on|off]
+//                          [--no-midx]
 //                          [--obstacles P] [--mix all|distance|range|knn]
 //                          [--move-rate R] [--move-batch M]
 //                          [--seed S] [--json out.json] [--smoke]
@@ -86,6 +88,7 @@ std::vector<unsigned> ParseList(const std::string& s) {
 void WriteJson(const std::string& path, int floors, size_t objects,
                size_t queries, size_t positions, double zipf, bool cache,
                size_t batch, const std::string& mix, uint64_t seed,
+               bool bucket_queue, bool landmarks, bool no_midx,
                const std::vector<Row>& rows, bool query_log,
                double move_rate, size_t moves, uint64_t repairs,
                uint64_t epoch_rejects) {
@@ -101,13 +104,17 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                "  \"floors\": %d,\n  \"objects\": %zu,\n"
                "  \"queries_per_reader\": %zu,\n  \"positions\": %zu,\n"
                "  \"zipf\": %.3f,\n  \"cache\": %s,\n  \"batch\": %zu,\n"
-               "  \"mix\": \"%s\",\n  \"query_log\": %s,\n"
+               "  \"mix\": \"%s\",\n  \"queue\": \"%s\",\n"
+               "  \"landmarks\": %s,\n  \"no_midx\": %s,\n"
+               "  \"query_log\": %s,\n"
                "  \"move_rate\": %.3f,\n  \"moves\": %zu,\n"
                "  \"repairs\": %llu,\n"
                "  \"epoch_rejects\": %llu,\n"
                "  \"seed\": %llu,\n  \"peak_qps\": %.1f,\n  \"results\": [\n",
                floors, objects, queries, positions, zipf,
                cache ? "true" : "false", batch, mix.c_str(),
+               bucket_queue ? "bucket" : "heap",
+               landmarks ? "true" : "false", no_midx ? "true" : "false",
                query_log ? "true" : "false", move_rate, moves,
                static_cast<unsigned long long>(repairs),
                static_cast<unsigned long long>(epoch_rejects),
@@ -186,6 +193,9 @@ int main(int argc, char** argv) {
   size_t position_count = 256;
   double zipf = 0.0;
   bool cache = true;
+  bool bucket_queue = true;
+  bool landmarks = true;
+  bool no_midx = false;
   size_t batch = 0;  // 0 = free-running reader loop
   // Obstructed rooms make the per-query source-field legs geodesic solves
   // (the dominant serving cost in realistic plans, and what the
@@ -215,6 +225,21 @@ int main(int argc, char** argv) {
       zipf = std::stod(next());
     } else if (arg == "--cache") {
       cache = next() != "off";
+    } else if (arg == "--queue") {
+      const std::string v = next();
+      if (v != "heap" && v != "bucket") {
+        std::fprintf(stderr, "--queue must be heap|bucket\n");
+        return 2;
+      }
+      bucket_queue = v == "bucket";
+    } else if (arg == "--landmarks") {
+      landmarks = next() != "off";
+    } else if (arg == "--no-midx") {
+      // Route range/kNN through the full Md2d-row scan instead of the
+      // nearest-first Midx walk. That scan is where the ALT landmark
+      // pruning hook fires, so the landmarks ON-vs-OFF pairing gates the
+      // pruning benefit rather than a no-op. Free-running loop only.
+      no_midx = true;
     } else if (arg == "--batch") {
       batch = std::stoul(next());
     } else if (arg == "--obstacles") {
@@ -255,6 +280,12 @@ int main(int argc, char** argv) {
                  "no write-safe point to apply them\n");
     return 2;
   }
+  if (no_midx && batch > 0) {
+    std::fprintf(stderr,
+                 "--no-midx only applies to the free-running reader loop "
+                 "(BatchExecutor requests carry no per-query options)\n");
+    return 2;
+  }
 
   BuildingConfig config;
   config.floors = floors;
@@ -264,6 +295,8 @@ int main(int argc, char** argv) {
   IndexOptions options;
   options.build_threads = 0;  // build as fast as the hardware allows
   options.enable_query_cache = cache;
+  options.use_bucket_queue = bucket_queue;
+  options.use_landmarks = landmarks;
   const FloorPlan plan = GenerateBuilding(config);
   IndexFramework index(plan, options);
   Rng rng(seed * 31 + 7);
@@ -274,20 +307,27 @@ int main(int argc, char** argv) {
       batch ? "batch " + std::to_string(batch) : std::string("reader loop");
   std::printf(
       "building: %d floors, %zu doors, %zu objects | %zu positions, "
-      "zipf %.2f, cache %s, %s, move rate %.2f\n",
+      "zipf %.2f, cache %s, queue %s, landmarks %s, %s, move rate %.2f\n",
       floors, plan.door_count(), objects, position_count, zipf,
-      cache ? "on" : "off", mode.c_str(), move_rate);
+      cache ? "on" : "off", bucket_queue ? "bucket" : "heap",
+      landmarks ? "on" : "off", mode.c_str(), move_rate);
   const PartitionSampler move_sampler(plan);
   size_t total_moves = 0;
 
   auto run_request = [&](const QueryRequest& request,
                          QueryScratch* scratch) -> size_t {
     switch (request.kind) {
-      case QueryRequest::Kind::kRange:
-        return RangeQuery(index, request.a, request.radius, {}, scratch)
+      case QueryRequest::Kind::kRange: {
+        RangeQueryOptions ropts;
+        ropts.use_index_matrix = !no_midx;
+        return RangeQuery(index, request.a, request.radius, ropts, scratch)
             .size();
-      case QueryRequest::Kind::kKnn:
-        return KnnQuery(index, request.a, request.k, {}, scratch).size();
+      }
+      case QueryRequest::Kind::kKnn: {
+        KnnQueryOptions kopts;
+        kopts.use_index_matrix = !no_midx;
+        return KnnQuery(index, request.a, request.k, kopts, scratch).size();
+      }
       case QueryRequest::Kind::kDistance:
         return Pt2PtDistanceMatrix(index.locator(), index.d2d_matrix(),
                                    request.a, request.b, scratch,
@@ -424,9 +464,9 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     WriteJson(json_path, floors, objects, queries_per_reader,
-              position_count, zipf, cache, batch, mix, seed, rows,
-              !query_log_path.empty(), move_rate, total_moves, repairs,
-              epoch_rejects);
+              position_count, zipf, cache, batch, mix, seed, bucket_queue,
+              landmarks, no_midx, rows, !query_log_path.empty(), move_rate,
+              total_moves, repairs, epoch_rejects);
   }
   return 0;
 }

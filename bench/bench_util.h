@@ -43,6 +43,15 @@ inline BuildingConfig PaperBuilding(int floors, uint64_t seed = 42) {
   return config;
 }
 
+/// Sweep/sample count for hand-rolled measurement loops: `full` normally,
+/// `smoke` when INDOOR_BENCH_SMOKE is set. Every bench that sizes its own
+/// workload (query pools, repetition sweeps, probe samples) must pick the
+/// count through this helper so new benches cannot forget the smoke cap
+/// and stall CI.
+inline size_t SweepCount(size_t full, size_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
 /// Builds a plan + full index + `object_count` uniform objects (capped to
 /// 200 objects in smoke mode).
 inline std::unique_ptr<QueryEngine> MakeEngine(int floors,

@@ -6,6 +6,13 @@
 // enheaps all doors up front and uses decrease-key; we use the standard
 // lazy-insertion equivalent (re-push on improvement, skip settled pops),
 // which visits each door at most once, as the paper requires.
+//
+// Two frontier implementations back the loop (QueueKind): the historical
+// binary heap, and the bounded-weight bucket queue (bucket_queue.h) whose
+// relaxations additionally run through the SIMD span filter (util/simd.h).
+// Both produce bitwise identical distances, settle orders, and prev[]
+// trees; the heap remains the default so legacy callers and the reference
+// oracles keep their exact historical behavior.
 
 #ifndef INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_
 #define INDOOR_CORE_DISTANCE_D2D_DISTANCE_H_
@@ -13,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/distance/bucket_queue.h"
 #include "core/model/distance_graph.h"
 #include "util/min_heap.h"
 
@@ -27,20 +35,39 @@ struct PrevEntry {
 };
 
 /// Reusable door-level Dijkstra state (dist/visited arrays sized to the
-/// door count, and the frontier heap). Owned by exactly one thread at a
-/// time; buffers keep their capacity across queries, so steady-state door
-/// expansions perform no heap allocations (see QueryScratch).
+/// door count, both frontiers, and the SIMD relaxation staging buffers).
+/// Owned by exactly one thread at a time; buffers keep their capacity
+/// across queries, so steady-state door expansions perform no heap
+/// allocations (see QueryScratch).
 struct DoorDijkstraScratch {
   std::vector<double> dist;
   std::vector<char> visited;
   MinHeap<std::pair<double, DoorId>> heap;
+  BucketQueue bucket;
+  /// Per-span candidate distances / improved-lane indices for the SIMD
+  /// batch relaxation (sized to the graph's max out-degree on first use).
+  std::vector<double> relax_cand;
+  std::vector<uint32_t> relax_idx;
 };
 
+/// Re-arms a frontier for one Dijkstra run over `graph`; overloads let
+/// the solver loops template over the frontier type.
+inline void ResetFrontier(MinHeap<std::pair<double, DoorId>>* frontier,
+                          const DistanceGraph& graph) {
+  (void)graph;
+  frontier->clear();
+}
+inline void ResetFrontier(BucketQueue* frontier, const DistanceGraph& graph) {
+  frontier->Prepare(graph.max_door_edge_weight());
+}
+
 /// d2dDistance(ds, dt): minimum indoor walking distance from door `ds` to
-/// door `dt`; kInfDistance when unreachable. A null `scratch` uses
-/// function-local buffers.
+/// door `dt`; kInfDistance when unreachable. A null `scratch` uses the
+/// calling thread's buffers. `kind` selects the frontier (results are
+/// bitwise identical; the default keeps legacy callers on the heap).
 double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
-                   DoorDijkstraScratch* scratch = nullptr);
+                   DoorDijkstraScratch* scratch = nullptr,
+                   QueueKind kind = QueueKind::kHeap);
 
 /// As above, also filling `prev` (size = door count) for path
 /// reconstruction via ReconstructDoorPath (shortest_path.h).
@@ -51,8 +78,8 @@ double D2dDistance(const DistanceGraph& graph, DoorId ds, DoorId dt,
 /// (kInfDistance where unreachable). Backs distance-matrix construction
 /// (paper §IV-A). `prev` may be null.
 void D2dDistancesFrom(const DistanceGraph& graph, DoorId ds,
-                      std::vector<double>* dist,
-                      std::vector<PrevEntry>* prev);
+                      std::vector<double>* dist, std::vector<PrevEntry>* prev,
+                      QueueKind kind = QueueKind::kHeap);
 
 /// The calling thread's fallback DoorDijkstraScratch.
 DoorDijkstraScratch& TlsDoorDijkstraScratch();

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "core/distance/bucket_queue.h"
 #include "util/metrics.h"
 #include "util/query_log.h"
 
@@ -26,16 +27,35 @@ namespace indoor {
 namespace internal {
 
 /// Counts one Dijkstra run; flushes into the registry on destruction.
+/// Settles and relaxations are incremented at the same program points on
+/// the heap and bucket frontiers (one settle per first pop of a door, one
+/// relaxation per tentative-distance improvement), so the two paths
+/// report identical counts for identical runs.
 struct DijkstraRunStats {
   /// Doors settled (popped and finalized) this run.
   uint64_t settles = 0;
   /// Successful edge relaxations (tentative-distance improvements).
   uint64_t relaxations = 0;
+  /// Pushes skipped because an ALT landmark lower bound proved they could
+  /// not improve the result (pt2pt_distance.cc).
+  uint64_t landmark_prunes = 0;
+  /// Which frontier this run used; flushed as the per-kind run counters
+  /// distance.dijkstra.queue.{heap,bucket}.
+  QueueKind queue = QueueKind::kHeap;
 
   ~DijkstraRunStats() {
     INDOOR_COUNTER_INC("distance.dijkstra.runs");
+    if (queue == QueueKind::kBucket) {
+      INDOOR_COUNTER_INC("distance.dijkstra.queue.bucket");
+    } else {
+      INDOOR_COUNTER_INC("distance.dijkstra.queue.heap");
+    }
     INDOOR_COUNTER_ADD("distance.dijkstra.settles", settles);
     INDOOR_COUNTER_ADD("distance.dijkstra.relaxations", relaxations);
+    if (landmark_prunes != 0) {
+      INDOOR_COUNTER_ADD("distance.dijkstra.prunes.landmark",
+                         landmark_prunes);
+    }
     // Attribute this run's settles to the in-flight query's log record.
     qlog::AddSettles(settles);
   }

@@ -22,6 +22,7 @@
 #ifndef INDOOR_CORE_DISTANCE_PT2PT_DISTANCE_H_
 #define INDOOR_CORE_DISTANCE_PT2PT_DISTANCE_H_
 
+#include "core/distance/bucket_queue.h"
 #include "core/model/distance_graph.h"
 #include "core/model/locator.h"
 
@@ -29,6 +30,7 @@ namespace indoor {
 
 struct QueryScratch;
 class QueryCache;
+class LandmarkIndex;
 
 /// Shared inputs of the pt2pt algorithms. Both referents must outlive the
 /// context.
@@ -43,6 +45,21 @@ struct DistanceContext {
   /// attaches its cache automatically; reference implementations and
   /// hand-built contexts leave it null.
   const QueryCache* cache = nullptr;
+
+  /// Optional ALT landmark rows (core/index/landmark_index.h). When set,
+  /// Basic skips door pairs whose triangle-inequality lower bound cannot
+  /// beat the running minimum, and Virtual prunes frontier pushes the same
+  /// way; both uses are provably loss-free, so results stay bit-identical
+  /// with landmarks attached or not. Refined/Reuse ignore the field (their
+  /// shared-Dijkstra bounds interact with the dists[.][.] reuse cache; see
+  /// pt2pt_distance3.cc).
+  const LandmarkIndex* landmarks = nullptr;
+
+  /// Frontier structure of the door-graph Dijkstra solves. The bucket
+  /// queue (bucket_queue.h) extracts the same (distance, id) sequence as
+  /// the binary heap — results are bitwise identical — but trades the
+  /// O(log n) sift for O(1) bucket pushes on bounded edge weights.
+  QueueKind queue = QueueKind::kBucket;
 
   /// Known host partitions of the query endpoints. When a caller already
   /// knows where a position lives (e.g. a stored object's partition),

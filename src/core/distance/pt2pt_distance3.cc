@@ -85,7 +85,6 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
   const size_t n = plan.door_count();
   auto& dist = scratch->door.dist;
   auto& visited = scratch->door.visited;
-  auto& heap = scratch->door.heap;
   auto& prev = scratch->prev;
 
   for (size_t row = 0; row < rows; ++row) {
@@ -104,81 +103,94 @@ double Pt2PtDistanceReuse(const DistanceContext& ctx, const Point& ps,
     }
     if (doors.empty()) continue;
 
-    dist.assign(n, kInfDistance);
-    visited.assign(n, 0);
-    prev.assign(n, PrevEntry{});
-    heap.clear();
-    dist[ds] = 0.0;
-    heap.push({0.0, ds});
+    // Both frontier kinds pop the identical (distance, id) sequence
+    // (bucket_queue.h), so the settle order — and with it every reuse
+    // decision, both policies included — is frontier-independent.
+    const auto expand = [&](auto& frontier, QueueKind kind) {
+      dist.assign(n, kInfDistance);
+      visited.assign(n, 0);
+      prev.assign(n, PrevEntry{});
+      ResetFrontier(&frontier, *ctx.graph);
+      dist[ds] = 0.0;
+      frontier.push({0.0, ds});
 
-    INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
-    while (!heap.empty()) {
-      const auto [d, di] = heap.top();
-      heap.pop();
-      if (visited[di]) continue;
-      visited[di] = 1;
-      INDOOR_METRICS_ONLY(++stats.settles;)
+      INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;
+                          stats.queue = kind;)
+      (void)kind;
+      while (!frontier.empty()) {
+        const auto [d, di] = frontier.top();
+        frontier.pop();
+        if (visited[di]) continue;
+        visited[di] = 1;
+        INDOOR_METRICS_ONLY(++stats.settles;)
 
-      const auto door_it = std::find(doors.begin(), doors.end(), di);
-      if (door_it != doors.end()) {
-        // Lines 27-38: a destination door settles.
-        doors.erase(door_it);
-        const int col = col_of(di);
-        dists[row * cols + col] = d;  // settled value is exact (our addition)
-        if (src_leg[row] + d + dst_leg[col] < dist_m) {
-          dist_m = src_leg[row] + d + dst_leg[col];
-        }
-        // Backward reuse along the shortest-path tree branch.
-        DoorId dj = prev[di].door;
-        while (dj != kInvalidId && dj != ds) {
-          const int back_row = row_of(dj);
-          if (back_row >= 0 && dj > ds) {
-            const double exact = d - dist[dj];
-            dists[static_cast<size_t>(back_row) * cols + col] = exact;
-            if (src_leg[back_row] != kInfDistance &&
-                src_leg[back_row] + exact + dst_leg[col] < dist_m) {
-              dist_m = src_leg[back_row] + exact + dst_leg[col];
-            }
+        const auto door_it = std::find(doors.begin(), doors.end(), di);
+        if (door_it != doors.end()) {
+          // Lines 27-38: a destination door settles.
+          doors.erase(door_it);
+          const int col = col_of(di);
+          dists[row * cols + col] = d;  // settled value is exact (our addition)
+          if (src_leg[row] + d + dst_leg[col] < dist_m) {
+            dist_m = src_leg[row] + d + dst_leg[col];
           }
-          dj = prev[dj].door;
-        }
-        if (doors.empty()) break;
-      } else {
-        const int fwd_row = row_of(di);
-        if (fwd_row >= 0 && di < ds) {
-          // Lines 40-45: forward reuse through an earlier source door.
-          bool all_known = true;
-          for (DoorId dj : doors) {
-            const int col = col_of(dj);
-            const double via = d + dists[static_cast<size_t>(fwd_row) * cols +
-                                         static_cast<size_t>(col)];
-            if (via == kInfDistance) {
-              all_known = false;
-              continue;
+          // Backward reuse along the shortest-path tree branch.
+          DoorId dj = prev[di].door;
+          while (dj != kInvalidId && dj != ds) {
+            const int back_row = row_of(dj);
+            if (back_row >= 0 && dj > ds) {
+              const double exact = d - dist[dj];
+              dists[static_cast<size_t>(back_row) * cols + col] = exact;
+              if (src_leg[back_row] != kInfDistance &&
+                  src_leg[back_row] + exact + dst_leg[col] < dist_m) {
+                dist_m = src_leg[back_row] + exact + dst_leg[col];
+              }
+            }
+            dj = prev[dj].door;
+          }
+          if (doors.empty()) break;
+        } else {
+          const int fwd_row = row_of(di);
+          if (fwd_row >= 0 && di < ds) {
+            // Lines 40-45: forward reuse through an earlier source door.
+            bool all_known = true;
+            for (DoorId dj : doors) {
+              const int col = col_of(dj);
+              const double via =
+                  d + dists[static_cast<size_t>(fwd_row) * cols +
+                            static_cast<size_t>(col)];
+              if (via == kInfDistance) {
+                all_known = false;
+                continue;
+              }
+              if (policy == ReusePolicy::kPaperFaithful) {
+                dists[row * cols + col] = via;
+              }
+              if (src_leg[row] + via + dst_leg[col] < dist_m) {
+                dist_m = src_leg[row] + via + dst_leg[col];
+              }
             }
             if (policy == ReusePolicy::kPaperFaithful) {
-              dists[row * cols + col] = via;
+              (void)all_known;
+              break;  // verbatim pseudocode: stop this source's expansion
             }
-            if (src_leg[row] + via + dst_leg[col] < dist_m) {
-              dist_m = src_leg[row] + via + dst_leg[col];
-            }
-          }
-          if (policy == ReusePolicy::kPaperFaithful) {
-            (void)all_known;
-            break;  // verbatim pseudocode: stop this source's expansion
           }
         }
-      }
 
-      for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
-        if (visited[e.to]) continue;
-        if (d + e.weight < dist[e.to]) {
-          dist[e.to] = d + e.weight;
-          heap.push({dist[e.to], e.to});
-          INDOOR_METRICS_ONLY(++stats.relaxations;)
-          prev[e.to] = {e.via, di};
+        for (const DoorGraphEdge& e : ctx.graph->DoorEdges(di)) {
+          if (visited[e.to]) continue;
+          if (d + e.weight < dist[e.to]) {
+            dist[e.to] = d + e.weight;
+            frontier.push({dist[e.to], e.to});
+            INDOOR_METRICS_ONLY(++stats.relaxations;)
+            prev[e.to] = {e.via, di};
+          }
         }
       }
+    };
+    if (ctx.queue == QueueKind::kBucket) {
+      expand(scratch->door.bucket, QueueKind::kBucket);
+    } else {
+      expand(scratch->door.heap, QueueKind::kHeap);
     }
   }
   return dist_m;

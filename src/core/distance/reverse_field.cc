@@ -1,5 +1,6 @@
 #include "core/distance/reverse_field.h"
 
+#include "core/distance/d2d_distance.h"
 #include "core/distance/query_scratch.h"
 
 namespace indoor {
@@ -13,36 +14,47 @@ ReverseDistanceField::ReverseDistanceField(const DistanceContext& ctx,
   if (!host.ok()) return;
   host_ = host.value();
 
-  MinHeap<std::pair<double, DoorId>> heap;
   std::vector<char> visited(plan.door_count(), 0);
-  // Seeds: crossing an entering door of the host partition leaves only the
-  // final intra leg to the target. The legs keep the historical door->target
-  // orientation (each its own solve), so seed values match exactly.
-  for (DoorId dt : plan.EnterDoors(host_)) {
-    const double leg = plan.partition(host_).IntraDistance(
-        plan.door(dt).Midpoint(), target);
-    if (leg == kInfDistance) continue;
-    if (leg < door_dist_[dt]) {
-      door_dist_[dt] = leg;
-      heap.push({leg, dt});
-    }
-  }
   // Dijkstra on the reversed door graph: settled dj relaxes every di with a
   // forward edge di -> dj, iterated over the transposed CSR rows. Final
   // distances are relaxation-order independent, so they match the nested
-  // LeaveableParts/EnterDoors loops bit-for-bit.
-  while (!heap.empty()) {
-    const auto [d, dj] = heap.top();
-    heap.pop();
-    if (visited[dj]) continue;
-    visited[dj] = 1;
-    for (const DoorGraphEdge& e : ctx.graph->ReverseDoorEdges(dj)) {
-      if (visited[e.to]) continue;
-      if (d + e.weight < door_dist_[e.to]) {
-        door_dist_[e.to] = d + e.weight;
-        heap.push({door_dist_[e.to], e.to});
+  // LeaveableParts/EnterDoors loops bit-for-bit — with either frontier
+  // kind (this builder intentionally emits no Dijkstra metrics).
+  const auto build = [&](auto& frontier) {
+    // Seeds: crossing an entering door of the host partition leaves only
+    // the final intra leg to the target. The legs keep the historical
+    // door->target orientation (each its own solve), so seed values match
+    // exactly.
+    for (DoorId dt : plan.EnterDoors(host_)) {
+      const double leg = plan.partition(host_).IntraDistance(
+          plan.door(dt).Midpoint(), target);
+      if (leg == kInfDistance) continue;
+      if (leg < door_dist_[dt]) {
+        door_dist_[dt] = leg;
+        frontier.push({leg, dt});
       }
     }
+    while (!frontier.empty()) {
+      const auto [d, dj] = frontier.top();
+      frontier.pop();
+      if (visited[dj]) continue;
+      visited[dj] = 1;
+      for (const DoorGraphEdge& e : ctx.graph->ReverseDoorEdges(dj)) {
+        if (visited[e.to]) continue;
+        if (d + e.weight < door_dist_[e.to]) {
+          door_dist_[e.to] = d + e.weight;
+          frontier.push({door_dist_[e.to], e.to});
+        }
+      }
+    }
+  };
+  if (ctx.queue == QueueKind::kBucket) {
+    BucketQueue frontier;
+    ResetFrontier(&frontier, *ctx.graph);
+    build(frontier);
+  } else {
+    MinHeap<std::pair<double, DoorId>> frontier;
+    build(frontier);
   }
 }
 

@@ -5,14 +5,15 @@
 
 namespace indoor {
 
-DistanceMatrix::DistanceMatrix(const DistanceGraph& graph, unsigned threads)
+DistanceMatrix::DistanceMatrix(const DistanceGraph& graph, unsigned threads,
+                               QueueKind kind)
     : n_(graph.plan().door_count()) {
   data_.assign(n_ * n_, kInfDistance);
   // One single-source Dijkstra per row; rows are disjoint slots, so the
   // parallel build is bit-identical to the serial one (thread_pool.h).
   ParallelFor(0, n_, threads, [&](size_t d) {
     std::vector<double> dist;
-    D2dDistancesFrom(graph, static_cast<DoorId>(d), &dist, nullptr);
+    D2dDistancesFrom(graph, static_cast<DoorId>(d), &dist, nullptr, kind);
     std::copy(dist.begin(), dist.end(), data_.begin() + d * n_);
   });
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace indoor {
 
 // ---------------------------------------------------------------- KnnCollector
@@ -144,9 +146,15 @@ void GridBucket::RangeSearch(const Partition& partition, const Point& q,
     if (scratch != nullptr) {
       INDOOR_METRICS_ONLY(scratch->objects_tested += cell.size();)
       CellDistances(partition, q, cell, &scratch->geo);
+      // Batched d <= r compare over the whole cell; the mask holds the
+      // same verdicts as the scalar compare, evaluated lane-parallel.
+      scratch->filter_mask.resize(cell.size());
+      simd::MaskLessEqual(scratch->geo.values.data(), cell.size(), r,
+                          scratch->filter_mask.data());
       for (size_t j = 0; j < cell.size(); ++j) {
-        const double d = scratch->geo.values[j];
-        if (d <= r) out->push_back({cell[j].first, d});
+        if (scratch->filter_mask[j]) {
+          out->push_back({cell[j].first, scratch->geo.values[j]});
+        }
       }
       continue;
     }

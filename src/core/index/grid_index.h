@@ -75,6 +75,9 @@ class KnnCollector {
 struct BucketScratch {
   GeodesicScratch geo;
   std::vector<std::pair<double, size_t>> cell_order;
+  /// Byte mask of the batched distance-filter compare (RangeSearch's
+  /// d <= r test, evaluated via simd::MaskLessEqual over a whole cell).
+  std::vector<uint8_t> filter_mask;
 
   /// Observability accumulators, incremented by GridBucket searches (only
   /// when the library is built with INDOOR_METRICS=ON) and drained into

@@ -40,7 +40,12 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
                           [&] { return PartitionLocator(plan); })),
       d2d_matrix_(TimedBuild(
           "build.md2d_ms",
-          [&] { return DistanceMatrix(graph_, options.build_threads); })),
+          [&] {
+            return DistanceMatrix(graph_, options.build_threads,
+                                  options.use_bucket_queue
+                                      ? QueueKind::kBucket
+                                      : QueueKind::kHeap);
+          })),
       index_matrix_(TimedBuild(
           "build.midx_ms",
           [&] {
@@ -52,6 +57,14 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
       objects_(TimedBuild("build.objects_ms", [&] {
         return ObjectStore(plan, options.grid_cell_size);
       })) {
+  if (options_.use_landmarks && options_.landmark_count > 0) {
+    landmarks_ = TimedBuild("build.landmarks_ms", [&] {
+      return LandmarkIndex::Build(graph_, options_.landmark_count,
+                                  options_.use_bucket_queue
+                                      ? QueueKind::kBucket
+                                      : QueueKind::kHeap);
+    });
+  }
   if (options_.enable_query_cache) {
     QueryCacheOptions cache_options;
     cache_options.quantum = options_.cache_quantum;

@@ -12,6 +12,7 @@
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
 #include "core/index/dpt.h"
+#include "core/index/landmark_index.h"
 #include "core/index/object_store.h"
 #include "core/model/distance_graph.h"
 #include "core/model/locator.h"
@@ -27,6 +28,21 @@ struct IndexOptions {
   /// 0 = hardware concurrency. Parallel builds produce bit-identical
   /// structures (see thread_pool.h).
   unsigned build_threads = 1;
+
+  /// Frontier of every door-graph Dijkstra issued through this framework
+  /// (Md2d build rows, pt2pt solves, distance fields). The bounded-weight
+  /// bucket queue (bucket_queue.h) pops the identical (distance, id)
+  /// sequence as the binary heap, so results are bit-identical; it is only
+  /// a constant-factor speedup. Off = classic binary heap.
+  bool use_bucket_queue = true;
+  /// Build ALT landmark rows (landmark_index.h) and attach them to query
+  /// contexts; pruning with them is loss-free, so results stay
+  /// bit-identical with landmarks on or off.
+  bool use_landmarks = true;
+  /// Landmarks selected at build time (clamped to LandmarkIndex::kMaxCount
+  /// and the door count). More landmarks = tighter bounds, linearly more
+  /// build work and per-bound arithmetic.
+  unsigned landmark_count = 8;
 
   /// Cross-query work sharing (core/query/query_cache.h): cache host
   /// partition lookups and source/destination door distance fields across
@@ -80,18 +96,27 @@ class IndexFramework {
   /// query_cache.h). No-op when the cache is disabled.
   void InvalidateQueryCache() const;
 
-  /// Context for the pt2pt distance algorithms (cache attached when
-  /// enabled).
+  /// The ALT landmark rows, or null when IndexOptions disabled them.
+  const LandmarkIndex* landmarks() const {
+    return landmarks_.valid() ? &landmarks_ : nullptr;
+  }
+
+  /// Context for the pt2pt distance algorithms (cache and landmarks
+  /// attached when enabled).
   DistanceContext distance_context() const {
     DistanceContext ctx(graph_, locator_);
     ctx.cache = query_cache_.get();
+    ctx.landmarks = landmarks();
+    ctx.queue =
+        options_.use_bucket_queue ? QueueKind::kBucket : QueueKind::kHeap;
     return ctx;
   }
 
-  /// Total bytes of the pre-computed structures (Md2d + Midx + DPT).
+  /// Total bytes of the pre-computed structures (Md2d + Midx + DPT +
+  /// landmark rows).
   size_t IndexMemoryBytes() const {
     return d2d_matrix_.MemoryBytes() + index_matrix_.MemoryBytes() +
-           dpt_.MemoryBytes();
+           dpt_.MemoryBytes() + landmarks_.MemoryBytes();
   }
 
  private:
@@ -102,6 +127,7 @@ class IndexFramework {
   DistanceMatrix d2d_matrix_;
   DistanceIndexMatrix index_matrix_;
   DoorPartitionTable dpt_;
+  LandmarkIndex landmarks_;  // invalid (empty) when disabled
   ObjectStore objects_;
   std::unique_ptr<QueryCache> query_cache_;  // null when disabled
 };

@@ -7,6 +7,7 @@ namespace indoor {
 namespace {
 
 constexpr uint64_t kMagic = 0x49444D3244303146ULL;  // "IDM2D01F"
+constexpr uint64_t kLandmarkMagic = 0x49444C4D4B303146ULL;  // "IDLMK01F"
 
 uint64_t Mix(uint64_t h, uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
@@ -122,6 +123,94 @@ Result<DistanceMatrix> LoadDistanceMatrix(const FloorPlan& plan,
     return Status::ParseError("'" + path + "' has a corrupt trailer");
   }
   return DistanceMatrix::FromRaw(n, std::move(data));
+}
+
+Status SaveLandmarkIndex(const LandmarkIndex& landmarks,
+                         const FloorPlan& plan, const std::string& path) {
+  if (!landmarks.valid() || landmarks.door_count() != plan.door_count()) {
+    return Status::InvalidArgument(
+        "landmark index does not match the plan (or is empty)");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  WritePod(out, kLandmarkMagic);
+  WritePod(out, PlanDistanceFingerprint(plan));
+  const uint64_t n = landmarks.door_count();
+  const uint64_t count = landmarks.count();
+  WritePod(out, n);
+  WritePod(out, count);
+  for (const DoorId d : landmarks.doors()) WritePod(out, d);
+  // Transposed per-door rows, doors-major (the in-memory layout).
+  for (DoorId d = 0; d < n; ++d) {
+    out.write(reinterpret_cast<const char*>(landmarks.ForwardRow(d)),
+              static_cast<std::streamsize>(count * sizeof(double)));
+  }
+  for (DoorId d = 0; d < n; ++d) {
+    out.write(reinterpret_cast<const char*>(landmarks.BackwardRow(d)),
+              static_cast<std::streamsize>(count * sizeof(double)));
+  }
+  WritePod(out, kLandmarkMagic);  // trailer guards truncation
+  if (!out) {
+    return Status::IOError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<LandmarkIndex> LoadLandmarkIndex(const FloorPlan& plan,
+                                        const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  uint64_t magic = 0, fingerprint = 0, n = 0, count = 0;
+  if (!ReadPod(in, &magic) || magic != kLandmarkMagic) {
+    return Status::ParseError("'" + path + "' is not a landmark index file");
+  }
+  if (!ReadPod(in, &fingerprint)) {
+    return Status::ParseError("'" + path + "' is truncated");
+  }
+  if (fingerprint != PlanDistanceFingerprint(plan)) {
+    return Status::FailedPrecondition(
+        "'" + path + "' was computed for a different floor plan");
+  }
+  if (!ReadPod(in, &n) || !ReadPod(in, &count)) {
+    return Status::ParseError("'" + path + "' is truncated");
+  }
+  if (n != plan.door_count()) {
+    return Status::FailedPrecondition("door count mismatch in '" + path +
+                                      "'");
+  }
+  if (count == 0 || count > LandmarkIndex::kMaxCount || count > n) {
+    return Status::ParseError("implausible landmark count in '" + path +
+                              "'");
+  }
+  std::vector<DoorId> doors(count);
+  for (DoorId& d : doors) {
+    if (!ReadPod(in, &d)) {
+      return Status::ParseError("'" + path + "' is truncated");
+    }
+    if (d >= n) {
+      return Status::ParseError("landmark door out of range in '" + path +
+                                "'");
+    }
+  }
+  std::vector<double> fwd(n * count);
+  std::vector<double> bwd(n * count);
+  in.read(reinterpret_cast<char*>(fwd.data()),
+          static_cast<std::streamsize>(fwd.size() * sizeof(double)));
+  in.read(reinterpret_cast<char*>(bwd.data()),
+          static_cast<std::streamsize>(bwd.size() * sizeof(double)));
+  if (!in) {
+    return Status::ParseError("'" + path + "' is truncated");
+  }
+  uint64_t trailer = 0;
+  if (!ReadPod(in, &trailer) || trailer != kLandmarkMagic) {
+    return Status::ParseError("'" + path + "' has a corrupt trailer");
+  }
+  return LandmarkIndex::FromRaw(n, std::move(doors), std::move(fwd),
+                                std::move(bwd));
 }
 
 }  // namespace indoor

@@ -12,6 +12,7 @@
 
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
+#include "core/index/landmark_index.h"
 #include "indoor/floor_plan.h"
 #include "util/result.h"
 
@@ -30,6 +31,17 @@ Status SaveDistanceMatrix(const DistanceMatrix& matrix,
 /// corrupt file, IOError when unreadable.
 Result<DistanceMatrix> LoadDistanceMatrix(const FloorPlan& plan,
                                           const std::string& path);
+
+/// Writes the ALT landmark rows (core/index/landmark_index.h) for `plan`.
+/// Same versioning scheme as the distance matrix: magic header, plan
+/// distance fingerprint, magic trailer.
+Status SaveLandmarkIndex(const LandmarkIndex& landmarks,
+                         const FloorPlan& plan, const std::string& path);
+
+/// Loads a landmark index previously saved for a plan with the same
+/// fingerprint; error taxonomy as LoadDistanceMatrix.
+Result<LandmarkIndex> LoadLandmarkIndex(const FloorPlan& plan,
+                                        const std::string& path);
 
 }  // namespace indoor
 

@@ -58,6 +58,23 @@ void DistanceGraph::BuildDoorCsr() {
   }
   door_offsets_[n] = door_edges_.size();
 
+  // SoA twins + bounded-weight facts for the bucket-queue/SIMD path.
+  edge_weights_.resize(door_edges_.size());
+  edge_targets_.resize(door_edges_.size());
+  max_edge_weight_ = 0.0;
+  max_out_degree_ = 0;
+  for (size_t k = 0; k < door_edges_.size(); ++k) {
+    edge_weights_[k] = door_edges_[k].weight;
+    edge_targets_[k] = door_edges_[k].to;
+    if (door_edges_[k].weight > max_edge_weight_) {
+      max_edge_weight_ = door_edges_[k].weight;
+    }
+  }
+  for (DoorId di = 0; di < n; ++di) {
+    max_out_degree_ =
+        std::max(max_out_degree_, door_offsets_[di + 1] - door_offsets_[di]);
+  }
+
   // Transpose: rev row dj holds every forward edge di -> dj as
   // {di, via, weight}. Reverse Dijkstras relax the same weights, so their
   // final distances match the nested LeaveableParts/EnterDoors loops

@@ -79,6 +79,28 @@ class DistanceGraph {
             rev_door_offsets_[d + 1] - rev_door_offsets_[d]};
   }
 
+  /// Structure-of-arrays twin of DoorEdges(d): the edge weights of door
+  /// d's row as a contiguous double array (same order as DoorEdges).
+  /// Backs the SIMD batch relaxation in the bucket-queue Dijkstra path
+  /// (util/simd.h); d must have at least one edge or the span is empty.
+  const double* DoorEdgeWeights(DoorId d) const {
+    return edge_weights_.data() + door_offsets_[d];
+  }
+
+  /// Structure-of-arrays twin of DoorEdges(d): the edge target door ids
+  /// as a contiguous uint32 array (same order as DoorEdges).
+  const uint32_t* DoorEdgeTargets(DoorId d) const {
+    return edge_targets_.data() + door_offsets_[d];
+  }
+
+  /// Largest finite door-graph edge weight (0 when the graph has no
+  /// edges). Bounds the Dijkstra key window for BucketQueue::Prepare.
+  double max_door_edge_weight() const { return max_edge_weight_; }
+
+  /// Largest forward out-degree over all doors — the staging-buffer size
+  /// the SIMD relaxation needs for any one edge span.
+  size_t max_door_out_degree() const { return max_out_degree_; }
+
  private:
   /// Index of door `d` within TouchingDoors(v), or -1.
   int LocalDoorIndex(PartitionId v, DoorId d) const;
@@ -101,6 +123,12 @@ class DistanceGraph {
   std::vector<DoorGraphEdge> door_edges_;
   std::vector<size_t> rev_door_offsets_;
   std::vector<DoorGraphEdge> rev_door_edges_;
+  // SoA twins of door_edges_ (weights/targets split out for SIMD spans),
+  // plus the bounded-weight facts the bucket queue relies on.
+  std::vector<double> edge_weights_;
+  std::vector<uint32_t> edge_targets_;
+  double max_edge_weight_ = 0.0;
+  size_t max_out_degree_ = 0;
 };
 
 }  // namespace indoor

@@ -276,14 +276,26 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
                      &collector, deps, gates);
         }
       } else {
+        // The landmark lower bound (never above the exact row value) skips
+        // entries the bound comparison would reject anyway, saving the row
+        // read — identical offers reach the collector either way.
+        const LandmarkIndex* const lm = index.landmarks();
+        uint64_t lm_prunes = 0;
         INDOOR_METRICS_ONLY(entries += n;)
         for (DoorId dj = 0; dj < n; ++dj) {
+          if (lm != nullptr && r1 + lm->LowerBound(di, dj) > collector.Bound()) {
+            ++lm_prunes;
+            continue;
+          }
           if (r1 + row[dj] > collector.Bound()) continue;
           const double r2 = r1 + row[dj];
           SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
                      &collector, deps, gates);
           SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
                      &collector, deps, gates);
+        }
+        if (lm_prunes != 0) {
+          INDOOR_COUNTER_ADD("distance.dijkstra.prunes.landmark", lm_prunes);
         }
       }
     }

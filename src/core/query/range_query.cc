@@ -195,15 +195,27 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
                      &scratch->bucket, &found, &result, deps, gates);
         }
       } else {
-        // Without Midx the whole Md2d row must be examined.
+        // Without Midx the whole Md2d row must be examined. The landmark
+        // lower bound (never above the exact row value) skips entries the
+        // row comparison would reject anyway, saving the row read —
+        // results are identical with landmarks attached or not.
+        const LandmarkIndex* const lm = index.landmarks();
+        uint64_t lm_prunes = 0;
         INDOOR_METRICS_ONLY(entries += n;)
         for (DoorId dj = 0; dj < n; ++dj) {
+          if (lm != nullptr && lm->LowerBound(di, dj) > r1) {
+            ++lm_prunes;
+            continue;
+          }
           if (row[dj] > r1) continue;
           const double r2 = r1 - row[dj];
           SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
                      &scratch->bucket, &found, &result, deps, gates);
           SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
                      &scratch->bucket, &found, &result, deps, gates);
+        }
+        if (lm_prunes != 0) {
+          INDOOR_COUNTER_ADD("distance.dijkstra.prunes.landmark", lm_prunes);
         }
       }
     }

@@ -5,6 +5,9 @@ Usage:
   check_bench_regression.py <results.json> <BENCH_baseline.json>
   check_bench_regression.py --throughput-ratio <num.json> <den.json> \\
       [--min-ratio R] [--baseline BENCH_baseline.json --ratio NAME]
+  check_bench_regression.py --hotpath-ratio <fast.json> <slow.json> \\
+      --workload NAME [--min-ratio R] \\
+      [--baseline BENCH_baseline.json --ratio NAME]
 
 Default mode gates bench_pt2pt_hotpath: the bench emits machine-independent
 metrics — per-workload speedup (reference ns/query divided by optimized
@@ -32,7 +35,17 @@ The floor comes from --min-ratio, or from the committed baseline via
 --baseline FILE --ratio NAME (the baseline's "throughput_ratios" map), so
 the floors live next to the other bench floors instead of being hardcoded
 in workflow YAML. The workload-identity check deliberately ignores
-move_rate and cache: those are exactly the knobs a pairing varies.
+move_rate, cache, queue, and landmarks: those are exactly the knobs a
+pairing varies.
+
+--hotpath-ratio mode gates the bucket-queue + landmark speedup: it
+compares the optimized-path ns/query of one workload across two
+bench_pt2pt_hotpath runs on the same host (first JSON = the configuration
+that must be faster, e.g. the default bucket+landmarks run; second = the
+`--queue heap --landmarks off` run), and fails when
+slow_ns / fast_ns drops below the floor (baseline "hotpath_ratios" map).
+Both runs verify exact result equality against the reference in-process,
+so the ratio compares bitwise-identical answers.
 """
 
 import json
@@ -110,9 +123,91 @@ def throughput_ratio(argv: list) -> int:
     return 0
 
 
+def hotpath_ratio(argv: list) -> int:
+    min_ratio = None
+    baseline_path = None
+    ratio_name = None
+    workload = None
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-ratio" and i + 1 < len(argv):
+            min_ratio = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--baseline" and i + 1 < len(argv):
+            baseline_path = argv[i + 1]
+            i += 2
+        elif argv[i] == "--ratio" and i + 1 < len(argv):
+            ratio_name = argv[i + 1]
+            i += 2
+        elif argv[i] == "--workload" and i + 1 < len(argv):
+            workload = argv[i + 1]
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2 or workload is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if min_ratio is None and baseline_path is not None:
+        with open(baseline_path) as f:
+            ratios = json.load(f).get("hotpath_ratios", {})
+        if ratio_name not in ratios:
+            print(
+                f"baseline {baseline_path} has no hotpath_ratios entry "
+                f"{ratio_name!r}",
+                file=sys.stderr,
+            )
+            return 2
+        min_ratio = float(ratios[ratio_name])
+    if min_ratio is None:
+        min_ratio = 1.0
+    label = ratio_name or workload
+    with open(paths[0]) as f:
+        fast = json.load(f)
+    with open(paths[1]) as f:
+        slow = json.load(f)
+    # Same building + workload on both sides; queue/landmarks are exactly
+    # the knobs the pairing varies, so they are deliberately not compared.
+    for key in ("smoke", "floors", "seed"):
+        if fast.get(key) != slow.get(key):
+            print(
+                f"workload mismatch: {key} differs between runs "
+                f"({fast.get(key)!r} vs {slow.get(key)!r})",
+                file=sys.stderr,
+            )
+            return 2
+    fast_run = fast["workloads"].get(workload)
+    slow_run = slow["workloads"].get(workload)
+    if fast_run is None or slow_run is None:
+        print(f"workload {workload!r} missing from a run", file=sys.stderr)
+        return 2
+    fast_ns = float(fast_run["new_ns_per_query"])
+    slow_ns = float(slow_run["new_ns_per_query"])
+    if fast_ns <= 0:
+        print("fast run has no measurement", file=sys.stderr)
+        return 2
+    ratio = slow_ns / fast_ns
+    print(
+        f"{label}: {slow_ns:.0f} ns/query -> {fast_ns:.0f} ns/query "
+        f"= {ratio:.2f}x (min {min_ratio:.2f}x)"
+    )
+    if ratio < min_ratio:
+        print(
+            f"\nBENCH REGRESSION: {label} hot-path speedup {ratio:.2f}x "
+            f"is below the required {min_ratio:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nhot-path ratio within baseline")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--throughput-ratio":
         return throughput_ratio(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--hotpath-ratio":
+        return hotpath_ratio(sys.argv[2:])
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -1,0 +1,289 @@
+// Cold-start bench: how fast can a server answer its first query from an
+// INDOORIX container (index_io.h) compared to rebuilding every structure
+// from the floor plan? Three starts are measured for both engine modes
+// (flat Md2d/Midx and the partition-contraction hierarchy):
+//
+//   build — IndexFramework construction from the plan (the no-container
+//           path every earlier revision paid on startup);
+//   read  — LoadIndexContainer: read the whole file, verify every section
+//           checksum, adopt owning copies (the `load.read_ms` gauge);
+//   map   — MapIndexContainer: mmap + structural validation only, index
+//           arrays borrowed zero-copy from the page cache (the
+//           `load.mmap_ms` gauge).
+//
+// Every loaded/mapped engine is verified bitwise against the built one on
+// a randomized pt2pt workload before any number is reported; the binary
+// exits non-zero on the first mismatch, so the JSON only ever describes
+// engines that serve identical answers. The committed floor for the
+// build/map ratio lives in BENCH_baseline.json ("cold_start_ratios"),
+// checked by tools/check_bench_regression.py --cold-start.
+//
+//   bench_cold_start [--smoke] [--json out.json] [--buildings B]
+//                    [--floors N] [--seed S] [--runs R] [--out FILE.idx]
+//
+// --smoke (or INDOOR_BENCH_SMOKE) shrinks the campus so CI exercises the
+// full path in seconds; ratios remain meaningful because both sides of
+// each ratio are measured on the same machine in the same process.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/index/index_framework.h"
+#include "core/index/index_io.h"
+#include "core/query/query_engine.h"
+#include "gen/building_generator.h"
+#include "gen/query_generator.h"
+#include "util/timer.h"
+
+using namespace indoor;
+
+namespace {
+
+bool BitEq(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+struct ModeResult {
+  std::string mode;
+  double file_mb = 0;
+  double build_ms = 0;
+  double save_ms = 0;
+  double read_ms = 0;   // LoadIndexContainer, min over runs
+  double map_ms = 0;    // MapIndexContainer, min over runs
+  double first_query_ms = 0;  // map + engine ctor + one pt2pt answer
+  bool identical = true;
+  double build_over_read() const {
+    return read_ms > 0 ? build_ms / read_ms : 0;
+  }
+  double build_over_map() const {
+    return map_ms > 0 ? build_ms / map_ms : 0;
+  }
+};
+
+/// Bitwise pt2pt equality between the freshly built engine and a
+/// cold-started one; any mismatch is fatal for the whole bench.
+bool VerifyIdentical(const QueryEngine& built, const QueryEngine& cold,
+                     const std::vector<std::pair<Point, Point>>& pairs,
+                     const char* label) {
+  for (const auto& [a, b] : pairs) {
+    const double db = built.Distance(a, b);
+    const double dc = cold.Distance(a, b);
+    if (!BitEq(db, dc)) {
+      std::fprintf(stderr,
+                   "FATAL: %s cold start diverges from build: %.17g vs "
+                   "%.17g\n",
+                   label, db, dc);
+      return false;
+    }
+  }
+  return true;
+}
+
+ModeResult MeasureMode(const FloorPlan& plan, bool hierarchy,
+                       const std::string& path, size_t runs, uint64_t seed,
+                       bool* ok) {
+  ModeResult r;
+  r.mode = hierarchy ? "hierarchy" : "flat";
+  IndexOptions options;
+  options.use_hierarchy = hierarchy;
+
+  WallTimer build_timer;
+  QueryEngine built(plan, options);
+  r.build_ms = build_timer.ElapsedMillis();
+
+  WallTimer save_timer;
+  const Status st = SaveIndexContainer(built.index(), path);
+  r.save_ms = save_timer.ElapsedMillis();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL: save failed: %s\n", st.ToString().c_str());
+    *ok = false;
+    return r;
+  }
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      std::fseek(f, 0, SEEK_END);
+      r.file_mb = static_cast<double>(std::ftell(f)) / (1024.0 * 1024.0);
+      std::fclose(f);
+    }
+  }
+
+  Rng rng(seed ^ 0xC01D57A7ULL);
+  const auto pairs = GeneratePositionPairs(plan, 40, &rng);
+
+  // Checksummed read path: min over runs (the first run also warms the
+  // page cache so `map` below measures the steady state it advertises).
+  for (size_t i = 0; i < runs; ++i) {
+    WallTimer t;
+    auto artifacts = LoadIndexContainer(plan, path);
+    const double ms = t.ElapsedMillis();
+    if (!artifacts.ok()) {
+      std::fprintf(stderr, "FATAL: load failed: %s\n",
+                   artifacts.status().ToString().c_str());
+      *ok = false;
+      return r;
+    }
+    if (i == 0) {
+      IndexOptions cold_options = options;
+      cold_options.use_hierarchy = artifacts->hierarchy.has_value();
+      QueryEngine cold(plan, std::move(artifacts).value(), cold_options);
+      r.identical = VerifyIdentical(built, cold, pairs, "read") &&
+                    r.identical;
+      r.read_ms = ms;
+    } else {
+      r.read_ms = std::min(r.read_ms, ms);
+    }
+  }
+
+  // Zero-copy map path, plus the number a server actually cares about:
+  // map + engine construction + the first answered query.
+  for (size_t i = 0; i < runs; ++i) {
+    WallTimer t;
+    auto artifacts = MapIndexContainer(plan, path);
+    const double ms = t.ElapsedMillis();
+    if (!artifacts.ok()) {
+      std::fprintf(stderr, "FATAL: map failed: %s\n",
+                   artifacts.status().ToString().c_str());
+      *ok = false;
+      return r;
+    }
+    IndexOptions cold_options = options;
+    cold_options.use_hierarchy = artifacts->hierarchy.has_value();
+    QueryEngine cold(plan, std::move(artifacts).value(), cold_options);
+    volatile double sink = cold.Distance(pairs[0].first, pairs[0].second);
+    (void)sink;
+    const double first_ms = t.ElapsedMillis();
+    if (i == 0) {
+      r.identical = VerifyIdentical(built, cold, pairs, "map") &&
+                    r.identical;
+      r.map_ms = ms;
+      r.first_query_ms = first_ms;
+    } else {
+      r.map_ms = std::min(r.map_ms, ms);
+      r.first_query_ms = std::min(r.first_query_ms, first_ms);
+    }
+  }
+
+  if (!r.identical) *ok = false;
+  std::remove(path.c_str());
+  return r;
+}
+
+void PrintRow(const ModeResult& r) {
+  std::printf(
+      "%-10s %8.2f MB  build %9.2f ms  read %7.3f ms (%6.1fx)  "
+      "map %7.3f ms (%6.1fx)  first-query %7.3f ms  %s\n",
+      r.mode.c_str(), r.file_mb, r.build_ms, r.read_ms, r.build_over_read(),
+      r.map_ms, r.build_over_map(), r.first_query_ms,
+      r.identical ? "identical" : "MISMATCH");
+}
+
+void WriteJson(const std::string& path, bool smoke, int buildings,
+               int floors, uint64_t seed, size_t doors,
+               const std::vector<ModeResult>& modes) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"cold_start\",\n  \"smoke\": %s,\n"
+               "  \"buildings\": %d,\n  \"floors\": %d,\n"
+               "  \"seed\": %llu,\n  \"doors\": %zu,\n  \"modes\": {\n",
+               smoke ? "true" : "false", buildings, floors,
+               static_cast<unsigned long long>(seed), doors);
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& r = modes[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"file_mb\": %.3f, \"build_ms\": %.3f, "
+                 "\"save_ms\": %.3f, \"read_ms\": %.3f, \"map_ms\": %.3f, "
+                 "\"first_query_ms\": %.3f, \"build_over_read\": %.2f, "
+                 "\"build_over_map\": %.2f, \"identical\": %s}%s\n",
+                 r.mode.c_str(), r.file_mb, r.build_ms, r.save_ms, r.read_ms,
+                 r.map_ms, r.first_query_ms, r.build_over_read(),
+                 r.build_over_map(), r.identical ? "true" : "false",
+                 i + 1 < modes.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"metrics\": %s}\n",
+               indoor::bench::MetricsJson().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = indoor::bench::SmokeMode();
+  int buildings = 3;
+  int floors = 6;
+  uint64_t seed = 42;
+  size_t runs = 5;
+  std::string json_path;
+  std::string idx_path = "bench_cold_start.idx";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--buildings") {
+      buildings = std::stoi(next());
+    } else if (arg == "--floors") {
+      floors = std::stoi(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--runs") {
+      runs = std::stoul(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--out") {
+      idx_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json out.json] [--buildings B] "
+                   "[--floors N] [--seed S] [--runs R] [--out FILE.idx]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    buildings = std::min(buildings, 2);
+    floors = std::min(floors, 2);
+    runs = std::min<size_t>(runs, 3);
+  }
+
+  CampusConfig config;
+  config.buildings = buildings;
+  config.building.floors = floors;
+  config.building.rooms_per_floor = smoke ? 8 : 20;
+  config.seed = seed;
+  config.building.seed = seed;
+  const FloorPlan plan = GenerateCampus(config);
+  std::printf("campus: %d buildings x %d floors, %zu partitions, "
+              "%zu doors\n",
+              buildings, floors, plan.partition_count(), plan.door_count());
+
+  bool ok = true;
+  std::vector<ModeResult> modes;
+  modes.push_back(MeasureMode(plan, /*hierarchy=*/false, idx_path, runs,
+                              seed, &ok));
+  if (ok) PrintRow(modes.back());
+  if (ok) {
+    modes.push_back(MeasureMode(plan, /*hierarchy=*/true, idx_path, runs,
+                                seed, &ok));
+    if (ok) PrintRow(modes.back());
+  }
+  if (!json_path.empty() && ok) {
+    WriteJson(json_path, smoke, buildings, floors, seed, plan.door_count(),
+              modes);
+  }
+  return ok ? 0 : 1;
+}

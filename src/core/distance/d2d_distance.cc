@@ -1,131 +1,26 @@
 #include "core/distance/d2d_distance.h"
 
-#include "core/distance/dijkstra_stats.h"
-#include "util/metrics.h"
-#include "util/simd.h"
+#include "core/distance/d2d_runner.h"
 
 namespace indoor {
 namespace {
 
-/// Core of Algorithm 1, heap frontier. Runs until `target` is settled (or
-/// the heap drains when target == kInvalidId), returning dist[target] (or
-/// 0; the caller reads the arrays for the single-source variant).
-/// Expansion iterates the pre-flattened CSR door rows
-/// (DistanceGraph::DoorEdges), which relax the same (target, weight)
-/// sequence as the paper's nested EnterableParts/LeaveDoors loops —
-/// distances and prev[] trees are bit-identical to the nested form.
-double RunD2dHeap(const DistanceGraph& graph, DoorId ds, DoorId target,
-                  std::vector<double>* dist_out,
-                  std::vector<char>* visited_buf,
-                  MinHeap<std::pair<double, DoorId>>* heap,
-                  std::vector<PrevEntry>* prev_out) {
-  const size_t n = graph.plan().door_count();
-  INDOOR_CHECK(ds < n);
-
-  std::vector<double>& dist = *dist_out;
-  dist.assign(n, kInfDistance);
-  if (prev_out != nullptr) prev_out->assign(n, PrevEntry{});
-  std::vector<char>& visited = *visited_buf;
-  visited.assign(n, 0);
-
-  heap->clear();
-  dist[ds] = 0.0;
-  heap->push({0.0, ds});
-
-  INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;)
-  while (!heap->empty()) {
-    const auto [d, di] = heap->top();
-    heap->pop();
-    if (visited[di]) continue;
-    visited[di] = 1;
-    INDOOR_METRICS_ONLY(++stats.settles;)
-    if (di == target) return d;
-    for (const DoorGraphEdge& e : graph.DoorEdges(di)) {
-      if (visited[e.to]) continue;
-      if (dist[di] + e.weight < dist[e.to]) {
-        dist[e.to] = dist[di] + e.weight;
-        heap->push({dist[e.to], e.to});
-        INDOOR_METRICS_ONLY(++stats.relaxations;)
-        if (prev_out != nullptr) (*prev_out)[e.to] = {e.via, di};
-      }
-    }
-  }
-  return target == kInvalidId ? 0.0 : dist[target];
-}
-
-/// Core of Algorithm 1, bucket frontier with SIMD batch relaxation over
-/// the SoA edge spans. Bitwise identical to RunD2dHeap:
-///  * BucketQueue extracts the exact lexicographic minimum (distance, id)
-///    entry — the same pop order as the heap (bucket_queue.h invariant);
-///  * simd::AddBase performs the identical per-lane `d + w` additions;
-///  * simd::FilterImprovements selects the lanes with cand < dist[to]
-///    against the pre-span dist values, and the scalar apply loop
-///    re-checks in ascending lane order, so duplicate targets within one
-///    span update exactly as the sequential scalar loop does. The heap
-///    path's `visited[e.to]` skip is subsumed: a settled door has final
-///    dist <= d <= cand, so its lane never passes the filter.
-double RunD2dBucket(const DistanceGraph& graph, DoorId ds, DoorId target,
-                    std::vector<double>* dist_out,
-                    std::vector<char>* visited_buf, BucketQueue* queue,
-                    std::vector<double>* cand_buf,
-                    std::vector<uint32_t>* idx_buf,
-                    std::vector<PrevEntry>* prev_out) {
-  const size_t n = graph.plan().door_count();
-  INDOOR_CHECK(ds < n);
-
-  std::vector<double>& dist = *dist_out;
-  dist.assign(n, kInfDistance);
-  if (prev_out != nullptr) prev_out->assign(n, PrevEntry{});
-  std::vector<char>& visited = *visited_buf;
-  visited.assign(n, 0);
-  cand_buf->resize(graph.max_door_out_degree());
-  idx_buf->resize(graph.max_door_out_degree());
-  double* const cand = cand_buf->data();
-  uint32_t* const idx = idx_buf->data();
-
-  queue->Prepare(graph.max_door_edge_weight());
-  dist[ds] = 0.0;
-  queue->push({0.0, ds});
-
-  INDOOR_METRICS_ONLY(internal::DijkstraRunStats stats;
-                      stats.queue = QueueKind::kBucket;)
-  while (!queue->empty()) {
-    const auto [d, di] = queue->top();
-    queue->pop();
-    if (visited[di]) continue;
-    visited[di] = 1;
-    INDOOR_METRICS_ONLY(++stats.settles;)
-    if (di == target) return d;
-    const std::span<const DoorGraphEdge> edges = graph.DoorEdges(di);
-    const size_t m = edges.size();
-    if (m == 0) continue;
-    simd::AddBase(d, graph.DoorEdgeWeights(di), cand, m);
-    const size_t improved = simd::FilterImprovements(
-        cand, graph.DoorEdgeTargets(di), dist.data(), m, idx);
-    for (size_t k = 0; k < improved; ++k) {
-      const size_t i = idx[k];
-      const DoorId to = edges[i].to;
-      if (cand[i] < dist[to]) {  // re-check: duplicate targets in one span
-        dist[to] = cand[i];
-        queue->push({cand[i], to});
-        INDOOR_METRICS_ONLY(++stats.relaxations;)
-        if (prev_out != nullptr) (*prev_out)[to] = {edges[i].via, di};
-      }
-    }
-  }
-  return target == kInvalidId ? 0.0 : dist[target];
-}
-
+// Algorithm 1's historical entry semantics expressed over the templated
+// runner loops (d2d_runner.h): stop at `target`'s settle and report its
+// settle distance, or run the frontier dry (target == kInvalidId) and let
+// the caller read the arrays.
 double RunD2d(const DistanceGraph& graph, DoorId ds, DoorId target,
               DoorDijkstraScratch* scratch, std::vector<PrevEntry>* prev_out,
               QueueKind kind) {
-  if (kind == QueueKind::kBucket) {
-    return RunD2dBucket(graph, ds, target, &scratch->dist, &scratch->visited,
-                        &scratch->bucket, &scratch->relax_cand,
-                        &scratch->relax_idx, prev_out);
-  }
-  return RunD2dHeap(graph, ds, target, &scratch->dist, &scratch->visited,
-                    &scratch->heap, prev_out);
+  double found = kInfDistance;
+  auto on_settle = [target, &found](DoorId di, double d) {
+    if (di != target) return true;
+    found = d;
+    return false;
+  };
+  RunDoorDijkstra(graph, ds, scratch, kind, prev_out, on_settle);
+  if (target == kInvalidId) return 0.0;
+  return found != kInfDistance ? found : scratch->dist[target];
 }
 
 }  // namespace
@@ -160,12 +55,12 @@ void D2dDistancesFrom(const DistanceGraph& graph, DoorId ds,
     BucketQueue queue;
     std::vector<double> cand;
     std::vector<uint32_t> idx;
-    RunD2dBucket(graph, ds, kInvalidId, dist, &visited, &queue, &cand, &idx,
-                 prev);
+    RunDoorDijkstraBucket(graph, ds, dist, &visited, &queue, &cand, &idx,
+                          prev);
     return;
   }
   MinHeap<std::pair<double, DoorId>> heap;
-  RunD2dHeap(graph, ds, kInvalidId, dist, &visited, &heap, prev);
+  RunDoorDijkstraHeap(graph, ds, dist, &visited, &heap, prev);
 }
 
 }  // namespace indoor

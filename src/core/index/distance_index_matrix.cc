@@ -10,17 +10,35 @@ namespace indoor {
 DistanceIndexMatrix::DistanceIndexMatrix(const DistanceMatrix& matrix,
                                          unsigned threads)
     : n_(matrix.door_count()) {
-  data_.resize(n_ * n_);
+  std::vector<DoorId> data(n_ * n_);
   // Each row is an independent stable sort of [0, n) by its Md2d row; the
   // tie-break by id comes from stable_sort over the iota order, so serial
   // and parallel builds agree exactly.
   ParallelFor(0, n_, threads, [&](size_t di) {
-    DoorId* out = data_.data() + di * n_;
+    DoorId* out = data.data() + di * n_;
     std::iota(out, out + n_, 0);
     const double* row = matrix.Row(static_cast<DoorId>(di));
     std::stable_sort(out, out + n_,
                      [row](DoorId a, DoorId b) { return row[a] < row[b]; });
   });
+  data_ = OwnedSpan<DoorId>::Own(std::move(data));
+}
+
+DistanceIndexMatrix DistanceIndexMatrix::FromRaw(size_t n,
+                                                 std::vector<DoorId> data) {
+  INDOOR_CHECK(data.size() == n * n) << "payload size mismatch";
+  DistanceIndexMatrix matrix;
+  matrix.n_ = n;
+  matrix.data_ = OwnedSpan<DoorId>::Own(std::move(data));
+  return matrix;
+}
+
+DistanceIndexMatrix DistanceIndexMatrix::FromView(size_t n,
+                                                  const DoorId* data) {
+  DistanceIndexMatrix matrix;
+  matrix.n_ = n;
+  matrix.data_ = OwnedSpan<DoorId>::Borrow(data, n * n);
+  return matrix;
 }
 
 }  // namespace indoor

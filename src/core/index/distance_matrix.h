@@ -9,6 +9,7 @@
 
 #include "core/distance/bucket_queue.h"
 #include "core/model/distance_graph.h"
+#include "util/owned_span.h"
 
 namespace indoor {
 
@@ -16,6 +17,10 @@ namespace indoor {
 /// Md2d[d][d] = 0, unreachable pairs hold kInfDistance.
 class DistanceMatrix {
  public:
+  /// An empty matrix (door_count() == 0); the placeholder the framework
+  /// holds when the hierarchy index replaces the flat Md2d.
+  DistanceMatrix() = default;
+
   /// Builds via one single-source Algorithm-1 run per door. Rows are
   /// independent, so construction parallelizes across `threads` workers
   /// (0 = use the hardware concurrency; 1 = sequential). `kind` selects
@@ -27,6 +32,11 @@ class DistanceMatrix {
   /// Adopts a pre-computed payload (used by the binary loader, index_io.h).
   /// `data` must hold n*n row-major entries.
   static DistanceMatrix FromRaw(size_t n, std::vector<double> data);
+
+  /// Borrows a pre-computed payload of n*n row-major entries without
+  /// copying (the mmap-ed container path, index_io.h). The caller keeps
+  /// the backing storage alive for the matrix's lifetime.
+  static DistanceMatrix FromView(size_t n, const double* data);
 
   size_t door_count() const { return n_; }
 
@@ -43,14 +53,13 @@ class DistanceMatrix {
   }
 
   /// Bytes held by the matrix payload (the paper reports 6.25 MB for 1280
-  /// doors with 4-byte elements; we store 8-byte doubles).
-  size_t MemoryBytes() const { return data_.size() * sizeof(double); }
+  /// doors with 4-byte elements; we store 8-byte doubles). Identical for
+  /// owned and mmap-backed payloads.
+  size_t MemoryBytes() const { return data_.PayloadBytes(); }
 
  private:
-  DistanceMatrix() : n_(0) {}
-
-  size_t n_;
-  std::vector<double> data_;
+  size_t n_ = 0;
+  OwnedSpan<double> data_;
 };
 
 }  // namespace indoor

@@ -7,10 +7,10 @@ namespace indoor {
 DoorPartitionTable::DoorPartitionTable(const DistanceGraph& graph,
                                        unsigned threads) {
   const FloorPlan& plan = graph.plan();
-  records_.resize(plan.door_count());
+  std::vector<DptRecord> records(plan.door_count());
   ParallelFor(0, plan.door_count(), threads, [&](size_t i) {
     const DoorId d = static_cast<DoorId>(i);
-    DptRecord& rec = records_[d];
+    DptRecord& rec = records[d];
     rec.door = d;
     const auto& conns = plan.D2P(d);
     if (conns.size() == 1) {
@@ -25,6 +25,20 @@ DoorPartitionTable::DoorPartitionTable(const DistanceGraph& graph,
       rec.dist2 = graph.Fdv(d, vk);
     }
   });
+  records_ = OwnedSpan<DptRecord>::Own(std::move(records));
+}
+
+DoorPartitionTable DoorPartitionTable::FromRaw(std::vector<DptRecord> records) {
+  DoorPartitionTable table;
+  table.records_ = OwnedSpan<DptRecord>::Own(std::move(records));
+  return table;
+}
+
+DoorPartitionTable DoorPartitionTable::FromView(const DptRecord* records,
+                                                size_t count) {
+  DoorPartitionTable table;
+  table.records_ = OwnedSpan<DptRecord>::Borrow(records, count);
+  return table;
 }
 
 }  // namespace indoor

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/model/distance_graph.h"
+#include "util/owned_span.h"
 
 namespace indoor {
 
@@ -30,23 +31,40 @@ struct DptRecord {
 /// field; dense door ids make that a direct index.
 class DoorPartitionTable {
  public:
+  /// An empty table (size() == 0).
+  DoorPartitionTable() = default;
+
   /// One record per door, each independent of the others, so construction
   /// parallelizes across `threads` workers (0 = hardware concurrency,
   /// 1 = sequential) with identical output.
   explicit DoorPartitionTable(const DistanceGraph& graph,
                               unsigned threads = 1);
 
+  /// Adopts pre-computed records (binary loader, index_io.h).
+  static DoorPartitionTable FromRaw(std::vector<DptRecord> records);
+
+  /// Borrows `count` pre-computed records without copying (mmap-ed
+  /// container); the caller keeps the backing storage alive.
+  static DoorPartitionTable FromView(const DptRecord* records, size_t count);
+
+  /// The record of door `d` (dense ids make the sorted table a direct
+  /// index).
   const DptRecord& operator[](DoorId d) const {
     INDOOR_CHECK(d < records_.size());
     return records_[d];
   }
 
+  /// Number of records == the plan's door count.
   size_t size() const { return records_.size(); }
 
-  size_t MemoryBytes() const { return records_.size() * sizeof(DptRecord); }
+  /// Logical bytes of the record array (owned or borrowed alike).
+  size_t MemoryBytes() const { return records_.PayloadBytes(); }
+
+  /// Serialized payload view (index_io.h).
+  std::span<const DptRecord> Records() const { return records_; }
 
  private:
-  std::vector<DptRecord> records_;
+  OwnedSpan<DptRecord> records_;
 };
 
 }  // namespace indoor

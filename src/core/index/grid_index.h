@@ -52,7 +52,10 @@ class KnnCollector {
   /// The collected neighbors, nearest first.
   std::vector<Neighbor> Sorted() const;
 
+  /// The k this collector was (re-)armed with.
   size_t k() const { return k_; }
+
+  /// Candidates currently held (<= k()).
   size_t size() const { return entries_.size(); }
 
   /// Allocated candidate-buffer bytes (scratch-arena decay accounting).
@@ -125,13 +128,17 @@ class GridBucket {
   /// meters (at least 1 x 1 cells).
   GridBucket(const Partition& partition, double cell_size);
 
+  /// Adds an object at `position` (must lie in the covered bounding box).
   void Insert(ObjectId id, const Point& position);
 
   /// Removes the object (position must match the inserted one). Returns
   /// false if absent.
   bool Remove(ObjectId id, const Point& position);
 
+  /// Objects currently in the bucket.
   size_t size() const { return count_; }
+
+  /// Grid cells covering the partition's bounding box.
   size_t cell_count() const { return cells_.size(); }
 
   /// Appends every object id in the bucket (whole-partition inclusion).

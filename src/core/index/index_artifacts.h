@@ -1,0 +1,36 @@
+// Preloaded index structures handed to IndexFramework instead of building
+// from scratch (the cold-start path of `indoor_tool serve --load` /
+// `--load-mmap`). Each member is optional: present structures are adopted,
+// absent ones are built normally. When structures borrow their payloads
+// from an mmap-ed container (index_io.h), `mapping` keeps the backing
+// mapping alive for the framework's lifetime.
+
+#ifndef INDOOR_CORE_INDEX_INDEX_ARTIFACTS_H_
+#define INDOOR_CORE_INDEX_INDEX_ARTIFACTS_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/index/distance_index_matrix.h"
+#include "core/index/distance_matrix.h"
+#include "core/index/dpt.h"
+#include "core/index/hierarchy_index.h"
+#include "core/index/landmark_index.h"
+
+namespace indoor {
+
+/// Deserialized (or mapped) index structures for one plan. Move-only.
+struct IndexArtifacts {
+  std::optional<DistanceMatrix> md2d;
+  std::optional<DistanceIndexMatrix> midx;
+  std::optional<DoorPartitionTable> dpt;
+  std::optional<LandmarkIndex> landmarks;
+  std::optional<HierarchyIndex> hierarchy;
+  /// Keepalive for borrowed payloads (the mmap-ed container); null when
+  /// every present structure owns its storage.
+  std::shared_ptr<const void> mapping;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_INDEX_ARTIFACTS_H_

@@ -38,32 +38,80 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
                         [&] { return DistanceGraph(plan); })),
       locator_(TimedBuild("build.locator_ms",
                           [&] { return PartitionLocator(plan); })),
-      d2d_matrix_(TimedBuild(
-          "build.md2d_ms",
-          [&] {
-            return DistanceMatrix(graph_, options.build_threads,
-                                  options.use_bucket_queue
-                                      ? QueueKind::kBucket
-                                      : QueueKind::kHeap);
-          })),
-      index_matrix_(TimedBuild(
-          "build.midx_ms",
-          [&] {
-            return DistanceIndexMatrix(d2d_matrix_, options.build_threads);
-          })),
-      dpt_(TimedBuild(
-          "build.dpt_ms",
-          [&] { return DoorPartitionTable(graph_, options.build_threads); })),
       objects_(TimedBuild("build.objects_ms", [&] {
         return ObjectStore(plan, options.grid_cell_size);
       })) {
-  if (options_.use_landmarks && options_.landmark_count > 0) {
-    landmarks_ = TimedBuild("build.landmarks_ms", [&] {
-      return LandmarkIndex::Build(graph_, options_.landmark_count,
-                                  options_.use_bucket_queue
-                                      ? QueueKind::kBucket
-                                      : QueueKind::kHeap);
+  BuildStructures(nullptr);
+}
+
+IndexFramework::IndexFramework(const FloorPlan& plan, IndexArtifacts artifacts,
+                               IndexOptions options)
+    : plan_(&plan),
+      options_(options),
+      graph_(TimedBuild("build.graph_ms",
+                        [&] { return DistanceGraph(plan); })),
+      locator_(TimedBuild("build.locator_ms",
+                          [&] { return PartitionLocator(plan); })),
+      objects_(TimedBuild("build.objects_ms", [&] {
+        return ObjectStore(plan, options.grid_cell_size);
+      })) {
+  BuildStructures(&artifacts);
+}
+
+void IndexFramework::BuildStructures(IndexArtifacts* artifacts) {
+  const size_t doors = plan_->door_count();
+  const QueueKind kind = queue_kind();
+  if (artifacts != nullptr) mapping_ = std::move(artifacts->mapping);
+  if (options_.use_hierarchy) {
+    if (artifacts != nullptr && artifacts->hierarchy.has_value()) {
+      hierarchy_ = std::move(*artifacts->hierarchy);
+      INDOOR_CHECK(hierarchy_.door_count() == doors)
+          << "preloaded hierarchy was built for a different plan";
+    } else {
+      hierarchy_ = TimedBuild("build.hier_ms", [&] {
+        return HierarchyIndex::Build(graph_, options_.build_threads,
+                                     options_.hierarchy_cell_target, kind);
+      });
+    }
+  } else {
+    if (artifacts != nullptr && artifacts->md2d.has_value()) {
+      d2d_matrix_ = std::move(*artifacts->md2d);
+      INDOOR_CHECK(d2d_matrix_.door_count() == doors)
+          << "preloaded Md2d was built for a different plan";
+    } else {
+      d2d_matrix_ = TimedBuild("build.md2d_ms", [&] {
+        return DistanceMatrix(graph_, options_.build_threads, kind);
+      });
+    }
+    if (artifacts != nullptr && artifacts->midx.has_value()) {
+      index_matrix_ = std::move(*artifacts->midx);
+      INDOOR_CHECK(index_matrix_.door_count() == doors)
+          << "preloaded Midx was built for a different plan";
+    } else {
+      index_matrix_ = TimedBuild("build.midx_ms", [&] {
+        return DistanceIndexMatrix(d2d_matrix_, options_.build_threads);
+      });
+    }
+  }
+  if (artifacts != nullptr && artifacts->dpt.has_value()) {
+    dpt_ = std::move(*artifacts->dpt);
+    INDOOR_CHECK(dpt_.size() == doors)
+        << "preloaded DPT was built for a different plan";
+  } else {
+    dpt_ = TimedBuild("build.dpt_ms", [&] {
+      return DoorPartitionTable(graph_, options_.build_threads);
     });
+  }
+  if (options_.use_landmarks && options_.landmark_count > 0) {
+    if (artifacts != nullptr && artifacts->landmarks.has_value()) {
+      landmarks_ = std::move(*artifacts->landmarks);
+      INDOOR_CHECK(landmarks_.door_count() == doors || !landmarks_.valid())
+          << "preloaded landmarks were built for a different plan";
+    } else {
+      landmarks_ = TimedBuild("build.landmarks_ms", [&] {
+        return LandmarkIndex::Build(graph_, options_.landmark_count, kind);
+      });
+    }
   }
   if (options_.enable_query_cache) {
     QueryCacheOptions cache_options;
@@ -73,8 +121,8 @@ IndexFramework::IndexFramework(const FloorPlan& plan, IndexOptions options)
     cache_options.host_capacity_bytes = options_.cache_capacity_bytes / 4;
     cache_options.result_capacity_bytes = options_.cache_capacity_bytes / 4;
     cache_options.shards = options_.cache_shards;
-    query_cache_ =
-        std::make_unique<QueryCache>(plan, locator_, objects_, cache_options);
+    query_cache_ = std::make_unique<QueryCache>(*plan_, locator_, objects_,
+                                                cache_options);
   }
 }
 

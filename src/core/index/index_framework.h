@@ -12,6 +12,8 @@
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
 #include "core/index/dpt.h"
+#include "core/index/hierarchy_index.h"
+#include "core/index/index_artifacts.h"
 #include "core/index/landmark_index.h"
 #include "core/index/object_store.h"
 #include "core/model/distance_graph.h"
@@ -44,6 +46,20 @@ struct IndexOptions {
   /// build work and per-bound arithmetic.
   unsigned landmark_count = 8;
 
+  /// Replace the flat O(|D|^2) Md2d/Midx with the partition-contraction
+  /// hierarchy (hierarchy_index.h): per-cell exact distance blocks plus a
+  /// border-door clique, with bounded Dijkstra expansions at query time.
+  /// Every query result stays bitwise identical to the flat engine (the
+  /// flat path remains the default and the oracle); only build time,
+  /// memory, and per-query work change. Query paths that still require
+  /// the dense matrices (distance joins, incremental kNN, the reference
+  /// implementations) reject with a CHECK under this option.
+  bool use_hierarchy = false;
+  /// Target partitions per hierarchy cell (build-time clustering knob).
+  /// Smaller cells = less block memory but more border doors; the total
+  /// footprint is sum_c |M_c|^2 + |B|^2 versus the flat |D|^2.
+  unsigned hierarchy_cell_target = 128;
+
   /// Cross-query work sharing (core/query/query_cache.h): cache host
   /// partition lookups and source/destination door distance fields across
   /// queries. Results are bit-identical with the cache on or off; turn it
@@ -74,14 +90,47 @@ struct IndexOptions {
 class IndexFramework {
  public:
   explicit IndexFramework(const FloorPlan& plan, IndexOptions options = {});
+
+  /// Cold-start constructor: adopts the preloaded (or mmap-ed) structures
+  /// in `artifacts` and builds only the absent ones. The artifacts must
+  /// have been produced for `plan` (index_io.cc authenticates the
+  /// container by plan fingerprint before handing them over).
+  IndexFramework(const FloorPlan& plan, IndexArtifacts artifacts,
+                 IndexOptions options = {});
+
   ~IndexFramework();  // defined in .cc where QueryCache is complete
 
   const FloorPlan& plan() const { return *plan_; }
   const IndexOptions& options() const { return options_; }
   const DistanceGraph& graph() const { return graph_; }
   const PartitionLocator& locator() const { return locator_; }
-  const DistanceMatrix& d2d_matrix() const { return d2d_matrix_; }
-  const DistanceIndexMatrix& index_matrix() const { return index_matrix_; }
+
+  /// True when the dense Md2d/Midx pair exists (the default); false under
+  /// IndexOptions::use_hierarchy, where the hierarchy serves instead.
+  bool has_flat_matrix() const { return !options_.use_hierarchy; }
+
+  /// The frontier every door-graph Dijkstra of this framework uses.
+  QueueKind queue_kind() const {
+    return options_.use_bucket_queue ? QueueKind::kBucket : QueueKind::kHeap;
+  }
+
+  const DistanceMatrix& d2d_matrix() const {
+    INDOOR_CHECK(has_flat_matrix())
+        << "flat Md2d disabled by IndexOptions::use_hierarchy; this query "
+           "path has no hierarchy lowering";
+    return d2d_matrix_;
+  }
+  const DistanceIndexMatrix& index_matrix() const {
+    INDOOR_CHECK(has_flat_matrix())
+        << "flat Midx disabled by IndexOptions::use_hierarchy; this query "
+           "path has no hierarchy lowering";
+    return index_matrix_;
+  }
+
+  /// The partition-contraction hierarchy; invalid (valid() == false) when
+  /// IndexOptions::use_hierarchy is off or the plan has no doors.
+  const HierarchyIndex& hierarchy_index() const { return hierarchy_; }
+
   const DoorPartitionTable& dpt() const { return dpt_; }
   ObjectStore& objects() { return objects_; }
   const ObjectStore& objects() const { return objects_; }
@@ -113,23 +162,30 @@ class IndexFramework {
   }
 
   /// Total bytes of the pre-computed structures (Md2d + Midx + DPT +
-  /// landmark rows).
+  /// landmark rows + hierarchy arrays; absent structures report 0).
   size_t IndexMemoryBytes() const {
     return d2d_matrix_.MemoryBytes() + index_matrix_.MemoryBytes() +
-           dpt_.MemoryBytes() + landmarks_.MemoryBytes();
+           dpt_.MemoryBytes() + landmarks_.MemoryBytes() +
+           hierarchy_.MemoryBytes();
   }
 
  private:
+  /// Adopts present artifacts and builds the rest (both constructors).
+  void BuildStructures(IndexArtifacts* artifacts);
+
   const FloorPlan* plan_;
   IndexOptions options_;
   DistanceGraph graph_;
   PartitionLocator locator_;
-  DistanceMatrix d2d_matrix_;
-  DistanceIndexMatrix index_matrix_;
+  DistanceMatrix d2d_matrix_;       // empty under use_hierarchy
+  DistanceIndexMatrix index_matrix_;  // empty under use_hierarchy
   DoorPartitionTable dpt_;
-  LandmarkIndex landmarks_;  // invalid (empty) when disabled
+  HierarchyIndex hierarchy_;  // invalid unless use_hierarchy
+  LandmarkIndex landmarks_;   // invalid (empty) when disabled
   ObjectStore objects_;
   std::unique_ptr<QueryCache> query_cache_;  // null when disabled
+  /// Keeps an mmap-ed container alive while structures borrow its pages.
+  std::shared_ptr<const void> mapping_;
 };
 
 }  // namespace indoor

@@ -1,9 +1,33 @@
 // Binary persistence for the pre-computed distance structures. Building
 // Md2d costs |doors| Dijkstra runs (seconds on a 40-floor building, see
 // bench_ablation_matrix_build); a deployment computes it once and loads it
-// at startup. The format carries a magic header, the door count, and a
-// checksum of the plan's door geometry so a stale cache for a modified
-// floor plan is rejected instead of silently reused.
+// at startup.
+//
+// Two generations of formats live here:
+//
+//  * The legacy single-structure files (SaveDistanceMatrix /
+//    SaveLandmarkIndex): magic header, plan fingerprint, payload, magic
+//    trailer. Kept readable and writable for compatibility.
+//
+//  * The INDOORIX container (SaveIndexContainer / LoadIndexContainer /
+//    MapIndexContainer): ONE versioned, sectioned, mmap-able file holding
+//    every persistable structure of an IndexFramework — Md2d, Midx, DPT,
+//    landmark rows, and the hierarchy index. A 64-byte file header
+//    (magic, version, plan fingerprint, file size, section count, door and
+//    partition counts) is followed by a table of 32-byte section entries
+//    (8-char tag, 64-byte-aligned offset, size, checksum) and the
+//    payloads themselves, each starting on a 64-byte boundary so a mapped
+//    file serves array views in place; the final 8 bytes repeat the magic
+//    to guard truncation. docs/FORMAT.md specifies every byte.
+//
+// LoadIndexContainer reads the file into owning structures and verifies
+// every section checksum; MapIndexContainer mmaps it, performs structural
+// validation only (bounds, alignment, counts, internal offset invariants
+// — page content is NOT checksummed), and returns structures that borrow
+// the mapping, which stays alive through IndexArtifacts::mapping. Every
+// failure is a clean Status naming the file path and, where one is
+// involved, the section; a stale file for a modified floor plan is
+// rejected by fingerprint instead of silently reused.
 
 #ifndef INDOOR_CORE_INDEX_INDEX_IO_H_
 #define INDOOR_CORE_INDEX_INDEX_IO_H_
@@ -12,6 +36,8 @@
 
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
+#include "core/index/index_artifacts.h"
+#include "core/index/index_framework.h"
 #include "core/index/landmark_index.h"
 #include "indoor/floor_plan.h"
 #include "util/result.h"
@@ -42,6 +68,37 @@ Status SaveLandmarkIndex(const LandmarkIndex& landmarks,
 /// fingerprint; error taxonomy as LoadDistanceMatrix.
 Result<LandmarkIndex> LoadLandmarkIndex(const FloorPlan& plan,
                                         const std::string& path);
+
+// ---- The INDOORIX sectioned container ----------------------------------
+
+/// Container format version written by SaveIndexContainer.
+inline constexpr uint32_t kIndexContainerVersion = 1;
+
+/// Writes every persistable structure `index` holds into one INDOORIX
+/// container at `path`: Md2d + Midx (flat mode) or the hierarchy
+/// (use_hierarchy mode), plus the DPT and, when built, the landmark rows.
+Status SaveIndexContainer(const IndexFramework& index,
+                          const std::string& path);
+
+/// Reads a container into owning structures, verifying the plan
+/// fingerprint and every section checksum. Fails with FailedPrecondition
+/// when the plan changed, ParseError on corruption (bad magic, truncated
+/// or misaligned section, checksum mismatch — the message names the
+/// section), IOError when unreadable.
+Result<IndexArtifacts> LoadIndexContainer(const FloorPlan& plan,
+                                          const std::string& path);
+
+/// Maps a container with mmap and returns structures that borrow the
+/// mapped pages (zero copy; the mapping is held alive by the returned
+/// IndexArtifacts::mapping and by any IndexFramework the artifacts are
+/// moved into). Validation is structural only — header, fingerprint,
+/// section bounds/alignment, and every internal count/offset invariant
+/// are checked, but payload bytes are not checksummed (the file system is
+/// trusted on this path; use LoadIndexContainer to authenticate content).
+/// Publishes the `load.mmap_ms` gauge. Unimplemented on platforms
+/// without mmap.
+Result<IndexArtifacts> MapIndexContainer(const FloorPlan& plan,
+                                         const std::string& path);
 
 }  // namespace indoor
 

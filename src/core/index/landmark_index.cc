@@ -53,10 +53,11 @@ LandmarkIndex LandmarkIndex::Build(const DistanceGraph& graph, size_t count,
   // when every door is already a landmark's own door (score 0).
   std::vector<std::vector<double>> fwd_rows;
   std::vector<std::vector<double>> bwd_rows;
+  std::vector<DoorId> landmark_doors;
   std::vector<double> score(n, kInfDistance);
   DoorId next = 0;
   for (size_t l = 0; l < count; ++l) {
-    index.landmark_doors_.push_back(next);
+    landmark_doors.push_back(next);
     fwd_rows.emplace_back();
     D2dDistancesFrom(graph, next, &fwd_rows.back(), nullptr, kind);
     bwd_rows.emplace_back();
@@ -78,19 +79,18 @@ LandmarkIndex LandmarkIndex::Build(const DistanceGraph& graph, size_t count,
   }
 
   // Transpose into the per-door layout.
-  const size_t chosen = index.landmark_doors_.size();
-  index.count_ = chosen;
-  index.door_count_ = n;
-  index.fwd_.resize(n * chosen);
-  index.bwd_.resize(n * chosen);
+  const size_t chosen = landmark_doors.size();
+  std::vector<double> fwd(n * chosen);
+  std::vector<double> bwd(n * chosen);
   for (size_t l = 0; l < chosen; ++l) {
     for (DoorId d = 0; d < n; ++d) {
-      index.fwd_[static_cast<size_t>(d) * chosen + l] = fwd_rows[l][d];
-      index.bwd_[static_cast<size_t>(d) * chosen + l] = bwd_rows[l][d];
+      fwd[static_cast<size_t>(d) * chosen + l] = fwd_rows[l][d];
+      bwd[static_cast<size_t>(d) * chosen + l] = bwd_rows[l][d];
     }
   }
   INDOOR_GAUGE_SET("index.landmarks.count", static_cast<double>(chosen));
-  return index;
+  return FromRaw(n, std::move(landmark_doors), std::move(fwd),
+                 std::move(bwd));
 }
 
 LandmarkIndex LandmarkIndex::FromRaw(size_t door_count,
@@ -104,9 +104,21 @@ LandmarkIndex LandmarkIndex::FromRaw(size_t door_count,
       << "landmark payload size mismatch";
   index.count_ = chosen;
   index.door_count_ = door_count;
-  index.landmark_doors_ = std::move(landmark_doors);
-  index.fwd_ = std::move(fwd);
-  index.bwd_ = std::move(bwd);
+  index.landmark_doors_ = OwnedSpan<DoorId>::Own(std::move(landmark_doors));
+  index.fwd_ = OwnedSpan<double>::Own(std::move(fwd));
+  index.bwd_ = OwnedSpan<double>::Own(std::move(bwd));
+  return index;
+}
+
+LandmarkIndex LandmarkIndex::FromView(size_t door_count, size_t count,
+                                      const DoorId* landmark_doors,
+                                      const double* fwd, const double* bwd) {
+  LandmarkIndex index;
+  index.count_ = count;
+  index.door_count_ = door_count;
+  index.landmark_doors_ = OwnedSpan<DoorId>::Borrow(landmark_doors, count);
+  index.fwd_ = OwnedSpan<double>::Borrow(fwd, door_count * count);
+  index.bwd_ = OwnedSpan<double>::Borrow(bwd, door_count * count);
   return index;
 }
 

@@ -32,6 +32,7 @@
 
 #include "core/distance/bucket_queue.h"
 #include "core/model/distance_graph.h"
+#include "util/owned_span.h"
 #include "util/simd.h"
 
 namespace indoor {
@@ -61,6 +62,12 @@ class LandmarkIndex {
                                std::vector<double> fwd,
                                std::vector<double> bwd);
 
+  /// Borrows precomputed payloads without copying (mmap-ed container);
+  /// the caller keeps the backing storage alive. Layout as in FromRaw.
+  static LandmarkIndex FromView(size_t door_count, size_t count,
+                                const DoorId* landmark_doors,
+                                const double* fwd, const double* bwd);
+
   bool valid() const { return count_ > 0; }
   /// Number of landmarks actually selected (selection stops early once
   /// every door is within distance 0 of a landmark).
@@ -85,19 +92,23 @@ class LandmarkIndex {
                               BackwardRow(t), count_);
   }
 
+  /// Serialized payload views (index_io.h).
+  std::span<const double> ForwardPayload() const { return fwd_; }
+  std::span<const double> BackwardPayload() const { return bwd_; }
+
   /// Bytes held by the precomputed rows.
   size_t MemoryBytes() const {
-    return (fwd_.size() + bwd_.size()) * sizeof(double) +
-           landmark_doors_.size() * sizeof(DoorId);
+    return fwd_.PayloadBytes() + bwd_.PayloadBytes() +
+           landmark_doors_.PayloadBytes();
   }
 
  private:
   size_t count_ = 0;
   size_t door_count_ = 0;
-  std::vector<DoorId> landmark_doors_;
+  OwnedSpan<DoorId> landmark_doors_;
   // Transposed per-door rows: index [d * count_ + l].
-  std::vector<double> fwd_;
-  std::vector<double> bwd_;
+  OwnedSpan<double> fwd_;
+  OwnedSpan<double> bwd_;
 };
 
 }  // namespace indoor

@@ -101,20 +101,28 @@ class ObjectStore {
   bool ChangedSince(PartitionId v, uint64_t since,
                     std::vector<ObjectId>* out) const;
 
+  /// The object with dense id `id` (checked).
   const IndoorObject& object(ObjectId id) const {
     INDOOR_CHECK(id < objects_.size());
     return objects_[id];
   }
 
+  /// Number of stored objects (ids are dense in [0, size())).
   size_t size() const { return objects_.size(); }
+
+  /// All objects, indexed by id.
   const std::vector<IndoorObject>& objects() const { return objects_; }
 
+  /// The grid bucket holding partition `v`'s objects.
   const GridBucket& bucket(PartitionId v) const {
     INDOOR_CHECK(v < buckets_.size());
     return buckets_[v];
   }
 
+  /// Grid cell edge length (meters) every bucket was built with.
   double grid_cell_size() const { return grid_cell_size_; }
+
+  /// The plan this store was built against.
   const FloorPlan& plan() const { return *plan_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/distance/d2d_runner.h"
 #include "core/distance/query_scratch.h"
 #include "core/query/query_cache.h"
 #include "core/query/result_digest.h"
@@ -177,7 +178,11 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
   qscope.SetHost(v);
-  const uint8_t result_kind = options.use_index_matrix ? 1 : 3;
+  // Result kinds keep cached entries of the three door-expansion engines
+  // (Midx scan / full-row scan / hierarchy) apart; the repair machinery is
+  // engine-independent (gates + intra-partition geometry only).
+  const uint8_t result_kind =
+      !index.has_flat_matrix() ? 5 : (options.use_index_matrix ? 1 : 3);
   if (cache != nullptr) {
     std::vector<Neighbor> cached;
     StaleResult& stale = TlsStaleResult();
@@ -242,7 +247,6 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   }
 
   const size_t n = plan.door_count();
-  const DistanceMatrix& md2d = index.d2d_matrix();
   const DoorPartitionTable& dpt = index.dpt();
 
   // Lines 4-19: expand through every leaveable door of the host partition.
@@ -252,6 +256,86 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   src_leg.resize(src_doors.size());
   CachedFieldLegs(cache, index.locator(), FieldKind::kLeaveFrom, v, q,
                   src_doors, &scratch->geo, src_leg.data());
+  if (!index.has_flat_matrix()) {
+    // Hierarchy engine. kNN is the delicate case: the collector resolves
+    // exact-distance ties at its admission boundary by OFFER ORDER, so
+    // the hierarchy must reproduce the flat Midx scan's offer sequence
+    // exactly, not just its offer set. It can: Midx rows are sorted by
+    // (distance, id) — precisely the settle order of the door Dijkstra
+    // (ties co-reside in the frontier because edge weights are positive,
+    // and both frontiers pop lexicographically) — so a bounded Dijkstra
+    // that checks the flat break condition BEFORE each offer emits the
+    // identical sequence. The push prune (offer above the current bound,
+    // which never rises) suppresses only offers the collector would
+    // reject; when it fires, the flat scan — whose offers from that point
+    // on are all at least as large — breaks at the first suppressed door,
+    // so the run's stop check fires before any post-prune offer diverges.
+    // The inf tail: when every reachable door settles unpruned, the flat
+    // scan reaches its unreachable entries (id-ordered by the stable
+    // sort) and offers r1 + inf until the break; a prune implies a finite
+    // bound, which makes the flat tail break immediately — hence the tail
+    // replay below runs exactly when no stop and no prune occurred.
+    // (The cell blocks themselves stay unused here: an adaptive collector
+    // bound cannot be served from a static block without re-deriving the
+    // offer order, so kNN always takes the bounded-run path.)
+    INDOOR_METRICS_ONLY(uint64_t runs = 0;)
+    INDOOR_TRACE_SPAN("door_expansion");
+    for (size_t i = 0; i < src_doors.size(); ++i) {
+      const DoorId di = src_doors[i];
+      const double r1 = src_leg[i];
+      if (r1 == kInfDistance) continue;
+      INDOOR_METRICS_ONLY(++runs;)
+      bool stopped = false;
+      uint64_t prunes = 0;
+      RunDoorDijkstra(
+          index.graph(), di, &scratch->door, index.queue_kind(), nullptr,
+          [&](DoorId dj, double d) {
+            if (r1 + d > collector.Bound()) {
+              stopped = true;
+              return false;
+            }
+            const double r2 = r1 + d;
+            SearchSide(index, dpt[dj].part1, dj, r2, &scratch->bucket,
+                       &collector, deps, gates);
+            SearchSide(index, dpt[dj].part2, dj, r2, &scratch->bucket,
+                       &collector, deps, gates);
+            return true;
+          },
+          [&](double cand) {
+            if (r1 + cand > collector.Bound()) {
+              ++prunes;
+              return false;
+            }
+            return true;
+          });
+      if (stopped || prunes != 0) continue;
+      // Unreachable-door tail of the flat scan, in ascending door id.
+      const std::vector<char>& visited = scratch->door.visited;
+      for (DoorId dj = 0; dj < n; ++dj) {
+        if (visited[dj]) continue;
+        if (r1 + kInfDistance > collector.Bound()) break;
+        SearchSide(index, dpt[dj].part1, dj, kInfDistance, &scratch->bucket,
+                   &collector, deps, gates);
+        SearchSide(index, dpt[dj].part2, dj, kInfDistance, &scratch->bucket,
+                   &collector, deps, gates);
+      }
+    }
+    INDOOR_METRICS_ONLY(
+        INDOOR_COUNTER_ADD("index.hier.knn.runs", runs);
+        FlushBucketStats(&scratch->bucket);)
+    std::vector<Neighbor> sorted = collector.Sorted();
+    if (cache != nullptr) {
+      cache->InsertKnnResult(q, k, result_kind, *deps, *gates, sorted);
+    }
+    if (sorted.size() > k) sorted.resize(k);
+    INDOOR_HISTOGRAM_RECORD("query.knn.results", sorted.size());
+    if (qscope.active()) {
+      qscope.SetResult(static_cast<uint32_t>(sorted.size()),
+                       qdigest::KnnDigest(sorted));
+    }
+    return sorted;
+  }
+  const DistanceMatrix& md2d = index.d2d_matrix();
   INDOOR_METRICS_ONLY(uint64_t md2d_rows = 0; uint64_t midx_rows = 0;
                       uint64_t entries = 0;)
   {

@@ -6,4 +6,10 @@ QueryEngine::QueryEngine(FloorPlan plan, IndexOptions options)
     : plan_(std::make_unique<FloorPlan>(std::move(plan))),
       index_(std::make_unique<IndexFramework>(*plan_, options)) {}
 
+QueryEngine::QueryEngine(FloorPlan plan, IndexArtifacts artifacts,
+                         IndexOptions options)
+    : plan_(std::make_unique<FloorPlan>(std::move(plan))),
+      index_(std::make_unique<IndexFramework>(*plan_, std::move(artifacts),
+                                              options)) {}
+
 }  // namespace indoor

@@ -8,6 +8,7 @@
 #include <memory>
 #include <span>
 
+#include "core/distance/hierarchy_distance.h"
 #include "core/distance/matrix_distance.h"
 #include "core/distance/shortest_path.h"
 #include "core/query/batch_executor.h"
@@ -41,6 +42,12 @@ class QueryEngine {
   /// Takes ownership of the plan and builds every index over it.
   explicit QueryEngine(FloorPlan plan, IndexOptions options = {});
 
+  /// Takes ownership of the plan and adopts preloaded index structures
+  /// (the `indoor_tool serve --load` / `--load-mmap` cold-start path);
+  /// structures absent from `artifacts` are built normally.
+  QueryEngine(FloorPlan plan, IndexArtifacts artifacts,
+              IndexOptions options = {});
+
   const FloorPlan& plan() const { return *plan_; }
   const IndexFramework& index() const { return *index_; }
   IndexFramework& index() { return *index_; }
@@ -71,16 +78,27 @@ class QueryEngine {
   }
 
   /// Minimum indoor walking distance between two positions (exact; reads
-  /// the pre-computed Md2d, no per-query graph search). kInfDistance when
-  /// disconnected or not indoors.
+  /// the pre-computed Md2d — or, under IndexOptions::use_hierarchy, the
+  /// bit-identical hierarchy solver). kInfDistance when disconnected or
+  /// not indoors.
   double Distance(const Point& ps, const Point& pt,
                   QueryScratch* scratch = nullptr) const {
+    if (!index_->has_flat_matrix()) {
+      return Pt2PtDistanceHierarchy(index_->locator(), index_->graph(),
+                                    index_->hierarchy_index(), ps, pt,
+                                    scratch, index_->query_cache(),
+                                    index_->queue_kind());
+    }
     return Pt2PtDistanceMatrix(index_->locator(), index_->d2d_matrix(), ps,
                                pt, scratch, index_->query_cache());
   }
 
   /// Minimum walking distance between two doors.
   double DoorDistance(DoorId ds, DoorId dt) const {
+    if (!index_->has_flat_matrix()) {
+      return HierarchyDoorDistance(index_->graph(), index_->hierarchy_index(),
+                                   ds, dt, nullptr, index_->queue_kind());
+    }
     return index_->d2d_matrix().At(ds, dt);
   }
 

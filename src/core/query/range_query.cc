@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/distance/d2d_runner.h"
 #include "core/distance/query_scratch.h"
 #include "core/query/query_cache.h"
 #include "core/query/result_digest.h"
@@ -109,7 +110,11 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   if (!host.ok() || r < 0) return result;
   const PartitionId v = host.value();
   qscope.SetHost(v);
-  const uint8_t result_kind = options.use_index_matrix ? 0 : 2;
+  // Result kinds keep cached entries of the three door-expansion engines
+  // (Midx scan / full-row scan / hierarchy) apart; the repair machinery is
+  // engine-independent (gates + intra-partition geometry only).
+  const uint8_t result_kind =
+      !index.has_flat_matrix() ? 4 : (options.use_index_matrix ? 0 : 2);
   if (cache != nullptr) {
     StaleResult& stale = TlsStaleResult();
     switch (cache->ProbeRangeResult(q, r, result_kind, &result, &stale)) {
@@ -161,7 +166,6 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   for (const Neighbor& nb : found) result.push_back(nb.id);
 
   const size_t n = plan.door_count();
-  const DistanceMatrix& md2d = index.d2d_matrix();
   const DoorPartitionTable& dpt = index.dpt();
 
   // Lines 3-20: expand through every leaveable door of the host partition.
@@ -171,6 +175,81 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
   src_leg.resize(src_doors.size());
   CachedFieldLegs(cache, index.locator(), FieldKind::kLeaveFrom, v, q,
                   src_doors, &scratch->geo, src_leg.data());
+  if (!index.has_flat_matrix()) {
+    // Hierarchy engine: the flat scans above enumerate exactly the doors
+    // dj with Md2d[di][dj] <= r1 and hand each an r2 = r1 - Md2d[di][dj];
+    // the final result is sorted + deduplicated, so only that SET of
+    // (door, r2) side-searches matters, not its order. Two loss-free ways
+    // to enumerate it without Md2d:
+    //  * di interior to cell c and r1 strictly below its escape radius:
+    //    every door within r1 is provably a member of c, so the cell
+    //    block row IS the r1-ball (entries bit-equal to Md2d).
+    //  * otherwise a bounded Dijkstra from di: settled distances are
+    //    bit-equal to Md2d (settle-prefix), the fixed radius r1 makes the
+    //    push prune loss-free, and the run stops at the first settle
+    //    beyond r1 (everything later is farther still).
+    const HierarchyIndex& hier = index.hierarchy_index();
+    INDOOR_METRICS_ONLY(uint64_t block_scans = 0; uint64_t runs = 0;)
+    INDOOR_TRACE_SPAN("door_expansion");
+    for (size_t i = 0; i < src_doors.size(); ++i) {
+      const DoorId di = src_doors[i];
+      const double r1 = r - src_leg[i];
+      if (r1 < 0) continue;
+      const auto cells = hier.CellsOfDoor(di);
+      bool served = false;
+      if (cells[1] == HierarchyIndex::kNone) {
+        const uint32_t c = cells[0];
+        const uint32_t local = hier.LocalIndex(c, di);
+        if (r1 < hier.EscapeRadius(c, local)) {
+          const double* brow = hier.BlockRow(c, local);
+          const auto members = hier.CellMembers(c);
+          INDOOR_METRICS_ONLY(++block_scans;)
+          for (size_t j = 0; j < members.size(); ++j) {
+            if (brow[j] > r1) continue;
+            const DoorId dj = members[j];
+            const double r2 = r1 - brow[j];
+            SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
+                       &scratch->bucket, &found, &result, deps, gates);
+            SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
+                       &scratch->bucket, &found, &result, deps, gates);
+          }
+          served = true;
+        }
+      }
+      if (!served) {
+        INDOOR_METRICS_ONLY(++runs;)
+        RunDoorDijkstra(
+            index.graph(), di, &scratch->door, index.queue_kind(), nullptr,
+            [&](DoorId dj, double d) {
+              if (d > r1) return false;
+              const double r2 = r1 - d;
+              SearchSide(index, dpt[dj].part1, dpt[dj].dist1, dj, r2,
+                         &scratch->bucket, &found, &result, deps, gates);
+              SearchSide(index, dpt[dj].part2, dpt[dj].dist2, dj, r2,
+                         &scratch->bucket, &found, &result, deps, gates);
+              return true;
+            },
+            [&](double cand) { return cand <= r1; });
+      }
+    }
+    INDOOR_METRICS_ONLY(
+        INDOOR_COUNTER_ADD("index.hier.range.block_scans", block_scans);
+        INDOOR_COUNTER_ADD("index.hier.range.runs", runs);
+        FlushBucketStats(&scratch->bucket);)
+
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    if (cache != nullptr) {
+      cache->InsertRangeResult(q, r, result_kind, *deps, *gates, result);
+    }
+    INDOOR_HISTOGRAM_RECORD("query.range.results", result.size());
+    if (qscope.active()) {
+      qscope.SetResult(static_cast<uint32_t>(result.size()),
+                       qdigest::RangeDigest(result));
+    }
+    return result;
+  }
+  const DistanceMatrix& md2d = index.d2d_matrix();
   INDOOR_METRICS_ONLY(uint64_t md2d_rows = 0; uint64_t midx_rows = 0;
                       uint64_t entries = 0;)
   {

@@ -1,51 +1,64 @@
 #include "gen/building_generator.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "indoor/floor_plan_builder.h"
 
 namespace indoor {
+namespace {
 
-FloorPlan GenerateBuilding(const BuildingConfig& config) {
+// One building's bounding-box half extents, shared by the single-building
+// and campus layouts.
+constexpr double kShaftDepth = 3.0;
+
+double BuildingWidth(const BuildingConfig& config) {
+  const int rooms_bottom = (config.rooms_per_floor + 1) / 2;
+  return rooms_bottom * config.room_width;  // hallway length
+}
+
+double BuildingHeight(const BuildingConfig& config) {
+  const double max_depth = config.room_depth * (1.0 + config.room_size_jitter);
+  const double band = 2.0 * max_depth + config.hallway_width;
+  return (config.floors - 1) * (band + config.floor_gap) + band;
+}
+
+// Emits one building's partitions and doors at horizontal offset `x_off`,
+// prefixing every name with `prefix` ("" for the single-building plan,
+// "bN_" on a campus). When `outdoor` is a valid partition, a ground-floor
+// entrance door is added on the building's left wall. The jitter stream
+// `rng` is shared across buildings so campus buildings differ naturally.
+void EmitBuilding(FloorPlanBuilder& builder, const BuildingConfig& config,
+                  Rng& rng, double x_off, const std::string& prefix,
+                  PartitionId outdoor) {
   INDOOR_CHECK(config.floors >= 1);
   INDOOR_CHECK(config.rooms_per_floor >= 1);
   INDOOR_CHECK(config.room_size_jitter >= 0.0 &&
                config.room_size_jitter < 1.0);
-  Rng rng(config.seed);
-  FloorPlanBuilder builder;
 
   const int rooms_bottom = (config.rooms_per_floor + 1) / 2;
   const int rooms_top = config.rooms_per_floor / 2;
   const double rw = config.room_width;
-  const double width = rooms_bottom * rw;  // hallway length
+  const double width = BuildingWidth(config);
   const double max_depth = config.room_depth * (1.0 + config.room_size_jitter);
   const double band = 2.0 * max_depth + config.hallway_width;
   const double stride = band + config.floor_gap;
   const double dw = config.door_width;
-  const double shaft_depth = 3.0;
 
   // Per-floor hallway partition ids and y-extents.
   std::vector<PartitionId> hallways(config.floors + 1, kInvalidId);
   std::vector<double> hall_lo(config.floors + 1), hall_hi(config.floors + 1);
 
-  PartitionId outdoor = kInvalidId;
-  if (config.with_outdoor) {
-    const double top = (config.floors - 1) * stride + band;
-    outdoor = builder.AddPartition(
-        "outdoor", PartitionKind::kOutdoor, 0,
-        Rect(-shaft_depth - 2.0, -2.0, width + shaft_depth + 2.0, top + 2.0));
-  }
-
   for (int f = 1; f <= config.floors; ++f) {
     const double y0 = (f - 1) * stride;
     hall_lo[f] = y0 + max_depth;
     hall_hi[f] = hall_lo[f] + config.hallway_width;
-    const std::string prefix = "f" + std::to_string(f) + "_";
+    const std::string fprefix = prefix + "f" + std::to_string(f) + "_";
 
-    hallways[f] =
-        builder.AddPartition(prefix + "hall", PartitionKind::kHallway, f,
-                             Rect(0.0, hall_lo[f], width, hall_hi[f]));
+    hallways[f] = builder.AddPartition(
+        fprefix + "hall", PartitionKind::kHallway, f,
+        Rect(x_off, hall_lo[f], x_off + width, hall_hi[f]));
 
     // Rooms on each hallway side, star-connected through one door each;
     // optional extra doors between side-neighbors (room_to_room_doors).
@@ -59,7 +72,7 @@ FloorPlan GenerateBuilding(const BuildingConfig& config) {
         const double depth =
             config.room_depth *
             (1.0 + config.room_size_jitter * (2.0 * rng.NextDouble() - 1.0));
-        const double x0 = i * rw;
+        const double x0 = x_off + i * rw;
         const double wall = below ? hall_lo[f] : hall_hi[f];
         const Rect footprint =
             below ? Rect(x0, wall - depth, x0 + rw, wall)
@@ -78,17 +91,17 @@ FloorPlan GenerateBuilding(const BuildingConfig& config) {
                                       center.x + hw, center.y + hh))});
           INDOOR_CHECK(region.ok()) << region.status().ToString();
           room = builder.AddPartition(
-              prefix + "room" + std::to_string(index_base + i),
+              fprefix + "room" + std::to_string(index_base + i),
               PartitionKind::kRoom, f, std::move(region).value());
         } else {
           room = builder.AddPartition(
-              prefix + "room" + std::to_string(index_base + i),
+              fprefix + "room" + std::to_string(index_base + i),
               PartitionKind::kRoom, f, footprint);
         }
         // Door on the hallway wall, jittered within the middle half.
         const double dx = x0 + rw * (0.25 + 0.5 * rng.NextDouble());
         builder.AddBidirectionalDoor(
-            prefix + "d" + std::to_string(index_base + i),
+            fprefix + "d" + std::to_string(index_base + i),
             Segment({dx - dw / 2, wall}, {dx + dw / 2, wall}), room,
             hallways[f]);
         side.push_back({room, depth});
@@ -96,13 +109,13 @@ FloorPlan GenerateBuilding(const BuildingConfig& config) {
       // Extra doors through the shared walls of neighboring rooms.
       for (int i = 0; i + 1 < count; ++i) {
         if (!rng.NextBool(config.room_to_room_doors)) continue;
-        const double x_wall = (i + 1) * rw;
+        const double x_wall = x_off + (i + 1) * rw;
         const double overlap = std::min(side[i].depth, side[i + 1].depth);
         const double wall = below ? hall_lo[f] : hall_hi[f];
         const double dy = below ? wall - overlap * 0.5 : wall + overlap * 0.5;
         const Segment geom({x_wall, dy - dw / 2}, {x_wall, dy + dw / 2});
         const std::string name =
-            prefix + "r2r" + std::to_string(index_base + i);
+            fprefix + "r2r" + std::to_string(index_base + i);
         if (rng.NextBool(config.one_way_fraction)) {
           const bool forward = rng.NextBool();
           builder.AddUnidirectionalDoor(
@@ -122,8 +135,9 @@ FloorPlan GenerateBuilding(const BuildingConfig& config) {
   // two shafts at the hallway ends: every middle floor gets exactly two
   // staircase doors (one flight arriving, one leaving).
   auto add_flight = [&](int f, bool right, const std::string& name) {
-    const double x_wall = right ? width : 0.0;
-    const double x_outer = right ? width + shaft_depth : -shaft_depth;
+    const double x_wall = x_off + (right ? width : 0.0);
+    const double x_outer =
+        x_off + (right ? width + kShaftDepth : -kShaftDepth);
     const double mid_lower = (hall_lo[f] + hall_hi[f]) / 2.0;
     const double mid_upper = (hall_lo[f + 1] + hall_hi[f + 1]) / 2.0;
     const double flat = mid_upper - mid_lower;
@@ -144,21 +158,73 @@ FloorPlan GenerateBuilding(const BuildingConfig& config) {
   };
   for (int f = 1; f < config.floors; ++f) {
     if (config.parallel_staircases) {
-      add_flight(f, /*right=*/true, "stair" + std::to_string(f) + "R");
-      add_flight(f, /*right=*/false, "stair" + std::to_string(f) + "L");
+      add_flight(f, /*right=*/true, prefix + "stair" + std::to_string(f) + "R");
+      add_flight(f, /*right=*/false,
+                 prefix + "stair" + std::to_string(f) + "L");
     } else {
-      add_flight(f, /*right=*/(f % 2 == 1), "stair" + std::to_string(f));
+      add_flight(f, /*right=*/(f % 2 == 1),
+                 prefix + "stair" + std::to_string(f));
     }
   }
 
-  if (config.with_outdoor) {
+  if (outdoor != kInvalidId) {
     // Ground-floor entrance on the hallway's left end (the left shaft is
     // first used by flight 2, which starts at floor 2, so floor 1's left
     // wall is free).
     const double mid = (hall_lo[1] + hall_hi[1]) / 2.0;
     builder.AddBidirectionalDoor(
-        "entrance", Segment({0.0, mid - dw / 2}, {0.0, mid + dw / 2}),
-        outdoor, hallways[1]);
+        prefix + "entrance",
+        Segment({x_off, mid - dw / 2}, {x_off, mid + dw / 2}), outdoor,
+        hallways[1]);
+  }
+}
+
+}  // namespace
+
+FloorPlan GenerateBuilding(const BuildingConfig& config) {
+  Rng rng(config.seed);
+  FloorPlanBuilder builder;
+
+  PartitionId outdoor = kInvalidId;
+  if (config.with_outdoor) {
+    const double width = BuildingWidth(config);
+    const double top = BuildingHeight(config);
+    outdoor = builder.AddPartition(
+        "outdoor", PartitionKind::kOutdoor, 0,
+        Rect(-kShaftDepth - 2.0, -2.0, width + kShaftDepth + 2.0, top + 2.0));
+  }
+
+  EmitBuilding(builder, config, rng, /*x_off=*/0.0, /*prefix=*/"", outdoor);
+
+  auto plan = std::move(builder).Build();
+  INDOOR_CHECK(plan.ok()) << plan.status().ToString();
+  return std::move(plan).value();
+}
+
+FloorPlan GenerateCampus(const CampusConfig& config) {
+  INDOOR_CHECK(config.buildings >= 1);
+  INDOOR_CHECK(config.building_gap >= 0.0);
+  Rng rng(config.seed);
+  FloorPlanBuilder builder;
+
+  const double width = BuildingWidth(config.building);
+  const double top = BuildingHeight(config.building);
+  // Building n's left wall sits at n * stride; its bounding box (shafts
+  // included) spans [n*stride - kShaftDepth, n*stride + width +
+  // kShaftDepth], leaving building_gap meters of ground to the next box.
+  const double stride = width + 2.0 * kShaftDepth + config.building_gap;
+  const double x_last = (config.buildings - 1) * stride + width;
+
+  // One outdoor partition spans the whole campus; intra-outdoor walking
+  // distance is the unobstructed straight line, exactly like the
+  // single-building outdoor.
+  const PartitionId outdoor = builder.AddPartition(
+      "outdoor", PartitionKind::kOutdoor, 0,
+      Rect(-kShaftDepth - 2.0, -2.0, x_last + kShaftDepth + 2.0, top + 2.0));
+
+  for (int b = 0; b < config.buildings; ++b) {
+    EmitBuilding(builder, config.building, rng, b * stride,
+                 "b" + std::to_string(b + 1) + "_", outdoor);
   }
 
   auto plan = std::move(builder).Build();

@@ -62,6 +62,32 @@ struct BuildingConfig {
 /// doors (staircases) at each floor").
 FloorPlan GenerateBuilding(const BuildingConfig& config);
 
+/// Multi-building campus knobs (ROADMAP items 3/5). Buildings are laid
+/// out left to right along x with `building_gap` meters of open ground
+/// between their bounding boxes, and share ONE outdoor partition that
+/// every building's ground-floor entrance door opens onto — so
+/// cross-building routes leave through an entrance, cross the outdoor
+/// partition (straight-line geodesic), and enter the next building.
+struct CampusConfig {
+  /// Number of buildings (>= 1). Partition/door names gain a "bN_"
+  /// prefix; ids stay contiguous per building, which keeps hierarchy
+  /// cells building-aligned.
+  int buildings = 3;
+  /// Per-building knobs. `with_outdoor` and `seed` are ignored: the
+  /// campus owns the outdoor partition and the jitter stream.
+  BuildingConfig building;
+  /// Open ground between neighboring building bounding boxes, meters.
+  double building_gap = 20.0;
+  /// Seed for the shared jitter stream (buildings differ naturally).
+  uint64_t seed = 42;
+};
+
+/// Generates the campus: `buildings` copies of the configured building,
+/// x-offset and name-prefixed, plus the shared outdoor partition and one
+/// entrance door per building. With buildings == 1 the plan is the same
+/// topology as GenerateBuilding(with_outdoor=true) modulo names.
+FloorPlan GenerateCampus(const CampusConfig& config);
+
 }  // namespace indoor
 
 #endif  // INDOOR_GEN_BUILDING_GENERATOR_H_

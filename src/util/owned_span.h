@@ -1,0 +1,83 @@
+// OwnedSpan<T>: a contiguous read-only array that either OWNS its storage
+// (built in memory / loaded by copy) or BORROWS it (a view into an
+// mmap-ed index container, index_io.h). Index structures store their bulk
+// payloads through this so the zero-copy mapped load path and the classic
+// build path share one representation; the borrower must keep the backing
+// mapping alive for the structure's lifetime (IndexFramework holds the
+// MappedIndexContainer next to the structures it feeds).
+
+#ifndef INDOOR_UTIL_OWNED_SPAN_H_
+#define INDOOR_UTIL_OWNED_SPAN_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace indoor {
+
+/// Owned-or-borrowed immutable array payload. Default-constructed = empty.
+template <typename T>
+class OwnedSpan {
+ public:
+  OwnedSpan() = default;
+
+  /// Takes ownership of `v`'s storage.
+  static OwnedSpan Own(std::vector<T> v) {
+    OwnedSpan s;
+    s.owned_ = std::move(v);
+    s.data_ = s.owned_.data();
+    s.size_ = s.owned_.size();
+    return s;
+  }
+
+  /// Borrows [data, data + size); the caller keeps the storage alive.
+  static OwnedSpan Borrow(const T* data, size_t size) {
+    OwnedSpan s;
+    s.data_ = data;
+    s.size_ = size;
+    return s;
+  }
+
+  OwnedSpan(OwnedSpan&& o) noexcept { *this = std::move(o); }
+  OwnedSpan& operator=(OwnedSpan&& o) noexcept {
+    // Re-anchor the data pointer when the payload was owned (a moved-from
+    // vector's buffer address follows the move); borrowed pointers carry
+    // over unchanged.
+    const bool was_owned = !o.owned_.empty();
+    const size_t size = o.size_;
+    owned_ = std::move(o.owned_);
+    data_ = was_owned ? owned_.data() : o.data_;
+    size_ = size;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.owned_.clear();
+    return *this;
+  }
+  OwnedSpan(const OwnedSpan&) = delete;
+  OwnedSpan& operator=(const OwnedSpan&) = delete;
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  operator std::span<const T>() const { return {data_, size_}; }
+
+  /// True when this span owns its storage (false for mmap-backed views).
+  bool owned() const { return !owned_.empty() || size_ == 0; }
+
+  /// Logical payload bytes (identical for owned and borrowed storage, so
+  /// MemoryBytes() reporting stays comparable across load modes).
+  size_t PayloadBytes() const { return size_ * sizeof(T); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  std::vector<T> owned_;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_OWNED_SPAN_H_

@@ -254,5 +254,77 @@ TEST(GeneratorTest, NoOutdoorVariant) {
   }
 }
 
+TEST(GeneratorTest, CampusSharesOneOutdoorPartition) {
+  CampusConfig config;
+  config.buildings = 3;
+  config.building.floors = 2;
+  config.building.rooms_per_floor = 6;
+  const FloorPlan plan = GenerateCampus(config);
+  size_t outdoor = 0, entrances = 0;
+  PartitionId outdoor_id = kInvalidId;
+  for (const Partition& part : plan.partitions()) {
+    if (part.IsOutdoor()) {
+      ++outdoor;
+      outdoor_id = part.id();
+    }
+  }
+  EXPECT_EQ(outdoor, 1u);
+  for (const Door& d : plan.doors()) {
+    for (const DoorConnection& c : plan.D2P(d.id())) {
+      if (c.from == outdoor_id || c.to == outdoor_id) {
+        ++entrances;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(entrances, 3u);  // one entrance per building
+}
+
+TEST(GeneratorTest, CampusIsStronglyConnectedAcrossBuildings) {
+  CampusConfig config;
+  config.buildings = 2;
+  config.building.floors = 2;
+  config.building.rooms_per_floor = 5;
+  const FloorPlan plan = GenerateCampus(config);
+  const AccessibilityGraph graph(plan);
+  EXPECT_TRUE(graph.IsStronglyConnected());
+}
+
+TEST(GeneratorTest, CampusIsDeterministicPerSeed) {
+  CampusConfig config;
+  config.buildings = 2;
+  config.building.floors = 2;
+  config.building.rooms_per_floor = 5;
+  const FloorPlan a = GenerateCampus(config);
+  const FloorPlan b = GenerateCampus(config);
+  ASSERT_EQ(a.door_count(), b.door_count());
+  ASSERT_EQ(a.partition_count(), b.partition_count());
+  for (DoorId d = 0; d < a.door_count(); ++d) {
+    EXPECT_EQ(a.door(d).Midpoint().x, b.door(d).Midpoint().x);
+    EXPECT_EQ(a.door(d).Midpoint().y, b.door(d).Midpoint().y);
+  }
+  config.seed = 99;
+  config.building.seed = 99;
+  const FloorPlan c = GenerateCampus(config);
+  bool differs = c.door_count() != a.door_count();
+  for (DoorId d = 0; !differs && d < a.door_count(); ++d) {
+    differs = a.door(d).Midpoint().x != c.door(d).Midpoint().x;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, SingleBuildingCampusMatchesBuildingTopology) {
+  CampusConfig config;
+  config.buildings = 1;
+  config.building.floors = 3;
+  config.building.rooms_per_floor = 8;
+  const FloorPlan campus = GenerateCampus(config);
+  BuildingConfig solo = config.building;
+  solo.with_outdoor = true;
+  const FloorPlan building = GenerateBuilding(solo);
+  EXPECT_EQ(campus.partition_count(), building.partition_count());
+  EXPECT_EQ(campus.door_count(), building.door_count());
+}
+
 }  // namespace
 }  // namespace indoor

@@ -1,0 +1,258 @@
+// The hierarchy-vs-flat bitwise equality suite (the oracle contract of
+// core/index/hierarchy_index.h): on randomized multi-building campus
+// plans, every pt2pt, range, and kNN answer served through the
+// partition-contraction hierarchy must be BIT-identical to the flat
+// Md2d/Midx engine's — not approximately equal, the same doubles — with
+// the cache on or off and under either Dijkstra frontier.
+
+#include "core/index/hierarchy_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/query/query_engine.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+/// Bit-level double equality: distinguishes everything == cannot (NaN
+/// payloads, -0.0 vs 0.0); the equality we actually promise.
+bool BitEq(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+FloorPlan MakeCampus(int buildings, int floors, int rooms, uint64_t seed) {
+  CampusConfig config;
+  config.buildings = buildings;
+  config.building.floors = floors;
+  config.building.rooms_per_floor = rooms;
+  config.seed = seed;
+  config.building.seed = seed;
+  return GenerateCampus(config);
+}
+
+IndexOptions HierOptions(bool cache, bool bucket, unsigned cell_target) {
+  IndexOptions options;
+  options.use_hierarchy = true;
+  options.hierarchy_cell_target = cell_target;
+  options.enable_query_cache = cache;
+  options.use_bucket_queue = bucket;
+  return options;
+}
+
+IndexOptions FlatOptions(bool cache, bool bucket) {
+  IndexOptions options;
+  options.enable_query_cache = cache;
+  options.use_bucket_queue = bucket;
+  return options;
+}
+
+/// Runs the same randomized mixed workload through both engines and
+/// demands bitwise-identical answers everywhere.
+void ExpectEngineEquality(const FloorPlan& plan, bool cache, bool bucket,
+                          unsigned cell_target, uint64_t seed) {
+  QueryEngine flat(plan, FlatOptions(cache, bucket));
+  QueryEngine hier(plan, HierOptions(cache, bucket, cell_target));
+  ASSERT_TRUE(hier.index().hierarchy_index().valid());
+
+  Rng flat_rng(seed), hier_rng(seed);
+  PopulateStore(GenerateObjects(flat.plan(), 400, &flat_rng),
+                &flat.index().objects());
+  PopulateStore(GenerateObjects(hier.plan(), 400, &hier_rng),
+                &hier.index().objects());
+
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  const auto pairs = GeneratePositionPairs(plan, 60, &rng);
+  const auto positions = GenerateQueryPositions(plan, 60, &rng);
+
+  for (const auto& [a, b] : pairs) {
+    const double df = flat.Distance(a, b);
+    const double dh = hier.Distance(a, b);
+    EXPECT_TRUE(BitEq(df, dh))
+        << "pt2pt mismatch: flat " << df << " vs hierarchy " << dh;
+  }
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const double r = 5.0 + static_cast<double>(i % 7) * 10.0;
+    const auto rf = flat.Range(positions[i], r);
+    const auto rh = hier.Range(positions[i], r);
+    EXPECT_EQ(rf, rh) << "range mismatch at r=" << r;
+
+    const size_t k = 1 + i % 13;
+    const auto kf = flat.Nearest(positions[i], k);
+    const auto kh = hier.Nearest(positions[i], k);
+    ASSERT_EQ(kf.size(), kh.size()) << "kNN cardinality mismatch at k=" << k;
+    for (size_t j = 0; j < kf.size(); ++j) {
+      EXPECT_EQ(kf[j].id, kh[j].id) << "kNN id mismatch at rank " << j;
+      EXPECT_TRUE(BitEq(kf[j].distance, kh[j].distance))
+          << "kNN distance mismatch at rank " << j;
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, CampusQueriesMatchFlatBitwise) {
+  const FloorPlan plan = MakeCampus(3, 3, 10, 17);
+  ExpectEngineEquality(plan, /*cache=*/true, /*bucket=*/true,
+                       /*cell_target=*/32, /*seed=*/1);
+}
+
+TEST(HierarchyIndexTest, CacheOffMatchesFlatBitwise) {
+  const FloorPlan plan = MakeCampus(2, 4, 8, 23);
+  ExpectEngineEquality(plan, /*cache=*/false, /*bucket=*/true,
+                       /*cell_target=*/16, /*seed=*/2);
+}
+
+TEST(HierarchyIndexTest, HeapFrontierMatchesFlatBitwise) {
+  const FloorPlan plan = MakeCampus(2, 3, 9, 31);
+  ExpectEngineEquality(plan, /*cache=*/true, /*bucket=*/false,
+                       /*cell_target=*/16, /*seed=*/3);
+}
+
+TEST(HierarchyIndexTest, TinyCellsStressBorderPaths) {
+  // cell_target 1 puts every partition in its own cell: nearly every door
+  // is a border door and almost no query can use a block fast path, so
+  // the bounded-Dijkstra fallbacks carry the whole workload.
+  const FloorPlan plan = MakeCampus(2, 2, 6, 5);
+  ExpectEngineEquality(plan, /*cache=*/true, /*bucket=*/true,
+                       /*cell_target=*/1, /*seed=*/4);
+}
+
+TEST(HierarchyIndexTest, RandomizedSeedsSweep) {
+  for (uint64_t seed = 100; seed < 104; ++seed) {
+    const FloorPlan plan =
+        MakeCampus(2 + static_cast<int>(seed % 2), 2, 7, seed);
+    ExpectEngineEquality(plan, /*cache=*/(seed % 2) == 0, /*bucket=*/true,
+                         /*cell_target=*/8 << (seed % 3), seed);
+  }
+}
+
+TEST(HierarchyIndexTest, DoorDistanceMatchesMatrixBitwise) {
+  const FloorPlan plan = MakeCampus(2, 2, 8, 7);
+  QueryEngine flat(plan, FlatOptions(true, true));
+  QueryEngine hier(plan, HierOptions(true, true, 16));
+  const size_t n = plan.door_count();
+  for (DoorId s = 0; s < n; ++s) {
+    for (DoorId t = 0; t < n; ++t) {
+      EXPECT_TRUE(BitEq(flat.DoorDistance(s, t), hier.DoorDistance(s, t)))
+          << "door pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, BlocksAreExactMatrixEntries) {
+  // The stored structures themselves, not just query answers: every cell
+  // block entry and every border-clique entry must be the flat Md2d value
+  // bit for bit (the settle-prefix property of the early-terminated
+  // builder runs).
+  const FloorPlan plan = MakeCampus(3, 2, 6, 13);
+  const DistanceGraph graph(plan);
+  const DistanceMatrix md2d(graph);
+  const HierarchyIndex hier =
+      HierarchyIndex::Build(graph, /*threads=*/1, /*cell_target=*/16);
+  ASSERT_TRUE(hier.valid());
+  for (uint32_t c = 0; c < hier.cell_count(); ++c) {
+    const auto members = hier.CellMembers(c);
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      const double* row = hier.BlockRow(c, i);
+      for (uint32_t j = 0; j < members.size(); ++j) {
+        EXPECT_TRUE(BitEq(row[j], md2d.At(members[i], members[j])))
+            << "cell " << c << " block (" << i << ", " << j << ")";
+      }
+    }
+  }
+  const auto borders = hier.border_doors();
+  for (uint32_t b = 0; b < borders.size(); ++b) {
+    const double* row = hier.BorderRow(b);
+    for (uint32_t j = 0; j < borders.size(); ++j) {
+      EXPECT_TRUE(BitEq(row[j], md2d.At(borders[b], borders[j])))
+          << "border pair (" << b << ", " << j << ")";
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, StructuralInvariantsHold) {
+  const FloorPlan plan = MakeCampus(3, 2, 8, 29);
+  const DistanceGraph graph(plan);
+  const DistanceMatrix md2d(graph);
+  const HierarchyIndex hier = HierarchyIndex::Build(graph, 1, 24);
+  ASSERT_TRUE(hier.valid());
+  EXPECT_EQ(hier.door_count(), plan.door_count());
+
+  // Every door is a member of the cell(s) of its partitions, member lists
+  // ascend, and LocalIndex agrees with the list position.
+  size_t member_total = 0;
+  for (uint32_t c = 0; c < hier.cell_count(); ++c) {
+    const auto members = hier.CellMembers(c);
+    member_total += members.size();
+    for (uint32_t i = 0; i + 1 < members.size(); ++i) {
+      EXPECT_LT(members[i], members[i + 1]);
+    }
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(hier.LocalIndex(c, members[i]), i);
+    }
+  }
+  EXPECT_GE(member_total, plan.door_count());
+
+  // Border doors are exactly the doors whose two cells differ, and the
+  // escape radius of a border door is 0 in both its cells.
+  for (DoorId d = 0; d < plan.door_count(); ++d) {
+    const auto cells = hier.CellsOfDoor(d);
+    const bool is_border = cells[1] != HierarchyIndex::kNone;
+    EXPECT_EQ(hier.IsBorder(d), is_border) << "door " << d;
+    if (is_border) {
+      const uint32_t b = hier.BorderIndexOf(d);
+      EXPECT_EQ(hier.border_doors()[b], d);
+      EXPECT_EQ(hier.EscapeRadius(cells[0], hier.LocalIndex(cells[0], d)),
+                0.0);
+      EXPECT_EQ(hier.EscapeRadius(cells[1], hier.LocalIndex(cells[1], d)),
+                0.0);
+    }
+  }
+
+  // TryExact serves shared-cell pairs with the flat value; UpperBound
+  // never undercuts the true distance.
+  for (DoorId s = 0; s < plan.door_count(); ++s) {
+    for (DoorId t = 0; t < plan.door_count(); ++t) {
+      double exact = -1.0;
+      if (hier.TryExact(s, t, &exact)) {
+        EXPECT_TRUE(BitEq(exact, md2d.At(s, t)));
+      }
+      EXPECT_GE(hier.UpperBound(s, t), md2d.At(s, t) * 0.999999999);
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, SingleBuildingPlanStillWorks) {
+  // Degenerate clustering: one building fits in one cell, so every query
+  // should resolve through TryExact / block scans with no border hops.
+  const FloorPlan plan = MakeRunningExamplePlan();
+  ExpectEngineEquality(plan, /*cache=*/true, /*bucket=*/true,
+                       /*cell_target=*/128, /*seed=*/6);
+}
+
+TEST(HierarchyIndexTest, ParallelBuildIsBitIdentical) {
+  const FloorPlan plan = MakeCampus(3, 3, 8, 41);
+  const DistanceGraph graph(plan);
+  const HierarchyIndex seq = HierarchyIndex::Build(graph, 1, 16);
+  const HierarchyIndex par = HierarchyIndex::Build(graph, 4, 16);
+  ASSERT_EQ(seq.cell_count(), par.cell_count());
+  ASSERT_EQ(seq.border_count(), par.border_count());
+  ASSERT_EQ(seq.Blocks().size(), par.Blocks().size());
+  for (size_t i = 0; i < seq.Blocks().size(); ++i) {
+    EXPECT_TRUE(BitEq(seq.Blocks()[i], par.Blocks()[i]));
+  }
+  for (size_t i = 0; i < seq.BorderMatrix().size(); ++i) {
+    EXPECT_TRUE(BitEq(seq.BorderMatrix()[i], par.BorderMatrix()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace indoor

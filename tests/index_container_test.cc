@@ -1,0 +1,354 @@
+// The INDOORIX container suite (docs/FORMAT.md): round trips through both
+// load modes must reproduce every structure bit for bit, and every
+// corruption mode — truncation, bad magic, flipped fingerprint,
+// misaligned or oversized sections, invalid payload invariants — must
+// surface as a clean Status naming the file and section, never a crash
+// (the suite runs under ASan in CI).
+
+#include "core/index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "core/query/query_engine.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "indoor/sample_plans.h"
+
+namespace indoor {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+FloorPlan MakeCampus(uint64_t seed) {
+  CampusConfig config;
+  config.buildings = 2;
+  config.building.floors = 2;
+  config.building.rooms_per_floor = 8;
+  config.seed = seed;
+  config.building.seed = seed;
+  return GenerateCampus(config);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Saves a container for `plan` under the given options and returns its
+/// path (unique per test via `name`).
+std::string SaveContainer(const FloorPlan& plan, const IndexOptions& options,
+                          const std::string& name) {
+  const IndexFramework index(plan, options);
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(SaveIndexContainer(index, path).ok());
+  return path;
+}
+
+bool BitEq(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+TEST(IndexContainerTest, FlatRoundTripIsBitwiseLossless) {
+  const FloorPlan plan = MakeCampus(3);
+  IndexOptions options;
+  const IndexFramework built(plan, options);
+  const std::string path = TempPath("flat_roundtrip.idx");
+  ASSERT_TRUE(SaveIndexContainer(built, path).ok());
+
+  for (const bool mmap_mode : {false, true}) {
+    auto artifacts = mmap_mode ? MapIndexContainer(plan, path)
+                               : LoadIndexContainer(plan, path);
+    ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+    ASSERT_TRUE(artifacts->md2d.has_value());
+    ASSERT_TRUE(artifacts->midx.has_value());
+    ASSERT_TRUE(artifacts->dpt.has_value());
+    ASSERT_TRUE(artifacts->landmarks.has_value());
+    EXPECT_FALSE(artifacts->hierarchy.has_value());
+    EXPECT_EQ(artifacts->mapping != nullptr, mmap_mode);
+
+    const size_t n = plan.door_count();
+    for (DoorId a = 0; a < n; ++a) {
+      for (DoorId b = 0; b < n; ++b) {
+        EXPECT_TRUE(BitEq(artifacts->md2d->At(a, b),
+                          built.d2d_matrix().At(a, b)));
+        EXPECT_EQ(artifacts->midx->At(a, b), built.index_matrix().At(a, b));
+      }
+      const DptRecord& loaded = (*artifacts->dpt)[a];
+      const DptRecord& orig = built.dpt()[a];
+      EXPECT_EQ(loaded.door, orig.door);
+      EXPECT_EQ(loaded.part1, orig.part1);
+      EXPECT_EQ(loaded.part2, orig.part2);
+      EXPECT_TRUE(BitEq(loaded.dist1, orig.dist1));
+      EXPECT_TRUE(BitEq(loaded.dist2, orig.dist2));
+    }
+    ASSERT_EQ(artifacts->landmarks->count(), built.landmarks()->count());
+    for (DoorId d = 0; d < n; ++d) {
+      for (size_t l = 0; l < artifacts->landmarks->count(); ++l) {
+        EXPECT_TRUE(BitEq(artifacts->landmarks->ForwardRow(d)[l],
+                          built.landmarks()->ForwardRow(d)[l]));
+        EXPECT_TRUE(BitEq(artifacts->landmarks->BackwardRow(d)[l],
+                          built.landmarks()->BackwardRow(d)[l]));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, HierarchyRoundTripServesIdenticalQueries) {
+  const FloorPlan plan = MakeCampus(5);
+  IndexOptions options;
+  options.use_hierarchy = true;
+  options.hierarchy_cell_target = 16;
+  const std::string path = SaveContainer(plan, options, "hier_roundtrip.idx");
+
+  // Oracle: the flat engine built from scratch. Both cold-start modes of
+  // the hierarchical container must serve bitwise-identical answers.
+  QueryEngine flat(plan);
+  Rng obj_rng(9);
+  PopulateStore(GenerateObjects(flat.plan(), 300, &obj_rng),
+                &flat.index().objects());
+  for (const bool mmap_mode : {false, true}) {
+    auto artifacts = mmap_mode ? MapIndexContainer(plan, path)
+                               : LoadIndexContainer(plan, path);
+    ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+    ASSERT_TRUE(artifacts->hierarchy.has_value());
+    EXPECT_FALSE(artifacts->md2d.has_value());
+    QueryEngine cold(plan, std::move(artifacts).value(), options);
+    Rng cold_rng(9);
+    PopulateStore(GenerateObjects(cold.plan(), 300, &cold_rng),
+                  &cold.index().objects());
+
+    Rng rng(77);
+    const auto pairs = GeneratePositionPairs(plan, 25, &rng);
+    const auto positions = GenerateQueryPositions(plan, 25, &rng);
+    for (const auto& [a, b] : pairs) {
+      EXPECT_TRUE(BitEq(flat.Distance(a, b), cold.Distance(a, b)));
+    }
+    for (size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_EQ(flat.Range(positions[i], 25.0), cold.Range(positions[i], 25.0));
+      const auto kf = flat.Nearest(positions[i], 5);
+      const auto kc = cold.Nearest(positions[i], 5);
+      ASSERT_EQ(kf.size(), kc.size());
+      for (size_t j = 0; j < kf.size(); ++j) {
+        EXPECT_EQ(kf[j].id, kc[j].id);
+        EXPECT_TRUE(BitEq(kf[j].distance, kc[j].distance));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, MappedFrameworkOutlivesArtifacts) {
+  // The mapping keepalive must travel with the artifacts into the
+  // framework: queries run after the Result and the local artifacts are
+  // gone, so any dropped reference would be a use-after-munmap (ASan).
+  const FloorPlan plan = MakeCampus(7);
+  const std::string path = SaveContainer(plan, {}, "keepalive.idx");
+  auto engine = [&] {
+    auto artifacts = MapIndexContainer(plan, path);
+    EXPECT_TRUE(artifacts.ok()) << artifacts.status();
+    return QueryEngine(plan, std::move(artifacts).value());
+  }();
+  Rng rng(3);
+  const auto pairs = GeneratePositionPairs(plan, 10, &rng);
+  QueryEngine oracle(plan);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(BitEq(oracle.Distance(a, b), engine.Distance(a, b)));
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Corruption suite ---------------------------------------------------
+
+/// Applies `mutate` to a fresh flat container and expects BOTH load modes
+/// to fail cleanly with `code`, with a message naming the file.
+void ExpectCorruptionRejected(const std::function<void(std::string*)>& mutate,
+                              StatusCode code, const std::string& expect_in,
+                              const std::string& name) {
+  const FloorPlan plan = MakeCampus(11);
+  const std::string path = SaveContainer(plan, {}, name);
+  std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 104u);
+  mutate(&bytes);
+  WriteFile(path, bytes);
+  for (const bool mmap_mode : {false, true}) {
+    auto artifacts = mmap_mode ? MapIndexContainer(plan, path)
+                               : LoadIndexContainer(plan, path);
+    ASSERT_FALSE(artifacts.ok()) << (mmap_mode ? "map" : "load")
+                                 << " accepted corrupt " << name;
+    EXPECT_EQ(artifacts.status().code(), code) << artifacts.status();
+    // Satellite contract: every failure names the offending file (and
+    // the section, when one is involved — covered by expect_in).
+    EXPECT_NE(artifacts.status().message().find(path), std::string::npos)
+        << artifacts.status();
+    EXPECT_NE(artifacts.status().message().find(expect_in),
+              std::string::npos)
+        << artifacts.status();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, RejectsBadMagic) {
+  ExpectCorruptionRejected([](std::string* b) { (*b)[0] ^= 0xFF; },
+                           StatusCode::kParseError, "not an INDOORIX",
+                           "bad_magic.idx");
+}
+
+TEST(IndexContainerTest, RejectsUnsupportedVersion) {
+  ExpectCorruptionRejected([](std::string* b) { (*b)[8] = 99; },
+                           StatusCode::kParseError, "version",
+                           "bad_version.idx");
+}
+
+TEST(IndexContainerTest, RejectsFlippedFingerprint) {
+  // Fingerprint lives at header offset 16.
+  ExpectCorruptionRejected([](std::string* b) { (*b)[16] ^= 0x01; },
+                           StatusCode::kFailedPrecondition,
+                           "different floor plan", "bad_fingerprint.idx");
+}
+
+TEST(IndexContainerTest, RejectsTruncatedFile) {
+  ExpectCorruptionRejected(
+      [](std::string* b) { b->resize(b->size() - 100); },
+      StatusCode::kParseError, "bytes", "truncated.idx");
+}
+
+TEST(IndexContainerTest, RejectsCorruptTrailer) {
+  ExpectCorruptionRejected(
+      [](std::string* b) { (*b)[b->size() - 1] ^= 0xFF; },
+      StatusCode::kParseError, "trailer", "bad_trailer.idx");
+}
+
+TEST(IndexContainerTest, RejectsMisalignedSectionOffset) {
+  // First section entry sits at byte 64; its offset field at 64 + 8.
+  // Nudging it off the 64-byte grid must name the section.
+  ExpectCorruptionRejected(
+      [](std::string* b) {
+        uint64_t off;
+        std::memcpy(&off, b->data() + 72, sizeof(off));
+        off += 8;
+        std::memcpy(b->data() + 72, &off, sizeof(off));
+      },
+      StatusCode::kParseError, "MD2D", "misaligned.idx");
+}
+
+TEST(IndexContainerTest, RejectsOversizedSection) {
+  // Blowing up the first section's size field must read as truncation
+  // (the payload can no longer fit in the file), naming the section.
+  ExpectCorruptionRejected(
+      [](std::string* b) {
+        const uint64_t huge = 1ull << 40;
+        std::memcpy(b->data() + 80, &huge, sizeof(huge));
+      },
+      StatusCode::kParseError, "MD2D", "oversized.idx");
+}
+
+TEST(IndexContainerTest, ReadModeRejectsPayloadBitFlip) {
+  // A single flipped payload bit defeats the section checksum on the
+  // read path. (The map path intentionally skips content checksums; its
+  // guarantees are structural only.)
+  const FloorPlan plan = MakeCampus(11);
+  const std::string path = SaveContainer(plan, {}, "bitflip.idx");
+  std::string bytes = ReadFile(path);
+  uint64_t first_offset;
+  std::memcpy(&first_offset, bytes.data() + 72, sizeof(first_offset));
+  bytes[first_offset + 128] ^= 0x10;  // deep inside the MD2D payload
+  WriteFile(path, bytes);
+  auto loaded = LoadIndexContainer(plan, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find("MD2D"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, MapModeValidatesHierarchyInvariants) {
+  // Structural validation must catch invalid payload invariants even on
+  // the un-checksummed map path: point partition 0 at a nonexistent cell.
+  const FloorPlan plan = MakeCampus(13);
+  IndexOptions options;
+  options.use_hierarchy = true;
+  options.hierarchy_cell_target = 8;
+  const std::string path = SaveContainer(plan, options, "bad_hier.idx");
+  std::string bytes = ReadFile(path);
+  // Find the HIER section via the table (entries from byte 64).
+  uint32_t section_count;
+  std::memcpy(&section_count, bytes.data() + 32, sizeof(section_count));
+  uint64_t hier_offset = 0;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t entry = 64 + i * 32;
+    if (std::memcmp(bytes.data() + entry, "HIER    ", 8) == 0) {
+      std::memcpy(&hier_offset, bytes.data() + entry + 8,
+                  sizeof(hier_offset));
+    }
+  }
+  ASSERT_NE(hier_offset, 0u);
+  // partition_cells[0] sits right after the 64-byte HIER mini-header.
+  const uint32_t bogus = 0xFFFFFFF0u;
+  std::memcpy(bytes.data() + hier_offset + 64, &bogus, sizeof(bogus));
+  WriteFile(path, bytes);
+  auto mapped = MapIndexContainer(plan, path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kParseError);
+  EXPECT_NE(mapped.status().message().find("HIER"), std::string::npos)
+      << mapped.status();
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, MissingFileIsIOError) {
+  const FloorPlan plan = MakeRunningExamplePlan();
+  const auto loaded = LoadIndexContainer(plan, "/nonexistent/x.idx");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  const auto mapped = MapIndexContainer(plan, "/nonexistent/x.idx");
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_NE(mapped.status().code(), StatusCode::kOk);
+}
+
+TEST(IndexContainerTest, RejectsContainerOfDifferentPlan) {
+  const FloorPlan plan_a = MakeCampus(11);
+  const FloorPlan plan_b = MakeCampus(12);
+  const std::string path = SaveContainer(plan_a, {}, "wrong_plan.idx");
+  for (const bool mmap_mode : {false, true}) {
+    auto artifacts = mmap_mode ? MapIndexContainer(plan_b, path)
+                               : LoadIndexContainer(plan_b, path);
+    ASSERT_FALSE(artifacts.ok());
+    EXPECT_EQ(artifacts.status().code(), StatusCode::kFailedPrecondition);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, LegacyMatrixFileIsNotAContainer) {
+  const FloorPlan plan = MakeRunningExamplePlan();
+  const DistanceGraph graph(plan);
+  const DistanceMatrix matrix(graph);
+  const std::string path = TempPath("legacy_md2d.bin");
+  ASSERT_TRUE(SaveDistanceMatrix(matrix, plan, path).ok());
+  const auto loaded = LoadIndexContainer(plan, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace indoor

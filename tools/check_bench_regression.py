@@ -8,6 +8,8 @@ Usage:
   check_bench_regression.py --hotpath-ratio <fast.json> <slow.json> \\
       --workload NAME [--min-ratio R] \\
       [--baseline BENCH_baseline.json --ratio NAME]
+  check_bench_regression.py --cold-start <results.json> \\
+      [--baseline BENCH_baseline.json] [--min-ratio R]
 
 Default mode gates bench_pt2pt_hotpath: the bench emits machine-independent
 metrics — per-workload speedup (reference ns/query divided by optimized
@@ -46,6 +48,17 @@ that must be faster, e.g. the default bucket+landmarks run; second = the
 slow_ns / fast_ns drops below the floor (baseline "hotpath_ratios" map).
 Both runs verify exact result equality against the reference in-process,
 so the ratio compares bitwise-identical answers.
+
+--cold-start mode gates bench_cold_start (the INDOORIX container payoff):
+for every engine mode in the run's "modes" map it requires (a) the
+cold-started engines answered bitwise-identically to the freshly built
+one ("identical": true — the bench itself exits non-zero on a mismatch,
+this re-checks the recorded verdict), and (b) build_ms / map_ms stays at
+or above the floor from the baseline's "cold_start_ratios" map (or
+--min-ratio). Both times come from the same process on the same machine,
+so the ratio is machine-independent: if mapping a container ever stops
+being dramatically cheaper than rebuilding the index, the container
+format has lost its reason to exist and CI should say so.
 """
 
 import json
@@ -203,11 +216,74 @@ def hotpath_ratio(argv: list) -> int:
     return 0
 
 
+def cold_start(argv: list) -> int:
+    min_ratio = None
+    baseline_path = None
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-ratio" and i + 1 < len(argv):
+            min_ratio = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--baseline" and i + 1 < len(argv):
+            baseline_path = argv[i + 1]
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    floors = {}
+    if baseline_path is not None:
+        with open(baseline_path) as f:
+            floors = json.load(f).get("cold_start_ratios", {})
+    with open(paths[0]) as f:
+        results = json.load(f)
+    modes = results.get("modes", {})
+    if not modes:
+        print(f"{paths[0]} has no cold-start modes", file=sys.stderr)
+        return 2
+    failures = []
+    for mode, run in modes.items():
+        if not run.get("identical", False):
+            failures.append(
+                f"{mode}: cold-started engine did not answer bitwise-"
+                "identically to the built one"
+            )
+            continue
+        floor = min_ratio if min_ratio is not None else floors.get(mode)
+        if floor is None:
+            print(f"{mode}: no floor configured, skipping ratio check")
+            continue
+        ratio = float(run["build_over_map"])
+        print(
+            f"{mode}: build {float(run['build_ms']):.2f} ms vs map "
+            f"{float(run['map_ms']):.3f} ms = {ratio:.1f}x "
+            f"(min {float(floor):.1f}x), identical"
+        )
+        if ratio < float(floor):
+            failures.append(
+                f"{mode}: build/map ratio {ratio:.1f}x is below the "
+                f"required {float(floor):.1f}x — mapping the container "
+                "no longer beats rebuilding"
+            )
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\ncold-start ratios within baseline")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--throughput-ratio":
         return throughput_ratio(sys.argv[2:])
     if len(sys.argv) >= 2 and sys.argv[1] == "--hotpath-ratio":
         return hotpath_ratio(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--cold-start":
+        return cold_start(sys.argv[2:])
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

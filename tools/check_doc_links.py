@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check that every relative link in the repo's markdown docs resolves.
+
+Usage:
+  check_doc_links.py [repo_root]
+
+Scans README.md, every top-level *.md, and docs/*.md for inline markdown
+links and images (`[text](target)` / `![alt](target)`), and fails when a
+relative target does not exist on disk. Absolute URLs (http/https/mailto)
+are skipped, `#fragment`-only links are skipped, and fragments on file
+links are stripped before the existence check. Also enforces the index
+inventory's placement: docs/INDEXING.md must be linked from both
+README.md and docs/ARCHITECTURE.md, so the artifact inventory cannot
+silently fall out of the entry-point docs.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported as file:line).
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links/images; deliberately simple — the docs use plain
+# single-line [text](target) links, not reference-style definitions.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+REQUIRED_LINKS = [
+    ("README.md", "docs/INDEXING.md"),
+    ("docs/ARCHITECTURE.md", "INDEXING.md"),
+]
+
+
+def doc_files(root: pathlib.Path):
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    root = root.resolve()
+    broken = []
+    checked = 0
+    seen_targets = {}  # doc (relative to root) -> set of raw targets
+    for md in doc_files(root):
+        rel_md = md.relative_to(root)
+        targets = seen_targets.setdefault(str(rel_md), set())
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                targets.add(target)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                checked += 1
+                if not resolved.exists():
+                    broken.append(f"{rel_md}:{lineno}: broken link to {target}")
+
+    for doc, required in REQUIRED_LINKS:
+        targets = seen_targets.get(doc, set())
+        if not any(t.split("#", 1)[0] == required for t in targets):
+            broken.append(f"{doc}: missing required link to {required}")
+
+    if broken:
+        print(f"{len(broken)} broken doc link(s):", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    print(f"all {checked} relative doc links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

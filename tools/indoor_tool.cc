@@ -3,6 +3,7 @@
 // and precompute/persist the distance matrix.
 //
 //   indoor_tool gen --floors 10 --rooms 30 --out plan.txt
+//   indoor_tool gen --buildings 4 --out campus.txt
 //   indoor_tool info plan.txt
 //   indoor_tool validate plan.txt
 //   indoor_tool distance plan.txt <x1> <y1> <x2> <y2>
@@ -10,6 +11,8 @@
 //   indoor_tool range plan.txt <x> <y> <r> [--objects N] [--seed S]
 //   indoor_tool knn plan.txt <x> <y> <k> [--objects N] [--seed S]
 //   indoor_tool matrix plan.txt <out.bin>
+//   indoor_tool build plan.txt <out.idx> [--hierarchy] [--threads N]
+//   indoor_tool serve plan.txt --load-mmap out.idx   (cold start, no build)
 //   indoor_tool stats plan.txt [--queries N] [--objects N] [--seed S]
 //
 // Observability: every command accepts --metrics-json FILE ("-" = stdout)
@@ -52,6 +55,7 @@ int Usage() {
       "usage:\n"
       "  indoor_tool gen --out PLAN [--floors N] [--rooms N] [--seed S]\n"
       "                  [--r2r P] [--oneway P] [--parallel-stairs]\n"
+      "                  [--buildings N] [--gap M]\n"
       "  indoor_tool info PLAN\n"
       "  indoor_tool validate PLAN\n"
       "  indoor_tool distance PLAN X1 Y1 X2 Y2\n"
@@ -59,6 +63,8 @@ int Usage() {
       "  indoor_tool range PLAN X Y R [--objects N] [--seed S]\n"
       "  indoor_tool knn PLAN X Y K [--objects N] [--seed S]\n"
       "  indoor_tool matrix PLAN OUT.bin [--threads N]\n"
+      "  indoor_tool build PLAN OUT.idx [--threads N] [--hierarchy]\n"
+      "                    [--cell-target N]\n"
       "  indoor_tool stats PLAN [--queries N] [--objects N] [--seed S]\n"
       "  indoor_tool serve PLAN [--threads N] [--batch B] [--skew ZIPF]\n"
       "                    [--requests N] [--positions N] [--objects N]\n"
@@ -66,12 +72,25 @@ int Usage() {
       "                    [--move-rate R] [--move-batch M]\n"
       "                    [--query-log F] [--slow-ms MS] [--report N]\n"
       "                    [--trace-out F] [--trace-sample N]\n"
+      "                    [--load F.idx | --load-mmap F.idx] [--hierarchy]\n"
       "  indoor_tool replay CAPTURE [--plan PLAN] [--threads N]\n"
       "                    [--speed X] [--cache on|off]\n"
+      "                    [--load F.idx | --load-mmap F.idx]\n"
       "\n"
       "  --threads N        worker threads for matrix precomputation\n"
       "                     (default 1 = sequential, 0 = all hardware "
       "threads)\n"
+      "  --buildings N      gen: emit an N-building campus plan joined by\n"
+      "                     a shared outdoor partition (--gap M meters of\n"
+      "                     open ground between buildings, default 20)\n"
+      "  --hierarchy        build/serve: replace the flat Md2d/Midx with\n"
+      "                     the partition-contraction hierarchy index\n"
+      "                     (bitwise-identical results, less memory)\n"
+      "  --cell-target N    build/serve: partitions per hierarchy cell\n"
+      "  --load F.idx       serve/replay: cold-start by READING the index\n"
+      "                     container (checksums verified)\n"
+      "  --load-mmap F.idx  serve/replay: cold-start by MAPPING the index\n"
+      "                     container (zero-copy, lazily paged)\n"
       "  --metrics-json F   on exit, dump the metrics registry as JSON to\n"
       "                     file F (\"-\" = stdout); any command\n"
       "  --trace            print a per-query span breakdown (distance,\n"
@@ -119,7 +138,7 @@ Args Parse(int argc, char** argv) {
     std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      if (key == "parallel-stairs" || key == "trace") {
+      if (key == "parallel-stairs" || key == "trace" || key == "hierarchy") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -172,7 +191,16 @@ int CmdGen(const Args& args) {
   config.room_to_room_doors = args.Num("r2r", 0.0);
   config.one_way_fraction = args.Num("oneway", 0.0);
   config.parallel_staircases = args.Has("parallel-stairs");
-  const FloorPlan plan = GenerateBuilding(config);
+  const int buildings = static_cast<int>(args.Num("buildings", 1));
+  FloorPlan plan = [&] {
+    if (buildings <= 1) return GenerateBuilding(config);
+    CampusConfig campus;
+    campus.buildings = buildings;
+    campus.building = config;
+    campus.building_gap = args.Num("gap", campus.building_gap);
+    campus.seed = config.seed;
+    return GenerateCampus(campus);
+  }();
   const Status st = SaveFloorPlan(plan, out);
   if (!st.ok()) {
     std::cerr << "error: " << st << "\n";
@@ -325,6 +353,74 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+/// Cold-start support shared by serve and replay: when --load/--load-mmap
+/// names an INDOORIX container (indoor_tool build), its structures are
+/// adopted instead of rebuilt — --load reads and checksums the file,
+/// --load-mmap maps it zero-copy. Without either flag the engine builds
+/// everything from the plan (--hierarchy / --cell-target select the
+/// partition-contraction index).
+Result<QueryEngine> MakeEngine(FloorPlan plan, IndexOptions options,
+                               const Args& args) {
+  options.use_hierarchy = args.Has("hierarchy");
+  options.hierarchy_cell_target = static_cast<unsigned>(
+      args.Num("cell-target", options.hierarchy_cell_target));
+  const std::string load = args.Str("load", "");
+  const std::string load_mmap = args.Str("load-mmap", "");
+  if (load.empty() && load_mmap.empty()) {
+    return QueryEngine(std::move(plan), options);
+  }
+  const bool mmap_mode = !load_mmap.empty();
+  const std::string& path = mmap_mode ? load_mmap : load;
+  WallTimer timer;
+  auto artifacts =
+      mmap_mode ? MapIndexContainer(plan, path) : LoadIndexContainer(plan, path);
+  if (!artifacts.ok()) return artifacts.status();
+  // The container decides the engine mode: a hierarchical container
+  // serves through the hierarchy, a flat one through Md2d/Midx.
+  options.use_hierarchy = artifacts->hierarchy.has_value();
+  std::printf("cold start: %s %s in %.1f ms (%s%s%s%s%s)\n",
+              mmap_mode ? "mapped" : "loaded", path.c_str(),
+              timer.ElapsedMillis(),
+              artifacts->md2d.has_value() ? "md2d " : "",
+              artifacts->midx.has_value() ? "midx " : "",
+              artifacts->hierarchy.has_value() ? "hierarchy " : "",
+              artifacts->landmarks.has_value() ? "landmarks " : "",
+              artifacts->dpt.has_value() ? "dpt" : "");
+  return QueryEngine(std::move(plan), std::move(artifacts).value(), options);
+}
+
+/// Precomputes every index structure for a plan and persists them as one
+/// INDOORIX container (docs/FORMAT.md), then verifies the round trip.
+int CmdBuild(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto plan = LoadOrFail(args.positional[0]);
+  if (!plan.ok()) return 1;
+  IndexOptions options;
+  options.build_threads = static_cast<unsigned>(args.Num("threads", 0));
+  options.use_hierarchy = args.Has("hierarchy");
+  options.hierarchy_cell_target = static_cast<unsigned>(
+      args.Num("cell-target", options.hierarchy_cell_target));
+  WallTimer timer;
+  const IndexFramework index(plan.value(), options);
+  const double build_ms = timer.ElapsedMillis();
+  const Status st = SaveIndexContainer(index, args.positional[1]);
+  if (!st.ok()) {
+    std::cerr << "error: " << st << "\n";
+    return 1;
+  }
+  std::printf("built %s index (%zu doors) in %.1f ms, wrote %s (%.2f MB)\n",
+              options.use_hierarchy ? "hierarchy" : "flat",
+              plan->door_count(), build_ms, args.positional[1].c_str(),
+              index.IndexMemoryBytes() / (1024.0 * 1024.0));
+  const auto loaded = LoadIndexContainer(plan.value(), args.positional[1]);
+  if (!loaded.ok()) {
+    std::cerr << "round-trip failed: " << loaded.status() << "\n";
+    return 1;
+  }
+  std::printf("round-trip verified\n");
+  return 0;
+}
+
 /// Serving-loop demo: executes a Zipf-skewed mixed batch workload through
 /// BatchExecutor (the cross-query cache + batched parallel execution
 /// path), then prints throughput, cache hit rates, and the full metrics
@@ -336,7 +432,12 @@ int CmdServe(const Args& args) {
   IndexOptions options;
   options.enable_query_cache = args.Str("cache", "on") != "off";
   options.cache_quantum = args.Num("quantum", options.cache_quantum);
-  QueryEngine engine(std::move(plan).value(), options);
+  auto engine_or = MakeEngine(std::move(plan).value(), options, args);
+  if (!engine_or.ok()) {
+    std::cerr << "error: " << engine_or.status() << "\n";
+    return 1;
+  }
+  QueryEngine& engine = engine_or.value();
 
   const size_t objects = static_cast<size_t>(args.Num("objects", 1000));
   const size_t requests = static_cast<size_t>(args.Num("requests", 3000));
@@ -627,7 +728,12 @@ int CmdReplay(const Args& args) {
   options.cache_quantum = args.Num(
       "quantum", context.count("quantum") ? std::stod(context.at("quantum"))
                                           : options.cache_quantum);
-  QueryEngine engine(std::move(plan).value(), options);
+  auto engine_or = MakeEngine(std::move(plan).value(), options, args);
+  if (!engine_or.ok()) {
+    std::cerr << "error: " << engine_or.status() << "\n";
+    return 1;
+  }
+  QueryEngine& engine = engine_or.value();
   const size_t objects =
       static_cast<size_t>(args.Num("objects", std::stod(ctx("objects", "1000"))));
   Rng rng(static_cast<uint64_t>(args.Num("seed", std::stod(ctx("seed", "7")))));
@@ -717,6 +823,7 @@ int main(int argc, char** argv) {
   else if (cmd == "range") rc = CmdQuery(args, /*knn=*/false);
   else if (cmd == "knn") rc = CmdQuery(args, /*knn=*/true);
   else if (cmd == "matrix") rc = CmdMatrix(args);
+  else if (cmd == "build") rc = CmdBuild(args);
   else if (cmd == "stats") rc = CmdStats(args);
   else if (cmd == "serve") rc = CmdServe(args);
   else if (cmd == "replay") rc = CmdReplay(args);

@@ -719,8 +719,11 @@ Status DecodeHierarchy(const std::string& path, const FloorPlan& plan,
         std::to_string(plan.door_count()) + "/" +
         std::to_string(plan.partition_count()) + ")");
   }
+  // Every cell claims at least one partition when built, so nc <= np for
+  // any valid file; rejecting larger values also keeps nc + 1 below the
+  // array-size computations (no uint64 wrap on nc == UINT64_MAX).
   if (nb > n || member_total < n || member_total > 2 * n ||
-      (n > 0 && nc == 0)) {
+      (n > 0 && nc == 0) || nc > np) {
     return HierCorrupt(path, "implausible counts in the mini-header");
   }
   PayloadCursor cur(s);
@@ -742,7 +745,10 @@ Status DecodeHierarchy(const std::string& path, const FloorPlan& plan,
 
   // The offset arrays gate every other array's indexing, so they are
   // validated in full: CSR prefixes must start at 0, grow monotonically,
-  // and land exactly on the totals the mini-header promised.
+  // stay within the mini-header totals, and land exactly on them at the
+  // end. The per-cell upper bound must hold BEFORE the border-local loop
+  // below indexes cell_border_locals, or a crafted offset reads past the
+  // mapped file.
   if (member_offsets[0] != 0 || cell_border_offsets[0] != 0 ||
       block_offsets[0] != 0) {
     return HierCorrupt(path, "offset arrays do not start at 0");
@@ -752,6 +758,12 @@ Status DecodeHierarchy(const std::string& path, const FloorPlan& plan,
         cell_border_offsets[c + 1] < cell_border_offsets[c]) {
       return HierCorrupt(path,
                          "offset array decreases at cell " + std::to_string(c));
+    }
+    if (member_offsets[c + 1] > member_total ||
+        cell_border_offsets[c + 1] > border_local_total ||
+        block_offsets[c + 1] > block_total) {
+      return HierCorrupt(path, "offset array exceeds header total at cell " +
+                                   std::to_string(c));
     }
     const uint64_t m = member_offsets[c + 1] - member_offsets[c];
     if (m > member_total ||

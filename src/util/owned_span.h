@@ -41,6 +41,7 @@ class OwnedSpan {
 
   OwnedSpan(OwnedSpan&& o) noexcept { *this = std::move(o); }
   OwnedSpan& operator=(OwnedSpan&& o) noexcept {
+    if (this == &o) return *this;
     // Re-anchor the data pointer when the payload was owned (a moved-from
     // vector's buffer address follows the move); borrowed pointers carry
     // over unchanged.

@@ -282,37 +282,104 @@ TEST(IndexContainerTest, ReadModeRejectsPayloadBitFlip) {
   std::remove(path.c_str());
 }
 
-TEST(IndexContainerTest, MapModeValidatesHierarchyInvariants) {
-  // Structural validation must catch invalid payload invariants even on
-  // the un-checksummed map path: point partition 0 at a nonexistent cell.
+/// Byte offset of the HIER section payload within a serialized container
+/// (located via the section table: 32-byte entries from byte 64), or 0
+/// when the section is absent.
+uint64_t FindHierOffset(const std::string& bytes) {
+  uint32_t section_count;
+  std::memcpy(&section_count, bytes.data() + 32, sizeof(section_count));
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t entry = 64 + i * 32;
+    if (std::memcmp(bytes.data() + entry, "HIER    ", 8) == 0) {
+      uint64_t offset;
+      std::memcpy(&offset, bytes.data() + entry + 8, sizeof(offset));
+      return offset;
+    }
+  }
+  return 0;
+}
+
+/// Saves a hierarchical container for a fresh campus plan, applies
+/// `corrupt` to its bytes (given the HIER payload offset), and expects
+/// the map path to reject it with a ParseError naming the section and
+/// carrying `expect_in` — pinning WHICH validation fired, since a later
+/// check tripping by accident on whatever bytes an out-of-bounds offset
+/// lands on would make the test pass while the file is read unsafely.
+void ExpectHierCorruptionRejected(
+    const std::string& name, const std::string& expect_in,
+    const std::function<void(std::string*, uint64_t)>& corrupt) {
   const FloorPlan plan = MakeCampus(13);
   IndexOptions options;
   options.use_hierarchy = true;
   options.hierarchy_cell_target = 8;
-  const std::string path = SaveContainer(plan, options, "bad_hier.idx");
+  const std::string path = SaveContainer(plan, options, name);
   std::string bytes = ReadFile(path);
-  // Find the HIER section via the table (entries from byte 64).
-  uint32_t section_count;
-  std::memcpy(&section_count, bytes.data() + 32, sizeof(section_count));
-  uint64_t hier_offset = 0;
-  for (uint32_t i = 0; i < section_count; ++i) {
-    const size_t entry = 64 + i * 32;
-    if (std::memcmp(bytes.data() + entry, "HIER    ", 8) == 0) {
-      std::memcpy(&hier_offset, bytes.data() + entry + 8,
-                  sizeof(hier_offset));
-    }
-  }
+  const uint64_t hier_offset = FindHierOffset(bytes);
   ASSERT_NE(hier_offset, 0u);
-  // partition_cells[0] sits right after the 64-byte HIER mini-header.
-  const uint32_t bogus = 0xFFFFFFF0u;
-  std::memcpy(bytes.data() + hier_offset + 64, &bogus, sizeof(bogus));
+  corrupt(&bytes, hier_offset);
   WriteFile(path, bytes);
   auto mapped = MapIndexContainer(plan, path);
   ASSERT_FALSE(mapped.ok());
   EXPECT_EQ(mapped.status().code(), StatusCode::kParseError);
   EXPECT_NE(mapped.status().message().find("HIER"), std::string::npos)
       << mapped.status();
+  EXPECT_NE(mapped.status().message().find(expect_in), std::string::npos)
+      << mapped.status();
   std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, MapModeValidatesHierarchyInvariants) {
+  // Structural validation must catch invalid payload invariants even on
+  // the un-checksummed map path: point partition 0 at a nonexistent cell.
+  ExpectHierCorruptionRejected(
+      "bad_hier.idx", "partition cell out of range",
+      [](std::string* bytes, uint64_t hier_offset) {
+        // partition_cells[0] sits right after the 64-byte HIER mini-header.
+        const uint32_t bogus = 0xFFFFFFF0u;
+        std::memcpy(bytes->data() + hier_offset + 64, &bogus, sizeof(bogus));
+      });
+}
+
+TEST(IndexContainerTest, MapModeRejectsImplausibleHierCellCount) {
+  // nc == UINT64_MAX wraps nc + 1 to 0, so the offset arrays decode as
+  // zero-length and the validation loops would run off their ends on a
+  // crafted section size. Cells cluster partitions, so any nc > np must
+  // die at the mini-header, before any nc-driven array decoding.
+  ExpectHierCorruptionRejected(
+      "huge_nc_hier.idx", "implausible counts",
+      [](std::string* bytes, uint64_t hier_offset) {
+        const uint64_t bogus = UINT64_MAX;  // mini[1] = cell_count
+        std::memcpy(bytes->data() + hier_offset + 8, &bogus, sizeof(bogus));
+      });
+}
+
+TEST(IndexContainerTest, MapModeRejectsHierBorderOffsetPastTotal) {
+  // cell_border_offsets[c + 1] gates indexing into cell_border_locals, so
+  // its bound check must fire BEFORE the border-local loop — without it
+  // the loop reads past cell_border_locals (and, for a large enough
+  // offset, past the mapped file) until some stray byte happens to fail
+  // the range test, which is why this test pins the exact message.
+  ExpectHierCorruptionRejected(
+      "huge_border_offset_hier.idx", "exceeds header total",
+      [](std::string* bytes, uint64_t hier_offset) {
+        // Walk the 64-byte-aligned payload layout (docs/FORMAT.md) up to
+        // cell_border_offsets, using the mini-header's own counts.
+        uint64_t mini[7];
+        std::memcpy(mini, bytes->data() + hier_offset, sizeof(mini));
+        const uint64_t n = mini[0], nc = mini[1], np = mini[3],
+                       member_total = mini[4];
+        const auto align = [](uint64_t v) { return (v + 63) & ~uint64_t{63}; };
+        uint64_t off = 64;                          // mini-header
+        off = align(off) + np * 4;                  // partition_cells
+        off = align(off) + 2 * n * 4;               // door_cells
+        off = align(off) + 2 * n * 4;               // door_locals
+        off = align(off) + (nc + 1) * 8;            // member_offsets
+        off = align(off) + member_total * 4;        // members (DoorId)
+        off = align(off) + member_total * 8;        // escape_radii
+        off = align(off) + 8;                       // cell_border_offsets[1]
+        const uint64_t huge = uint64_t{1} << 40;
+        std::memcpy(bytes->data() + hier_offset + off, &huge, sizeof(huge));
+      });
 }
 
 TEST(IndexContainerTest, MissingFileIsIOError) {

@@ -1,0 +1,55 @@
+// OwnedSpan move semantics: moves must re-anchor owned storage, carry
+// borrowed pointers over unchanged, and leave a span intact on self-move
+// (index structures hold payloads through OwnedSpan, so a silently
+// emptied span corrupts whatever structure owns it).
+
+#include "util/owned_span.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace indoor {
+namespace {
+
+TEST(OwnedSpanTest, OwnMoveReanchorsData) {
+  OwnedSpan<int> a = OwnedSpan<int>::Own({1, 2, 3});
+  OwnedSpan<int> b = std::move(a);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.owned());
+  EXPECT_EQ(b.data(), &b[0]);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[2], 3);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(OwnedSpanTest, BorrowMoveKeepsPointer) {
+  const std::vector<int> backing = {4, 5};
+  OwnedSpan<int> a = OwnedSpan<int>::Borrow(backing.data(), backing.size());
+  OwnedSpan<int> b = std::move(a);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_FALSE(b.owned());
+  EXPECT_EQ(b.data(), backing.data());
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(OwnedSpanTest, SelfMoveAssignmentIsANoOp) {
+  OwnedSpan<int> owned = OwnedSpan<int>::Own({7, 8, 9});
+  OwnedSpan<int>& owned_alias = owned;
+  owned = std::move(owned_alias);
+  ASSERT_EQ(owned.size(), 3u);
+  EXPECT_EQ(owned[1], 8);
+
+  const std::vector<int> backing = {6};
+  OwnedSpan<int> borrowed =
+      OwnedSpan<int>::Borrow(backing.data(), backing.size());
+  OwnedSpan<int>& borrowed_alias = borrowed;
+  borrowed = std::move(borrowed_alias);
+  ASSERT_EQ(borrowed.size(), 1u);
+  EXPECT_EQ(borrowed.data(), backing.data());
+}
+
+}  // namespace
+}  // namespace indoor

@@ -8,7 +8,8 @@
 //                          [--queries-per-reader N] [--positions N]
 //                          [--zipf THETA] [--cache on|off] [--batch B]
 //                          [--queue heap|bucket] [--landmarks on|off]
-//                          [--no-midx]
+//                          [--no-midx] [--knn-approx] [--candidates F]
+//                          [--landmark-count N]
 //                          [--obstacles P] [--mix all|distance|range|knn]
 //                          [--move-rate R] [--move-batch M]
 //                          [--seed S] [--json out.json] [--smoke]
@@ -42,6 +43,14 @@
 // enabled for the whole run, writing every query's record to the capture.
 // Comparing QPS with and without the flag on an otherwise identical
 // invocation measures the logging overhead (docs/BENCHMARKS.md).
+//
+// `--knn-approx` opts the index into the approximate-kNN embedding tier
+// (with `--candidates F` controlling the re-rank budget and
+// `--landmark-count N` the embedding width); kNN requests in the mix are
+// then served from the tier. Recall is NOT measured here — bench_recall
+// owns the recall/QPS tradeoff — so this flag exists to observe the
+// tier's effect on the mixed-serving picture. Incompatible with
+// --query-log: captures must hold exact digests for replay.
 
 #include <algorithm>
 #include <atomic>
@@ -89,7 +98,8 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                size_t queries, size_t positions, double zipf, bool cache,
                size_t batch, const std::string& mix, uint64_t seed,
                bool bucket_queue, bool landmarks, bool no_midx,
-               const std::vector<Row>& rows, bool query_log,
+               bool knn_approx, const std::vector<Row>& rows,
+               bool query_log,
                double move_rate, size_t moves, uint64_t repairs,
                uint64_t epoch_rejects) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -106,6 +116,7 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                "  \"zipf\": %.3f,\n  \"cache\": %s,\n  \"batch\": %zu,\n"
                "  \"mix\": \"%s\",\n  \"queue\": \"%s\",\n"
                "  \"landmarks\": %s,\n  \"no_midx\": %s,\n"
+               "  \"knn_approx\": %s,\n"
                "  \"query_log\": %s,\n"
                "  \"move_rate\": %.3f,\n  \"moves\": %zu,\n"
                "  \"repairs\": %llu,\n"
@@ -115,6 +126,7 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                cache ? "true" : "false", batch, mix.c_str(),
                bucket_queue ? "bucket" : "heap",
                landmarks ? "true" : "false", no_midx ? "true" : "false",
+               knn_approx ? "true" : "false",
                query_log ? "true" : "false", move_rate, moves,
                static_cast<unsigned long long>(repairs),
                static_cast<unsigned long long>(epoch_rejects),
@@ -204,6 +216,9 @@ int main(int argc, char** argv) {
   std::string mix = "all";
   double move_rate = 0.0;
   size_t move_batch = 0;  // 0 = all moves due after a query batch
+  bool knn_approx = false;
+  size_t candidate_factor = 0;  // 0 = keep the IndexOptions default
+  size_t landmark_count = 0;    // 0 = auto-scale with the door count
   uint64_t seed = 42;
   std::vector<unsigned> reader_list{1, 2, 4, 8};
   std::string json_path;
@@ -234,6 +249,12 @@ int main(int argc, char** argv) {
       bucket_queue = v == "bucket";
     } else if (arg == "--landmarks") {
       landmarks = next() != "off";
+    } else if (arg == "--knn-approx") {
+      knn_approx = true;
+    } else if (arg == "--candidates") {
+      candidate_factor = std::stoul(next());
+    } else if (arg == "--landmark-count") {
+      landmark_count = std::stoul(next());
     } else if (arg == "--no-midx") {
       // Route range/kNN through the full Md2d-row scan instead of the
       // nearest-first Midx walk. That scan is where the ALT landmark
@@ -280,6 +301,12 @@ int main(int argc, char** argv) {
                  "no write-safe point to apply them\n");
     return 2;
   }
+  if (knn_approx && !query_log_path.empty()) {
+    std::fprintf(stderr,
+                 "--knn-approx is incompatible with --query-log: the "
+                 "capture's digests replay against the exact path\n");
+    return 2;
+  }
   if (no_midx && batch > 0) {
     std::fprintf(stderr,
                  "--no-midx only applies to the free-running reader loop "
@@ -297,20 +324,30 @@ int main(int argc, char** argv) {
   options.enable_query_cache = cache;
   options.use_bucket_queue = bucket_queue;
   options.use_landmarks = landmarks;
+  options.approx_knn = knn_approx;
+  if (knn_approx) options.use_landmarks = true;  // embeddings need rows
+  if (candidate_factor > 0) {
+    options.approx_candidate_factor =
+        static_cast<unsigned>(candidate_factor);
+  }
+  options.landmark_count = static_cast<unsigned>(landmark_count);
   const FloorPlan plan = GenerateBuilding(config);
   IndexFramework index(plan, options);
   Rng rng(seed * 31 + 7);
   PopulateStore(GenerateObjects(plan, objects, &rng), &index.objects());
+  if (knn_approx) index.RefreshApproxKnn();
   const auto positions = GenerateQueryPositions(plan, position_count, &rng);
   const auto pairs = GeneratePositionPairs(plan, position_count, &rng);
   const std::string mode =
       batch ? "batch " + std::to_string(batch) : std::string("reader loop");
   std::printf(
       "building: %d floors, %zu doors, %zu objects | %zu positions, "
-      "zipf %.2f, cache %s, queue %s, landmarks %s, %s, move rate %.2f\n",
+      "zipf %.2f, cache %s, queue %s, landmarks %s, knn-approx %s, %s, "
+      "move rate %.2f\n",
       floors, plan.door_count(), objects, position_count, zipf,
       cache ? "on" : "off", bucket_queue ? "bucket" : "heap",
-      landmarks ? "on" : "off", mode.c_str(), move_rate);
+      landmarks ? "on" : "off", knn_approx ? "on" : "off", mode.c_str(),
+      move_rate);
   const PartitionSampler move_sampler(plan);
   size_t total_moves = 0;
 
@@ -465,7 +502,8 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     WriteJson(json_path, floors, objects, queries_per_reader,
               position_count, zipf, cache, batch, mix, seed, bucket_queue,
-              landmarks, no_midx, rows, !query_log_path.empty(), move_rate,
+              landmarks, no_midx, knn_approx, rows,
+              !query_log_path.empty(), move_rate,
               total_moves, repairs, epoch_rejects);
   }
   return 0;

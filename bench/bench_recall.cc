@@ -1,0 +1,348 @@
+// Approximate-kNN quality/throughput bench: recall@k and single-thread QPS
+// of the embedding tier (core/index/approx_knn.h) against the exact kNN
+// path it shortcuts, swept across k, the candidate over-provisioning
+// factor, and the landmark count the embeddings derive from.
+//
+//   bench_recall [--floors N] [--objects N] [--queries N]
+//                [--ks 1,10,50] [--factors 2,4,8]
+//                [--landmark-counts 8,16,32] [--obstacles P]
+//                [--no-campus] [--seed S] [--json out.json] [--smoke]
+//
+// Per (scenario, landmark count) one framework is built with the
+// approximate tier enabled; every (k, factor) cell then runs the identical
+// query positions through the exact path (KnnQueryOptions::use_approx off)
+// and the approximate path (per-query factor override), so the recall and
+// the QPS ratio compare the same workload on the same warmed index. Exact
+// results are the ground truth: recall@k = |approx ∩ exact| / |exact|
+// averaged over queries (queries with no reachable object are skipped).
+// The approximate path exact-re-ranks its candidates, so every id it
+// returns carries the true distance — recall is the only quality axis.
+//
+// The JSON's "summary" member carries the gating cell — the tier's
+// operating point: among the building scenario's k = 10 rows with recall
+// >= 0.99, the best approx/exact QPS ratio.
+// tools/check_bench_regression.py --recall enforces its floors
+// (recall@10 and the QPS ratio) against BENCH_baseline.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/query/knn_query.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+using namespace indoor;
+
+namespace {
+
+struct Row {
+  std::string scenario;
+  size_t landmarks = 0;
+  size_t k = 0;
+  unsigned factor = 0;
+  double recall = 0;
+  double exact_qps = 0;
+  double approx_qps = 0;
+  double ratio = 0;
+  uint64_t served = 0;
+  uint64_t fallbacks = 0;
+};
+
+std::vector<unsigned> ParseList(const std::string& s) {
+  std::vector<unsigned> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(
+        static_cast<unsigned>(std::stoul(s.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+uint64_t CounterValue(const char* name) {
+#ifdef INDOOR_METRICS_ENABLED
+  return metrics::MetricsRegistry::Global().GetCounter(name).Value();
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+void WriteJson(const std::string& path, bool smoke, uint64_t seed,
+               int floors, size_t objects, size_t queries,
+               const Row& summary, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"recall\",\n  \"smoke\": %s,\n"
+               "  \"seed\": %llu,\n  \"floors\": %d,\n"
+               "  \"objects\": %zu,\n  \"queries\": %zu,\n"
+               "  \"summary\": {\"scenario\": \"%s\", \"landmarks\": %zu, "
+               "\"k\": %zu, \"factor\": %u, \"recall_at_k\": %.4f, "
+               "\"exact_qps\": %.1f, \"approx_qps\": %.1f, "
+               "\"qps_ratio\": %.3f},\n  \"results\": [\n",
+               smoke ? "true" : "false",
+               static_cast<unsigned long long>(seed), floors, objects,
+               queries, summary.scenario.c_str(), summary.landmarks,
+               summary.k, summary.factor, summary.recall,
+               summary.exact_qps, summary.approx_qps, summary.ratio);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"landmarks\": %zu, "
+                 "\"k\": %zu, \"factor\": %u, \"recall\": %.4f, "
+                 "\"exact_qps\": %.1f, \"approx_qps\": %.1f, "
+                 "\"ratio\": %.3f, \"served\": %llu, "
+                 "\"fallbacks\": %llu}%s\n",
+                 r.scenario.c_str(), r.landmarks, r.k, r.factor, r.recall,
+                 r.exact_qps, r.approx_qps, r.ratio,
+                 static_cast<unsigned long long>(r.served),
+                 static_cast<unsigned long long>(r.fallbacks),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"metrics\": %s}\n",
+               indoor::bench::MetricsJson().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults pick the regime the tier targets: a large building with a
+  // SPARSE object population (fewer objects than rooms), where the exact
+  // path must expand doors across many partitions before it collects k
+  // candidates while the embedding scan stays small. Dense populations
+  // (--objects 10000 --floors 10) invert the ratio — the exact Midx walk
+  // finds k neighbors after touching a handful of partitions — and the
+  // sweep documents that too (docs/BENCHMARKS.md).
+  int floors = 40;
+  size_t objects = 300;
+  size_t queries = 400;
+  // Obstructed rooms make the per-query candidate legs geodesic solves —
+  // the serving cost the precomputed embeddings amortize away; 0
+  // degenerates every intra distance to a straight line and flatters the
+  // exact path (same knob and default as bench_query_throughput).
+  double obstacles = 0.5;
+  bool campus = true;
+  uint64_t seed = 42;
+  std::vector<unsigned> ks{1, 10, 50};
+  std::vector<unsigned> factors{1, 2, 4, 8};
+  std::vector<unsigned> landmark_counts{8, 16, 32};
+  std::string json_path;
+  bool smoke = indoor::bench::SmokeMode();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--floors") {
+      floors = std::stoi(next());
+    } else if (arg == "--objects") {
+      objects = std::stoul(next());
+    } else if (arg == "--queries") {
+      queries = std::stoul(next());
+    } else if (arg == "--ks") {
+      ks = ParseList(next());
+    } else if (arg == "--factors") {
+      factors = ParseList(next());
+    } else if (arg == "--landmark-counts") {
+      landmark_counts = ParseList(next());
+    } else if (arg == "--obstacles") {
+      obstacles = std::stod(next());
+    } else if (arg == "--no-campus") {
+      campus = false;
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (smoke) {
+    floors = 2;
+    objects = 400;
+    queries = 30;
+    ks = {10};
+    factors = {4};
+    landmark_counts = {8};
+    campus = false;
+  }
+  if (ks.empty() || factors.empty() || landmark_counts.empty()) {
+    std::fprintf(stderr, "--ks/--factors/--landmark-counts need entries\n");
+    return 2;
+  }
+
+  struct Scenario {
+    std::string name;
+    FloorPlan plan;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    BuildingConfig config;
+    config.floors = floors;
+    config.rooms_per_floor = smoke ? 8 : 30;
+    config.obstacle_probability = obstacles;
+    config.seed = seed;
+    scenarios.push_back({"building", GenerateBuilding(config)});
+    if (campus) {
+      CampusConfig cc;
+      cc.buildings = 3;
+      cc.building = config;
+      cc.building.floors = std::max(2, floors / 2);
+      cc.seed = seed;
+      scenarios.push_back({"campus", GenerateCampus(cc)});
+    }
+  }
+
+  std::vector<Row> rows;
+  std::printf("%-10s %6s %5s %7s %9s %12s %12s %8s\n", "scenario", "lms",
+              "k", "factor", "recall", "exact QPS", "approx QPS", "ratio");
+  for (const Scenario& scenario : scenarios) {
+    for (const unsigned lm : landmark_counts) {
+      IndexOptions options;
+      options.build_threads = 0;
+      options.use_landmarks = true;
+      options.landmark_count = lm;
+      options.approx_knn = true;
+      IndexFramework index(scenario.plan, options);
+      Rng rng(seed * 31 + 7);
+      PopulateStore(GenerateObjects(scenario.plan, objects, &rng),
+                    &index.objects());
+      index.RefreshApproxKnn();
+      const auto positions =
+          GenerateQueryPositions(scenario.plan, queries, &rng);
+
+      for (const unsigned k : ks) {
+        // Untimed ground-truth pass (also faults in every lazily built
+        // structure, so no pass pays first-touch costs).
+        KnnQueryOptions exact_opts;
+        exact_opts.use_approx = false;
+        std::vector<std::vector<ObjectId>> truth(positions.size());
+        for (size_t q = 0; q < positions.size(); ++q) {
+          const auto neighbors = KnnQuery(index, positions[q], k,
+                                          exact_opts);
+          truth[q].reserve(neighbors.size());
+          for (const Neighbor& n : neighbors) truth[q].push_back(n.id);
+          std::sort(truth[q].begin(), truth[q].end());
+        }
+
+        // Both timed passes start from a dropped cache: the workload is
+        // all-distinct queries, so a result-cache hit on the position a
+        // prior pass already served would measure the cache, not the
+        // algorithm (the approximate path bypasses the result cache by
+        // design — cached entries must stay exact).
+        size_t sink = 0;
+        if (index.query_cache() != nullptr) {
+          index.query_cache()->Invalidate();
+        }
+        WallTimer exact_timer;
+        for (const Point& p : positions) {
+          sink += KnnQuery(index, p, k, exact_opts).size();
+        }
+        const double exact_millis = exact_timer.ElapsedMillis();
+        const double exact_qps =
+            positions.size() / (exact_millis / 1000.0);
+
+        for (const unsigned factor : factors) {
+          KnnQueryOptions approx_opts;
+          approx_opts.use_approx = true;
+          approx_opts.approx_candidate_factor = factor;
+          const uint64_t served0 = CounterValue("knn.approx.served");
+          const uint64_t fall0 = CounterValue("knn.approx.exact_fallback");
+          double hit = 0;
+          size_t graded = 0;
+          if (index.query_cache() != nullptr) {
+            index.query_cache()->Invalidate();
+          }
+          WallTimer approx_timer;
+          for (size_t q = 0; q < positions.size(); ++q) {
+            const auto neighbors =
+                KnnQuery(index, positions[q], k, approx_opts);
+            sink += neighbors.size();
+            if (truth[q].empty()) continue;
+            size_t both = 0;
+            for (const Neighbor& n : neighbors) {
+              both += std::binary_search(truth[q].begin(), truth[q].end(),
+                                         n.id)
+                          ? 1
+                          : 0;
+            }
+            hit += static_cast<double>(both) /
+                   static_cast<double>(truth[q].size());
+            ++graded;
+          }
+          const double approx_millis = approx_timer.ElapsedMillis();
+
+          Row row;
+          row.scenario = scenario.name;
+          row.landmarks = lm;
+          row.k = k;
+          row.factor = factor;
+          row.recall = graded > 0 ? hit / static_cast<double>(graded) : 1.0;
+          row.exact_qps = exact_qps;
+          row.approx_qps = positions.size() / (approx_millis / 1000.0);
+          row.ratio =
+              exact_qps > 0 ? row.approx_qps / exact_qps : 0.0;
+          row.served = CounterValue("knn.approx.served") - served0;
+          row.fallbacks = CounterValue("knn.approx.exact_fallback") - fall0;
+          rows.push_back(row);
+          std::printf(
+              "%-10s %6zu %5zu %7u %9.4f %12.0f %12.0f %7.2fx\n",
+              row.scenario.c_str(), row.landmarks, row.k, row.factor,
+              row.recall, row.exact_qps, row.approx_qps, row.ratio);
+        }
+        if (sink == SIZE_MAX) std::printf("\n");  // keep loops observable
+      }
+    }
+  }
+
+  // The gating cell: the tier's operating point. Among the building
+  // scenario's k = 10 rows (the paper's default k) that clear the 0.99
+  // recall operating floor, the best QPS ratio — the configuration an
+  // operator would actually deploy, which the sweep exists to find. When
+  // no row clears the floor the best-recall row is reported instead (and
+  // the regression gate fails on its recall, as it should).
+  const size_t gate_k = std::count(ks.begin(), ks.end(), 10u) > 0
+                            ? 10u
+                            : static_cast<size_t>(ks.back());
+  constexpr double kOperatingRecall = 0.99;
+  const Row* summary = nullptr;
+  const Row* best_recall = nullptr;
+  for (const Row& r : rows) {
+    if (r.scenario != "building" || r.k != gate_k) continue;
+    if (best_recall == nullptr || r.recall > best_recall->recall) {
+      best_recall = &r;
+    }
+    if (r.recall < kOperatingRecall) continue;
+    if (summary == nullptr || r.ratio > summary->ratio) summary = &r;
+  }
+  if (summary == nullptr) summary = best_recall;
+  if (summary == nullptr) summary = &rows.front();
+  std::printf(
+      "\nsummary: scenario=%s landmarks=%zu k=%zu factor=%u "
+      "recall=%.4f qps_ratio=%.2fx\n",
+      summary->scenario.c_str(), summary->landmarks, summary->k,
+      summary->factor, summary->recall, summary->ratio);
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, smoke, seed, floors, objects, queries, *summary,
+              rows);
+  }
+  return 0;
+}

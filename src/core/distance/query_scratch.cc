@@ -61,7 +61,8 @@ size_t QueryScratch::CapacityBytes() const {
          VecCapacityBytes(src_leg) + VecCapacityBytes(dst_leg) +
          VecCapacityBytes(d2d_cache) + VecCapacityBytes(prev) +
          collector.CapacityBytes() + VecCapacityBytes(neighbors) +
-         VecCapacityBytes(result_deps);
+         VecCapacityBytes(result_deps) + VecCapacityBytes(approx_bound) +
+         VecCapacityBytes(approx_order) + VecCapacityBytes(approx_dq);
 }
 
 size_t QueryScratch::UsedBytes() const {
@@ -75,7 +76,9 @@ size_t QueryScratch::UsedBytes() const {
          VecUsedBytes(src_leg) + VecUsedBytes(dst_leg) +
          VecUsedBytes(d2d_cache) + VecUsedBytes(prev) +
          collector.size() * sizeof(std::pair<double, ObjectId>) +
-         VecUsedBytes(neighbors) + VecUsedBytes(result_deps);
+         VecUsedBytes(neighbors) + VecUsedBytes(result_deps) +
+         VecUsedBytes(approx_bound) + VecUsedBytes(approx_order) +
+         VecUsedBytes(approx_dq);
 }
 
 void QueryScratch::ShrinkToFit() {
@@ -98,6 +101,9 @@ void QueryScratch::ShrinkToFit() {
   collector.ShrinkToFit();
   neighbors.shrink_to_fit();
   result_deps.shrink_to_fit();
+  approx_bound.shrink_to_fit();
+  approx_order.shrink_to_fit();
+  approx_dq.shrink_to_fit();
 }
 
 void QueryScratch::NoteQueryDone() {

@@ -59,6 +59,13 @@ struct QueryScratch {
   /// examined — the epoch dependency set of its cached result.
   std::vector<PartitionId> result_deps;
 
+  /// Approximate-kNN tier buffers (knn_query.cc): per-object SIMD lower
+  /// bounds, the bound-sorted candidate order, and the per-door memo of
+  /// q -> enter-door budgets used by the exact re-rank.
+  std::vector<double> approx_bound;
+  std::vector<ObjectId> approx_order;
+  std::vector<double> approx_dq;
+
   // ---- high-water-mark decay ------------------------------------------
   // Long-lived serving threads (and the TLS fallback in particular) used
   // to pin the peak capacity of every buffer forever: one huge query left

@@ -1,0 +1,351 @@
+#include "core/index/approx_knn.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "geometry/visibility_graph.h"
+#include "util/metrics.h"
+
+namespace indoor {
+namespace {
+
+// Same mixer as the container fingerprints in index_io.cc (splitmix-style);
+// seeded differently so an ANNX fingerprint never collides with a plan one.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 29);
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(h, bits);
+}
+
+}  // namespace
+
+uint64_t ApproxKnnIndex::Fingerprint(const ObjectStore& store,
+                                     const LandmarkIndex& lm) {
+  uint64_t h = 0xA44E58;  // "ANNX"
+  h = Mix(h, store.size());
+  for (const IndoorObject& obj : store.objects()) {
+    h = Mix(h, obj.partition);
+    h = MixDouble(h, obj.position.x);
+    h = MixDouble(h, obj.position.y);
+  }
+  h = Mix(h, lm.count());
+  for (DoorId d : lm.doors()) h = Mix(h, d);
+  return h;
+}
+
+void ApproxKnnIndex::Refresh(const FloorPlan& plan, const ObjectStore& store,
+                             const LandmarkIndex& lm) {
+  if (!lm.valid()) {
+    // No landmarks -> no embedding basis; drop everything.
+    object_count_ = 0;
+    landmark_count_ = 0;
+    fwd_ = bwd_ = legs_ = nullptr;
+    serving_payload_ = false;
+    fwd_store_.clear();
+    bwd_store_.clear();
+    legs_store_.clear();
+    adopted_ = ApproxKnnPayload();
+    pending_.reset();
+    leg_start_.clear();
+    leg_count_.clear();
+    leg_cap_.clear();
+    live_legs_ = 0;
+    part_epochs_.clear();
+    global_epoch_ = 0;
+    last_refresh_ = RefreshMode::kNone;
+    return;
+  }
+
+  if (pending_.has_value()) {
+    const bool adopted = TryAdopt(plan, store, lm);
+    pending_.reset();
+    if (adopted) {
+      SnapshotEpochs(store);
+      last_refresh_ = RefreshMode::kAdopted;
+      INDOOR_COUNTER_INC("knn.approx.refresh.adopted");
+      return;
+    }
+  }
+
+  bool full = !valid() || object_count_ != store.size() ||
+              landmark_count_ != lm.count() ||
+              part_epochs_.size() != plan.partition_count();
+  std::vector<ObjectId> changed;
+  if (!full) {
+    for (size_t v = 0; v < plan.partition_count() && !full; ++v) {
+      const PartitionId p = static_cast<PartitionId>(v);
+      if (store.epoch(p) == part_epochs_[v]) continue;
+      if (!store.ChangedSince(p, part_epochs_[v], &changed)) full = true;
+    }
+  }
+  if (!full) {
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    if (!changed.empty()) {
+      EnsureOwned();
+      EmbedObjects(plan, store, lm, changed);
+      if (legs_store_.size() > 2 * live_legs_ && legs_store_.size() > 4096) {
+        CompactLegs();
+      }
+    }
+    SnapshotEpochs(store);
+    last_refresh_ = RefreshMode::kIncremental;
+    INDOOR_COUNTER_INC("knn.approx.refresh.incremental");
+    return;
+  }
+
+  FullBuild(plan, store, lm);
+  SnapshotEpochs(store);
+  last_refresh_ = RefreshMode::kFull;
+  INDOOR_COUNTER_INC("knn.approx.refresh.full");
+}
+
+bool ApproxKnnIndex::TryAdopt(const FloorPlan& plan, const ObjectStore& store,
+                              const LandmarkIndex& lm) {
+  ApproxKnnPayload& p = *pending_;
+  if (p.object_count != store.size() || p.landmark_count != lm.count()) {
+    return false;
+  }
+  if (p.fingerprint != Fingerprint(store, lm)) return false;
+  // Leg slots must line up with each object's enter doors — the container
+  // decoder can only check the CSR structurally (the object population
+  // does not exist at parse time), so the semantic check lands here.
+  const uint64_t* offsets = p.leg_offsets.data();
+  for (size_t o = 0; o < p.object_count; ++o) {
+    const size_t doors =
+        plan.EnterDoors(store.object(static_cast<ObjectId>(o)).partition)
+            .size();
+    if (offsets[o + 1] - offsets[o] != doors) return false;
+  }
+
+  adopted_ = std::move(p);
+  object_count_ = static_cast<size_t>(adopted_.object_count);
+  landmark_count_ = static_cast<size_t>(adopted_.landmark_count);
+  fwd_ = adopted_.fwd.data();
+  bwd_ = adopted_.bwd.data();
+  legs_ = adopted_.legs.data();
+  serving_payload_ = true;
+  fwd_store_.clear();
+  bwd_store_.clear();
+  legs_store_.clear();
+
+  const uint64_t* off = adopted_.leg_offsets.data();
+  leg_start_.resize(object_count_);
+  leg_count_.resize(object_count_);
+  leg_cap_.resize(object_count_);
+  for (size_t o = 0; o < object_count_; ++o) {
+    leg_start_[o] = off[o];
+    const uint32_t c = static_cast<uint32_t>(off[o + 1] - off[o]);
+    leg_count_[o] = c;
+    leg_cap_[o] = c;
+  }
+  live_legs_ = static_cast<size_t>(adopted_.leg_total);
+  return true;
+}
+
+void ApproxKnnIndex::FullBuild(const FloorPlan& plan, const ObjectStore& store,
+                               const LandmarkIndex& lm) {
+  object_count_ = store.size();
+  landmark_count_ = lm.count();
+  adopted_ = ApproxKnnPayload();
+  serving_payload_ = false;
+
+  const size_t cells = landmark_count_ * object_count_;
+  fwd_store_.assign(cells, kInfDistance);
+  bwd_store_.assign(cells, kInfDistance);
+  leg_start_.assign(object_count_, 0);
+  leg_count_.assign(object_count_, 0);
+  leg_cap_.assign(object_count_, 0);
+
+  uint64_t total = 0;
+  for (size_t o = 0; o < object_count_; ++o) {
+    const size_t c =
+        plan.EnterDoors(store.object(static_cast<ObjectId>(o)).partition)
+            .size();
+    leg_start_[o] = total;
+    leg_count_[o] = static_cast<uint32_t>(c);
+    leg_cap_[o] = static_cast<uint32_t>(c);
+    total += c;
+  }
+  legs_store_.assign(static_cast<size_t>(total), kInfDistance);
+  live_legs_ = static_cast<size_t>(total);
+  fwd_ = fwd_store_.data();
+  bwd_ = bwd_store_.data();
+  legs_ = legs_store_.data();
+
+  std::vector<ObjectId> ids(object_count_);
+  std::iota(ids.begin(), ids.end(), ObjectId{0});
+  EmbedObjects(plan, store, lm, ids);
+}
+
+void ApproxKnnIndex::EmbedObjects(const FloorPlan& plan,
+                                  const ObjectStore& store,
+                                  const LandmarkIndex& lm,
+                                  std::span<const ObjectId> ids) {
+  const size_t n = object_count_;
+  const size_t L = landmark_count_;
+
+  // Group by host partition so every (door, partition) pair is one batched
+  // geodesic solve regardless of how many objects it covers.
+  std::vector<std::pair<PartitionId, ObjectId>> byp;
+  byp.reserve(ids.size());
+  for (ObjectId o : ids) byp.emplace_back(store.object(o).partition, o);
+  std::sort(byp.begin(), byp.end());
+
+  GeodesicScratch geo;
+  std::vector<Point> pts;
+  std::vector<double> dist;
+  std::vector<ObjectId> group;
+
+  size_t i = 0;
+  while (i < byp.size()) {
+    const PartitionId v = byp[i].first;
+    group.clear();
+    pts.clear();
+    for (; i < byp.size() && byp[i].first == v; ++i) {
+      group.push_back(byp[i].second);
+      pts.push_back(store.object(byp[i].second).position);
+    }
+
+    const std::vector<DoorId>& enter = plan.EnterDoors(v);
+    const std::vector<DoorId>& leave = plan.LeaveDoors(v);
+    const uint32_t nc = static_cast<uint32_t>(enter.size());
+    for (ObjectId o : group) {
+      for (size_t l = 0; l < L; ++l) {
+        fwd_store_[l * n + o] = kInfDistance;
+        bwd_store_[l * n + o] = kInfDistance;
+      }
+      if (nc > leg_cap_[o]) {  // moved somewhere roomier: append a new slot
+        leg_start_[o] = legs_store_.size();
+        leg_cap_[o] = nc;
+        legs_store_.resize(legs_store_.size() + nc, kInfDistance);
+      }
+      live_legs_ += nc;
+      live_legs_ -= leg_count_[o];
+      leg_count_[o] = nc;
+    }
+
+    dist.resize(group.size());
+    const Partition& part = plan.partition(v);
+    for (size_t j = 0; j < enter.size(); ++j) {
+      part.IntraDistancesToMany(plan.door(enter[j]).Midpoint(), pts, &geo,
+                                dist.data());
+      const double* frow = lm.ForwardRow(enter[j]);
+      for (size_t s = 0; s < group.size(); ++s) {
+        const ObjectId o = group[s];
+        legs_store_[leg_start_[o] + j] = dist[s];
+        if (dist[s] == kInfDistance) continue;
+        for (size_t l = 0; l < L; ++l) {
+          if (frow[l] == kInfDistance) continue;
+          double& cell = fwd_store_[l * n + o];
+          const double cand = frow[l] + dist[s];
+          if (cand < cell) cell = cand;
+        }
+      }
+    }
+    for (size_t j = 0; j < leave.size(); ++j) {
+      // Symmetric intra metric: the door-rooted solve stands in for the
+      // object->door leg, keeping this one batched call per door.
+      part.IntraDistancesToMany(plan.door(leave[j]).Midpoint(), pts, &geo,
+                                dist.data());
+      const double* brow = lm.BackwardRow(leave[j]);
+      for (size_t s = 0; s < group.size(); ++s) {
+        const ObjectId o = group[s];
+        if (dist[s] == kInfDistance) continue;
+        for (size_t l = 0; l < L; ++l) {
+          if (brow[l] == kInfDistance) continue;
+          double& cell = bwd_store_[l * n + o];
+          const double cand = dist[s] + brow[l];
+          if (cand < cell) cell = cand;
+        }
+      }
+    }
+  }
+
+  fwd_ = fwd_store_.data();
+  bwd_ = bwd_store_.data();
+  legs_ = legs_store_.data();
+}
+
+void ApproxKnnIndex::EnsureOwned() {
+  if (!serving_payload_) return;
+  const size_t cells = landmark_count_ * object_count_;
+  fwd_store_.assign(fwd_, fwd_ + cells);
+  bwd_store_.assign(bwd_, bwd_ + cells);
+  legs_store_.assign(legs_, legs_ + static_cast<size_t>(adopted_.leg_total));
+  adopted_ = ApproxKnnPayload();
+  serving_payload_ = false;
+  fwd_ = fwd_store_.data();
+  bwd_ = bwd_store_.data();
+  legs_ = legs_store_.data();
+}
+
+void ApproxKnnIndex::CompactLegs() {
+  std::vector<double> compact;
+  compact.reserve(live_legs_);
+  std::vector<uint64_t> starts(object_count_);
+  for (size_t o = 0; o < object_count_; ++o) {
+    starts[o] = compact.size();
+    const double* src = legs_store_.data() + leg_start_[o];
+    compact.insert(compact.end(), src, src + leg_count_[o]);
+    leg_cap_[o] = leg_count_[o];
+  }
+  legs_store_ = std::move(compact);
+  leg_start_ = std::move(starts);
+  legs_ = legs_store_.data();
+}
+
+void ApproxKnnIndex::SnapshotEpochs(const ObjectStore& store) {
+  const size_t parts = store.plan().partition_count();
+  part_epochs_.resize(parts);
+  for (size_t v = 0; v < parts; ++v) {
+    part_epochs_[v] = store.epoch(static_cast<PartitionId>(v));
+  }
+  global_epoch_ = store.global_epoch();
+}
+
+ApproxKnnPayload ApproxKnnIndex::BuildPayload(const ObjectStore& store,
+                                              const LandmarkIndex& lm) const {
+  ApproxKnnPayload p;
+  p.object_count = object_count_;
+  p.landmark_count = landmark_count_;
+  p.fingerprint = Fingerprint(store, lm);
+
+  std::vector<uint64_t> offsets(object_count_ + 1, 0);
+  std::vector<double> legs;
+  legs.reserve(live_legs_);
+  for (size_t o = 0; o < object_count_; ++o) {
+    offsets[o] = legs.size();
+    legs.insert(legs.end(), legs_ + leg_start_[o],
+                legs_ + leg_start_[o] + leg_count_[o]);
+  }
+  offsets[object_count_] = legs.size();
+  p.leg_total = legs.size();
+
+  const size_t cells = landmark_count_ * object_count_;
+  p.fwd = OwnedSpan<double>::Own(std::vector<double>(fwd_, fwd_ + cells));
+  p.bwd = OwnedSpan<double>::Own(std::vector<double>(bwd_, bwd_ + cells));
+  p.leg_offsets = OwnedSpan<uint64_t>::Own(std::move(offsets));
+  p.legs = OwnedSpan<double>::Own(std::move(legs));
+  return p;
+}
+
+size_t ApproxKnnIndex::MemoryBytes() const {
+  const size_t cells = landmark_count_ * object_count_;
+  const size_t pool =
+      serving_payload_ ? static_cast<size_t>(adopted_.leg_total)
+                       : legs_store_.size();
+  return 2 * cells * sizeof(double) + pool * sizeof(double) +
+         leg_start_.size() * sizeof(uint64_t) +
+         (leg_count_.size() + leg_cap_.size()) * sizeof(uint32_t);
+}
+
+}  // namespace indoor

@@ -1,0 +1,189 @@
+// Approximate-kNN tier: per-object landmark-distance embeddings with SIMD
+// batch lower bounds (ROADMAP item 4, second half).
+//
+// For every stored object o the index materializes the ALT embedding
+//
+//   fwd[l][o] = min over dj in EnterDoors(part(o)) of
+//                 (d(landmark_l -> dj) + intra(dj.mid, o))
+//   bwd[l][o] = min over di in LeaveDoors(part(o)) of
+//                 (intra(o, di.mid) + d(di -> landmark_l))
+//
+// i.e. the landmark rows of LandmarkIndex extended from doors to object
+// positions (the intra legs reuse the symmetric intra-partition metric, so
+// every per-partition solve is one door-rooted IntraDistancesToMany call).
+// Rows are stored LANDMARK-MAJOR — the object axis is contiguous — so one
+// simd::AltBatchBoundMax call folds a whole landmark's contribution to the
+// triangle-inequality lower bound of every object at once. This is the
+// materialized-row layout PR 7's calibration found necessary for ALT to
+// beat full-row scans in range/kNN.
+//
+// The query path (KnnQuery with IndexOptions::approx_knn) ranks objects by
+// that lower bound, exact re-ranks an over-provisioned candidate prefix
+// through the same matrix/solver distances as the exact path, and stops
+// early once the k-th exact distance beats the next candidate's bound —
+// exact when the bounds are tight, measurably approximate otherwise
+// (bench_recall gates recall@10).
+//
+// Freshness: the index snapshots ObjectStore::global_epoch() when it
+// (re)builds; a query serves from it only while the snapshot still matches
+// (O(1) check), otherwise it falls back to the exact path and bumps
+// `knn.approx.exact_fallback`. RefreshApproxKnn (IndexFramework) re-embeds
+// after every ApplyMoveBatch, incrementally via the per-partition change
+// journals when the window is coverable.
+//
+// Thread-safety: the const read surface is safe for concurrent readers;
+// Refresh mutates and must be serialized with readers under the same
+// external single-writer barrier as ObjectStore writes.
+
+#ifndef INDOOR_CORE_INDEX_APPROX_KNN_H_
+#define INDOOR_CORE_INDEX_APPROX_KNN_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/index/landmark_index.h"
+#include "core/index/object_store.h"
+#include "indoor/floor_plan.h"
+#include "util/owned_span.h"
+
+namespace indoor {
+
+/// Serialized form of the embedding store: the ANNX container section
+/// (docs/FORMAT.md). `leg_offsets` is a compact CSR over the per-object
+/// enter-door legs (leg_offsets[o] .. leg_offsets[o+1] are object o's legs,
+/// aligned with EnterDoors(part(o))). `fingerprint` ties the payload to the
+/// exact object population + landmark set it was embedded from; adoption is
+/// rejected when either changed since the save.
+struct ApproxKnnPayload {
+  uint64_t object_count = 0;
+  uint64_t landmark_count = 0;
+  uint64_t leg_total = 0;
+  uint64_t fingerprint = 0;
+  OwnedSpan<double> fwd;            ///< landmark-major, count * objects
+  OwnedSpan<double> bwd;            ///< landmark-major, count * objects
+  OwnedSpan<uint64_t> leg_offsets;  ///< object_count + 1
+  OwnedSpan<double> legs;           ///< leg_total
+};
+
+/// The object-embedding store behind the approximate kNN tier. Owned by
+/// IndexFramework; invalid (valid() == false) until the first Refresh with
+/// a valid LandmarkIndex.
+class ApproxKnnIndex {
+ public:
+  /// How the last Refresh call satisfied itself (test introspection).
+  enum class RefreshMode : uint8_t {
+    kNone,         ///< never refreshed (or cleared)
+    kAdopted,      ///< adopted a fingerprint-matching ANNX payload
+    kFull,         ///< rebuilt every embedding
+    kIncremental,  ///< re-embedded only journal-recovered changed objects
+  };
+
+  ApproxKnnIndex() = default;
+  ApproxKnnIndex(ApproxKnnIndex&&) = default;
+  ApproxKnnIndex& operator=(ApproxKnnIndex&&) = default;
+
+  bool valid() const { return landmark_count_ > 0; }
+  size_t object_count() const { return object_count_; }
+  size_t landmark_count() const { return landmark_count_; }
+
+  /// Landmark-major forward row: FwdRow(l)[o] = embedded d(landmark_l, o).
+  const double* FwdRow(size_t l) const { return fwd_ + l * object_count_; }
+  /// Landmark-major backward row: BwdRow(l)[o] = embedded d(o, landmark_l).
+  const double* BwdRow(size_t l) const { return bwd_ + l * object_count_; }
+
+  /// Object o's enter-door legs, aligned index-for-index with
+  /// EnterDoors(part(o)): Legs(o)[j] = intra(door_j.mid, o.position).
+  std::span<const double> Legs(ObjectId o) const {
+    return {legs_ + leg_start_[o], leg_count_[o]};
+  }
+
+  /// True while the embeddings still describe `store`'s exact population
+  /// (no Insert/Move since the last Refresh). O(1).
+  bool FreshFor(const ObjectStore& store) const {
+    return valid() && object_count_ == store.size() &&
+           global_epoch_ == store.global_epoch();
+  }
+
+  /// Re-embeds to match `store`: adopts a pending ANNX payload when its
+  /// fingerprint matches, re-embeds only journal-recovered changed objects
+  /// when the epoch window is coverable, and falls back to a full rebuild
+  /// otherwise. Invalidates (valid() == false) when `lm` is invalid.
+  void Refresh(const FloorPlan& plan, const ObjectStore& store,
+               const LandmarkIndex& lm);
+
+  /// Stashes a decoded ANNX payload for deferred adoption: the container
+  /// is parsed before objects are populated, so the next Refresh checks the
+  /// fingerprint against the live store and either serves the payload
+  /// zero-copy or discards it and rebuilds.
+  void StashPayload(ApproxKnnPayload payload) {
+    pending_ = std::move(payload);
+  }
+
+  /// Fingerprint of the exact (object population, landmark set) pair the
+  /// embeddings derive from; persisted in the ANNX section and re-checked
+  /// at adoption.
+  static uint64_t Fingerprint(const ObjectStore& store,
+                              const LandmarkIndex& lm);
+
+  /// Compact serialized payload of the current embeddings (index_io.cc).
+  /// `store`/`lm` must be the pair the last Refresh ran against.
+  ApproxKnnPayload BuildPayload(const ObjectStore& store,
+                                const LandmarkIndex& lm) const;
+
+  /// Bytes held by the embeddings and leg pool (logical payload size, so
+  /// owned and mmap-adopted stores report alike).
+  size_t MemoryBytes() const;
+
+  RefreshMode last_refresh() const { return last_refresh_; }
+
+ private:
+  void FullBuild(const FloorPlan& plan, const ObjectStore& store,
+                 const LandmarkIndex& lm);
+  bool TryAdopt(const FloorPlan& plan, const ObjectStore& store,
+                const LandmarkIndex& lm);
+  /// Re-embeds `ids` (sorted, deduped) in place; arrays must be owned.
+  void EmbedObjects(const FloorPlan& plan, const ObjectStore& store,
+                    const LandmarkIndex& lm, std::span<const ObjectId> ids);
+  /// Copies payload-backed arrays into owned storage before mutation
+  /// (mmap pages are PROT_READ).
+  void EnsureOwned();
+  /// Rewrites the leg pool hole-free once move churn wastes over half.
+  void CompactLegs();
+  void SnapshotEpochs(const ObjectStore& store);
+
+  size_t object_count_ = 0;
+  size_t landmark_count_ = 0;
+
+  // Serving pointers: into *_store_ after a build/refresh, into adopted_'s
+  // payload arrays after zero-copy adoption (EnsureOwned switches over
+  // before any mutation).
+  const double* fwd_ = nullptr;
+  const double* bwd_ = nullptr;
+  const double* legs_ = nullptr;
+  bool serving_payload_ = false;
+
+  std::vector<double> fwd_store_;
+  std::vector<double> bwd_store_;
+  std::vector<double> legs_store_;
+  ApproxKnnPayload adopted_;
+  std::optional<ApproxKnnPayload> pending_;
+
+  // Per-object leg slots. Slots keep their capacity when an object moves to
+  // a partition with fewer enter doors (CSR with holes); CompactLegs
+  // rewrites the pool once waste dominates. BuildPayload always emits the
+  // hole-free compact CSR.
+  std::vector<uint64_t> leg_start_;
+  std::vector<uint32_t> leg_count_;
+  std::vector<uint32_t> leg_cap_;
+  size_t live_legs_ = 0;
+
+  std::vector<uint64_t> part_epochs_;
+  uint64_t global_epoch_ = 0;
+  RefreshMode last_refresh_ = RefreshMode::kNone;
+};
+
+}  // namespace indoor
+
+#endif  // INDOOR_CORE_INDEX_APPROX_KNN_H_

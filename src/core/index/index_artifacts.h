@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/index/approx_knn.h"
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
 #include "core/index/dpt.h"
@@ -26,6 +27,9 @@ struct IndexArtifacts {
   std::optional<DoorPartitionTable> dpt;
   std::optional<LandmarkIndex> landmarks;
   std::optional<HierarchyIndex> hierarchy;
+  /// ANNX embedding payload; adopted lazily by the framework once objects
+  /// are populated (its fingerprint covers the object set).
+  std::optional<ApproxKnnPayload> approx;
   /// Keepalive for borrowed payloads (the mmap-ed container); null when
   /// every present structure owns its storage.
   std::shared_ptr<const void> mapping;

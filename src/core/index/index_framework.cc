@@ -102,16 +102,25 @@ void IndexFramework::BuildStructures(IndexArtifacts* artifacts) {
       return DoorPartitionTable(graph_, options_.build_threads);
     });
   }
-  if (options_.use_landmarks && options_.landmark_count > 0) {
+  const size_t landmark_count = options_.landmark_count > 0
+                                    ? options_.landmark_count
+                                    : AutoLandmarkCount(doors);
+  if (options_.use_landmarks && landmark_count > 0) {
     if (artifacts != nullptr && artifacts->landmarks.has_value()) {
       landmarks_ = std::move(*artifacts->landmarks);
       INDOOR_CHECK(landmarks_.door_count() == doors || !landmarks_.valid())
           << "preloaded landmarks were built for a different plan";
     } else {
       landmarks_ = TimedBuild("build.landmarks_ms", [&] {
-        return LandmarkIndex::Build(graph_, options_.landmark_count, kind);
+        return LandmarkIndex::Build(graph_, landmark_count, kind);
       });
     }
+  }
+  if (artifacts != nullptr && artifacts->approx.has_value()) {
+    // Objects are populated after construction, so the ANNX payload waits
+    // in the approx index until the first RefreshApproxKnn fingerprints it
+    // against the live store.
+    approx_.StashPayload(std::move(*artifacts->approx));
   }
   if (options_.enable_query_cache) {
     QueryCacheOptions cache_options;
@@ -127,6 +136,18 @@ void IndexFramework::BuildStructures(IndexArtifacts* artifacts) {
 }
 
 IndexFramework::~IndexFramework() = default;
+
+void IndexFramework::RefreshApproxKnn() {
+  if (!options_.approx_knn) return;
+  // The tier re-ranks through the flat matrices and embeds via landmark
+  // rows; without either there is nothing to serve and KnnQuery falls back
+  // to the exact path anyway.
+  if (!has_flat_matrix() || landmarks() == nullptr) return;
+  TimedBuild("build.approx_knn_ms", [&] {
+    approx_.Refresh(*plan_, objects_, landmarks_);
+    return 0;
+  });
+}
 
 void IndexFramework::InvalidateQueryCache() const {
   if (query_cache_ != nullptr) query_cache_->Invalidate();

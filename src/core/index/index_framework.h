@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "core/distance/pt2pt_distance.h"
+#include "core/index/approx_knn.h"
 #include "core/index/distance_index_matrix.h"
 #include "core/index/distance_matrix.h"
 #include "core/index/dpt.h"
@@ -43,8 +44,24 @@ struct IndexOptions {
   bool use_landmarks = true;
   /// Landmarks selected at build time (clamped to LandmarkIndex::kMaxCount
   /// and the door count). More landmarks = tighter bounds, linearly more
-  /// build work and per-bound arithmetic.
-  unsigned landmark_count = 8;
+  /// build work and per-bound arithmetic. 0 (the default) auto-scales with
+  /// the plan's door count — AutoLandmarkCount in landmark_index.h; the
+  /// curve is documented in docs/BENCHMARKS.md. Pruning is loss-free at
+  /// any count, so results never depend on this knob.
+  unsigned landmark_count = 0;
+
+  /// Build the approximate kNN tier (core/index/approx_knn.h): per-object
+  /// landmark embeddings served by KnnQuery's candidate-generation +
+  /// exact-re-rank path. Default OFF: the tier trades recall for QPS, so
+  /// it must be an explicit opt-in and is never consulted by the reference
+  /// implementations or anything digest-gated. Requires use_landmarks and
+  /// the flat matrices (ignored under use_hierarchy).
+  bool approx_knn = false;
+  /// Candidate over-provisioning for the approximate tier: the query exact
+  /// re-ranks up to k * approx_candidate_factor bound-sorted candidates.
+  /// Larger = higher recall, more re-rank work. KnnQueryOptions can lower
+  /// or raise it per query without rebuilding.
+  unsigned approx_candidate_factor = 8;
 
   /// Replace the flat O(|D|^2) Md2d/Midx with the partition-contraction
   /// hierarchy (hierarchy_index.h): per-cell exact distance blocks plus a
@@ -150,6 +167,20 @@ class IndexFramework {
     return landmarks_.valid() ? &landmarks_ : nullptr;
   }
 
+  /// The approximate-kNN embedding store, or null when the tier is off or
+  /// has no embeddings yet (RefreshApproxKnn never ran, or landmarks are
+  /// absent). Callers must still check FreshFor before serving from it.
+  const ApproxKnnIndex* approx_knn() const {
+    return options_.approx_knn && approx_.valid() ? &approx_ : nullptr;
+  }
+
+  /// (Re)builds the approximate-kNN embeddings against the current object
+  /// population. Called by ApplyMoveBatch after every applied batch, and
+  /// manually after bulk Insert loops (tools, benches, tests). No-op when
+  /// the tier is off; writer-side — must not overlap readers (same
+  /// barrier as object writes).
+  void RefreshApproxKnn();
+
   /// Context for the pt2pt distance algorithms (cache and landmarks
   /// attached when enabled).
   DistanceContext distance_context() const {
@@ -162,11 +193,12 @@ class IndexFramework {
   }
 
   /// Total bytes of the pre-computed structures (Md2d + Midx + DPT +
-  /// landmark rows + hierarchy arrays; absent structures report 0).
+  /// landmark rows + hierarchy arrays + approx-kNN embeddings; absent
+  /// structures report 0).
   size_t IndexMemoryBytes() const {
     return d2d_matrix_.MemoryBytes() + index_matrix_.MemoryBytes() +
            dpt_.MemoryBytes() + landmarks_.MemoryBytes() +
-           hierarchy_.MemoryBytes();
+           hierarchy_.MemoryBytes() + approx_.MemoryBytes();
   }
 
  private:
@@ -182,6 +214,7 @@ class IndexFramework {
   DoorPartitionTable dpt_;
   HierarchyIndex hierarchy_;  // invalid unless use_hierarchy
   LandmarkIndex landmarks_;   // invalid (empty) when disabled
+  ApproxKnnIndex approx_;     // invalid until RefreshApproxKnn (opt-in)
   ObjectStore objects_;
   std::unique_ptr<QueryCache> query_cache_;  // null when disabled
   /// Keeps an mmap-ed container alive while structures borrow its pages.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <utility>
@@ -287,6 +288,7 @@ constexpr char kTagMidx[8] = {'M', 'I', 'D', 'X', ' ', ' ', ' ', ' '};
 constexpr char kTagDpt[8] = {'D', 'P', 'T', ' ', ' ', ' ', ' ', ' '};
 constexpr char kTagLmrk[8] = {'L', 'M', 'R', 'K', ' ', ' ', ' ', ' '};
 constexpr char kTagHier[8] = {'H', 'I', 'E', 'R', ' ', ' ', ' ', ' '};
+constexpr char kTagAnnx[8] = {'A', 'N', 'N', 'X', ' ', ' ', ' ', ' '};
 
 std::string TagName(const char tag[8]) {
   std::string s(tag, tag + 8);
@@ -418,6 +420,20 @@ std::vector<uint8_t> BuildHierarchyPayload(const HierarchyIndex& h) {
   b.Array(h.border_doors());
   b.Array(h.BorderOfDoor());
   b.Array(h.BorderMatrix());
+  return b.Take();
+}
+
+std::vector<uint8_t> BuildApproxPayload(const ApproxKnnPayload& p) {
+  PayloadBuilder b;
+  b.Pod(p.object_count);
+  b.Pod(p.landmark_count);
+  b.Pod(p.leg_total);
+  b.Pod(p.fingerprint);
+  b.PadTo(kAlign);
+  b.Array(p.fwd.data(), p.fwd.size());
+  b.Array(p.bwd.data(), p.bwd.size());
+  b.Array(p.leg_offsets.data(), p.leg_offsets.size());
+  b.Array(p.legs.data(), p.legs.size());
   return b.Take();
 }
 
@@ -842,6 +858,71 @@ Status DecodeHierarchy(const std::string& path, const FloorPlan& plan,
   return Status::OK();
 }
 
+/// ANNX structural validation mirrors HIER's: the CSR leg offsets gate the
+/// leg pool's indexing, so they are checked in full (start at 0, monotone,
+/// land exactly on leg_total) before any adoption. What CANNOT be checked
+/// here is whether the embeddings describe the live object population —
+/// objects are inserted after the container is parsed — so the payload is
+/// stashed for deferred adoption and ApproxKnnIndex::Refresh re-checks the
+/// fingerprint plus per-object leg counts against the real store.
+Status DecodeApprox(const std::string& path, const SectionView& s,
+                    bool borrow, IndexArtifacts* out) {
+  if (s.entry.size < kAlign) return SectionSizeError(path, s.entry.tag,
+                                                     s.entry.size);
+  uint64_t n = 0, count = 0, leg_total = 0, fingerprint = 0;
+  std::memcpy(&n, s.data, sizeof(n));
+  std::memcpy(&count, s.data + 8, sizeof(count));
+  std::memcpy(&leg_total, s.data + 16, sizeof(leg_total));
+  std::memcpy(&fingerprint, s.data + 24, sizeof(fingerprint));
+  if (count == 0 || count > LandmarkIndex::kMaxCount) {
+    return Status::ParseError("implausible landmark count " +
+                              std::to_string(count) + " in '" + path +
+                              "' section ANNX");
+  }
+  // count <= kMaxCount (32), so count * n cannot wrap once n itself fits
+  // the cursor's bounds math; reject absurd n up front to keep n + 1 and
+  // count * n honest.
+  if (n > (std::numeric_limits<uint64_t>::max() >> 8)) {
+    return Status::ParseError("implausible object count in '" + path +
+                              "' section ANNX");
+  }
+  PayloadCursor cur(s);
+  const double* fwd = cur.Array<double>(count * n);
+  const double* bwd = cur.Array<double>(count * n);
+  const uint64_t* leg_offsets = cur.Array<uint64_t>(n + 1);
+  const double* legs = cur.Array<double>(leg_total);
+  if (!cur.Finish()) return SectionSizeError(path, s.entry.tag, s.entry.size);
+  if (leg_offsets[0] != 0) {
+    return Status::ParseError("'" + path +
+                              "': section ANNX leg offsets do not start at 0");
+  }
+  for (uint64_t o = 0; o < n; ++o) {
+    if (leg_offsets[o + 1] < leg_offsets[o] ||
+        leg_offsets[o + 1] > leg_total) {
+      return Status::ParseError("'" + path +
+                                "': section ANNX leg offsets corrupt at "
+                                "object " +
+                                std::to_string(o));
+    }
+  }
+  if (leg_offsets[n] != leg_total) {
+    return Status::ParseError(
+        "'" + path +
+        "': section ANNX leg offsets do not end on leg_total");
+  }
+  ApproxKnnPayload p;
+  p.object_count = n;
+  p.landmark_count = count;
+  p.leg_total = leg_total;
+  p.fingerprint = fingerprint;
+  p.fwd = Adopt(fwd, count * n, borrow);
+  p.bwd = Adopt(bwd, count * n, borrow);
+  p.leg_offsets = Adopt(leg_offsets, n + 1, borrow);
+  p.legs = Adopt(legs, leg_total, borrow);
+  out->approx = std::move(p);
+  return Status::OK();
+}
+
 /// Decodes every known section of a parsed container into artifacts.
 /// Unknown tags are skipped (forward compatibility within a version:
 /// readers take what they understand).
@@ -859,6 +940,8 @@ Status DecodeSections(const std::string& path, const FloorPlan& plan,
       INDOOR_RETURN_NOT_OK(DecodeLandmarks(path, plan, s, borrow, out));
     } else if (TagEq(s.entry.tag, kTagHier)) {
       INDOOR_RETURN_NOT_OK(DecodeHierarchy(path, plan, s, borrow, out));
+    } else if (TagEq(s.entry.tag, kTagAnnx)) {
+      INDOOR_RETURN_NOT_OK(DecodeApprox(path, s, borrow, out));
     }
   }
   return Status::OK();
@@ -926,6 +1009,16 @@ Status SaveIndexContainer(const IndexFramework& index,
   if (index.landmarks() != nullptr) {
     sections.emplace_back(kTagLmrk,
                           BuildLandmarkPayload(*index.landmarks()));
+  }
+  // The embedding section is written only while it still describes the
+  // store's exact population — a stale tier would otherwise be saved with
+  // a fingerprint the loader has no way to distinguish from a fresh one.
+  if (const ApproxKnnIndex* approx = index.approx_knn();
+      approx != nullptr && index.landmarks() != nullptr &&
+      approx->FreshFor(index.objects())) {
+    sections.emplace_back(
+        kTagAnnx, BuildApproxPayload(approx->BuildPayload(
+                      index.objects(), *index.landmarks())));
   }
 
   FileHeader hdr;

@@ -71,8 +71,11 @@ Result<LandmarkIndex> LoadLandmarkIndex(const FloorPlan& plan,
 
 // ---- The INDOORIX sectioned container ----------------------------------
 
-/// Container format version written by SaveIndexContainer.
-inline constexpr uint32_t kIndexContainerVersion = 1;
+/// Container format version written by SaveIndexContainer. Version 2
+/// added the ANNX approximate-kNN embedding section; readers require an
+/// exact version match, so version-1 files are rejected cleanly (rebuild
+/// with `indoor_tool build`).
+inline constexpr uint32_t kIndexContainerVersion = 2;
 
 /// Writes every persistable structure `index` holds into one INDOORIX
 /// container at `path`: Md2d + Midx (flat mode) or the hierarchy

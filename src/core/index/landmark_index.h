@@ -111,6 +111,22 @@ class LandmarkIndex {
   OwnedSpan<double> bwd_;
 };
 
+/// Landmark count for a plan with `door_count` doors, used when
+/// IndexOptions::landmark_count is 0 (auto). A step curve: small plans get
+/// few landmarks (bound arithmetic would outweigh the pruning), campus
+/// plans get more (rows are cheap next to |D|^2 matrices and the tighter
+/// bounds pay off in full-row scans). Documented in docs/BENCHMARKS.md;
+/// pruning is loss-free at any count, so this only moves build time and
+/// bound tightness, never results.
+inline size_t AutoLandmarkCount(size_t door_count) {
+  if (door_count <= 32) return 4;
+  if (door_count <= 128) return 8;
+  if (door_count <= 512) return 12;
+  if (door_count <= 2048) return 16;
+  if (door_count <= 8192) return 24;
+  return LandmarkIndex::kMaxCount;
+}
+
 }  // namespace indoor
 
 #endif  // INDOOR_CORE_INDEX_LANDMARK_INDEX_H_

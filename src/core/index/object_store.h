@@ -88,6 +88,14 @@ class ObjectStore {
     return epochs_[v].load(std::memory_order_relaxed);
   }
 
+  /// Store-wide object epoch: bumped alongside every per-partition bump,
+  /// so whole-store consumers (the approximate-kNN embeddings) get an O(1)
+  /// freshness check instead of scanning every partition epoch. Opaque
+  /// like the per-partition epochs: only equality is meaningful.
+  uint64_t global_epoch() const {
+    return global_epoch_.v.load(std::memory_order_relaxed);
+  }
+
   /// Ring capacity of each partition's change journal.
   static constexpr size_t kChangeJournalCapacity = 128;
 
@@ -132,10 +140,24 @@ class ObjectStore {
     ObjectId id = kInvalidId;
   };
 
+  /// Movable relaxed atomic counter (a bare std::atomic member would
+  /// delete the store's implicit moves).
+  struct RelaxedCounter {
+    std::atomic<uint64_t> v{0};
+    RelaxedCounter() = default;
+    RelaxedCounter(RelaxedCounter&& o) noexcept
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    RelaxedCounter& operator=(RelaxedCounter&& o) noexcept {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
   void BumpEpoch(PartitionId v, ObjectId id) {
     const uint64_t e = epochs_[v].fetch_add(1, std::memory_order_relaxed) + 1;
     journal_[static_cast<size_t>(v) * kChangeJournalCapacity +
              static_cast<size_t>(e % kChangeJournalCapacity)] = {e, id};
+    global_epoch_.v.fetch_add(1, std::memory_order_relaxed);
   }
 
   const FloorPlan* plan_;
@@ -147,6 +169,7 @@ class ObjectStore {
   // epoch e in partition v is [v * cap + e % cap] (consecutive epochs land
   // in distinct slots, so a coverable window is always intact).
   std::vector<PartitionChange> journal_;
+  RelaxedCounter global_epoch_;
 };
 
 }  // namespace indoor

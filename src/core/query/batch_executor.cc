@@ -198,6 +198,10 @@ Status ApplyMoveBatch(IndexFramework& index, std::span<const MoveOp> moves) {
   const bool observed = qlog::internal::Armed();
   const auto t0 = std::chrono::steady_clock::now();
   const Status status = index.objects().ApplyMoves(moves, &applied);
+  // Re-embed the approximate-kNN tier against the moved population (no-op
+  // when the tier is off); still under the batch's writer barrier, so
+  // queries never observe a half-refreshed store.
+  index.RefreshApproxKnn();
   if (observed) {
     // One record per attempted op: the applied prefix plus, on failure,
     // the op that was rejected (result_count 0) — ops never attempted are
@@ -236,7 +240,9 @@ Status ApplyMoveBatch(IndexFramework& index, std::span<const MoveOp> moves) {
   }
   return status;
 #else
-  return index.objects().ApplyMoves(moves, &applied);
+  const Status status = index.objects().ApplyMoves(moves, &applied);
+  index.RefreshApproxKnn();
+  return status;
 #endif
 }
 

@@ -1,6 +1,7 @@
 #include "core/query/knn_query.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "core/distance/d2d_runner.h"
 #include "core/distance/query_scratch.h"
@@ -8,6 +9,7 @@
 #include "core/query/result_digest.h"
 #include "util/metrics.h"
 #include "util/query_log.h"
+#include "util/simd.h"
 
 namespace indoor {
 namespace {
@@ -164,6 +166,153 @@ KnnRepair RepairKnnResult(const IndexFramework& index, const Point& q,
 }
 
 
+/// Serves one kNN query from the approximate tier (approx_knn.h): SIMD
+/// landmark lower bounds over every object, exact re-rank of the `k *
+/// factor` bound-sorted candidates, early exit once the k-th exact
+/// distance is at or below the next candidate's bound (exact modulo
+/// boundary ties when the exit fires; approximate when the prefix runs
+/// dry first). Returns false when the tier cannot serve a full answer —
+/// landmark mismatch or fewer than k reachable candidates — and the
+/// caller falls back to the exact path. Never consults or fills the
+/// result cache: cached entries must stay exact.
+bool ApproxKnnServe(const IndexFramework& index, const ApproxKnnIndex& approx,
+                    const Point& q, PartitionId v, size_t k, size_t factor,
+                    QueryScratch* scratch, std::vector<Neighbor>* out) {
+  const LandmarkIndex* const lm = index.landmarks();
+  if (lm == nullptr || lm->count() != approx.landmark_count()) return false;
+  const size_t n_obj = approx.object_count();
+  if (n_obj < k) return false;  // exact path owns tiny populations
+  const FloorPlan& plan = index.plan();
+  const QueryCache* cache = index.query_cache();
+  const size_t L = lm->count();
+
+  // Query-side landmark aggregates over the host partition's door legs
+  // (both fields are the canonical cached solves the exact paths share):
+  //   fq[l] = d(landmark_l, q) = min_j (fwd_row(enter_j)[l] + leg(q, j))
+  //   bq[l] = d(q, landmark_l) = min_i (leg(q, i) + bwd_row(leave_i)[l])
+  const std::vector<DoorId>& leave = plan.LeaveDoors(v);
+  auto& src_leg = scratch->src_leg;
+  src_leg.resize(leave.size());
+  CachedFieldLegs(cache, index.locator(), FieldKind::kLeaveFrom, v, q, leave,
+                  &scratch->geo, src_leg.data());
+  const std::vector<DoorId>& enter = plan.EnterDoors(v);
+  auto& dst_leg = scratch->dst_leg;
+  dst_leg.resize(enter.size());
+  CachedFieldLegs(cache, index.locator(), FieldKind::kEnterTo, v, q, enter,
+                  &scratch->geo, dst_leg.data());
+
+  double fq[LandmarkIndex::kMaxCount];
+  double bq[LandmarkIndex::kMaxCount];
+  for (size_t l = 0; l < L; ++l) fq[l] = bq[l] = kInfDistance;
+  for (size_t j = 0; j < enter.size(); ++j) {
+    if (dst_leg[j] == kInfDistance) continue;
+    const double* frow = lm->ForwardRow(enter[j]);
+    for (size_t l = 0; l < L; ++l) {
+      if (frow[l] == kInfDistance) continue;
+      fq[l] = std::min(fq[l], frow[l] + dst_leg[j]);
+    }
+  }
+  for (size_t i = 0; i < leave.size(); ++i) {
+    if (src_leg[i] == kInfDistance) continue;
+    const double* brow = lm->BackwardRow(leave[i]);
+    for (size_t l = 0; l < L; ++l) {
+      if (brow[l] == kInfDistance) continue;
+      bq[l] = std::min(bq[l], src_leg[i] + brow[l]);
+    }
+  }
+
+  // Triangle-inequality lower bound per object, one landmark-major batch
+  // kernel call per landmark.
+  auto& acc = scratch->approx_bound;
+  acc.assign(n_obj, 0.0);
+  {
+    INDOOR_TRACE_SPAN("approx_bounds");
+    for (size_t l = 0; l < L; ++l) {
+      // A landmark unreachable from/to the query contributes no finite
+      // term; skipping it saves a whole row scan.
+      if (fq[l] == kInfDistance && bq[l] == kInfDistance) continue;
+      simd::AltBatchBoundMax(approx.FwdRow(l), approx.BwdRow(l), fq[l], bq[l],
+                             acc.data(), n_obj);
+    }
+  }
+
+  // Candidate prefix: the `want` smallest bounds, ascending (ties by id).
+  auto& order = scratch->approx_order;
+  order.resize(n_obj);
+  std::iota(order.begin(), order.end(), ObjectId{0});
+  const size_t want = std::min(n_obj, k * std::max<size_t>(factor, 1));
+  const auto by_bound = [&acc](ObjectId a, ObjectId b) {
+    return acc[a] != acc[b] ? acc[a] < acc[b] : a < b;
+  };
+  if (want < n_obj) {
+    std::nth_element(order.begin(), order.begin() + want, order.end(),
+                     by_bound);
+  }
+  std::sort(order.begin(), order.begin() + want, by_bound);
+
+  // Exact re-rank. The q -> enter-door budget min_i (src_leg[i] +
+  // Md2d[leave_i][dj]) is the same float expression the exact scan offers
+  // as r2 (min and + commute monotonically, so taking the min first is
+  // bitwise identical); memoized per door across candidates.
+  const DistanceMatrix& md2d = index.d2d_matrix();
+  auto& dq = scratch->approx_dq;
+  dq.assign(plan.door_count(), -1.0);
+  const auto door_budget = [&](DoorId dj) {
+    double b = dq[dj];
+    if (b != -1.0) return b;
+    b = kInfDistance;
+    for (size_t i = 0; i < leave.size(); ++i) {
+      if (src_leg[i] == kInfDistance) continue;
+      const double r2 = src_leg[i] + md2d.Row(leave[i])[dj];
+      if (r2 < b) b = r2;
+    }
+    dq[dj] = b;
+    return b;
+  };
+
+  const ObjectStore& store = index.objects();
+  KnnCollector& collector = scratch->collector;
+  collector.Reset(k);
+  INDOOR_METRICS_ONLY(uint64_t scanned = 0;)
+  {
+    INDOOR_TRACE_SPAN("approx_rerank");
+    for (size_t c = 0; c < want; ++c) {
+      const ObjectId o = order[c];
+      // Bound() is the k-th exact distance once full (infinite before);
+      // every remaining candidate's exact distance is at least acc[o]
+      // (ascending prefix, nth_element partition), so nothing can improve
+      // the collection: the answer is exact from here.
+      if (collector.Bound() <= acc[o]) break;
+      const IndoorObject& obj = store.object(o);
+      double d = kInfDistance;
+      if (obj.partition == v) {
+        const double h =
+            plan.partition(v).IntraDistance(q, obj.position, &scratch->geo);
+        if (h < d) d = h;
+      }
+      const std::vector<DoorId>& doors = plan.EnterDoors(obj.partition);
+      const std::span<const double> legs = approx.Legs(o);
+      for (size_t j = 0; j < doors.size(); ++j) {
+        if (legs[j] == kInfDistance) continue;
+        const double b = door_budget(doors[j]);
+        if (b == kInfDistance) continue;
+        const double cand = legs[j] + b;
+        if (cand < d) d = cand;
+      }
+      INDOOR_METRICS_ONLY(++scanned;)
+      if (d == kInfDistance) continue;
+      collector.Offer(o, d);
+    }
+  }
+  INDOOR_METRICS_ONLY(INDOOR_COUNTER_ADD("knn.approx.candidates", scanned);)
+  // Under-filled: fewer than k reachable candidates in the prefix. The
+  // exact path's handling of sparse/unreachable populations (including
+  // its infinite-distance admissions) is authoritative; fall back.
+  if (collector.size() < k) return false;
+  *out = collector.Sorted();
+  return true;
+}
+
 }  // namespace
 
 std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
@@ -178,6 +327,31 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   if (!host.ok() || k == 0) return {};
   const PartitionId v = host.value();
   qscope.SetHost(v);
+  // Opt-in approximate tier: bypasses the result cache entirely (cached
+  // entries must stay exact) and never runs for hierarchy frameworks,
+  // stale embeddings, or when it cannot prove a full k-sized answer.
+  if (options.use_approx && index.has_flat_matrix()) {
+    if (const ApproxKnnIndex* const approx = index.approx_knn()) {
+      QueryScratch& ascratch = ResolveQueryScratch(scratch);
+      const ScratchDecayGuard approx_guard(&ascratch);
+      const size_t factor = options.approx_candidate_factor != 0
+                                ? options.approx_candidate_factor
+                                : index.options().approx_candidate_factor;
+      std::vector<Neighbor> result;
+      if (approx->FreshFor(index.objects()) &&
+          ApproxKnnServe(index, *approx, q, v, k, factor, &ascratch,
+                         &result)) {
+        INDOOR_COUNTER_INC("knn.approx.served");
+        INDOOR_HISTOGRAM_RECORD("query.knn.results", result.size());
+        if (qscope.active()) {
+          qscope.SetResult(static_cast<uint32_t>(result.size()),
+                           qdigest::KnnDigest(result));
+        }
+        return result;
+      }
+      INDOOR_COUNTER_INC("knn.approx.exact_fallback");
+    }
+  }
   // Result kinds keep cached entries of the three door-expansion engines
   // (Midx scan / full-row scan / hierarchy) apart; the repair machinery is
   // engine-independent (gates + intra-partition geometry only).

@@ -19,6 +19,17 @@ struct KnnQueryOptions {
   /// false the entire Md2d row is examined (paper Fig. 9's "without d2d
   /// index" configuration).
   bool use_index_matrix = true;
+  /// Serve from the approximate tier (core/index/approx_knn.h) when the
+  /// framework opted in (IndexOptions::approx_knn) and the embeddings are
+  /// fresh; effect-free otherwise. The tier falls back to the exact path
+  /// whenever it cannot prove a full answer (stale embeddings, fewer than
+  /// k reachable candidates), counted under `knn.approx.exact_fallback`.
+  bool use_approx = true;
+  /// Per-query candidate over-provisioning override for the approximate
+  /// tier: re-rank up to k * factor bound-sorted candidates. 0 inherits
+  /// IndexOptions::approx_candidate_factor (benches sweep this without
+  /// rebuilding the framework).
+  unsigned approx_candidate_factor = 0;
 };
 
 /// Executes the kNN query: the k objects with smallest indoor walking

@@ -158,6 +158,13 @@ inline __m256d FiniteMask(__m256d x) {
   return _mm256_and_pd(_mm256_cmp_pd(x, pinf, _CMP_NEQ_OQ),
                        _mm256_cmp_pd(x, ninf, _CMP_NEQ_OQ));
 }
+#elif defined(INDOOR_SIMD_SSE2)
+/// Two-lane FiniteMask (see the AVX2 variant above).
+inline __m128d FiniteMask(__m128d x) {
+  const __m128d pinf = _mm_set1_pd(kInf);
+  const __m128d ninf = _mm_set1_pd(-kInf);
+  return _mm_and_pd(_mm_cmpneq_pd(x, pinf), _mm_cmpneq_pd(x, ninf));
+}
 #endif
 
 }  // namespace detail
@@ -200,6 +207,65 @@ inline double AltPairBound(const double* fwd_s, const double* fwd_t,
     acc = detail::AltTermMax(acc, bwd_s[i], bwd_t[i]);
   }
   return acc;
+}
+
+/// Landmark-major batch variant of the ALT bound, used by the approximate
+/// kNN tier (core/index/approx_knn.h): for ONE landmark l with the
+/// query-side aggregates fq = d(l, q) and bq = d(q, l), folds the terms
+///   acc[o] = max(acc[o], fwd[o] - fq, bq - bwd[o])
+/// over a whole landmark-major row (fwd[o] = d(l, object_o), bwd[o] =
+/// d(object_o, l)). Terms with an infinite operand are skipped, exactly as
+/// in AltTermMax; callers zero `acc` before the first landmark so the
+/// final accumulator is clamped to >= 0. Per-lane subtract/compare/max
+/// only, so every tier returns the same bits as the scalar loop.
+inline void AltBatchBoundMax(const double* fwd, const double* bwd, double fq,
+                             double bq, double* acc, size_t n) {
+  size_t i = 0;
+#if defined(INDOOR_SIMD_AVX2)
+  const __m256d vfq = _mm256_set1_pd(fq);
+  const __m256d vbq = _mm256_set1_pd(bq);
+  const __m256d fq_ok = detail::FiniteMask(vfq);
+  const __m256d bq_ok = detail::FiniteMask(vbq);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d f = _mm256_loadu_pd(fwd + i);
+    const __m256d b = _mm256_loadu_pd(bwd + i);
+    const __m256d t1 = _mm256_and_pd(
+        _mm256_and_pd(detail::FiniteMask(f), fq_ok), _mm256_sub_pd(f, vfq));
+    const __m256d t2 = _mm256_and_pd(
+        _mm256_and_pd(bq_ok, detail::FiniteMask(b)), _mm256_sub_pd(vbq, b));
+    // maxpd keeps the SECOND operand on ties, so (term, acc) ordering
+    // reproduces the scalar strict `t > acc` replacement bit-for-bit
+    // (masked-out terms become +0.0 and never displace a >= 0 acc).
+    __m256d a = _mm256_loadu_pd(acc + i);
+    a = _mm256_max_pd(t1, a);
+    a = _mm256_max_pd(t2, a);
+    _mm256_storeu_pd(acc + i, a);
+  }
+#elif defined(INDOOR_SIMD_SSE2)
+  const __m128d vfq = _mm_set1_pd(fq);
+  const __m128d vbq = _mm_set1_pd(bq);
+  const __m128d fq_ok = detail::FiniteMask(vfq);
+  const __m128d bq_ok = detail::FiniteMask(vbq);
+  for (; i + 2 <= n; i += 2) {
+    const __m128d f = _mm_loadu_pd(fwd + i);
+    const __m128d b = _mm_loadu_pd(bwd + i);
+    const __m128d t1 = _mm_and_pd(
+        _mm_and_pd(detail::FiniteMask(f), fq_ok), _mm_sub_pd(f, vfq));
+    const __m128d t2 = _mm_and_pd(
+        _mm_and_pd(bq_ok, detail::FiniteMask(b)), _mm_sub_pd(vbq, b));
+    // Same (term, acc) maxpd ordering as the AVX2 tier: SSE2 maxpd also
+    // keeps the SECOND operand on ties, matching the scalar `t > acc`.
+    __m128d a = _mm_loadu_pd(acc + i);
+    a = _mm_max_pd(t1, a);
+    a = _mm_max_pd(t2, a);
+    _mm_storeu_pd(acc + i, a);
+  }
+#endif
+  for (; i < n; ++i) {
+    double a = detail::AltTermMax(acc[i], fwd[i], fq);
+    a = detail::AltTermMax(a, bq, bwd[i]);
+    acc[i] = a;
+  }
 }
 
 /// Target-SET variant of AltPairBound, used by the virtual-source Dijkstra

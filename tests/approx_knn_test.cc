@@ -1,0 +1,448 @@
+// The approximate-kNN embedding tier (core/index/approx_knn.h): bound
+// admissibility against the exact metric, exact-mode equivalence when the
+// candidate budget covers the store, recall floors on randomized
+// buildings, epoch-driven refresh (adopt / incremental / full) with the
+// exact-fallback contract, the SIMD batch kernel against its scalar
+// oracle, and concurrent read safety (run under TSan in CI).
+
+#include "core/index/approx_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "baseline/linear_scan.h"
+#include "core/index/index_io.h"
+#include "core/query/knn_query.h"
+#include "gen/building_generator.h"
+#include "gen/object_generator.h"
+#include "gen/query_generator.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace indoor {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FloorPlan MakePlan(uint64_t seed, int floors = 3) {
+  BuildingConfig config;
+  config.floors = floors;
+  config.rooms_per_floor = 12;
+  config.obstacle_probability = 0.5;
+  config.seed = seed;
+  return GenerateBuilding(config);
+}
+
+IndexOptions ApproxOptions(unsigned landmark_count = 8) {
+  IndexOptions options;
+  options.use_landmarks = true;
+  options.landmark_count = landmark_count;
+  options.approx_knn = true;
+  return options;
+}
+
+/// Distances must match pairwise; ids may differ among exact ties.
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& expect) {
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expect[i].distance, 1e-6) << "rank " << i;
+  }
+}
+
+double Recall(const std::vector<Neighbor>& got,
+              const std::vector<Neighbor>& truth) {
+  if (truth.empty()) return 1.0;
+  std::vector<ObjectId> t;
+  for (const Neighbor& nb : truth) t.push_back(nb.id);
+  std::sort(t.begin(), t.end());
+  size_t hits = 0;
+  for (const Neighbor& nb : got) {
+    hits += std::binary_search(t.begin(), t.end(), nb.id) ? 1u : 0u;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+// ---- Bound admissibility -------------------------------------------------
+
+// Using object a's own embedding row as the query-side aggregates turns
+// the serving kernel into the textbook ALT bound between two embedded
+// points: max_l max(fwd[l][b] - fwd[l][a], bwd[l][a] - bwd[l][b]) must
+// lower-bound the exact walking distance d(a -> b). This exercises the
+// exact AltBatchBoundMax call the query path makes, with no tolerance for
+// an inadmissible (over-pruning) embedding beyond float rounding.
+TEST(ApproxKnnTest, EmbeddingBoundIsAdmissible) {
+  const FloorPlan plan = MakePlan(7);
+  IndexFramework index(plan, ApproxOptions());
+  Rng rng(19);
+  PopulateStore(GenerateObjects(plan, 200, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  const ApproxKnnIndex* approx = index.approx_knn();
+  ASSERT_NE(approx, nullptr);
+  ASSERT_TRUE(approx->FreshFor(index.objects()));
+
+  const DistanceContext ctx = index.distance_context();
+  const size_t n = approx->object_count();
+  const size_t L = approx->landmark_count();
+  for (ObjectId a : {ObjectId{0}, ObjectId{57}, ObjectId{130}}) {
+    const std::vector<double> exact = AllObjectDistances(
+        ctx, index.objects(), index.objects().object(a).position);
+    std::vector<double> acc(n, 0.0);
+    for (size_t l = 0; l < L; ++l) {
+      simd::AltBatchBoundMax(approx->FwdRow(l), approx->BwdRow(l),
+                             approx->FwdRow(l)[a], approx->BwdRow(l)[a],
+                             acc.data(), n);
+    }
+    for (size_t b = 0; b < n; ++b) {
+      if (exact[b] == kInf) continue;  // any finite bound is admissible
+      EXPECT_LE(acc[b], exact[b] * (1.0 + 1e-9) + 1e-9)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// ---- Exact-mode equivalence ----------------------------------------------
+
+TEST(ApproxKnnTest, CoveringCandidateBudgetMatchesOracle) {
+  const FloorPlan plan = MakePlan(11);
+  IndexFramework index(plan, ApproxOptions());
+  Rng rng(23);
+  PopulateStore(GenerateObjects(plan, 150, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  ASSERT_NE(index.approx_knn(), nullptr);
+
+  const DistanceContext ctx = index.distance_context();
+  // A candidate factor covering the whole store makes the tier exact: it
+  // re-ranks every reachable object through the same distances as the
+  // exact path, so only tie order may differ.
+  const KnnQueryOptions covering{.use_approx = true,
+                                 .approx_candidate_factor = 100000};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &rng);
+    for (size_t k : {1u, 5u, 20u}) {
+      const auto expect = LinearScanKnn(ctx, index.objects(), q, k);
+      ExpectSameNeighbors(KnnQuery(index, q, k, covering), expect);
+    }
+  }
+}
+
+TEST(ApproxKnnTest, ApproxDistancesAreExactForReturnedIds) {
+  // Whatever the tier's recall, every returned (id, distance) pair must
+  // carry the EXACT distance — the tier only ever under-reports the
+  // candidate set, never the metric.
+  const FloorPlan plan = MakePlan(13);
+  IndexFramework index(plan, ApproxOptions());
+  Rng rng(29);
+  PopulateStore(GenerateObjects(plan, 200, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  const DistanceContext ctx = index.distance_context();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &rng);
+    const std::vector<double> exact =
+        AllObjectDistances(ctx, index.objects(), q);
+    const auto got = KnnQuery(index, q, 10, {.approx_candidate_factor = 2});
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, exact[got[i].id], 1e-6);
+      if (i > 0) {
+        EXPECT_LE(got[i - 1].distance, got[i].distance);
+      }
+    }
+  }
+}
+
+// ---- Recall floor ---------------------------------------------------------
+
+TEST(ApproxKnnTest, RecallFloorOnRandomizedBuildings) {
+  // bench_recall gates >= 0.99 on its operating point; the test floor is
+  // deliberately looser (0.9 mean per building at the default candidate
+  // factor) so it pins the contract without inheriting bench tuning.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const FloorPlan plan = MakePlan(seed);
+    IndexFramework index(plan, ApproxOptions());
+    Rng rng(seed * 101 + 1);
+    PopulateStore(GenerateObjects(plan, 300, &rng), &index.objects());
+    index.RefreshApproxKnn();
+    ASSERT_NE(index.approx_knn(), nullptr);
+    const DistanceContext ctx = index.distance_context();
+    double total = 0;
+    int measured = 0;
+    for (int trial = 0; trial < 25; ++trial) {
+      const Point q = RandomIndoorPosition(plan, &rng);
+      const auto truth = LinearScanKnn(ctx, index.objects(), q, 10);
+      if (truth.empty()) continue;
+      total += Recall(KnnQuery(index, q, 10), truth);
+      ++measured;
+    }
+    ASSERT_GT(measured, 0);
+    EXPECT_GE(total / measured, 0.9) << "seed " << seed;
+  }
+}
+
+// ---- Refresh lifecycle ----------------------------------------------------
+
+TEST(ApproxKnnTest, RefreshTracksMovesThroughJournal) {
+  const FloorPlan plan = MakePlan(17);
+  IndexFramework index(plan, ApproxOptions());
+  Rng rng(31);
+  PopulateStore(GenerateObjects(plan, 120, &rng), &index.objects());
+
+  index.RefreshApproxKnn();
+  const ApproxKnnIndex* approx = index.approx_knn();
+  ASSERT_NE(approx, nullptr);
+  EXPECT_EQ(approx->last_refresh(), ApproxKnnIndex::RefreshMode::kFull);
+  EXPECT_TRUE(approx->FreshFor(index.objects()));
+
+  // A move staleness-gates the tier; queries must fall back to the exact
+  // path (and stay correct) until the next refresh.
+  const IndoorObject target = index.objects().object(ObjectId{1});
+  ASSERT_TRUE(index.objects()
+                  .MoveObject(ObjectId{0}, target.partition, target.position)
+                  .ok());
+  EXPECT_FALSE(approx->FreshFor(index.objects()));
+  const DistanceContext ctx = index.distance_context();
+  Rng qrng(37);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &qrng);
+    ExpectSameNeighbors(KnnQuery(index, q, 5),
+                        LinearScanKnn(ctx, index.objects(), q, 5));
+  }
+
+  // One journal-coverable move -> incremental re-embed, and the moved
+  // object's row now describes its new partition.
+  index.RefreshApproxKnn();
+  EXPECT_EQ(approx->last_refresh(),
+            ApproxKnnIndex::RefreshMode::kIncremental);
+  EXPECT_TRUE(approx->FreshFor(index.objects()));
+  const KnnQueryOptions covering{.approx_candidate_factor = 100000};
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &qrng);
+    ExpectSameNeighbors(KnnQuery(index, q, 5, covering),
+                        LinearScanKnn(ctx, index.objects(), q, 5));
+  }
+
+  // Insert changes the population size: incremental cannot cover it.
+  ASSERT_TRUE(index.objects().Insert(target.partition, target.position).ok());
+  index.RefreshApproxKnn();
+  EXPECT_EQ(approx->last_refresh(), ApproxKnnIndex::RefreshMode::kFull);
+  EXPECT_TRUE(approx->FreshFor(index.objects()));
+
+  // Churn far past the journal ring (128/partition) on one partition:
+  // ChangedSince reports uncoverable and the refresh goes full.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(index.objects()
+                    .MoveObject(ObjectId{2}, target.partition,
+                                target.position)
+                    .ok());
+  }
+  index.RefreshApproxKnn();
+  EXPECT_EQ(approx->last_refresh(), ApproxKnnIndex::RefreshMode::kFull);
+  EXPECT_TRUE(approx->FreshFor(index.objects()));
+}
+
+// ---- Persistence: ANNX adoption ------------------------------------------
+
+TEST(ApproxKnnTest, SavedEmbeddingsAdoptWhenPopulationMatches) {
+  const FloorPlan plan = MakePlan(19);
+  const std::string path = ::testing::TempDir() + "/approx_adopt.idx";
+  {
+    IndexFramework index(plan, ApproxOptions());
+    Rng rng(41);
+    PopulateStore(GenerateObjects(plan, 100, &rng), &index.objects());
+    index.RefreshApproxKnn();
+    ASSERT_NE(index.approx_knn(), nullptr);
+    ASSERT_TRUE(SaveIndexContainer(index, path).ok());
+  }
+  for (const bool mmap_mode : {false, true}) {
+    auto artifacts = mmap_mode ? MapIndexContainer(plan, path)
+                               : LoadIndexContainer(plan, path);
+    ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+    ASSERT_TRUE(artifacts->approx.has_value());
+    IndexFramework index(plan, std::move(artifacts).value(), ApproxOptions());
+    // The identical generator stream reproduces the saved population, so
+    // the fingerprint matches and the refresh adopts zero-copy.
+    Rng rng(41);
+    PopulateStore(GenerateObjects(plan, 100, &rng), &index.objects());
+    index.RefreshApproxKnn();
+    const ApproxKnnIndex* approx = index.approx_knn();
+    ASSERT_NE(approx, nullptr);
+    EXPECT_EQ(approx->last_refresh(), ApproxKnnIndex::RefreshMode::kAdopted)
+        << (mmap_mode ? "map" : "load");
+    EXPECT_TRUE(approx->FreshFor(index.objects()));
+
+    const DistanceContext ctx = index.distance_context();
+    Rng qrng(43);
+    const KnnQueryOptions covering{.approx_candidate_factor = 100000};
+    for (int trial = 0; trial < 5; ++trial) {
+      const Point q = RandomIndoorPosition(plan, &qrng);
+      ExpectSameNeighbors(KnnQuery(index, q, 5, covering),
+                          LinearScanKnn(ctx, index.objects(), q, 5));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ApproxKnnTest, StalePayloadIsDiscardedOnFingerprintMismatch) {
+  const FloorPlan plan = MakePlan(19);
+  const std::string path = ::testing::TempDir() + "/approx_stale.idx";
+  {
+    IndexFramework index(plan, ApproxOptions());
+    Rng rng(41);
+    PopulateStore(GenerateObjects(plan, 100, &rng), &index.objects());
+    index.RefreshApproxKnn();
+    ASSERT_TRUE(SaveIndexContainer(index, path).ok());
+  }
+  auto artifacts = LoadIndexContainer(plan, path);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+  ASSERT_TRUE(artifacts->approx.has_value());
+  IndexFramework index(plan, std::move(artifacts).value(), ApproxOptions());
+  // A different population (count AND placement) must not serve the saved
+  // embeddings: the fingerprint check rejects adoption and a full rebuild
+  // takes over, with query answers staying exact-equivalent.
+  Rng rng(97);
+  PopulateStore(GenerateObjects(plan, 80, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  const ApproxKnnIndex* approx = index.approx_knn();
+  ASSERT_NE(approx, nullptr);
+  EXPECT_EQ(approx->last_refresh(), ApproxKnnIndex::RefreshMode::kFull);
+  const DistanceContext ctx = index.distance_context();
+  const KnnQueryOptions covering{.approx_candidate_factor = 100000};
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point q = RandomIndoorPosition(plan, &rng);
+    ExpectSameNeighbors(KnnQuery(index, q, 5, covering),
+                        LinearScanKnn(ctx, index.objects(), q, 5));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ApproxKnnTest, StaleContainerIsNotSavedWithEmbeddings) {
+  const FloorPlan plan = MakePlan(19);
+  const std::string path = ::testing::TempDir() + "/approx_omit.idx";
+  IndexFramework index(plan, ApproxOptions());
+  Rng rng(41);
+  PopulateStore(GenerateObjects(plan, 50, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  // Staleness at save time must omit the section entirely — a saved-stale
+  // payload would carry a fingerprint the loader cannot tell from fresh.
+  const IndoorObject target = index.objects().object(ObjectId{1});
+  ASSERT_TRUE(index.objects()
+                  .MoveObject(ObjectId{0}, target.partition, target.position)
+                  .ok());
+  ASSERT_TRUE(SaveIndexContainer(index, path).ok());
+  auto artifacts = LoadIndexContainer(plan, path);
+  ASSERT_TRUE(artifacts.ok()) << artifacts.status();
+  EXPECT_FALSE(artifacts->approx.has_value());
+  std::remove(path.c_str());
+}
+
+// ---- SIMD kernel oracle ---------------------------------------------------
+
+/// Scalar reference with AltTermMax semantics: a term contributes only
+/// when both of its operands are finite and it strictly beats acc.
+void ScalarAltBatchBoundMax(const double* fwd, const double* bwd, double fq,
+                            double bq, double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (fwd[i] != kInf && fwd[i] != -kInf && fq != kInf && fq != -kInf) {
+      const double t = fwd[i] - fq;
+      if (t > acc[i]) acc[i] = t;
+    }
+    if (bwd[i] != kInf && bwd[i] != -kInf && bq != kInf && bq != -kInf) {
+      const double t = bq - bwd[i];
+      if (t > acc[i]) acc[i] = t;
+    }
+  }
+}
+
+TEST(ApproxKnnTest, SimdBatchBoundMatchesScalarBitwise) {
+  Rng rng(51);
+  for (const size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u, 33u, 100u}) {
+    for (int round = 0; round < 20; ++round) {
+      auto draw = [&]() {
+        // ~1 in 8 entries unreachable, mirroring sparse buildings.
+        if (rng.NextU64(8) == 0) return kInf;
+        return rng.NextDouble(0.0, 500.0);
+      };
+      std::vector<double> fwd(n), bwd(n), acc(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        fwd[i] = draw();
+        bwd[i] = draw();
+      }
+      const double fq = round % 5 == 4 ? kInf : rng.NextDouble(0.0, 500.0);
+      const double bq = round % 7 == 6 ? kInf : rng.NextDouble(0.0, 500.0);
+      std::vector<double> expect = acc;
+      ScalarAltBatchBoundMax(fwd.data(), bwd.data(), fq, bq, expect.data(),
+                             n);
+      simd::AltBatchBoundMax(fwd.data(), bwd.data(), fq, bq, acc.data(), n);
+      // Bitwise, not approximate: every SIMD tier promises the scalar
+      // loop's exact bits (docs/BENCHMARKS.md determinism contract).
+      EXPECT_EQ(std::memcmp(acc.data(), expect.data(), n * sizeof(double)),
+                0)
+          << "impl " << simd::kImplName << " n=" << n << " round=" << round;
+    }
+  }
+}
+
+// ---- Concurrency (TSan) ---------------------------------------------------
+
+TEST(ApproxKnnTest, ConcurrentApproxReadersSeeConsistentAnswers) {
+  const FloorPlan plan = MakePlan(23, 2);
+  IndexFramework index(plan, ApproxOptions());
+  Rng rng(61);
+  PopulateStore(GenerateObjects(plan, 150, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  ASSERT_NE(index.approx_knn(), nullptr);
+
+  const auto positions = GenerateQueryPositions(plan, 16, &rng);
+  std::vector<std::vector<Neighbor>> expect;
+  for (const Point& q : positions) expect.push_back(KnnQuery(index, q, 10));
+
+  // Phase 1: pure concurrent readers over the fresh tier.
+  // Phase 2: a single writer moves objects and refreshes BETWEEN reader
+  // phases (the documented single-writer barrier), then readers re-verify.
+  auto read_phase = [&]() {
+    std::vector<std::thread> readers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 4; ++t) {
+      readers.emplace_back([&, t] {
+        for (int i = 0; i < 50; ++i) {
+          const size_t qi = static_cast<size_t>(t * 50 + i) % positions.size();
+          const auto got = KnnQuery(index, positions[qi], 10);
+          if (got.size() != expect[qi].size()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          for (size_t r = 0; r < got.size(); ++r) {
+            if (got[r].distance != expect[qi][r].distance) {
+              failures.fetch_add(1);
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& th : readers) th.join();
+    EXPECT_EQ(failures.load(), 0);
+  };
+
+  read_phase();
+  const IndoorObject target = index.objects().object(ObjectId{3});
+  std::vector<MoveOp> moves;
+  for (ObjectId id : {ObjectId{5}, ObjectId{9}}) {
+    moves.push_back({id, target.partition, target.position});
+  }
+  ASSERT_TRUE(index.objects().ApplyMoves(moves).ok());
+  index.RefreshApproxKnn();
+  index.InvalidateQueryCache();
+  for (size_t qi = 0; qi < positions.size(); ++qi) {
+    expect[qi] = KnnQuery(index, positions[qi], 10);
+  }
+  read_phase();
+}
+
+}  // namespace
+}  // namespace indoor

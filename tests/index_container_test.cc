@@ -382,6 +382,157 @@ TEST(IndexContainerTest, MapModeRejectsHierBorderOffsetPastTotal) {
       });
 }
 
+/// Byte offset of the ANNX section payload (0 when absent), via the same
+/// section-table walk as FindHierOffset.
+uint64_t FindAnnxOffset(const std::string& bytes) {
+  uint32_t section_count;
+  std::memcpy(&section_count, bytes.data() + 32, sizeof(section_count));
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t entry = 64 + i * 32;
+    if (std::memcmp(bytes.data() + entry, "ANNX    ", 8) == 0) {
+      uint64_t offset;
+      std::memcpy(&offset, bytes.data() + entry + 8, sizeof(offset));
+      return offset;
+    }
+  }
+  return 0;
+}
+
+/// Saves a container carrying an ANNX section (embedding tier refreshed
+/// over a populated store), applies `corrupt` at the payload offset, and
+/// expects the map path to reject it naming the section and `expect_in`
+/// (same rationale as ExpectHierCorruptionRejected: pin WHICH validation
+/// fired).
+void ExpectAnnxCorruptionRejected(
+    const std::string& name, const std::string& expect_in,
+    const std::function<void(std::string*, uint64_t)>& corrupt) {
+  const FloorPlan plan = MakeCampus(17);
+  IndexOptions options;
+  options.use_landmarks = true;
+  options.landmark_count = 8;
+  options.approx_knn = true;
+  IndexFramework index(plan, options);
+  Rng rng(71);
+  PopulateStore(GenerateObjects(plan, 60, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  ASSERT_NE(index.approx_knn(), nullptr);
+  const std::string path = TempPath(name);
+  ASSERT_TRUE(SaveIndexContainer(index, path).ok());
+  std::string bytes = ReadFile(path);
+  const uint64_t annx_offset = FindAnnxOffset(bytes);
+  ASSERT_NE(annx_offset, 0u);
+  corrupt(&bytes, annx_offset);
+  WriteFile(path, bytes);
+  auto mapped = MapIndexContainer(plan, path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kParseError);
+  EXPECT_NE(mapped.status().message().find("ANNX"), std::string::npos)
+      << mapped.status();
+  EXPECT_NE(mapped.status().message().find(expect_in), std::string::npos)
+      << mapped.status();
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, MapModeRejectsZeroAnnxLandmarkCount) {
+  // count gates the fwd/bwd row math; 0 (and anything past kMaxCount)
+  // must die at the mini-header before any array decoding.
+  ExpectAnnxCorruptionRejected(
+      "zero_lm_annx.idx", "implausible landmark count",
+      [](std::string* bytes, uint64_t annx_offset) {
+        const uint64_t zero = 0;  // mini[1] = landmark_count
+        std::memcpy(bytes->data() + annx_offset + 8, &zero, sizeof(zero));
+      });
+}
+
+TEST(IndexContainerTest, MapModeRejectsOversizedAnnxLandmarkCount) {
+  ExpectAnnxCorruptionRejected(
+      "big_lm_annx.idx", "implausible landmark count",
+      [](std::string* bytes, uint64_t annx_offset) {
+        const uint64_t big = 1000;
+        std::memcpy(bytes->data() + annx_offset + 8, &big, sizeof(big));
+      });
+}
+
+/// Offset of leg_offsets[i] within the ANNX payload, computed from the
+/// mini-header's own counts (layout: 64-byte mini-header pad, fwd and bwd
+/// rows of count * n doubles each, then the n + 1 CSR offsets).
+uint64_t AnnxLegOffsetPos(const std::string& bytes, uint64_t annx_offset,
+                          uint64_t i) {
+  uint64_t n, count;
+  std::memcpy(&n, bytes.data() + annx_offset, sizeof(n));
+  std::memcpy(&count, bytes.data() + annx_offset + 8, sizeof(count));
+  return annx_offset + 64 + 2 * count * n * 8 + i * 8;
+}
+
+TEST(IndexContainerTest, MapModeRejectsAnnxLegOffsetsNotStartingAtZero) {
+  ExpectAnnxCorruptionRejected(
+      "csr_start_annx.idx", "do not start at 0",
+      [](std::string* bytes, uint64_t annx_offset) {
+        const uint64_t bogus = 5;
+        std::memcpy(bytes->data() + AnnxLegOffsetPos(*bytes, annx_offset, 0),
+                    &bogus, sizeof(bogus));
+      });
+}
+
+TEST(IndexContainerTest, MapModeRejectsNonMonotoneAnnxLegOffsets) {
+  // leg_offsets[o + 1] gates indexing into the leg pool; an offset past
+  // leg_total would make Legs(o) span unrelated payload (or unmapped
+  // pages), so the full-CSR walk must reject it before adoption.
+  ExpectAnnxCorruptionRejected(
+      "csr_mono_annx.idx", "leg offsets corrupt at object",
+      [](std::string* bytes, uint64_t annx_offset) {
+        const uint64_t huge = uint64_t{1} << 40;
+        std::memcpy(bytes->data() + AnnxLegOffsetPos(*bytes, annx_offset, 1),
+                    &huge, sizeof(huge));
+      });
+}
+
+TEST(IndexContainerTest, MapModeRejectsAnnxLegOffsetsEndingShort) {
+  // Shrinking the final offset keeps the CSR monotone (every object owns
+  // at least one enter-door leg on these plans) but breaks the
+  // offsets[n] == leg_total seal that pins the pool's exact extent.
+  ExpectAnnxCorruptionRejected(
+      "csr_end_annx.idx", "do not end on leg_total",
+      [](std::string* bytes, uint64_t annx_offset) {
+        uint64_t n;
+        std::memcpy(&n, bytes->data() + annx_offset, sizeof(n));
+        const uint64_t pos = AnnxLegOffsetPos(*bytes, annx_offset, n);
+        uint64_t last;
+        std::memcpy(&last, bytes->data() + pos, sizeof(last));
+        last -= 1;
+        std::memcpy(bytes->data() + pos, &last, sizeof(last));
+      });
+}
+
+TEST(IndexContainerTest, ReadModeRejectsAnnxPayloadBitFlip) {
+  // The ANNX section participates in the same per-section checksum
+  // regime as every other section on the read path.
+  const FloorPlan plan = MakeCampus(17);
+  IndexOptions options;
+  options.use_landmarks = true;
+  options.landmark_count = 8;
+  options.approx_knn = true;
+  IndexFramework index(plan, options);
+  Rng rng(71);
+  PopulateStore(GenerateObjects(plan, 60, &rng), &index.objects());
+  index.RefreshApproxKnn();
+  const std::string path = TempPath("bitflip_annx.idx");
+  ASSERT_TRUE(SaveIndexContainer(index, path).ok());
+  std::string bytes = ReadFile(path);
+  const uint64_t annx_offset = FindAnnxOffset(bytes);
+  ASSERT_NE(annx_offset, 0u);
+  bytes[annx_offset + 72] ^= 0x10;  // inside the fwd embedding rows
+  WriteFile(path, bytes);
+  auto loaded = LoadIndexContainer(plan, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find("ANNX"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
 TEST(IndexContainerTest, MissingFileIsIOError) {
   const FloorPlan plan = MakeRunningExamplePlan();
   const auto loaded = LoadIndexContainer(plan, "/nonexistent/x.idx");

@@ -10,6 +10,8 @@ Usage:
       [--baseline BENCH_baseline.json --ratio NAME]
   check_bench_regression.py --cold-start <results.json> \\
       [--baseline BENCH_baseline.json] [--min-ratio R]
+  check_bench_regression.py --recall <results.json> \\
+      [--baseline BENCH_baseline.json] [--min-recall R] [--min-ratio R]
 
 Default mode gates bench_pt2pt_hotpath: the bench emits machine-independent
 metrics — per-workload speedup (reference ns/query divided by optimized
@@ -59,6 +61,17 @@ or above the floor from the baseline's "cold_start_ratios" map (or
 so the ratio is machine-independent: if mapping a container ever stops
 being dramatically cheaper than rebuilding the index, the container
 format has lost its reason to exist and CI should say so.
+
+--recall mode gates bench_recall (the approximate-kNN tier): the bench's
+"summary" member carries the tier's operating point — the building
+scenario's best k=10 sweep cell with recall >= 0.99 — and this mode fails
+when its recall@10 or its approx/exact QPS ratio drops below the floors
+from the baseline's "recall" object (min_recall_at_10, min_qps_ratio).
+Both numbers come from the same process on the same machine, so they are
+machine-independent. A run with "smoke": true uses the relaxed floors of
+the baseline's recall.smoke object instead — the smoke workload is a
+2-floor dense building where the tier's QPS advantage structurally cannot
+appear; its gate only proves the path works and stays accurate.
 """
 
 import json
@@ -277,6 +290,89 @@ def cold_start(argv: list) -> int:
     return 0
 
 
+def recall(argv: list) -> int:
+    min_recall = None
+    min_ratio = None
+    baseline_path = None
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-recall" and i + 1 < len(argv):
+            min_recall = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--min-ratio" and i + 1 < len(argv):
+            min_ratio = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--baseline" and i + 1 < len(argv):
+            baseline_path = argv[i + 1]
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        results = json.load(f)
+    summary = results.get("summary")
+    if not summary:
+        print(f"{paths[0]} has no recall summary", file=sys.stderr)
+        return 2
+    smoke = bool(results.get("smoke", False))
+    if baseline_path is not None:
+        with open(baseline_path) as f:
+            floors = json.load(f).get("recall", {})
+        if smoke:
+            floors = floors.get("smoke", {})
+        if min_recall is None and "min_recall_at_10" in floors:
+            min_recall = float(floors["min_recall_at_10"])
+        if min_ratio is None and "min_qps_ratio" in floors:
+            min_ratio = float(floors["min_qps_ratio"])
+    if min_recall is None or min_ratio is None:
+        print(
+            "no recall/ratio floors configured (pass --baseline or both "
+            "--min-recall and --min-ratio)",
+            file=sys.stderr,
+        )
+        return 2
+    got_recall = float(summary["recall_at_k"])
+    got_ratio = float(summary["qps_ratio"])
+    mode = "smoke" if smoke else "full"
+    print(
+        f"approx knn operating point ({mode}): scenario="
+        f"{summary.get('scenario')} k={summary.get('k')} "
+        f"landmarks={summary.get('landmarks')} "
+        f"factor={summary.get('factor')}"
+    )
+    print(
+        f"  recall@{summary.get('k')} {got_recall:.4f} "
+        f"(min {min_recall:.4f}), approx/exact QPS "
+        f"{got_ratio:.2f}x (min {min_ratio:.2f}x)"
+    )
+    failures = []
+    if int(summary.get("k", 0)) != 10:
+        failures.append(
+            f"summary cell is k={summary.get('k')}, not the gated k=10"
+        )
+    if got_recall < min_recall:
+        failures.append(
+            f"recall@10 {got_recall:.4f} is below the required "
+            f"{min_recall:.4f}"
+        )
+    if got_ratio < min_ratio:
+        failures.append(
+            f"approx/exact QPS ratio {got_ratio:.2f}x is below the "
+            f"required {min_ratio:.2f}x"
+        )
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nrecall gate within baseline")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--throughput-ratio":
         return throughput_ratio(sys.argv[2:])
@@ -284,6 +380,8 @@ def main() -> int:
         return hotpath_ratio(sys.argv[2:])
     if len(sys.argv) >= 2 and sys.argv[1] == "--cold-start":
         return cold_start(sys.argv[2:])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--recall":
+        return recall(sys.argv[2:])
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -64,7 +64,7 @@ int Usage() {
       "  indoor_tool knn PLAN X Y K [--objects N] [--seed S]\n"
       "  indoor_tool matrix PLAN OUT.bin [--threads N]\n"
       "  indoor_tool build PLAN OUT.idx [--threads N] [--hierarchy]\n"
-      "                    [--cell-target N]\n"
+      "                    [--cell-target N] [--landmark-count N]\n"
       "  indoor_tool stats PLAN [--queries N] [--objects N] [--seed S]\n"
       "  indoor_tool serve PLAN [--threads N] [--batch B] [--skew ZIPF]\n"
       "                    [--requests N] [--positions N] [--objects N]\n"
@@ -73,6 +73,8 @@ int Usage() {
       "                    [--query-log F] [--slow-ms MS] [--report N]\n"
       "                    [--trace-out F] [--trace-sample N]\n"
       "                    [--load F.idx | --load-mmap F.idx] [--hierarchy]\n"
+      "                    [--knn-approx] [--candidates F]\n"
+      "                    [--landmark-count N]\n"
       "  indoor_tool replay CAPTURE [--plan PLAN] [--threads N]\n"
       "                    [--speed X] [--cache on|off]\n"
       "                    [--load F.idx | --load-mmap F.idx]\n"
@@ -87,6 +89,16 @@ int Usage() {
       "                     the partition-contraction hierarchy index\n"
       "                     (bitwise-identical results, less memory)\n"
       "  --cell-target N    build/serve: partitions per hierarchy cell\n"
+      "  --landmark-count N build/serve: ALT landmarks to select (default\n"
+      "                     0 = auto-scale with the door count, see\n"
+      "                     docs/BENCHMARKS.md)\n"
+      "  --knn-approx       serve: serve kNN from the approximate\n"
+      "                     embedding tier (flat engine only; incompatible\n"
+      "                     with --query-log — captured digests must stay\n"
+      "                     exact for replay)\n"
+      "  --candidates F     serve: approximate-tier candidate factor (re-\n"
+      "                     rank up to k*F bound-sorted candidates,\n"
+      "                     default 8)\n"
       "  --load F.idx       serve/replay: cold-start by READING the index\n"
       "                     container (checksums verified)\n"
       "  --load-mmap F.idx  serve/replay: cold-start by MAPPING the index\n"
@@ -138,7 +150,8 @@ Args Parse(int argc, char** argv) {
     std::string token = argv[i];
     if (token.rfind("--", 0) == 0) {
       const std::string key = token.substr(2);
-      if (key == "parallel-stairs" || key == "trace" || key == "hierarchy") {
+      if (key == "parallel-stairs" || key == "trace" || key == "hierarchy" ||
+          key == "knn-approx") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -378,13 +391,14 @@ Result<QueryEngine> MakeEngine(FloorPlan plan, IndexOptions options,
   // The container decides the engine mode: a hierarchical container
   // serves through the hierarchy, a flat one through Md2d/Midx.
   options.use_hierarchy = artifacts->hierarchy.has_value();
-  std::printf("cold start: %s %s in %.1f ms (%s%s%s%s%s)\n",
+  std::printf("cold start: %s %s in %.1f ms (%s%s%s%s%s%s)\n",
               mmap_mode ? "mapped" : "loaded", path.c_str(),
               timer.ElapsedMillis(),
               artifacts->md2d.has_value() ? "md2d " : "",
               artifacts->midx.has_value() ? "midx " : "",
               artifacts->hierarchy.has_value() ? "hierarchy " : "",
               artifacts->landmarks.has_value() ? "landmarks " : "",
+              artifacts->approx.has_value() ? "approx " : "",
               artifacts->dpt.has_value() ? "dpt" : "");
   return QueryEngine(std::move(plan), std::move(artifacts).value(), options);
 }
@@ -400,6 +414,8 @@ int CmdBuild(const Args& args) {
   options.use_hierarchy = args.Has("hierarchy");
   options.hierarchy_cell_target = static_cast<unsigned>(
       args.Num("cell-target", options.hierarchy_cell_target));
+  options.landmark_count =
+      static_cast<unsigned>(args.Num("landmark-count", 0));
   WallTimer timer;
   const IndexFramework index(plan.value(), options);
   const double build_ms = timer.ElapsedMillis();
@@ -432,6 +448,18 @@ int CmdServe(const Args& args) {
   IndexOptions options;
   options.enable_query_cache = args.Str("cache", "on") != "off";
   options.cache_quantum = args.Num("quantum", options.cache_quantum);
+  options.landmark_count =
+      static_cast<unsigned>(args.Num("landmark-count", 0));
+  options.approx_knn = args.Has("knn-approx");
+  options.approx_candidate_factor = static_cast<unsigned>(
+      args.Num("candidates", options.approx_candidate_factor));
+  if (options.approx_knn && !args.Str("query-log", "").empty()) {
+    // A capture's result digests replay against the exact path; an
+    // approximate-tier serve would bake measurably-approximate answers
+    // into a file the replay gate treats as ground truth.
+    std::cerr << "serve: --knn-approx is incompatible with --query-log\n";
+    return 2;
+  }
   auto engine_or = MakeEngine(std::move(plan).value(), options, args);
   if (!engine_or.ok()) {
     std::cerr << "error: " << engine_or.status() << "\n";
@@ -455,6 +483,10 @@ int CmdServe(const Args& args) {
   Rng rng(static_cast<uint64_t>(args.Num("seed", 7)));
   PopulateStore(GenerateObjects(engine.plan(), objects, &rng),
                 &engine.index().objects());
+  // Builds (or adopts, when a loaded container carried a fresh ANNX
+  // section) the embedding tier for the population above; moves ingested
+  // during serving keep it fresh through ApplyMoveBatch.
+  if (options.approx_knn) engine.index().RefreshApproxKnn();
 
   // The workload: positions drawn Zipf-skewed from a fixed pool (hot
   // entrances / popular rooms), kinds cycling range / kNN / pt2pt.

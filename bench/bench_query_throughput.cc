@@ -14,6 +14,7 @@
 //                          [--move-rate R] [--move-batch M]
 //                          [--seed S] [--json out.json] [--smoke]
 //                          [--query-log out.qlog]
+//                          [--record out.rec] [--record-interval-ms N]
 //
 // One query = one operation (range, kNN or pt2pt distance, cycling).
 // Query positions are drawn from a pool of `--positions` distinct points;
@@ -44,6 +45,13 @@
 // Comparing QPS with and without the flag on an otherwise identical
 // invocation measures the logging overhead (docs/BENCHMARKS.md).
 //
+// `--record out.rec` runs the flight recorder (util/timeseries.h) for the
+// whole run and dumps the ring on exit; the per-interval QPS/p99 series is
+// also embedded in the --json output under "recording", so a bench JSON
+// carries its own time-resolved picture (warmup, move-ingest dips) next to
+// the aggregate rows. Requires a library built with INDOOR_METRICS=ON —
+// an OFF build fails loudly rather than writing an empty recording.
+//
 // `--knn-approx` opts the index into the approximate-kNN embedding tier
 // (with `--candidates F` controlling the re-rank budget and
 // `--landmark-count N` the embedding width); kNN requests in the mix are
@@ -69,6 +77,7 @@
 #include "util/query_log.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/timeseries.h"
 
 using namespace indoor;
 
@@ -94,6 +103,50 @@ std::vector<unsigned> ParseList(const std::string& s) {
   return out;
 }
 
+/// The per-interval series of a flight recording as a JSON array:
+/// interval QPS plus the p99 over all query kinds merged (the per-kind
+/// latency histograms share one bucket layout, so their deltas add).
+std::string RecordingSeriesJson(const tseries::Recording& recording) {
+  std::string out = "[";
+  bool first = true;
+  for (const tseries::IntervalSample& sample : recording.samples) {
+    const tseries::IntervalStats stats =
+        tseries::ComputeIntervalStats(sample);
+    metrics::HistogramSnapshot merged;
+    for (const metrics::HistogramSnapshot& hist : sample.delta.histograms) {
+      if (hist.name.rfind("query.", 0) != 0 ||
+          hist.name.size() < 11 ||
+          hist.name.compare(hist.name.size() - 11, 11, ".latency_ns") != 0) {
+        continue;
+      }
+      if (merged.buckets.empty()) {
+        merged = hist;
+        continue;
+      }
+      merged.count += hist.count;
+      merged.sum += hist.sum;
+      merged.max = std::max(merged.max, hist.max);
+      for (size_t i = 0;
+           i < merged.buckets.size() && i < hist.buckets.size(); ++i) {
+        merged.buckets[i] += hist.buckets[i];
+      }
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n      {\"start_us\": %llu, \"duration_us\": %llu, "
+                  "\"qps\": %.1f, \"p99_us\": %.1f}",
+                  first ? "" : ",",
+                  static_cast<unsigned long long>(sample.start_us),
+                  static_cast<unsigned long long>(sample.duration_us),
+                  stats.qps,
+                  merged.count > 0 ? merged.Percentile(0.99) / 1e3 : 0.0);
+    out += buf;
+    first = false;
+  }
+  out += first ? "]" : "\n    ]";
+  return out;
+}
+
 void WriteJson(const std::string& path, int floors, size_t objects,
                size_t queries, size_t positions, double zipf, bool cache,
                size_t batch, const std::string& mix, uint64_t seed,
@@ -101,7 +154,8 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                bool knn_approx, const std::vector<Row>& rows,
                bool query_log,
                double move_rate, size_t moves, uint64_t repairs,
-               uint64_t epoch_rejects) {
+               uint64_t epoch_rejects,
+               const tseries::Recording* recording) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -139,7 +193,15 @@ void WriteJson(const std::string& path, int floors, size_t objects,
                  r.readers, r.millis, r.qps, r.scaling,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"metrics\": %s}\n",
+  std::fprintf(f, "  ],\n");
+  if (recording != nullptr) {
+    std::fprintf(f,
+                 "  \"recording\": {\"interval_ms\": %u, \"intervals\": "
+                 "%zu, \"series\": %s},\n",
+                 recording->interval_ms, recording->samples.size(),
+                 RecordingSeriesJson(*recording).c_str());
+  }
+  std::fprintf(f, "  \"metrics\": %s}\n",
                indoor::bench::MetricsJson().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -223,6 +285,8 @@ int main(int argc, char** argv) {
   std::vector<unsigned> reader_list{1, 2, 4, 8};
   std::string json_path;
   std::string query_log_path;
+  std::string record_path;
+  uint32_t record_interval_ms = 250;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -284,6 +348,10 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--query-log") {
       query_log_path = next();
+    } else if (arg == "--record") {
+      record_path = next();
+    } else if (arg == "--record-interval-ms") {
+      record_interval_ms = static_cast<uint32_t>(std::stoul(next()));
     } else if (arg == "--smoke") {
       floors = 2;
       objects = 500;
@@ -387,6 +455,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  tseries::FlightRecorder& recorder = tseries::FlightRecorder::Global();
+  if (!record_path.empty()) {
+    tseries::FlightRecorderOptions fropts;
+    fropts.interval_ms = record_interval_ms;
+    fropts.hotness = &index.hotness();
+    fropts.context = "source=bench_query_throughput\nseed=" +
+                     std::to_string(seed) +
+                     "\ncache=" + (cache ? "on" : "off") +
+                     "\nmix=" + mix + "\n";
+    const Status status = recorder.Start(fropts);
+    if (!status.ok()) {
+      // Metrics-OFF builds land here: fail loudly, never write a file
+      // that looks like a (suspiciously idle) healthy recording.
+      std::fprintf(stderr, "--record: %s\n", status.message().c_str());
+      return 1;
+    }
+  }
+
   std::vector<Row> rows;
   std::printf("%8s %12s %14s %10s\n", "readers", "wall(ms)", "QPS",
               "scaling");
@@ -486,6 +572,19 @@ int main(int argc, char** argv) {
                 query_log_path.c_str());
   }
 
+  tseries::Recording recording;
+  if (recorder.running()) {
+    recorder.Stop();  // folds the final partial interval
+    recording = recorder.Snapshot();
+    const Status status = tseries::WriteRecordingFile(recording, record_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--record: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("recording: %zu intervals -> %s\n", recording.samples.size(),
+                record_path.c_str());
+  }
+
   const QueryCache* query_cache = index.query_cache();
   const uint64_t epoch_rejects =
       query_cache != nullptr ? query_cache->EpochRejects() : 0;
@@ -504,7 +603,8 @@ int main(int argc, char** argv) {
               position_count, zipf, cache, batch, mix, seed, bucket_queue,
               landmarks, no_midx, knn_approx, rows,
               !query_log_path.empty(), move_rate,
-              total_moves, repairs, epoch_rejects);
+              total_moves, repairs, epoch_rejects,
+              recording.samples.empty() ? nullptr : &recording);
   }
   return 0;
 }

@@ -93,6 +93,13 @@ struct BucketScratch {
   uint64_t cells_pruned = 0;
   uint64_t cells_admitted = 0;
   uint64_t objects_tested = 0;
+
+  /// Per-query partition-hotness staging: (partition, objects tested
+  /// there) pairs appended by the door-expansion paths and drained once
+  /// per query into IndexFramework's PartitionHotness accumulator
+  /// (util/timeseries.h) via FlushVisits. Same plain-field contract as
+  /// the counters above: only touched inside INDOOR_METRICS_ONLY.
+  std::vector<std::pair<uint32_t, uint32_t>> hot;
 };
 
 /// Drains a scratch's accumulated grid-search statistics into the

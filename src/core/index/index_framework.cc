@@ -122,6 +122,10 @@ void IndexFramework::BuildStructures(IndexArtifacts* artifacts) {
     // against the live store.
     approx_.StashPayload(std::move(*artifacts->approx));
   }
+  // One hotness cell per partition; sized even in metrics-OFF builds
+  // (the array is tiny and keeps the accessor contract unconditional),
+  // though only metrics-ON query paths ever feed it.
+  hotness_.Reset(plan_->partition_count());
   if (options_.enable_query_cache) {
     QueryCacheOptions cache_options;
     cache_options.quantum = options_.cache_quantum;

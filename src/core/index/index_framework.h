@@ -19,6 +19,7 @@
 #include "core/index/object_store.h"
 #include "core/model/distance_graph.h"
 #include "core/model/locator.h"
+#include "util/timeseries.h"
 
 namespace indoor {
 
@@ -162,6 +163,14 @@ class IndexFramework {
   /// query_cache.h). No-op when the cache is disabled.
   void InvalidateQueryCache() const;
 
+  /// The per-partition visit/settle accumulator (one cell per
+  /// partition), fed by the range/kNN door-expansion paths and sampled
+  /// by the flight recorder; the input to cell-eviction decisions.
+  /// Lock-free relaxed atomics, so handing concurrent readers a mutable
+  /// reference is safe — the accumulator is telemetry, never consulted
+  /// by query results.
+  tseries::PartitionHotness& hotness() const { return hotness_; }
+
   /// The ALT landmark rows, or null when IndexOptions disabled them.
   const LandmarkIndex* landmarks() const {
     return landmarks_.valid() ? &landmarks_ : nullptr;
@@ -216,6 +225,7 @@ class IndexFramework {
   LandmarkIndex landmarks_;   // invalid (empty) when disabled
   ApproxKnnIndex approx_;     // invalid until RefreshApproxKnn (opt-in)
   ObjectStore objects_;
+  mutable tseries::PartitionHotness hotness_;  // telemetry, hence mutable
   std::unique_ptr<QueryCache> query_cache_;  // null when disabled
   /// Keeps an mmap-ed container alive while structures borrow its pages.
   std::shared_ptr<const void> mapping_;

@@ -32,10 +32,17 @@ void SearchSide(const IndexFramework& index, PartitionId part, DoorId dj,
     deps->push_back(part);
     gates->push_back({part, dj, r2, 0.0});  // fdv unused for kNN gates
   }
+  // Hotness telemetry (see range_query.cc): every reached partition is a
+  // visit; object distance evaluations settle as the pair's second half.
+  INDOOR_METRICS_ONLY(const uint64_t hot_before = scratch->objects_tested;
+                      scratch->hot.emplace_back(part, 0);)
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
   bucket.NnSearch(index.plan().partition(part),
                   index.plan().door(dj).Midpoint(), r2, collector, scratch);
+  INDOOR_METRICS_ONLY(scratch->hot.back().second =
+                          static_cast<uint32_t>(scratch->objects_tested -
+                                                hot_before);)
 }
 
 /// Spare neighbors cached beyond the requested k. A fresh solve collects
@@ -414,11 +421,17 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
   // prefix is unaffected).
   collector.Reset(cache != nullptr ? k + kKnnRepairSpares : k);
   // Line 3: search the host partition directly.
+  INDOOR_METRICS_ONLY(
+      const uint64_t hot_before = scratch->bucket.objects_tested;
+      scratch->bucket.hot.emplace_back(v, 0);)
   {
     INDOOR_TRACE_SPAN("host_search");
     index.objects().bucket(v).NnSearch(plan.partition(v), q, /*extra=*/0.0,
                                        &collector, &scratch->bucket);
   }
+  INDOOR_METRICS_ONLY(scratch->bucket.hot.back().second =
+                          static_cast<uint32_t>(
+                              scratch->bucket.objects_tested - hot_before);)
 
   const size_t n = plan.door_count();
   const DoorPartitionTable& dpt = index.dpt();
@@ -496,7 +509,8 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
     }
     INDOOR_METRICS_ONLY(
         INDOOR_COUNTER_ADD("index.hier.knn.runs", runs);
-        FlushBucketStats(&scratch->bucket);)
+        FlushBucketStats(&scratch->bucket);
+        index.hotness().FlushVisits(&scratch->bucket.hot);)
     std::vector<Neighbor> sorted = collector.Sorted();
     if (cache != nullptr) {
       cache->InsertKnnResult(q, k, result_kind, *deps, *gates, sorted);
@@ -562,7 +576,8 @@ std::vector<Neighbor> KnnQuery(const IndexFramework& index, const Point& q,
       INDOOR_COUNTER_ADD("index.md2d.row_fetches", md2d_rows);
       INDOOR_COUNTER_ADD("index.midx.row_fetches", midx_rows);
       INDOOR_COUNTER_ADD("index.scan.entries", entries);
-      FlushBucketStats(&scratch->bucket);)
+      FlushBucketStats(&scratch->bucket);
+      index.hotness().FlushVisits(&scratch->bucket.hot);)
   std::vector<Neighbor> sorted = collector.Sorted();
   if (cache != nullptr) {
     cache->InsertKnnResult(q, k, result_kind, *deps, *gates, sorted);

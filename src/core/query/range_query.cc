@@ -34,6 +34,11 @@ void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
     deps->push_back(part);
     gates->push_back({part, dj, r2, fdv});
   }
+  // Hotness telemetry: every reached partition is a visit, even an empty
+  // one — reaching it means its population matters to this query (the
+  // same reasoning the dependency set uses). Settles attributed below.
+  INDOOR_METRICS_ONLY(const uint64_t hot_before = scratch->objects_tested;
+                      scratch->hot.emplace_back(part, 0);)
   const GridBucket& bucket = index.objects().bucket(part);
   if (bucket.size() == 0) return;
   if (fdv <= r2) {
@@ -45,6 +50,9 @@ void SearchSide(const IndexFramework& index, PartitionId part, double fdv,
   bucket.RangeSearch(index.plan().partition(part),
                      index.plan().door(dj).Midpoint(), r2, found, scratch);
   for (const Neighbor& nb : *found) result->push_back(nb.id);
+  INDOOR_METRICS_ONLY(scratch->hot.back().second =
+                          static_cast<uint32_t>(scratch->objects_tested -
+                                                hot_before);)
 }
 
 /// Would a fresh Qr(q, r) admit an object currently at `o`? Evaluates the
@@ -158,11 +166,17 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
 
   // Line 2: search the host partition directly.
   found.clear();
+  INDOOR_METRICS_ONLY(
+      const uint64_t hot_before = scratch->bucket.objects_tested;
+      scratch->bucket.hot.emplace_back(v, 0);)
   {
     INDOOR_TRACE_SPAN("host_search");
     index.objects().bucket(v).RangeSearch(plan.partition(v), q, r, &found,
                                           &scratch->bucket);
   }
+  INDOOR_METRICS_ONLY(scratch->bucket.hot.back().second =
+                          static_cast<uint32_t>(
+                              scratch->bucket.objects_tested - hot_before);)
   for (const Neighbor& nb : found) result.push_back(nb.id);
 
   const size_t n = plan.door_count();
@@ -235,7 +249,8 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
     INDOOR_METRICS_ONLY(
         INDOOR_COUNTER_ADD("index.hier.range.block_scans", block_scans);
         INDOOR_COUNTER_ADD("index.hier.range.runs", runs);
-        FlushBucketStats(&scratch->bucket);)
+        FlushBucketStats(&scratch->bucket);
+        index.hotness().FlushVisits(&scratch->bucket.hot);)
 
     std::sort(result.begin(), result.end());
     result.erase(std::unique(result.begin(), result.end()), result.end());
@@ -303,7 +318,8 @@ std::vector<ObjectId> RangeQuery(const IndexFramework& index, const Point& q,
       INDOOR_COUNTER_ADD("index.md2d.row_fetches", md2d_rows);
       INDOOR_COUNTER_ADD("index.midx.row_fetches", midx_rows);
       INDOOR_COUNTER_ADD("index.scan.entries", entries);
-      FlushBucketStats(&scratch->bucket);)
+      FlushBucketStats(&scratch->bucket);
+      index.hotness().FlushVisits(&scratch->bucket.hot);)
 
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());

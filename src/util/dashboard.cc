@@ -1,0 +1,485 @@
+#include "util/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace indoor {
+namespace dash {
+
+void AppendHtmlEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '&': out->append("&amp;"); break;
+      case '<': out->append("&lt;"); break;
+      case '>': out->append("&gt;"); break;
+      case '"': out->append("&quot;"); break;
+      case '\'': out->append("&#39;"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+namespace {
+
+using tseries::IntervalSample;
+using tseries::IntervalStats;
+using tseries::Recording;
+
+// Distinguishable on the dark background; recordings cycle through them.
+const char* const kSeriesColors[] = {"#4fc1ff", "#ff8c5a", "#7ee787",
+                                     "#d2a8ff", "#ffd75f", "#ff7b9c"};
+
+const char* SeriesColor(size_t i) {
+  return kSeriesColors[i % (sizeof(kSeriesColors) / sizeof(kSeriesColors[0]))];
+}
+
+std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string HumanNs(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+/// One polyline sparkline. The path carries class="sparkline" — the CI
+/// smoke validator checks these paths are present and non-empty.
+void AppendSparkline(std::string* out, const std::vector<double>& values,
+                     const char* color) {
+  constexpr double kW = 640.0, kH = 72.0, kPad = 4.0;
+  out->append("<svg class=\"spark\" viewBox=\"0 0 640 72\" "
+              "preserveAspectRatio=\"none\">");
+  if (!values.empty()) {
+    double lo = values[0], hi = values[0];
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    std::string d;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const double x =
+          values.size() == 1
+              ? kW / 2.0
+              : kPad + (kW - 2 * kPad) * static_cast<double>(i) /
+                           static_cast<double>(values.size() - 1);
+      const double y =
+          span <= 0.0
+              ? kH / 2.0
+              : kH - kPad - (kH - 2 * kPad) * (values[i] - lo) / span;
+      d += (i == 0 ? "M" : "L") + Fmt(x, 1) + "," + Fmt(y, 1);
+    }
+    if (values.size() == 1) d += "L" + Fmt(kW / 2.0 + 1.0, 1) + "," + Fmt(kH / 2.0, 1);
+    out->append("<path class=\"sparkline\" d=\"");
+    out->append(d);
+    out->append("\" fill=\"none\" stroke=\"");
+    out->append(color);
+    out->append("\" stroke-width=\"1.5\"/>");
+  }
+  out->append("</svg>");
+}
+
+double TotalSeconds(const Recording& r) {
+  double seconds = 0.0;
+  for (const IntervalSample& s : r.samples) {
+    seconds += static_cast<double>(s.duration_us) / 1e6;
+  }
+  return seconds;
+}
+
+uint64_t TotalQueries(const Recording& r) {
+  uint64_t queries = 0;
+  for (const IntervalSample& s : r.samples) {
+    queries += tseries::ComputeIntervalStats(s).queries;
+  }
+  return queries;
+}
+
+uint64_t CounterTotal(const Recording& r, std::string_view name) {
+  uint64_t total = 0;
+  for (const IntervalSample& s : r.samples) {
+    total += tseries::CounterValue(s.delta, name);
+  }
+  return total;
+}
+
+/// Whole-recording histogram: interval deltas summed back together.
+metrics::HistogramSnapshot AggregateHistogram(const Recording& r,
+                                              std::string_view name) {
+  metrics::HistogramSnapshot agg;
+  agg.name = std::string(name);
+  for (const IntervalSample& s : r.samples) {
+    const metrics::HistogramSnapshot* h = tseries::FindHistogram(s.delta, name);
+    if (h == nullptr) continue;
+    agg.count += h->count;
+    agg.sum += h->sum;
+    agg.max = std::max(agg.max, h->max);
+    if (agg.buckets.empty()) agg.buckets.resize(h->buckets.size(), 0);
+    for (size_t i = 0; i < h->buckets.size() && i < agg.buckets.size(); ++i) {
+      agg.buckets[i] += h->buckets[i];
+    }
+  }
+  return agg;
+}
+
+void OpenSection(std::string* out, const char* id, const std::string& title) {
+  out->append("<section id=\"");
+  out->append(id);
+  out->append("\"><h2>");
+  AppendHtmlEscaped(out, title);
+  out->append("</h2>");
+}
+
+void AppendLegendEntry(std::string* out, size_t i, const std::string& label) {
+  out->append("<span class=\"key\" style=\"color:");
+  out->append(SeriesColor(i));
+  out->append("\">&#9632; ");
+  AppendHtmlEscaped(out, label);
+  out->append("</span> ");
+}
+
+void AppendSummary(std::string* out,
+                   const std::vector<Recording>& recordings) {
+  OpenSection(out, "summary", "Recordings");
+  out->append("<table><tr><th>recording</th><th>intervals</th>"
+              "<th>duration</th><th>queries</th><th>avg QPS</th>"
+              "<th>interval</th></tr>");
+  for (size_t i = 0; i < recordings.size(); ++i) {
+    const Recording& r = recordings[i];
+    const double seconds = TotalSeconds(r);
+    const uint64_t queries = TotalQueries(r);
+    out->append("<tr><td style=\"color:");
+    out->append(SeriesColor(i));
+    out->append("\">");
+    AppendHtmlEscaped(out, r.label.empty() ? "(unnamed)" : r.label);
+    out->append("</td><td>" + std::to_string(r.samples.size()) + "</td><td>" +
+                Fmt(seconds, 2) + "s</td><td>" + std::to_string(queries) +
+                "</td><td>" +
+                Fmt(seconds > 0 ? static_cast<double>(queries) / seconds : 0.0,
+                    1) +
+                "</td><td>" + std::to_string(r.interval_ms) + "ms</td></tr>");
+    if (!r.context.empty()) {
+      out->append("<tr><td></td><td colspan=\"5\" class=\"ctx\">");
+      AppendHtmlEscaped(out, r.context);
+      out->append("</td></tr>");
+    }
+  }
+  out->append("</table></section>");
+}
+
+void AppendQpsSection(std::string* out,
+                      const std::vector<Recording>& recordings) {
+  OpenSection(out, "qps", "Throughput (per-interval QPS)");
+  for (size_t i = 0; i < recordings.size(); ++i) {
+    const Recording& r = recordings[i];
+    std::vector<double> qps;
+    double peak = 0.0;
+    qps.reserve(r.samples.size());
+    for (const IntervalSample& s : r.samples) {
+      qps.push_back(tseries::ComputeIntervalStats(s).qps);
+      peak = std::max(peak, qps.back());
+    }
+    AppendLegendEntry(out, i, r.label);
+    out->append("<span class=\"dim\">peak " + Fmt(peak, 1) + " q/s</span>");
+    AppendSparkline(out, qps, SeriesColor(i));
+  }
+  out->append("</section>");
+}
+
+void AppendLatencySection(std::string* out,
+                          const std::vector<Recording>& recordings) {
+  OpenSection(out, "latency", "Latency (per-interval percentiles)");
+  std::vector<std::string> kinds;
+  for (const Recording& r : recordings) {
+    for (std::string& kind : tseries::ActiveQueryKinds(r)) {
+      kinds.push_back(std::move(kind));
+    }
+  }
+  std::sort(kinds.begin(), kinds.end());
+  kinds.erase(std::unique(kinds.begin(), kinds.end()), kinds.end());
+  if (kinds.empty()) {
+    out->append("<p class=\"dim\">no query latency histograms in these "
+                "recordings</p>");
+  }
+  for (const std::string& kind : kinds) {
+    out->append("<h3>");
+    AppendHtmlEscaped(out, kind);
+    out->append("</h3>");
+    for (const double q : {0.50, 0.99}) {
+      for (size_t i = 0; i < recordings.size(); ++i) {
+        const Recording& r = recordings[i];
+        std::vector<double> series;
+        double worst = 0.0;
+        series.reserve(r.samples.size());
+        for (const IntervalSample& s : r.samples) {
+          series.push_back(tseries::QueryPercentileNs(s, kind, q) / 1e6);
+          worst = std::max(worst, series.back());
+        }
+        AppendLegendEntry(out, i,
+                          (q == 0.50 ? "p50 " : "p99 ") + r.label);
+        out->append("<span class=\"dim\">worst interval " +
+                    HumanNs(worst * 1e6) + "</span>");
+        AppendSparkline(out, series, SeriesColor(i));
+      }
+    }
+  }
+  out->append("</section>");
+}
+
+void AppendSloSection(std::string* out,
+                      const std::vector<Recording>& recordings,
+                      const DashboardOptions& options) {
+  OpenSection(out, "slo", "SLO burn rates");
+  out->append("<p class=\"dim\">burn = observed error rate / allowed budget; "
+              "1.0 spends the budget exactly at the sustainable pace. "
+              "Windows: fast " + Fmt(options.slo.fast_window_s, 0) + "s / slow " +
+              Fmt(options.slo.slow_window_s, 0) + "s, alert at " +
+              Fmt(options.slo.alert_burn, 1) + "x on both.</p>");
+  out->append("<table><tr><th>recording</th><th>objective</th><th>target</th>"
+              "<th>compliance</th><th>burn (fast)</th><th>burn (slow)</th>"
+              "<th>status</th></tr>");
+  for (size_t i = 0; i < recordings.size(); ++i) {
+    const Recording& r = recordings[i];
+    const slo::SloReport report = slo::Evaluate(options.slo, r.samples);
+    for (const slo::ObjectiveStatus& status : report.objectives) {
+      out->append("<tr><td style=\"color:");
+      out->append(SeriesColor(i));
+      out->append("\">");
+      AppendHtmlEscaped(out, r.label);
+      out->append("</td><td>");
+      AppendHtmlEscaped(out, status.objective.name);
+      out->append("</td><td>" + Fmt(status.objective.target * 100.0, 2) +
+                  "% &le; " +
+                  HumanNs(static_cast<double>(status.objective.threshold_ns)) +
+                  "</td><td>" + Fmt(status.compliance * 100.0, 3) +
+                  "%</td><td>" + Fmt(status.fast.burn_rate, 2) + "</td><td>" +
+                  Fmt(status.slow.burn_rate, 2) + "</td><td>");
+      out->append(status.alerting ? "<b class=\"alert\">ALERT</b>"
+                                  : "<span class=\"ok\">ok</span>");
+      out->append("</td></tr>");
+    }
+  }
+  out->append("</table></section>");
+}
+
+void AppendHotnessSection(std::string* out,
+                          const std::vector<Recording>& recordings) {
+  OpenSection(out, "hotness", "Partition hotness (visits over the recording)");
+  bool any = false;
+  for (size_t i = 0; i < recordings.size(); ++i) {
+    const Recording& r = recordings[i];
+    std::map<uint32_t, uint64_t> visits;
+    uint32_t max_slot = 0;
+    for (const IntervalSample& s : r.samples) {
+      for (const tseries::HotDelta& hot : s.hot) {
+        visits[hot.slot] += hot.visits;
+        max_slot = std::max(max_slot, hot.slot);
+      }
+    }
+    if (visits.empty()) continue;
+    any = true;
+    uint64_t peak = 0;
+    for (const auto& [slot, v] : visits) peak = std::max(peak, v);
+    AppendLegendEntry(out, i, r.label);
+    out->append("<span class=\"dim\">" + std::to_string(visits.size()) +
+                " active partitions, hottest " + std::to_string(peak) +
+                " visits</span><br>");
+    const uint32_t slots = max_slot + 1;
+    const uint32_t cols = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(std::sqrt(slots))));
+    const uint32_t rows = (slots + cols - 1) / cols;
+    constexpr int kCell = 12;
+    out->append("<svg class=\"heatmap\" width=\"" +
+                std::to_string(cols * kCell) + "\" height=\"" +
+                std::to_string(rows * kCell) + "\">");
+    const double log_peak = std::log1p(static_cast<double>(peak));
+    for (const auto& [slot, v] : visits) {
+      const double intensity =
+          log_peak > 0.0 ? std::log1p(static_cast<double>(v)) / log_peak : 1.0;
+      const int red = 40 + static_cast<int>(215.0 * intensity);
+      const int green = 44 + static_cast<int>(40.0 * (1.0 - intensity));
+      const int blue = 80 - static_cast<int>(20.0 * intensity);
+      out->append(
+          "<rect class=\"hotcell\" x=\"" +
+          std::to_string((slot % cols) * kCell) + "\" y=\"" +
+          std::to_string((slot / cols) * kCell) + "\" width=\"11\" "
+          "height=\"11\" fill=\"rgb(" +
+          std::to_string(red) + "," + std::to_string(green) + "," +
+          std::to_string(blue) + ")\"><title>partition " +
+          std::to_string(slot) + ": " + std::to_string(v) +
+          " visits</title></rect>");
+    }
+    out->append("</svg>");
+  }
+  if (!any) {
+    out->append("<p class=\"dim\">no partition-hotness telemetry in these "
+                "recordings (record with a hotness-enabled serve)</p>");
+  }
+  out->append("</section>");
+}
+
+/// Baseline-vs-candidate diff: the first and last recordings. Rates and
+/// per-query counter costs, sorted by how much each counter moved — the
+/// "why" column next to the QPS/p99 "what".
+void AppendAttributionSection(std::string* out,
+                              const std::vector<Recording>& recordings) {
+  if (recordings.size() < 2) return;
+  const Recording& a = recordings.front();
+  const Recording& b = recordings.back();
+  OpenSection(out, "attribution",
+              "Attribution: " + a.label + " vs " + b.label);
+  const double sec_a = TotalSeconds(a), sec_b = TotalSeconds(b);
+  const double q_a = static_cast<double>(TotalQueries(a));
+  const double q_b = static_cast<double>(TotalQueries(b));
+  const double qps_a = sec_a > 0 ? q_a / sec_a : 0.0;
+  const double qps_b = sec_b > 0 ? q_b / sec_b : 0.0;
+  const auto pct = [](double from, double to) {
+    if (from <= 0.0) return std::string("&mdash;");
+    const double d = (to - from) / from * 100.0;
+    return std::string(d >= 0 ? "+" : "") + Fmt(d, 1) + "%";
+  };
+  out->append("<table><tr><th>signal</th><th>");
+  AppendHtmlEscaped(out, a.label);
+  out->append("</th><th>");
+  AppendHtmlEscaped(out, b.label);
+  out->append("</th><th>&Delta;</th></tr>");
+  out->append("<tr><td>QPS</td><td>" + Fmt(qps_a, 1) + "</td><td>" +
+              Fmt(qps_b, 1) + "</td><td>" + pct(qps_a, qps_b) + "</td></tr>");
+  std::vector<std::string> kinds = tseries::ActiveQueryKinds(a);
+  for (std::string& kind : tseries::ActiveQueryKinds(b)) {
+    kinds.push_back(std::move(kind));
+  }
+  std::sort(kinds.begin(), kinds.end());
+  kinds.erase(std::unique(kinds.begin(), kinds.end()), kinds.end());
+  for (const std::string& kind : kinds) {
+    const std::string hist = "query." + kind + ".latency_ns";
+    const double p99_a = AggregateHistogram(a, hist).Percentile(0.99);
+    const double p99_b = AggregateHistogram(b, hist).Percentile(0.99);
+    out->append("<tr><td>p99 ");
+    AppendHtmlEscaped(out, kind);
+    out->append("</td><td>" + HumanNs(p99_a) + "</td><td>" + HumanNs(p99_b) +
+                "</td><td>" + pct(p99_a, p99_b) + "</td></tr>");
+  }
+  out->append("</table>");
+
+  // Per-query counter costs, most-moved first: which work items grew or
+  // shrank between the runs.
+  std::set<std::string> names;
+  for (const Recording* r : {&a, &b}) {
+    for (const IntervalSample& s : r->samples) {
+      for (const auto& [name, value] : s.delta.counters) {
+        if (value != 0) names.insert(name);
+      }
+    }
+  }
+  struct Row {
+    std::string name;
+    double per_a, per_b, rel;
+  };
+  std::vector<Row> rows;
+  for (const std::string& name : names) {
+    const uint64_t total_a = CounterTotal(a, name);
+    const uint64_t total_b = CounterTotal(b, name);
+    if (total_a + total_b < 50) continue;  // noise floor
+    const double per_a = q_a > 0 ? static_cast<double>(total_a) / q_a : 0.0;
+    const double per_b = q_b > 0 ? static_cast<double>(total_b) / q_b : 0.0;
+    const double rel = per_a > 0.0 ? (per_b - per_a) / per_a
+                                   : (per_b > 0.0 ? 1e9 : 0.0);
+    rows.push_back({name, per_a, per_b, rel});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+    return std::fabs(x.rel) > std::fabs(y.rel);
+  });
+  constexpr size_t kMaxRows = 24;
+  out->append("<h3>per-query counter costs (most moved first)</h3>");
+  out->append("<table><tr><th>counter / query</th><th>");
+  AppendHtmlEscaped(out, a.label);
+  out->append("</th><th>");
+  AppendHtmlEscaped(out, b.label);
+  out->append("</th><th>&Delta;</th></tr>");
+  for (size_t i = 0; i < rows.size() && i < kMaxRows; ++i) {
+    const Row& row = rows[i];
+    out->append("<tr><td>");
+    AppendHtmlEscaped(out, row.name);
+    out->append("</td><td>" + Fmt(row.per_a, 2) + "</td><td>" +
+                Fmt(row.per_b, 2) + "</td><td>" + pct(row.per_a, row.per_b) +
+                "</td></tr>");
+  }
+  out->append("</table>");
+  if (rows.size() > kMaxRows) {
+    out->append("<p class=\"dim\">" + std::to_string(rows.size() - kMaxRows) +
+                " counters below the movement cut omitted</p>");
+  }
+  out->append("</section>");
+}
+
+}  // namespace
+
+std::string RenderDashboard(const std::vector<tseries::Recording>& recordings,
+                            const DashboardOptions& options) {
+  std::string out;
+  out.reserve(64 * 1024);
+  out.append("<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">");
+  out.append("<title>");
+  AppendHtmlEscaped(&out, options.title);
+  out.append("</title><style>"
+             "body{background:#10141c;color:#d8dee9;font:13px/1.5 "
+             "ui-monospace,monospace;margin:24px;max-width:960px}"
+             "h1{font-size:18px}h2{font-size:15px;border-bottom:1px solid "
+             "#2a3040;padding-bottom:4px;margin-top:28px}h3{font-size:13px;"
+             "color:#9aa4b2}"
+             "table{border-collapse:collapse;margin:8px 0}"
+             "td,th{border:1px solid #2a3040;padding:3px 10px;text-align:left}"
+             "th{color:#9aa4b2}"
+             "svg.spark{display:block;width:100%;height:72px;background:#161b26;"
+             "margin:2px 0 10px}"
+             "svg.heatmap{display:block;background:#161b26;margin:4px 0 12px}"
+             ".dim{color:#6b7485}.ctx{color:#6b7485;white-space:pre-wrap}"
+             ".alert{color:#ff5540}.ok{color:#7ee787}.key{font-weight:bold}"
+             "</style></head><body>\n<h1>");
+  AppendHtmlEscaped(&out, options.title);
+  out.append("</h1>");
+  if (recordings.empty()) {
+    out.append("<p class=\"dim\">no recordings</p></body></html>\n");
+    return out;
+  }
+  AppendSummary(&out, recordings);
+  AppendQpsSection(&out, recordings);
+  AppendLatencySection(&out, recordings);
+  AppendSloSection(&out, recordings, options);
+  AppendHotnessSection(&out, recordings);
+  AppendAttributionSection(&out, recordings);
+  out.append("</body></html>\n");
+  return out;
+}
+
+Status WriteDashboardFile(const std::vector<tseries::Recording>& recordings,
+                          const std::string& path,
+                          const DashboardOptions& options) {
+  const std::string html = RenderDashboard(recordings, options);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IOError("cannot open dashboard '" + path + "'");
+  }
+  const size_t written = std::fwrite(html.data(), 1, html.size(), out);
+  const bool bad = std::ferror(out) != 0 || written != html.size();
+  std::fclose(out);
+  return bad ? Status::IOError("dashboard write failed") : Status::OK();
+}
+
+}  // namespace dash
+}  // namespace indoor

@@ -1,0 +1,58 @@
+// Self-rendering performance dashboards over flight recordings.
+//
+// RenderDashboard turns one or more recordings (util/timeseries.h) into a
+// single self-contained HTML file: inline SVG sparklines (per-interval
+// QPS and per-kind p50/p95/p99), the SLO burn-rate section (util/slo.h),
+// a per-partition hotness heatmap, and — with two or more recordings — an
+// attribution table that diffs per-query counter costs against the
+// QPS/p99 deltas, so "scenario B is 2x slower" comes with "…and it
+// settles 3.1x more Dijkstra nodes per query" in the same view. No
+// external JS, no external CSS, no network: the file renders anywhere,
+// archives losslessly next to bench JSONs, and diffable runs stay
+// diffable years later.
+//
+// Pure file processing — works identically in -DINDOOR_METRICS=OFF
+// builds (which can load and render recordings made elsewhere, like the
+// registry report classes).
+
+#ifndef INDOOR_UTIL_DASHBOARD_H_
+#define INDOOR_UTIL_DASHBOARD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/slo.h"
+#include "util/status.h"
+#include "util/timeseries.h"
+
+namespace indoor {
+namespace dash {
+
+/// Rendering knobs.
+struct DashboardOptions {
+  /// Objectives for the SLO section (evaluated per recording).
+  slo::SloConfig slo = slo::DefaultSloConfig();
+  /// Page title.
+  std::string title = "indoor flight recording";
+};
+
+/// Appends `s` HTML-escaped (& < > " ') — recording labels and context
+/// are operator-supplied strings and are never emitted raw.
+void AppendHtmlEscaped(std::string* out, std::string_view s);
+
+/// Renders the dashboard HTML. Section ids: "summary", "qps", "latency",
+/// "slo", "hotness", and (with >= 2 recordings) "attribution" — the
+/// CI smoke validator keys on these.
+std::string RenderDashboard(const std::vector<tseries::Recording>& recordings,
+                            const DashboardOptions& options = {});
+
+/// RenderDashboard straight to a file.
+Status WriteDashboardFile(const std::vector<tseries::Recording>& recordings,
+                          const std::string& path,
+                          const DashboardOptions& options = {});
+
+}  // namespace dash
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_DASHBOARD_H_

@@ -34,12 +34,39 @@ HistogramSnapshot HistogramSnapshot::DeltaSince(
     const HistogramSnapshot& prev) const {
   HistogramSnapshot delta = *this;
   if (prev.buckets.size() != buckets.size()) return delta;  // not the same
-  delta.count -= std::min(prev.count, delta.count);
+  // A histogram whose total shrank was reset between the snapshots; the
+  // current snapshot IS the interval (everything since the reset).
+  // Subtracting would clamp every bucket to zero and erase real samples.
+  if (count < prev.count) return delta;
+  delta.count -= prev.count;
   delta.sum -= std::min(prev.sum, delta.sum);
   for (size_t i = 0; i < delta.buckets.size(); ++i) {
     delta.buckets[i] -= std::min(prev.buckets[i], delta.buckets[i]);
   }
   return delta;
+}
+
+double HistogramSnapshot::CountBelow(double value) const {
+  if (count == 0 || value < 0.0) return 0.0;
+  if (value >= static_cast<double>(max)) return static_cast<double>(count);
+  double below = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (i == 0) {  // bucket 0 holds exactly the value 0 <= value
+      below += static_cast<double>(buckets[i]);
+      continue;
+    }
+    const double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+    const double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+    if (value >= hi) {
+      below += static_cast<double>(buckets[i]);
+    } else if (value > lo) {
+      // The threshold lands inside this bucket: assume samples spread
+      // uniformly over [lo, hi), the same model Percentile() uses.
+      below += static_cast<double>(buckets[i]) * (value - lo) / (hi - lo);
+    }
+  }
+  return std::min(below, static_cast<double>(count));
 }
 
 double HistogramSnapshot::Percentile(double q) const {
@@ -168,7 +195,10 @@ RegistrySnapshot RegistrySnapshot::DeltaSince(
   for (auto& [name, value] : delta.counters) {
     while (j < prev.counters.size() && prev.counters[j].first < name) ++j;
     if (j < prev.counters.size() && prev.counters[j].first == name) {
-      value -= std::min(prev.counters[j].second, value);
+      // A counter reading below its previous snapshot was reset (or
+      // wrapped) during the interval; its current value is everything
+      // since the restart — report that, not a silent zero.
+      if (value >= prev.counters[j].second) value -= prev.counters[j].second;
     }
   }
   j = 0;

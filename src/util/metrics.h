@@ -168,11 +168,20 @@ struct HistogramSnapshot {
   /// recorded max bounds it from above in every report.
   double P999() const { return Percentile(0.999); }
 
+  /// Samples at or below `value`, with linear interpolation inside the
+  /// bucket `value` lands in — the SLO engine's "within threshold" count.
+  /// Returns `count` when value >= max.
+  double CountBelow(double value) const;
+
   /// Bucket-wise difference `*this - prev` (same instrument, earlier
   /// snapshot): count/sum/buckets subtract, so Percentile() on the result
   /// reports the interval's quantiles rather than lifetime ones. `max`
   /// keeps this snapshot's lifetime max (the per-bucket data cannot
   /// recover an interval max), which only loosens the p-clamp upward.
+  /// Restart-safe: when the instrument was reset during the interval
+  /// (this count < prev count), the current snapshot is returned as the
+  /// delta — everything since the reset — instead of clamping the
+  /// interval to zero activity.
   HistogramSnapshot DeltaSince(const HistogramSnapshot& prev) const;
 };
 
@@ -206,6 +215,9 @@ struct RegistrySnapshot {
   /// (they are point-in-time already). The result is what happened
   /// *during* the interval — QPS, hit rates, and interval p99s fall out
   /// of it directly instead of being diluted by lifetime totals.
+  /// Counter restarts (ResetAll, or a wrapped counter reading below its
+  /// previous snapshot) report the current value — everything since the
+  /// restart — rather than a silent zero, the Prometheus rate() rule.
   RegistrySnapshot DeltaSince(const RegistrySnapshot& prev) const;
 };
 

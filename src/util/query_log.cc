@@ -54,7 +54,10 @@ constexpr long kRecordCountOffset = 16;
 void AppendRecordJson(std::string* out, const QueryLogRecord& r) {
   out->append("{\"seq\": " + std::to_string(r.seq));
   out->append(", \"kind\": \"");
-  out->append(KindName(r.kind));
+  // KindName returns fixed identifiers today, but every string that lands
+  // inside JSON quotes goes through the escaper — the slow-query sink is a
+  // machine-read JSONL stream, and one unescaped byte corrupts the line.
+  metrics::AppendJsonEscaped(out, KindName(r.kind));
   out->append("\", \"batch\": " + std::to_string(r.batch_id));
   out->append(", \"thread\": " + std::to_string(r.thread_id));
   out->append(", \"start_us\": " + std::to_string(r.start_us));
@@ -94,7 +97,7 @@ void AppendRecordJson(std::string* out, const QueryLogRecord& r) {
     if (!first) out->append(", ");
     first = false;
     out->append("\"");
-    out->append(name);
+    metrics::AppendJsonEscaped(out, name);
     out->append("\"");
   };
   flag(kFlagSlow, "slow");

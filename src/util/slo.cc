@@ -1,0 +1,183 @@
+#include "util/slo.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace indoor {
+namespace slo {
+
+SloConfig DefaultSloConfig() {
+  SloConfig config;
+  config.objectives = {
+      {"range", "query.range.latency_ns", 5'000'000, 0.99},
+      {"knn", "query.knn.latency_ns", 5'000'000, 0.99},
+      {"pt2pt", "query.pt2pt_matrix.latency_ns", 2'000'000, 0.99},
+  };
+  return config;
+}
+
+namespace {
+
+/// "2ms" / "500us" / "1.5s" / "250000" (bare = ns) -> nanoseconds.
+bool ParseDuration(const std::string& text, uint64_t* out_ns) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) return false;
+  const std::string unit(end);
+  double scale = 1.0;
+  if (unit == "ns" || unit.empty()) {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  *out_ns = static_cast<uint64_t>(value * scale);
+  return true;
+}
+
+}  // namespace
+
+Result<SloConfig> ParseSloSpec(const std::string& spec) {
+  SloConfig config = DefaultSloConfig();
+  config.objectives.clear();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    const size_t at = item.find('@', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || eq == 0 || at == std::string::npos ||
+        at <= eq + 1 || at + 1 >= item.size()) {
+      return Status::InvalidArgument(
+          "bad SLO spec item '" + item +
+          "' (want name=THRESHOLD@TARGET, e.g. knn=2ms@0.99)");
+    }
+    LatencyObjective objective;
+    objective.name = item.substr(0, eq);
+    if (!ParseDuration(item.substr(eq + 1, at - eq - 1),
+                       &objective.threshold_ns) ||
+        objective.threshold_ns == 0) {
+      return Status::InvalidArgument("bad SLO threshold in '" + item +
+                                     "' (want e.g. 2ms, 500us, 250000)");
+    }
+    char* end = nullptr;
+    const std::string target_text = item.substr(at + 1);
+    objective.target = std::strtod(target_text.c_str(), &end);
+    if (end == target_text.c_str() || *end != '\0' ||
+        objective.target <= 0.0 || objective.target > 1.0) {
+      return Status::InvalidArgument("bad SLO target in '" + item +
+                                     "' (want a fraction in (0, 1])");
+    }
+    objective.histogram =
+        objective.name.find('.') != std::string::npos
+            ? objective.name
+            : "query." + objective.name + ".latency_ns";
+    config.objectives.push_back(std::move(objective));
+  }
+  if (config.objectives.empty()) {
+    return Status::InvalidArgument("SLO spec names no objectives");
+  }
+  return config;
+}
+
+namespace {
+
+/// Accumulates one objective over the trailing `window_s` seconds of the
+/// ring (walking newest to oldest until the window is covered).
+WindowBurn TallyWindow(const LatencyObjective& objective,
+                       const std::vector<tseries::IntervalSample>& samples,
+                       double window_s) {
+  WindowBurn burn;
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    if (burn.seconds >= window_s) break;
+    burn.seconds += static_cast<double>(it->duration_us) / 1e6;
+    const metrics::HistogramSnapshot* hist =
+        tseries::FindHistogram(it->delta, objective.histogram);
+    if (hist == nullptr || hist->count == 0) continue;
+    burn.total += static_cast<double>(hist->count);
+    burn.breaching +=
+        static_cast<double>(hist->count) -
+        hist->CountBelow(static_cast<double>(objective.threshold_ns));
+  }
+  burn.breaching = std::max(0.0, burn.breaching);
+  if (burn.total > 0.0) {
+    burn.error_rate = burn.breaching / burn.total;
+    const double budget = 1.0 - objective.target;
+    burn.burn_rate = budget > 0.0
+                         ? burn.error_rate / budget
+                         : (burn.breaching > 0.0 ? kInfiniteBurn : 0.0);
+    burn.burn_rate = std::min(burn.burn_rate, kInfiniteBurn);
+  }
+  return burn;
+}
+
+}  // namespace
+
+SloReport Evaluate(const SloConfig& config,
+                   const std::vector<tseries::IntervalSample>& samples) {
+  SloReport report;
+  report.objectives.reserve(config.objectives.size());
+  for (const LatencyObjective& objective : config.objectives) {
+    ObjectiveStatus status;
+    status.objective = objective;
+    status.fast = TallyWindow(objective, samples, config.fast_window_s);
+    status.slow = TallyWindow(objective, samples, config.slow_window_s);
+    status.compliance = 1.0 - status.slow.error_rate;
+    status.alerting = status.slow.total > 0.0 &&
+                      status.fast.burn_rate >= config.alert_burn &&
+                      status.slow.burn_rate >= config.alert_burn;
+    report.objectives.push_back(std::move(status));
+  }
+  return report;
+}
+
+bool SloReport::Alerting() const {
+  for (const ObjectiveStatus& status : objectives) {
+    if (status.alerting) return true;
+  }
+  return false;
+}
+
+void SloReport::WriteReport(std::FILE* out) const {
+  if (objectives.empty()) return;
+  std::fprintf(out, "slo:\n");
+  for (const ObjectiveStatus& status : objectives) {
+    const LatencyObjective& o = status.objective;
+    std::fprintf(out,
+                 "  %-12s target %.3f%% <= %.3fms  compliance %.3f%%  "
+                 "burn fast %.2f / slow %.2f  (n=%.0f)%s\n",
+                 o.name.c_str(), o.target * 100.0,
+                 static_cast<double>(o.threshold_ns) / 1e6,
+                 status.compliance * 100.0, status.fast.burn_rate,
+                 status.slow.burn_rate, status.slow.total,
+                 status.alerting ? "  ALERT" : "");
+  }
+}
+
+void PublishGauges(const SloReport& report) {
+#ifdef INDOOR_METRICS_ENABLED
+  // Dynamic gauge names: go through the registry directly (the macros
+  // cache per-site statics, which would pin the first objective's name).
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  for (const ObjectiveStatus& status : report.objectives) {
+    const std::string prefix = "slo." + status.objective.name;
+    registry.GetGauge(prefix + ".burn_fast").Set(status.fast.burn_rate);
+    registry.GetGauge(prefix + ".burn_slow").Set(status.slow.burn_rate);
+    registry.GetGauge(prefix + ".compliance").Set(status.compliance);
+  }
+#else
+  (void)report;
+#endif
+}
+
+}  // namespace slo
+}  // namespace indoor

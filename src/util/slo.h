@@ -1,0 +1,122 @@
+// Declarative service-level objectives with multi-window burn rates.
+//
+// An objective says "fraction `target` of <kind> queries complete within
+// `threshold_ns`" (e.g. 99% of kNN queries under 2 ms). The engine
+// evaluates objectives over a flight-recorder ring (util/timeseries.h):
+// for a fast and a slow trailing window it sums the interval histogram
+// deltas of the objective's latency histogram, estimates the breaching
+// count with HistogramSnapshot::CountBelow, and reports the BURN RATE —
+// the observed error fraction divided by the allowed error budget
+// (1 - target). Burn 1.0 consumes the budget exactly at the sustainable
+// pace; burn 10 exhausts a day of budget in ~2.4 hours. An objective
+// ALERTS when both windows burn at or above `alert_burn` — the standard
+// two-window rule: the slow window proves the problem is real, the fast
+// window proves it is still happening (Google SRE workbook, ch. 5).
+//
+// `serve --report` prints the SloReport each interval; the per-objective
+// burn/compliance gauges (`slo.*`) are the admission-control signal that
+// ROADMAP item 1's load shedding will consume. Evaluation is pure
+// arithmetic over recordings, so it works in metrics-OFF builds too
+// (where it only ever sees recordings made elsewhere).
+
+#ifndef INDOOR_UTIL_SLO_H_
+#define INDOOR_UTIL_SLO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/timeseries.h"
+
+namespace indoor {
+namespace slo {
+
+/// One latency objective over a registry histogram.
+struct LatencyObjective {
+  /// Display name; also the `slo.<name>.*` gauge component.
+  std::string name;
+  /// The latency histogram it constrains (e.g. "query.knn.latency_ns").
+  std::string histogram;
+  /// Samples at or under this are good.
+  uint64_t threshold_ns = 0;
+  /// Target good fraction in (0, 1], e.g. 0.99.
+  double target = 0.99;
+};
+
+/// A set of objectives plus the evaluation windows.
+struct SloConfig {
+  std::vector<LatencyObjective> objectives;
+  /// Trailing fast window ("is it still happening") in seconds.
+  double fast_window_s = 10.0;
+  /// Trailing slow window ("is it real") in seconds.
+  double slow_window_s = 60.0;
+  /// Both windows must burn at or above this to alert.
+  double alert_burn = 4.0;
+};
+
+/// The default serving objectives (range/knn/pt2pt; thresholds
+/// documented in docs/OBSERVABILITY.md).
+SloConfig DefaultSloConfig();
+
+/// Parses "name=THRESHOLD@TARGET[,name=...]" (e.g.
+/// "knn=2ms@0.999,range=5ms@0.99,query.pt2pt_matrix.latency_ns=500us@0.99").
+/// THRESHOLD takes ns/us/ms/s suffixes (bare numbers are nanoseconds).
+/// A name without a '.' maps to histogram "query.<name>.latency_ns";
+/// a dotted name is used as the histogram name verbatim.
+Result<SloConfig> ParseSloSpec(const std::string& spec);
+
+/// One objective's tally over one trailing window.
+struct WindowBurn {
+  /// Window length actually covered by ring samples (may be shorter than
+  /// configured on a young ring).
+  double seconds = 0.0;
+  /// Samples observed / estimated breaching the threshold.
+  double total = 0.0;
+  double breaching = 0.0;
+  /// breaching / total (0 on an idle window).
+  double error_rate = 0.0;
+  /// error_rate / (1 - target); a target of 1.0 makes any breach burn
+  /// at kInfiniteBurn.
+  double burn_rate = 0.0;
+};
+
+/// Burn rate reported when the error budget is zero and breached.
+inline constexpr double kInfiniteBurn = 1e9;
+
+/// One evaluated objective.
+struct ObjectiveStatus {
+  LatencyObjective objective;
+  WindowBurn fast;
+  WindowBurn slow;
+  /// Good fraction over the slow window (1.0 when idle).
+  double compliance = 1.0;
+  /// Both windows burning at or above SloConfig::alert_burn.
+  bool alerting = false;
+};
+
+/// The full evaluation; what `serve --report` prints.
+struct SloReport {
+  std::vector<ObjectiveStatus> objectives;
+
+  /// True when any objective alerts — the load-shedding signal.
+  bool Alerting() const;
+
+  /// One line per objective: compliance, fast/slow burn, ALERT marker.
+  void WriteReport(std::FILE* out) const;
+};
+
+/// Evaluates `config` over the trailing windows of `samples` (a
+/// flight-recorder ring or a loaded recording, oldest first).
+SloReport Evaluate(const SloConfig& config,
+                   const std::vector<tseries::IntervalSample>& samples);
+
+/// Publishes `slo.<name>.burn_fast` / `.burn_slow` / `.compliance`
+/// gauges for every objective (no-op under -DINDOOR_METRICS=OFF).
+void PublishGauges(const SloReport& report);
+
+}  // namespace slo
+}  // namespace indoor
+
+#endif  // INDOOR_UTIL_SLO_H_

@@ -1,0 +1,191 @@
+// The dashboard renderer (util/dashboard.h): section inventory, the
+// SVG sparkline/heatmap markers the CI smoke validator keys on, and the
+// HTML escaping of operator-supplied labels and context.
+
+#include "util/dashboard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/timeseries.h"
+
+namespace indoor {
+namespace dash {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+metrics::HistogramSnapshot MakeHist(const std::string& name,
+                                    const std::vector<uint64_t>& values) {
+  metrics::Histogram h;
+  for (uint64_t v : values) h.Record(v);
+  metrics::HistogramSnapshot s;
+  s.name = name;
+  s.count = h.Count();
+  s.sum = h.Sum();
+  s.max = h.Max();
+  s.buckets.resize(metrics::Histogram::kNumBuckets);
+  for (size_t i = 0; i < s.buckets.size(); ++i) s.buckets[i] = h.BucketCount(i);
+  return s;
+}
+
+/// A recording with `intervals` one-second samples of knn traffic plus
+/// hotness on partitions 0..3.
+tseries::Recording MakeRecording(const std::string& label, size_t intervals,
+                                 uint64_t latency_ns) {
+  tseries::Recording recording;
+  recording.label = label;
+  recording.interval_ms = 1000;
+  recording.context = "source=dashboard_test\n";
+  for (size_t i = 0; i < intervals; ++i) {
+    tseries::IntervalSample sample;
+    sample.index = i;
+    sample.start_us = i * 1'000'000;
+    sample.duration_us = 1'000'000;
+    sample.delta.counters = {
+        {"distance.dijkstra.settles", 100 + i},
+    };
+    sample.delta.histograms.push_back(MakeHist(
+        "query.knn.latency_ns",
+        {latency_ns, latency_ns * 2, latency_ns * 3, latency_ns * 4}));
+    sample.hot = {{0, 5, 50}, {1, 2, 20}, {3, 9, 90}};
+    recording.samples.push_back(std::move(sample));
+  }
+  return recording;
+}
+
+TEST(RenderDashboardTest, SingleRecordingHasEverySectionButAttribution) {
+  const std::string html = RenderDashboard({MakeRecording("run-a", 4, 50'000)});
+  for (const char* id : {"summary", "qps", "latency", "slo", "hotness"}) {
+    EXPECT_NE(html.find("<section id=\"" + std::string(id) + "\""),
+              std::string::npos)
+        << id;
+  }
+  EXPECT_EQ(html.find("<section id=\"attribution\""), std::string::npos);
+  // Self-contained: no external fetches of any kind.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("href="), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+}
+
+TEST(RenderDashboardTest, TwoRecordingsAddTheAttributionDiff) {
+  const std::string html = RenderDashboard({
+      MakeRecording("baseline", 4, 50'000),
+      MakeRecording("candidate", 4, 200'000),
+  });
+  EXPECT_NE(html.find("<section id=\"attribution\""), std::string::npos);
+  // The diff names both runs and the per-query cost table.
+  EXPECT_NE(html.find("baseline"), std::string::npos);
+  EXPECT_NE(html.find("candidate"), std::string::npos);
+  EXPECT_NE(html.find("per-query counter costs"), std::string::npos);
+  EXPECT_NE(html.find("distance.dijkstra.settles"), std::string::npos);
+}
+
+TEST(RenderDashboardTest, SparklinesCarryNonEmptyPaths) {
+  const std::string html = RenderDashboard({MakeRecording("run-a", 4, 50'000)});
+  // One QPS sparkline plus p50/p99 for the one active kind.
+  EXPECT_EQ(CountOccurrences(html, "class=\"sparkline\""), 3u);
+  // Every sparkline path starts with a moveto — never an empty d="".
+  EXPECT_EQ(html.find("d=\"\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(html, "d=\"M"), 3u);
+}
+
+TEST(RenderDashboardTest, HotnessRendersOneCellPerActivePartition) {
+  const std::string html = RenderDashboard({MakeRecording("run-a", 4, 50'000)});
+  EXPECT_EQ(CountOccurrences(html, "class=\"hotcell\""), 3u);  // slots 0, 1, 3
+  EXPECT_NE(html.find("3 active partitions"), std::string::npos);
+
+  tseries::Recording cold = MakeRecording("cold", 2, 50'000);
+  for (auto& sample : cold.samples) sample.hot.clear();
+  const std::string no_hot = RenderDashboard({cold});
+  EXPECT_EQ(no_hot.find("class=\"hotcell\""), std::string::npos);
+  EXPECT_NE(no_hot.find("no partition-hotness telemetry"), std::string::npos);
+}
+
+TEST(RenderDashboardTest, EscapesHostileLabelsContextAndTitle) {
+  tseries::Recording recording = MakeRecording("run-a", 2, 50'000);
+  recording.label = "<script>alert('pwn')</script>";
+  recording.context = "plan=/tmp/\"quoted\" & <dangerous>\n";
+  DashboardOptions options;
+  options.title = "bench <b>\"title\"</b>";
+  const std::string html = RenderDashboard({recording}, options);
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;alert(&#39;pwn&#39;)&lt;/script&gt;"),
+            std::string::npos);
+  EXPECT_EQ(html.find("<dangerous>"), std::string::npos);
+  EXPECT_NE(html.find("&quot;quoted&quot; &amp; &lt;dangerous&gt;"),
+            std::string::npos);
+  EXPECT_EQ(html.find("<b>\"title\""), std::string::npos);
+  EXPECT_NE(html.find("bench &lt;b&gt;&quot;title&quot;&lt;/b&gt;"),
+            std::string::npos);
+}
+
+TEST(RenderDashboardTest, SloSectionReflectsTheObjectives) {
+  // 50 us traffic against the default 5 ms objectives: compliant.
+  const std::string good = RenderDashboard({MakeRecording("ok", 4, 50'000)});
+  EXPECT_NE(good.find("class=\"ok\""), std::string::npos);
+  EXPECT_EQ(good.find("ALERT"), std::string::npos);
+
+  // 100 ms traffic breaches hard and alerts on both windows.
+  const std::string bad =
+      RenderDashboard({MakeRecording("bad", 4, 100'000'000)});
+  EXPECT_NE(bad.find("ALERT"), std::string::npos);
+}
+
+TEST(RenderDashboardTest, EmptyInputsStillRenderValidPages) {
+  const std::string none = RenderDashboard({});
+  EXPECT_NE(none.find("no recordings"), std::string::npos);
+  EXPECT_NE(none.find("</html>"), std::string::npos);
+
+  tseries::Recording idle;
+  idle.label = "idle";
+  idle.interval_ms = 250;
+  const std::string quiet = RenderDashboard({idle});
+  EXPECT_NE(quiet.find("<section id=\"latency\""), std::string::npos);
+  EXPECT_NE(quiet.find("no query latency histograms"), std::string::npos);
+  EXPECT_NE(quiet.find("</html>"), std::string::npos);
+}
+
+TEST(AppendHtmlEscapedTest, EscapesEveryDangerousCharacter) {
+  std::string out;
+  AppendHtmlEscaped(&out, "a&b<c>d\"e'f plain");
+  EXPECT_EQ(out, "a&amp;b&lt;c&gt;d&quot;e&#39;f plain");
+}
+
+TEST(WriteDashboardFileTest, WritesTheRenderedHtml) {
+  const std::string path = TempPath("dash.html");
+  ASSERT_TRUE(
+      WriteDashboardFile({MakeRecording("run-a", 2, 50'000)}, path).ok());
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::string html;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) html.append(buf, n);
+  std::fclose(in);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("<section id=\"summary\""), std::string::npos);
+
+  EXPECT_FALSE(
+      WriteDashboardFile({}, TempPath("missing/dir/dash.html")).ok());
+}
+
+}  // namespace
+}  // namespace dash
+}  // namespace indoor

@@ -344,6 +344,72 @@ TEST(RegistrySnapshotTest, DeltaSinceSubtractsCounters) {
   EXPECT_EQ(value, 7u);
 }
 
+TEST(HistogramSnapshotTest, DeltaAfterResetReportsEverythingSinceRestart) {
+  // The Prometheus rate() rule: a reading below the previous snapshot
+  // means the instrument restarted, and the interval's truth is the
+  // current value — not a silent all-zero delta that would hide every
+  // query the interval actually served.
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(100);
+  const HistogramSnapshot before = Snap(h);
+  h.Reset();
+  h.Record(7);
+  h.Record(9);
+  const HistogramSnapshot delta = Snap(h).DeltaSince(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 16u);
+  EXPECT_GT(delta.Percentile(0.5), 0.0);
+  EXPECT_LE(delta.Percentile(0.99), 16.0);
+}
+
+TEST(HistogramSnapshotTest, EmptyIntervalPercentileIsZero) {
+  // A delta over an idle interval has count 0 even though the lifetime
+  // snapshot carries a max; percentiles must report 0, not the stale max.
+  Histogram h;
+  h.Record(1000000);
+  const HistogramSnapshot before = Snap(h);
+  const HistogramSnapshot delta = Snap(h).DeltaSince(before);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_DOUBLE_EQ(delta.Percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(delta.Mean(), 0.0);
+}
+
+TEST(RegistrySnapshotTest, CounterResetReportsCurrentValue) {
+  // Counter wraparound / ResetAll between snapshots: current < previous
+  // must yield the current reading (everything since the restart), never
+  // a wrapped negative masquerading as a huge unsigned delta or a zero.
+  RegistrySnapshot before;
+  before.counters = {{"test.wrap", 1000}};
+  RegistrySnapshot after;
+  after.counters = {{"test.wrap", 12}};
+  const RegistrySnapshot delta = after.DeltaSince(before);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].second, 12u);
+}
+
+TEST(HistogramSnapshotTest, CountBelowInterpolatesWithinBuckets) {
+  Histogram h;
+  h.Record(0);
+  for (int i = 0; i < 10; ++i) h.Record(6);  // bucket [4, 8)
+  h.Record(1000);
+  const HistogramSnapshot s = Snap(h);
+  // Everything at or below the max counts fully.
+  EXPECT_DOUBLE_EQ(s.CountBelow(1000.0), 12.0);
+  EXPECT_DOUBLE_EQ(s.CountBelow(1e12), 12.0);
+  // Zero catches exactly bucket 0.
+  EXPECT_DOUBLE_EQ(s.CountBelow(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CountBelow(-1.0), 0.0);
+  // A threshold inside [4, 8) takes a linear fraction of that bucket.
+  const double mid = s.CountBelow(6.0);
+  EXPECT_GT(mid, 1.0);
+  EXPECT_LT(mid, 11.0);
+  // Above the bucket, all 11 of {0, 6 x10} are below.
+  EXPECT_DOUBLE_EQ(s.CountBelow(8.0), 11.0);
+  // Monotone in the threshold.
+  EXPECT_LE(s.CountBelow(4.0), s.CountBelow(5.0));
+  EXPECT_LE(s.CountBelow(5.0), s.CountBelow(8.0));
+}
+
 // --------------------------------------------------------------- trace spans
 
 TEST(TraceTest, SpansRecordIntoActiveTrace) {

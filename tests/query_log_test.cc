@@ -68,6 +68,42 @@ TEST(AppendRecordJsonTest, EmitsKindSpecificFields) {
   EXPECT_NE(json.find("\"host\": null"), std::string::npos);
 }
 
+TEST(AppendRecordJsonTest, EveryKindAndFlagComboStaysOneCleanLine) {
+  // The slow sink is a machine-read JSONL stream: one record, one line,
+  // every string escaped. Sweep every kind byte (including out-of-range
+  // ones a corrupted capture could replay) and every flag combination
+  // and check line integrity structurally.
+  for (int kind = 0; kind < 8; ++kind) {
+    for (int flags = 0; flags < 4; ++flags) {
+      QueryLogRecord r;
+      r.seq = 1;
+      r.kind = static_cast<uint8_t>(kind);
+      r.flags = static_cast<uint8_t>(flags);
+      std::string json;
+      AppendRecordJson(&json, r);
+      SCOPED_TRACE("kind=" + std::to_string(kind) +
+                   " flags=" + std::to_string(flags));
+      EXPECT_EQ(json.find('\n'), std::string::npos);
+      EXPECT_EQ(json.find('\r'), std::string::npos);
+      // Balanced structure: quotes pair up (AppendJsonEscaped guarantees
+      // none of the emitted names can smuggle a raw quote), braces nest.
+      size_t quotes = 0;
+      int depth = 0;
+      bool ok = true;
+      for (size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '\\') { ++i; continue; }
+        if (json[i] == '"') ++quotes;
+        if (quotes % 2 == 1) continue;  // inside a string
+        if (json[i] == '{') ++depth;
+        if (json[i] == '}') ok = ok && --depth >= 0;
+      }
+      EXPECT_TRUE(ok);
+      EXPECT_EQ(depth, 0);
+      EXPECT_EQ(quotes % 2, 0u);
+    }
+  }
+}
+
 // -------------------------------------------------------- snapshot trailer
 
 TEST(SnapshotTextTest, RoundTripsEveryInstrumentKind) {

@@ -1,0 +1,270 @@
+// The SLO engine (util/slo.h): spec parsing, multi-window burn-rate
+// evaluation over hand-built flight-recorder rings, the two-window alert
+// rule, and gauge publication.
+
+#include "util/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/timeseries.h"
+
+namespace indoor {
+namespace slo {
+namespace {
+
+/// A HistogramSnapshot named `name` over explicit latency values.
+metrics::HistogramSnapshot MakeHist(const std::string& name,
+                                    const std::vector<uint64_t>& values) {
+  metrics::Histogram h;
+  for (uint64_t v : values) h.Record(v);
+  metrics::HistogramSnapshot s;
+  s.name = name;
+  s.count = h.Count();
+  s.sum = h.Sum();
+  s.max = h.Max();
+  s.buckets.resize(metrics::Histogram::kNumBuckets);
+  for (size_t i = 0; i < s.buckets.size(); ++i) s.buckets[i] = h.BucketCount(i);
+  return s;
+}
+
+/// One 10-second interval whose `query.knn.latency_ns` delta holds
+/// `count` samples of `latency_ns` each.
+tseries::IntervalSample KnnInterval(uint64_t index, uint64_t latency_ns,
+                                    uint64_t count) {
+  tseries::IntervalSample sample;
+  sample.index = index;
+  sample.start_us = index * 10'000'000;
+  sample.duration_us = 10'000'000;
+  sample.delta.histograms.push_back(MakeHist(
+      "query.knn.latency_ns", std::vector<uint64_t>(count, latency_ns)));
+  return sample;
+}
+
+/// A single-objective config: 99% of knn under 1 ms, fast 10 s / slow
+/// 60 s windows, the default 4x alert burn.
+SloConfig KnnConfig() {
+  SloConfig config;
+  config.objectives = {{"knn", "query.knn.latency_ns", 1'000'000, 0.99}};
+  return config;
+}
+
+std::string ReportText(const SloReport& report) {
+  std::FILE* f = std::tmpfile();
+  report.WriteReport(f);
+  std::rewind(f);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+// ------------------------------------------------------------------ parsing
+
+TEST(ParseSloSpecTest, ParsesMultipleObjectivesWithUnits) {
+  auto parsed = ParseSloSpec(
+      "knn=2ms@0.999,range=500us@0.99,query.pt2pt_matrix.latency_ns=1s@0.9,"
+      "scan=250000@0.5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& objectives = parsed->objectives;
+  ASSERT_EQ(objectives.size(), 4u);
+  EXPECT_EQ(objectives[0].name, "knn");
+  EXPECT_EQ(objectives[0].histogram, "query.knn.latency_ns");
+  EXPECT_EQ(objectives[0].threshold_ns, 2'000'000u);
+  EXPECT_DOUBLE_EQ(objectives[0].target, 0.999);
+  EXPECT_EQ(objectives[1].threshold_ns, 500'000u);
+  // A dotted name is a histogram name verbatim, not a query kind.
+  EXPECT_EQ(objectives[2].name, "query.pt2pt_matrix.latency_ns");
+  EXPECT_EQ(objectives[2].histogram, "query.pt2pt_matrix.latency_ns");
+  EXPECT_EQ(objectives[2].threshold_ns, 1'000'000'000u);
+  // Bare numbers are nanoseconds.
+  EXPECT_EQ(objectives[3].threshold_ns, 250'000u);
+  // Windows keep their defaults.
+  EXPECT_DOUBLE_EQ(parsed->fast_window_s, 10.0);
+  EXPECT_DOUBLE_EQ(parsed->slow_window_s, 60.0);
+}
+
+TEST(ParseSloSpecTest, RejectsMalformedSpecs) {
+  const auto empty = ParseSloSpec("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("no objectives"), std::string::npos);
+
+  EXPECT_FALSE(ParseSloSpec("knn").ok());          // no threshold/target
+  EXPECT_FALSE(ParseSloSpec("=2ms@0.9").ok());     // empty name
+  EXPECT_FALSE(ParseSloSpec("knn=2ms").ok());      // no target
+  EXPECT_FALSE(ParseSloSpec("knn=zz@0.9").ok());   // unparsable threshold
+  EXPECT_FALSE(ParseSloSpec("knn=2banana@0.9").ok());  // unknown unit
+  EXPECT_FALSE(ParseSloSpec("knn=0@0.9").ok());    // zero threshold
+  EXPECT_FALSE(ParseSloSpec("knn=2ms@0").ok());    // target out of (0, 1]
+  EXPECT_FALSE(ParseSloSpec("knn=2ms@1.5").ok());
+  EXPECT_FALSE(ParseSloSpec("knn=2ms@x").ok());
+  // One bad item poisons the whole spec (a silently dropped objective
+  // would be an SLO that never alerts).
+  EXPECT_FALSE(ParseSloSpec("knn=2ms@0.99,bad").ok());
+}
+
+TEST(ParseSloSpecTest, DefaultConfigCoversTheServingKinds) {
+  const SloConfig config = DefaultSloConfig();
+  ASSERT_EQ(config.objectives.size(), 3u);
+  for (const LatencyObjective& o : config.objectives) {
+    EXPECT_GT(o.threshold_ns, 0u);
+    EXPECT_GT(o.target, 0.0);
+    EXPECT_LE(o.target, 1.0);
+    EXPECT_EQ(o.histogram.rfind("query.", 0), 0u) << o.histogram;
+  }
+}
+
+// --------------------------------------------------------------- evaluation
+
+TEST(EvaluateTest, HealthyServiceBurnsNothing) {
+  std::vector<tseries::IntervalSample> ring;
+  for (uint64_t i = 0; i < 6; ++i) {
+    ring.push_back(KnnInterval(i, /*latency_ns=*/50'000, /*count=*/100));
+  }
+  const SloReport report = Evaluate(KnnConfig(), ring);
+  ASSERT_EQ(report.objectives.size(), 1u);
+  const ObjectiveStatus& status = report.objectives[0];
+  EXPECT_DOUBLE_EQ(status.fast.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(status.slow.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(status.compliance, 1.0);
+  EXPECT_DOUBLE_EQ(status.slow.total, 600.0);
+  // The fast window only reaches the newest sample (10 s of a 10 s window).
+  EXPECT_DOUBLE_EQ(status.fast.total, 100.0);
+  EXPECT_FALSE(status.alerting);
+  EXPECT_FALSE(report.Alerting());
+  EXPECT_EQ(ReportText(report).find("ALERT"), std::string::npos);
+}
+
+TEST(EvaluateTest, SustainedBreachAlertsOnBothWindows) {
+  std::vector<tseries::IntervalSample> ring;
+  for (uint64_t i = 0; i < 6; ++i) {
+    // Every query at 100 ms against a 1 ms threshold: error rate 1.0,
+    // burn 1.0 / 0.01 = 100 on both windows.
+    ring.push_back(KnnInterval(i, /*latency_ns=*/100'000'000, /*count=*/100));
+  }
+  const SloReport report = Evaluate(KnnConfig(), ring);
+  const ObjectiveStatus& status = report.objectives[0];
+  EXPECT_NEAR(status.fast.error_rate, 1.0, 1e-9);
+  EXPECT_NEAR(status.fast.burn_rate, 100.0, 1e-6);
+  EXPECT_NEAR(status.slow.burn_rate, 100.0, 1e-6);
+  EXPECT_NEAR(status.compliance, 0.0, 1e-9);
+  EXPECT_TRUE(status.alerting);
+  EXPECT_TRUE(report.Alerting());
+  EXPECT_NE(ReportText(report).find("ALERT"), std::string::npos);
+}
+
+TEST(EvaluateTest, RecoveredBreachDoesNotAlert) {
+  // Five bad old intervals, one good new one: the slow window still
+  // burns (the problem was real) but the fast window is clean (it is
+  // over) — the two-window rule must stay quiet.
+  std::vector<tseries::IntervalSample> ring;
+  for (uint64_t i = 0; i < 5; ++i) {
+    ring.push_back(KnnInterval(i, 100'000'000, 100));
+  }
+  ring.push_back(KnnInterval(5, 50'000, 100));
+  const SloReport report = Evaluate(KnnConfig(), ring);
+  const ObjectiveStatus& status = report.objectives[0];
+  EXPECT_DOUBLE_EQ(status.fast.burn_rate, 0.0);
+  EXPECT_GE(status.slow.burn_rate, 4.0);
+  EXPECT_FALSE(status.alerting);
+}
+
+TEST(EvaluateTest, FreshBreachAlertsOnlyOnceTheSlowWindowAgrees) {
+  // One bad new interval after five good ones: fast burns hard, slow
+  // dilutes it to 1/6 of the error — at burn ~16 both windows still
+  // agree; shrink the bad share to one interval in sixty and slow alone
+  // must hold the alert back.
+  std::vector<tseries::IntervalSample> ring;
+  for (uint64_t i = 0; i < 5; ++i) ring.push_back(KnnInterval(i, 50'000, 100));
+  ring.push_back(KnnInterval(5, 100'000'000, 100));
+  SloConfig config = KnnConfig();
+  config.alert_burn = 20.0;  // slow window burns ~16.7: below the bar
+  const SloReport strict = Evaluate(config, ring);
+  EXPECT_GE(strict.objectives[0].fast.burn_rate, 20.0);
+  EXPECT_LT(strict.objectives[0].slow.burn_rate, 20.0);
+  EXPECT_FALSE(strict.objectives[0].alerting);
+
+  config.alert_burn = 4.0;  // both windows over the default bar
+  const SloReport lax = Evaluate(config, ring);
+  EXPECT_TRUE(lax.objectives[0].alerting);
+}
+
+TEST(EvaluateTest, IdleRingIsCompliantAndQuiet) {
+  std::vector<tseries::IntervalSample> ring;
+  tseries::IntervalSample sample;
+  sample.duration_us = 10'000'000;
+  sample.delta.histograms.push_back(MakeHist("query.range.latency_ns", {500}));
+  ring.push_back(sample);  // activity, but none for the knn objective
+  const SloReport report = Evaluate(KnnConfig(), ring);
+  const ObjectiveStatus& status = report.objectives[0];
+  EXPECT_DOUBLE_EQ(status.fast.total, 0.0);
+  EXPECT_DOUBLE_EQ(status.slow.total, 0.0);
+  EXPECT_DOUBLE_EQ(status.fast.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(status.compliance, 1.0);
+  EXPECT_FALSE(status.alerting);
+
+  const SloReport empty = Evaluate(KnnConfig(), {});
+  EXPECT_FALSE(empty.Alerting());
+  EXPECT_DOUBLE_EQ(empty.objectives[0].slow.seconds, 0.0);
+}
+
+TEST(EvaluateTest, ZeroErrorBudgetBurnsInfinitelyOnAnyBreach) {
+  SloConfig config = KnnConfig();
+  config.objectives[0].target = 1.0;  // no budget at all
+  std::vector<tseries::IntervalSample> ring;
+  ring.push_back(KnnInterval(0, 100'000'000, 10));
+  const SloReport report = Evaluate(config, ring);
+  EXPECT_DOUBLE_EQ(report.objectives[0].fast.burn_rate, kInfiniteBurn);
+  EXPECT_TRUE(report.objectives[0].alerting);
+
+  // ...but a clean zero-budget objective does not burn.
+  ring.clear();
+  ring.push_back(KnnInterval(0, 50'000, 10));
+  const SloReport clean = Evaluate(config, ring);
+  EXPECT_DOUBLE_EQ(clean.objectives[0].fast.burn_rate, 0.0);
+  EXPECT_FALSE(clean.objectives[0].alerting);
+}
+
+TEST(EvaluateTest, WindowsOnlyReachBackAsFarAsConfigured) {
+  // 12 intervals of 10 s each; the slow 60 s window must tally exactly
+  // the newest six and ignore the breaching ancient history.
+  std::vector<tseries::IntervalSample> ring;
+  for (uint64_t i = 0; i < 6; ++i) {
+    ring.push_back(KnnInterval(i, 100'000'000, 100));  // ancient, bad
+  }
+  for (uint64_t i = 6; i < 12; ++i) {
+    ring.push_back(KnnInterval(i, 50'000, 100));  // recent, good
+  }
+  const SloReport report = Evaluate(KnnConfig(), ring);
+  const ObjectiveStatus& status = report.objectives[0];
+  EXPECT_DOUBLE_EQ(status.slow.total, 600.0);
+  EXPECT_DOUBLE_EQ(status.slow.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(status.compliance, 1.0);
+}
+
+// ------------------------------------------------------------------- gauges
+
+#ifdef INDOOR_METRICS_ENABLED
+TEST(PublishGaugesTest, PublishesPerObjectiveGauges) {
+  std::vector<tseries::IntervalSample> ring;
+  ring.push_back(KnnInterval(0, 100'000'000, 100));
+  SloConfig config = KnnConfig();
+  config.objectives[0].name = "testslo";
+  const SloReport report = Evaluate(config, ring);
+  PublishGauges(report);
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  EXPECT_NEAR(registry.GetGauge("slo.testslo.burn_fast").Value(), 100.0, 1e-6);
+  EXPECT_NEAR(registry.GetGauge("slo.testslo.burn_slow").Value(), 100.0, 1e-6);
+  EXPECT_NEAR(registry.GetGauge("slo.testslo.compliance").Value(), 0.0, 1e-9);
+}
+#endif  // INDOOR_METRICS_ENABLED
+
+}  // namespace
+}  // namespace slo
+}  // namespace indoor

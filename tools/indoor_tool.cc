@@ -39,10 +39,13 @@
 #include "gen/object_generator.h"
 #include "gen/query_generator.h"
 #include "indoor/floor_plan_io.h"
+#include "util/dashboard.h"
 #include "util/metrics.h"
 #include "util/query_log.h"
+#include "util/slo.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/timeseries.h"
 #include "util/trace_export.h"
 
 using namespace indoor;
@@ -71,13 +74,16 @@ int Usage() {
       "                    [--cache on|off] [--quantum Q] [--seed S]\n"
       "                    [--move-rate R] [--move-batch M]\n"
       "                    [--query-log F] [--slow-ms MS] [--report N]\n"
-      "                    [--trace-out F] [--trace-sample N]\n"
+      "                    [--record F] [--record-interval-ms N]\n"
+      "                    [--slo SPEC] [--trace-out F] [--trace-sample N]\n"
       "                    [--load F.idx | --load-mmap F.idx] [--hierarchy]\n"
       "                    [--knn-approx] [--candidates F]\n"
       "                    [--landmark-count N]\n"
       "  indoor_tool replay CAPTURE [--plan PLAN] [--threads N]\n"
       "                    [--speed X] [--cache on|off]\n"
       "                    [--load F.idx | --load-mmap F.idx]\n"
+      "  indoor_tool dashboard REC [REC...] [--out F.html] [--slo SPEC]\n"
+      "                    [--title T]\n"
       "\n"
       "  --threads N        worker threads for matrix precomputation\n"
       "                     (default 1 = sequential, 0 = all hardware "
@@ -112,7 +118,23 @@ int Usage() {
       "  --slow-ms MS       serve: slow-query threshold, JSONL to stderr\n"
       "                     (default 100, 0 = off)\n"
       "  --report N         serve: print an interval report (QPS, hit\n"
-      "                     rate, interval p99) every N batches\n"
+      "                     rate, interval p99, SLO burn rates) every N\n"
+      "                     batches\n"
+      "  --record F         serve: dump the flight-recorder ring to F on\n"
+      "                     exit (binary recording; F ending in .jsonl\n"
+      "                     exports JSON lines instead). Requires a\n"
+      "                     library built with INDOOR_METRICS=ON\n"
+      "  --record-interval-ms N\n"
+      "                     serve: flight-recorder sampling interval\n"
+      "                     (default 250)\n"
+      "  --slo SPEC         serve/dashboard: latency objectives as\n"
+      "                     \"name=THRESHOLD@TARGET[,...]\" (e.g.\n"
+      "                     \"knn=2ms@0.999,range=5ms@0.99\"); default:\n"
+      "                     the serving objectives in\n"
+      "                     docs/OBSERVABILITY.md\n"
+      "  --out F.html       dashboard: output path (default\n"
+      "                     dashboard.html)\n"
+      "  --title T          dashboard: page title\n"
       "  --trace-out F      serve: export sampled query timelines to F as\n"
       "                     Chrome/Perfetto trace JSON\n"
       "  --trace-sample N   serve: keep every Nth query's trace "
@@ -554,6 +576,39 @@ int CmdServe(const Args& args) {
     trace::TraceEventCollector::Global().Enable(topts);
   }
 
+  // The flight recorder (util/timeseries.h) runs whenever it can be
+  // useful: always with --record, and for --report so the SLO burn rates
+  // have a ring to evaluate. --record hard-fails in a metrics-OFF build
+  // (the recording would be empty); --report merely loses its SLO lines.
+  const std::string record_path = args.Str("record", "");
+  slo::SloConfig slo_config = slo::DefaultSloConfig();
+  if (args.Has("slo")) {
+    auto parsed = slo::ParseSloSpec(args.Str("slo", ""));
+    if (!parsed.ok()) {
+      std::cerr << "serve: " << parsed.status() << "\n";
+      return 2;
+    }
+    slo_config = std::move(parsed).value();
+  }
+  tseries::FlightRecorder& recorder = tseries::FlightRecorder::Global();
+  if (!record_path.empty() || report_every > 0) {
+    tseries::FlightRecorderOptions fropts;
+    fropts.interval_ms = static_cast<uint32_t>(
+        args.Num("record-interval-ms", fropts.interval_ms));
+    fropts.hotness = &engine.index().hotness();
+    fropts.context = "plan=" + args.positional[0] +
+                     "\nobjects=" + std::to_string(objects) +
+                     "\nbatch=" + std::to_string(batch) +
+                     "\ncache=" +
+                     (options.enable_query_cache ? "on" : "off") +
+                     "\nmove-rate=" + std::to_string(move_rate) + "\n";
+    const Status st = recorder.Start(fropts);
+    if (!st.ok() && !record_path.empty()) {
+      std::cerr << "error: " << st << "\n";
+      return 1;
+    }
+  }
+
   BatchExecutor executor(engine.index(), threads);
   std::printf(
       "serving %zu requests (skew %.2f over %zu positions) in batches of "
@@ -656,12 +711,34 @@ int CmdServe(const Args& args) {
                     static_cast<double>(cache_hits + cache_misses)
               : 0.0,
           p99_us);
+      if (recorder.running()) {
+        // Burn rates over the recorder ring; the gauges double as the
+        // admission-control signal (slo.*.burn_fast / burn_slow).
+        const slo::SloReport slo_report =
+            slo::Evaluate(slo_config, recorder.Snapshot().samples);
+        slo::PublishGauges(slo_report);
+        slo_report.WriteReport(stdout);
+      }
       interval_base = now;
       interval_served = 0;
       interval_timer.Restart();
     }
   }
   const double ms = timer.ElapsedMillis();
+  if (recorder.running()) {
+    recorder.Stop();  // folds the final partial interval into the ring
+    if (!record_path.empty()) {
+      const Status st = recorder.Dump(record_path);
+      if (!st.ok()) {
+        std::cerr << "error: " << st << "\n";
+        return 1;
+      }
+      std::printf("recording: %llu intervals (%llu evicted) -> %s\n",
+                  static_cast<unsigned long long>(recorder.intervals()),
+                  static_cast<unsigned long long>(recorder.evictions()),
+                  record_path.c_str());
+    }
+  }
   std::printf("served %zu requests in %.1f ms: %.0f QPS (%zu non-empty)\n",
               served, ms, served / (ms / 1000.0), hits);
   if (moves_applied > 0) {
@@ -788,6 +865,47 @@ int CmdReplay(const Args& args) {
   return report->AllMatched() ? 0 : 1;
 }
 
+/// Renders one or more flight recordings (indoor_tool serve --record,
+/// bench_query_throughput --record) to a single self-contained HTML
+/// dashboard. Pure file processing — works in metrics-OFF builds too.
+int CmdDashboard(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  dash::DashboardOptions options;
+  if (args.Has("slo")) {
+    auto parsed = slo::ParseSloSpec(args.Str("slo", ""));
+    if (!parsed.ok()) {
+      std::cerr << "dashboard: " << parsed.status() << "\n";
+      return 2;
+    }
+    options.slo = std::move(parsed).value();
+  }
+  options.title = args.Str("title", options.title);
+  std::vector<tseries::Recording> recordings;
+  recordings.reserve(args.positional.size());
+  for (const std::string& path : args.positional) {
+    auto recording = tseries::ReadRecording(path);
+    if (!recording.ok()) {
+      std::cerr << "error: " << recording.status() << "\n";
+      return 1;
+    }
+    recordings.push_back(std::move(recording).value());
+  }
+  const std::string out = args.Str("out", "dashboard.html");
+  const Status st = dash::WriteDashboardFile(recordings, out, options);
+  if (!st.ok()) {
+    std::cerr << "error: " << st << "\n";
+    return 1;
+  }
+  size_t intervals = 0;
+  for (const tseries::Recording& recording : recordings) {
+    intervals += recording.samples.size();
+  }
+  std::printf("dashboard: %zu recording%s (%zu intervals) -> %s\n",
+              recordings.size(), recordings.size() == 1 ? "" : "s",
+              intervals, out.c_str());
+  return 0;
+}
+
 int CmdMatrix(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   auto plan = LoadOrFail(args.positional[0]);
@@ -859,6 +977,7 @@ int main(int argc, char** argv) {
   else if (cmd == "stats") rc = CmdStats(args);
   else if (cmd == "serve") rc = CmdServe(args);
   else if (cmd == "replay") rc = CmdReplay(args);
+  else if (cmd == "dashboard") rc = CmdDashboard(args);
   if (rc < 0) return Usage();
   const int json_rc = DumpMetricsJson(args);
   return rc != 0 ? rc : json_rc;
